@@ -1,0 +1,710 @@
+//! x86-64 machine-code decoder for the modelled subset — the other half of
+//! the object-file input path (§4.1): raw `.text` bytes back into
+//! [`Inst`] values and labelled listings.
+//!
+//! The decoder understands exactly what [`crate::encode`] emits (which is
+//! what GNU `as` emits for the subset), so `decode(encode(p)) == p` up to
+//! label naming — property-tested in `tests/encode_roundtrip.rs`.
+
+use crate::format::AsmLine;
+use crate::inst::{Cond, Inst, MemRef, Mnemonic, Operand, Width};
+use crate::reg::{Gpr, GprName, Reg};
+use std::fmt;
+
+/// Decoding failure at a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Offset of the undecodable byte.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded instruction: the instruction, its length in bytes, and — for
+/// branches — the absolute target offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoded {
+    /// The instruction (branches carry a placeholder label).
+    pub inst: Inst,
+    /// Encoded length in bytes.
+    pub len: usize,
+    /// Absolute byte offset a branch targets.
+    pub branch_target: Option<i64>,
+}
+
+/// Explicit number → name table (inverse of the encoder's).
+fn gpr_name(n: u8) -> GprName {
+    match n & 15 {
+        0 => GprName::Rax,
+        1 => GprName::Rcx,
+        2 => GprName::Rdx,
+        3 => GprName::Rbx,
+        4 => GprName::Rsp,
+        5 => GprName::Rbp,
+        6 => GprName::Rsi,
+        7 => GprName::Rdi,
+        8 => GprName::R8,
+        9 => GprName::R9,
+        10 => GprName::R10,
+        11 => GprName::R11,
+        12 => GprName::R12,
+        13 => GprName::R13,
+        14 => GprName::R14,
+        _ => GprName::R15,
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError { offset: self.start, message: message.into() }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("truncated instruction"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i16(&mut self) -> Result<i16, DecodeError> {
+        let lo = self.u8()?;
+        let hi = self.u8()?;
+        Ok(i16::from_le_bytes([lo, hi]))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let mut b = [0u8; 4];
+        for slot in &mut b {
+            *slot = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(b))
+    }
+}
+
+struct Prefixes {
+    rex: u8,
+    has_rex: bool,
+    p66: bool,
+    sse: Option<u8>,
+}
+
+impl Prefixes {
+    fn w(&self) -> bool {
+        self.rex & 0x08 != 0
+    }
+    fn r(&self) -> u8 {
+        (self.rex & 0x04) << 1
+    }
+    fn x(&self) -> u8 {
+        (self.rex & 0x02) << 2
+    }
+    fn b(&self) -> u8 {
+        (self.rex & 0x01) << 3
+    }
+    fn width(&self) -> Width {
+        if self.w() {
+            Width::Q
+        } else if self.p66 {
+            Width::W
+        } else {
+            Width::L
+        }
+    }
+}
+
+/// ModRM with resolved operands.
+enum RmOperand {
+    Reg(u8),
+    Mem(MemRef),
+}
+
+fn decode_modrm(c: &mut Cursor, p: &Prefixes) -> Result<(u8, RmOperand), DecodeError> {
+    let modrm = c.u8()?;
+    let mode = modrm >> 6;
+    let reg = ((modrm >> 3) & 7) | p.r();
+    let rm_low = modrm & 7;
+    if mode == 0b11 {
+        return Ok((reg, RmOperand::Reg(rm_low | p.b())));
+    }
+    let mut base: Option<Reg> = None;
+    let mut index: Option<(Reg, u8)> = None;
+    if rm_low == 0b100 {
+        // SIB byte.
+        let sib = c.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let idx = ((sib >> 3) & 7) | p.x();
+        let base_low = sib & 7;
+        if idx != 4 {
+            index = Some((Reg::gpr(gpr_name(idx)), scale));
+        }
+        if base_low == 5 && mode == 0b00 {
+            // No base: disp32 follows.
+            let disp = i64::from(c.i32()?);
+            return Ok((reg, RmOperand::Mem(MemRef { base, index, disp })));
+        }
+        base = Some(Reg::gpr(gpr_name(base_low | p.b())));
+    } else if rm_low == 0b101 && mode == 0b00 {
+        // RIP-relative — not produced by the encoder.
+        return Err(c.err("RIP-relative addressing unsupported"));
+    } else {
+        base = Some(Reg::gpr(gpr_name(rm_low | p.b())));
+    }
+    let disp = match mode {
+        0b00 => 0,
+        0b01 => i64::from(c.i8()?),
+        0b10 => i64::from(c.i32()?),
+        _ => unreachable!("register mode handled above"),
+    };
+    Ok((reg, RmOperand::Mem(MemRef { base, index, disp })))
+}
+
+fn rm_to_operand(rm: RmOperand, xmm: bool, width: Width) -> Operand {
+    match rm {
+        RmOperand::Reg(n) if xmm => Operand::Reg(Reg::Xmm(n)),
+        RmOperand::Reg(n) => Operand::Reg(Reg::Gpr(Gpr { name: gpr_name(n), width })),
+        RmOperand::Mem(m) => Operand::Mem(m),
+    }
+}
+
+fn gpr_operand(n: u8, width: Width) -> Operand {
+    Operand::Reg(Reg::Gpr(Gpr { name: gpr_name(n), width }))
+}
+
+fn cond_from_number(n: u8) -> Option<Cond> {
+    Some(match n {
+        0x2 => Cond::B,
+        0x3 => Cond::Ae,
+        0x4 => Cond::E,
+        0x5 => Cond::Ne,
+        0x6 => Cond::Be,
+        0x7 => Cond::A,
+        0x8 => Cond::S,
+        0x9 => Cond::Ns,
+        0xC => Cond::L,
+        0xD => Cond::Ge,
+        0xE => Cond::Le,
+        0xF => Cond::G,
+        _ => return None,
+    })
+}
+
+/// Placeholder label for a decoded branch (replaced by
+/// [`decode_listing`]).
+pub const RAW_TARGET_LABEL: &str = ".Ltarget";
+
+/// Decodes one instruction at `offset`.
+pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, DecodeError> {
+    let mut c = Cursor { bytes, pos: offset, start: offset };
+    let mut p = Prefixes { rex: 0, has_rex: false, p66: false, sse: None };
+
+    // Legacy + REX prefixes (the subset's order: F3/F2/66 then REX).
+    loop {
+        match c.peek() {
+            Some(0xF3) | Some(0xF2) if p.sse.is_none() => {
+                p.sse = Some(c.u8()?);
+            }
+            Some(0x66) if !p.p66 => {
+                c.u8()?;
+                p.p66 = true;
+            }
+            Some(b) if (0x40..=0x4F).contains(&b) && !p.has_rex => {
+                p.rex = c.u8()? & 0x0F;
+                p.has_rex = true;
+            }
+            _ => break,
+        }
+    }
+
+    let opcode = c.u8()?;
+    let done = |c: &Cursor, inst: Inst| -> Result<Decoded, DecodeError> {
+        Ok(Decoded { inst, len: c.pos - offset, branch_target: None })
+    };
+
+    // Width for integer forms; byte opcodes handle Width::B explicitly.
+    let w = p.width();
+
+    match opcode {
+        0x90 => return done(&c, Inst::nullary(Mnemonic::Nop)),
+        0xC3 => return done(&c, Inst::nullary(Mnemonic::Ret)),
+        0x0F => {
+            let op2 = c.u8()?;
+            // Conditional branches.
+            if (0x80..=0x8F).contains(&op2) {
+                let cond = cond_from_number(op2 - 0x80)
+                    .ok_or_else(|| c.err(format!("condition {op2:#x}")))?;
+                let rel = i64::from(c.i32()?);
+                let target = (c.pos as i64) + rel;
+                return Ok(Decoded {
+                    inst: Inst::branch(Mnemonic::Jcc(cond), RAW_TARGET_LABEL),
+                    len: c.pos - offset,
+                    branch_target: Some(target),
+                });
+            }
+            // imul r, r/m.
+            if op2 == 0xAF {
+                let (reg, rm) = decode_modrm(&mut c, &p)?;
+                return done(
+                    &c,
+                    Inst::binary(Mnemonic::Imul(w), rm_to_operand(rm, false, w), gpr_operand(reg, w)),
+                );
+            }
+            // SSE opcodes.
+            let sse_w = |mnemonic: Mnemonic, c: &mut Cursor, load: bool| -> Result<Decoded, DecodeError> {
+                let (reg, rm) = decode_modrm(c, &p)?;
+                let xmm = Operand::Reg(Reg::Xmm(reg));
+                let other = rm_to_operand(rm, true, w);
+                let inst = if load {
+                    Inst::binary(mnemonic, other, xmm)
+                } else {
+                    Inst::binary(mnemonic, xmm, other)
+                };
+                Ok(Decoded { inst, len: c.pos - offset, branch_target: None })
+            };
+            let (mnemonic, load): (Mnemonic, bool) = match (op2, p.sse, p.p66) {
+                (0x10, Some(0xF3), _) => (Mnemonic::Movss, true),
+                (0x11, Some(0xF3), _) => (Mnemonic::Movss, false),
+                (0x10, Some(0xF2), _) => (Mnemonic::Movsd, true),
+                (0x11, Some(0xF2), _) => (Mnemonic::Movsd, false),
+                (0x10, None, false) => (Mnemonic::Movups, true),
+                (0x11, None, false) => (Mnemonic::Movups, false),
+                (0x10, None, true) => (Mnemonic::Movupd, true),
+                (0x11, None, true) => (Mnemonic::Movupd, false),
+                (0x28, None, false) => (Mnemonic::Movaps, true),
+                (0x29, None, false) => (Mnemonic::Movaps, false),
+                (0x28, None, true) => (Mnemonic::Movapd, true),
+                (0x29, None, true) => (Mnemonic::Movapd, false),
+                (0x6F, Some(0xF3), _) => (Mnemonic::Movdqu, true),
+                (0x7F, Some(0xF3), _) => (Mnemonic::Movdqu, false),
+                (0x6F, None, true) => (Mnemonic::Movdqa, true),
+                (0x7F, None, true) => (Mnemonic::Movdqa, false),
+                (0x2B, None, false) => (Mnemonic::Movntps, false),
+                (0x2B, None, true) => (Mnemonic::Movntpd, false),
+                (0x58, Some(0xF3), _) => (Mnemonic::Addss, true),
+                (0x58, Some(0xF2), _) => (Mnemonic::Addsd, true),
+                (0x58, None, false) => (Mnemonic::Addps, true),
+                (0x58, None, true) => (Mnemonic::Addpd, true),
+                (0x59, Some(0xF3), _) => (Mnemonic::Mulss, true),
+                (0x59, Some(0xF2), _) => (Mnemonic::Mulsd, true),
+                (0x59, None, false) => (Mnemonic::Mulps, true),
+                (0x59, None, true) => (Mnemonic::Mulpd, true),
+                (0x5C, Some(0xF3), _) => (Mnemonic::Subss, true),
+                (0x5C, Some(0xF2), _) => (Mnemonic::Subsd, true),
+                (0x5C, None, false) => (Mnemonic::Subps, true),
+                (0x5C, None, true) => (Mnemonic::Subpd, true),
+                (0x5E, Some(0xF3), _) => (Mnemonic::Divss, true),
+                (0x5E, Some(0xF2), _) => (Mnemonic::Divsd, true),
+                (0x5E, None, false) => (Mnemonic::Divps, true),
+                (0x5E, None, true) => (Mnemonic::Divpd, true),
+                (0x57, None, false) => (Mnemonic::Xorps, true),
+                (0x57, None, true) => (Mnemonic::Xorpd, true),
+                (0x51, Some(0xF2), _) => (Mnemonic::Sqrtsd, true),
+                (0x5F, Some(0xF2), _) => (Mnemonic::Maxsd, true),
+                (0x5D, Some(0xF2), _) => (Mnemonic::Minsd, true),
+                _ => return Err(c.err(format!("0F {op2:02x} unsupported"))),
+            };
+            return sse_w(mnemonic, &mut c, load);
+        }
+        // Short conditional branches.
+        b if (0x70..=0x7F).contains(&b) => {
+            let cond =
+                cond_from_number(b - 0x70).ok_or_else(|| c.err(format!("cond {b:#x}")))?;
+            let rel = i64::from(c.i8()?);
+            let target = (c.pos as i64) + rel;
+            return Ok(Decoded {
+                inst: Inst::branch(Mnemonic::Jcc(cond), RAW_TARGET_LABEL),
+                len: c.pos - offset,
+                branch_target: Some(target),
+            });
+        }
+        0xEB => {
+            let rel = i64::from(c.i8()?);
+            let target = (c.pos as i64) + rel;
+            return Ok(Decoded {
+                inst: Inst::branch(Mnemonic::Jmp, RAW_TARGET_LABEL),
+                len: c.pos - offset,
+                branch_target: Some(target),
+            });
+        }
+        0xE9 => {
+            let rel = i64::from(c.i32()?);
+            let target = (c.pos as i64) + rel;
+            return Ok(Decoded {
+                inst: Inst::branch(Mnemonic::Jmp, RAW_TARGET_LABEL),
+                len: c.pos - offset,
+                branch_target: Some(target),
+            });
+        }
+        _ => {}
+    }
+
+    // Integer ALU groups (byte and word/dword/qword forms interleave).
+    let alu_mnemonic = |digit: u8, w: Width| -> Option<Mnemonic> {
+        Some(match digit {
+            0 => Mnemonic::Add(w),
+            1 => Mnemonic::Or(w),
+            4 => Mnemonic::And(w),
+            5 => Mnemonic::Sub(w),
+            6 => Mnemonic::Xor(w),
+            7 => Mnemonic::Cmp(w),
+            _ => return None,
+        })
+    };
+    // op r/m, r (store) and op r, r/m (load) opcode pairs by digit.
+    for digit in [0u8, 1, 4, 5, 6, 7] {
+        let base = digit * 8;
+        let m_b = alu_mnemonic(digit, Width::B).expect("alu digit");
+        let m_w = alu_mnemonic(digit, w).expect("alu digit");
+        match opcode {
+            b if b == base => {
+                // byte store form.
+                let (reg, rm) = decode_modrm(&mut c, &p)?;
+                return done(
+                    &c,
+                    Inst::binary(m_b, gpr_operand(reg, Width::B), rm_to_operand(rm, false, Width::B)),
+                );
+            }
+            b if b == base + 1 => {
+                let (reg, rm) = decode_modrm(&mut c, &p)?;
+                return done(
+                    &c,
+                    Inst::binary(m_w, gpr_operand(reg, w), rm_to_operand(rm, false, w)),
+                );
+            }
+            b if b == base + 2 => {
+                let (reg, rm) = decode_modrm(&mut c, &p)?;
+                return done(
+                    &c,
+                    Inst::binary(m_b, rm_to_operand(rm, false, Width::B), gpr_operand(reg, Width::B)),
+                );
+            }
+            b if b == base + 3 => {
+                let (reg, rm) = decode_modrm(&mut c, &p)?;
+                return done(
+                    &c,
+                    Inst::binary(m_w, rm_to_operand(rm, false, w), gpr_operand(reg, w)),
+                );
+            }
+            b if b == base + 4 => {
+                // AL accumulator short form.
+                let v = i64::from(c.i8()?);
+                return done(&c, Inst::binary(m_b, Operand::Imm(v), gpr_operand(0, Width::B)));
+            }
+            b if b == base + 5 => {
+                let v = if p.p66 { i64::from(c.i16()?) } else { i64::from(c.i32()?) };
+                return done(&c, Inst::binary(m_w, Operand::Imm(v), gpr_operand(0, w)));
+            }
+            _ => {}
+        }
+    }
+
+    match opcode {
+        // Group-1 immediates.
+        0x80 | 0x81 | 0x83 => {
+            let width = if opcode == 0x80 { Width::B } else { w };
+            let (digit, rm) = decode_modrm(&mut c, &p)?;
+            let mnemonic = alu_mnemonic(digit, width)
+                .ok_or_else(|| c.err(format!("group1 /{digit}")))?;
+            let v = match opcode {
+                0x80 | 0x83 => i64::from(c.i8()?),
+                _ if p.p66 => i64::from(c.i16()?),
+                _ => i64::from(c.i32()?),
+            };
+            done(&c, Inst::binary(mnemonic, Operand::Imm(v), rm_to_operand(rm, false, width)))
+        }
+        // test.
+        0x84 | 0x85 => {
+            let width = if opcode == 0x84 { Width::B } else { w };
+            let (reg, rm) = decode_modrm(&mut c, &p)?;
+            done(
+                &c,
+                Inst::binary(
+                    Mnemonic::Test(width),
+                    gpr_operand(reg, width),
+                    rm_to_operand(rm, false, width),
+                ),
+            )
+        }
+        0xA8 | 0xA9 => {
+            let width = if opcode == 0xA8 { Width::B } else { w };
+            let v = match width {
+                Width::B => i64::from(c.i8()?),
+                Width::W => i64::from(c.i16()?),
+                _ => i64::from(c.i32()?),
+            };
+            done(&c, Inst::binary(Mnemonic::Test(width), Operand::Imm(v), gpr_operand(0, width)))
+        }
+        // mov.
+        0x88 | 0x89 => {
+            let width = if opcode == 0x88 { Width::B } else { w };
+            let (reg, rm) = decode_modrm(&mut c, &p)?;
+            done(
+                &c,
+                Inst::binary(
+                    Mnemonic::Mov(width),
+                    gpr_operand(reg, width),
+                    rm_to_operand(rm, false, width),
+                ),
+            )
+        }
+        0x8A | 0x8B => {
+            let width = if opcode == 0x8A { Width::B } else { w };
+            let (reg, rm) = decode_modrm(&mut c, &p)?;
+            done(
+                &c,
+                Inst::binary(
+                    Mnemonic::Mov(width),
+                    rm_to_operand(rm, false, width),
+                    gpr_operand(reg, width),
+                ),
+            )
+        }
+        0x8D => {
+            let (reg, rm) = decode_modrm(&mut c, &p)?;
+            let RmOperand::Mem(mem) = rm else {
+                return Err(c.err("lea with register operand"));
+            };
+            done(&c, Inst::binary(Mnemonic::Lea(w), Operand::Mem(mem), gpr_operand(reg, w)))
+        }
+        b if (0xB0..=0xB7).contains(&b) => {
+            let v = i64::from(c.i8()?);
+            done(
+                &c,
+                Inst::binary(Mnemonic::Mov(Width::B), Operand::Imm(v), gpr_operand((b - 0xB0) | p.b(), Width::B)),
+            )
+        }
+        b if (0xB8..=0xBF).contains(&b) => {
+            let v = if p.p66 { i64::from(c.i16()?) } else { i64::from(c.i32()?) };
+            let width = if p.p66 { Width::W } else { Width::L };
+            done(
+                &c,
+                Inst::binary(Mnemonic::Mov(width), Operand::Imm(v), gpr_operand((b - 0xB8) | p.b(), width)),
+            )
+        }
+        0xC6 | 0xC7 => {
+            let width = if opcode == 0xC6 { Width::B } else { w };
+            let (digit, rm) = decode_modrm(&mut c, &p)?;
+            if digit != 0 {
+                return Err(c.err(format!("C6/C7 /{digit}")));
+            }
+            let v = match width {
+                Width::B => i64::from(c.i8()?),
+                Width::W => i64::from(c.i16()?),
+                _ => i64::from(c.i32()?),
+            };
+            done(&c, Inst::binary(Mnemonic::Mov(width), Operand::Imm(v), rm_to_operand(rm, false, width)))
+        }
+        // inc/dec.
+        0xFE | 0xFF => {
+            let width = if opcode == 0xFE { Width::B } else { w };
+            let (digit, rm) = decode_modrm(&mut c, &p)?;
+            let mnemonic = match digit {
+                0 => Mnemonic::Inc(width),
+                1 => Mnemonic::Dec(width),
+                d => return Err(c.err(format!("FE/FF /{d}"))),
+            };
+            done(&c, Inst::new(mnemonic, vec![rm_to_operand(rm, false, width)]))
+        }
+        // shifts.
+        0xC0 | 0xC1 | 0xD0 | 0xD1 => {
+            let width = if opcode == 0xC0 || opcode == 0xD0 { Width::B } else { w };
+            let (digit, rm) = decode_modrm(&mut c, &p)?;
+            let amount = if opcode == 0xC0 || opcode == 0xC1 { i64::from(c.i8()?) } else { 1 };
+            let mnemonic = match digit {
+                4 => Mnemonic::Shl(width),
+                5 => Mnemonic::Shr(width),
+                d => return Err(c.err(format!("shift /{d}"))),
+            };
+            done(&c, Inst::binary(mnemonic, Operand::Imm(amount), rm_to_operand(rm, false, width)))
+        }
+        // neg / test-imm group.
+        0xF6 | 0xF7 => {
+            let width = if opcode == 0xF6 { Width::B } else { w };
+            let (digit, rm) = decode_modrm(&mut c, &p)?;
+            match digit {
+                0 => {
+                    let v = match width {
+                        Width::B => i64::from(c.i8()?),
+                        Width::W => i64::from(c.i16()?),
+                        _ => i64::from(c.i32()?),
+                    };
+                    done(
+                        &c,
+                        Inst::binary(Mnemonic::Test(width), Operand::Imm(v), rm_to_operand(rm, false, width)),
+                    )
+                }
+                3 => done(&c, Inst::new(Mnemonic::Neg(width), vec![rm_to_operand(rm, false, width)])),
+                d => Err(c.err(format!("F6/F7 /{d}"))),
+            }
+        }
+        other => Err(c.err(format!("opcode {other:#04x} unsupported"))),
+    }
+}
+
+/// Decodes a whole `.text` stream into a labelled listing: branch targets
+/// become `.L<n>` labels in offset order.
+pub fn decode_listing(bytes: &[u8]) -> Result<Vec<AsmLine>, DecodeError> {
+    let mut decoded: Vec<(usize, Decoded)> = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let d = decode_instruction(bytes, offset)?;
+        let len = d.len;
+        decoded.push((offset, d));
+        offset += len;
+    }
+    // Collect branch targets and assign labels in offset order.
+    let mut targets: Vec<i64> = decoded
+        .iter()
+        .filter_map(|(_, d)| d.branch_target)
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |t: i64| -> String {
+        let idx = targets.binary_search(&t).expect("collected above");
+        format!(".L{idx}")
+    };
+    let mut lines = Vec::with_capacity(decoded.len() + targets.len());
+    for (off, d) in decoded {
+        if targets.binary_search(&(off as i64)).is_ok() {
+            lines.push(AsmLine::Label(label_of(off as i64)));
+        }
+        let mut inst = d.inst;
+        if let Some(t) = d.branch_target {
+            inst.operands = vec![Operand::Label(label_of(t))];
+        }
+        lines.push(AsmLine::Inst(inst));
+    }
+    // A target at the very end of the stream (fall-through label).
+    if targets.binary_search(&(bytes.len() as i64)).is_ok() {
+        lines.push(AsmLine::Label(label_of(bytes.len() as i64)));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_instruction, encode_program};
+    use crate::parse::{parse_instruction, parse_listing};
+
+    fn roundtrip(text: &str) {
+        let inst = parse_instruction(text).unwrap();
+        let bytes = encode_instruction(&inst).unwrap();
+        let decoded = decode_instruction(&bytes, 0)
+            .unwrap_or_else(|e| panic!("{text} [{bytes:02x?}]: {e}"));
+        assert_eq!(decoded.len, bytes.len(), "{text}");
+        assert_eq!(decoded.inst.to_string(), text, "bytes {bytes:02x?}");
+    }
+
+    #[test]
+    fn instruction_roundtrips() {
+        for text in [
+            "nop",
+            "ret",
+            "addq $1, %rax",
+            "addq $48, %rsi",
+            "addq $1000, %rsi",
+            "subq $12, %rdi",
+            "addl $1, %ecx",
+            "addq %rax, %rbx",
+            "addq (%rsi), %rax",
+            "addq %rax, (%rsi)",
+            "cmpl %eax, %edi",
+            "movaps (%rsi), %xmm0",
+            "movaps %xmm0, (%rsi)",
+            "movaps 16(%rsi), %xmm1",
+            "movss (%rdx,%rax,8), %xmm3",
+            "movsd %xmm1, (%r10,%r9,1)",
+            "mulsd (%r8), %xmm0",
+            "addsd %xmm0, %xmm1",
+            "movntps %xmm8, 64(%r11)",
+            "movq %rsi, %rdi",
+            "movq (%rsp), %rax",
+            "movq (%rbp), %rax",
+            "movq (%r13), %rax",
+            "movq $7, %rax",
+            "movl $100000, %edx",
+            "leaq 8(%rsi,%rdi,4), %rax",
+            "incq %rax",
+            "decq %rcx",
+            "negq %rsi",
+            "shlq $4, %rax",
+            "shrq $1, %rbx",
+            "imulq %rbx, %rax",
+            "testq %rax, %rax",
+            "xorps %xmm2, %xmm2",
+            "movdqu (%rsi), %xmm14",
+        ] {
+            roundtrip(text);
+        }
+    }
+
+    #[test]
+    fn figure8_listing_roundtrips_with_labels() {
+        let text = "\
+.L6:
+\tmovaps %xmm0, (%rsi)
+\tmovaps 16(%rsi), %xmm1
+\tmovaps %xmm2, 32(%rsi)
+\taddq $48, %rsi
+\tsubq $12, %rdi
+\tjge .L6
+";
+        let lines = parse_listing(text).unwrap();
+        let encoded = encode_program(&lines).unwrap();
+        let decoded = decode_listing(&encoded.bytes).unwrap();
+        // Same instruction sequence; the label renames to .L0.
+        let rendered = crate::format::write_lines(&decoded);
+        assert_eq!(rendered, text.replace(".L6", ".L0"));
+        // Re-encoding the decoded listing reproduces the exact bytes.
+        let reencoded = encode_program(&decoded).unwrap();
+        assert_eq!(reencoded.bytes, encoded.bytes);
+    }
+
+    #[test]
+    fn forward_branches_label_correctly() {
+        let text = "\tjmp .Lend\n\tnop\n\tnop\n.Lend:\n\tret\n";
+        let lines = parse_listing(text).unwrap();
+        let encoded = encode_program(&lines).unwrap();
+        let decoded = decode_listing(&encoded.bytes).unwrap();
+        let rendered = crate::format::write_lines(&decoded);
+        assert_eq!(rendered, "\tjmp .L0\n\tnop\n\tnop\n.L0:\n\tret\n");
+    }
+
+    #[test]
+    fn garbage_bytes_error_with_offset() {
+        let err = decode_listing(&[0x90, 0x0F, 0x05]).unwrap_err(); // syscall
+        assert_eq!(err.offset, 1);
+        assert!(err.message.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let full = encode_instruction(&parse_instruction("addq $1000, %rsi").unwrap()).unwrap();
+        let err = decode_instruction(&full[..3], 0).unwrap_err();
+        assert!(err.message.contains("truncated"), "{err}");
+    }
+}

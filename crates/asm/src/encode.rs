@@ -1,0 +1,958 @@
+//! x86-64 machine-code encoder for the modelled subset.
+//!
+//! MicroLauncher's input list includes *object files* (§4.1); this module
+//! provides the byte-level half of that path: every instruction the
+//! formatter can print also encodes to the bytes GNU `as` would produce
+//! (verified byte-for-byte in `tests/gnu_as_equivalence.rs` on hosts with
+//! binutils). Branches are relaxed to their short (rel8) forms exactly as
+//! GNU `as` does.
+
+use crate::format::AsmLine;
+use crate::inst::{Cond, Inst, MemRef, Mnemonic, Operand, Width};
+use crate::reg::{Gpr, GprName, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Encoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The instruction form has no encoding in the supported subset.
+    Unsupported(String),
+    /// A branch targets an unknown label.
+    UnknownLabel(String),
+    /// An immediate is out of range for the instruction form.
+    ImmediateRange(String),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Unsupported(m) => write!(f, "unsupported encoding: {m}"),
+            EncodeError::UnknownLabel(l) => write!(f, "unknown branch target `{l}`"),
+            EncodeError::ImmediateRange(m) => write!(f, "immediate out of range: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// An assembled instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedProgram {
+    /// The machine code.
+    pub bytes: Vec<u8>,
+    /// Label name → byte offset.
+    pub labels: BTreeMap<String, usize>,
+    /// Byte offset of each encoded instruction, in line order.
+    pub instruction_offsets: Vec<usize>,
+}
+
+/// Register encoding number (3 bits + extension).
+fn gpr_number(name: GprName) -> u8 {
+    match name {
+        GprName::Rax => 0,
+        GprName::Rcx => 1,
+        GprName::Rdx => 2,
+        GprName::Rbx => 3,
+        GprName::Rsp => 4,
+        GprName::Rbp => 5,
+        GprName::Rsi => 6,
+        GprName::Rdi => 7,
+        GprName::R8 => 8,
+        GprName::R9 => 9,
+        GprName::R10 => 10,
+        GprName::R11 => 11,
+        GprName::R12 => 12,
+        GprName::R13 => 13,
+        GprName::R14 => 14,
+        GprName::R15 => 15,
+    }
+}
+
+/// Condition-code number for `0F 8x` / `7x` opcodes.
+fn cond_number(c: Cond) -> u8 {
+    match c {
+        Cond::B => 0x2,
+        Cond::Ae => 0x3,
+        Cond::E => 0x4,
+        Cond::Ne => 0x5,
+        Cond::Be => 0x6,
+        Cond::A => 0x7,
+        Cond::S => 0x8,
+        Cond::Ns => 0x9,
+        Cond::L => 0xC,
+        Cond::Ge => 0xD,
+        Cond::Le => 0xE,
+        Cond::G => 0xF,
+    }
+}
+
+/// One assembling unit under construction.
+struct Asm {
+    bytes: Vec<u8>,
+    rex: u8,
+    rex_needed: bool,
+    prefix66: bool,
+    sse_prefix: Option<u8>,
+}
+
+impl Asm {
+    fn new() -> Self {
+        Asm { bytes: Vec::with_capacity(8), rex: 0x40, rex_needed: false, prefix66: false, sse_prefix: None }
+    }
+
+    fn rex_w(&mut self) {
+        self.rex |= 0x08;
+        self.rex_needed = true;
+    }
+
+    fn rex_r(&mut self, high: bool) {
+        if high {
+            self.rex |= 0x04;
+            self.rex_needed = true;
+        }
+    }
+
+    fn rex_x(&mut self, high: bool) {
+        if high {
+            self.rex |= 0x02;
+            self.rex_needed = true;
+        }
+    }
+
+    fn rex_b(&mut self, high: bool) {
+        if high {
+            self.rex |= 0x01;
+            self.rex_needed = true;
+        }
+    }
+
+    /// 8-bit register operands `sil/dil/bpl/spl` need an empty REX.
+    fn rex_for_byte_reg(&mut self, g: Gpr) {
+        if g.width == Width::B
+            && matches!(g.name, GprName::Rsi | GprName::Rdi | GprName::Rbp | GprName::Rsp)
+        {
+            self.rex_needed = true;
+        }
+    }
+
+    fn opcode(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    fn modrm(&mut self, mode: u8, reg: u8, rm: u8) {
+        self.bytes.push((mode << 6) | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    fn imm8(&mut self, v: i8) {
+        self.bytes.push(v as u8);
+    }
+
+    fn imm32(&mut self, v: i32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Emits the ModRM (+SIB +disp) for a memory operand, with `reg` in the
+    /// register field. REX bits for base/index must be set *before* this.
+    fn mem_operand(&mut self, reg: u8, mem: &MemRef) -> Result<(), EncodeError> {
+        let disp = mem.disp;
+        let disp32: i32 = disp
+            .try_into()
+            .map_err(|_| EncodeError::ImmediateRange(format!("displacement {disp}")))?;
+        match (mem.base, mem.index) {
+            (None, None) => {
+                // Absolute disp32: mod=00 rm=100, SIB base=101 index=100.
+                self.modrm(0b00, reg, 0b100);
+                self.bytes.push(0x25);
+                self.imm32(disp32);
+            }
+            (Some(Reg::Gpr(base)), None) => {
+                let b = gpr_number(base.name);
+                let needs_sib = b & 7 == 4; // rsp/r12 collide with SIB escape
+                let forced_disp = b & 7 == 5; // rbp/r13 collide with disp32 form
+                let (mode, short): (u8, Option<i8>) = if disp == 0 && !forced_disp {
+                    (0b00, None)
+                } else if let Ok(d8) = i8::try_from(disp) {
+                    (0b01, Some(d8))
+                } else {
+                    (0b10, None)
+                };
+                if needs_sib {
+                    self.modrm(mode, reg, 0b100);
+                    self.bytes.push((0b100 << 3) | (b & 7));
+                } else {
+                    self.modrm(mode, reg, b);
+                }
+                match (mode, short) {
+                    (0b01, Some(d8)) => self.imm8(d8),
+                    (0b10, _) => self.imm32(disp32),
+                    _ => {}
+                }
+            }
+            (base, Some((Reg::Gpr(index), scale))) => {
+                if index.name == GprName::Rsp {
+                    return Err(EncodeError::Unsupported("%rsp cannot index".into()));
+                }
+                let scale_bits = match scale {
+                    1 => 0b00,
+                    2 => 0b01,
+                    4 => 0b10,
+                    8 => 0b11,
+                    s => return Err(EncodeError::Unsupported(format!("scale {s}"))),
+                };
+                let x = gpr_number(index.name);
+                match base {
+                    Some(Reg::Gpr(b)) => {
+                        let bnum = gpr_number(b.name);
+                        let forced_disp = bnum & 7 == 5;
+                        let (mode, short): (u8, Option<i8>) = if disp == 0 && !forced_disp {
+                            (0b00, None)
+                        } else if let Ok(d8) = i8::try_from(disp) {
+                            (0b01, Some(d8))
+                        } else {
+                            (0b10, None)
+                        };
+                        self.modrm(mode, reg, 0b100);
+                        self.bytes.push((scale_bits << 6) | ((x & 7) << 3) | (bnum & 7));
+                        match (mode, short) {
+                            (0b01, Some(d8)) => self.imm8(d8),
+                            (0b10, _) => self.imm32(disp32),
+                            _ => {}
+                        }
+                    }
+                    None => {
+                        // Index without base: mod=00 rm=100, SIB base=101, disp32.
+                        self.modrm(0b00, reg, 0b100);
+                        self.bytes.push((scale_bits << 6) | ((x & 7) << 3) | 0b101);
+                        self.imm32(disp32);
+                    }
+                    Some(Reg::Xmm(_)) => {
+                        return Err(EncodeError::Unsupported("xmm as base register".into()))
+                    }
+                }
+            }
+            (Some(Reg::Xmm(_)), _) | (_, Some((Reg::Xmm(_), _))) => {
+                return Err(EncodeError::Unsupported("xmm in address".into()))
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the byte sequence: legacy prefixes, REX, opcode, operands.
+    fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bytes.len() + 3);
+        if let Some(p) = self.sse_prefix {
+            out.push(p);
+        }
+        if self.prefix66 {
+            out.push(0x66);
+        }
+        if self.rex_needed || self.rex != 0x40 {
+            out.push(self.rex);
+        }
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+}
+
+/// SSE opcode table entry: (mandatory prefix, load opcode, store opcode).
+/// `None` in a slot means the direction is not encodable.
+fn sse_move_opcodes(m: Mnemonic) -> Option<(Option<u8>, Option<u8>, Option<u8>)> {
+    Some(match m {
+        Mnemonic::Movss => (Some(0xF3), Some(0x10), Some(0x11)),
+        Mnemonic::Movsd => (Some(0xF2), Some(0x10), Some(0x11)),
+        Mnemonic::Movups => (None, Some(0x10), Some(0x11)),
+        Mnemonic::Movupd => (Some(0x66), Some(0x10), Some(0x11)),
+        Mnemonic::Movaps => (None, Some(0x28), Some(0x29)),
+        Mnemonic::Movapd => (Some(0x66), Some(0x28), Some(0x29)),
+        Mnemonic::Movdqa => (Some(0x66), Some(0x6F), Some(0x7F)),
+        Mnemonic::Movdqu => (Some(0xF3), Some(0x6F), Some(0x7F)),
+        Mnemonic::Movntps => (None, None, Some(0x2B)),
+        Mnemonic::Movntpd => (Some(0x66), None, Some(0x2B)),
+        _ => return None,
+    })
+}
+
+/// SSE arithmetic table: (mandatory prefix, opcode).
+fn sse_arith_opcode(m: Mnemonic) -> Option<(Option<u8>, u8)> {
+    Some(match m {
+        Mnemonic::Addps => (None, 0x58),
+        Mnemonic::Addpd => (Some(0x66), 0x58),
+        Mnemonic::Addss => (Some(0xF3), 0x58),
+        Mnemonic::Addsd => (Some(0xF2), 0x58),
+        Mnemonic::Mulps => (None, 0x59),
+        Mnemonic::Mulpd => (Some(0x66), 0x59),
+        Mnemonic::Mulss => (Some(0xF3), 0x59),
+        Mnemonic::Mulsd => (Some(0xF2), 0x59),
+        Mnemonic::Subps => (None, 0x5C),
+        Mnemonic::Subpd => (Some(0x66), 0x5C),
+        Mnemonic::Subss => (Some(0xF3), 0x5C),
+        Mnemonic::Subsd => (Some(0xF2), 0x5C),
+        Mnemonic::Divps => (None, 0x5E),
+        Mnemonic::Divpd => (Some(0x66), 0x5E),
+        Mnemonic::Divss => (Some(0xF3), 0x5E),
+        Mnemonic::Divsd => (Some(0xF2), 0x5E),
+        Mnemonic::Xorps => (None, 0x57),
+        Mnemonic::Xorpd => (Some(0x66), 0x57),
+        Mnemonic::Sqrtsd => (Some(0xF2), 0x51),
+        Mnemonic::Maxsd => (Some(0xF2), 0x5F),
+        Mnemonic::Minsd => (Some(0xF2), 0x5D),
+        _ => return None,
+    })
+}
+
+/// Integer ALU group: `/digit` for the imm forms plus the rr/rm opcodes
+/// (store = `op r/m, r`, load = `op r, r/m`), 32/64-bit base opcodes.
+fn alu_group(m: Mnemonic) -> Option<(u8, u8, u8)> {
+    // (modrm /digit for 0x81/0x83 imm forms, store opcode, load opcode)
+    Some(match m {
+        Mnemonic::Add(_) => (0, 0x01, 0x03),
+        Mnemonic::Or(_) => (1, 0x09, 0x0B),
+        Mnemonic::And(_) => (4, 0x21, 0x23),
+        Mnemonic::Sub(_) => (5, 0x29, 0x2B),
+        Mnemonic::Xor(_) => (6, 0x31, 0x33),
+        Mnemonic::Cmp(_) => (7, 0x39, 0x3B),
+        _ => return None,
+    })
+}
+
+/// Sets width-dependent prefixes; returns true when the byte forms apply.
+fn apply_width(asm: &mut Asm, width: Width) -> bool {
+    match width {
+        Width::Q => {
+            asm.rex_w();
+            false
+        }
+        Width::L => false,
+        Width::W => {
+            asm.prefix66 = true;
+            false
+        }
+        Width::B => true,
+    }
+}
+
+fn gpr_operand(op: &Operand) -> Option<Gpr> {
+    match op {
+        Operand::Reg(Reg::Gpr(g)) => Some(*g),
+        _ => None,
+    }
+}
+
+/// Encodes one non-branch instruction to bytes.
+pub fn encode_instruction(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
+    use Mnemonic::*;
+    let unsupported = || EncodeError::Unsupported(inst.to_string());
+    let mut asm = Asm::new();
+    let m = inst.mnemonic;
+
+    if m.is_branch() {
+        return Err(EncodeError::Unsupported(
+            "branches are encoded by encode_program (they need label offsets)".into(),
+        ));
+    }
+
+    // SSE data movement.
+    if let Some((prefix, load_op, store_op)) = sse_move_opcodes(m) {
+        asm.sse_prefix = None;
+        let (xmm, rm_operand, opcode) = match (&inst.operands[0], &inst.operands[1]) {
+            // load: xmm ← r/m
+            (src, Operand::Reg(Reg::Xmm(x))) => {
+                (*x, src.clone(), load_op.ok_or_else(unsupported)?)
+            }
+            // store: r/m ← xmm
+            (Operand::Reg(Reg::Xmm(x)), dst) => {
+                (*x, dst.clone(), store_op.ok_or_else(unsupported)?)
+            }
+            _ => return Err(unsupported()),
+        };
+        if let Some(p) = prefix {
+            asm.sse_prefix = Some(p);
+        }
+        asm.rex_r(xmm >= 8);
+        match &rm_operand {
+            Operand::Mem(mem) => {
+                set_mem_rex(&mut asm, mem);
+                asm.opcode(&[0x0F, opcode]);
+                asm.mem_operand(xmm, mem)?;
+            }
+            Operand::Reg(Reg::Xmm(other)) => {
+                asm.rex_b(*other >= 8);
+                asm.opcode(&[0x0F, opcode]);
+                asm.modrm(0b11, xmm, *other);
+            }
+            _ => return Err(unsupported()),
+        }
+        return Ok(asm.finish());
+    }
+
+    // SSE arithmetic: xmm ← xmm ⊙ r/m.
+    if let Some((prefix, opcode)) = sse_arith_opcode(m) {
+        let Operand::Reg(Reg::Xmm(dst)) = inst.operands[1] else {
+            return Err(unsupported());
+        };
+        if let Some(p) = prefix {
+            asm.sse_prefix = Some(p);
+        }
+        asm.rex_r(dst >= 8);
+        match &inst.operands[0] {
+            Operand::Mem(mem) => {
+                set_mem_rex(&mut asm, mem);
+                asm.opcode(&[0x0F, opcode]);
+                asm.mem_operand(dst, mem)?;
+            }
+            Operand::Reg(Reg::Xmm(src)) => {
+                asm.rex_b(*src >= 8);
+                asm.opcode(&[0x0F, opcode]);
+                asm.modrm(0b11, dst, *src);
+            }
+            _ => return Err(unsupported()),
+        }
+        return Ok(asm.finish());
+    }
+
+    match m {
+        Nop => return Ok(vec![0x90]),
+        Ret => return Ok(vec![0xC3]),
+        Add(w) | Or(w) | And(w) | Sub(w) | Xor(w) | Cmp(w) => {
+            let (digit, store_op, load_op) = alu_group(m).expect("alu group covered");
+            let byte_form = apply_width(&mut asm, w);
+            match (&inst.operands[0], &inst.operands[1]) {
+                (Operand::Imm(v), dst) => {
+                    encode_alu_imm(&mut asm, digit, *v, dst, byte_form)?;
+                }
+                (Operand::Reg(Reg::Gpr(src)), Operand::Reg(Reg::Gpr(dst))) => {
+                    asm.rex_for_byte_reg(*src);
+                    asm.rex_for_byte_reg(*dst);
+                    asm.rex_r(gpr_number(src.name) >= 8);
+                    asm.rex_b(gpr_number(dst.name) >= 8);
+                    asm.opcode(&[if byte_form { store_op - 1 } else { store_op }]);
+                    asm.modrm(0b11, gpr_number(src.name), gpr_number(dst.name));
+                }
+                (Operand::Reg(Reg::Gpr(src)), Operand::Mem(mem)) => {
+                    asm.rex_for_byte_reg(*src);
+                    asm.rex_r(gpr_number(src.name) >= 8);
+                    set_mem_rex(&mut asm, mem);
+                    asm.opcode(&[if byte_form { store_op - 1 } else { store_op }]);
+                    asm.mem_operand(gpr_number(src.name), mem)?;
+                }
+                (Operand::Mem(mem), Operand::Reg(Reg::Gpr(dst))) => {
+                    asm.rex_for_byte_reg(*dst);
+                    asm.rex_r(gpr_number(dst.name) >= 8);
+                    set_mem_rex(&mut asm, mem);
+                    asm.opcode(&[if byte_form { load_op - 1 } else { load_op }]);
+                    asm.mem_operand(gpr_number(dst.name), mem)?;
+                }
+                _ => return Err(unsupported()),
+            }
+        }
+        Test(w) => {
+            let byte_form = apply_width(&mut asm, w);
+            match (&inst.operands[0], &inst.operands[1]) {
+                (Operand::Reg(Reg::Gpr(src)), Operand::Reg(Reg::Gpr(dst))) => {
+                    asm.rex_r(gpr_number(src.name) >= 8);
+                    asm.rex_b(gpr_number(dst.name) >= 8);
+                    asm.opcode(&[if byte_form { 0x84 } else { 0x85 }]);
+                    asm.modrm(0b11, gpr_number(src.name), gpr_number(dst.name));
+                }
+                (Operand::Imm(v), dst) => {
+                    // test has accumulator short forms A8/A9.
+                    if gpr_operand(dst).is_some_and(|g| g.name == GprName::Rax) {
+                        asm.opcode(&[if byte_form { 0xA8 } else { 0xA9 }]);
+                        emit_imm_for_width(&mut asm, *v, w)?;
+                    } else {
+                        let rm = rm_of(dst).ok_or_else(unsupported)?;
+                        prepare_rm(&mut asm, &rm);
+                        asm.opcode(&[if byte_form { 0xF6 } else { 0xF7 }]);
+                        emit_rm(&mut asm, 0, &rm)?;
+                        emit_imm_for_width(&mut asm, *v, w)?;
+                    }
+                }
+                _ => return Err(unsupported()),
+            }
+        }
+        Mov(w) => {
+            let byte_form = apply_width(&mut asm, w);
+            match (&inst.operands[0], &inst.operands[1]) {
+                (Operand::Imm(v), Operand::Reg(Reg::Gpr(dst))) => {
+                    asm.rex_for_byte_reg(*dst);
+                    asm.rex_b(gpr_number(dst.name) >= 8);
+                    if w == Width::Q {
+                        // GNU as: movq $imm32, %r64 → C7 /0 id (sign-extended).
+                        let v32: i32 = (*v)
+                            .try_into()
+                            .map_err(|_| EncodeError::ImmediateRange(inst.to_string()))?;
+                        asm.opcode(&[0xC7]);
+                        asm.modrm(0b11, 0, gpr_number(dst.name));
+                        asm.imm32(v32);
+                    } else if byte_form {
+                        asm.opcode(&[0xB0 + (gpr_number(dst.name) & 7)]);
+                        asm.imm8(i8::try_from(*v).map_err(|_| {
+                            EncodeError::ImmediateRange(inst.to_string())
+                        })?);
+                    } else {
+                        // B8+r io — GNU as's pick for 16/32-bit mov imm.
+                        asm.opcode(&[0xB8 + (gpr_number(dst.name) & 7)]);
+                        if w == Width::W {
+                            let v16: i16 = (*v)
+                                .try_into()
+                                .map_err(|_| EncodeError::ImmediateRange(inst.to_string()))?;
+                            asm.bytes.extend_from_slice(&v16.to_le_bytes());
+                        } else {
+                            let v32 = (*v) as i32;
+                            asm.imm32(v32);
+                        }
+                    }
+                }
+                (Operand::Imm(v), Operand::Mem(mem)) => {
+                    set_mem_rex(&mut asm, mem);
+                    asm.opcode(&[if byte_form { 0xC6 } else { 0xC7 }]);
+                    asm.mem_operand(0, mem)?;
+                    emit_imm_for_width(&mut asm, *v, w)?;
+                }
+                (Operand::Reg(Reg::Gpr(src)), Operand::Reg(Reg::Gpr(dst))) => {
+                    asm.rex_for_byte_reg(*src);
+                    asm.rex_for_byte_reg(*dst);
+                    asm.rex_r(gpr_number(src.name) >= 8);
+                    asm.rex_b(gpr_number(dst.name) >= 8);
+                    asm.opcode(&[if byte_form { 0x88 } else { 0x89 }]);
+                    asm.modrm(0b11, gpr_number(src.name), gpr_number(dst.name));
+                }
+                (Operand::Reg(Reg::Gpr(src)), Operand::Mem(mem)) => {
+                    asm.rex_for_byte_reg(*src);
+                    asm.rex_r(gpr_number(src.name) >= 8);
+                    set_mem_rex(&mut asm, mem);
+                    asm.opcode(&[if byte_form { 0x88 } else { 0x89 }]);
+                    asm.mem_operand(gpr_number(src.name), mem)?;
+                }
+                (Operand::Mem(mem), Operand::Reg(Reg::Gpr(dst))) => {
+                    asm.rex_for_byte_reg(*dst);
+                    asm.rex_r(gpr_number(dst.name) >= 8);
+                    set_mem_rex(&mut asm, mem);
+                    asm.opcode(&[if byte_form { 0x8A } else { 0x8B }]);
+                    asm.mem_operand(gpr_number(dst.name), mem)?;
+                }
+                _ => return Err(unsupported()),
+            }
+        }
+        Lea(w) => {
+            if w != Width::Q && w != Width::L {
+                return Err(unsupported());
+            }
+            apply_width(&mut asm, w);
+            let (Operand::Mem(mem), Some(Operand::Reg(Reg::Gpr(dst)))) =
+                (&inst.operands[0], inst.operands.get(1))
+            else {
+                return Err(unsupported());
+            };
+            asm.rex_r(gpr_number(dst.name) >= 8);
+            set_mem_rex(&mut asm, mem);
+            asm.opcode(&[0x8D]);
+            asm.mem_operand(gpr_number(dst.name), mem)?;
+        }
+        Inc(w) | Dec(w) => {
+            let byte_form = apply_width(&mut asm, w);
+            let digit = if matches!(m, Inc(_)) { 0 } else { 1 };
+            let rm = rm_of(&inst.operands[0]).ok_or_else(unsupported)?;
+            prepare_rm(&mut asm, &rm);
+            asm.opcode(&[if byte_form { 0xFE } else { 0xFF }]);
+            emit_rm(&mut asm, digit, &rm)?;
+        }
+        Neg(w) => {
+            let byte_form = apply_width(&mut asm, w);
+            let rm = rm_of(&inst.operands[0]).ok_or_else(unsupported)?;
+            prepare_rm(&mut asm, &rm);
+            asm.opcode(&[if byte_form { 0xF6 } else { 0xF7 }]);
+            emit_rm(&mut asm, 3, &rm)?;
+        }
+        Shl(w) | Shr(w) => {
+            let byte_form = apply_width(&mut asm, w);
+            let digit = if matches!(m, Shl(_)) { 4 } else { 5 };
+            let Operand::Imm(amount) = inst.operands[0] else {
+                return Err(unsupported());
+            };
+            let rm = rm_of(&inst.operands[1]).ok_or_else(unsupported)?;
+            prepare_rm(&mut asm, &rm);
+            if amount == 1 {
+                asm.opcode(&[if byte_form { 0xD0 } else { 0xD1 }]);
+                emit_rm(&mut asm, digit, &rm)?;
+            } else {
+                asm.opcode(&[if byte_form { 0xC0 } else { 0xC1 }]);
+                emit_rm(&mut asm, digit, &rm)?;
+                asm.imm8(
+                    i8::try_from(amount)
+                        .map_err(|_| EncodeError::ImmediateRange(inst.to_string()))?,
+                );
+            }
+        }
+        Imul(w) => {
+            if w == Width::B {
+                return Err(unsupported());
+            }
+            apply_width(&mut asm, w);
+            let Operand::Reg(Reg::Gpr(dst)) = inst.operands[1] else {
+                return Err(unsupported());
+            };
+            asm.rex_r(gpr_number(dst.name) >= 8);
+            match &inst.operands[0] {
+                Operand::Reg(Reg::Gpr(src)) => {
+                    asm.rex_b(gpr_number(src.name) >= 8);
+                    asm.opcode(&[0x0F, 0xAF]);
+                    asm.modrm(0b11, gpr_number(dst.name), gpr_number(src.name));
+                }
+                Operand::Mem(mem) => {
+                    set_mem_rex(&mut asm, mem);
+                    asm.opcode(&[0x0F, 0xAF]);
+                    asm.mem_operand(gpr_number(dst.name), mem)?;
+                }
+                _ => return Err(unsupported()),
+            }
+        }
+        _ => return Err(unsupported()),
+    }
+    Ok(asm.finish())
+}
+
+/// Either side of a ModRM r/m slot.
+enum RmSlot {
+    Reg(Gpr),
+    Mem(MemRef),
+}
+
+fn rm_of(op: &Operand) -> Option<RmSlot> {
+    match op {
+        Operand::Reg(Reg::Gpr(g)) => Some(RmSlot::Reg(*g)),
+        Operand::Mem(m) => Some(RmSlot::Mem(*m)),
+        _ => None,
+    }
+}
+
+fn prepare_rm(asm: &mut Asm, rm: &RmSlot) {
+    match rm {
+        RmSlot::Reg(g) => {
+            asm.rex_for_byte_reg(*g);
+            asm.rex_b(gpr_number(g.name) >= 8);
+        }
+        RmSlot::Mem(mem) => set_mem_rex(asm, mem),
+    }
+}
+
+fn emit_rm(asm: &mut Asm, digit: u8, rm: &RmSlot) -> Result<(), EncodeError> {
+    match rm {
+        RmSlot::Reg(g) => {
+            asm.modrm(0b11, digit, gpr_number(g.name));
+            Ok(())
+        }
+        RmSlot::Mem(mem) => asm.mem_operand(digit, mem),
+    }
+}
+
+fn set_mem_rex(asm: &mut Asm, mem: &MemRef) {
+    if let Some(Reg::Gpr(b)) = mem.base {
+        asm.rex_b(gpr_number(b.name) >= 8);
+    }
+    if let Some((Reg::Gpr(i), _)) = mem.index {
+        asm.rex_x(gpr_number(i.name) >= 8);
+    }
+}
+
+/// ALU immediate forms: 83 /digit ib (sign-extended) or 81 /digit id;
+/// byte operands use 80 /digit ib.
+fn encode_alu_imm(
+    asm: &mut Asm,
+    digit: u8,
+    v: i64,
+    dst: &Operand,
+    byte_form: bool,
+) -> Result<(), EncodeError> {
+    // Accumulator short forms (`04+8·digit ib` / `05+8·digit iw/id`) — the
+    // encodings GNU as prefers when they are no longer than the generic
+    // ModRM form.
+    if let Some(g) = gpr_operand(dst) {
+        if g.name == GprName::Rax {
+            if byte_form {
+                asm.opcode(&[digit * 8 + 4]);
+                asm.imm8(
+                    i8::try_from(v)
+                        .map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?,
+                );
+                return Ok(());
+            }
+            if i8::try_from(v).is_err() {
+                asm.opcode(&[digit * 8 + 5]);
+                emit_imm_for_width(
+                    asm,
+                    v,
+                    if asm.prefix66 { Width::W } else { Width::L },
+                )?;
+                return Ok(());
+            }
+        }
+    }
+    let rm = rm_of(dst).ok_or_else(|| EncodeError::Unsupported("imm to non-r/m".into()))?;
+    prepare_rm(asm, &rm);
+    if byte_form {
+        asm.opcode(&[0x80]);
+        emit_rm(asm, digit, &rm)?;
+        asm.imm8(i8::try_from(v).map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?);
+    } else if let Ok(v8) = i8::try_from(v) {
+        asm.opcode(&[0x83]);
+        emit_rm(asm, digit, &rm)?;
+        asm.imm8(v8);
+    } else {
+        let v32: i32 =
+            v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
+        asm.opcode(&[0x81]);
+        emit_rm(asm, digit, &rm)?;
+        asm.imm32(v32);
+    }
+    Ok(())
+}
+
+fn emit_imm_for_width(asm: &mut Asm, v: i64, w: Width) -> Result<(), EncodeError> {
+    match w {
+        Width::B => asm.imm8(
+            i8::try_from(v).map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?,
+        ),
+        Width::W => {
+            let v16: i16 =
+                v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
+            asm.bytes.extend_from_slice(&v16.to_le_bytes());
+        }
+        Width::L | Width::Q => {
+            let v32: i32 =
+                v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
+            asm.imm32(v32);
+        }
+    }
+    Ok(())
+}
+
+/// Assembles a full listing, resolving labels with GNU-as-style branch
+/// relaxation (short rel8 forms where the displacement fits).
+pub fn encode_program(lines: &[AsmLine]) -> Result<EncodedProgram, EncodeError> {
+    // Pre-encode every non-branch instruction once.
+    enum Item {
+        Fixed(Vec<u8>),
+        Branch { cond: Option<Cond>, target: String, short: bool },
+        Label(String),
+    }
+    let mut items = Vec::new();
+    for line in lines {
+        match line {
+            AsmLine::Label(l) => items.push(Item::Label(l.clone())),
+            AsmLine::Comment(_) | AsmLine::Directive(_) => {}
+            AsmLine::Inst(inst) => {
+                if inst.mnemonic.is_branch() {
+                    let target = inst
+                        .target_label()
+                        .ok_or_else(|| EncodeError::Unsupported(inst.to_string()))?
+                        .to_owned();
+                    let cond = match inst.mnemonic {
+                        Mnemonic::Jcc(c) => Some(c),
+                        _ => None,
+                    };
+                    // Start optimistic (short) and grow as needed.
+                    items.push(Item::Branch { cond, target, short: true });
+                } else {
+                    items.push(Item::Fixed(encode_instruction(inst)?));
+                }
+            }
+        }
+    }
+
+    let branch_len = |cond: Option<Cond>, short: bool| -> usize {
+        match (cond, short) {
+            (_, true) => 2,
+            (None, false) => 5,
+            (Some(_), false) => 6,
+        }
+    };
+
+    // Relax until the layout is stable.
+    loop {
+        // Compute offsets under the current size assumptions.
+        let mut offset = 0usize;
+        let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+        let mut offsets = Vec::with_capacity(items.len());
+        for item in &items {
+            offsets.push(offset);
+            match item {
+                Item::Fixed(bytes) => offset += bytes.len(),
+                Item::Branch { cond, short, .. } => offset += branch_len(*cond, *short),
+                Item::Label(l) => {
+                    labels.insert(l.clone(), offset);
+                }
+            }
+        }
+        // Grow any short branch whose displacement no longer fits.
+        let mut grew = false;
+        for (i, item) in items.iter_mut().enumerate() {
+            if let Item::Branch { cond, target, short } = item {
+                if !*short {
+                    continue;
+                }
+                let target_off = *labels
+                    .get(target.as_str())
+                    .ok_or_else(|| EncodeError::UnknownLabel(target.clone()))?
+                    as i64;
+                let end = offsets[i] as i64 + branch_len(*cond, true) as i64;
+                let rel = target_off - end;
+                if i8::try_from(rel).is_err() {
+                    *short = false;
+                    grew = true;
+                }
+            }
+        }
+        if grew {
+            continue;
+        }
+
+        // Stable: emit.
+        let mut bytes = Vec::with_capacity(offset);
+        let mut instruction_offsets = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                Item::Label(_) => {}
+                Item::Fixed(b) => {
+                    instruction_offsets.push(offsets[i]);
+                    bytes.extend_from_slice(b);
+                }
+                Item::Branch { cond, target, short } => {
+                    instruction_offsets.push(offsets[i]);
+                    let target_off = labels[target.as_str()] as i64;
+                    let end = offsets[i] as i64 + branch_len(*cond, *short) as i64;
+                    let rel = target_off - end;
+                    match (cond, short) {
+                        (None, true) => {
+                            bytes.push(0xEB);
+                            bytes.push(rel as i8 as u8);
+                        }
+                        (Some(c), true) => {
+                            bytes.push(0x70 + cond_number(*c));
+                            bytes.push(rel as i8 as u8);
+                        }
+                        (None, false) => {
+                            bytes.push(0xE9);
+                            bytes.extend_from_slice(&(rel as i32).to_le_bytes());
+                        }
+                        (Some(c), false) => {
+                            bytes.push(0x0F);
+                            bytes.push(0x80 + cond_number(*c));
+                            bytes.extend_from_slice(&(rel as i32).to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        return Ok(EncodedProgram { bytes, labels, instruction_offsets });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_instruction, parse_listing};
+
+    fn enc(text: &str) -> Vec<u8> {
+        encode_instruction(&parse_instruction(text).unwrap())
+            .unwrap_or_else(|e| panic!("{text}: {e}"))
+    }
+
+    #[test]
+    fn known_encodings() {
+        // Spot checks against GNU as output (full corpus equivalence in
+        // tests/gnu_as_equivalence.rs).
+        assert_eq!(enc("nop"), vec![0x90]);
+        assert_eq!(enc("ret"), vec![0xC3]);
+        assert_eq!(enc("addq $1, %rax"), vec![0x48, 0x83, 0xC0, 0x01]);
+        assert_eq!(enc("addq $48, %rsi"), vec![0x48, 0x83, 0xC6, 0x30]);
+        assert_eq!(enc("subq $12, %rdi"), vec![0x48, 0x83, 0xEF, 0x0C]);
+        assert_eq!(enc("addq $1000, %rsi"), vec![0x48, 0x81, 0xC6, 0xE8, 0x03, 0x00, 0x00]);
+        assert_eq!(enc("addl $1, %eax"), vec![0x83, 0xC0, 0x01]);
+        assert_eq!(enc("movaps (%rsi), %xmm0"), vec![0x0F, 0x28, 0x06]);
+        assert_eq!(enc("movaps %xmm0, (%rsi)"), vec![0x0F, 0x29, 0x06]);
+        assert_eq!(enc("movaps 16(%rsi), %xmm1"), vec![0x0F, 0x28, 0x4E, 0x10]);
+        assert_eq!(enc("movss (%rsi), %xmm0"), vec![0xF3, 0x0F, 0x10, 0x06]);
+        assert_eq!(enc("movsd (%rdx,%rax,8), %xmm0"), vec![0xF2, 0x0F, 0x10, 0x04, 0xC2]);
+        assert_eq!(enc("mulsd (%r8), %xmm0"), vec![0xF2, 0x41, 0x0F, 0x59, 0x00]);
+        assert_eq!(enc("addsd %xmm0, %xmm1"), vec![0xF2, 0x0F, 0x58, 0xC8]);
+        assert_eq!(enc("cmpl %eax, %edi"), vec![0x39, 0xC7]);
+        assert_eq!(enc("movq %rsi, %rdi"), vec![0x48, 0x89, 0xF7]);
+        assert_eq!(enc("movl $1, %eax"), vec![0xB8, 0x01, 0x00, 0x00, 0x00]);
+        assert_eq!(enc("movq $7, %rax"), vec![0x48, 0xC7, 0xC0, 0x07, 0x00, 0x00, 0x00]);
+        assert_eq!(enc("leaq 8(%rsi,%rdi,4), %rax"), vec![0x48, 0x8D, 0x44, 0xBE, 0x08]);
+        assert_eq!(enc("decq %rcx"), vec![0x48, 0xFF, 0xC9]);
+        assert_eq!(enc("movntps %xmm0, 64(%r11)"), vec![0x41, 0x0F, 0x2B, 0x43, 0x40]);
+        assert_eq!(enc("xorl %eax, %eax"), vec![0x31, 0xC0]);
+    }
+
+    #[test]
+    fn rsp_rbp_addressing_quirks() {
+        // rsp base needs SIB; rbp base needs an explicit disp.
+        assert_eq!(enc("movq (%rsp), %rax"), vec![0x48, 0x8B, 0x04, 0x24]);
+        assert_eq!(enc("movq (%rbp), %rax"), vec![0x48, 0x8B, 0x45, 0x00]);
+        assert_eq!(enc("movq (%r12), %rax"), vec![0x49, 0x8B, 0x04, 0x24]);
+        assert_eq!(enc("movq (%r13), %rax"), vec![0x49, 0x8B, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn displacement_width_selection() {
+        assert_eq!(enc("movq 127(%rsi), %rax").len(), 4, "disp8");
+        assert_eq!(enc("movq 128(%rsi), %rax").len(), 7, "disp32");
+        assert_eq!(enc("movq -128(%rsi), %rax").len(), 4, "disp8 negative");
+        assert_eq!(enc("movq -129(%rsi), %rax").len(), 7, "disp32 negative");
+    }
+
+    #[test]
+    fn figure8_program_assembles_with_short_branch() {
+        let listing = "\
+.L6:
+movaps %xmm0, (%rsi)
+movaps 16(%rsi), %xmm1
+movaps %xmm2, 32(%rsi)
+addq $48, %rsi
+subq $12, %rdi
+jge .L6
+";
+        let lines = parse_listing(listing).unwrap();
+        let encoded = encode_program(&lines).unwrap();
+        assert_eq!(encoded.labels[".L6"], 0);
+        // Backward short jge: 0x7D rel8.
+        let n = encoded.bytes.len();
+        assert_eq!(encoded.bytes[n - 2], 0x7D);
+        let rel = encoded.bytes[n - 1] as i8;
+        assert_eq!(n as i64 + i64::from(rel), 0, "branch lands on .L6");
+    }
+
+    #[test]
+    fn long_branches_relax_to_rel32() {
+        // 50 movaps (4 bytes each with disp8… actually 3-4) push the
+        // backward branch past -128.
+        let mut listing = String::from(".L0:\n");
+        for i in 0..50 {
+            listing.push_str(&format!("movaps {}(%rsi), %xmm1\n", i * 16));
+        }
+        listing.push_str("jge .L0\n");
+        let lines = parse_listing(&listing).unwrap();
+        let encoded = encode_program(&lines).unwrap();
+        let n = encoded.bytes.len();
+        // Last 6 bytes: 0F 8D rel32.
+        assert_eq!(&encoded.bytes[n - 6..n - 4], &[0x0F, 0x8D]);
+        let rel = i32::from_le_bytes(encoded.bytes[n - 4..].try_into().unwrap());
+        assert_eq!(n as i64 + i64::from(rel), 0);
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let lines = parse_listing("jmp .Lnowhere\n").unwrap();
+        assert!(matches!(encode_program(&lines), Err(EncodeError::UnknownLabel(_))));
+    }
+
+    #[test]
+    fn unsupported_forms_error_cleanly() {
+        let i = parse_instruction("imulb $3, %al");
+        // imul byte form doesn't parse as 2-op; construct directly instead.
+        assert!(i.is_err() || encode_instruction(&i.unwrap()).is_err());
+    }
+}

@@ -1,0 +1,791 @@
+//! Mnemonics, operands and concrete instructions.
+
+use crate::reg::{ArchReg, Reg};
+use std::fmt;
+
+/// Operand-size suffix for integer instructions (`addq`, `cmpl`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit (`b`).
+    B,
+    /// 16-bit (`w`).
+    W,
+    /// 32-bit (`l`).
+    L,
+    /// 64-bit (`q`).
+    Q,
+}
+
+impl Width {
+    /// AT&T suffix letter.
+    pub fn suffix(self) -> char {
+        match self {
+            Width::B => 'b',
+            Width::W => 'w',
+            Width::L => 'l',
+            Width::Q => 'q',
+        }
+    }
+
+    /// Operand size in bytes.
+    pub fn bytes(self) -> u8 {
+        match self {
+            Width::B => 1,
+            Width::W => 2,
+            Width::L => 4,
+            Width::Q => 8,
+        }
+    }
+}
+
+/// Condition codes for `j<cc>` branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    E,
+    Ne,
+    G,
+    Ge,
+    L,
+    Le,
+    A,
+    Ae,
+    B,
+    Be,
+    S,
+    Ns,
+}
+
+impl Cond {
+    /// AT&T condition-code suffix (`jge` → `"ge"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        }
+    }
+
+    /// Parses a condition-code suffix.
+    pub fn from_suffix(s: &str) -> Option<Cond> {
+        Some(match s {
+            "e" => Cond::E,
+            "ne" => Cond::Ne,
+            "g" => Cond::G,
+            "ge" => Cond::Ge,
+            "l" => Cond::L,
+            "le" => Cond::Le,
+            "a" => Cond::A,
+            "ae" => Cond::Ae,
+            "b" => Cond::B,
+            "be" => Cond::Be,
+            "s" => Cond::S,
+            "ns" => Cond::Ns,
+            _ => return None,
+        })
+    }
+}
+
+/// The instruction mnemonics modelled by MicroTools.
+///
+/// Integer ALU mnemonics carry their width suffix (matching AT&T spelling,
+/// e.g. `Add(Width::Q)` formats as `addq`); SSE mnemonics have fixed names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Mnemonic {
+    // Integer ALU.
+    Add(Width),
+    Sub(Width),
+    Imul(Width),
+    And(Width),
+    Or(Width),
+    Xor(Width),
+    Cmp(Width),
+    Test(Width),
+    Mov(Width),
+    Lea(Width),
+    Inc(Width),
+    Dec(Width),
+    Shl(Width),
+    Shr(Width),
+    Neg(Width),
+
+    // SSE data movement. `A` = aligned, `U` = unaligned, `Nt` = streaming
+    // (non-temporal).
+    Movss,
+    Movsd,
+    Movaps,
+    Movapd,
+    Movups,
+    Movupd,
+    Movdqa,
+    Movdqu,
+    Movntps,
+    Movntpd,
+
+    // SSE arithmetic.
+    Addss,
+    Addsd,
+    Addps,
+    Addpd,
+    Subss,
+    Subsd,
+    Subps,
+    Subpd,
+    Mulss,
+    Mulsd,
+    Mulps,
+    Mulpd,
+    Divss,
+    Divsd,
+    Divps,
+    Divpd,
+    Xorps,
+    Xorpd,
+    Sqrtsd,
+    Maxsd,
+    Minsd,
+
+    // Control flow.
+    Jmp,
+    Jcc(Cond),
+    Ret,
+    Nop,
+}
+
+impl Mnemonic {
+    /// AT&T spelling.
+    pub fn name(self) -> String {
+        match self {
+            Mnemonic::Add(w) => format!("add{}", w.suffix()),
+            Mnemonic::Sub(w) => format!("sub{}", w.suffix()),
+            Mnemonic::Imul(w) => format!("imul{}", w.suffix()),
+            Mnemonic::And(w) => format!("and{}", w.suffix()),
+            Mnemonic::Or(w) => format!("or{}", w.suffix()),
+            Mnemonic::Xor(w) => format!("xor{}", w.suffix()),
+            Mnemonic::Cmp(w) => format!("cmp{}", w.suffix()),
+            Mnemonic::Test(w) => format!("test{}", w.suffix()),
+            Mnemonic::Mov(w) => format!("mov{}", w.suffix()),
+            Mnemonic::Lea(w) => format!("lea{}", w.suffix()),
+            Mnemonic::Inc(w) => format!("inc{}", w.suffix()),
+            Mnemonic::Dec(w) => format!("dec{}", w.suffix()),
+            Mnemonic::Shl(w) => format!("shl{}", w.suffix()),
+            Mnemonic::Shr(w) => format!("shr{}", w.suffix()),
+            Mnemonic::Neg(w) => format!("neg{}", w.suffix()),
+            Mnemonic::Movss => "movss".into(),
+            Mnemonic::Movsd => "movsd".into(),
+            Mnemonic::Movaps => "movaps".into(),
+            Mnemonic::Movapd => "movapd".into(),
+            Mnemonic::Movups => "movups".into(),
+            Mnemonic::Movupd => "movupd".into(),
+            Mnemonic::Movdqa => "movdqa".into(),
+            Mnemonic::Movdqu => "movdqu".into(),
+            Mnemonic::Movntps => "movntps".into(),
+            Mnemonic::Movntpd => "movntpd".into(),
+            Mnemonic::Addss => "addss".into(),
+            Mnemonic::Addsd => "addsd".into(),
+            Mnemonic::Addps => "addps".into(),
+            Mnemonic::Addpd => "addpd".into(),
+            Mnemonic::Subss => "subss".into(),
+            Mnemonic::Subsd => "subsd".into(),
+            Mnemonic::Subps => "subps".into(),
+            Mnemonic::Subpd => "subpd".into(),
+            Mnemonic::Mulss => "mulss".into(),
+            Mnemonic::Mulsd => "mulsd".into(),
+            Mnemonic::Mulps => "mulps".into(),
+            Mnemonic::Mulpd => "mulpd".into(),
+            Mnemonic::Divss => "divss".into(),
+            Mnemonic::Divsd => "divsd".into(),
+            Mnemonic::Divps => "divps".into(),
+            Mnemonic::Divpd => "divpd".into(),
+            Mnemonic::Xorps => "xorps".into(),
+            Mnemonic::Xorpd => "xorpd".into(),
+            Mnemonic::Sqrtsd => "sqrtsd".into(),
+            Mnemonic::Maxsd => "maxsd".into(),
+            Mnemonic::Minsd => "minsd".into(),
+            Mnemonic::Jmp => "jmp".into(),
+            Mnemonic::Jcc(c) => format!("j{}", c.suffix()),
+            Mnemonic::Ret => "ret".into(),
+            Mnemonic::Nop => "nop".into(),
+        }
+    }
+
+    /// Parses an AT&T mnemonic.
+    pub fn from_name(name: &str) -> Option<Mnemonic> {
+        if !name.is_ascii() {
+            return None;
+        }
+        // Fixed-name mnemonics first (so `movsd` is not parsed as mov+sd).
+        let fixed = match name {
+            "movss" => Some(Mnemonic::Movss),
+            "movsd" => Some(Mnemonic::Movsd),
+            "movaps" => Some(Mnemonic::Movaps),
+            "movapd" => Some(Mnemonic::Movapd),
+            "movups" => Some(Mnemonic::Movups),
+            "movupd" => Some(Mnemonic::Movupd),
+            "movdqa" => Some(Mnemonic::Movdqa),
+            "movdqu" => Some(Mnemonic::Movdqu),
+            "movntps" => Some(Mnemonic::Movntps),
+            "movntpd" => Some(Mnemonic::Movntpd),
+            "addss" => Some(Mnemonic::Addss),
+            "addsd" => Some(Mnemonic::Addsd),
+            "addps" => Some(Mnemonic::Addps),
+            "addpd" => Some(Mnemonic::Addpd),
+            "subss" => Some(Mnemonic::Subss),
+            "subsd" => Some(Mnemonic::Subsd),
+            "subps" => Some(Mnemonic::Subps),
+            "subpd" => Some(Mnemonic::Subpd),
+            "mulss" => Some(Mnemonic::Mulss),
+            "mulsd" => Some(Mnemonic::Mulsd),
+            "mulps" => Some(Mnemonic::Mulps),
+            "mulpd" => Some(Mnemonic::Mulpd),
+            "divss" => Some(Mnemonic::Divss),
+            "divsd" => Some(Mnemonic::Divsd),
+            "divps" => Some(Mnemonic::Divps),
+            "divpd" => Some(Mnemonic::Divpd),
+            "xorps" => Some(Mnemonic::Xorps),
+            "xorpd" => Some(Mnemonic::Xorpd),
+            "sqrtsd" => Some(Mnemonic::Sqrtsd),
+            "maxsd" => Some(Mnemonic::Maxsd),
+            "minsd" => Some(Mnemonic::Minsd),
+            "jmp" => Some(Mnemonic::Jmp),
+            "ret" => Some(Mnemonic::Ret),
+            "nop" => Some(Mnemonic::Nop),
+            _ => None,
+        };
+        if fixed.is_some() {
+            return fixed;
+        }
+        if let Some(cc) = name.strip_prefix('j').and_then(Cond::from_suffix) {
+            return Some(Mnemonic::Jcc(cc));
+        }
+        // Width-suffixed integer ops.
+        let (stem, last) = name.split_at(name.len().checked_sub(1)?);
+        let width = match last {
+            "b" => Width::B,
+            "w" => Width::W,
+            "l" => Width::L,
+            "q" => Width::Q,
+            _ => return None,
+        };
+        Some(match stem {
+            "add" => Mnemonic::Add(width),
+            "sub" => Mnemonic::Sub(width),
+            "imul" => Mnemonic::Imul(width),
+            "and" => Mnemonic::And(width),
+            "or" => Mnemonic::Or(width),
+            "xor" => Mnemonic::Xor(width),
+            "cmp" => Mnemonic::Cmp(width),
+            "test" => Mnemonic::Test(width),
+            "mov" => Mnemonic::Mov(width),
+            "lea" => Mnemonic::Lea(width),
+            "inc" => Mnemonic::Inc(width),
+            "dec" => Mnemonic::Dec(width),
+            "shl" => Mnemonic::Shl(width),
+            "shr" => Mnemonic::Shr(width),
+            "neg" => Mnemonic::Neg(width),
+            _ => return None,
+        })
+    }
+
+    /// True for `jmp` and `j<cc>`.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Mnemonic::Jmp | Mnemonic::Jcc(_))
+    }
+}
+
+/// A memory reference: `disp(base, index, scale)` in AT&T syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemRef {
+    /// Base register.
+    pub base: Option<Reg>,
+    /// Index register and scale (1, 2, 4 or 8).
+    pub index: Option<(Reg, u8)>,
+    /// Constant displacement.
+    pub disp: i64,
+}
+
+impl MemRef {
+    /// `disp(%base)`.
+    pub fn base_disp(base: Reg, disp: i64) -> Self {
+        MemRef { base: Some(base), index: None, disp }
+    }
+
+    /// `disp(%base, %index, scale)`.
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i64) -> Self {
+        debug_assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
+        MemRef { base: Some(base), index: Some((index, scale)), disp }
+    }
+
+    /// Registers read to form the address.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disp != 0 || (self.base.is_none() && self.index.is_none()) {
+            write!(f, "{}", self.disp)?;
+        }
+        if self.base.is_some() || self.index.is_some() {
+            write!(f, "(")?;
+            if let Some(b) = self.base {
+                write!(f, "{b}")?;
+            }
+            if let Some((idx, scale)) = self.index {
+                write!(f, ",{idx},{scale}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// An instruction operand. AT&T order: sources first, destination last.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Immediate value (`$42`).
+    Imm(i64),
+    /// Register.
+    Reg(Reg),
+    /// Memory reference.
+    Mem(MemRef),
+    /// Branch-target label (`.L6`).
+    Label(String),
+}
+
+impl Operand {
+    /// Returns the contained register, if any.
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained memory reference, if any.
+    pub fn as_mem(&self) -> Option<&MemRef> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained immediate, if any.
+    pub fn as_imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Imm(i) => write!(f, "${i}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Label(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A concrete instruction: mnemonic plus operands in AT&T order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub mnemonic: Mnemonic,
+    /// Operands, sources first, destination last (AT&T convention).
+    pub operands: Vec<Operand>,
+}
+
+impl Inst {
+    /// Builds an instruction.
+    pub fn new(mnemonic: Mnemonic, operands: Vec<Operand>) -> Self {
+        Inst { mnemonic, operands }
+    }
+
+    /// Zero-operand instruction (`ret`, `nop`).
+    pub fn nullary(mnemonic: Mnemonic) -> Self {
+        Inst { mnemonic, operands: Vec::new() }
+    }
+
+    /// Two-operand helper: `mnemonic src, dst`.
+    pub fn binary(mnemonic: Mnemonic, src: Operand, dst: Operand) -> Self {
+        Inst { mnemonic, operands: vec![src, dst] }
+    }
+
+    /// Branch to a label.
+    pub fn branch(mnemonic: Mnemonic, label: impl Into<String>) -> Self {
+        debug_assert!(mnemonic.is_branch());
+        Inst { mnemonic, operands: vec![Operand::Label(label.into())] }
+    }
+
+    /// The destination operand (last, by AT&T convention), if any.
+    pub fn dst(&self) -> Option<&Operand> {
+        if self.mnemonic.is_branch() {
+            return None;
+        }
+        self.operands.last()
+    }
+
+    /// The source operands (all but the last for 2+-operand forms).
+    pub fn srcs(&self) -> &[Operand] {
+        if self.mnemonic.is_branch() {
+            return &self.operands;
+        }
+        match self.operands.len() {
+            0 => &[],
+            // Single-operand ALU forms (inc/dec/neg) read their operand too.
+            1 => &self.operands[..1],
+            n => &self.operands[..n - 1],
+        }
+    }
+
+    /// The memory reference this instruction *loads* from, if any.
+    ///
+    /// A memory operand in a source position is a load — including the
+    /// memory side of load-op instructions such as `mulsd (%r8), %xmm0`.
+    /// Streaming/plain stores have their memory operand in the destination
+    /// position and are not loads. `lea` computes an address without
+    /// touching memory and is never a load.
+    pub fn load_ref(&self) -> Option<&MemRef> {
+        if matches!(self.mnemonic, Mnemonic::Lea(_)) {
+            return None;
+        }
+        self.srcs().iter().find_map(Operand::as_mem).or_else(|| {
+            // Read-modify-write forms (`addq $1, (%rsi)`) also load their
+            // destination. `mov`-class and SSE moves only write it.
+            if self.reads_dst() {
+                self.dst().and_then(Operand::as_mem)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The memory reference this instruction *stores* to, if any.
+    pub fn store_ref(&self) -> Option<&MemRef> {
+        if self.mnemonic.is_branch() || matches!(self.mnemonic, Mnemonic::Cmp(_) | Mnemonic::Test(_)) {
+            return None;
+        }
+        self.dst().and_then(Operand::as_mem)
+    }
+
+    /// Whether the destination register/memory is also a source (two-operand
+    /// x86 ALU semantics). `mov`-class instructions and `lea` only write.
+    pub fn reads_dst(&self) -> bool {
+        use Mnemonic::*;
+        !matches!(
+            self.mnemonic,
+            Mov(_) | Lea(_)
+                | Movss
+                | Movsd
+                | Movaps
+                | Movapd
+                | Movups
+                | Movupd
+                | Movdqa
+                | Movdqu
+                | Movntps
+                | Movntpd
+                | Jmp
+                | Jcc(_)
+                | Ret
+                | Nop
+        )
+    }
+
+    /// Architectural registers read by this instruction, including address
+    /// registers of memory operands and flags for conditional branches.
+    pub fn regs_read(&self) -> Vec<ArchReg> {
+        let mut out = Vec::new();
+        for op in self.srcs() {
+            match op {
+                Operand::Reg(r) => out.push(r.arch_id()),
+                Operand::Mem(m) => out.extend(m.regs().map(Reg::arch_id)),
+                _ => {}
+            }
+        }
+        if let Some(dst) = self.dst() {
+            match dst {
+                Operand::Reg(r) if self.reads_dst() => out.push(r.arch_id()),
+                Operand::Mem(m) => {
+                    // Address registers are always read, even for pure
+                    // stores; data at the address only for RMW forms.
+                    out.extend(m.regs().map(Reg::arch_id));
+                }
+                _ => {}
+            }
+        }
+        if matches!(self.mnemonic, Mnemonic::Jcc(_)) {
+            out.push(ArchReg::Flags);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Architectural registers written by this instruction, including flags
+    /// for ALU/compare operations.
+    pub fn regs_written(&self) -> Vec<ArchReg> {
+        use Mnemonic::*;
+        let mut out = Vec::new();
+        if !matches!(self.mnemonic, Cmp(_) | Test(_) | Jmp | Jcc(_) | Ret | Nop) {
+            if let Some(Operand::Reg(r)) = self.dst() {
+                out.push(r.arch_id());
+            }
+        }
+        if matches!(
+            self.mnemonic,
+            Add(_) | Sub(_) | Imul(_) | And(_) | Or(_) | Xor(_) | Cmp(_) | Test(_) | Inc(_)
+                | Dec(_)
+                | Shl(_)
+                | Shr(_)
+                | Neg(_)
+        ) {
+            out.push(ArchReg::Flags);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The branch-target label, for branch instructions.
+    pub fn target_label(&self) -> Option<&str> {
+        if !self.mnemonic.is_branch() {
+            return None;
+        }
+        match self.operands.first() {
+            Some(Operand::Label(l)) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::format::write_instruction(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::GprName;
+
+    fn rsi() -> Reg {
+        Reg::gpr(GprName::Rsi)
+    }
+    fn rdi() -> Reg {
+        Reg::gpr(GprName::Rdi)
+    }
+
+    #[test]
+    fn width_properties() {
+        assert_eq!(Width::Q.suffix(), 'q');
+        assert_eq!(Width::L.bytes(), 4);
+        assert_eq!(Width::B.bytes(), 1);
+    }
+
+    #[test]
+    fn mnemonic_names_roundtrip() {
+        let all = [
+            Mnemonic::Add(Width::Q),
+            Mnemonic::Sub(Width::L),
+            Mnemonic::Cmp(Width::L),
+            Mnemonic::Imul(Width::Q),
+            Mnemonic::Movss,
+            Mnemonic::Movsd,
+            Mnemonic::Movaps,
+            Mnemonic::Movapd,
+            Mnemonic::Movups,
+            Mnemonic::Movntps,
+            Mnemonic::Mulsd,
+            Mnemonic::Addsd,
+            Mnemonic::Divpd,
+            Mnemonic::Xorps,
+            Mnemonic::Jmp,
+            Mnemonic::Jcc(Cond::Ge),
+            Mnemonic::Jcc(Cond::Ne),
+            Mnemonic::Ret,
+            Mnemonic::Nop,
+            Mnemonic::Lea(Width::Q),
+            Mnemonic::Dec(Width::Q),
+        ];
+        for m in all {
+            assert_eq!(Mnemonic::from_name(&m.name()), Some(m), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn movsd_not_parsed_as_suffixed_mov() {
+        // `movsd` must be the SSE move, not `movs` + `d` (nor mov + sd).
+        assert_eq!(Mnemonic::from_name("movsd"), Some(Mnemonic::Movsd));
+        // `movq`, on the other hand, is the integer mov.
+        assert_eq!(Mnemonic::from_name("movq"), Some(Mnemonic::Mov(Width::Q)));
+    }
+
+    #[test]
+    fn from_name_rejects_unknown() {
+        assert_eq!(Mnemonic::from_name("frobq"), None);
+        assert_eq!(Mnemonic::from_name(""), None);
+        assert_eq!(Mnemonic::from_name("jxx"), None);
+    }
+
+    #[test]
+    fn memref_display_forms() {
+        assert_eq!(MemRef::base_disp(rsi(), 0).to_string(), "(%rsi)");
+        assert_eq!(MemRef::base_disp(rsi(), 16).to_string(), "16(%rsi)");
+        assert_eq!(MemRef::base_disp(rsi(), -8).to_string(), "-8(%rsi)");
+        assert_eq!(
+            MemRef::base_index(Reg::gpr(GprName::Rdx), Reg::gpr(GprName::Rax), 8, 0).to_string(),
+            "(%rdx,%rax,8)"
+        );
+        assert_eq!(
+            MemRef::base_index(Reg::gpr(GprName::R10), Reg::gpr(GprName::R9), 1, 4).to_string(),
+            "4(%r10,%r9,1)"
+        );
+    }
+
+    #[test]
+    fn load_store_classification() {
+        // Load: movaps 16(%rsi), %xmm1
+        let load = Inst::binary(
+            Mnemonic::Movaps,
+            Operand::Mem(MemRef::base_disp(rsi(), 16)),
+            Operand::Reg(Reg::xmm(1)),
+        );
+        assert!(load.load_ref().is_some());
+        assert!(load.store_ref().is_none());
+
+        // Store: movaps %xmm0, (%rsi)
+        let store = Inst::binary(
+            Mnemonic::Movaps,
+            Operand::Reg(Reg::xmm(0)),
+            Operand::Mem(MemRef::base_disp(rsi(), 0)),
+        );
+        assert!(store.load_ref().is_none());
+        assert!(store.store_ref().is_some());
+
+        // Load-op: mulsd (%r8), %xmm0 — a load, not a store.
+        let load_op = Inst::binary(
+            Mnemonic::Mulsd,
+            Operand::Mem(MemRef::base_disp(Reg::gpr(GprName::R8), 0)),
+            Operand::Reg(Reg::xmm(0)),
+        );
+        assert!(load_op.load_ref().is_some());
+        assert!(load_op.store_ref().is_none());
+
+        // RMW: addq $1, (%rsi) — both load and store.
+        let rmw = Inst::binary(
+            Mnemonic::Add(Width::Q),
+            Operand::Imm(1),
+            Operand::Mem(MemRef::base_disp(rsi(), 0)),
+        );
+        assert!(rmw.load_ref().is_some());
+        assert!(rmw.store_ref().is_some());
+
+        // cmp with memory operand loads but never stores.
+        let cmp = Inst::binary(
+            Mnemonic::Cmp(Width::Q),
+            Operand::Imm(0),
+            Operand::Mem(MemRef::base_disp(rsi(), 0)),
+        );
+        assert!(cmp.load_ref().is_some());
+        assert!(cmp.store_ref().is_none());
+    }
+
+    #[test]
+    fn regs_read_written_alu() {
+        // addq $48, %rsi: reads rsi (RMW), writes rsi + flags.
+        let i = Inst::binary(Mnemonic::Add(Width::Q), Operand::Imm(48), Operand::Reg(rsi()));
+        assert_eq!(i.regs_read(), vec![ArchReg::Gpr(GprName::Rsi)]);
+        let written = i.regs_written();
+        assert!(written.contains(&ArchReg::Gpr(GprName::Rsi)));
+        assert!(written.contains(&ArchReg::Flags));
+    }
+
+    #[test]
+    fn regs_read_written_sse_move() {
+        // movaps %xmm0, (%rsi): reads xmm0 and rsi (address), writes nothing
+        // architectural (memory only).
+        let i = Inst::binary(
+            Mnemonic::Movaps,
+            Operand::Reg(Reg::xmm(0)),
+            Operand::Mem(MemRef::base_disp(rsi(), 0)),
+        );
+        let read = i.regs_read();
+        assert!(read.contains(&ArchReg::Xmm(0)));
+        assert!(read.contains(&ArchReg::Gpr(GprName::Rsi)));
+        assert!(i.regs_written().is_empty());
+    }
+
+    #[test]
+    fn regs_pure_load_writes_only_dst() {
+        let i = Inst::binary(
+            Mnemonic::Movaps,
+            Operand::Mem(MemRef::base_disp(rsi(), 16)),
+            Operand::Reg(Reg::xmm(1)),
+        );
+        assert_eq!(i.regs_read(), vec![ArchReg::Gpr(GprName::Rsi)]);
+        assert_eq!(i.regs_written(), vec![ArchReg::Xmm(1)]);
+    }
+
+    #[test]
+    fn conditional_branch_reads_flags() {
+        let i = Inst::branch(Mnemonic::Jcc(Cond::Ge), ".L6");
+        assert_eq!(i.regs_read(), vec![ArchReg::Flags]);
+        assert!(i.regs_written().is_empty());
+        assert_eq!(i.target_label(), Some(".L6"));
+        assert!(i.dst().is_none());
+    }
+
+    #[test]
+    fn cmp_writes_flags_not_operand() {
+        let i = Inst::binary(Mnemonic::Cmp(Width::L), Operand::Reg(Reg::gpr32(GprName::Rax)), Operand::Reg(Reg::gpr32(GprName::Rdi)));
+        assert_eq!(i.regs_written(), vec![ArchReg::Flags]);
+        let read = i.regs_read();
+        assert!(read.contains(&ArchReg::Gpr(GprName::Rax)));
+        assert!(read.contains(&ArchReg::Gpr(GprName::Rdi)));
+    }
+
+    #[test]
+    fn lea_reads_address_regs_writes_dst_no_flags() {
+        let i = Inst::binary(
+            Mnemonic::Lea(Width::Q),
+            Operand::Mem(MemRef::base_index(rsi(), rdi(), 4, 8)),
+            Operand::Reg(Reg::gpr(GprName::Rax)),
+        );
+        let read = i.regs_read();
+        assert!(read.contains(&ArchReg::Gpr(GprName::Rsi)));
+        assert!(read.contains(&ArchReg::Gpr(GprName::Rdi)));
+        assert_eq!(i.regs_written(), vec![ArchReg::Gpr(GprName::Rax)]);
+        assert!(i.load_ref().is_none(), "lea computes an address, it does not load");
+    }
+
+    #[test]
+    fn mov_does_not_read_dst() {
+        let i = Inst::binary(Mnemonic::Mov(Width::Q), Operand::Reg(rsi()), Operand::Reg(rdi()));
+        assert_eq!(i.regs_read(), vec![ArchReg::Gpr(GprName::Rsi)]);
+        assert_eq!(i.regs_written(), vec![ArchReg::Gpr(GprName::Rdi)]);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        assert_eq!(Operand::Imm(5).as_imm(), Some(5));
+        assert_eq!(Operand::Reg(rsi()).as_reg(), Some(rsi()));
+        assert!(Operand::Label(".L1".into()).as_mem().is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # mc-asm — x86-64 instruction subset model
+//!
+//! MicroCreator emits AT&T-syntax x86-64 assembly (paper Figures 2 and 8) and
+//! MicroLauncher consumes it. This crate is the shared vocabulary between the
+//! generator, the launcher, the simulator and the interpreter:
+//!
+//! * [`reg`] — general-purpose and XMM registers with their width views and
+//!   AT&T names (`%rsi`, `%eax`, `%xmm0`, …),
+//! * [`inst`] — mnemonics, operands and concrete instructions,
+//! * [`attrs`] — static per-instruction attributes (memory-move byte counts,
+//!   vector-ness, execution class, registers read/written) used by the
+//!   timing model and the dependency analysis,
+//! * [`mod@format`] — AT&T text emission,
+//! * [`parse`] — AT&T text parsing (the launcher's "assembler").
+//!
+//! The subset covers everything the paper's kernels use — SSE moves
+//! (`movss`/`movsd`/`movaps`/`movapd` plus unaligned and streaming forms),
+//! SSE arithmetic, integer ALU ops with width suffixes, `lea`, compares,
+//! conditional branches — and formats/parses losslessly:
+//!
+//! ```
+//! use mc_asm::parse::parse_instruction;
+//! let i = parse_instruction("movsd (%rdx,%rax,8), %xmm0").unwrap();
+//! assert_eq!(i.to_string(), "movsd (%rdx,%rax,8), %xmm0");
+//! assert!(i.load_ref().is_some());
+//! ```
+
+pub mod attrs;
+pub mod decode;
+pub mod encode;
+pub mod format;
+pub mod inst;
+pub mod parse;
+pub mod reg;
+
+pub use attrs::{InstClass, MemMoveInfo};
+pub use decode::{decode_instruction, decode_listing};
+pub use encode::{encode_instruction, encode_program, EncodedProgram};
+pub use inst::{Cond, Inst, MemRef, Mnemonic, Operand, Width};
+pub use reg::{Gpr, GprName, Reg};

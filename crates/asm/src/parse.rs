@@ -1,0 +1,388 @@
+//! AT&T assembly text parsing — MicroLauncher's "assembler".
+//!
+//! The paper's MicroLauncher accepts assembly files produced by MicroCreator
+//! (or written by hand) and compiles them with GCC. In this reproduction the
+//! launcher instead parses the text back into [`Inst`] values and executes
+//! them on the simulator/interpreter, so the parser accepts exactly the
+//! dialect the formatter emits plus common hand-written forms (flexible
+//! whitespace, `#` comments, directives).
+
+use crate::format::AsmLine;
+use crate::inst::{Inst, MemRef, Mnemonic, Operand};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A parse error with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmParseError {}
+
+/// Parses a full assembly listing into lines (labels, instructions,
+/// directives, comments). Blank lines are dropped.
+pub fn parse_listing(text: &str) -> Result<Vec<AsmLine>, AsmParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut line = raw.trim();
+        // Trailing comment after code: split it off and keep both.
+        let mut trailing_comment = None;
+        if let Some(hash) = line.find('#') {
+            let (code, comment) = line.split_at(hash);
+            if code.trim().is_empty() {
+                out.push(AsmLine::Comment(comment[1..].to_owned()));
+                continue;
+            }
+            trailing_comment = Some(comment[1..].to_owned());
+            line = code.trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            validate_label(label, lineno)?;
+            out.push(AsmLine::Label(label.to_owned()));
+        } else if line.starts_with('.') {
+            out.push(AsmLine::Directive(line.to_owned()));
+        } else {
+            out.push(AsmLine::Inst(parse_instruction_at(line, lineno)?));
+        }
+        if let Some(c) = trailing_comment {
+            out.push(AsmLine::Comment(c));
+        }
+    }
+    Ok(out)
+}
+
+fn validate_label(label: &str, line: usize) -> Result<(), AsmParseError> {
+    let ok = !label.is_empty()
+        && label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '$');
+    if ok {
+        Ok(())
+    } else {
+        Err(AsmParseError { line, message: format!("invalid label `{label}`") })
+    }
+}
+
+/// Parses a single instruction (no label, no comment).
+pub fn parse_instruction(text: &str) -> Result<Inst, AsmParseError> {
+    parse_instruction_at(text, 1)
+}
+
+fn parse_instruction_at(text: &str, line: usize) -> Result<Inst, AsmParseError> {
+    let err = |message: String| AsmParseError { line, message };
+    let text = text.trim();
+    let (name, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let mnemonic = Mnemonic::from_name(name)
+        .ok_or_else(|| err(format!("unknown mnemonic `{name}`")))?;
+    let mut operands = Vec::new();
+    if !rest.is_empty() {
+        for part in split_operands(rest) {
+            operands.push(parse_operand(part.trim(), mnemonic, line)?);
+        }
+    }
+    validate_arity(&mnemonic, &operands, line)?;
+    Ok(Inst::new(mnemonic, operands))
+}
+
+/// Splits an operand list on commas that are not inside parentheses
+/// (memory operands contain commas: `(%rdx,%rax,8)`).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_operand(s: &str, mnemonic: Mnemonic, line: usize) -> Result<Operand, AsmParseError> {
+    let err = |message: String| AsmParseError { line, message };
+    if s.is_empty() {
+        return Err(err("empty operand".into()));
+    }
+    if let Some(imm) = s.strip_prefix('$') {
+        let v = parse_int(imm).ok_or_else(|| err(format!("invalid immediate `{s}`")))?;
+        return Ok(Operand::Imm(v));
+    }
+    if let Some(name) = s.strip_prefix('%') {
+        let r = Reg::from_name(name).ok_or_else(|| err(format!("unknown register `{s}`")))?;
+        return Ok(Operand::Reg(r));
+    }
+    if s.contains('(') {
+        return parse_mem(s, line).map(Operand::Mem);
+    }
+    if mnemonic.is_branch() {
+        validate_label(s, line)?;
+        return Ok(Operand::Label(s.to_owned()));
+    }
+    // Bare integer without parens: absolute memory reference.
+    if let Some(v) = parse_int(s) {
+        return Ok(Operand::Mem(MemRef { base: None, index: None, disp: v }));
+    }
+    Err(err(format!("cannot parse operand `{s}`")))
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(hex) = s.strip_prefix("-0x").or_else(|| s.strip_prefix("-0X")) {
+        return i64::from_str_radix(hex, 16).ok().map(|v| -v);
+    }
+    s.parse().ok()
+}
+
+fn parse_mem(s: &str, line: usize) -> Result<MemRef, AsmParseError> {
+    let err = |message: String| AsmParseError { line, message };
+    let open = s.find('(').ok_or_else(|| err(format!("expected `(` in `{s}`")))?;
+    let close = s.rfind(')').ok_or_else(|| err(format!("unterminated memory operand `{s}`")))?;
+    if close != s.len() - 1 {
+        return Err(err(format!("trailing characters after `)` in `{s}`")));
+    }
+    let disp_str = &s[..open];
+    let disp = if disp_str.is_empty() {
+        0
+    } else {
+        parse_int(disp_str).ok_or_else(|| err(format!("invalid displacement `{disp_str}`")))?
+    };
+    let inner = &s[open + 1..close];
+    let fields: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if fields.len() > 3 {
+        return Err(err(format!("too many fields in memory operand `{s}`")));
+    }
+    let parse_reg = |f: &str| -> Result<Reg, AsmParseError> {
+        f.strip_prefix('%')
+            .and_then(Reg::from_name)
+            .ok_or_else(|| err(format!("unknown register `{f}` in `{s}`")))
+    };
+    let base = match fields.first() {
+        Some(&"") | None => None,
+        Some(f) => Some(parse_reg(f)?),
+    };
+    let index = match fields.get(1) {
+        None | Some(&"") => None,
+        Some(f) => {
+            let reg = parse_reg(f)?;
+            let scale: u8 = match fields.get(2) {
+                None | Some(&"") => 1,
+                Some(sc) => sc
+                    .parse()
+                    .ok()
+                    .filter(|v| matches!(v, 1 | 2 | 4 | 8))
+                    .ok_or_else(|| err(format!("invalid scale in `{s}`")))?,
+            };
+            Some((reg, scale))
+        }
+    };
+    if base.is_none() && index.is_none() && disp == 0 {
+        return Err(err(format!("empty memory operand `{s}`")));
+    }
+    Ok(MemRef { base, index, disp })
+}
+
+fn validate_arity(m: &Mnemonic, ops: &[Operand], line: usize) -> Result<(), AsmParseError> {
+    use Mnemonic::*;
+    let expected: std::ops::RangeInclusive<usize> = match m {
+        Ret | Nop => 0..=0,
+        Jmp | Jcc(_) => 1..=1,
+        Inc(_) | Dec(_) | Neg(_) => 1..=1,
+        _ => 2..=2,
+    };
+    if expected.contains(&ops.len()) {
+        Ok(())
+    } else {
+        Err(AsmParseError {
+            line,
+            message: format!(
+                "`{}` expects {:?} operand(s), found {}",
+                m.name(),
+                expected,
+                ops.len()
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, Width};
+    use crate::reg::GprName;
+
+    #[test]
+    fn parses_figure2_kernel() {
+        let text = "\
+.L3:
+\tmovsd (%rdx,%rax,8), %xmm0
+\taddq $1, %rax
+\tmulsd (%r8), %xmm0
+\taddq %r11, %r8
+\tcmpl %eax, %edi
+\taddsd %xmm0, %xmm1
+\tmovsd %xmm1, (%r10,%r9)
+\tjg .L3
+";
+        let lines = parse_listing(text).unwrap();
+        assert_eq!(lines.len(), 9);
+        assert_eq!(lines[0], AsmLine::Label(".L3".into()));
+        let insts: Vec<&Inst> = lines
+            .iter()
+            .filter_map(|l| match l {
+                AsmLine::Inst(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(insts.len(), 8);
+        assert_eq!(insts[0].mnemonic, Mnemonic::Movsd);
+        assert_eq!(insts[4].mnemonic, Mnemonic::Cmp(Width::L));
+        assert_eq!(insts[7].mnemonic, Mnemonic::Jcc(Cond::G));
+        // Default scale of 1 when omitted: (%r10,%r9)
+        let store_mem = insts[6].store_ref().unwrap();
+        assert_eq!(store_mem.index.unwrap().1, 1);
+    }
+
+    #[test]
+    fn roundtrip_format_parse() {
+        let cases = [
+            "movsd (%rdx,%rax,8), %xmm0",
+            "addq $1, %rax",
+            "mulsd (%r8), %xmm0",
+            "addsd %xmm0, %xmm1",
+            "jg .L3",
+            "jge .L6",
+            "movaps %xmm2, 32(%rsi)",
+            "subq $-12, %rdi",
+            "cmpl %eax, %edi",
+            "decq %rcx",
+            "leaq 8(%rsi,%rdi,4), %rax",
+            "ret",
+            "nop",
+            "movntps %xmm0, 64(%r11)",
+        ];
+        for text in cases {
+            let inst = parse_instruction(text).unwrap();
+            assert_eq!(inst.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_directives() {
+        let text = "# standalone\n.globl kernel\nmovaps (%rsi), %xmm0 # trailing\n";
+        let lines = parse_listing(text).unwrap();
+        assert_eq!(lines[0], AsmLine::Comment(" standalone".into()));
+        assert_eq!(lines[1], AsmLine::Directive(".globl kernel".into()));
+        assert!(matches!(lines[2], AsmLine::Inst(_)));
+        assert_eq!(lines[3], AsmLine::Comment(" trailing".into()));
+    }
+
+    #[test]
+    fn parses_zero_disp_with_explicit_zero() {
+        // Figure 8 writes `0(%rsi)`.
+        let i = parse_instruction("movaps %xmm0, 0(%rsi)").unwrap();
+        let mem = i.store_ref().unwrap();
+        assert_eq!(mem.disp, 0);
+        assert_eq!(mem.base, Some(Reg::gpr(GprName::Rsi)));
+    }
+
+    #[test]
+    fn parses_hex_immediates_and_disps() {
+        let i = parse_instruction("addq $0x10, %rsi").unwrap();
+        assert_eq!(i.operands[0].as_imm(), Some(16));
+        let i = parse_instruction("movaps -0x20(%rsi), %xmm0").unwrap();
+        assert_eq!(i.load_ref().unwrap().disp, -32);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "nop\nbogus %rax\n";
+        let err = parse_listing(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_register() {
+        let err = parse_instruction("addq $1, %rfoo").unwrap_err();
+        assert!(err.message.contains("unknown register"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        let err = parse_instruction("movsd (%rdx,%rax,3), %xmm0").unwrap_err();
+        assert!(err.message.contains("scale"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = parse_instruction("addq $1").unwrap_err();
+        assert!(err.message.contains("expects"), "{err}");
+        let err = parse_instruction("ret %rax").unwrap_err();
+        assert!(err.message.contains("expects"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let err = parse_listing("foo bar:\n").unwrap_err();
+        assert!(err.message.contains("invalid label") || err.message.contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let lines = parse_listing("\n\n  \nnop\n\n").unwrap();
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn absolute_memory_operand() {
+        let i = parse_instruction("movq 4096, %rax").unwrap();
+        let mem = i.load_ref().unwrap();
+        assert_eq!(mem.disp, 4096);
+        assert!(mem.base.is_none());
+    }
+
+    #[test]
+    fn listing_roundtrips_through_writer() {
+        use crate::format::write_lines;
+        let text = "\
+.L6:
+\tmovaps %xmm0, (%rsi)
+\tmovaps 16(%rsi), %xmm1
+\taddq $48, %rsi
+\tsubq $12, %rdi
+\tjge .L6
+";
+        let lines = parse_listing(text).unwrap();
+        let rendered = write_lines(&lines);
+        assert_eq!(rendered, text);
+        // And parsing the rendered text yields the same structure.
+        assert_eq!(parse_listing(&rendered).unwrap(), lines);
+    }
+}

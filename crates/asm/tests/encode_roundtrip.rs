@@ -1,0 +1,160 @@
+//! Property tests: encode → decode is the identity on the supported
+//! subset, for single instructions and for whole labelled programs.
+
+use mc_asm::decode::{decode_instruction, decode_listing};
+use mc_asm::encode::{encode_instruction, encode_program};
+use mc_asm::format::write_lines;
+use mc_asm::inst::{Inst, MemRef, Mnemonic, Operand, Width};
+use mc_asm::parse::parse_listing;
+use mc_asm::reg::{GprName, Reg};
+use proptest::prelude::*;
+
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::L), Just(Width::Q)]
+}
+
+fn gpr64() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::gpr(GprName::ALL[i]))
+}
+
+fn gpr(w: Width) -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(move |i| Reg::Gpr(mc_asm::reg::Gpr { name: GprName::ALL[i], width: w }))
+}
+
+fn mem() -> impl Strategy<Value = MemRef> {
+    (
+        gpr64(),
+        prop::option::of((
+            (0usize..16).prop_filter("rsp cannot index", |&i| GprName::ALL[i] != GprName::Rsp),
+            prop::sample::select(vec![1u8, 2, 4, 8]),
+        )),
+        prop::sample::select(vec![0i64, 4, 16, 127, 128, -8, -128, -4096, 100_000]),
+    )
+        .prop_map(|(base, index, disp)| MemRef {
+            base: Some(base),
+            index: index.map(|(i, s)| (Reg::gpr(GprName::ALL[i]), s)),
+            disp,
+        })
+}
+
+fn sse_move() -> impl Strategy<Value = Inst> {
+    let mnemonic = prop::sample::select(vec![
+        Mnemonic::Movss,
+        Mnemonic::Movsd,
+        Mnemonic::Movaps,
+        Mnemonic::Movapd,
+        Mnemonic::Movups,
+        Mnemonic::Movdqu,
+    ]);
+    (mnemonic, mem(), 0u8..16, any::<bool>()).prop_map(|(m, mem, x, store)| {
+        if store {
+            Inst::binary(m, Operand::Reg(Reg::Xmm(x)), Operand::Mem(mem))
+        } else {
+            Inst::binary(m, Operand::Mem(mem), Operand::Reg(Reg::Xmm(x)))
+        }
+    })
+}
+
+fn sse_arith() -> impl Strategy<Value = Inst> {
+    let mnemonic = prop::sample::select(vec![
+        Mnemonic::Addss,
+        Mnemonic::Addsd,
+        Mnemonic::Mulsd,
+        Mnemonic::Subpd,
+        Mnemonic::Divps,
+        Mnemonic::Xorps,
+    ]);
+    (mnemonic, 0u8..16, 0u8..16, prop::option::of(mem())).prop_map(|(m, a, b, src_mem)| {
+        match src_mem {
+            Some(mem) => Inst::binary(m, Operand::Mem(mem), Operand::Reg(Reg::Xmm(b))),
+            None => Inst::binary(m, Operand::Reg(Reg::Xmm(a)), Operand::Reg(Reg::Xmm(b))),
+        }
+    })
+}
+
+fn int_alu() -> impl Strategy<Value = Inst> {
+    (
+        prop::sample::select(vec![0u8, 1, 2, 3, 4]),
+        width(),
+        prop::sample::select(vec![0i64, 1, 12, 48, 127, 128, 1000, -1, -128, 100_000]),
+        gpr64(),
+        prop::option::of(mem()),
+        any::<bool>(),
+    )
+        .prop_map(|(which, w, imm, reg64, maybe_mem, use_imm)| {
+            let m = match which {
+                0 => Mnemonic::Add(w),
+                1 => Mnemonic::Sub(w),
+                2 => Mnemonic::And(w),
+                3 => Mnemonic::Xor(w),
+                _ => Mnemonic::Cmp(w),
+            };
+            let reg = match (reg64, w) {
+                (Reg::Gpr(g), w) => Reg::Gpr(mc_asm::reg::Gpr { name: g.name, width: w }),
+                (other, _) => other,
+            };
+            match (use_imm, maybe_mem) {
+                (true, Some(mem)) => Inst::binary(m, Operand::Imm(imm), Operand::Mem(mem)),
+                (true, None) => Inst::binary(m, Operand::Imm(imm), Operand::Reg(reg)),
+                (false, Some(mem)) => Inst::binary(m, Operand::Reg(reg), Operand::Mem(mem)),
+                (false, None) => Inst::binary(m, Operand::Reg(reg), Operand::Reg(reg)),
+            }
+        })
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![sse_move(), sse_arith(), int_alu()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_identity(inst in any_inst()) {
+        let bytes = match encode_instruction(&inst) {
+            Ok(b) => b,
+            // A few generated forms are legitimately unsupported
+            // (e.g. imm out of i32 range); skip those.
+            Err(_) => return Ok(()),
+        };
+        let decoded = decode_instruction(&bytes, 0)
+            .unwrap_or_else(|e| panic!("{inst} [{bytes:02x?}]: {e}"));
+        prop_assert_eq!(decoded.len, bytes.len());
+        prop_assert_eq!(decoded.inst.to_string(), inst.to_string());
+        // Idempotent: re-encoding the decoded form gives the same bytes.
+        let again = encode_instruction(&decoded.inst).unwrap();
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn program_roundtrip_with_random_bodies(
+        insts in prop::collection::vec(any_inst(), 1..24),
+        backward in any::<bool>(),
+    ) {
+        // Wrap the body in a loop: label, body, decrement, branch.
+        let mut text = String::from(".Ltop:\n");
+        for i in &insts {
+            if encode_instruction(i).is_err() {
+                return Ok(());
+            }
+            text.push_str(&format!("\t{i}\n"));
+        }
+        text.push_str("\tsubq $1, %rdi\n");
+        if backward {
+            text.push_str("\tjge .Ltop\n");
+        } else {
+            text.push_str("\tjge .Lout\n.Lout:\n");
+        }
+        let lines = parse_listing(&text).unwrap();
+        let encoded = encode_program(&lines).unwrap();
+        let decoded = decode_listing(&encoded.bytes).unwrap();
+        let reencoded = encode_program(&decoded).unwrap();
+        prop_assert_eq!(
+            &reencoded.bytes,
+            &encoded.bytes,
+            "bytes diverged for:\n{}\nvs decoded:\n{}",
+            text,
+            write_lines(&decoded)
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Byte-for-byte equivalence with GNU `as`: every instruction form the
+//! encoder supports must produce exactly the bytes binutils produces,
+//! including branch relaxation. Self-skips when binutils is unavailable.
+
+#![cfg(target_arch = "x86_64")]
+
+use mc_asm::encode::{encode_instruction, encode_program};
+use mc_asm::parse::{parse_instruction, parse_listing};
+use std::process::Command;
+
+fn binutils_available() -> bool {
+    Command::new("as").arg("--version").output().is_ok_and(|o| o.status.success())
+        && Command::new("objcopy").arg("--version").output().is_ok_and(|o| o.status.success())
+}
+
+/// Assembles `text` with GNU as and returns the raw .text bytes.
+fn gnu_assemble(text: &str) -> Result<Vec<u8>, String> {
+    let dir = std::env::temp_dir().join(format!("mc_as_{}_{:x}", std::process::id(), fnv(text)));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let src = dir.join("t.s");
+    let obj = dir.join("t.o");
+    let bin = dir.join("t.bin");
+    std::fs::write(&src, text).map_err(|e| e.to_string())?;
+    let out = Command::new("as")
+        .arg("-o")
+        .arg(&obj)
+        .arg(&src)
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("as failed: {}", String::from_utf8_lossy(&out.stderr)));
+    }
+    let out = Command::new("objcopy")
+        .arg("-O")
+        .arg("binary")
+        .arg("--only-section=.text")
+        .arg(&obj)
+        .arg(&bin)
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("objcopy failed: {}", String::from_utf8_lossy(&out.stderr)));
+    }
+    let bytes = std::fs::read(&bin).map_err(|e| e.to_string())?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(bytes)
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn hexdump(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(" ")
+}
+
+/// The instruction corpus: every mnemonic family × addressing-mode shape
+/// the encoder supports.
+fn corpus() -> Vec<String> {
+    let mut cases: Vec<String> = vec![
+        "nop", "ret",
+        // Integer ALU, imm8/imm32, rr, rm, mr — several widths.
+        "addq $1, %rax", "addq $48, %rsi", "addq $1000, %rsi", "addq $-16, %rdx",
+        "addl $1, %eax", "addw $5, %cx", "addb $3, %al", "addb $3, %sil",
+        "subq $12, %rdi", "subl $100000, %ebx",
+        "andq $15, %r8", "orq $8, %r9", "xorq $255, %r10",
+        "cmpq $0, %r11", "cmpl %eax, %edi", "cmpq %r12, %r13",
+        "addq %rax, %rbx", "addq %rax, (%rsi)", "addq (%rsi), %rax",
+        "addq %r15, 8(%r14)", "subq (%rbx,%rcx,4), %rdx",
+        "testq %rax, %rax", "testl %edi, %edi", "testq $7, %rcx",
+        "testq $7, %rax", "testb $1, %al", "testl $66000, %eax",
+        "addl $100000, %eax", "cmpq $200, %rax", "subb $9, %al",
+        "andq $4, %rax", "orl $3, %eax",
+        // mov family.
+        "movq %rsi, %rdi", "movl %eax, %ebx", "movw %ax, %bx", "movb %al, %bl",
+        "movq (%rsi), %rax", "movq %rax, (%rsi)", "movl 4(%rdi), %ecx",
+        "movq $7, %rax", "movq $-1, %rbx", "movl $1, %eax", "movl $100000, %edx",
+        "movb $5, %al", "movq $0, 16(%rsp)", "movl $9, (%r8)",
+        // lea.
+        "leaq 8(%rsi,%rdi,4), %rax", "leaq (%rdx), %rbx", "leal 1(%eax... skip",
+        // inc/dec/neg/shifts.
+        "incq %rax", "decq %rcx", "incl %edx", "decb %bl", "negq %rsi",
+        "shlq $4, %rax", "shrq $3, %rbx", "shlq $1, %rcx", "shrl $2, %edi",
+        // imul.
+        "imulq %rbx, %rax", "imulq (%rsi), %rdx", "imull %ecx, %eax",
+        // rsp/rbp/r12/r13 quirks.
+        "movq (%rsp), %rax", "movq (%rbp), %rax", "movq (%r12), %rax",
+        "movq (%r13), %rax", "movq 8(%rsp), %rdx", "addq $1, (%r13)",
+        // Displacement widths.
+        "movq 127(%rsi), %rax", "movq 128(%rsi), %rax", "movq -128(%rsi), %rax",
+        "movq -129(%rsi), %rax",
+    ]
+    .into_iter()
+    .filter(|c| !c.contains("skip"))
+    .map(str::to_owned)
+    .collect();
+
+    // SSE moves: all mnemonics × load/store × plain/disp/indexed bases,
+    // low and high xmm/GPR numbers.
+    for m in ["movss", "movsd", "movaps", "movapd", "movups", "movupd", "movdqa", "movdqu"] {
+        cases.push(format!("{m} (%rsi), %xmm0"));
+        cases.push(format!("{m} %xmm0, (%rsi)"));
+        cases.push(format!("{m} 16(%rsi), %xmm1"));
+        cases.push(format!("{m} %xmm2, 32(%rsi)"));
+        cases.push(format!("{m} (%rdx,%rax,8), %xmm3"));
+        cases.push(format!("{m} %xmm9, (%r8)"));
+        cases.push(format!("{m} (%r13), %xmm12"));
+        cases.push(format!("{m} %xmm1, %xmm2"));
+        cases.push(format!("{m} %xmm10, %xmm11"));
+    }
+    for m in ["movntps", "movntpd"] {
+        cases.push(format!("{m} %xmm0, (%rsi)"));
+        cases.push(format!("{m} %xmm8, 64(%r11)"));
+    }
+    // SSE arithmetic.
+    for m in [
+        "addss", "addsd", "addps", "addpd", "subss", "subsd", "subps", "subpd", "mulss",
+        "mulsd", "mulps", "mulpd", "divss", "divsd", "divps", "divpd", "xorps", "xorpd",
+        "sqrtsd", "maxsd", "minsd",
+    ] {
+        cases.push(format!("{m} %xmm0, %xmm1"));
+        cases.push(format!("{m} (%rsi), %xmm2"));
+        cases.push(format!("{m} 8(%r9), %xmm14"));
+        cases.push(format!("{m} %xmm13, %xmm4"));
+    }
+    cases
+}
+
+#[test]
+fn every_supported_instruction_matches_binutils() {
+    if !binutils_available() {
+        eprintln!("skipping: binutils not available");
+        return;
+    }
+    // Batch: assemble the whole corpus as one unit (one `as` invocation),
+    // then compare instruction by instruction via offsets.
+    let cases = corpus();
+    let mut ours: Vec<(String, Vec<u8>)> = Vec::with_capacity(cases.len());
+    for text in &cases {
+        let inst = parse_instruction(text).unwrap_or_else(|e| panic!("parse {text}: {e}"));
+        let bytes =
+            encode_instruction(&inst).unwrap_or_else(|e| panic!("encode {text}: {e}"));
+        ours.push((text.clone(), bytes));
+    }
+    let listing: String =
+        cases.iter().map(|c| format!("\t{c}\n")).collect::<String>();
+    let reference = gnu_assemble(&listing).expect("binutils assembles the corpus");
+    let mut offset = 0usize;
+    for (text, bytes) in &ours {
+        let end = (offset + bytes.len()).min(reference.len());
+        let theirs = &reference[offset..end];
+        assert_eq!(
+            bytes.as_slice(),
+            theirs,
+            "`{text}`: ours [{}] vs as [{}]",
+            hexdump(bytes),
+            hexdump(theirs)
+        );
+        offset += bytes.len();
+    }
+    assert_eq!(offset, reference.len(), "trailing reference bytes unaccounted for");
+}
+
+#[test]
+fn whole_programs_match_binutils_including_relaxation() {
+    if !binutils_available() {
+        eprintln!("skipping: binutils not available");
+        return;
+    }
+    let programs = [
+        // Figure 8, short backward branch.
+        "\
+.L6:
+\tmovaps %xmm0, (%rsi)
+\tmovaps 16(%rsi), %xmm1
+\tmovaps %xmm2, 32(%rsi)
+\taddq $48, %rsi
+\tsubq $12, %rdi
+\tjge .L6
+",
+        // Figure 2's inner kernel.
+        "\
+.L3:
+\tmovsd (%rdx,%rax,8), %xmm0
+\taddq $1, %rax
+\tmulsd (%r8), %xmm0
+\taddq %r11, %r8
+\tcmpl %eax, %edi
+\taddsd %xmm0, %xmm1
+\tmovsd %xmm1, (%r10,%r9,1)
+\tjg .L3
+",
+        // Forward jump over a block, then a long backward loop.
+        &{
+            let mut s = String::from("\tjmp .Lend\n.Lloop:\n");
+            for i in 0..40 {
+                s.push_str(&format!("\tmovaps {}(%rsi), %xmm{}\n", i * 16, i % 8));
+            }
+            s.push_str("\tsubq $160, %rdi\n\tjge .Lloop\n.Lend:\n\tret\n");
+            s
+        },
+    ];
+    for text in programs {
+        let lines = parse_listing(text).unwrap();
+        let ours = encode_program(&lines).unwrap();
+        let theirs = gnu_assemble(text).expect("as assembles");
+        assert_eq!(
+            ours.bytes,
+            theirs,
+            "program mismatch:\n{text}\nours:   {}\ntheirs: {}",
+            hexdump(&ours.bytes),
+            hexdump(&theirs)
+        );
+    }
+}

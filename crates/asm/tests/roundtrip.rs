@@ -1,0 +1,142 @@
+//! Property tests: every formattable instruction parses back to itself.
+
+use mc_asm::inst::{Cond, Inst, MemRef, Mnemonic, Operand, Width};
+use mc_asm::parse::parse_instruction;
+use mc_asm::reg::{GprName, Reg};
+use proptest::prelude::*;
+
+fn width_strategy() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B), Just(Width::W), Just(Width::L), Just(Width::Q)]
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::E),
+        Just(Cond::Ne),
+        Just(Cond::G),
+        Just(Cond::Ge),
+        Just(Cond::L),
+        Just(Cond::Le),
+        Just(Cond::A),
+        Just(Cond::Ae),
+        Just(Cond::B),
+        Just(Cond::Be),
+        Just(Cond::S),
+        Just(Cond::Ns),
+    ]
+}
+
+fn gpr_strategy() -> impl Strategy<Value = Reg> {
+    (0usize..16, width_strategy()).prop_map(|(i, w)| {
+        Reg::Gpr(mc_asm::reg::Gpr { name: GprName::ALL[i], width: w })
+    })
+}
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    prop_oneof![gpr_strategy(), (0u8..16).prop_map(Reg::Xmm)]
+}
+
+fn gpr64_strategy() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::gpr(GprName::ALL[i]))
+}
+
+fn mem_strategy() -> impl Strategy<Value = MemRef> {
+    (
+        prop::option::of(gpr64_strategy()),
+        prop::option::of((gpr64_strategy(), prop::sample::select(vec![1u8, 2, 4, 8]))),
+        -4096i64..4096,
+    )
+        .prop_filter_map("must reference something", |(base, index, disp)| {
+            if base.is_none() && index.is_none() {
+                if disp > 0 {
+                    Some(MemRef { base, index, disp })
+                } else {
+                    None
+                }
+            } else {
+                Some(MemRef { base, index, disp })
+            }
+        })
+}
+
+fn two_op_mnemonic() -> impl Strategy<Value = Mnemonic> {
+    prop_oneof![
+        width_strategy().prop_map(Mnemonic::Add),
+        width_strategy().prop_map(Mnemonic::Sub),
+        width_strategy().prop_map(Mnemonic::Cmp),
+        width_strategy().prop_map(Mnemonic::Mov),
+        Just(Mnemonic::Movss),
+        Just(Mnemonic::Movsd),
+        Just(Mnemonic::Movaps),
+        Just(Mnemonic::Movapd),
+        Just(Mnemonic::Movups),
+        Just(Mnemonic::Addsd),
+        Just(Mnemonic::Mulsd),
+        Just(Mnemonic::Addps),
+        Just(Mnemonic::Mulps),
+        Just(Mnemonic::Xorps),
+    ]
+}
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (-65536i64..65536).prop_map(Operand::Imm),
+        reg_strategy().prop_map(Operand::Reg),
+        mem_strategy().prop_map(Operand::Mem),
+    ]
+}
+
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (two_op_mnemonic(), operand_strategy(), prop_oneof![reg_strategy().prop_map(Operand::Reg), mem_strategy().prop_map(Operand::Mem)])
+            .prop_map(|(m, s, d)| Inst::binary(m, s, d)),
+        cond_strategy().prop_map(|c| Inst::branch(Mnemonic::Jcc(c), ".L6")),
+        Just(Inst::branch(Mnemonic::Jmp, ".Lloop")),
+        Just(Inst::nullary(Mnemonic::Ret)),
+        Just(Inst::nullary(Mnemonic::Nop)),
+        (width_strategy(), gpr_strategy()).prop_map(|(w, r)| Inst::new(Mnemonic::Dec(w), vec![Operand::Reg(r)])),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn format_parse_roundtrip(inst in inst_strategy()) {
+        let text = inst.to_string();
+        let parsed = parse_instruction(&text)
+            .unwrap_or_else(|e| panic!("failed to parse `{text}`: {e}"));
+        prop_assert_eq!(parsed, inst);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,80}") {
+        let _ = parse_instruction(&s);
+        let _ = mc_asm::parse::parse_listing(&s);
+    }
+
+    #[test]
+    fn loads_and_stores_are_disjoint_for_pure_moves(
+        m in prop_oneof![Just(Mnemonic::Movss), Just(Mnemonic::Movaps), Just(Mnemonic::Movsd)],
+        mem in mem_strategy(),
+        x in 0u8..16,
+        to_mem in any::<bool>(),
+    ) {
+        let inst = if to_mem {
+            Inst::binary(m, Operand::Reg(Reg::Xmm(x)), Operand::Mem(mem))
+        } else {
+            Inst::binary(m, Operand::Mem(mem), Operand::Reg(Reg::Xmm(x)))
+        };
+        prop_assert!(inst.load_ref().is_some() != inst.store_ref().is_some());
+        let moved = inst.load_bytes().max(inst.store_bytes());
+        prop_assert_eq!(moved, m.mem_move().unwrap().bytes);
+    }
+
+    #[test]
+    fn regs_read_written_are_sorted_and_deduped(inst in inst_strategy()) {
+        for v in [inst.regs_read(), inst.regs_written()] {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(v, sorted);
+        }
+    }
+}

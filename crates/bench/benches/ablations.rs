@@ -1,0 +1,230 @@
+//! Ablation benches: knock one design choice out of the model or the
+//! pipeline and time the resulting study, asserting the qualitative effect
+//! the choice exists to produce. Each ablation corresponds to a design
+//! decision called out in DESIGN.md.
+//!
+//! * `dedup_pass` — without deduplication, combining the pre- and
+//!   post-unroll operand swaps double-counts the shared patterns.
+//! * `loop_control_overhead` — without the serial loop-control term the
+//!   matmul unroll gain (Figure 5's 9%) collapses to ~0.
+//! * `placement_policy` — compact placement saturates one socket's memory
+//!   controller long before round-robin does (Figure 14's premise).
+//! * `aggregation_policy` — min-aggregation recovers the true cost under
+//!   injected noise; mean does not (the §4.7 stability protocol).
+//! * `miss_parallelism` — without line-fill-buffer overlap, strided RAM
+//!   access costs explode (the prefetch/MLP model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+use mc_asm::inst::Mnemonic;
+use mc_creator::MicroCreator;
+use mc_kernel::builder::{figure6, load_stream};
+use mc_launcher::{Aggregation, KernelInput, LauncherOptions, MicroLauncher};
+use mc_simarch::config::{Level, MachineConfig};
+use mc_simarch::exec::{estimate, ExecEnv, Workload};
+use std::hint::black_box;
+
+fn ablate_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(10);
+    // Mark both swap kinds so the expansion overlaps.
+    let mut desc = figure6();
+    desc.instructions[0].swap_before_unroll = true;
+
+    group.bench_function("with_dedup", |b| {
+        let creator = MicroCreator::new();
+        b.iter(|| {
+            let r = creator.generate(black_box(&desc)).unwrap();
+            assert_eq!(r.programs.len(), 510, "dedup collapses the doubled patterns");
+            black_box(r)
+        });
+    });
+    group.bench_function("without_dedup", |b| {
+        let mut creator = MicroCreator::new();
+        creator.pass_manager().set_gate("dedup", |_| false).unwrap();
+        b.iter(|| {
+            let r = creator.generate(black_box(&desc)).unwrap();
+            assert_eq!(r.programs.len(), 1020, "2× duplicates without the pass");
+            black_box(r)
+        });
+    });
+    group.finish();
+}
+
+fn ablate_loop_control(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_loop_control");
+    group.sample_size(10);
+    let programs =
+        mc_launcher::sweeps::programs_by_unroll(&mc_kernel::builder::matmul_inner(200)).unwrap();
+    let gain = |machine: MachineConfig| -> f64 {
+        let env = ExecEnv::single_core(machine);
+        let w = Workload::resident_at(&env.machine, Level::L2);
+        let per_el = |p: &mc_kernel::Program| {
+            estimate(p, &w, &env).cycles_per_iteration / p.elements_per_iteration as f64
+        };
+        let u1 = per_el(&programs[0]);
+        let u8 = per_el(&programs[7]);
+        (u1 - u8) / u1
+    };
+
+    group.bench_function("with_loop_control_term", |b| {
+        b.iter(|| {
+            let g = gain(MachineConfig::nehalem_x5650_dual());
+            assert!(g > 0.05, "matmul unroll gain present: {g}");
+            black_box(g)
+        });
+    });
+    group.bench_function("without_loop_control_term", |b| {
+        b.iter(|| {
+            let mut machine = MachineConfig::nehalem_x5650_dual();
+            machine.loop_control_overhead_cycles = 0.0;
+            let g = gain(machine);
+            assert!(g.abs() < 0.02, "gain collapses without the term: {g}");
+            black_box(g)
+        });
+    });
+    group.finish();
+}
+
+fn ablate_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_placement");
+    group.sample_size(10);
+    let program = MicroCreator::new()
+        .generate(&load_stream(Mnemonic::Movaps, 8, 8))
+        .unwrap()
+        .programs
+        .remove(0);
+    let knee = |placement| -> f64 {
+        use mc_report::experiments::knee_x;
+        let mut opts = LauncherOptions::default();
+        opts.residence = Some(Level::Ram);
+        opts.placement = placement;
+        opts.verify = false;
+        opts.repetitions = 2;
+        opts.meta_repetitions = 2;
+        let series = mc_launcher::sweeps::core_sweep(&opts, &program, 12).unwrap();
+        knee_x(&series, 1.1).unwrap_or(f64::INFINITY)
+    };
+
+    group.bench_function("round_robin_knee", |b| {
+        b.iter(|| {
+            let k = knee(mc_simarch::exec::EnvPlacement::RoundRobinSockets);
+            assert!((6.0..=8.0).contains(&k), "round-robin knee at {k}");
+            black_box(k)
+        });
+    });
+    group.bench_function("compact_knee", |b| {
+        b.iter(|| {
+            let k = knee(mc_simarch::exec::EnvPlacement::FillFirstSocket);
+            assert!(k <= 5.0, "compact placement saturates one socket early: {k}");
+            black_box(k)
+        });
+    });
+    group.finish();
+}
+
+fn ablate_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_aggregation");
+    group.sample_size(10);
+    let program = MicroCreator::new()
+        .generate(&load_stream(Mnemonic::Movaps, 8, 8))
+        .unwrap()
+        .programs
+        .remove(0);
+    let measured = |aggregation| -> f64 {
+        let mut opts = LauncherOptions::default();
+        opts.noise_amplitude = 0.4;
+        opts.meta_repetitions = 16;
+        opts.aggregation = aggregation;
+        opts.verify = false;
+        MicroLauncher::new(opts)
+            .run(&KernelInput::program(program.clone()))
+            .unwrap()
+            .cycles_per_iteration
+    };
+    let truth = {
+        let mut opts = LauncherOptions::default();
+        opts.verify = false;
+        MicroLauncher::new(opts)
+            .run(&KernelInput::program(program.clone()))
+            .unwrap()
+            .cycles_per_iteration
+    };
+
+    group.bench_function("min_under_noise", |b| {
+        b.iter(|| {
+            let v = measured(Aggregation::Min);
+            assert!((v - truth).abs() / truth < 0.05, "min recovers truth: {v} vs {truth}");
+            black_box(v)
+        });
+    });
+    group.bench_function("mean_under_noise", |b| {
+        b.iter(|| {
+            let mean = measured(Aggregation::Mean);
+            let min = measured(Aggregation::Min);
+            assert!(
+                mean > min,
+                "the mean sits above the min under noise: {mean} vs {min}"
+            );
+            assert!(mean >= truth, "noise never deflates: {mean} vs {truth}");
+            black_box(mean)
+        });
+    });
+    group.finish();
+}
+
+fn ablate_miss_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_miss_parallelism");
+    group.sample_size(10);
+    let program = MicroCreator::new()
+        .generate(&mc_kernel::builder::strided_stream(Mnemonic::Movss, &[1024]))
+        .unwrap()
+        .programs
+        .remove(0);
+    let cost = |lfb: f64| -> f64 {
+        let mut machine = MachineConfig::nehalem_x5650_dual();
+        machine.line_fill_buffers = lfb;
+        let env = ExecEnv::single_core(machine);
+        let w = Workload::resident_at(&env.machine, Level::Ram);
+        estimate(&program, &w, &env).cycles_per_iteration
+    };
+
+    group.bench_function("with_mlp_overlap", |b| {
+        b.iter(|| black_box(cost(10.0)));
+    });
+    group.bench_function("without_mlp_overlap", |b| {
+        b.iter(|| {
+            let serial = cost(1.0);
+            let overlapped = cost(10.0);
+            assert!(serial > overlapped * 4.0, "MLP must matter: {serial} vs {overlapped}");
+            black_box(serial)
+        });
+    });
+    group.finish();
+}
+
+fn noop_config(c: &mut Criterion) {
+    // Keep criterion happy if filters exclude everything else.
+    let _ = c;
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = ablate_dedup,
+    ablate_loop_control,
+    ablate_placement,
+    ablate_aggregation,
+    ablate_miss_parallelism,
+    noop_config
+}
+criterion_main!(benches);

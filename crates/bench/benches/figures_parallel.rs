@@ -1,0 +1,104 @@
+//! Criterion benches regenerating the parallel-execution experiments:
+//! Figure 14 (fork saturation), Figures 15/16 (alignment under
+//! multi-core load) and Figures 17/18 + Table 2 (OpenMP).
+//!
+//! The two alignment studies run reduced configuration samples per bench
+//! iteration (the full "upwards of 2500" sweeps run in `reproduce` and in
+//! the test suite); all other figures run at full size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+use mc_asm::inst::Mnemonic;
+use mc_creator::MicroCreator;
+use mc_kernel::builder::multi_array_traversal;
+use mc_launcher::options::{MachinePreset, Mode};
+use mc_launcher::sweeps::alignment_sweep_sampled;
+use mc_simarch::config::Level;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_parallel");
+    group.sample_size(10);
+
+    group.bench_function("fig14_fork_saturation", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig14::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("fig15_alignment_8core_sampled200", |b| {
+        let program = MicroCreator::new()
+            .generate(&multi_array_traversal(Mnemonic::Movss, 8))
+            .unwrap()
+            .programs
+            .remove(0);
+        let mut opts = mc_bench::figures::quick_options();
+        opts.machine = MachinePreset::NehalemX7550;
+        opts.mode = Mode::Fork;
+        opts.cores = 8;
+        opts.residence = Some(Level::Ram);
+        b.iter(|| {
+            black_box(alignment_sweep_sampled(&opts, &program, 512, 3584, 200, 0x15).unwrap())
+        });
+    });
+
+    group.bench_function("fig16_alignment_32core_sampled200", |b| {
+        let program = MicroCreator::new()
+            .generate(&multi_array_traversal(Mnemonic::Movss, 4))
+            .unwrap()
+            .programs
+            .remove(0);
+        let mut opts = mc_bench::figures::quick_options();
+        opts.machine = MachinePreset::NehalemX7550;
+        opts.mode = Mode::Fork;
+        opts.cores = 32;
+        opts.residence = Some(Level::Ram);
+        b.iter(|| {
+            black_box(alignment_sweep_sampled(&opts, &program, 512, 3584, 200, 0x16).unwrap())
+        });
+    });
+
+    group.bench_function("fig17_openmp_small", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig17::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("fig18_openmp_large", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig18::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("table2_openmp_times", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::table2::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_figures
+}
+criterion_main!(benches);

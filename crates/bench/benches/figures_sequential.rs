@@ -1,0 +1,87 @@
+//! Criterion benches regenerating the sequential-execution experiments:
+//! Figures 3, 4, 5 (the §2 matmul motivation) and 11, 12, 13 (§5.1).
+//! Each bench iteration rebuilds the figure end-to-end — workload
+//! generation, launcher runs, shape checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_sequential");
+    group.sample_size(10);
+
+    group.bench_function("fig03_matmul_sizes", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig03::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("fig04_matmul_alignment", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig04::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("fig05_matmul_unroll", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig05::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("fig11_movaps_unroll", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig11::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("fig12_movss_unroll", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig12::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("fig13_frequency", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::fig13::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.bench_function("counts_generation", |b| {
+        b.iter(|| {
+            let r = mc_bench::figures::counts::run().unwrap();
+            assert!(r.outcome.passed());
+            black_box(r)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for MicroCreator: the §3 generation pipeline.
+//!
+//! `figure6_510_variants` times the paper's headline workload — one XML
+//! description expanding to 510 benchmark programs through all nineteen
+//! passes; `four_mnemonic_2040` the >2000-program study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+use mc_asm::inst::Mnemonic;
+use mc_creator::MicroCreator;
+use mc_kernel::builder::figure6;
+use mc_kernel::{OperationDesc, UnrollRange};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(20);
+
+    group.bench_function("figure6_510_variants", |b| {
+        let creator = MicroCreator::new();
+        let desc = figure6();
+        b.iter(|| {
+            let result = creator.generate(black_box(&desc)).unwrap();
+            assert_eq!(result.programs.len(), 510);
+            black_box(result)
+        });
+    });
+
+    group.bench_function("four_mnemonic_2040", |b| {
+        let creator = MicroCreator::new();
+        let mut desc = figure6();
+        desc.instructions[0].operation = OperationDesc::Choice(vec![
+            Mnemonic::Movss,
+            Mnemonic::Movsd,
+            Mnemonic::Movaps,
+            Mnemonic::Movapd,
+        ]);
+        b.iter(|| black_box(creator.generate(black_box(&desc)).unwrap()));
+    });
+
+    group.bench_function("single_program_unroll8", |b| {
+        let creator = MicroCreator::new();
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(8);
+        desc.instructions[0].swap_after_unroll = false;
+        b.iter(|| black_box(creator.generate(black_box(&desc)).unwrap()));
+    });
+
+    group.bench_function("xml_parse_kernel", |b| {
+        let xml = mc_kernel::xml::kernel_to_xml(&figure6());
+        b.iter(|| black_box(mc_kernel::xml::parse_kernel(black_box(&xml)).unwrap()));
+    });
+
+    group.bench_function("asm_render_510", |b| {
+        let programs = MicroCreator::new().generate(&figure6()).unwrap().programs;
+        b.iter(|| {
+            let total: usize = programs.iter().map(|p| p.to_asm_string().len()).sum();
+            black_box(total)
+        });
+    });
+
+    group.bench_function("asm_parse_listing", |b| {
+        let text = MicroCreator::new().generate(&figure6()).unwrap().programs[100].to_asm_string();
+        b.iter(|| black_box(mc_asm::parse::parse_listing(black_box(&text)).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for MicroLauncher: one full launch (environment
+//! setup, Figure 10 measurement protocol, verification) per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+use mc_asm::inst::Mnemonic;
+use mc_creator::MicroCreator;
+use mc_kernel::builder::load_stream;
+use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
+use std::hint::black_box;
+
+fn bench_launcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("launcher");
+    group.sample_size(30);
+
+    let program = MicroCreator::new()
+        .generate(&load_stream(Mnemonic::Movaps, 8, 8))
+        .unwrap()
+        .programs
+        .remove(0);
+
+    group.bench_function("sequential_run_with_verification", |b| {
+        let launcher = MicroLauncher::with_defaults();
+        let input = KernelInput::program(program.clone());
+        b.iter(|| black_box(launcher.run(black_box(&input)).unwrap()));
+    });
+
+    group.bench_function("sequential_run_timing_only", |b| {
+        let mut opts = LauncherOptions::default();
+        opts.verify = false;
+        let launcher = MicroLauncher::new(opts);
+        let input = KernelInput::program(program.clone());
+        b.iter(|| black_box(launcher.run(black_box(&input)).unwrap()));
+    });
+
+    group.bench_function("option_parsing", |b| {
+        let args = [
+            "--machine=x7550",
+            "--mode=fork",
+            "--cores=32",
+            "--residence=ram",
+            "--align=0,512,1024,1536",
+            "--repetitions=64",
+            "--aggregate=min",
+        ];
+        b.iter(|| black_box(LauncherOptions::from_args(black_box(&args)).unwrap()));
+    });
+
+    group.bench_function("measure_protocol_sim_clock", |b| {
+        use mc_launcher::clock::SimClock;
+        use mc_launcher::measure::{measure, MeasureConfig};
+        let cfg = MeasureConfig {
+            repetitions: 32,
+            meta_repetitions: 8,
+            warmup_runs: 1,
+            aggregation: mc_launcher::Aggregation::Min,
+            stability_threshold: 0.05,
+        };
+        b.iter(|| {
+            let clock = SimClock::new(2.67);
+            black_box(
+                measure(
+                    &clock,
+                    &cfg,
+                    || {
+                        clock.advance_cycles(1234);
+                        100
+                    },
+                    || clock.advance_cycles(50),
+                )
+                .unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_launcher
+}
+criterion_main!(benches);

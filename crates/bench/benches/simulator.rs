@@ -1,0 +1,84 @@
+//! Criterion benches for the simulated micro-architecture: the analytic
+//! timing estimate and the functional interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+use mc_asm::inst::Mnemonic;
+use mc_asm::reg::GprName;
+use mc_creator::MicroCreator;
+use mc_kernel::builder::load_stream;
+use mc_kernel::Program;
+use mc_simarch::config::{Level, MachineConfig};
+use mc_simarch::exec::{estimate, ExecEnv, Workload};
+use mc_simarch::interp::Interpreter;
+use std::hint::black_box;
+
+fn movaps8() -> Program {
+    MicroCreator::new()
+        .generate(&load_stream(Mnemonic::Movaps, 8, 8))
+        .unwrap()
+        .programs
+        .remove(0)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(30);
+
+    group.bench_function("estimate_single_core", |b| {
+        let p = movaps8();
+        let env = ExecEnv::single_core(MachineConfig::nehalem_x5650_dual());
+        let w = Workload::resident_at(&env.machine, Level::L3);
+        b.iter(|| black_box(estimate(black_box(&p), &w, &env)));
+    });
+
+    group.bench_function("estimate_forked_12_cores", |b| {
+        let p = movaps8();
+        let env = ExecEnv::forked(MachineConfig::nehalem_x5650_dual(), 12);
+        let w = Workload::resident_at(&env.machine, Level::Ram);
+        b.iter(|| black_box(estimate(black_box(&p), &w, &env)));
+    });
+
+    group.bench_function("recurrence_analysis", |b| {
+        let p = movaps8();
+        let insts: Vec<&mc_asm::Inst> = p.instructions().collect();
+        b.iter(|| black_box(mc_simarch::deps::recurrence_bound(black_box(&insts))));
+    });
+
+    group.bench_function("interpreter_4096_iterations", |b| {
+        let p = movaps8();
+        b.iter(|| {
+            let mut interp = Interpreter::new();
+            interp.set_gpr(GprName::Rdi, 4096 * 32 - 32);
+            interp.set_gpr(GprName::Rsi, 0x10_0000);
+            black_box(interp.run(&p, 10_000_000))
+        });
+    });
+
+    group.bench_function("alignment_effect_8_arrays", |b| {
+        use mc_simarch::align::{alignment_effect, ArrayPlacement};
+        let machine = MachineConfig::nehalem_x7550_quad();
+        let arrays: Vec<ArrayPlacement> = (0..8)
+            .map(|i| ArrayPlacement { offset: i * 512, stored: false, access_bytes: 4 })
+            .collect();
+        b.iter(|| black_box(alignment_effect(&machine, black_box(&arrays))));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_simulator
+}
+criterion_main!(benches);

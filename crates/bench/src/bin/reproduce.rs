@@ -1,0 +1,127 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce                  # run all experiments
+//! reproduce --exp fig11      # one experiment
+//! reproduce --list           # list experiment keys
+//! reproduce --summary        # verdict lines only, no charts
+//! reproduce --csv-dir=out    # also write each experiment's series as CSV
+//! ```
+//!
+//! For each experiment the tool prints the regenerated data (terminal
+//! chart or table), the shape checks against the paper's claims as
+//! `[PASS]`/`[FAIL]` lines, and the measured-vs-paper notes that feed
+//! EXPERIMENTS.md.
+
+use mc_bench::figures::{run_all, run_experiment, FigureResult};
+use mc_report::experiments::ExperimentId;
+use mc_report::series::render_chart;
+use mc_report::CsvWriter;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Writes one experiment's series as `<key>.csv` (columns: series, x, y).
+fn write_csv(dir: &Path, r: &FigureResult) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut csv = CsvWriter::new(vec!["series", "x", "y"]);
+    for s in &r.series {
+        for (x, y) in &s.points {
+            csv.row(&[s.label.clone(), x.to_string(), y.to_string()]);
+        }
+    }
+    std::fs::write(dir.join(format!("{}.csv", r.id.key())), csv.finish())
+}
+
+fn print_result(r: &FigureResult, summary_only: bool) {
+    println!("━━━ {} ━━━", r.title);
+    println!("paper claim: {}", r.id.paper_claim());
+    if !summary_only {
+        if let Some(table) = &r.table {
+            println!("{table}");
+        }
+        if !r.series.is_empty() {
+            println!("{}", render_chart(&r.series, 72, 18, r.scale));
+        }
+    }
+    print!("{}", r.outcome.render());
+    for note in &r.notes {
+        println!("  note: {note}");
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp: Option<String> = None;
+    let mut summary_only = false;
+    let mut csv_dir: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in ExperimentId::ALL {
+                    println!("{:8} {}", id.key(), id.paper_claim());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--summary" => summary_only = true,
+            "--exp" => exp = iter.next().cloned(),
+            other if other.starts_with("--exp=") => {
+                exp = Some(other.trim_start_matches("--exp=").to_owned());
+            }
+            other if other.starts_with("--csv-dir=") => {
+                csv_dir = Some(other.trim_start_matches("--csv-dir=").to_owned());
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --list, --summary, --exp <key>)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let results: Vec<FigureResult> = match exp {
+        Some(key) => {
+            let Some(id) = ExperimentId::from_key(&key) else {
+                eprintln!("unknown experiment `{key}`; --list shows the available keys");
+                return ExitCode::FAILURE;
+            };
+            match run_experiment(id) {
+                Ok(r) => vec![r],
+                Err(e) => {
+                    eprintln!("experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => match run_all() {
+            Ok(rs) => rs,
+            Err(e) => {
+                eprintln!("reproduction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    for r in &results {
+        print_result(r, summary_only);
+        if let Some(dir) = &csv_dir {
+            if !r.series.is_empty() {
+                if let Err(e) = write_csv(Path::new(dir), r) {
+                    eprintln!("could not write {}.csv: {e}", r.id.key());
+                }
+            }
+        }
+    }
+
+    let total: usize = results.iter().map(|r| r.outcome.checks.len()).sum();
+    let passed: usize = results
+        .iter()
+        .map(|r| r.outcome.checks.iter().filter(|c| c.passed).count())
+        .sum();
+    println!("════ {passed}/{total} shape checks passed across {} experiments ════", results.len());
+    if passed == total {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-experiment harnesses. Each module regenerates one table or figure.
+
+pub mod counts;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod table1;
+pub mod table2;
+
+use mc_launcher::options::LauncherOptions;
+use mc_report::experiments::{ExperimentId, ShapeOutcome};
+use mc_report::series::{Scale, Series};
+
+/// The regenerated data and verdicts for one experiment.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Which experiment.
+    pub id: ExperimentId,
+    /// Figure/table title.
+    pub title: String,
+    /// Plotted series (empty for pure tables).
+    pub series: Vec<Series>,
+    /// Y-axis scale for the chart.
+    pub scale: Scale,
+    /// Rendered table, when the experiment is tabular.
+    pub table: Option<String>,
+    /// The shape checks against the paper's claims.
+    pub outcome: ShapeOutcome,
+    /// Paper-vs-measured notes for EXPERIMENTS.md.
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Starts a result.
+    pub fn new(id: ExperimentId, title: impl Into<String>) -> Self {
+        FigureResult {
+            id,
+            title: title.into(),
+            series: Vec::new(),
+            scale: Scale::Linear,
+            table: None,
+            outcome: ShapeOutcome::new(id),
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// Launcher options tuned for harness throughput: the simulation is
+/// deterministic, so a handful of repetitions suffices.
+pub fn quick_options() -> LauncherOptions {
+    LauncherOptions {
+        repetitions: 4,
+        meta_repetitions: 3,
+        verify: false,
+        ..LauncherOptions::default()
+    }
+}
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: ExperimentId) -> Result<FigureResult, String> {
+    Ok(match id {
+        ExperimentId::Counts => counts::run()?,
+        ExperimentId::Table1 => table1::run()?,
+        ExperimentId::Fig3 => fig03::run()?,
+        ExperimentId::Fig4 => fig04::run()?,
+        ExperimentId::Fig5 => fig05::run()?,
+        ExperimentId::Fig11 => fig11::run()?,
+        ExperimentId::Fig12 => fig12::run()?,
+        ExperimentId::Fig13 => fig13::run()?,
+        ExperimentId::Fig14 => fig14::run()?,
+        ExperimentId::Fig15 => fig15::run()?,
+        ExperimentId::Fig16 => fig16::run()?,
+        ExperimentId::Fig17 => fig17::run()?,
+        ExperimentId::Fig18 => fig18::run()?,
+        ExperimentId::Table2 => table2::run()?,
+    })
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all() -> Result<Vec<FigureResult>, String> {
+    ExperimentId::ALL.iter().map(|&id| run_experiment(id)).collect()
+}

@@ -1,0 +1,49 @@
+//! Table 1: the machine inventory, rendered from the simulator presets.
+
+use super::FigureResult;
+use mc_report::experiments::{ExperimentId, ShapeCheck};
+use mc_report::table::AsciiTable;
+use mc_simarch::config::MachineConfig;
+
+/// Renders the machine inventory and sanity-checks the topologies.
+pub fn run() -> Result<FigureResult, String> {
+    let mut result =
+        FigureResult::new(ExperimentId::Table1, "Table 1: figure ↔ architecture association");
+    let machines = MachineConfig::table1();
+    let figures = ["17, 18", "2, 3, 4, 5, 11, 12, 13, 14", "15, 16"];
+
+    let mut table = AsciiTable::new(vec!["Architecture", "Cores", "GHz", "Associated figures"]);
+    for (m, figs) in machines.iter().zip(figures) {
+        table.row(vec![
+            m.name.to_owned(),
+            format!("{}×{}", m.sockets, m.cores_per_socket),
+            format!("{:.2}", m.nominal_ghz),
+            figs.to_owned(),
+        ]);
+    }
+    result.table = Some(table.render());
+
+    let expected = [(1u32, 4u32, 3.30), (2, 6, 2.67), (4, 8, 2.00)];
+    for (m, (sockets, cores, ghz)) in machines.iter().zip(expected) {
+        result.outcome.push(ShapeCheck::new(
+            format!("{} topology", m.name),
+            m.sockets == sockets && m.cores_per_socket == cores && (m.nominal_ghz - ghz).abs() < 1e-9,
+            format!("{}×{} @ {:.2} GHz", m.sockets, m.cores_per_socket, m.nominal_ghz),
+        ));
+    }
+    result.notes.push("all three Table 1 machines modelled as simulator presets".into());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_passes() {
+        let r = super::run().unwrap();
+        assert!(r.outcome.passed(), "{}", r.outcome.render());
+        let t = r.table.unwrap();
+        assert!(t.contains("X5650"), "{t}");
+        assert!(t.contains("E31240"), "{t}");
+        assert!(t.contains("X7550"), "{t}");
+    }
+}

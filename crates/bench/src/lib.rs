@@ -1,0 +1,15 @@
+//! # mc-bench — the experiment reproduction harness
+//!
+//! One module per table/figure of the paper's evaluation (§2 and §5). Each
+//! module's `run()` regenerates the experiment's data through the full
+//! MicroCreator → MicroLauncher pipeline on the simulated Table 1 machines
+//! and evaluates the paper's *shape claims* against it (see
+//! `mc_report::experiments`).
+//!
+//! The `reproduce` binary renders every experiment as terminal charts and
+//! tables with `[PASS]`/`[FAIL]` shape checks; the Criterion benches under
+//! `benches/` time the same harnesses.
+
+pub mod figures;
+
+pub use figures::{run_all, run_experiment, FigureResult};

@@ -1,0 +1,175 @@
+//! `microcreator` — expand an XML kernel description into benchmark
+//! programs (§3).
+//!
+//! ```text
+//! microcreator <input.xml> [output-dir] [--format=asm|c] [--limit=N]
+//!              [--seed=S] [--no-comments] [--stats] [--list] [--print=NAME]
+//! ```
+//!
+//! Without an output directory the tool reports what it would generate;
+//! with one it writes one `.s` (or `.c`) translation unit per variant.
+
+use mc_creator::emit::{render_asm_unit, write_programs};
+use mc_creator::{CreatorConfig, MicroCreator};
+use mc_tools::{exitcode, split_args, take_flag};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: microcreator <input.xml> [output-dir] [options]
+options:
+  --format=asm|c|bin  emitted form: assembly, C, or raw machine code
+  --limit=N        cap the number of generated programs (§3.2)
+  --seed=S         RNG seed for stochastic passes
+  --random=V,L     random instruction selection: V variants of length L (§3.2)
+  --no-comments    omit the Figure 8-style comments
+  --stats          print per-pass candidate counts
+  --list           list generated variant names
+  --print=NAME     print one variant's assembly to stdout";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut flags, positional) = split_args(&args);
+    let Some(input) = positional.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(exitcode::USAGE);
+    };
+    let output_dir = positional.get(1).map(PathBuf::from);
+
+    let mut config = CreatorConfig::default();
+    #[derive(PartialEq)]
+    enum Format {
+        Asm,
+        C,
+        Bin,
+    }
+    let format = match take_flag(&mut flags, "--format").as_deref() {
+        None | Some("asm") => Format::Asm,
+        Some("c") => Format::C,
+        Some("bin") => Format::Bin,
+        Some(other) => {
+            eprintln!("unknown --format `{other}` (asm, c or bin)");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    if let Some(v) = take_flag(&mut flags, "--limit") {
+        match v.parse() {
+            Ok(n) => config.limit = Some(n),
+            Err(_) => {
+                eprintln!("--limit: invalid integer `{v}`");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        }
+    }
+    if let Some(v) = take_flag(&mut flags, "--seed") {
+        match v.parse() {
+            Ok(s) => config.seed = s,
+            Err(_) => {
+                eprintln!("--seed: invalid integer `{v}`");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        }
+    }
+    if let Some(v) = take_flag(&mut flags, "--random") {
+        let parts: Vec<&str> = v.split(',').collect();
+        match (parts.first().and_then(|p| p.parse().ok()), parts.get(1).and_then(|p| p.parse().ok()))
+        {
+            (Some(variants), Some(length)) if parts.len() == 2 => {
+                config.random_selection =
+                    Some(mc_creator::RandomSelection { variants, length });
+            }
+            _ => {
+                eprintln!("--random expects `variants,length` (e.g. --random=8,4)");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        }
+    }
+    if take_flag(&mut flags, "--no-comments").is_some() {
+        config.emit_comments = false;
+    }
+    let want_stats = take_flag(&mut flags, "--stats").is_some();
+    let want_list = take_flag(&mut flags, "--list").is_some();
+    let print_one = take_flag(&mut flags, "--print");
+    if let Some(unknown) = flags.first() {
+        eprintln!("unknown option `{unknown}`\n{USAGE}");
+        return ExitCode::from(exitcode::USAGE);
+    }
+
+    let xml = match std::fs::read_to_string(input) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::from(exitcode::BAD_INPUT);
+        }
+    };
+    let creator = MicroCreator::with_config(config);
+    let result = match creator.generate_from_xml(&xml) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            return ExitCode::from(exitcode::BAD_INPUT);
+        }
+    };
+
+    println!("generated {} benchmark programs from {input}", result.programs.len());
+    if want_stats {
+        println!("{:28} {:>4} {:>10}", "pass", "ran", "candidates");
+        for s in &result.stats {
+            println!("{:28} {:>4} {:>10}", s.pass, if s.ran { "yes" } else { "no" }, s.candidates);
+        }
+    }
+    if want_list {
+        for p in &result.programs {
+            println!("{}", p.name);
+        }
+    }
+    if let Some(name) = print_one {
+        match result.programs.iter().find(|p| p.name == name) {
+            Some(p) => print!("{}", render_asm_unit(p)),
+            None => {
+                eprintln!("no variant named `{name}` (try --list)");
+                return ExitCode::from(exitcode::FAILED);
+            }
+        }
+    }
+    if let Some(dir) = output_dir {
+        if format == Format::Bin {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::from(exitcode::FAILED);
+            }
+            let mut written = 0usize;
+            for p in &result.programs {
+                match p.to_machine_code() {
+                    Ok(bytes) => {
+                        let file = dir.join(format!("{}.bin", p.name.replace('-', "_")));
+                        if let Err(e) = std::fs::write(&file, bytes) {
+                            eprintln!("cannot write {}: {e}", file.display());
+                            return ExitCode::from(exitcode::FAILED);
+                        }
+                        written += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("{}: {e}", p.name);
+                        return ExitCode::from(exitcode::FAILED);
+                    }
+                }
+            }
+            println!("wrote {written} .bin files to {}", dir.display());
+        } else {
+            match write_programs(&result.programs, &dir, format == Format::C) {
+                Ok(files) => println!(
+                    "wrote {} {} files to {}",
+                    files.len(),
+                    if format == Format::C { ".c" } else { ".s" },
+                    dir.display()
+                ),
+                Err(e) => {
+                    eprintln!("emit failed: {e}");
+                    return ExitCode::from(exitcode::FAILED);
+                }
+            }
+        }
+    }
+    ExitCode::from(exitcode::OK)
+}

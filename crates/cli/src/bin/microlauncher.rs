@@ -1,0 +1,132 @@
+//! `microlauncher` — measure kernels in the controlled environment (§4).
+//!
+//! ```text
+//! microlauncher <kernel.s | description.xml> [launcher options…]
+//! ```
+//!
+//! `.s` inputs are parsed as AT&T assembly (one kernel loop); `.bin`
+//! inputs are disassembled raw machine code (the §4.1 object path). `.xml`
+//! inputs run through MicroCreator first and every generated variant is
+//! measured — the full paper workflow in one command. All other flags are
+//! MicroLauncher's 30+ options (`--machine=x5650`, `--residence=l3`,
+//! `--mode=fork`, `--cores=12`, …); see `--help`.
+
+use mc_creator::MicroCreator;
+use mc_launcher::launcher::RunReport;
+use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
+use mc_tools::exitcode;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    format!(
+        "usage: microlauncher <kernel.s | description.xml> [options]\n\
+         options (MicroLauncher's §4.2 surface):\n  {}",
+        LauncherOptions::OPTION_NAMES.join("\n  ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::from(exitcode::OK);
+    }
+    let Some(input) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("{}", usage());
+        return ExitCode::from(exitcode::USAGE);
+    };
+    let options = match LauncherOptions::from_args(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+
+    // Object input: raw machine code, disassembled by mc-asm.
+    if input.ends_with(".bin") {
+        let bytes = match std::fs::read(input) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {input}: {e}");
+                return ExitCode::from(exitcode::BAD_INPUT);
+            }
+        };
+        let name = input.rsplit('/').next().unwrap_or(input).trim_end_matches(".bin");
+        let kernel_input = match KernelInput::object(name, &bytes) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("disassembly failed: {e}");
+                return ExitCode::from(exitcode::BAD_INPUT);
+            }
+        };
+        let launcher = MicroLauncher::new(options);
+        println!("{}", RunReport::csv_header());
+        return match launcher.run(&kernel_input) {
+            Ok(report) => {
+                println!("{}", report.csv_row());
+                ExitCode::from(exitcode::OK)
+            }
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                ExitCode::from(exitcode::FAILED)
+            }
+        };
+    }
+
+    let contents = match std::fs::read_to_string(input) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::from(exitcode::BAD_INPUT);
+        }
+    };
+
+    // Assemble the kernel set: one parsed program, or a whole generation.
+    let programs = if input.ends_with(".xml") {
+        match MicroCreator::new().generate_from_xml(&contents) {
+            Ok(r) => r.programs,
+            Err(e) => {
+                eprintln!("generation failed: {e}");
+                return ExitCode::from(exitcode::BAD_INPUT);
+            }
+        }
+    } else {
+        let name = input.rsplit('/').next().unwrap_or(input).trim_end_matches(".s");
+        match mc_kernel::Program::from_asm_text(name, &contents) {
+            Ok(mut p) => {
+                // Hand-written kernels carry no metadata; honor the
+                // launcher's overrides.
+                if options.nb_vectors > 0 {
+                    p.nb_arrays = options.nb_vectors;
+                }
+                if options.element_bytes > 0 {
+                    p.element_bytes = options.element_bytes;
+                }
+                vec![p]
+            }
+            Err(e) => {
+                eprintln!("assembly parse failed: {e}");
+                return ExitCode::from(exitcode::BAD_INPUT);
+            }
+        }
+    };
+
+    let launcher = MicroLauncher::new(options);
+    println!("{}", RunReport::csv_header());
+    let mut failures = 0usize;
+    for program in programs {
+        match launcher.run(&KernelInput::program(program)) {
+            Ok(report) => println!("{}", report.csv_row()),
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::from(exitcode::OK)
+    } else {
+        ExitCode::from(exitcode::FAILED)
+    }
+}

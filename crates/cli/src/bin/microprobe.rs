@@ -1,0 +1,105 @@
+//! `microprobe` — characterize a simulated machine the way the MicroTools
+//! studies do: hierarchy latencies and bandwidths, the fork-mode
+//! saturation knee, frequency-domain behaviour, and energy optima.
+//!
+//! ```text
+//! microprobe [x5650|x7550|e31240]     # default x5650
+//! ```
+
+use mc_asm::inst::Mnemonic;
+use mc_creator::MicroCreator;
+use mc_kernel::builder::load_stream;
+use mc_launcher::options::MachinePreset;
+use mc_launcher::sweeps::{core_sweep, programs_by_unroll};
+use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
+use mc_report::table::{fmt_f, AsciiTable};
+use mc_simarch::config::Level;
+use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
+use mc_simarch::exec::Workload;
+use mc_tools::exitcode;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "x5650".to_owned());
+    let Some(preset) = MachinePreset::from_name(&arg) else {
+        eprintln!("usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4]");
+        return ExitCode::from(exitcode::USAGE);
+    };
+    let machine = preset.config();
+    println!("══ {} ══", machine.name);
+    println!(
+        "{} sockets × {} cores @ {:.2} GHz nominal\n",
+        machine.sockets, machine.cores_per_socket, machine.nominal_ghz
+    );
+
+    // Hierarchy characterization: cycles/load for scalar & vector streams.
+    let run = |m: Mnemonic, unroll: u32, level: Level| -> f64 {
+        let program = programs_by_unroll(&load_stream(m, unroll, unroll))
+            .expect("generation succeeds")
+            .remove(0);
+        let o = LauncherOptions {
+            machine: preset,
+            residence: Some(level),
+            verify: false,
+            ..LauncherOptions::default()
+        };
+        let loads = program.load_count().max(1) as f64;
+        MicroLauncher::new(o)
+            .run(&KernelInput::program(program))
+            .expect("run succeeds")
+            .cycles_per_iteration
+            / loads
+    };
+    let mut table =
+        AsciiTable::new(vec!["level", "movss c/l (u8)", "movaps c/l (u8)", "movaps GB/s"]);
+    for level in Level::ALL {
+        let ss = run(Mnemonic::Movss, 8, level);
+        let aps = run(Mnemonic::Movaps, 8, level);
+        let gbs = 16.0 / (aps / machine.nominal_ghz); // bytes per ns
+        table.row(vec![
+            level.name().to_owned(),
+            fmt_f(ss, 2),
+            fmt_f(aps, 2),
+            fmt_f(gbs, 1),
+        ]);
+    }
+    println!("─ memory hierarchy (streaming loads) ─\n{}", table.render());
+
+    // Saturation knee.
+    let program = programs_by_unroll(&load_stream(Mnemonic::Movaps, 8, 8))
+        .expect("generation succeeds")
+        .remove(0);
+    let o = LauncherOptions {
+        machine: preset,
+        residence: Some(Level::Ram),
+        verify: false,
+        ..LauncherOptions::default()
+    };
+    let total = machine.sockets * machine.cores_per_socket;
+    let series = core_sweep(&o, &program, total).expect("sweep succeeds");
+    let knee = mc_report::experiments::knee_x(&series, 1.1);
+    println!("─ fork-mode RAM saturation ─");
+    println!(
+        "  1 core {:.1} cycles/iter → {} cores {:.1} cycles/iter; knee at {} cores\n",
+        series.points[0].1,
+        total,
+        series.points.last().expect("points").1,
+        knee.map_or("none".to_owned(), |k| format!("{k:.0}")),
+    );
+
+    // Energy optima per residence level.
+    println!("─ energy-optimal core frequency (movaps ×8) ─");
+    for level in Level::ALL {
+        let w = Workload::resident_at(&machine, level);
+        let p = MicroCreator::new()
+            .generate(&load_stream(Mnemonic::Movaps, 8, 8))
+            .expect("generation succeeds")
+            .programs
+            .remove(0);
+        let points = energy_frequency_sweep(&p, &w, &machine);
+        if let Some(ghz) = energy_optimal_frequency(&points) {
+            println!("  {:4}: {ghz:.2} GHz", level.name());
+        }
+    }
+    ExitCode::from(exitcode::OK)
+}

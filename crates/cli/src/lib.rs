@@ -1,0 +1,77 @@
+//! # mc-tools — the MicroTools command-line binaries
+//!
+//! The paper ships two tools; this crate packages their command-line
+//! incarnations plus an architecture prober:
+//!
+//! * **`microcreator`** — XML kernel description in, benchmark programs
+//!   out (`.s` or `.c` files), with per-pass statistics (§3).
+//! * **`microlauncher`** — a kernel (generated `.s`, or an XML description
+//!   to generate-and-run) measured in the controlled environment, CSV out
+//!   (§4). Accepts the full 33-option surface via `--key=value` flags.
+//! * **`microprobe`** — characterizes one of the Table 1 machine models:
+//!   hierarchy latencies/bandwidths, saturation knees, energy optima.
+//!
+//! The binaries are thin wrappers: everything they do is library API
+//! (`mc-creator`, `mc-launcher`, `mc-simarch`), so scripted studies can
+//! skip the process boundary entirely.
+
+/// Shared exit-code convention for the binaries.
+pub mod exitcode {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// Bad command-line usage.
+    pub const USAGE: u8 = 2;
+    /// Input (XML/assembly) failed to parse or validate.
+    pub const BAD_INPUT: u8 = 3;
+    /// Generation or measurement failed.
+    pub const FAILED: u8 = 4;
+}
+
+/// Splits args into flags (`--x[=v]`) and positionals.
+pub fn split_args(args: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    for a in args {
+        if a.starts_with("--") {
+            flags.push(a.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (flags, positional)
+}
+
+/// Pulls `--name=value` out of a flag list, returning the remainder.
+pub fn take_flag(flags: &mut Vec<String>, name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let pos = flags.iter().position(|f| f.starts_with(&prefix) || f == name)?;
+    let flag = flags.remove(pos);
+    match flag.split_once('=') {
+        Some((_, v)) => Some(v.to_owned()),
+        None => Some(String::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_separates_flags_from_positionals() {
+        let args: Vec<String> =
+            ["input.xml", "--format=c", "out", "--limit=5"].iter().map(|s| s.to_string()).collect();
+        let (flags, pos) = split_args(&args);
+        assert_eq!(flags, vec!["--format=c", "--limit=5"]);
+        assert_eq!(pos, vec!["input.xml", "out"]);
+    }
+
+    #[test]
+    fn take_flag_removes_and_returns() {
+        let mut flags: Vec<String> =
+            ["--format=c", "--verbose"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_flag(&mut flags, "--format"), Some("c".into()));
+        assert_eq!(take_flag(&mut flags, "--verbose"), Some(String::new()));
+        assert_eq!(take_flag(&mut flags, "--missing"), None);
+        assert!(flags.is_empty());
+    }
+}

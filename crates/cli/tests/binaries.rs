@@ -1,0 +1,230 @@
+//! Integration tests driving the actual compiled binaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn figure6_xml_file(dir: &PathBuf) -> PathBuf {
+    let xml = mc_kernel::xml::kernel_to_xml(&mc_kernel::builder::figure6());
+    let path = dir.join("figure6.xml");
+    std::fs::write(&path, xml).expect("write xml");
+    path
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mc_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn microcreator_generates_510_files() {
+    let dir = scratch("creator");
+    let xml = figure6_xml_file(&dir);
+    let out = dir.join("generated");
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg(&out)
+        .arg("--stats")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(result.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&result.stderr));
+    assert!(stdout.contains("generated 510 benchmark programs"), "{stdout}");
+    assert!(stdout.contains("operand-swap-after"), "--stats lists the passes: {stdout}");
+    let files: Vec<_> = std::fs::read_dir(&out).expect("outdir").collect();
+    assert_eq!(files.len(), 510);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microcreator_limit_and_print() {
+    let dir = scratch("creator2");
+    let xml = figure6_xml_file(&dir);
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg("--limit=5")
+        .arg("--list")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("generated 5 benchmark programs"), "{stdout}");
+    let name = stdout.lines().last().expect("a variant name").to_owned();
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg(format!("--print={name}"))
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains(".globl"), "{stdout}");
+    assert!(stdout.contains("jge .L6"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microcreator_rejects_bad_input() {
+    let dir = scratch("creator3");
+    let bad = dir.join("bad.xml");
+    std::fs::write(&bad, "<kernel><instruction/></kernel>").unwrap();
+    let result =
+        Command::new(env!("CARGO_BIN_EXE_microcreator")).arg(&bad).output().expect("runs");
+    assert!(!result.status.success());
+    assert_eq!(result.status.code(), Some(3), "BAD_INPUT exit code");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microlauncher_measures_an_xml_generation() {
+    let dir = scratch("launcher");
+    let xml = figure6_xml_file(&dir);
+    let result = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&xml)
+        .arg("--machine=x5650")
+        .arg("--residence=l1")
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg("--verify=false")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    // CSV header + 510 rows.
+    assert_eq!(stdout.lines().count(), 511, "{}", &stdout[..stdout.len().min(400)]);
+    assert!(stdout.starts_with("kernel,"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microlauncher_measures_handwritten_assembly() {
+    let dir = scratch("launcher2");
+    let kernel = dir.join("hand.s");
+    std::fs::write(
+        &kernel,
+        ".L0:\nmovss (%rsi), %xmm0\naddq $4, %rsi\nsubq $1, %rdi\njge .L0\n",
+    )
+    .unwrap();
+    let result = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--residence=l2")
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert!(stdout.lines().nth(1).expect("row").contains("L2"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microlauncher_help_lists_the_option_surface() {
+    let result = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(result.status.success());
+    for option in mc_launcher::LauncherOptions::OPTION_NAMES {
+        assert!(stdout.contains(option), "--help must document {option}");
+    }
+}
+
+#[test]
+fn microprobe_characterizes_each_machine() {
+    for machine in ["x5650", "x7550", "e31240"] {
+        let result = Command::new(env!("CARGO_BIN_EXE_microprobe"))
+            .arg(machine)
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&result.stdout);
+        assert!(result.status.success(), "{machine}: {}", String::from_utf8_lossy(&result.stderr));
+        assert!(stdout.contains("memory hierarchy"), "{stdout}");
+        assert!(stdout.contains("knee at"), "{stdout}");
+        assert!(stdout.contains("energy-optimal"), "{stdout}");
+    }
+    let bad = Command::new(env!("CARGO_BIN_EXE_microprobe")).arg("q6600").output().expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn machine_code_pipeline_end_to_end() {
+    // microcreator --format=bin → microlauncher kernel.bin: the full
+    // object-file loop of §4.1 through both binaries.
+    let dir = scratch("bin_pipeline");
+    let xml = figure6_xml_file(&dir);
+    let out = dir.join("objs");
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg(&out)
+        .arg("--limit=3")
+        .arg("--format=bin")
+        .output()
+        .expect("binary runs");
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    let first = std::fs::read_dir(&out)
+        .expect("outdir")
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "bin"))
+        .expect("a .bin file");
+    let result = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(first.path())
+        .arg("--residence=l1")
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg("--verify=false")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microcreator_random_selection_flag() {
+    let dir = scratch("random");
+    // A two-instruction pool without operand swaps: random bodies draw
+    // from {movss, movsd} streams.
+    let desc = mc_kernel::builder::KernelBuilder::new("pool")
+        .stream_instruction(mc_asm::Mnemonic::Movss, "r1", false)
+        .stream_instruction(mc_asm::Mnemonic::Movsd, "r2", false)
+        .unroll(1, 2)
+        .counted_by("r1")
+        .build()
+        .unwrap();
+    let xml = dir.join("pool.xml");
+    std::fs::write(&xml, mc_kernel::xml::kernel_to_xml(&desc)).unwrap();
+    let run = |seed: u32| -> String {
+        let out_dir = dir.join(format!("out_{seed}_{}", std::time::UNIX_EPOCH.elapsed().map(|d| d.subsec_nanos()).unwrap_or(0)));
+        let out = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+            .arg(&xml)
+            .arg(&out_dir)
+            .arg("--random=6,3")
+            .arg(format!("--seed={seed}"))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        // Concatenate every emitted file (sorted) as the run's fingerprint.
+        let mut names: Vec<_> = std::fs::read_dir(&out_dir)
+            .expect("outdir")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        names.sort();
+        names
+            .iter()
+            .map(|p| std::fs::read_to_string(p).expect("read emitted file"))
+            .collect()
+    };
+    let a = run(1);
+    assert!(!a.is_empty());
+    assert_eq!(run(1), a, "same seed, same programs");
+    assert_ne!(run(2), a, "different seed, different draws");
+    let bad = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg("--random=oops")
+        .output()
+        .expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,90 @@
+//! Generation configuration.
+
+/// Configuration of the random-instruction-selection pass (§3.2:
+/// "instruction repetition and random instruction selection").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomSelection {
+    /// How many random orderings/subsets to generate per candidate.
+    pub variants: u32,
+    /// Length of each generated kernel body (instructions are drawn with
+    /// replacement from the description's body).
+    pub length: u32,
+}
+
+/// Knobs controlling a generation run.
+#[derive(Debug, Clone)]
+pub struct CreatorConfig {
+    /// Optional cap on the number of final programs (§3.2: "The user can
+    /// limit the number of benchmark programs if it is superfluous").
+    /// `None` keeps everything.
+    pub limit: Option<usize>,
+    /// Seed for every stochastic decision (random selection, limit
+    /// sampling). Two runs with equal seeds produce identical programs.
+    pub seed: u64,
+    /// Enables the random-selection pass (whose gate is otherwise false).
+    pub random_selection: Option<RandomSelection>,
+    /// Emit Figure 8-style `#` comments into generated assembly.
+    pub emit_comments: bool,
+    /// Safety cap on the in-flight candidate set; exceeded means the
+    /// cartesian expansion of the description is unreasonably large.
+    pub max_candidates: usize,
+}
+
+impl Default for CreatorConfig {
+    fn default() -> Self {
+        CreatorConfig {
+            limit: None,
+            seed: 0x4d43_2012, // "MC" 2012
+            random_selection: None,
+            emit_comments: true,
+            max_candidates: 100_000,
+        }
+    }
+}
+
+impl CreatorConfig {
+    /// Sets the final-program cap.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables random instruction selection.
+    pub fn with_random_selection(mut self, sel: RandomSelection) -> Self {
+        self.random_selection = Some(sel);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_deterministic_and_unlimited() {
+        let c = CreatorConfig::default();
+        assert_eq!(c.limit, None);
+        assert!(c.random_selection.is_none());
+        assert!(c.emit_comments);
+        assert!(c.max_candidates >= 10_000);
+        // Same default seed across calls.
+        assert_eq!(c.seed, CreatorConfig::default().seed);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = CreatorConfig::default()
+            .with_limit(42)
+            .with_seed(7)
+            .with_random_selection(RandomSelection { variants: 3, length: 5 });
+        assert_eq!(c.limit, Some(42));
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.random_selection.unwrap().variants, 3);
+    }
+}

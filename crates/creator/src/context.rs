@@ -1,0 +1,119 @@
+//! Shared mutable state threaded through the passes.
+
+use crate::candidate::Candidate;
+use crate::config::CreatorConfig;
+use crate::error::{CreatorError, CreatorResult};
+use mc_kernel::Program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generation context: configuration, the in-flight candidate set, the
+/// finished programs, and the seeded RNG every stochastic pass must use.
+pub struct GenContext {
+    /// Run configuration.
+    pub config: CreatorConfig,
+    /// In-flight candidates; expansion passes grow this set.
+    pub candidates: Vec<Candidate>,
+    /// Finished programs (filled by the `codegen` pass).
+    pub programs: Vec<Program>,
+    /// The seeded RNG (determinism contract: passes draw only from here).
+    pub rng: StdRng,
+}
+
+impl GenContext {
+    /// Creates a context holding the seed candidate for one description.
+    pub fn new(desc: mc_kernel::KernelDesc, config: CreatorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        GenContext { config, candidates: vec![Candidate::seed(desc)], programs: Vec::new(), rng }
+    }
+
+    /// Replaces every candidate with the expansion `f` produces for it,
+    /// enforcing the candidate-explosion cap. `pass` names the caller for
+    /// error reporting.
+    pub fn expand<F>(&mut self, pass: &str, mut f: F) -> CreatorResult<()>
+    where
+        F: FnMut(&Candidate) -> CreatorResult<Vec<Candidate>>,
+    {
+        let mut next = Vec::with_capacity(self.candidates.len());
+        for cand in &self.candidates {
+            let produced = f(cand)?;
+            next.extend(produced);
+            if next.len() > self.config.max_candidates {
+                return Err(CreatorError::TooManyCandidates {
+                    cap: self.config.max_candidates,
+                    pass: pass.to_owned(),
+                });
+            }
+        }
+        self.candidates = next;
+        Ok(())
+    }
+
+    /// Applies an in-place transformation to every candidate.
+    pub fn for_each<F>(&mut self, pass: &str, mut f: F) -> CreatorResult<()>
+    where
+        F: FnMut(&mut Candidate) -> Result<(), String>,
+    {
+        for cand in &mut self.candidates {
+            f(cand).map_err(|message| CreatorError::Pass { pass: pass.into(), message })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_kernel::builder::figure6;
+
+    fn ctx() -> GenContext {
+        GenContext::new(figure6(), CreatorConfig::default())
+    }
+
+    #[test]
+    fn starts_with_one_seed() {
+        let c = ctx();
+        assert_eq!(c.candidates.len(), 1);
+        assert!(c.programs.is_empty());
+    }
+
+    #[test]
+    fn expand_replaces_candidates() {
+        let mut c = ctx();
+        c.expand("test", |cand| Ok(vec![cand.clone(), cand.clone(), cand.clone()]))
+            .unwrap();
+        assert_eq!(c.candidates.len(), 3);
+        c.expand("test", |_| Ok(vec![])).unwrap();
+        assert!(c.candidates.is_empty());
+    }
+
+    #[test]
+    fn expand_enforces_cap() {
+        let mut c = ctx();
+        c.config.max_candidates = 5;
+        let err = c
+            .expand("exploder", |cand| Ok(vec![cand.clone(); 10]))
+            .unwrap_err();
+        assert!(matches!(err, CreatorError::TooManyCandidates { cap: 5, .. }));
+    }
+
+    #[test]
+    fn for_each_reports_pass_name() {
+        let mut c = ctx();
+        let err = c.for_each("failing-pass", |_| Err("broke".into())).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "pass `failing-pass` failed: broke"
+        );
+    }
+
+    #[test]
+    fn rng_is_seed_deterministic() {
+        use rand::Rng;
+        let mut a = GenContext::new(figure6(), CreatorConfig::default().with_seed(9));
+        let mut b = GenContext::new(figure6(), CreatorConfig::default().with_seed(9));
+        let va: u64 = a.rng.gen();
+        let vb: u64 = b.rng.gen();
+        assert_eq!(va, vb);
+    }
+}

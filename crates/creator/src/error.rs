@@ -1,0 +1,85 @@
+//! Errors produced during generation.
+
+use std::fmt;
+
+/// Result alias for generation operations.
+pub type CreatorResult<T> = Result<T, CreatorError>;
+
+/// Errors from MicroCreator's pass pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CreatorError {
+    /// The input description was invalid.
+    Kernel(mc_kernel::KernelError),
+    /// A pass failed.
+    Pass {
+        /// Name of the failing pass.
+        pass: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The candidate set exceeded the configured safety cap — the
+    /// description's cartesian expansion is too large.
+    TooManyCandidates {
+        /// The configured cap.
+        cap: usize,
+        /// Pass at which the cap was exceeded.
+        pass: String,
+    },
+    /// A plugin failed to initialize or referenced an unknown pass.
+    Plugin(String),
+    /// Filesystem error while emitting programs.
+    Io(String),
+}
+
+impl fmt::Display for CreatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CreatorError::Kernel(e) => write!(f, "{e}"),
+            CreatorError::Pass { pass, message } => write!(f, "pass `{pass}` failed: {message}"),
+            CreatorError::TooManyCandidates { cap, pass } => write!(
+                f,
+                "candidate explosion: more than {cap} candidates after pass `{pass}` \
+                 (raise CreatorConfig::max_candidates or narrow the description)"
+            ),
+            CreatorError::Plugin(m) => write!(f, "plugin error: {m}"),
+            CreatorError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CreatorError {}
+
+impl From<mc_kernel::KernelError> for CreatorError {
+    fn from(e: mc_kernel::KernelError) -> Self {
+        CreatorError::Kernel(e)
+    }
+}
+
+impl From<std::io::Error> for CreatorError {
+    fn from(e: std::io::Error) -> Self {
+        CreatorError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CreatorError::Pass { pass: "unrolling".into(), message: "boom".into() };
+        assert!(e.to_string().contains("unrolling"));
+        let e = CreatorError::TooManyCandidates { cap: 10, pass: "operand-swap-after".into() };
+        assert!(e.to_string().contains("10"));
+        let e = CreatorError::Plugin("no such pass".into());
+        assert!(e.to_string().contains("no such pass"));
+    }
+
+    #[test]
+    fn conversions() {
+        let ke = mc_kernel::KernelError::Invalid("x".into());
+        assert!(matches!(CreatorError::from(ke), CreatorError::Kernel(_)));
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(CreatorError::from(io), CreatorError::Io(_)));
+    }
+}

@@ -1,0 +1,190 @@
+//! The MicroCreator facade.
+
+use crate::config::CreatorConfig;
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::manager::PassManager;
+use crate::plugin::Plugin;
+use mc_kernel::{KernelDesc, Program};
+
+/// Per-pass statistics from one generation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name.
+    pub pass: String,
+    /// Whether the gate allowed the pass to run.
+    pub ran: bool,
+    /// Candidates alive after the pass.
+    pub candidates: usize,
+    /// Programs finished after the pass.
+    pub programs: usize,
+}
+
+/// Result of one generation run.
+#[derive(Debug, Clone)]
+pub struct GenerationResult {
+    /// The generated benchmark programs.
+    pub programs: Vec<Program>,
+    /// Per-pass statistics in pipeline order.
+    pub stats: Vec<PassStat>,
+}
+
+/// MicroCreator: expands a kernel description into its benchmark programs.
+pub struct MicroCreator {
+    pm: PassManager,
+    config: CreatorConfig,
+}
+
+impl Default for MicroCreator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MicroCreator {
+    /// A creator with the standard 19-pass pipeline and default config.
+    pub fn new() -> Self {
+        MicroCreator { pm: PassManager::standard(), config: CreatorConfig::default() }
+    }
+
+    /// A creator with a custom configuration.
+    pub fn with_config(config: CreatorConfig) -> Self {
+        MicroCreator { pm: PassManager::standard(), config }
+    }
+
+    /// Mutable access to the pipeline (for direct pass surgery).
+    pub fn pass_manager(&mut self) -> &mut PassManager {
+        &mut self.pm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CreatorConfig {
+        &self.config
+    }
+
+    /// Runs a plugin's `pluginInit` against this creator's pipeline.
+    pub fn register_plugin(&mut self, plugin: &dyn Plugin) -> CreatorResult<()> {
+        plugin.init(&mut self.pm)
+    }
+
+    /// Generates every program variant for a description.
+    pub fn generate(&self, desc: &KernelDesc) -> CreatorResult<GenerationResult> {
+        let mut ctx = GenContext::new(desc.clone(), self.config.clone());
+        let raw_stats = self.pm.run(&mut ctx)?;
+        let stats = raw_stats
+            .into_iter()
+            .map(|(pass, ran, candidates, programs)| PassStat { pass, ran, candidates, programs })
+            .collect();
+        Ok(GenerationResult { programs: ctx.programs, stats })
+    }
+
+    /// Parses a kernel description XML document and generates its programs.
+    pub fn generate_from_xml(&self, xml: &str) -> CreatorResult<GenerationResult> {
+        let desc = mc_kernel::xml::parse_kernel(xml)?;
+        self.generate(&desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_asm::inst::Mnemonic;
+    use mc_kernel::builder::figure6;
+    use mc_kernel::{OperationDesc, UnrollRange};
+
+    #[test]
+    fn figure6_generates_510_programs() {
+        // §3: "MicroCreator generated 510 benchmark program variations"
+        // from the (Load|Store)+ file: Σ_{u=1..8} 2^u = 510.
+        let result = MicroCreator::new().generate(&figure6()).unwrap();
+        assert_eq!(result.programs.len(), 510);
+    }
+
+    #[test]
+    fn four_instruction_study_exceeds_two_thousand() {
+        // §3: "MicroCreator automatically generates more than two thousand
+        // benchmark programs from a single input file" — the four-mnemonic
+        // variant of Figure 6: 4 × 510 = 2040.
+        let mut desc = figure6();
+        desc.instructions[0].operation = OperationDesc::Choice(vec![
+            Mnemonic::Movss,
+            Mnemonic::Movsd,
+            Mnemonic::Movaps,
+            Mnemonic::Movapd,
+        ]);
+        let result = MicroCreator::new().generate(&desc).unwrap();
+        assert_eq!(result.programs.len(), 2040);
+        assert!(result.programs.len() > 2000);
+    }
+
+    #[test]
+    fn stats_cover_all_nineteen_passes() {
+        let result = MicroCreator::new().generate(&figure6()).unwrap();
+        assert_eq!(result.stats.len(), 19);
+        assert_eq!(result.stats[0].pass, "validate-input");
+        assert_eq!(result.stats[18].pass, "codegen");
+        // Gated-off passes are recorded as not-run.
+        let random = result.stats.iter().find(|s| s.pass == "random-selection").unwrap();
+        assert!(!random.ran);
+        let limit = result.stats.iter().find(|s| s.pass == "limit").unwrap();
+        assert!(!limit.ran);
+    }
+
+    #[test]
+    fn limit_config_caps_output() {
+        let creator = MicroCreator::with_config(CreatorConfig::default().with_limit(25));
+        let result = creator.generate(&figure6()).unwrap();
+        assert_eq!(result.programs.len(), 25);
+    }
+
+    #[test]
+    fn generate_from_xml_matches_builder() {
+        let xml = mc_kernel::xml::kernel_to_xml(&figure6());
+        let from_xml = MicroCreator::new().generate_from_xml(&xml).unwrap();
+        let from_builder = MicroCreator::new().generate(&figure6()).unwrap();
+        assert_eq!(from_xml.programs.len(), from_builder.programs.len());
+        for (a, b) in from_xml.programs.iter().zip(&from_builder.programs) {
+            assert_eq!(a.to_asm_string(), b.to_asm_string());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MicroCreator::new().generate(&figure6()).unwrap();
+        let b = MicroCreator::new().generate(&figure6()).unwrap();
+        let texts = |r: &GenerationResult| -> Vec<String> {
+            r.programs.iter().map(|p| p.to_asm_string()).collect()
+        };
+        assert_eq!(texts(&a), texts(&b));
+    }
+
+    #[test]
+    fn figure8_text_is_among_the_generated_programs() {
+        // The exact Figure 8 output (modulo the explicit `0(%rsi)` spelling)
+        // must be one of the 510.
+        let result = MicroCreator::new().generate(&figure6()).unwrap();
+        let expected = "\
+.L6:
+\t#Unrolling iterations
+\tmovaps %xmm0, (%rsi)
+\tmovaps 16(%rsi), %xmm1
+\tmovaps %xmm2, 32(%rsi)
+\t#Induction variables
+\taddq $48, %rsi
+\tsubq $12, %rdi
+\tjge .L6
+";
+        assert!(
+            result.programs.iter().any(|p| p.to_asm_string() == expected),
+            "Figure 8 kernel not found among generated programs"
+        );
+    }
+
+    #[test]
+    fn invalid_description_fails_at_validate() {
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange { min: 3, max: 1 };
+        let err = MicroCreator::new().generate(&desc).unwrap_err();
+        assert!(err.to_string().contains("unroll"), "{err}");
+    }
+}

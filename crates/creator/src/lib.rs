@@ -1,0 +1,65 @@
+//! # mc-creator — MicroCreator
+//!
+//! MicroCreator "automatically creates micro-programs for evaluating effects
+//! of minor changes in a program on an architecture" (§3). From a single
+//! kernel description it expands every requested variation — instruction
+//! selection, strides, immediates, operand swaps before and after
+//! unrolling, unroll factors, register allocation — through a source-to-
+//! source compiler of **nineteen passes** (§3.2, Figure 7), extensible via
+//! a GCC-style plugin system (§3.3) in which every pass has a replaceable
+//! *gate* deciding whether it runs.
+//!
+//! ```
+//! use mc_creator::MicroCreator;
+//! use mc_kernel::builder::figure6;
+//!
+//! let creator = MicroCreator::new();
+//! let result = creator.generate(&figure6()).unwrap();
+//! // The paper: "MicroCreator generated 510 benchmark program variations"
+//! // from the Figure 6 input (unroll 1–8 × every (Load|Store)+ pattern).
+//! assert_eq!(result.programs.len(), 510);
+//! ```
+//!
+//! The pipeline (pass names in execution order):
+//!
+//! | # | pass | role |
+//! |---|------|------|
+//! | 1 | `validate-input` | structural validation of the description |
+//! | 2 | `instruction-repetition` | expand `<repeat>` ranges |
+//! | 3 | `instruction-selection` | expand operation choices / move semantics |
+//! | 4 | `random-selection` | seeded random instruction orderings (gated off by default) |
+//! | 5 | `stride-selection` | expand induction increment choices |
+//! | 6 | `immediate-selection` | expand immediate value choices |
+//! | 7 | `operand-swap-before` | load↔store swap before unrolling |
+//! | 8 | `unroll-selection` | one candidate per unroll factor |
+//! | 9 | `unrolling` | materialize unrolled copies |
+//! | 10 | `operand-swap-after` | per-copy load↔store swap (all combinations) |
+//! | 11 | `register-allocation` | bind logical registers per the SysV argument ABI |
+//! | 12 | `xmm-rotation` | resolve rotating XMM ranges per copy |
+//! | 13 | `concretize` | resolve displacements; build concrete instructions |
+//! | 14 | `induction-insertion` | emit per-loop induction updates |
+//! | 15 | `branch-insertion` | loop label and conditional back-branch |
+//! | 16 | `peephole` | canonicalizations (drop `add $0`, …) |
+//! | 17 | `dedup` | remove textually identical programs |
+//! | 18 | `limit` | cap the number of programs (gated: only when configured) |
+//! | 19 | `codegen` | final [`mc_kernel::Program`] values and names |
+
+pub mod candidate;
+pub mod config;
+pub mod context;
+pub mod emit;
+pub mod error;
+pub mod generator;
+pub mod manager;
+pub mod pass;
+pub mod passes;
+pub mod plugin;
+
+pub use candidate::Candidate;
+pub use config::{CreatorConfig, RandomSelection};
+pub use context::GenContext;
+pub use error::{CreatorError, CreatorResult};
+pub use generator::{GenerationResult, MicroCreator, PassStat};
+pub use manager::PassManager;
+pub use pass::Pass;
+pub use plugin::Plugin;

@@ -1,0 +1,101 @@
+//! The pass abstraction.
+
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+
+/// One compiler pass. "As opposed to general compiler passes, the passes in
+/// MicroCreator are entirely independent" (§3.3): each consumes and updates
+/// the candidate set in [`GenContext`] without ordering side-channels, so
+/// plugins may add, remove, replace, or re-gate passes freely.
+pub trait Pass {
+    /// Unique pass name (used by the plugin API to address passes).
+    fn name(&self) -> &str;
+
+    /// The gate: whether the pass should execute for this run. "Most
+    /// internal passes are performed because their gates always return
+    /// true. A user may modify it so as not to always execute the pass"
+    /// (§3.3).
+    fn gate(&self, _ctx: &GenContext) -> bool {
+        true
+    }
+
+    /// Executes the pass.
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()>;
+}
+
+/// A pass built from closures — convenient for plugins and tests.
+pub struct FnPass<G, R>
+where
+    G: Fn(&GenContext) -> bool,
+    R: Fn(&mut GenContext) -> CreatorResult<()>,
+{
+    name: String,
+    gate: G,
+    run: R,
+}
+
+impl<R> FnPass<fn(&GenContext) -> bool, R>
+where
+    R: Fn(&mut GenContext) -> CreatorResult<()>,
+{
+    /// A pass with an always-true gate.
+    pub fn new(name: impl Into<String>, run: R) -> Self {
+        FnPass { name: name.into(), gate: |_| true, run }
+    }
+}
+
+impl<G, R> FnPass<G, R>
+where
+    G: Fn(&GenContext) -> bool,
+    R: Fn(&mut GenContext) -> CreatorResult<()>,
+{
+    /// A pass with an explicit gate.
+    pub fn gated(name: impl Into<String>, gate: G, run: R) -> Self {
+        FnPass { name: name.into(), gate, run }
+    }
+}
+
+impl<G, R> Pass for FnPass<G, R>
+where
+    G: Fn(&GenContext) -> bool,
+    R: Fn(&mut GenContext) -> CreatorResult<()>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn gate(&self, ctx: &GenContext) -> bool {
+        (self.gate)(ctx)
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        (self.run)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use mc_kernel::builder::figure6;
+
+    #[test]
+    fn fn_pass_runs() {
+        let p = FnPass::new("clear", |ctx: &mut GenContext| {
+            ctx.candidates.clear();
+            Ok(())
+        });
+        let mut ctx = GenContext::new(figure6(), CreatorConfig::default());
+        assert_eq!(p.name(), "clear");
+        assert!(p.gate(&ctx));
+        p.run(&mut ctx).unwrap();
+        assert!(ctx.candidates.is_empty());
+    }
+
+    #[test]
+    fn gated_pass_reports_gate() {
+        let p = FnPass::gated("never", |_| false, |_| Ok(()));
+        let ctx = GenContext::new(figure6(), CreatorConfig::default());
+        assert!(!p.gate(&ctx));
+    }
+}

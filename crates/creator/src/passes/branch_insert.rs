@@ -1,0 +1,107 @@
+//! Pass 15: branch insertion — assemble the final line list.
+//!
+//! Emits the loop label, the body, the induction tail, and the conditional
+//! back-branch, with Figure 8's explanatory comments when enabled.
+
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::pass::Pass;
+use mc_asm::format::AsmLine;
+use mc_asm::inst::Inst;
+
+/// Builds `candidate.lines`.
+pub struct BranchInsertion;
+
+impl Pass for BranchInsertion {
+    fn name(&self) -> &str {
+        "branch-insertion"
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        let comments = ctx.config.emit_comments;
+        ctx.for_each(self.name(), |cand| {
+            let label = cand.desc.branch.asm_label();
+            let mut lines =
+                Vec::with_capacity(cand.body.len() + cand.tail.len() + 4);
+            lines.push(AsmLine::Label(label.clone()));
+            if comments {
+                lines.push(AsmLine::Comment("Unrolling iterations".into()));
+            }
+            lines.extend(cand.body.iter().cloned().map(AsmLine::Inst));
+            if comments {
+                lines.push(AsmLine::Comment("Induction variables".into()));
+            }
+            lines.extend(cand.tail.iter().cloned().map(AsmLine::Inst));
+            lines.push(AsmLine::Inst(Inst::branch(cand.desc.branch.mnemonic(), label)));
+            cand.lines = lines;
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use crate::passes::{
+        concretize::Concretize, induction_insert::InductionInsertion,
+        regalloc::RegisterAllocation, unroll_select::UnrollSelection, unrolling::Unrolling,
+        xmm_rotation::XmmRotation,
+    };
+    use mc_kernel::builder::figure6;
+    use mc_kernel::UnrollRange;
+
+    fn pipeline_to_branch(comments: bool) -> GenContext {
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(3);
+        desc.instructions[0].swap_after_unroll = false;
+        let mut cfg = CreatorConfig::default();
+        cfg.emit_comments = comments;
+        let mut ctx = GenContext::new(desc, cfg);
+        UnrollSelection.run(&mut ctx).unwrap();
+        Unrolling.run(&mut ctx).unwrap();
+        RegisterAllocation.run(&mut ctx).unwrap();
+        XmmRotation.run(&mut ctx).unwrap();
+        Concretize.run(&mut ctx).unwrap();
+        InductionInsertion.run(&mut ctx).unwrap();
+        BranchInsertion.run(&mut ctx).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn figure8_shape_with_comments() {
+        let ctx = pipeline_to_branch(true);
+        let text = mc_asm::format::write_lines(&ctx.candidates[0].lines);
+        let expected = "\
+.L6:
+\t#Unrolling iterations
+\tmovaps (%rsi), %xmm0
+\tmovaps 16(%rsi), %xmm1
+\tmovaps 32(%rsi), %xmm2
+\t#Induction variables
+\taddq $48, %rsi
+\tsubq $12, %rdi
+\tjge .L6
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn no_comments_when_disabled() {
+        let ctx = pipeline_to_branch(false);
+        let text = mc_asm::format::write_lines(&ctx.candidates[0].lines);
+        assert!(!text.contains('#'), "{text}");
+        assert!(text.starts_with(".L6:\n"));
+        assert!(text.ends_with("jge .L6\n"));
+    }
+
+    #[test]
+    fn branch_targets_the_label() {
+        let ctx = pipeline_to_branch(true);
+        let last = ctx.candidates[0].lines.last().unwrap();
+        match last {
+            AsmLine::Inst(i) => assert_eq!(i.target_label(), Some(".L6")),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+}

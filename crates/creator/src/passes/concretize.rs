@@ -1,0 +1,157 @@
+//! Pass 13: concretization — resolve remaining references and build the
+//! concrete instruction body.
+//!
+//! Displacement rule (Figures 6 → 8): copy `i` of an instruction whose
+//! memory base is induction register `r` addresses
+//! `offset + i × r.offset_step`, e.g. `0(%rsi)`, `16(%rsi)`, `32(%rsi)` for
+//! the three movaps copies.
+
+use crate::candidate::Candidate;
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::pass::Pass;
+use mc_asm::inst::{Inst, MemRef, Operand};
+use mc_kernel::{InstructionDesc, OperandDesc};
+
+/// Builds `candidate.body` from the resolved copy list.
+pub struct Concretize;
+
+impl Pass for Concretize {
+    fn name(&self) -> &str {
+        "concretize"
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        ctx.for_each(self.name(), |cand| {
+            let mut body = Vec::with_capacity(cand.copies.len());
+            for (inst, copy) in &cand.copies {
+                body.push(concretize_instruction(cand, inst, *copy)?);
+            }
+            cand.body = body;
+            Ok(())
+        })
+    }
+}
+
+/// Lowers one description instruction at a given copy index.
+pub fn concretize_instruction(
+    cand: &Candidate,
+    inst: &InstructionDesc,
+    copy: u32,
+) -> Result<Inst, String> {
+    let mnemonic = inst
+        .operation
+        .fixed()
+        .ok_or_else(|| "operation not fixed — instruction-selection did not run".to_owned())?;
+    let mut operands = Vec::with_capacity(inst.operands.len());
+    for op in &inst.operands {
+        operands.push(match op {
+            OperandDesc::Register(r) => Operand::Reg(
+                cand.resolve_reg(r, copy)
+                    .ok_or_else(|| format!("unbound register reference {r}"))?,
+            ),
+            OperandDesc::Immediate(imm) => {
+                if imm.choices.len() != 1 {
+                    return Err("immediate not selected — immediate-selection did not run".into());
+                }
+                Operand::Imm(imm.choices[0])
+            }
+            OperandDesc::Memory(mem) => {
+                let base = cand
+                    .resolve_reg(&mem.base, copy)
+                    .ok_or_else(|| format!("unbound memory base {}", mem.base))?;
+                // Displacement step from the base register's induction.
+                let step = cand
+                    .desc
+                    .inductions
+                    .iter()
+                    .find(|ind| ind.register == mem.base)
+                    .map(|ind| ind.offset_step)
+                    .unwrap_or(0);
+                let disp = mem.offset + i64::from(copy) * step;
+                let index = match &mem.index {
+                    Some((idx, scale)) => Some((
+                        cand.resolve_reg(idx, copy)
+                            .ok_or_else(|| format!("unbound index register {idx}"))?,
+                        *scale,
+                    )),
+                    None => None,
+                };
+                Operand::Mem(MemRef { base: Some(base), index, disp })
+            }
+        });
+    }
+    Ok(Inst::new(mnemonic, operands))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use crate::passes::{
+        regalloc::RegisterAllocation, unroll_select::UnrollSelection, unrolling::Unrolling,
+        xmm_rotation::XmmRotation,
+    };
+    use mc_kernel::builder::figure6;
+    use mc_kernel::UnrollRange;
+
+    fn run_through(unroll: u32) -> GenContext {
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(unroll);
+        // Disable the after-swap so the body stays all-loads.
+        desc.instructions[0].swap_after_unroll = false;
+        let mut ctx = GenContext::new(desc, CreatorConfig::default());
+        UnrollSelection.run(&mut ctx).unwrap();
+        Unrolling.run(&mut ctx).unwrap();
+        RegisterAllocation.run(&mut ctx).unwrap();
+        XmmRotation.run(&mut ctx).unwrap();
+        Concretize.run(&mut ctx).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn figure8_displacements_and_registers() {
+        let ctx = run_through(3);
+        let body = &ctx.candidates[0].body;
+        let texts: Vec<String> = body.iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "movaps (%rsi), %xmm0",
+                "movaps 16(%rsi), %xmm1",
+                "movaps 32(%rsi), %xmm2",
+            ]
+        );
+    }
+
+    #[test]
+    fn unroll_8_walks_full_stride_range() {
+        let ctx = run_through(8);
+        let disps: Vec<i64> = ctx.candidates[0]
+            .body
+            .iter()
+            .map(|i| i.load_ref().unwrap().disp)
+            .collect();
+        assert_eq!(disps, vec![0, 16, 32, 48, 64, 80, 96, 112]);
+    }
+
+    #[test]
+    fn unfixed_operation_is_an_error() {
+        let mut ctx = run_through(1);
+        // Damage a copy: revert its operation to a choice.
+        ctx.candidates[0].copies[0].0.operation = mc_kernel::OperationDesc::Choice(vec![
+            mc_asm::Mnemonic::Movss,
+            mc_asm::Mnemonic::Movsd,
+        ]);
+        let err = Concretize.run(&mut ctx).unwrap_err();
+        assert!(err.to_string().contains("not fixed"), "{err}");
+    }
+
+    #[test]
+    fn unbound_register_is_an_error() {
+        let mut ctx = run_through(1);
+        ctx.candidates[0].binding.clear();
+        let err = Concretize.run(&mut ctx).unwrap_err();
+        assert!(err.to_string().contains("unbound"), "{err}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Pass 17: deduplication — drop textually identical programs.
+//!
+//! Combining `swap_before_unroll` with `swap_after_unroll`, or symmetric
+//! operand choices, can synthesize the same assembly text through different
+//! choice paths; only the first occurrence is kept.
+
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::pass::Pass;
+use std::collections::HashSet;
+
+/// Removes duplicate candidates by rendered text.
+pub struct Dedup;
+
+impl Pass for Dedup {
+    fn name(&self) -> &str {
+        "dedup"
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        let mut seen: HashSet<String> = HashSet::with_capacity(ctx.candidates.len());
+        ctx.candidates.retain(|cand| {
+            let key = mc_asm::format::write_lines(&cand.lines);
+            seen.insert(key)
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use mc_asm::format::AsmLine;
+    use mc_asm::parse::parse_instruction;
+    use mc_kernel::builder::figure6;
+
+    fn line(text: &str) -> AsmLine {
+        AsmLine::Inst(parse_instruction(text).unwrap())
+    }
+
+    #[test]
+    fn keeps_first_of_identical_pair() {
+        let mut ctx = GenContext::new(figure6(), CreatorConfig::default());
+        let mut dup = ctx.candidates[0].clone();
+        ctx.candidates[0].lines = vec![line("movaps (%rsi), %xmm0")];
+        dup.lines = vec![line("movaps (%rsi), %xmm0")];
+        dup.meta.extra.push(("tag".into(), "second".into()));
+        ctx.candidates.push(dup);
+        Dedup.run(&mut ctx).unwrap();
+        assert_eq!(ctx.candidates.len(), 1);
+        assert!(ctx.candidates[0].meta.extra.is_empty(), "first occurrence won");
+    }
+
+    #[test]
+    fn distinct_programs_survive() {
+        let mut ctx = GenContext::new(figure6(), CreatorConfig::default());
+        let mut other = ctx.candidates[0].clone();
+        ctx.candidates[0].lines = vec![line("movaps (%rsi), %xmm0")];
+        other.lines = vec![line("movaps (%rsi), %xmm1")];
+        ctx.candidates.push(other);
+        Dedup.run(&mut ctx).unwrap();
+        assert_eq!(ctx.candidates.len(), 2);
+    }
+
+    #[test]
+    fn both_swaps_collapse_shared_patterns() {
+        // swap_before × swap_after on one instruction at unroll 1 yields
+        // {L,S} × {identity,flip} = 4 paths but only 2 distinct programs.
+        use crate::generator::MicroCreator;
+        let mut desc = figure6();
+        desc.unrolling = mc_kernel::UnrollRange::fixed(1);
+        desc.instructions[0].swap_before_unroll = true;
+        let result = MicroCreator::new().generate(&desc).unwrap();
+        assert_eq!(result.programs.len(), 2, "dedup collapsed the doubled pair");
+    }
+}

@@ -1,0 +1,161 @@
+//! Pass 14: induction insertion — emit the per-loop register updates.
+//!
+//! For Figure 6 at unroll 3 this produces Figure 8's
+//! `add $48, %rsi` / `sub $12, %rdi` pair: the address induction advances
+//! `16 × 3` bytes and the linked trip counter drops by
+//! `1 × 3 × (16 / 4)` elements. The `last_induction` update is emitted
+//! last so the loop branch consumes its flags.
+
+use crate::candidate::Candidate;
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::pass::Pass;
+use mc_asm::inst::{Inst, Mnemonic, Operand, Width};
+use mc_asm::reg::Reg;
+
+/// Appends induction update instructions to `candidate.tail` and records
+/// the per-iteration element count.
+pub struct InductionInsertion;
+
+impl Pass for InductionInsertion {
+    fn name(&self) -> &str {
+        "induction-insertion"
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        ctx.for_each(self.name(), |cand| {
+            let updates = per_loop_updates(cand)?;
+            let mut tail = Vec::with_capacity(updates.len());
+            let mut last_update: Option<Inst> = None;
+            for (idx, delta) in updates {
+                let ind = &cand.desc.inductions[idx];
+                let reg = cand
+                    .resolve_reg(&ind.register, 0)
+                    .ok_or_else(|| format!("unbound induction register {}", ind.register))?;
+                let width = match reg {
+                    Reg::Gpr(g) => g.width,
+                    Reg::Xmm(_) => {
+                        return Err(format!("induction register {reg} must be a GPR"));
+                    }
+                };
+                let inst = update_instruction(reg, width, delta);
+                if ind.last {
+                    cand.elements_per_iter = delta.unsigned_abs().max(1);
+                    last_update = Some(inst);
+                } else {
+                    tail.push(inst);
+                }
+            }
+            if let Some(inst) = last_update {
+                tail.push(inst);
+            }
+            cand.tail = tail;
+            Ok(())
+        })
+    }
+}
+
+/// `(induction index, per-loop delta)` for every induction, in declaration
+/// order, with linked inductions scaled into element units.
+pub fn per_loop_updates(cand: &Candidate) -> Result<Vec<(usize, i64)>, String> {
+    let mut out = Vec::with_capacity(cand.desc.inductions.len());
+    for (i, ind) in cand.desc.inductions.iter().enumerate() {
+        let increment = cand.increment_for(i);
+        let elements_per_copy = match &ind.linked {
+            Some(linked) => {
+                let target = cand
+                    .desc
+                    .inductions
+                    .iter()
+                    .position(|other| &other.register == linked)
+                    .ok_or_else(|| format!("dangling link to {linked}"))?;
+                cand.elements_per_copy(target)
+            }
+            None => 1,
+        };
+        out.push((i, ind.per_loop_update(increment, cand.unroll.max(1), elements_per_copy)));
+    }
+    Ok(out)
+}
+
+/// Builds `addq $d, reg` — canonicalized to `subq $|d|, reg` for negative
+/// deltas, matching Figure 8's `sub $12, %rdi`.
+fn update_instruction(reg: Reg, width: Width, delta: i64) -> Inst {
+    if delta < 0 {
+        Inst::binary(Mnemonic::Sub(width), Operand::Imm(-delta), Operand::Reg(reg))
+    } else {
+        Inst::binary(Mnemonic::Add(width), Operand::Imm(delta), Operand::Reg(reg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use crate::passes::regalloc::RegisterAllocation;
+    use mc_asm::reg::GprName;
+    use mc_kernel::builder::figure6;
+
+    fn prepared(unroll: u32) -> GenContext {
+        let mut ctx = GenContext::new(figure6(), CreatorConfig::default());
+        ctx.candidates[0].unroll = unroll;
+        ctx.candidates[0].chosen_increments = vec![16, -1];
+        RegisterAllocation.run(&mut ctx).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn figure8_updates() {
+        let mut ctx = prepared(3);
+        InductionInsertion.run(&mut ctx).unwrap();
+        let tail: Vec<String> =
+            ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
+        assert_eq!(tail, vec!["addq $48, %rsi", "subq $12, %rdi"]);
+        assert_eq!(ctx.candidates[0].elements_per_iter, 12);
+    }
+
+    #[test]
+    fn unroll_1_updates() {
+        let mut ctx = prepared(1);
+        InductionInsertion.run(&mut ctx).unwrap();
+        let tail: Vec<String> =
+            ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
+        assert_eq!(tail, vec!["addq $16, %rsi", "subq $4, %rdi"]);
+        assert_eq!(ctx.candidates[0].elements_per_iter, 4);
+    }
+
+    #[test]
+    fn last_update_is_emitted_last() {
+        // Reorder inductions so the counter comes first in the description;
+        // the emitted tail must still end with the counter update.
+        let mut desc = figure6();
+        desc.inductions.swap(0, 1);
+        let mut ctx = GenContext::new(desc, CreatorConfig::default());
+        ctx.candidates[0].unroll = 2;
+        RegisterAllocation.run(&mut ctx).unwrap();
+        InductionInsertion.run(&mut ctx).unwrap();
+        let tail = &ctx.candidates[0].tail;
+        assert_eq!(tail.last().unwrap().to_string(), "subq $8, %rdi");
+    }
+
+    #[test]
+    fn unaffected_counter_uses_register_width() {
+        // Figure 9: addl $1, %eax regardless of unrolling.
+        let mut desc = figure6();
+        desc.inductions.push(mc_kernel::InductionDesc {
+            register: mc_kernel::RegisterRef::Physical(Reg::gpr32(GprName::Rax)),
+            increment_choices: vec![1],
+            offset_step: 0,
+            linked: None,
+            last: false,
+            not_affected_unroll: true,
+        });
+        let mut ctx = GenContext::new(desc, CreatorConfig::default());
+        ctx.candidates[0].unroll = 8;
+        RegisterAllocation.run(&mut ctx).unwrap();
+        InductionInsertion.run(&mut ctx).unwrap();
+        let texts: Vec<String> =
+            ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
+        assert!(texts.contains(&"addl $1, %eax".to_owned()), "{texts:?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Pass 18: program-count limiting (gated: runs only when configured).
+//!
+//! §3.2: "The user can limit the number of benchmark programs if it is
+//! superfluous." The first `limit` candidates (in generation order, which
+//! is deterministic) are kept.
+
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::pass::Pass;
+
+/// Truncates the candidate set to the configured cap.
+pub struct Limit;
+
+impl Pass for Limit {
+    fn name(&self) -> &str {
+        "limit"
+    }
+
+    fn gate(&self, ctx: &GenContext) -> bool {
+        ctx.config.limit.is_some()
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        if let Some(cap) = ctx.config.limit {
+            ctx.candidates.truncate(cap);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use mc_kernel::builder::figure6;
+
+    #[test]
+    fn gated_off_without_limit() {
+        let ctx = GenContext::new(figure6(), CreatorConfig::default());
+        assert!(!Limit.gate(&ctx));
+    }
+
+    #[test]
+    fn truncates_to_cap() {
+        let cfg = CreatorConfig::default().with_limit(2);
+        let mut ctx = GenContext::new(figure6(), cfg);
+        let c = ctx.candidates[0].clone();
+        ctx.candidates = vec![c.clone(), c.clone(), c.clone(), c];
+        assert!(Limit.gate(&ctx));
+        Limit.run(&mut ctx).unwrap();
+        assert_eq!(ctx.candidates.len(), 2);
+    }
+
+    #[test]
+    fn cap_larger_than_set_is_noop() {
+        let cfg = CreatorConfig::default().with_limit(100);
+        let mut ctx = GenContext::new(figure6(), cfg);
+        Limit.run(&mut ctx).unwrap();
+        assert_eq!(ctx.candidates.len(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! The nineteen standard MicroCreator passes (§3.2, Figure 7).
+//!
+//! Each pass lives in its own module; [`standard_passes`] assembles them in
+//! pipeline order. Plugins manipulate the list through
+//! [`crate::PassManager`].
+
+pub mod branch_insert;
+pub mod codegen;
+pub mod concretize;
+pub mod dedup;
+pub mod immediate;
+pub mod induction_insert;
+pub mod limit;
+pub mod peephole;
+pub mod random;
+pub mod regalloc;
+pub mod repetition;
+pub mod selection;
+pub mod stride;
+pub mod swap_after;
+pub mod swap_before;
+pub mod unroll_select;
+pub mod unrolling;
+pub mod validate;
+pub mod xmm_rotation;
+
+use crate::pass::Pass;
+
+/// The standard pipeline, in execution order. Exactly nineteen passes, per
+/// the paper: "The MicroCreator compiler currently contains nineteen
+/// passes."
+pub fn standard_passes() -> Vec<Box<dyn Pass + Send + Sync>> {
+    vec![
+        Box::new(validate::ValidateInput),
+        Box::new(repetition::InstructionRepetition),
+        Box::new(selection::InstructionSelection),
+        Box::new(random::RandomInstructionSelection),
+        Box::new(stride::StrideSelection),
+        Box::new(immediate::ImmediateSelection),
+        Box::new(swap_before::OperandSwapBefore),
+        Box::new(unroll_select::UnrollSelection),
+        Box::new(unrolling::Unrolling),
+        Box::new(swap_after::OperandSwapAfter),
+        Box::new(regalloc::RegisterAllocation),
+        Box::new(xmm_rotation::XmmRotation),
+        Box::new(concretize::Concretize),
+        Box::new(induction_insert::InductionInsertion),
+        Box::new(branch_insert::BranchInsertion),
+        Box::new(peephole::Peephole),
+        Box::new(dedup::Dedup),
+        Box::new(limit::Limit),
+        Box::new(codegen::Codegen),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nineteen_passes_with_unique_names() {
+        let passes = super::standard_passes();
+        assert_eq!(passes.len(), 19);
+        let mut names: Vec<&str> = passes.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "pass names must be unique");
+    }
+}

@@ -1,0 +1,76 @@
+//! Pass 9: unrolling — materialize the unrolled copy list.
+//!
+//! Copy `i` of the body (0-based) is tagged with its copy index; later
+//! passes use the index for XMM rotation and displacement assignment.
+
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::pass::Pass;
+
+/// Replicates the body `unroll` times into `(instruction, copy_index)`
+/// pairs.
+pub struct Unrolling;
+
+impl Pass for Unrolling {
+    fn name(&self) -> &str {
+        "unrolling"
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        ctx.for_each(self.name(), |cand| {
+            if cand.unroll == 0 {
+                // A plugin removed unroll-selection: fall back to the
+                // range's minimum so the pipeline still completes.
+                cand.unroll = cand.desc.unrolling.min.max(1);
+                cand.meta.unroll = cand.unroll;
+            }
+            cand.copies = (0..cand.unroll)
+                .flat_map(|i| cand.desc.instructions.iter().map(move |inst| (inst.clone(), i)))
+                .collect();
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use mc_asm::inst::Mnemonic;
+    use mc_kernel::builder::{figure6, KernelBuilder};
+
+    #[test]
+    fn copies_are_body_times_unroll() {
+        let mut ctx = GenContext::new(figure6(), CreatorConfig::default());
+        ctx.candidates[0].unroll = 3;
+        Unrolling.run(&mut ctx).unwrap();
+        let copies = &ctx.candidates[0].copies;
+        assert_eq!(copies.len(), 3);
+        assert_eq!(copies.iter().map(|(_, i)| *i).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_instruction_body_interleaves_by_copy() {
+        let desc = KernelBuilder::new("multi")
+            .stream_instruction(Mnemonic::Movss, "r1", false)
+            .stream_instruction(Mnemonic::Movsd, "r2", false)
+            .build()
+            .unwrap();
+        let mut ctx = GenContext::new(desc, CreatorConfig::default());
+        ctx.candidates[0].unroll = 2;
+        Unrolling.run(&mut ctx).unwrap();
+        let copies = &ctx.candidates[0].copies;
+        assert_eq!(copies.len(), 4);
+        // copy 0 of both instructions, then copy 1 of both.
+        assert_eq!(copies.iter().map(|(_, i)| *i).collect::<Vec<_>>(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn missing_unroll_selection_falls_back_to_min() {
+        let mut ctx = GenContext::new(figure6(), CreatorConfig::default());
+        assert_eq!(ctx.candidates[0].unroll, 0);
+        Unrolling.run(&mut ctx).unwrap();
+        assert_eq!(ctx.candidates[0].unroll, 1);
+        assert_eq!(ctx.candidates[0].copies.len(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Pass 12: XMM rotation.
+//!
+//! §3.1: "When using XMM registers, provide their name with a minimum and
+//! maximum field so as to generate a different XMM register per unrolling
+//! iteration. Doing so reduces register dependency." Every
+//! [`mc_kernel::RegisterRef::XmmRange`] in copy `i` resolves to
+//! `%xmm(min + i mod (max−min))`; all ranges within one copy share the
+//! register, so load → multiply → accumulate chains stay coherent.
+
+use crate::context::GenContext;
+use crate::error::CreatorResult;
+use crate::pass::Pass;
+use mc_kernel::{OperandDesc, RegisterRef};
+
+/// Resolves rotating XMM register ranges to physical registers.
+pub struct XmmRotation;
+
+impl Pass for XmmRotation {
+    fn name(&self) -> &str {
+        "xmm-rotation"
+    }
+
+    fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
+        ctx.for_each(self.name(), |cand| {
+            for (inst, copy) in &mut cand.copies {
+                for op in &mut inst.operands {
+                    if let OperandDesc::Register(r @ RegisterRef::XmmRange { .. }) = op {
+                        let resolved = r
+                            .resolve(*copy, &|_| None)
+                            .ok_or_else(|| format!("empty XMM range {r}"))?;
+                        *r = RegisterRef::Physical(resolved);
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreatorConfig;
+    use crate::passes::{unroll_select::UnrollSelection, unrolling::Unrolling};
+    use mc_asm::reg::Reg;
+    use mc_kernel::builder::figure6;
+    use mc_kernel::UnrollRange;
+
+    fn rotated_ctx(unroll: u32) -> GenContext {
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(unroll);
+        let mut ctx = GenContext::new(desc, CreatorConfig::default());
+        UnrollSelection.run(&mut ctx).unwrap();
+        Unrolling.run(&mut ctx).unwrap();
+        XmmRotation.run(&mut ctx).unwrap();
+        ctx
+    }
+
+    fn xmm_of(inst: &mc_kernel::InstructionDesc) -> Reg {
+        inst.operands
+            .iter()
+            .find_map(|op| match op {
+                OperandDesc::Register(RegisterRef::Physical(r)) if r.is_xmm() => Some(*r),
+                _ => None,
+            })
+            .expect("instruction has a resolved XMM operand")
+    }
+
+    #[test]
+    fn figure8_rotation_xmm0_1_2() {
+        let ctx = rotated_ctx(3);
+        let regs: Vec<Reg> =
+            ctx.candidates[0].copies.iter().map(|(inst, _)| xmm_of(inst)).collect();
+        assert_eq!(regs, vec![Reg::xmm(0), Reg::xmm(1), Reg::xmm(2)]);
+    }
+
+    #[test]
+    fn rotation_wraps_past_range() {
+        // Unroll 8 with range [0,8): last copy gets %xmm7 (no wrap yet)…
+        let ctx = rotated_ctx(8);
+        let regs: Vec<Reg> =
+            ctx.candidates[0].copies.iter().map(|(inst, _)| xmm_of(inst)).collect();
+        assert_eq!(regs.last(), Some(&Reg::xmm(7)));
+        // …and a narrower range wraps.
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(4);
+        if let OperandDesc::Register(RegisterRef::XmmRange { max, .. }) =
+            &mut desc.instructions[0].operands[1]
+        {
+            *max = 2;
+        }
+        let mut ctx = GenContext::new(desc, CreatorConfig::default());
+        UnrollSelection.run(&mut ctx).unwrap();
+        Unrolling.run(&mut ctx).unwrap();
+        XmmRotation.run(&mut ctx).unwrap();
+        let regs: Vec<Reg> =
+            ctx.candidates[0].copies.iter().map(|(inst, _)| xmm_of(inst)).collect();
+        assert_eq!(regs, vec![Reg::xmm(0), Reg::xmm(1), Reg::xmm(0), Reg::xmm(1)]);
+    }
+
+    #[test]
+    fn logical_registers_untouched() {
+        let ctx = rotated_ctx(2);
+        for (inst, _) in &ctx.candidates[0].copies {
+            let mem = inst.operands.iter().find_map(|o| o.as_memory()).unwrap();
+            assert_eq!(mem.base.logical_name(), Some("r1"), "memory base still logical");
+        }
+    }
+}

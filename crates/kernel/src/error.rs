@@ -1,0 +1,80 @@
+//! Error type shared by kernel-description parsing and validation.
+
+use std::fmt;
+
+/// Result alias for kernel operations.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+/// Errors produced while parsing or validating a kernel description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The XML was well-formed but missing a required element.
+    MissingElement {
+        /// Element that should have contained it.
+        parent: String,
+        /// The missing child element name.
+        child: String,
+    },
+    /// An element's text could not be interpreted.
+    InvalidValue {
+        /// The element whose value is bad.
+        element: String,
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// The description is structurally invalid (e.g. no `last_induction`).
+    Invalid(String),
+    /// Underlying XML syntax error.
+    Xml(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::MissingElement { parent, child } => {
+                write!(f, "missing `<{child}>` inside `<{parent}>`")
+            }
+            KernelError::InvalidValue { element, found, expected } => {
+                write!(f, "invalid `<{element}>`: expected {expected}, found `{found}`")
+            }
+            KernelError::Invalid(msg) => write!(f, "invalid kernel description: {msg}"),
+            KernelError::Xml(msg) => write!(f, "XML error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<mc_xmlite::XmlError> for KernelError {
+    fn from(e: mc_xmlite::XmlError) -> Self {
+        KernelError::Xml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = KernelError::MissingElement { parent: "instruction".into(), child: "operation".into() };
+        assert!(e.to_string().contains("<operation>"));
+        let e = KernelError::InvalidValue {
+            element: "min".into(),
+            found: "x".into(),
+            expected: "an integer".into(),
+        };
+        assert!(e.to_string().contains("expected an integer"));
+        let e = KernelError::Invalid("no last induction".into());
+        assert!(e.to_string().contains("no last induction"));
+    }
+
+    #[test]
+    fn from_xml_error() {
+        let xe = mc_xmlite::Element::parse("<a").unwrap_err();
+        let ke: KernelError = xe.into();
+        assert!(matches!(ke, KernelError::Xml(_)));
+    }
+}

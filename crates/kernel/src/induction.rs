@@ -1,0 +1,149 @@
+//! Induction-variable descriptions.
+
+use crate::operand::RegisterRef;
+
+/// An induction variable of the kernel loop (Figure 6's `<induction>`).
+///
+/// Two flavours appear in the paper:
+/// * Address inductions (`r1`): advance pointers by `increment × unroll`
+///   bytes per loop iteration, with `offset_step` giving the displacement
+///   spacing between unrolled copies.
+/// * The trip counter (`r0` / `%eax`): counts work. When `linked` to an
+///   address induction it advances in *element* units of that stream; when
+///   `not_affected_unroll` it advances by `increment` per loop iteration
+///   regardless of unrolling (Figure 9's iteration counter, which ends up
+///   in `%eax` for MicroLauncher's cycles-per-iteration computation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InductionDesc {
+    /// The induction register.
+    pub register: RegisterRef,
+    /// Per-unit increment. Choices beyond the first are alternative strides
+    /// expanded by the stride-selection pass (§3.2: "The creator then
+    /// selects the strides for each induction variable … if there are
+    /// multiple choices, a separate version of the kernel is created").
+    pub increment_choices: Vec<i64>,
+    /// Displacement step between consecutive unrolled copies that address
+    /// through this register (Figure 6's `<offset>16</offset>`).
+    pub offset_step: i64,
+    /// Linked induction: this register mirrors the unroll/stride behaviour
+    /// of another register, advancing in that stream's element units.
+    pub linked: Option<RegisterRef>,
+    /// `<last_induction/>`: this induction's update drives the loop branch.
+    pub last: bool,
+    /// `<not_affected_unroll/>`: advance once per loop iteration, not
+    /// scaled by the unroll factor.
+    pub not_affected_unroll: bool,
+}
+
+impl InductionDesc {
+    /// Address induction advancing `increment` bytes per copy with the same
+    /// spacing between copies.
+    pub fn address(register: RegisterRef, increment: i64) -> Self {
+        InductionDesc {
+            register,
+            increment_choices: vec![increment],
+            offset_step: increment,
+            linked: None,
+            last: false,
+            not_affected_unroll: false,
+        }
+    }
+
+    /// Trip counter linked to an address stream (Figure 6's second
+    /// induction: `r0`, increment −1, linked to `r1`, last).
+    pub fn linked_counter(register: RegisterRef, increment: i64, linked_to: RegisterRef) -> Self {
+        InductionDesc {
+            register,
+            increment_choices: vec![increment],
+            offset_step: 0,
+            linked: Some(linked_to),
+            last: true,
+            not_affected_unroll: false,
+        }
+    }
+
+    /// The first (default) increment choice.
+    pub fn primary_increment(&self) -> i64 {
+        *self.increment_choices.first().expect("induction has at least one increment")
+    }
+
+    /// Marks this induction as the loop-driving one (builder helper).
+    pub fn last_induction(mut self) -> Self {
+        self.last = true;
+        self
+    }
+
+    /// Marks this induction as unroll-independent (builder helper).
+    pub fn unaffected_by_unroll(mut self) -> Self {
+        self.not_affected_unroll = true;
+        self
+    }
+
+    /// Total update applied once per loop iteration, given the unroll
+    /// factor, the chosen increment, and — for linked inductions — the
+    /// element count each unrolled copy of the linked stream consumes.
+    ///
+    /// * plain: `increment × unroll`
+    /// * `not_affected_unroll`: `increment`
+    /// * linked: `increment × unroll × elements_per_copy`
+    ///   (Figure 8: `-1 × 3 × 4 = -12`).
+    pub fn per_loop_update(&self, increment: i64, unroll: u32, elements_per_copy: i64) -> i64 {
+        if self.not_affected_unroll {
+            increment
+        } else if self.linked.is_some() {
+            increment * i64::from(unroll) * elements_per_copy
+        } else {
+            increment * i64::from(unroll)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str) -> RegisterRef {
+        RegisterRef::logical(name)
+    }
+
+    #[test]
+    fn address_update_scales_with_unroll() {
+        let ind = InductionDesc::address(r("r1"), 16);
+        // Figure 8: unroll 3 → add $48, %rsi
+        assert_eq!(ind.per_loop_update(16, 3, 4), 48);
+        assert_eq!(ind.per_loop_update(16, 1, 4), 16);
+        assert_eq!(ind.per_loop_update(16, 8, 4), 128);
+    }
+
+    #[test]
+    fn linked_counter_scales_with_elements() {
+        let ind = InductionDesc::linked_counter(r("r0"), -1, r("r1"));
+        // Figure 8: unroll 3, movaps = 4 floats per copy → sub $12, %rdi
+        assert_eq!(ind.per_loop_update(-1, 3, 4), -12);
+        assert_eq!(ind.per_loop_update(-1, 8, 4), -32);
+        // movss streams move one element per copy.
+        assert_eq!(ind.per_loop_update(-1, 8, 1), -8);
+    }
+
+    #[test]
+    fn unaffected_counter_ignores_unroll() {
+        let ind = InductionDesc::address(r("c"), 1).unaffected_by_unroll();
+        // Figure 9: %eax counts loop iterations.
+        assert_eq!(ind.per_loop_update(1, 8, 4), 1);
+        assert_eq!(ind.per_loop_update(1, 1, 1), 1);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let ind = InductionDesc::address(r("r1"), 16).last_induction();
+        assert!(ind.last);
+        assert!(InductionDesc::linked_counter(r("r0"), -1, r("r1")).last);
+    }
+
+    #[test]
+    fn primary_increment_is_first_choice() {
+        let mut ind = InductionDesc::address(r("r1"), 16);
+        ind.increment_choices = vec![16, 32, 64];
+        assert_eq!(ind.primary_increment(), 16);
+    }
+}

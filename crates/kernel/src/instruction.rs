@@ -1,0 +1,253 @@
+//! Description-level instructions.
+
+use crate::operand::OperandDesc;
+use mc_asm::inst::Mnemonic;
+
+/// The paper's "move semantics" (§3.1): instead of naming an instruction,
+/// the user gives the number of bytes to move and lets MicroCreator try the
+/// matching variants — "aligned versus non-aligned instructions or using
+/// vectorized or scalar instructions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MoveSemantics {
+    /// Bytes to move per instruction (4, 8 or 16).
+    pub bytes: u8,
+    /// Restrict to aligned (`Some(true)`) / unaligned (`Some(false)`)
+    /// instructions, or try both (`None`).
+    pub aligned: Option<bool>,
+    /// Restrict to single (`Some(false)`) / double (`Some(true)`) precision
+    /// flavours, or try both (`None`). Only meaningful for 16-byte moves
+    /// where `movaps`/`movapd` coexist.
+    pub double_precision: Option<bool>,
+}
+
+impl MoveSemantics {
+    /// All mnemonics satisfying these semantics, in deterministic order.
+    pub fn candidates(&self) -> Vec<Mnemonic> {
+        use Mnemonic::*;
+        let all: &[Mnemonic] = match self.bytes {
+            4 => &[Movss],
+            8 => &[Movsd],
+            16 => &[Movaps, Movapd, Movups, Movupd],
+            _ => &[],
+        };
+        all.iter()
+            .copied()
+            .filter(|m| {
+                let info = m.mem_move().expect("move mnemonics have MemMoveInfo");
+                if let Some(aligned) = self.aligned {
+                    if info.aligned_required != aligned {
+                        return false;
+                    }
+                }
+                if let Some(dp) = self.double_precision {
+                    let is_dp = matches!(m, Movapd | Movupd | Movsd);
+                    if is_dp != dp {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+}
+
+/// How the operation of an instruction is determined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OperationDesc {
+    /// A single fixed mnemonic (`<operation>movaps</operation>`).
+    Fixed(Mnemonic),
+    /// An explicit list of alternatives; the instruction-selection pass
+    /// expands one program per choice.
+    Choice(Vec<Mnemonic>),
+    /// Move semantics: byte count plus constraints; expanded to a
+    /// [`OperationDesc::Choice`] by the instruction-selection pass.
+    Move(MoveSemantics),
+}
+
+impl OperationDesc {
+    /// The concrete mnemonic if already fixed.
+    pub fn fixed(&self) -> Option<Mnemonic> {
+        match self {
+            OperationDesc::Fixed(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// All candidate mnemonics this description can select.
+    pub fn candidates(&self) -> Vec<Mnemonic> {
+        match self {
+            OperationDesc::Fixed(m) => vec![*m],
+            OperationDesc::Choice(ms) => ms.clone(),
+            OperationDesc::Move(sem) => sem.candidates(),
+        }
+    }
+}
+
+/// One instruction of the kernel description.
+///
+/// Operand order follows AT&T convention (source first, destination last).
+/// "A memory operand followed by a register operand represents a load
+/// instruction. A store instruction is the opposite." (§3.1)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InstructionDesc {
+    /// The operation (fixed, choice, or move semantics).
+    pub operation: OperationDesc,
+    /// Operands in AT&T order.
+    pub operands: Vec<OperandDesc>,
+    /// `<swap_before_unroll/>`: the operand-swap pass *before* unrolling
+    /// flips source and destination, producing an all-loads and an
+    /// all-stores variant.
+    pub swap_before_unroll: bool,
+    /// `<swap_after_unroll/>`: the operand-swap pass *after* unrolling
+    /// flips each unrolled copy independently, producing every
+    /// (Load|Store)+ combination (§3.2).
+    pub swap_after_unroll: bool,
+    /// `<repeat><min>…</min><max>…</max></repeat>`: instruction repetition
+    /// handled by the instruction-selection pass; each count in the range
+    /// yields a separate version.
+    pub repeat: Option<(u32, u32)>,
+}
+
+impl InstructionDesc {
+    /// A plain instruction with no swaps or repetition.
+    pub fn new(operation: OperationDesc, operands: Vec<OperandDesc>) -> Self {
+        InstructionDesc {
+            operation,
+            operands,
+            swap_before_unroll: false,
+            swap_after_unroll: false,
+            repeat: None,
+        }
+    }
+
+    /// Returns a copy with source and destination operands exchanged.
+    /// For the canonical two-operand moves this turns a load into a store
+    /// and vice versa. Instructions with fewer than two operands are
+    /// returned unchanged.
+    pub fn swapped(&self) -> Self {
+        let mut out = self.clone();
+        let n = out.operands.len();
+        if n >= 2 {
+            out.operands.swap(0, n - 1);
+        }
+        out
+    }
+
+    /// True if the first operand (source) is memory — a load under the
+    /// paper's convention.
+    pub fn is_load_shaped(&self) -> bool {
+        matches!(self.operands.first(), Some(OperandDesc::Memory(_)))
+            && !matches!(self.operands.last(), Some(OperandDesc::Memory(_)))
+    }
+
+    /// True if the last operand (destination) is memory — a store.
+    pub fn is_store_shaped(&self) -> bool {
+        matches!(self.operands.last(), Some(OperandDesc::Memory(_)))
+            && self.operands.len() >= 2
+            && !matches!(self.operands.first(), Some(OperandDesc::Memory(_)))
+    }
+
+    /// Logical register names referenced by this instruction's operands.
+    pub fn logical_registers(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for op in &self.operands {
+            match op {
+                OperandDesc::Register(r) => out.extend(r.logical_name()),
+                OperandDesc::Memory(m) => {
+                    out.extend(m.base.logical_name());
+                    if let Some((idx, _)) = &m.index {
+                        out.extend(idx.logical_name());
+                    }
+                }
+                OperandDesc::Immediate(_) => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{MemoryOperand, RegisterRef};
+
+    fn load_desc() -> InstructionDesc {
+        InstructionDesc::new(
+            OperationDesc::Fixed(Mnemonic::Movaps),
+            vec![
+                OperandDesc::Memory(MemoryOperand::new(RegisterRef::logical("r1"), 0)),
+                OperandDesc::Register(RegisterRef::XmmRange { min: 0, max: 8 }),
+            ],
+        )
+    }
+
+    #[test]
+    fn move_semantics_16_bytes_all() {
+        let sem = MoveSemantics { bytes: 16, aligned: None, double_precision: None };
+        assert_eq!(
+            sem.candidates(),
+            vec![Mnemonic::Movaps, Mnemonic::Movapd, Mnemonic::Movups, Mnemonic::Movupd]
+        );
+    }
+
+    #[test]
+    fn move_semantics_aligned_only() {
+        let sem = MoveSemantics { bytes: 16, aligned: Some(true), double_precision: None };
+        assert_eq!(sem.candidates(), vec![Mnemonic::Movaps, Mnemonic::Movapd]);
+    }
+
+    #[test]
+    fn move_semantics_scalar_sizes() {
+        let sem = MoveSemantics { bytes: 4, aligned: None, double_precision: None };
+        assert_eq!(sem.candidates(), vec![Mnemonic::Movss]);
+        let sem = MoveSemantics { bytes: 8, aligned: None, double_precision: None };
+        assert_eq!(sem.candidates(), vec![Mnemonic::Movsd]);
+    }
+
+    #[test]
+    fn move_semantics_single_precision_aligned() {
+        let sem = MoveSemantics { bytes: 16, aligned: Some(true), double_precision: Some(false) };
+        assert_eq!(sem.candidates(), vec![Mnemonic::Movaps]);
+    }
+
+    #[test]
+    fn move_semantics_invalid_size_empty() {
+        let sem = MoveSemantics { bytes: 32, aligned: None, double_precision: None };
+        assert!(sem.candidates().is_empty());
+    }
+
+    #[test]
+    fn operation_candidates() {
+        assert_eq!(OperationDesc::Fixed(Mnemonic::Movss).candidates(), vec![Mnemonic::Movss]);
+        let c = OperationDesc::Choice(vec![Mnemonic::Movss, Mnemonic::Movsd]);
+        assert_eq!(c.candidates().len(), 2);
+        assert_eq!(c.fixed(), None);
+    }
+
+    #[test]
+    fn swap_turns_load_into_store() {
+        let load = load_desc();
+        assert!(load.is_load_shaped());
+        assert!(!load.is_store_shaped());
+        let store = load.swapped();
+        assert!(store.is_store_shaped());
+        assert!(!store.is_load_shaped());
+        // Swapping twice is the identity.
+        assert_eq!(store.swapped(), load);
+    }
+
+    #[test]
+    fn logical_register_collection() {
+        let d = load_desc();
+        assert_eq!(d.logical_registers(), vec!["r1"]);
+    }
+
+    #[test]
+    fn single_operand_swap_is_identity() {
+        let d = InstructionDesc::new(
+            OperationDesc::Fixed(Mnemonic::Movaps),
+            vec![OperandDesc::Register(RegisterRef::logical("r1"))],
+        );
+        assert_eq!(d.swapped(), d);
+    }
+}

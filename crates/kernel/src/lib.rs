@@ -1,0 +1,53 @@
+//! # mc-kernel — kernel descriptions and generated programs
+//!
+//! This crate defines the two IRs that MicroCreator transforms between:
+//!
+//! 1. **[`KernelDesc`]** — the *description* of a kernel family, mirroring
+//!    the paper's XML input format (Figure 6): abstract instructions whose
+//!    operands may reference logical registers (`r1`) or register ranges
+//!    (`%xmm` 0–8), an unrolling range, induction variables (with linkage,
+//!    `last_induction` and `not_affected_unroll` markers) and branch
+//!    information. A description denotes a *set* of concrete programs.
+//! 2. **[`Program`]** — one concrete generated benchmark program: a label,
+//!    a straight-line unrolled body of [`mc_asm::Inst`] values, induction
+//!    updates and the back-branch, plus [`VariantMeta`] recording which
+//!    choices produced it.
+//!
+//! The XML binding ([`xml`]) parses the paper's schema byte-for-byte and
+//! serializes descriptions back to it.
+//!
+//! ## Generation semantics (as reverse-engineered from Figures 6 → 8)
+//!
+//! * Unroll copy `i` of an instruction whose memory operand uses induction
+//!   register `r` gets displacement `offset + i * r.offset_step`.
+//! * An XMM range operand rotates through `min..max` per copy
+//!   (`%xmm0, %xmm1, %xmm2` for an unroll of 3), which "reduces register
+//!   dependency" (§3.1).
+//! * After the copies, each induction emits one update instruction:
+//!   `addq $(increment × unroll), reg` — rendered as `subq` with the
+//!   absolute value when negative (Figure 8's `sub $12, %rdi`).
+//! * A *linked* induction advances in element units: its per-loop update is
+//!   `increment × unroll × (linked.offset_step / element_bytes)`. For
+//!   Figure 6 (movaps, 16-byte step, 4-byte elements, unroll 3) that is
+//!   `-1 × 3 × 4 = -12`, reproducing Figure 8 exactly.
+//! * An induction marked `not_affected_unroll` (Figure 9's `%eax` iteration
+//!   counter) advances by `increment` once per loop iteration regardless of
+//!   the unroll factor.
+//! * The `last_induction` register drives the loop: its update instruction
+//!   is emitted last so the conditional branch consumes its flags.
+
+pub mod builder;
+pub mod error;
+pub mod induction;
+pub mod instruction;
+pub mod kernel;
+pub mod operand;
+pub mod program;
+pub mod xml;
+
+pub use error::{KernelError, KernelResult};
+pub use induction::InductionDesc;
+pub use instruction::{InstructionDesc, MoveSemantics, OperationDesc};
+pub use kernel::{BranchInfo, KernelDesc, UnrollRange};
+pub use operand::{ImmediateDesc, MemoryOperand, OperandDesc, RegisterRef};
+pub use program::{MemDir, Program, VariantMeta};

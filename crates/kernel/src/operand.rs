@@ -1,0 +1,203 @@
+//! Description-level operands: the pre-register-allocation, pre-selection
+//! forms that appear in the XML input.
+
+use mc_asm::reg::Reg;
+use std::fmt;
+
+/// A register reference in a kernel description.
+///
+/// Three forms appear in the paper:
+/// * `<name>r1</name>` — a *logical* register, bound to a physical register
+///   by the register-allocation pass ("The hardware detection system
+///   associates r1 to a physical register such as %rsi or %rdi", §3.1);
+/// * `<phyName>%eax</phyName>` — an explicit physical register (Figure 9);
+/// * `<phyName>%xmm</phyName><min>0</min><max>8</max>` — a *rotating range*
+///   of XMM registers, "so as to generate a different XMM register per
+///   unrolling iteration" (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegisterRef {
+    /// Logical register bound during register allocation.
+    Logical(String),
+    /// Fixed physical register.
+    Physical(Reg),
+    /// XMM register rotating through `min..max` across unroll copies.
+    XmmRange {
+        /// First register index (inclusive).
+        min: u8,
+        /// One past the last register index (exclusive): Figure 6's
+        /// `min=0, max=8` rotates `%xmm0`–`%xmm7`.
+        max: u8,
+    },
+}
+
+impl RegisterRef {
+    /// Logical-register constructor.
+    pub fn logical(name: impl Into<String>) -> Self {
+        RegisterRef::Logical(name.into())
+    }
+
+    /// The logical name, if this is a logical reference.
+    pub fn logical_name(&self) -> Option<&str> {
+        match self {
+            RegisterRef::Logical(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Resolves the reference for unroll copy `i`, using `binding` for
+    /// logical names. Returns `None` if a logical name is unbound.
+    pub fn resolve(&self, copy: u32, binding: &dyn Fn(&str) -> Option<Reg>) -> Option<Reg> {
+        match self {
+            RegisterRef::Logical(name) => binding(name),
+            RegisterRef::Physical(r) => Some(*r),
+            RegisterRef::XmmRange { min, max } => {
+                let span = max.checked_sub(*min).filter(|s| *s > 0)?;
+                Some(Reg::Xmm(min + (copy % u32::from(span)) as u8))
+            }
+        }
+    }
+}
+
+impl fmt::Display for RegisterRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterRef::Logical(n) => write!(f, "{n}"),
+            RegisterRef::Physical(r) => write!(f, "{r}"),
+            RegisterRef::XmmRange { min, max } => write!(f, "%xmm[{min}..{max})"),
+        }
+    }
+}
+
+/// A memory operand in a description: base register reference plus constant
+/// offset (the per-copy displacement step comes from the base register's
+/// induction declaration, not from here).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoryOperand {
+    /// Base address register.
+    pub base: RegisterRef,
+    /// Constant byte offset (Figure 6's `<offset>0</offset>`).
+    pub offset: i64,
+    /// Optional index register and scale, for strided/indexed kernels.
+    pub index: Option<(RegisterRef, u8)>,
+}
+
+impl MemoryOperand {
+    /// Plain `offset(base)` operand.
+    pub fn new(base: RegisterRef, offset: i64) -> Self {
+        MemoryOperand { base, offset, index: None }
+    }
+}
+
+/// An immediate whose value the immediate-selection pass picks; multiple
+/// choices expand into separate program versions (§3.2: "the values of the
+/// immediate variables. For each element, if there are multiple choices, a
+/// separate version of the kernel is created").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ImmediateDesc {
+    /// Candidate values; must be non-empty.
+    pub choices: Vec<i64>,
+}
+
+impl ImmediateDesc {
+    /// Single-value immediate.
+    pub fn fixed(v: i64) -> Self {
+        ImmediateDesc { choices: vec![v] }
+    }
+}
+
+/// Any operand of a description instruction, in AT&T order (sources first,
+/// destination last).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OperandDesc {
+    /// Register reference.
+    Register(RegisterRef),
+    /// Memory reference.
+    Memory(MemoryOperand),
+    /// Immediate with selection choices.
+    Immediate(ImmediateDesc),
+}
+
+impl OperandDesc {
+    /// The memory operand, if this is one.
+    pub fn as_memory(&self) -> Option<&MemoryOperand> {
+        match self {
+            OperandDesc::Memory(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The register reference, if this is one.
+    pub fn as_register(&self) -> Option<&RegisterRef> {
+        match self {
+            OperandDesc::Register(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_asm::reg::GprName;
+
+    #[test]
+    fn xmm_range_rotates_per_copy() {
+        let r = RegisterRef::XmmRange { min: 0, max: 8 };
+        let none = |_: &str| None;
+        assert_eq!(r.resolve(0, &none), Some(Reg::Xmm(0)));
+        assert_eq!(r.resolve(1, &none), Some(Reg::Xmm(1)));
+        assert_eq!(r.resolve(7, &none), Some(Reg::Xmm(7)));
+        assert_eq!(r.resolve(8, &none), Some(Reg::Xmm(0)), "wraps at max");
+    }
+
+    #[test]
+    fn xmm_range_with_offset_min() {
+        let r = RegisterRef::XmmRange { min: 4, max: 8 };
+        let none = |_: &str| None;
+        assert_eq!(r.resolve(0, &none), Some(Reg::Xmm(4)));
+        assert_eq!(r.resolve(3, &none), Some(Reg::Xmm(7)));
+        assert_eq!(r.resolve(4, &none), Some(Reg::Xmm(4)));
+    }
+
+    #[test]
+    fn empty_xmm_range_fails_to_resolve() {
+        let r = RegisterRef::XmmRange { min: 3, max: 3 };
+        assert_eq!(r.resolve(0, &|_| None), None);
+    }
+
+    #[test]
+    fn logical_resolution_uses_binding() {
+        let r = RegisterRef::logical("r1");
+        let rsi = Reg::gpr(GprName::Rsi);
+        assert_eq!(r.resolve(5, &move |n| (n == "r1").then_some(rsi)), Some(rsi));
+        assert_eq!(r.resolve(0, &|_| None), None);
+    }
+
+    #[test]
+    fn physical_resolution_is_constant() {
+        let eax = Reg::gpr32(GprName::Rax);
+        let r = RegisterRef::Physical(eax);
+        for copy in 0..4 {
+            assert_eq!(r.resolve(copy, &|_| None), Some(eax));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RegisterRef::logical("r1").to_string(), "r1");
+        assert_eq!(
+            RegisterRef::Physical(Reg::gpr(GprName::Rsi)).to_string(),
+            "%rsi"
+        );
+        assert_eq!(RegisterRef::XmmRange { min: 0, max: 8 }.to_string(), "%xmm[0..8)");
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let mem = OperandDesc::Memory(MemoryOperand::new(RegisterRef::logical("r1"), 0));
+        assert!(mem.as_memory().is_some());
+        assert!(mem.as_register().is_none());
+        let reg = OperandDesc::Register(RegisterRef::logical("r2"));
+        assert!(reg.as_register().is_some());
+    }
+}

@@ -1,0 +1,651 @@
+//! XML binding for kernel descriptions — the paper's Figure 6 schema.
+//!
+//! ## Schema
+//!
+//! ```xml
+//! <kernel name="loadstore">                 <!-- name attr optional -->
+//!   <instruction>
+//!     <operation>movaps</operation>         <!-- 1+ = selection choices -->
+//!     <!-- or move semantics:
+//!          <move_bytes>16</move_bytes>
+//!          <aligned>true|false</aligned>          (optional)
+//!          <double_precision>true|false</double_precision> (optional) -->
+//!     <memory>                              <!-- operands in AT&T order -->
+//!       <register> <name>r1</name> </register>
+//!       <offset>0</offset>
+//!     </memory>
+//!     <register>
+//!       <phyName>%xmm</phyName> <min>0</min> <max>8</max>
+//!     </register>
+//!     <swap_after_unroll/>                  <!-- or swap_before_unroll -->
+//!     <repeat> <min>1</min> <max>4</max> </repeat>   <!-- optional -->
+//!   </instruction>
+//!   <unrolling> <min>1</min> <max>8</max> </unrolling>
+//!   <induction>
+//!     <register> <name>r1</name> </register>
+//!     <increment>16</increment>             <!-- 1+ = stride choices -->
+//!     <offset>16</offset>
+//!   </induction>
+//!   <induction>
+//!     <register> <name>r0</name> </register>
+//!     <increment>-1</increment>
+//!     <linked> <register> <name>r1</name> </register> </linked>
+//!     <last_induction/>
+//!   </induction>
+//!   <branch_information>
+//!     <label>L6</label>
+//!     <test>jge</test>
+//!   </branch_information>
+//! </kernel>
+//! ```
+//!
+//! Everything in the paper's Figure 6 and Figure 9 parses unchanged; the
+//! `<move_bytes>`, multiple-`<operation>`, multiple-`<increment>`,
+//! `<immediate>` and `<repeat>` forms are the documented extensions backing
+//! §3.1's "move semantics", §3.2's stride/immediate selection and
+//! instruction repetition.
+
+use crate::error::{KernelError, KernelResult};
+use crate::induction::InductionDesc;
+use crate::instruction::{InstructionDesc, MoveSemantics, OperationDesc};
+use crate::kernel::{BranchInfo, KernelDesc, UnrollRange};
+use crate::operand::{ImmediateDesc, MemoryOperand, OperandDesc, RegisterRef};
+use mc_asm::inst::{Cond, Mnemonic};
+use mc_asm::reg::Reg;
+use mc_xmlite::Element;
+
+/// Parses a kernel description document.
+pub fn parse_kernel(text: &str) -> KernelResult<KernelDesc> {
+    let root = Element::parse(text)?;
+    kernel_from_element(&root)
+}
+
+/// Builds a kernel description from a parsed `<kernel>` element.
+pub fn kernel_from_element(root: &Element) -> KernelResult<KernelDesc> {
+    if root.name != "kernel" {
+        return Err(KernelError::Invalid(format!(
+            "expected <kernel> document root, found <{}>",
+            root.name
+        )));
+    }
+    let name = root.attribute("name").unwrap_or("kernel").to_owned();
+    let branch_el = root
+        .find("branch_information")
+        .ok_or_else(|| missing("kernel", "branch_information"))?;
+    let branch = parse_branch(branch_el)?;
+
+    let mut desc = KernelDesc::new(name, branch);
+    if let Some(eb) = root.attribute("element_bytes") {
+        desc.element_bytes = eb.parse().map_err(|_| invalid("element_bytes", eb, "an integer"))?;
+    }
+    for inst_el in root.find_all("instruction") {
+        desc.instructions.push(parse_instruction(inst_el)?);
+    }
+    if let Some(unroll_el) = root.find("unrolling") {
+        desc.unrolling = UnrollRange {
+            min: child_u32(unroll_el, "min")?,
+            max: child_u32(unroll_el, "max")?,
+        };
+    }
+    for ind_el in root.find_all("induction") {
+        desc.inductions.push(parse_induction(ind_el)?);
+    }
+    desc.validate()?;
+    Ok(desc)
+}
+
+fn missing(parent: &str, child: &str) -> KernelError {
+    KernelError::MissingElement { parent: parent.into(), child: child.into() }
+}
+
+fn invalid(element: &str, found: &str, expected: &str) -> KernelError {
+    KernelError::InvalidValue {
+        element: element.into(),
+        found: found.into(),
+        expected: expected.into(),
+    }
+}
+
+fn child_u32(el: &Element, name: &str) -> KernelResult<u32> {
+    let text = el.child_text(name).ok_or_else(|| missing(&el.name, name))?;
+    text.parse().map_err(|_| invalid(name, text, "a non-negative integer"))
+}
+
+fn parse_branch(el: &Element) -> KernelResult<BranchInfo> {
+    let label = el.child_text("label").ok_or_else(|| missing("branch_information", "label"))?;
+    let test = el.child_text("test").ok_or_else(|| missing("branch_information", "test"))?;
+    let cond = test
+        .strip_prefix('j')
+        .and_then(Cond::from_suffix)
+        .ok_or_else(|| invalid("test", test, "a conditional jump such as `jge`"))?;
+    Ok(BranchInfo::new(label, cond))
+}
+
+fn parse_register_ref(el: &Element) -> KernelResult<RegisterRef> {
+    if let Some(name) = el.child_text("name") {
+        return Ok(RegisterRef::logical(name));
+    }
+    let phy = el.child_text("phyName").ok_or_else(|| missing("register", "name or phyName"))?;
+    let bare = phy.strip_prefix('%').unwrap_or(phy);
+    if bare == "xmm" {
+        // Range form: %xmm with min/max (Figure 6).
+        let min = child_u32(el, "min")? as u8;
+        let max = child_u32(el, "max")? as u8;
+        if min >= max || max > 16 {
+            return Err(invalid("register", &format!("%xmm[{min}..{max})"), "0 ≤ min < max ≤ 16"));
+        }
+        return Ok(RegisterRef::XmmRange { min, max });
+    }
+    let reg = Reg::from_name(bare).ok_or_else(|| invalid("phyName", phy, "a register name"))?;
+    Ok(RegisterRef::Physical(reg))
+}
+
+fn parse_memory(el: &Element) -> KernelResult<MemoryOperand> {
+    let reg_el = el.find("register").ok_or_else(|| missing("memory", "register"))?;
+    let base = parse_register_ref(reg_el)?;
+    let offset = match el.child_text("offset") {
+        Some(t) => t.parse().map_err(|_| invalid("offset", t, "an integer"))?,
+        None => 0,
+    };
+    let index = match el.find("index") {
+        Some(idx_el) => {
+            let idx_reg_el = idx_el.find("register").ok_or_else(|| missing("index", "register"))?;
+            let idx = parse_register_ref(idx_reg_el)?;
+            let scale = match idx_el.child_text("scale") {
+                Some(t) => t
+                    .parse()
+                    .ok()
+                    .filter(|s| matches!(s, 1u8 | 2 | 4 | 8))
+                    .ok_or_else(|| invalid("scale", t, "1, 2, 4 or 8"))?,
+                None => 1,
+            };
+            Some((idx, scale))
+        }
+        None => None,
+    };
+    Ok(MemoryOperand { base, offset, index })
+}
+
+fn parse_operation(el: &Element) -> KernelResult<OperationDesc> {
+    let ops: Vec<&str> = el.find_all("operation").filter_map(Element::text).collect();
+    if !ops.is_empty() {
+        let mut mnemonics = Vec::with_capacity(ops.len());
+        for op in ops {
+            mnemonics.push(
+                Mnemonic::from_name(op).ok_or_else(|| invalid("operation", op, "a mnemonic"))?,
+            );
+        }
+        return Ok(if mnemonics.len() == 1 {
+            OperationDesc::Fixed(mnemonics[0])
+        } else {
+            OperationDesc::Choice(mnemonics)
+        });
+    }
+    if let Some(bytes_text) = el.child_text("move_bytes") {
+        let bytes: u8 =
+            bytes_text.parse().map_err(|_| invalid("move_bytes", bytes_text, "4, 8 or 16"))?;
+        let parse_flag = |name: &str| -> KernelResult<Option<bool>> {
+            match el.child_text(name) {
+                None => Ok(None),
+                Some("true") => Ok(Some(true)),
+                Some("false") => Ok(Some(false)),
+                Some(other) => Err(invalid(name, other, "true or false")),
+            }
+        };
+        let sem = MoveSemantics {
+            bytes,
+            aligned: parse_flag("aligned")?,
+            double_precision: parse_flag("double_precision")?,
+        };
+        if sem.candidates().is_empty() {
+            return Err(invalid("move_bytes", bytes_text, "semantics matching ≥1 instruction"));
+        }
+        return Ok(OperationDesc::Move(sem));
+    }
+    Err(missing("instruction", "operation"))
+}
+
+fn parse_instruction(el: &Element) -> KernelResult<InstructionDesc> {
+    let operation = parse_operation(el)?;
+    let mut operands = Vec::new();
+    for child in el.elements() {
+        match child.name.as_str() {
+            "memory" => operands.push(OperandDesc::Memory(parse_memory(child)?)),
+            "register" => operands.push(OperandDesc::Register(parse_register_ref(child)?)),
+            "immediate" => {
+                let mut choices = Vec::new();
+                for v in child.find_all("value") {
+                    let t = v.text().ok_or_else(|| missing("immediate", "value"))?;
+                    choices.push(t.parse().map_err(|_| invalid("value", t, "an integer"))?);
+                }
+                if choices.is_empty() {
+                    return Err(missing("immediate", "value"));
+                }
+                operands.push(OperandDesc::Immediate(ImmediateDesc { choices }));
+            }
+            _ => {} // operation / markers / repeat handled elsewhere
+        }
+    }
+    let repeat = match el.find("repeat") {
+        Some(r) => Some((child_u32(r, "min")?, child_u32(r, "max")?)),
+        None => None,
+    };
+    Ok(InstructionDesc {
+        operation,
+        operands,
+        swap_before_unroll: el.has_child("swap_before_unroll"),
+        swap_after_unroll: el.has_child("swap_after_unroll"),
+        repeat,
+    })
+}
+
+fn parse_induction(el: &Element) -> KernelResult<InductionDesc> {
+    let reg_el = el.find("register").ok_or_else(|| missing("induction", "register"))?;
+    let register = parse_register_ref(reg_el)?;
+    let mut increment_choices = Vec::new();
+    for inc in el.find_all("increment") {
+        let t = inc.text().ok_or_else(|| missing("induction", "increment"))?;
+        increment_choices.push(t.parse().map_err(|_| invalid("increment", t, "an integer"))?);
+    }
+    if increment_choices.is_empty() {
+        return Err(missing("induction", "increment"));
+    }
+    let offset_step = match el.child_text("offset") {
+        Some(t) => t.parse().map_err(|_| invalid("offset", t, "an integer"))?,
+        None => increment_choices[0],
+    };
+    let linked = match el.find("linked") {
+        Some(l) => {
+            let r = l.find("register").ok_or_else(|| missing("linked", "register"))?;
+            Some(parse_register_ref(r)?)
+        }
+        None => None,
+    };
+    Ok(InductionDesc {
+        register,
+        increment_choices,
+        offset_step,
+        linked,
+        last: el.has_child("last_induction"),
+        not_affected_unroll: el.has_child("not_affected_unroll"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes a kernel description back to its XML document form.
+pub fn kernel_to_xml(desc: &KernelDesc) -> String {
+    kernel_to_element(desc).to_document_string()
+}
+
+/// Builds the `<kernel>` element tree for a description.
+pub fn kernel_to_element(desc: &KernelDesc) -> Element {
+    let mut root = Element::new("kernel")
+        .attr("name", desc.name.clone())
+        .attr("element_bytes", desc.element_bytes.to_string());
+    for inst in &desc.instructions {
+        root = root.child(instruction_to_element(inst));
+    }
+    root = root.child(
+        Element::new("unrolling")
+            .child(Element::with_text("min", desc.unrolling.min.to_string()))
+            .child(Element::with_text("max", desc.unrolling.max.to_string())),
+    );
+    for ind in &desc.inductions {
+        root = root.child(induction_to_element(ind));
+    }
+    root.child(
+        Element::new("branch_information")
+            .child(Element::with_text("label", desc.branch.label.clone()))
+            .child(Element::with_text("test", desc.branch.mnemonic().name())),
+    )
+}
+
+fn register_ref_to_element(r: &RegisterRef) -> Element {
+    let mut el = Element::new("register");
+    match r {
+        RegisterRef::Logical(name) => el = el.child(Element::with_text("name", name.clone())),
+        RegisterRef::Physical(reg) => {
+            el = el.child(Element::with_text("phyName", reg.to_string()));
+        }
+        RegisterRef::XmmRange { min, max } => {
+            el = el
+                .child(Element::with_text("phyName", "%xmm"))
+                .child(Element::with_text("min", min.to_string()))
+                .child(Element::with_text("max", max.to_string()));
+        }
+    }
+    el
+}
+
+fn instruction_to_element(inst: &InstructionDesc) -> Element {
+    let mut el = Element::new("instruction");
+    match &inst.operation {
+        OperationDesc::Fixed(m) => el = el.child(Element::with_text("operation", m.name())),
+        OperationDesc::Choice(ms) => {
+            for m in ms {
+                el = el.child(Element::with_text("operation", m.name()));
+            }
+        }
+        OperationDesc::Move(sem) => {
+            el = el.child(Element::with_text("move_bytes", sem.bytes.to_string()));
+            if let Some(a) = sem.aligned {
+                el = el.child(Element::with_text("aligned", a.to_string()));
+            }
+            if let Some(d) = sem.double_precision {
+                el = el.child(Element::with_text("double_precision", d.to_string()));
+            }
+        }
+    }
+    for op in &inst.operands {
+        el = match op {
+            OperandDesc::Register(r) => el.child(register_ref_to_element(r)),
+            OperandDesc::Memory(m) => {
+                let mut mem = Element::new("memory")
+                    .child(register_ref_to_element(&m.base))
+                    .child(Element::with_text("offset", m.offset.to_string()));
+                if let Some((idx, scale)) = &m.index {
+                    mem = mem.child(
+                        Element::new("index")
+                            .child(register_ref_to_element(idx))
+                            .child(Element::with_text("scale", scale.to_string())),
+                    );
+                }
+                el.child(mem)
+            }
+            OperandDesc::Immediate(imm) => {
+                let mut e = Element::new("immediate");
+                for v in &imm.choices {
+                    e = e.child(Element::with_text("value", v.to_string()));
+                }
+                el.child(e)
+            }
+        };
+    }
+    if inst.swap_before_unroll {
+        el = el.child(Element::new("swap_before_unroll"));
+    }
+    if inst.swap_after_unroll {
+        el = el.child(Element::new("swap_after_unroll"));
+    }
+    if let Some((min, max)) = inst.repeat {
+        el = el.child(
+            Element::new("repeat")
+                .child(Element::with_text("min", min.to_string()))
+                .child(Element::with_text("max", max.to_string())),
+        );
+    }
+    el
+}
+
+fn induction_to_element(ind: &InductionDesc) -> Element {
+    let mut el = Element::new("induction").child(register_ref_to_element(&ind.register));
+    for inc in &ind.increment_choices {
+        el = el.child(Element::with_text("increment", inc.to_string()));
+    }
+    el = el.child(Element::with_text("offset", ind.offset_step.to_string()));
+    if let Some(linked) = &ind.linked {
+        el = el.child(Element::new("linked").child(register_ref_to_element(linked)));
+    }
+    if ind.last {
+        el = el.child(Element::new("last_induction"));
+    }
+    if ind.not_affected_unroll {
+        el = el.child(Element::new("not_affected_unroll"));
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 6 document, verbatim modulo the `<kernel>` root.
+    pub(crate) const FIGURE6_XML: &str = r#"
+<kernel name="loadstore">
+    <instruction>
+        <operation>movaps</operation>
+        <memory>
+            <register> <name>r1</name> </register>
+            <offset>0</offset>
+        </memory>
+        <register>
+            <phyName>%xmm</phyName>
+            <min>0</min>
+            <max>8</max>
+        </register>
+        <swap_after_unroll/>
+    </instruction>
+    <unrolling>
+        <min>1</min>
+        <max>8</max>
+    </unrolling>
+    <induction>
+        <register>
+            <name>r1</name>
+        </register>
+        <increment>16</increment>
+        <offset>16</offset>
+    </induction>
+    <induction>
+        <register>
+            <name>r0</name>
+        </register>
+        <increment>-1</increment>
+        <linked>
+            <register>
+                <name>r1</name>
+            </register>
+        </linked>
+        <last_induction/>
+    </induction>
+    <branch_information>
+        <label>L6</label>
+        <test>jge</test>
+    </branch_information>
+</kernel>"#;
+
+    #[test]
+    fn parses_figure6() {
+        let k = parse_kernel(FIGURE6_XML).unwrap();
+        assert_eq!(k.name, "loadstore");
+        assert_eq!(k.instructions.len(), 1);
+        let inst = &k.instructions[0];
+        assert_eq!(inst.operation.fixed(), Some(Mnemonic::Movaps));
+        assert!(inst.swap_after_unroll);
+        assert!(!inst.swap_before_unroll);
+        assert!(inst.is_load_shaped(), "memory-then-register is a load (§3.1)");
+        assert_eq!(k.unrolling, UnrollRange { min: 1, max: 8 });
+        assert_eq!(k.inductions.len(), 2);
+        assert_eq!(k.inductions[0].primary_increment(), 16);
+        assert_eq!(k.inductions[0].offset_step, 16);
+        assert_eq!(k.inductions[1].primary_increment(), -1);
+        assert_eq!(k.inductions[1].linked, Some(RegisterRef::logical("r1")));
+        assert!(k.inductions[1].last);
+        assert_eq!(k.branch.asm_label(), ".L6");
+        assert_eq!(k.branch.test, Cond::Ge);
+    }
+
+    #[test]
+    fn parses_figure9_induction() {
+        // Figure 9: physical %eax iteration counter.
+        let xml = r#"
+<induction>
+    <register>
+        <phyName>%eax</phyName>
+    </register>
+    <increment>1</increment>
+    <not_affected_unroll/>
+</induction>"#;
+        let el = Element::parse(xml).unwrap();
+        let ind = parse_induction(&el).unwrap();
+        assert!(ind.not_affected_unroll);
+        assert_eq!(ind.primary_increment(), 1);
+        assert!(matches!(ind.register, RegisterRef::Physical(_)));
+    }
+
+    #[test]
+    fn roundtrip_figure6() {
+        let k = parse_kernel(FIGURE6_XML).unwrap();
+        let xml = kernel_to_xml(&k);
+        let k2 = parse_kernel(&xml).unwrap();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn parses_operation_choice() {
+        let xml = FIGURE6_XML.replace(
+            "<operation>movaps</operation>",
+            "<operation>movaps</operation><operation>movups</operation>",
+        );
+        let k = parse_kernel(&xml).unwrap();
+        assert_eq!(
+            k.instructions[0].operation,
+            OperationDesc::Choice(vec![Mnemonic::Movaps, Mnemonic::Movups])
+        );
+    }
+
+    #[test]
+    fn parses_move_semantics() {
+        let xml = FIGURE6_XML.replace(
+            "<operation>movaps</operation>",
+            "<move_bytes>16</move_bytes><aligned>true</aligned>",
+        );
+        let k = parse_kernel(&xml).unwrap();
+        match &k.instructions[0].operation {
+            OperationDesc::Move(sem) => {
+                assert_eq!(sem.bytes, 16);
+                assert_eq!(sem.aligned, Some(true));
+                assert_eq!(sem.double_precision, None);
+            }
+            other => panic!("expected move semantics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsatisfiable_move_semantics() {
+        let xml = FIGURE6_XML.replace("<operation>movaps</operation>", "<move_bytes>32</move_bytes>");
+        assert!(parse_kernel(&xml).is_err());
+    }
+
+    #[test]
+    fn parses_stride_choices() {
+        let xml = FIGURE6_XML.replace(
+            "<increment>16</increment>",
+            "<increment>16</increment><increment>32</increment><increment>64</increment>",
+        );
+        let k = parse_kernel(&xml).unwrap();
+        assert_eq!(k.inductions[0].increment_choices, vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn missing_branch_is_error() {
+        let xml = "<kernel><instruction><operation>nop</operation></instruction></kernel>";
+        let err = parse_kernel(xml).unwrap_err();
+        assert!(err.to_string().contains("branch_information"), "{err}");
+    }
+
+    #[test]
+    fn bad_mnemonic_is_error() {
+        let xml = FIGURE6_XML.replace("movaps", "frobnicate");
+        let err = parse_kernel(&xml).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn bad_test_is_error() {
+        let xml = FIGURE6_XML.replace("<test>jge</test>", "<test>banana</test>");
+        assert!(parse_kernel(&xml).is_err());
+    }
+
+    #[test]
+    fn bad_xmm_range_is_error() {
+        let xml = FIGURE6_XML.replace("<max>8</max>", "<max>0</max>");
+        assert!(parse_kernel(&xml).is_err());
+    }
+
+    #[test]
+    fn wrong_root_is_error() {
+        let err = parse_kernel("<kern/>").unwrap_err();
+        assert!(err.to_string().contains("<kernel>"), "{err}");
+    }
+
+    #[test]
+    fn default_offset_is_increment() {
+        let xml = FIGURE6_XML.replace("<offset>16</offset>", "");
+        let k = parse_kernel(&xml).unwrap();
+        assert_eq!(k.inductions[0].offset_step, 16);
+    }
+
+    #[test]
+    fn immediate_operand_choices() {
+        let xml = r#"
+<kernel name="imm">
+    <instruction>
+        <operation>addq</operation>
+        <immediate><value>1</value><value>2</value></immediate>
+        <register><phyName>%rcx</phyName></register>
+    </instruction>
+    <unrolling><min>1</min><max>1</max></unrolling>
+    <induction>
+        <register><name>r0</name></register>
+        <increment>-1</increment>
+        <last_induction/>
+    </induction>
+    <branch_information><label>L0</label><test>jge</test></branch_information>
+</kernel>"#;
+        let k = parse_kernel(xml).unwrap();
+        match &k.instructions[0].operands[0] {
+            OperandDesc::Immediate(imm) => assert_eq!(imm.choices, vec![1, 2]),
+            other => panic!("expected immediate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn element_bytes_attribute() {
+        let xml = FIGURE6_XML.replace(
+            r#"<kernel name="loadstore">"#,
+            r#"<kernel name="loadstore" element_bytes="8">"#,
+        );
+        let k = parse_kernel(&xml).unwrap();
+        assert_eq!(k.element_bytes, 8);
+    }
+
+    #[test]
+    fn memory_with_index_roundtrips() {
+        let xml = r#"
+<kernel name="indexed">
+    <instruction>
+        <operation>movsd</operation>
+        <memory>
+            <register><name>r1</name></register>
+            <offset>0</offset>
+            <index>
+                <register><phyName>%rax</phyName></register>
+                <scale>8</scale>
+            </index>
+        </memory>
+        <register><phyName>%xmm0</phyName></register>
+    </instruction>
+    <unrolling><min>1</min><max>2</max></unrolling>
+    <induction>
+        <register><name>r1</name></register>
+        <increment>8</increment>
+    </induction>
+    <induction>
+        <register><name>r0</name></register>
+        <increment>-1</increment>
+        <linked><register><name>r1</name></register></linked>
+        <last_induction/>
+    </induction>
+    <branch_information><label>L1</label><test>jg</test></branch_information>
+</kernel>"#;
+        let k = parse_kernel(xml).unwrap();
+        let mem = k.instructions[0].operands[0].as_memory().unwrap();
+        assert_eq!(mem.index.as_ref().unwrap().1, 8);
+        let k2 = parse_kernel(&kernel_to_xml(&k)).unwrap();
+        assert_eq!(k, k2);
+    }
+}

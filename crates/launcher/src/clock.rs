@@ -1,0 +1,129 @@
+//! Evaluation libraries: the cycle clocks behind the measurement loop.
+//!
+//! §4.2: "The user may switch the evaluation library to a custom library if
+//! the default rdtsc register is not required." Two implementations:
+//!
+//! * [`RdtscClock`] — native reference cycles: the `rdtsc` instruction on
+//!   x86-64, otherwise a monotonic-time equivalent scaled to a nominal
+//!   frequency.
+//! * [`SimClock`] — the simulated clock: the launcher *advances* it by the
+//!   modelled duration of each kernel invocation, so measurement code is
+//!   identical across native and simulated paths.
+
+/// A monotonically non-decreasing cycle counter.
+pub trait Clock {
+    /// Current cycle count.
+    fn now_cycles(&self) -> u64;
+
+    /// The frequency one cycle corresponds to, in GHz.
+    fn nominal_ghz(&self) -> f64;
+}
+
+/// Native reference-cycle clock (`rdtsc` where available).
+#[derive(Debug)]
+pub struct RdtscClock {
+    #[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+    origin: std::time::Instant,
+    nominal_ghz: f64,
+}
+
+impl RdtscClock {
+    /// Creates a clock assuming the given nominal frequency for cycle
+    /// conversion on non-x86 hosts.
+    pub fn new(nominal_ghz: f64) -> Self {
+        RdtscClock { origin: std::time::Instant::now(), nominal_ghz }
+    }
+}
+
+impl Clock for RdtscClock {
+    fn now_cycles(&self) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `rdtsc` has no preconditions; it reads the TSC.
+        unsafe {
+            std::arch::x86_64::_rdtsc()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let ns = self.origin.elapsed().as_nanos() as f64;
+            (ns * self.nominal_ghz) as u64
+        }
+    }
+
+    fn nominal_ghz(&self) -> f64 {
+        self.nominal_ghz
+    }
+}
+
+/// Simulated clock advanced explicitly by the launcher.
+#[derive(Debug)]
+pub struct SimClock {
+    cycles: std::cell::Cell<u64>,
+    nominal_ghz: f64,
+}
+
+impl SimClock {
+    /// A clock ticking at the machine's nominal frequency.
+    pub fn new(nominal_ghz: f64) -> Self {
+        SimClock { cycles: std::cell::Cell::new(0), nominal_ghz }
+    }
+
+    /// Advances by a wall-clock duration.
+    pub fn advance_seconds(&self, seconds: f64) {
+        let cycles = (seconds * self.nominal_ghz * 1e9).round() as u64;
+        self.cycles.set(self.cycles.get() + cycles);
+    }
+
+    /// Advances by raw reference cycles.
+    pub fn advance_cycles(&self, cycles: u64) {
+        self.cycles.set(self.cycles.get() + cycles);
+    }
+}
+
+impl Clock for SimClock {
+    fn now_cycles(&self) -> u64 {
+        self.cycles.get()
+    }
+
+    fn nominal_ghz(&self) -> f64 {
+        self.nominal_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdtsc_clock_is_monotonic() {
+        let clock = RdtscClock::new(2.67);
+        let a = clock.now_cycles();
+        // A little real work so even coarse clocks tick.
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_add(i * 31);
+        }
+        std::hint::black_box(x);
+        let b = clock.now_cycles();
+        assert!(b >= a, "clock went backwards: {a} → {b}");
+        assert_eq!(clock.nominal_ghz(), 2.67);
+    }
+
+    #[test]
+    fn sim_clock_advances_exactly() {
+        let clock = SimClock::new(2.0);
+        assert_eq!(clock.now_cycles(), 0);
+        clock.advance_seconds(1e-6); // 1 µs at 2 GHz = 2000 cycles
+        assert_eq!(clock.now_cycles(), 2000);
+        clock.advance_cycles(48);
+        assert_eq!(clock.now_cycles(), 2048);
+    }
+
+    #[test]
+    fn sim_clock_rounds_not_truncates() {
+        let clock = SimClock::new(1.0);
+        clock.advance_seconds(1.4e-9);
+        assert_eq!(clock.now_cycles(), 1);
+        clock.advance_seconds(1.6e-9);
+        assert_eq!(clock.now_cycles(), 3);
+    }
+}

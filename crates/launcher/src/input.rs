@@ -1,0 +1,208 @@
+//! Kernel inputs (§4.1).
+//!
+//! "As input, the launcher accepts any assembly, source code (C or
+//! Fortran), object file, or even a dynamic library" plus standalone
+//! programs. In this reproduction the compile-to-dylib step is replaced by
+//! parse-to-IR (see DESIGN.md): the launcher accepts
+//!
+//! * generated [`Program`]s (MicroCreator's output),
+//! * AT&T assembly text (parsed by `mc-asm`),
+//! * native Rust kernels — closures implementing [`NativeKernel`], the
+//!   moral equivalent of a user-supplied shared library with the
+//!   `int f(int n, void*…)` entry point,
+//! * standalone applications: a program plus a fixed workload, timed
+//!   whole (fork mode runs one copy per core).
+
+use mc_kernel::Program;
+
+/// A natively executed kernel: the launcher's dynamic-library input path.
+///
+/// The signature mirrors §4.4: the first parameter is the trip count and
+/// the rest are the data arrays; the return value is the number of
+/// iterations executed (the `%eax` contract).
+pub trait NativeKernel: Sync {
+    /// Runs the kernel once over `n` elements.
+    fn run(&self, n: usize, arrays: &mut [Vec<f32>]) -> usize;
+
+    /// Entry-point name (diagnostics / CSV).
+    fn name(&self) -> &str {
+        "native_kernel"
+    }
+}
+
+/// A `Fn`-based native kernel.
+pub struct FnKernel<F>
+where
+    F: Fn(usize, &mut [Vec<f32>]) -> usize + Sync,
+{
+    name: String,
+    f: F,
+}
+
+impl<F> FnKernel<F>
+where
+    F: Fn(usize, &mut [Vec<f32>]) -> usize + Sync,
+{
+    /// Wraps a closure as a kernel.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnKernel { name: name.into(), f }
+    }
+}
+
+impl<F> NativeKernel for FnKernel<F>
+where
+    F: Fn(usize, &mut [Vec<f32>]) -> usize + Sync,
+{
+    fn run(&self, n: usize, arrays: &mut [Vec<f32>]) -> usize {
+        (self.f)(n, arrays)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One accepted kernel input.
+pub enum KernelInput {
+    /// A generated program (simulated timing + interpreted semantics).
+    Program(Box<Program>),
+    /// AT&T assembly text; parsed on construction.
+    Assembly {
+        /// Kernel name.
+        name: String,
+        /// The parsed program.
+        program: Box<Program>,
+    },
+    /// A native Rust kernel, really executed on the host.
+    Native(Box<dyn NativeKernel + Send>),
+    /// A standalone application: timed as a whole (§4.1's fork-and-time
+    /// path), expressed as a program plus total iterations.
+    Standalone {
+        /// The program to run to completion.
+        program: Box<Program>,
+        /// Total loop iterations the application performs.
+        iterations: u64,
+    },
+}
+
+impl KernelInput {
+    /// Wraps a generated program.
+    pub fn program(p: Program) -> Self {
+        KernelInput::Program(Box::new(p))
+    }
+
+    /// Parses assembly text (the `.s`-file path).
+    pub fn assembly(name: impl Into<String>, text: &str) -> Result<Self, String> {
+        let name = name.into();
+        let program =
+            Program::from_asm_text(name.clone(), text).map_err(|e| e.to_string())?;
+        Ok(KernelInput::Assembly { name, program: Box::new(program) })
+    }
+
+    /// Disassembles raw machine code (the object-file path of §4.1).
+    pub fn object(name: impl Into<String>, bytes: &[u8]) -> Result<Self, String> {
+        let name = name.into();
+        let program =
+            Program::from_machine_code(name.clone(), bytes).map_err(|e| e.to_string())?;
+        Ok(KernelInput::Assembly { name, program: Box::new(program) })
+    }
+
+    /// Wraps a native kernel.
+    pub fn native(k: impl NativeKernel + Send + 'static) -> Self {
+        KernelInput::Native(Box::new(k))
+    }
+
+    /// Wraps a standalone application.
+    pub fn standalone(p: Program, iterations: u64) -> Self {
+        KernelInput::Standalone { program: Box::new(p), iterations }
+    }
+
+    /// The program behind this input, when there is one.
+    pub fn as_program(&self) -> Option<&Program> {
+        match self {
+            KernelInput::Program(p) => Some(p),
+            KernelInput::Assembly { program, .. } => Some(program),
+            KernelInput::Standalone { program, .. } => Some(program),
+            KernelInput::Native(_) => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            KernelInput::Program(p) => &p.name,
+            KernelInput::Assembly { name, .. } => name,
+            KernelInput::Native(k) => k.name(),
+            KernelInput::Standalone { program, .. } => &program.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_input_parses() {
+        let text = ".L0:\nmovss (%rsi), %xmm0\naddq $4, %rsi\nsubq $1, %rdi\njge .L0\n";
+        let input = KernelInput::assembly("hand_written", text).unwrap();
+        assert_eq!(input.name(), "hand_written");
+        let p = input.as_program().unwrap();
+        assert_eq!(p.load_count(), 1);
+    }
+
+    #[test]
+    fn assembly_errors_propagate() {
+        let err = match KernelInput::assembly("bad", "frobnicate %rax\n") {
+            Err(e) => e,
+            Ok(_) => panic!("bad assembly accepted"),
+        };
+        assert!(err.contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn object_input_roundtrips_through_machine_code() {
+        let text = ".L0:\nmovss (%rsi), %xmm0\naddq $4, %rsi\nsubq $1, %rdi\njge .L0\n";
+        let program = Program::from_asm_text("k", text).unwrap();
+        let code = program.to_machine_code().unwrap();
+        let input = KernelInput::object("from_object", &code).unwrap();
+        assert_eq!(input.as_program().unwrap().load_count(), 1);
+        let err = match KernelInput::object("bad", &[0x0F, 0x05]) {
+            Err(e) => e,
+            Ok(_) => panic!("syscall bytes accepted"),
+        };
+        assert!(err.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn native_kernel_runs() {
+        let k = FnKernel::new("sum", |n, arrays: &mut [Vec<f32>]| {
+            let a = &arrays[0];
+            let mut acc = 0.0f32;
+            for i in 0..n.min(a.len()) {
+                acc += a[i];
+            }
+            std::hint::black_box(acc);
+            n
+        });
+        let mut arrays = vec![vec![1.0f32; 128]];
+        assert_eq!(k.run(64, &mut arrays), 64);
+        assert_eq!(k.name(), "sum");
+        let input = KernelInput::native(k);
+        assert!(input.as_program().is_none());
+        assert_eq!(input.name(), "sum");
+    }
+
+    #[test]
+    fn program_input_name() {
+        use mc_kernel::builder::figure6;
+        let mut desc = figure6();
+        desc.unrolling = mc_kernel::UnrollRange::fixed(1);
+        let p = mc_creator::MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
+        let input = KernelInput::program(p.clone());
+        assert_eq!(input.name(), p.name);
+        assert!(input.as_program().is_some());
+        let standalone = KernelInput::standalone(p, 1000);
+        assert!(standalone.as_program().is_some());
+    }
+}

@@ -1,0 +1,269 @@
+//! The measurement protocol — Figure 10's timing pseudo-algorithm.
+//!
+//! ```text
+//! overhead ← time of an empty call (minimum over a calibration loop)
+//! call kernel once                      # heat instruction & data caches
+//! for e in 0..meta_repetitions:         # outer loop: stability
+//!     t0 ← clock
+//!     for r in 0..repetitions:          # inner loop: amplification
+//!         iterations += call kernel
+//!     sample[e] ← (clock − t0 − overhead·repetitions) / iterations
+//! report aggregate(sample)              # cycles per iteration
+//! ```
+//!
+//! "The overhead calculation removes the function call cost and any other
+//! noise from the final calculation" (§4.5). The protocol is generic over
+//! the clock and the kernel call, so the simulated and native paths share
+//! it verbatim.
+
+use crate::clock::Clock;
+use crate::options::Aggregation;
+use crate::stability;
+use mc_report::stats::Summary;
+
+/// Protocol parameters (subset of the launcher options).
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Inner repetitions per experiment.
+    pub repetitions: u32,
+    /// Outer experiments.
+    pub meta_repetitions: u32,
+    /// Cache-heating calls before timing.
+    pub warmup_runs: u32,
+    /// Sample aggregation policy.
+    pub aggregation: Aggregation,
+    /// Stability threshold on the samples' coefficient of variation.
+    pub stability_threshold: f64,
+}
+
+impl MeasureConfig {
+    /// Builds from launcher options.
+    pub fn from_options(o: &crate::options::LauncherOptions) -> Self {
+        MeasureConfig {
+            repetitions: o.repetitions.max(1),
+            meta_repetitions: o.meta_repetitions.max(1),
+            warmup_runs: if o.heat_cache { o.warmup_runs.max(1) } else { 0 },
+            aggregation: o.aggregation,
+            stability_threshold: o.stability_threshold,
+        }
+    }
+}
+
+/// Result of one measured kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Cycles per iteration, per outer experiment.
+    pub samples: Vec<f64>,
+    /// The aggregated (reported) cycles per iteration.
+    pub cycles_per_iteration: f64,
+    /// Sample statistics.
+    pub summary: Summary,
+    /// Whether the run met the stability threshold.
+    pub stable: bool,
+    /// Calibrated per-call overhead in cycles.
+    pub overhead_cycles: f64,
+    /// Total cycles across all timed calls (the `--full-function` number).
+    pub total_cycles: u64,
+    /// Loop iterations executed per call.
+    pub iterations_per_call: u64,
+}
+
+/// Runs the protocol. `call` executes the kernel once and returns the
+/// number of loop iterations it performed; `noop` is an "empty" call used
+/// for overhead calibration (same call path, no kernel work).
+pub fn measure<C, F, N>(
+    clock: &C,
+    cfg: &MeasureConfig,
+    mut call: F,
+    mut noop: N,
+) -> Result<Measurement, String>
+where
+    C: Clock,
+    F: FnMut() -> u64,
+    N: FnMut(),
+{
+    // Overhead calibration: minimum of a short loop.
+    let mut overhead = u64::MAX;
+    for _ in 0..16 {
+        let t0 = clock.now_cycles();
+        noop();
+        overhead = overhead.min(clock.now_cycles() - t0);
+    }
+    let overhead = overhead as f64;
+
+    // Cache heating.
+    let mut iterations_per_call = 0u64;
+    for _ in 0..cfg.warmup_runs {
+        iterations_per_call = call();
+    }
+
+    let mut samples = Vec::with_capacity(cfg.meta_repetitions as usize);
+    let mut total_cycles = 0u64;
+    for _ in 0..cfg.meta_repetitions {
+        let t0 = clock.now_cycles();
+        let mut iterations = 0u64;
+        for _ in 0..cfg.repetitions {
+            iterations += call();
+        }
+        let elapsed = clock.now_cycles() - t0;
+        total_cycles += elapsed;
+        if iterations == 0 {
+            return Err("kernel reported zero iterations".into());
+        }
+        iterations_per_call = iterations / u64::from(cfg.repetitions);
+        let net = (elapsed as f64 - overhead * f64::from(cfg.repetitions)).max(0.0);
+        samples.push(net / iterations as f64);
+    }
+
+    let summary = Summary::of(&samples).ok_or("no valid samples")?;
+    let cycles_per_iteration =
+        stability::aggregate(&samples, cfg.aggregation).ok_or("aggregation failed")?;
+    Ok(Measurement {
+        stable: stability::is_stable(&samples, cfg.stability_threshold),
+        samples,
+        cycles_per_iteration,
+        summary,
+        overhead_cycles: overhead,
+        total_cycles,
+        iterations_per_call,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    fn cfg() -> MeasureConfig {
+        MeasureConfig {
+            repetitions: 8,
+            meta_repetitions: 5,
+            warmup_runs: 1,
+            aggregation: Aggregation::Min,
+            stability_threshold: 0.05,
+        }
+    }
+
+    #[test]
+    fn exact_simulated_kernel_measures_exactly() {
+        // A kernel of 100 iterations at 3.25 cycles each, 50-cycle call
+        // overhead; the protocol must recover 3.25.
+        let clock = SimClock::new(2.67);
+        let m = measure(
+            &clock,
+            &cfg(),
+            || {
+                clock.advance_cycles(50 + 325);
+                100
+            },
+            || clock.advance_cycles(50),
+        )
+        .unwrap();
+        assert!((m.cycles_per_iteration - 3.25).abs() < 1e-9, "{m:?}");
+        assert!(m.stable);
+        assert_eq!(m.iterations_per_call, 100);
+        assert_eq!(m.overhead_cycles, 50.0);
+    }
+
+    #[test]
+    fn noisy_kernel_min_recovers_floor() {
+        use crate::stability::NoiseModel;
+        let clock = SimClock::new(2.67);
+        let noise = std::cell::RefCell::new(NoiseModel::new(11, 0.4, true, true));
+        let m = measure(
+            &clock,
+            &MeasureConfig { meta_repetitions: 16, ..cfg() },
+            || {
+                let cycles = noise.borrow_mut().disturb(400.0);
+                clock.advance_cycles(cycles as u64);
+                100
+            },
+            || {},
+        )
+        .unwrap();
+        // Noise inflates some samples; min stays near 4 cycles/iter.
+        assert!((m.cycles_per_iteration - 4.0).abs() < 0.1, "{}", m.cycles_per_iteration);
+        assert!(m.summary.max >= m.summary.min);
+    }
+
+    #[test]
+    fn unstable_run_is_flagged() {
+        let clock = SimClock::new(1.0);
+        let step = std::cell::Cell::new(0u64);
+        let m = measure(
+            &clock,
+            &MeasureConfig { stability_threshold: 0.01, aggregation: Aggregation::Median, ..cfg() },
+            || {
+                step.set(step.get() + 1);
+                clock.advance_cycles(100 + step.get() * 40);
+                10
+            },
+            || {},
+        )
+        .unwrap();
+        assert!(!m.stable, "steadily drifting samples must be flagged: {:?}", m.samples);
+    }
+
+    #[test]
+    fn zero_iterations_is_an_error() {
+        let clock = SimClock::new(1.0);
+        let err = measure(&clock, &cfg(), || 0, || {}).unwrap_err();
+        assert!(err.contains("zero iterations"), "{err}");
+    }
+
+    #[test]
+    fn warmup_runs_are_not_timed() {
+        // The first (cold) call is 10× slower; the protocol's warm-up
+        // absorbs it so samples only see the warm cost.
+        let clock = SimClock::new(1.0);
+        let calls = std::cell::Cell::new(0u32);
+        let m = measure(
+            &clock,
+            &cfg(),
+            || {
+                let cold = calls.get() == 0;
+                calls.set(calls.get() + 1);
+                clock.advance_cycles(if cold { 10_000 } else { 1_000 });
+                100
+            },
+            || {},
+        )
+        .unwrap();
+        assert!((m.cycles_per_iteration - 10.0).abs() < 1e-9, "cold call leaked into timing");
+    }
+
+    #[test]
+    fn overhead_is_subtracted() {
+        let clock = SimClock::new(1.0);
+        // Call overhead 500 dwarfs kernel work 100 → without subtraction
+        // the result would be 6 cycles/iter instead of 1.
+        let m = measure(
+            &clock,
+            &cfg(),
+            || {
+                clock.advance_cycles(600);
+                100
+            },
+            || clock.advance_cycles(500),
+        )
+        .unwrap();
+        assert!((m.cycles_per_iteration - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_function_total_accumulates() {
+        let clock = SimClock::new(1.0);
+        let m = measure(
+            &clock,
+            &cfg(),
+            || {
+                clock.advance_cycles(1000);
+                10
+            },
+            || {},
+        )
+        .unwrap();
+        // 5 experiments × 8 reps × 1000 cycles.
+        assert_eq!(m.total_cycles, 40_000);
+    }
+}

@@ -1,0 +1,503 @@
+//! Launcher configuration — the paper's "more than thirty options … for
+//! behavior tweaking" (§4.2), exposed both as a builder-style struct and a
+//! `--key=value` command-line parser.
+
+use mc_simarch::config::{Level, MachineConfig};
+use mc_simarch::exec::EnvPlacement;
+
+/// Which Table 1 machine model to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachinePreset {
+    /// Sandy Bridge Xeon E31240.
+    SandyBridgeE31240,
+    /// Dual-socket Nehalem X5650.
+    NehalemX5650,
+    /// Quad-socket Nehalem X7550.
+    NehalemX7550,
+}
+
+impl MachinePreset {
+    /// Instantiates the machine model.
+    pub fn config(self) -> MachineConfig {
+        match self {
+            MachinePreset::SandyBridgeE31240 => MachineConfig::sandy_bridge_e31240(),
+            MachinePreset::NehalemX5650 => MachineConfig::nehalem_x5650_dual(),
+            MachinePreset::NehalemX7550 => MachineConfig::nehalem_x7550_quad(),
+        }
+    }
+
+    /// Parses the command-line name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "sandybridge" | "e31240" => MachinePreset::SandyBridgeE31240,
+            "nehalem2" | "x5650" => MachinePreset::NehalemX5650,
+            "nehalem4" | "x7550" => MachinePreset::NehalemX7550,
+            _ => return None,
+        })
+    }
+}
+
+/// Execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One pinned core (§4 default).
+    Sequential,
+    /// Fork-per-core with synchronized start (§4.6).
+    Fork,
+    /// OpenMP team (§5.2.3).
+    OpenMp,
+    /// Standalone application timing (§4.1).
+    Standalone,
+}
+
+/// How the outer-loop samples reduce to the reported number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Minimum across experiments — the paper's figure convention ("the
+    /// minimum value was taken though the variance was minimal", §5.1).
+    Min,
+    /// Median across experiments.
+    Median,
+    /// Mean across experiments.
+    Mean,
+}
+
+/// The full option surface of MicroLauncher.
+///
+/// The paper: "there are currently more than thirty options in the
+/// MicroLauncher tool" — every public field here is one option;
+/// [`LauncherOptions::OPTION_NAMES`] enumerates them and a unit test pins
+/// the count above thirty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LauncherOptions {
+    // -- Input selection (§4.1) --
+    /// Kernel entry-point name (`--function`): which symbol to call.
+    pub function: String,
+    /// Number of data arrays to allocate and pass (`--nbvectors`).
+    pub nb_vectors: u32,
+    /// Free-form label copied into the CSV (`--label`).
+    pub label: String,
+
+    // -- Workload shape --
+    /// Trip count `n` passed as the kernel's first argument (`--tripcount`).
+    pub trip_count: u64,
+    /// Per-array size in bytes (`--vector-bytes`); overrides
+    /// `--residence` when non-zero.
+    pub vector_bytes: u64,
+    /// Element size override in bytes (`--element-bytes`, 0 = program's).
+    pub element_bytes: u8,
+    /// Target residence level (`--residence l1|l2|l3|ram`).
+    pub residence: Option<Level>,
+    /// Per-array alignment offsets (`--align o1,o2,…`).
+    pub alignments: Vec<u64>,
+    /// Alignment sweep step in bytes (`--align-step`, 0 = no sweep).
+    pub align_step: u64,
+    /// Alignment sweep maximum offset (`--align-max`).
+    pub align_max: u64,
+
+    // -- Stability protocol (§4.5, §4.7) --
+    /// Inner repetitions per experiment (`--repetitions`).
+    pub repetitions: u32,
+    /// Outer experiments (`--meta-repetitions`).
+    pub meta_repetitions: u32,
+    /// Cache-heating runs before measuring (`--warmup`).
+    pub warmup_runs: u32,
+    /// Whether to heat instruction/data caches at all (`--heat-cache`).
+    pub heat_cache: bool,
+    /// Disable (simulated) interrupts during measurement
+    /// (`--disable-interrupts`).
+    pub disable_interrupts: bool,
+    /// Sample aggregation (`--aggregate min|median|mean`).
+    pub aggregation: Aggregation,
+    /// Maximum accepted coefficient of variation across experiments
+    /// (`--stability-threshold`); runs above it are flagged unstable.
+    pub stability_threshold: f64,
+    /// Environmental-noise amplitude for the simulated environment
+    /// (`--noise`, 0 disables; used to demonstrate the protocol).
+    pub noise_amplitude: f64,
+    /// RNG seed for the noise model (`--seed`).
+    pub seed: u64,
+
+    // -- Placement & machine (§4.6) --
+    /// Machine preset (`--machine`).
+    pub machine: MachinePreset,
+    /// Core to pin sequential runs to (`--pin`).
+    pub pin_core: u32,
+    /// Number of cores for fork mode (`--cores`).
+    pub cores: u32,
+    /// Socket placement policy (`--placement rr|compact`).
+    pub placement: EnvPlacement,
+    /// Core frequency in GHz (`--frequency`, 0 = nominal).
+    pub frequency_ghz: f64,
+
+    // -- OpenMP mode (§5.2.3) --
+    /// Team size (`--omp-threads`).
+    pub omp_threads: u32,
+    /// Fork+barrier overhead override in ns (`--omp-overhead`, 0 = model
+    /// default).
+    pub omp_overhead_ns: f64,
+
+    // -- Execution & verification --
+    /// Execution mode (`--mode seq|fork|omp|standalone`).
+    pub mode: Mode,
+    /// Use the custom (simulated) evaluation library instead of `rdtsc`
+    /// (`--eval-library rdtsc|sim`) — §4.2's switchable timing library.
+    pub sim_clock: bool,
+    /// Functionally execute the kernel in the interpreter and verify the
+    /// linkage contract (`--verify`).
+    pub verify: bool,
+    /// Additionally replay the interpreter's address trace through the
+    /// set-associative cache simulator and check the observed residence
+    /// against the analytic model (`--verify-cache`). Costs two full
+    /// traversals; off by default.
+    pub verify_cache: bool,
+    /// Interpreter step budget (`--max-steps`).
+    pub max_interp_steps: u64,
+
+    // -- Output (§4.3) --
+    /// Emit a CSV row per run (`--csv`).
+    pub csv: bool,
+    /// Report the full kernel-function execution (time for all
+    /// repetitions) instead of per-iteration cycles (`--full-function`).
+    pub full_function: bool,
+    /// Verbose progress output (`--verbose`).
+    pub verbose: bool,
+}
+
+impl Default for LauncherOptions {
+    fn default() -> Self {
+        LauncherOptions {
+            function: "kernel".into(),
+            nb_vectors: 1,
+            label: String::new(),
+            trip_count: 0,
+            vector_bytes: 0,
+            element_bytes: 0,
+            residence: None,
+            alignments: Vec::new(),
+            align_step: 0,
+            align_max: 0,
+            repetitions: 32,
+            meta_repetitions: 8,
+            warmup_runs: 1,
+            heat_cache: true,
+            disable_interrupts: true,
+            aggregation: Aggregation::Min,
+            stability_threshold: 0.05,
+            noise_amplitude: 0.0,
+            seed: 0x4d4c_2012,
+            machine: MachinePreset::NehalemX5650,
+            pin_core: 0,
+            cores: 1,
+            placement: EnvPlacement::RoundRobinSockets,
+            frequency_ghz: 0.0,
+            omp_threads: 4,
+            omp_overhead_ns: 0.0,
+            mode: Mode::Sequential,
+            sim_clock: true,
+            verify: true,
+            verify_cache: false,
+            max_interp_steps: 50_000_000,
+            csv: true,
+            full_function: false,
+            verbose: false,
+        }
+    }
+}
+
+impl LauncherOptions {
+    /// Every command-line option name, for `--help` and the >30 contract.
+    pub const OPTION_NAMES: [&'static str; 34] = [
+        "--function",
+        "--nbvectors",
+        "--label",
+        "--tripcount",
+        "--vector-bytes",
+        "--element-bytes",
+        "--residence",
+        "--align",
+        "--align-step",
+        "--align-max",
+        "--repetitions",
+        "--meta-repetitions",
+        "--warmup",
+        "--heat-cache",
+        "--disable-interrupts",
+        "--aggregate",
+        "--stability-threshold",
+        "--noise",
+        "--seed",
+        "--machine",
+        "--pin",
+        "--cores",
+        "--placement",
+        "--frequency",
+        "--omp-threads",
+        "--omp-overhead",
+        "--mode",
+        "--eval-library",
+        "--verify",
+        "--verify-cache",
+        "--max-steps",
+        "--csv",
+        "--full-function",
+        "--verbose",
+    ];
+
+    /// Parses `--key=value` / `--flag` arguments over the defaults.
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> Result<LauncherOptions, String> {
+        let mut opts = LauncherOptions::default();
+        for raw in args {
+            let raw = raw.as_ref();
+            let (key, value) = match raw.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (raw, None),
+            };
+            let want = |what: &str| -> Result<&str, String> {
+                value.ok_or_else(|| format!("{key} requires a value ({what})"))
+            };
+            let parse_u32 = |what: &str| -> Result<u32, String> {
+                want(what)?.parse().map_err(|_| format!("{key}: invalid integer"))
+            };
+            match key {
+                "--function" => opts.function = want("name")?.to_owned(),
+                "--nbvectors" => opts.nb_vectors = parse_u32("count")?,
+                "--label" => opts.label = want("text")?.to_owned(),
+                "--tripcount" => {
+                    opts.trip_count =
+                        want("n")?.parse().map_err(|_| "--tripcount: invalid integer")?
+                }
+                "--vector-bytes" => {
+                    opts.vector_bytes =
+                        want("bytes")?.parse().map_err(|_| "--vector-bytes: invalid integer")?
+                }
+                "--element-bytes" => {
+                    opts.element_bytes =
+                        want("bytes")?.parse().map_err(|_| "--element-bytes: invalid integer")?
+                }
+                "--residence" => {
+                    opts.residence = Some(match want("level")? {
+                        "l1" | "L1" => Level::L1,
+                        "l2" | "L2" => Level::L2,
+                        "l3" | "L3" => Level::L3,
+                        "ram" | "RAM" => Level::Ram,
+                        other => return Err(format!("--residence: unknown level `{other}`")),
+                    })
+                }
+                "--align" => {
+                    opts.alignments = want("offsets")?
+                        .split(',')
+                        .map(|o| o.trim().parse().map_err(|_| "--align: invalid offset".to_owned()))
+                        .collect::<Result<_, _>>()?
+                }
+                "--align-step" => {
+                    opts.align_step =
+                        want("bytes")?.parse().map_err(|_| "--align-step: invalid integer")?
+                }
+                "--align-max" => {
+                    opts.align_max =
+                        want("bytes")?.parse().map_err(|_| "--align-max: invalid integer")?
+                }
+                "--repetitions" => opts.repetitions = parse_u32("count")?,
+                "--meta-repetitions" => opts.meta_repetitions = parse_u32("count")?,
+                "--warmup" => opts.warmup_runs = parse_u32("count")?,
+                "--heat-cache" => opts.heat_cache = parse_bool(value)?,
+                "--disable-interrupts" => opts.disable_interrupts = parse_bool(value)?,
+                "--aggregate" => {
+                    opts.aggregation = match want("min|median|mean")? {
+                        "min" => Aggregation::Min,
+                        "median" => Aggregation::Median,
+                        "mean" => Aggregation::Mean,
+                        other => return Err(format!("--aggregate: unknown mode `{other}`")),
+                    }
+                }
+                "--stability-threshold" => {
+                    opts.stability_threshold = want("fraction")?
+                        .parse()
+                        .map_err(|_| "--stability-threshold: invalid float")?
+                }
+                "--noise" => {
+                    opts.noise_amplitude =
+                        want("fraction")?.parse().map_err(|_| "--noise: invalid float")?
+                }
+                "--seed" => {
+                    opts.seed = want("seed")?.parse().map_err(|_| "--seed: invalid integer")?
+                }
+                "--machine" => {
+                    opts.machine = MachinePreset::from_name(want("name")?)
+                        .ok_or_else(|| "--machine: unknown machine".to_owned())?
+                }
+                "--pin" => opts.pin_core = parse_u32("core")?,
+                "--cores" => opts.cores = parse_u32("count")?,
+                "--placement" => {
+                    opts.placement = match want("rr|compact")? {
+                        "rr" => EnvPlacement::RoundRobinSockets,
+                        "compact" => EnvPlacement::FillFirstSocket,
+                        other => return Err(format!("--placement: unknown policy `{other}`")),
+                    }
+                }
+                "--frequency" => {
+                    opts.frequency_ghz =
+                        want("ghz")?.parse().map_err(|_| "--frequency: invalid float")?
+                }
+                "--omp-threads" => opts.omp_threads = parse_u32("count")?,
+                "--omp-overhead" => {
+                    opts.omp_overhead_ns =
+                        want("ns")?.parse().map_err(|_| "--omp-overhead: invalid float")?
+                }
+                "--mode" => {
+                    opts.mode = match want("seq|fork|omp|standalone")? {
+                        "seq" => Mode::Sequential,
+                        "fork" => Mode::Fork,
+                        "omp" => Mode::OpenMp,
+                        "standalone" => Mode::Standalone,
+                        other => return Err(format!("--mode: unknown mode `{other}`")),
+                    }
+                }
+                "--eval-library" => {
+                    opts.sim_clock = match want("rdtsc|sim")? {
+                        "rdtsc" => false,
+                        "sim" => true,
+                        other => return Err(format!("--eval-library: unknown library `{other}`")),
+                    }
+                }
+                "--verify" => opts.verify = parse_bool(value)?,
+                "--verify-cache" => opts.verify_cache = parse_bool(value)?,
+                "--max-steps" => {
+                    opts.max_interp_steps =
+                        want("steps")?.parse().map_err(|_| "--max-steps: invalid integer")?
+                }
+                "--csv" => opts.csv = parse_bool(value)?,
+                "--full-function" => opts.full_function = parse_bool(value)?,
+                "--verbose" => opts.verbose = parse_bool(value)?,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The effective core frequency: explicit override or the machine's
+    /// nominal.
+    pub fn effective_frequency(&self) -> f64 {
+        if self.frequency_ghz > 0.0 {
+            self.frequency_ghz
+        } else {
+            self.machine.config().nominal_ghz
+        }
+    }
+}
+
+fn parse_bool(value: Option<&str>) -> Result<bool, String> {
+    match value {
+        None | Some("true") | Some("1") | Some("yes") => Ok(true),
+        Some("false") | Some("0") | Some("no") => Ok(false),
+        Some(other) => Err(format!("invalid boolean `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_than_thirty_options() {
+        // §4.2: "there are currently more than thirty options in the
+        // MicroLauncher tool".
+        assert!(LauncherOptions::OPTION_NAMES.len() > 30);
+        // Names are unique.
+        let mut names = LauncherOptions::OPTION_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LauncherOptions::OPTION_NAMES.len());
+    }
+
+    #[test]
+    fn every_listed_option_parses() {
+        // Each documented option must be accepted by the parser.
+        for name in LauncherOptions::OPTION_NAMES {
+            let arg = match name {
+                "--function" | "--label" => format!("{name}=x"),
+                "--residence" => format!("{name}=l1"),
+                "--align" => format!("{name}=0,64"),
+                "--aggregate" => format!("{name}=median"),
+                "--machine" => format!("{name}=x5650"),
+                "--placement" => format!("{name}=compact"),
+                "--mode" => format!("{name}=fork"),
+                "--eval-library" => format!("{name}=sim"),
+                "--heat-cache" | "--disable-interrupts" | "--verify" | "--verify-cache"
+                | "--csv" | "--full-function" | "--verbose" => name.to_owned(),
+                "--stability-threshold" | "--noise" | "--frequency" | "--omp-overhead" => {
+                    format!("{name}=1.5")
+                }
+                _ => format!("{name}=4"),
+            };
+            LauncherOptions::from_args(&[arg.as_str()])
+                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = LauncherOptions::default();
+        assert_eq!(o.mode, Mode::Sequential);
+        assert_eq!(o.aggregation, Aggregation::Min);
+        assert!(o.heat_cache);
+        assert!(o.verify);
+        assert!(o.repetitions > 1);
+        assert!(o.meta_repetitions > 1);
+        assert_eq!(o.noise_amplitude, 0.0);
+    }
+
+    #[test]
+    fn parse_combinations() {
+        let o = LauncherOptions::from_args(&[
+            "--machine=x7550",
+            "--mode=fork",
+            "--cores=32",
+            "--residence=ram",
+            "--align=0,512,1024,1536",
+            "--aggregate=min",
+            "--repetitions=64",
+        ])
+        .unwrap();
+        assert_eq!(o.machine, MachinePreset::NehalemX7550);
+        assert_eq!(o.mode, Mode::Fork);
+        assert_eq!(o.cores, 32);
+        assert_eq!(o.residence, Some(Level::Ram));
+        assert_eq!(o.alignments, vec![0, 512, 1024, 1536]);
+        assert_eq!(o.repetitions, 64);
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(LauncherOptions::from_args(&["--mode=warp"]).is_err());
+        assert!(LauncherOptions::from_args(&["--residence=l9"]).is_err());
+        assert!(LauncherOptions::from_args(&["--cores=banana"]).is_err());
+        assert!(LauncherOptions::from_args(&["--unknown=1"]).is_err());
+        assert!(LauncherOptions::from_args(&["--align=1,x"]).is_err());
+        assert!(LauncherOptions::from_args(&["--machine"]).is_err());
+    }
+
+    #[test]
+    fn bare_flags_mean_true() {
+        let o = LauncherOptions::from_args(&["--verbose", "--csv=false"]).unwrap();
+        assert!(o.verbose);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn effective_frequency_override() {
+        let mut o = LauncherOptions::default();
+        assert_eq!(o.effective_frequency(), 2.67);
+        o.frequency_ghz = 1.6;
+        assert_eq!(o.effective_frequency(), 1.6);
+    }
+
+    #[test]
+    fn machine_preset_names() {
+        assert_eq!(MachinePreset::from_name("x5650"), Some(MachinePreset::NehalemX5650));
+        assert_eq!(MachinePreset::from_name("e31240"), Some(MachinePreset::SandyBridgeE31240));
+        assert_eq!(MachinePreset::from_name("q6600"), None);
+        assert_eq!(MachinePreset::NehalemX7550.config().total_cores(), 32);
+    }
+}

@@ -1,0 +1,161 @@
+//! Environmental noise and the stability protocol (§4.7).
+//!
+//! "Stable results are MicroLauncher's priority. Executing the tool
+//! multiple times on the same architecture with the same kernel must give
+//! the same result." The launcher achieves this by pinning, disabling
+//! interrupts, heating the caches and repeating experiments; this module
+//! models the *noise those measures remove* — so the protocol has
+//! something to defeat in tests — and implements the sample aggregation.
+
+use crate::options::Aggregation;
+use mc_report::stats::Summary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic (seeded) model of environmental disturbance: OS ticks,
+/// interrupts, scheduler migrations. Each disturbance inflates one
+/// measurement multiplicatively; mitigations reduce frequency and
+/// amplitude.
+#[derive(Debug)]
+pub struct NoiseModel {
+    rng: StdRng,
+    /// Baseline amplitude (fraction of the true value).
+    amplitude: f64,
+    /// Probability a given measurement is disturbed.
+    disturb_probability: f64,
+}
+
+impl NoiseModel {
+    /// Creates a model. `pinned` and `interrupts_disabled` reflect the
+    /// launcher's mitigations; each roughly halves the disturbance rate
+    /// and amplitude.
+    pub fn new(seed: u64, amplitude: f64, pinned: bool, interrupts_disabled: bool) -> Self {
+        let mut factor = 1.0;
+        if pinned {
+            factor *= 0.5;
+        }
+        if interrupts_disabled {
+            factor *= 0.5;
+        }
+        NoiseModel {
+            rng: StdRng::seed_from_u64(seed),
+            amplitude: amplitude * factor,
+            disturb_probability: 0.3 * factor,
+        }
+    }
+
+    /// A disabled model (amplitude 0).
+    pub fn quiet(seed: u64) -> Self {
+        Self::new(seed, 0.0, true, true)
+    }
+
+    /// Applies noise to one true measurement: occasionally inflated, never
+    /// deflated (noise only ever adds time).
+    pub fn disturb(&mut self, true_value: f64) -> f64 {
+        if self.amplitude <= 0.0 {
+            return true_value;
+        }
+        if self.rng.gen::<f64>() < self.disturb_probability {
+            let bump = self.rng.gen::<f64>() * self.amplitude;
+            true_value * (1.0 + bump)
+        } else {
+            // Quiescent measurements still jitter slightly.
+            let jitter = self.rng.gen::<f64>() * self.amplitude * 0.05;
+            true_value * (1.0 + jitter)
+        }
+    }
+}
+
+/// Aggregates outer-loop samples per the configured policy.
+pub fn aggregate(samples: &[f64], how: Aggregation) -> Option<f64> {
+    let s = Summary::of(samples)?;
+    Some(match how {
+        Aggregation::Min => s.min,
+        Aggregation::Median => s.median,
+        Aggregation::Mean => s.mean,
+    })
+}
+
+/// Stability verdict over the outer experiments: the coefficient of
+/// variation against the configured threshold ("the outer loop allows the
+/// user to verify the stability of the experiments", §4).
+pub fn is_stable(samples: &[f64], threshold: f64) -> bool {
+    Summary::of(samples).is_some_and(|s| s.cv() <= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_model_is_identity() {
+        let mut m = NoiseModel::quiet(1);
+        for v in [1.0, 5.0, 100.0] {
+            assert_eq!(m.disturb(v), v);
+        }
+    }
+
+    #[test]
+    fn noise_only_inflates() {
+        let mut m = NoiseModel::new(42, 0.5, false, false);
+        for _ in 0..1000 {
+            let v = m.disturb(10.0);
+            assert!(v >= 10.0, "noise deflated: {v}");
+            assert!(v <= 16.0, "noise beyond amplitude: {v}");
+        }
+    }
+
+    #[test]
+    fn mitigations_reduce_disturbance() {
+        let measure = |pinned, irq_off| -> f64 {
+            let mut m = NoiseModel::new(7, 0.5, pinned, irq_off);
+            (0..2000).map(|_| m.disturb(10.0) - 10.0).sum::<f64>()
+        };
+        let raw = measure(false, false);
+        let mitigated = measure(true, true);
+        assert!(
+            mitigated < raw / 2.0,
+            "pinning+no-interrupts should cut noise: {mitigated} vs {raw}"
+        );
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let run = |seed| -> Vec<f64> {
+            let mut m = NoiseModel::new(seed, 0.3, true, true);
+            (0..50).map(|_| m.disturb(5.0)).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn min_aggregation_recovers_true_value_under_noise() {
+        // The heart of the stability protocol: noise only adds time, so
+        // the minimum over enough experiments converges to the true cost.
+        let mut m = NoiseModel::new(3, 0.4, true, true);
+        let true_value = 12.5;
+        let samples: Vec<f64> = (0..32).map(|_| m.disturb(true_value)).collect();
+        let min = aggregate(&samples, Aggregation::Min).unwrap();
+        assert!((min - true_value) / true_value < 0.03, "min {min} vs true {true_value}");
+        // The mean does NOT recover it as well.
+        let mean = aggregate(&samples, Aggregation::Mean).unwrap();
+        assert!(mean >= min);
+    }
+
+    #[test]
+    fn aggregation_modes() {
+        let samples = [3.0, 1.0, 2.0];
+        assert_eq!(aggregate(&samples, Aggregation::Min), Some(1.0));
+        assert_eq!(aggregate(&samples, Aggregation::Median), Some(2.0));
+        assert_eq!(aggregate(&samples, Aggregation::Mean), Some(2.0));
+        assert_eq!(aggregate(&[], Aggregation::Min), None);
+    }
+
+    #[test]
+    fn stability_verdict() {
+        assert!(is_stable(&[10.0, 10.01, 10.02], 0.05));
+        assert!(!is_stable(&[10.0, 15.0, 20.0], 0.05));
+        assert!(!is_stable(&[], 0.05));
+    }
+}

@@ -1,0 +1,23 @@
+//! # mc-ompsim — OpenMP-style parallel harness
+//!
+//! The paper's MicroLauncher runs kernels under two parallel techniques
+//! (§5.2): `fork()`-per-core processes and OpenMP threads. GCC's libgomp is
+//! not part of this reproduction's substrate, so this crate provides:
+//!
+//! * [`team`] — a real fork-join team runtime on crossbeam scoped threads:
+//!   `parallel_for` with OpenMP-style static scheduling, team barriers, and
+//!   per-thread ids. Used for functional parallel execution and tests.
+//! * [`model`] — the analytic cost model of a parallel region (fork +
+//!   barrier overhead per team size) that the simulated timing path uses
+//!   for Figures 17/18 and Table 2.
+//! * [`pinning`] — the thread→core placement maps MicroLauncher applies
+//!   ("For parallel execution, the system handles thread core pinning",
+//!   §4).
+
+pub mod model;
+pub mod pinning;
+pub mod team;
+
+pub use model::OmpCostModel;
+pub use pinning::PinMap;
+pub use team::ParallelTeam;

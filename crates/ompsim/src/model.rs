@@ -1,0 +1,133 @@
+//! Analytic cost model of an OpenMP parallel region.
+//!
+//! A `#pragma omp parallel for` invocation costs: a fork (waking and
+//! dispatching the team), the slowest thread's chunk of work, and the
+//! closing barrier. Fork and barrier costs grow with team size. The
+//! numbers default to the libgomp-on-Linux order of magnitude of the
+//! paper's era (GCC 4.4, §5): a few microseconds per region.
+//!
+//! Figures 17/18 and Table 2's qualitative content — "Unrolling achieves a
+//! significant performance gain for the sequential version. It is not true
+//! in the OpenMP setting due to the overhead of the parallel setup" —
+//! follows from this model combined with shared-bandwidth contention
+//! (`mc-simarch`): once the team saturates L3/RAM bandwidth, shaving core
+//! cycles via unrolling no longer moves the region time.
+
+/// Cost parameters of the OpenMP runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpCostModel {
+    /// Fixed fork cost per parallel region (ns).
+    pub fork_base_ns: f64,
+    /// Additional fork cost per team thread (ns).
+    pub fork_per_thread_ns: f64,
+    /// Fixed closing-barrier cost (ns).
+    pub barrier_base_ns: f64,
+    /// Additional barrier cost per team thread (ns).
+    pub barrier_per_thread_ns: f64,
+    /// Per-thread static-schedule dispatch cost (ns).
+    pub dispatch_per_thread_ns: f64,
+}
+
+impl Default for OmpCostModel {
+    fn default() -> Self {
+        OmpCostModel {
+            fork_base_ns: 1_500.0,
+            fork_per_thread_ns: 400.0,
+            barrier_base_ns: 600.0,
+            barrier_per_thread_ns: 250.0,
+            dispatch_per_thread_ns: 120.0,
+        }
+    }
+}
+
+impl OmpCostModel {
+    /// Total per-region overhead in nanoseconds for a team of `threads`.
+    /// A single-thread "team" still pays the runtime entry cost.
+    pub fn region_overhead_ns(&self, threads: u32) -> f64 {
+        let t = f64::from(threads.max(1));
+        self.fork_base_ns
+            + self.fork_per_thread_ns * t
+            + self.barrier_base_ns
+            + self.barrier_per_thread_ns * t
+            + self.dispatch_per_thread_ns * t
+    }
+
+    /// Wall-clock seconds for one parallel-for region: overhead plus the
+    /// slowest thread's share of `total_work_seconds` (already inclusive of
+    /// any bandwidth contention — the caller computes per-thread work with
+    /// the team active).
+    pub fn region_seconds(&self, threads: u32, total_work_seconds: f64) -> f64 {
+        let t = f64::from(threads.max(1));
+        self.region_overhead_ns(threads) * 1e-9 + total_work_seconds / t
+    }
+
+    /// The work size (seconds) below which adding threads is pointless:
+    /// where overhead equals the parallel work saving.
+    pub fn breakeven_work_seconds(&self, threads: u32) -> f64 {
+        let t = f64::from(threads.max(1));
+        if t <= 1.0 {
+            return f64::INFINITY;
+        }
+        self.region_overhead_ns(threads) * 1e-9 * t / (t - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_grows_with_team_size() {
+        let m = OmpCostModel::default();
+        let mut prev = 0.0;
+        for t in 1..=32 {
+            let o = m.region_overhead_ns(t);
+            assert!(o > prev);
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn overhead_is_microsecond_scale() {
+        let m = OmpCostModel::default();
+        let o4 = m.region_overhead_ns(4);
+        assert!((2_000.0..=10_000.0).contains(&o4), "4-thread region overhead {o4} ns");
+    }
+
+    #[test]
+    fn large_work_parallelizes_nearly_ideally() {
+        let m = OmpCostModel::default();
+        let work = 0.01; // 10 ms
+        let t1 = m.region_seconds(1, work);
+        let t4 = m.region_seconds(4, work);
+        let speedup = t1 / t4;
+        assert!(speedup > 3.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn tiny_work_is_overhead_dominated() {
+        let m = OmpCostModel::default();
+        let work = 1e-6; // 1 µs of work
+        let t1 = m.region_seconds(1, work);
+        let t4 = m.region_seconds(4, work);
+        assert!(t4 > t1, "parallelizing 1 µs of work must lose");
+    }
+
+    #[test]
+    fn breakeven_separates_the_regimes() {
+        let m = OmpCostModel::default();
+        let be = m.breakeven_work_seconds(4);
+        assert!(m.region_seconds(4, be * 10.0) < m.region_seconds(1, be * 10.0));
+        assert!(m.region_seconds(4, be / 10.0) > m.region_seconds(1, be / 10.0));
+        assert_eq!(m.breakeven_work_seconds(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn region_time_work_term_scales_inversely() {
+        let m = OmpCostModel::default();
+        let work = 0.1;
+        let t2 = m.region_seconds(2, work) - m.region_overhead_ns(2) * 1e-9;
+        let t8 = m.region_seconds(8, work) - m.region_overhead_ns(8) * 1e-9;
+        assert!((t2 / t8 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Thread/process → core placement maps.
+//!
+//! §4: "For sequential execution, the program is pinned on a given default
+//! core or chosen by the user. For parallel execution, the system handles
+//! thread core pinning." On the simulated machines pinning is a pure
+//! mapping decision; this module computes the maps the launcher applies
+//! and reports.
+
+/// A concrete assignment of team members to core ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinMap {
+    /// `core_of[i]` is the core id thread/process `i` is pinned to.
+    pub core_of: Vec<u32>,
+}
+
+impl PinMap {
+    /// Pins `n` workers round-robin across sockets: worker `i` goes to
+    /// socket `i % sockets`, next free core there. This is the placement
+    /// the paper's fork-mode experiments use (one process per core,
+    /// spreading memory demand across sockets).
+    pub fn round_robin(n: u32, sockets: u32, cores_per_socket: u32) -> Self {
+        assert!(sockets >= 1 && cores_per_socket >= 1);
+        let mut used = vec![0u32; sockets as usize];
+        let mut core_of = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            // First socket with a free core, starting from i % sockets.
+            let mut socket = i % sockets;
+            let mut tries = 0;
+            while used[socket as usize] >= cores_per_socket {
+                socket = (socket + 1) % sockets;
+                tries += 1;
+                assert!(tries <= sockets, "more workers than cores");
+            }
+            core_of.push(socket * cores_per_socket + used[socket as usize]);
+            used[socket as usize] += 1;
+        }
+        PinMap { core_of }
+    }
+
+    /// Pins `n` workers compactly: fill socket 0's cores first.
+    pub fn compact(n: u32, sockets: u32, cores_per_socket: u32) -> Self {
+        assert!(n <= sockets * cores_per_socket, "more workers than cores");
+        PinMap { core_of: (0..n).collect() }
+    }
+
+    /// Pins a single worker to `core` (the launcher's sequential default
+    /// or user choice).
+    pub fn single(core: u32) -> Self {
+        PinMap { core_of: vec![core] }
+    }
+
+    /// Number of pinned workers.
+    pub fn len(&self) -> usize {
+        self.core_of.len()
+    }
+
+    /// True when no worker is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.core_of.is_empty()
+    }
+
+    /// Socket of each worker, given the topology.
+    pub fn sockets(&self, cores_per_socket: u32) -> Vec<u32> {
+        self.core_of.iter().map(|c| c / cores_per_socket).collect()
+    }
+
+    /// Checks no two workers share a core.
+    pub fn is_exclusive(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.core_of.iter().all(|c| seen.insert(*c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_alternates_sockets() {
+        // X5650: 2 sockets × 6 cores.
+        let map = PinMap::round_robin(6, 2, 6);
+        assert_eq!(map.sockets(6), vec![0, 1, 0, 1, 0, 1]);
+        assert!(map.is_exclusive());
+    }
+
+    #[test]
+    fn round_robin_fills_all_cores() {
+        let map = PinMap::round_robin(12, 2, 6);
+        assert_eq!(map.len(), 12);
+        assert!(map.is_exclusive());
+        let socket_counts: Vec<usize> =
+            (0..2).map(|s| map.sockets(6).iter().filter(|&&x| x == s).count()).collect();
+        assert_eq!(socket_counts, vec![6, 6]);
+    }
+
+    #[test]
+    fn round_robin_overflow_spills_to_other_socket() {
+        // 3 workers on a 2×1-core machine is impossible…
+        let result = std::panic::catch_unwind(|| PinMap::round_robin(3, 2, 1));
+        assert!(result.is_err());
+        // …but 2 workers fit, one per socket.
+        let map = PinMap::round_robin(2, 2, 1);
+        assert_eq!(map.sockets(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn compact_fills_first_socket() {
+        let map = PinMap::compact(8, 4, 8);
+        assert!(map.sockets(8).iter().all(|&s| s == 0));
+        assert!(map.is_exclusive());
+    }
+
+    #[test]
+    fn single_pin() {
+        let map = PinMap::single(3);
+        assert_eq!(map.core_of, vec![3]);
+        assert_eq!(map.len(), 1);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn exclusivity_detects_sharing() {
+        let map = PinMap { core_of: vec![0, 1, 1] };
+        assert!(!map.is_exclusive());
+    }
+
+    #[test]
+    fn x7550_32_core_map() {
+        // Figure 16: 32-core execution on the quad-socket machine.
+        let map = PinMap::round_robin(32, 4, 8);
+        assert_eq!(map.len(), 32);
+        assert!(map.is_exclusive());
+        for s in 0..4 {
+            assert_eq!(map.sockets(8).iter().filter(|&&x| x == s).count(), 8);
+        }
+    }
+}

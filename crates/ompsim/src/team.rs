@@ -1,0 +1,323 @@
+//! Fork-join team runtime on crossbeam scoped threads.
+//!
+//! Mirrors the OpenMP execution model MicroLauncher drives: a team of `T`
+//! threads executes a parallel region; `parallel_for` distributes a range
+//! with static scheduling (contiguous chunks, like `schedule(static)`);
+//! a team barrier separates phases inside a region.
+
+use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// A reusable parallel team of fixed size.
+pub struct ParallelTeam {
+    threads: usize,
+}
+
+impl ParallelTeam {
+    /// Creates a team of `threads` members (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a team needs at least one thread");
+        ParallelTeam { threads }
+    }
+
+    /// Team size.
+    pub fn len(&self) -> usize {
+        self.threads
+    }
+
+    /// True for the degenerate single-thread team.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The static-schedule chunk of `range` owned by `tid`: contiguous,
+    /// near-equal chunks in thread order (OpenMP `schedule(static)`).
+    pub fn static_chunk(&self, total: usize, tid: usize) -> std::ops::Range<usize> {
+        let t = self.threads;
+        let base = total / t;
+        let rem = total % t;
+        let start = tid * base + tid.min(rem);
+        let len = base + usize::from(tid < rem);
+        start..start + len
+    }
+
+    /// Executes `body(tid)` on every team member concurrently —
+    /// the `#pragma omp parallel` region.
+    pub fn parallel_region<F>(&self, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            body(0);
+            return;
+        }
+        thread::scope(|s| {
+            for tid in 0..self.threads {
+                let body = &body;
+                s.spawn(move |_| body(tid));
+            }
+        })
+        .expect("team thread panicked");
+    }
+
+    /// `#pragma omp parallel for schedule(static)`: applies `body` to every
+    /// index in `0..total`, each thread taking its contiguous chunk.
+    pub fn parallel_for<F>(&self, total: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_region(|tid| {
+            for i in self.static_chunk(total, tid) {
+                body(i);
+            }
+        });
+    }
+
+    /// A two-phase region with a team barrier between the phases.
+    pub fn parallel_phases<F, G>(&self, phase1: F, phase2: G)
+    where
+        F: Fn(usize) + Sync,
+        G: Fn(usize) + Sync,
+    {
+        let barrier = Barrier::new(self.threads);
+        self.parallel_region(|tid| {
+            phase1(tid);
+            barrier.wait();
+            phase2(tid);
+        });
+    }
+}
+
+/// `#pragma omp parallel for schedule(dynamic, chunk)`: threads grab
+/// `chunk`-sized index blocks from a shared counter until the range is
+/// exhausted — the load-balancing schedule of the paper's future-work
+/// OpenMP coverage.
+pub fn parallel_for_dynamic<F>(team: &ParallelTeam, total: usize, chunk: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(chunk >= 1, "dynamic schedule needs a positive chunk");
+    let next = AtomicUsize::new(0);
+    team.parallel_region(|_| loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= total {
+            break;
+        }
+        for i in start..(start + chunk).min(total) {
+            body(i);
+        }
+    });
+}
+
+/// `reduction(+:acc)`: each thread folds its static chunk with `map`,
+/// partial results combine with `reduce` — deterministic per team size.
+pub fn parallel_reduce<T, M, R>(
+    team: &ParallelTeam,
+    total: usize,
+    identity: T,
+    map: M,
+    reduce: R,
+) -> T
+where
+    T: Clone + Send + Sync,
+    M: Fn(usize, T) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    use parking_lot::Mutex;
+    let partials: Vec<Mutex<Option<T>>> = (0..team.len()).map(|_| Mutex::new(None)).collect();
+    team.parallel_region(|tid| {
+        let mut acc = identity.clone();
+        for i in team.static_chunk(total, tid) {
+            acc = map(i, acc);
+        }
+        *partials[tid].lock() = Some(acc);
+    });
+    partials
+        .into_iter()
+        .filter_map(|m| m.into_inner())
+        .fold(identity, &reduce)
+}
+
+/// A parallel sum reduction over f64 values produced per index —
+/// convenience used by example kernels and tests.
+pub fn parallel_sum<F>(team: &ParallelTeam, total: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    use parking_lot::Mutex;
+    let acc = Mutex::new(0.0f64);
+    team.parallel_region(|tid| {
+        let mut local = 0.0;
+        for i in team.static_chunk(total, tid) {
+            local += f(i);
+        }
+        *acc.lock() += local;
+    });
+    acc.into_inner()
+}
+
+/// Counts how many distinct threads actually participated in a region —
+/// used by tests and the launcher's self-checks.
+pub fn participating_threads(team: &ParallelTeam) -> usize {
+    let count = AtomicUsize::new(0);
+    team.parallel_region(|_| {
+        count.fetch_add(1, Ordering::SeqCst);
+    });
+    count.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn static_chunks_partition_the_range() {
+        for threads in 1..=7 {
+            let team = ParallelTeam::new(threads);
+            for total in [0usize, 1, 7, 100, 101] {
+                let mut covered = vec![false; total];
+                for tid in 0..threads {
+                    for i in team.static_chunk(total, tid) {
+                        assert!(!covered[i], "index {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "t={threads} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_chunks_are_balanced() {
+        let team = ParallelTeam::new(4);
+        let sizes: Vec<usize> = (0..4).map(|t| team.static_chunk(10, t).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let team = ParallelTeam::new(4);
+        let total = 1000;
+        let counters: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_for(total, |i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let team = ParallelTeam::new(3);
+        let par = parallel_sum(&team, 10_000, |i| (i as f64).sqrt());
+        let seq: f64 = (0..10_000).map(|i| (i as f64).sqrt()).sum();
+        assert!((par - seq).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_threads_participate() {
+        for t in [1, 2, 4, 8] {
+            assert_eq!(participating_threads(&ParallelTeam::new(t)), t);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let team = ParallelTeam::new(4);
+        let phase1_done = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        team.parallel_phases(
+            |_| {
+                phase1_done.fetch_add(1, Ordering::SeqCst);
+            },
+            |_| {
+                if phase1_done.load(Ordering::SeqCst) != 4 {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+        );
+        assert_eq!(violations.load(Ordering::SeqCst), 0, "phase 2 saw incomplete phase 1");
+    }
+
+    #[test]
+    fn single_thread_team_runs_inline() {
+        let team = ParallelTeam::new(1);
+        let hits = AtomicU64::new(0);
+        team.parallel_for(17, |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = ParallelTeam::new(0);
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_every_index_once() {
+        let team = ParallelTeam::new(4);
+        let total = 997; // prime: uneven chunking
+        let counters: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_dynamic(&team, total, 16, |i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn dynamic_schedule_handles_degenerate_shapes() {
+        let team = ParallelTeam::new(3);
+        let hits = AtomicUsize::new(0);
+        parallel_for_dynamic(&team, 0, 8, |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        parallel_for_dynamic(&team, 5, 100, |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 5, "chunk larger than range");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive chunk")]
+    fn dynamic_schedule_rejects_zero_chunk() {
+        parallel_for_dynamic(&ParallelTeam::new(2), 10, 0, |_| {});
+    }
+
+    #[test]
+    fn reduction_matches_sequential_fold() {
+        let team = ParallelTeam::new(4);
+        let par = parallel_reduce(&team, 1000, 0u64, |i, acc| acc + i as u64, |a, b| a + b);
+        assert_eq!(par, (0..1000u64).sum());
+        // Max-reduction too.
+        let par_max =
+            parallel_reduce(&team, 257, 0usize, |i, acc| acc.max((i * 37) % 101), |a, b| a.max(b));
+        let seq_max = (0..257).map(|i| (i * 37) % 101).fold(0usize, usize::max);
+        assert_eq!(par_max, seq_max);
+    }
+
+    #[test]
+    fn parallel_memory_kernel_writes_disjoint_chunks() {
+        // The OpenMP-mode launcher splits a float array over the team; each
+        // thread streams its chunk — verify disjointness end-to-end.
+        let team = ParallelTeam::new(4);
+        let n = 4096;
+        let data: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        team.parallel_region(|tid| {
+            for i in team.static_chunk(n, tid) {
+                data[i].store(tid as u64 + 1, Ordering::Relaxed);
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            let owner = v.load(Ordering::Relaxed);
+            assert!(owner >= 1, "index {i} untouched");
+            let expected = (0..4)
+                .find(|&t| team.static_chunk(n, t).contains(&i))
+                .expect("covered");
+            assert_eq!(owner, expected as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Automated analysis of MicroTools result sets — the paper's closing
+//! direction: "data-mining techniques allow to process the MicroTools
+//! data generated in order to automate the analysis" (§7).
+//!
+//! Results are flat records: tag fields (unroll factor, mnemonic,
+//! direction pattern, …) plus one measured metric. The helpers answer the
+//! questions the paper's studies answer by hand: which variant is optimal,
+//! how do groups compare, which knob actually matters.
+
+use std::collections::BTreeMap;
+
+/// One measured variant: tag fields plus the metric under study
+/// (typically cycles per iteration — lower is better).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Variant name.
+    pub name: String,
+    /// Tag fields (`"unroll" → "3"`, `"mnemonic" → "movaps"`, …).
+    pub tags: BTreeMap<String, String>,
+    /// The measured metric (lower is better).
+    pub metric: f64,
+}
+
+impl Record {
+    /// Builds a record from `(key, value)` tag pairs.
+    pub fn new(
+        name: impl Into<String>,
+        tags: &[(&str, &str)],
+        metric: f64,
+    ) -> Self {
+        Record {
+            name: name.into(),
+            tags: tags.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            metric,
+        }
+    }
+}
+
+/// The record with the smallest metric — "determine which variation is
+/// optimal" (§6).
+pub fn best(records: &[Record]) -> Option<&Record> {
+    records
+        .iter()
+        .filter(|r| r.metric.is_finite())
+        .min_by(|a, b| a.metric.partial_cmp(&b.metric).expect("finite"))
+}
+
+/// Groups records by a tag field (records missing the field land under
+/// `"-"`).
+pub fn group_by<'a>(records: &'a [Record], field: &str) -> BTreeMap<String, Vec<&'a Record>> {
+    let mut groups: BTreeMap<String, Vec<&Record>> = BTreeMap::new();
+    for r in records {
+        let key = r.tags.get(field).cloned().unwrap_or_else(|| "-".to_owned());
+        groups.entry(key).or_default().push(r);
+    }
+    groups
+}
+
+/// Per-group minimum — the paper's figure convention ("For each unroll
+/// group, the minimum value was taken", §5.1). Returns `(group, min)` in
+/// group order.
+pub fn min_per_group(records: &[Record], field: &str) -> Vec<(String, f64)> {
+    group_by(records, field)
+        .into_iter()
+        .filter_map(|(k, rs)| {
+            rs.iter().map(|r| r.metric).fold(None, |acc: Option<f64>, m| {
+                Some(acc.map_or(m, |a| a.min(m)))
+            })
+            .map(|m| (k, m))
+        })
+        .collect()
+}
+
+/// How much a knob matters: the relative spread between the best and the
+/// worst group minimum for a field. A field with near-zero impact can be
+/// dropped from a study; a large one is worth sweeping finer — the
+/// "detect whether the variations have an impact" loop of §6.
+pub fn field_impact(records: &[Record], field: &str) -> Option<f64> {
+    let mins = min_per_group(records, field);
+    let (lo, hi) = mins
+        .iter()
+        .map(|(_, m)| *m)
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), m| (lo.min(m), hi.max(m)));
+    if lo.is_finite() && lo > 0.0 {
+        Some((hi - lo) / lo)
+    } else {
+        None
+    }
+}
+
+/// Ranks every tag field by impact, strongest first.
+pub fn rank_fields(records: &[Record]) -> Vec<(String, f64)> {
+    let mut fields: Vec<String> = Vec::new();
+    for r in records {
+        for k in r.tags.keys() {
+            if !fields.contains(k) {
+                fields.push(k.clone());
+            }
+        }
+    }
+    let mut ranked: Vec<(String, f64)> = fields
+        .into_iter()
+        .filter_map(|f| field_impact(records, &f).map(|i| (f, i)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite impacts"));
+    ranked
+}
+
+/// The Pareto front of a bi-objective study (both minimized), e.g.
+/// cycles-per-iteration vs energy-per-iteration. Returns indices into
+/// `points`, sorted by the first objective.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .expect("finite")
+            .then(points[a].1.partial_cmp(&points[b].1).expect("finite"))
+    });
+    let mut front = Vec::new();
+    let mut best_second = f64::INFINITY;
+    for i in idx {
+        if points[i].1 < best_second {
+            front.push(i);
+            best_second = points[i].1;
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::new("u1_L", &[("unroll", "1"), ("dir", "L")], 2.4),
+            Record::new("u2_LL", &[("unroll", "2"), ("dir", "LL")], 1.3),
+            Record::new("u2_LS", &[("unroll", "2"), ("dir", "LS")], 1.5),
+            Record::new("u8_L8", &[("unroll", "8"), ("dir", "L8")], 1.05),
+            Record::new("u8_S8", &[("unroll", "8"), ("dir", "S8")], 1.12),
+        ]
+    }
+
+    #[test]
+    fn best_finds_global_minimum() {
+        assert_eq!(best(&sample()).unwrap().name, "u8_L8");
+        assert!(best(&[]).is_none());
+        let with_nan = vec![Record::new("nan", &[], f64::NAN), Record::new("ok", &[], 1.0)];
+        assert_eq!(best(&with_nan).unwrap().name, "ok");
+    }
+
+    #[test]
+    fn grouping_and_group_minima() {
+        let records = sample();
+        let groups = group_by(&records, "unroll");
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups["2"].len(), 2);
+        let mins = min_per_group(&records, "unroll");
+        assert_eq!(mins, vec![("1".into(), 2.4), ("2".into(), 1.3), ("8".into(), 1.05)]);
+    }
+
+    #[test]
+    fn missing_field_groups_under_dash() {
+        let mut records = sample();
+        records.push(Record::new("untagged", &[], 9.0));
+        let groups = group_by(&records, "unroll");
+        assert!(groups.contains_key("-"));
+    }
+
+    #[test]
+    fn field_impact_ranks_the_knobs() {
+        let records = sample();
+        // Unroll swings 2.4/1.05 ≈ 2.3×; direction groups are singletons
+        // with a similar span. Impact must be positive for both.
+        let unroll = field_impact(&records, "unroll").unwrap();
+        assert!((unroll - (2.4 - 1.05) / 1.05).abs() < 1e-9);
+        let ranked = rank_fields(&records);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].1 >= ranked[1].1);
+    }
+
+    #[test]
+    fn pareto_front_extraction() {
+        // (cycles, energy)
+        let points = [(1.0, 9.0), (2.0, 4.0), (3.0, 5.0), (4.0, 1.0), (1.5, 9.5)];
+        let front = pareto_front(&points);
+        assert_eq!(front, vec![0, 1, 3]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

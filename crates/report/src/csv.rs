@@ -1,0 +1,195 @@
+//! CSV reading and writing — MicroLauncher's output format (§4.3).
+
+use std::fmt::Write as _;
+
+/// Streaming CSV writer with a fixed header.
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    columns: Vec<String>,
+    buffer: String,
+}
+
+impl CsvWriter {
+    /// Starts a CSV document with the given header row.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        let mut buffer = String::new();
+        let _ = writeln!(buffer, "{}", columns.join(","));
+        CsvWriter { columns, buffer }
+    }
+
+    /// Appends one row; panics if the arity mismatches the header (a
+    /// programming error in the harness).
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) {
+        assert_eq!(
+            fields.len(),
+            self.columns.len(),
+            "CSV row arity {} != header arity {}",
+            fields.len(),
+            self.columns.len()
+        );
+        let escaped: Vec<String> = fields.iter().map(|f| escape(f.as_ref())).collect();
+        let _ = writeln!(self.buffer, "{}", escaped.join(","));
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Consumes the writer, returning the document.
+    pub fn finish(self) -> String {
+        self.buffer
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// A parsed CSV document: header plus rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    /// Column names from the header row.
+    pub columns: Vec<String>,
+    /// Data rows, each with `columns.len()` fields.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Parses a document (header required; quoted fields supported).
+    pub fn parse(text: &str) -> Result<CsvTable, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV document")?;
+        let columns = parse_row(header)?;
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let row = parse_row(line)?;
+            if row.len() != columns.len() {
+                return Err(format!(
+                    "row {} has {} fields, header has {}",
+                    i + 2,
+                    row.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(row);
+        }
+        Ok(CsvTable { columns, rows })
+    }
+
+    /// Index of a named column.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All values of a named column parsed as f64 (skipping unparsable
+    /// cells).
+    pub fn numeric_column(&self, name: &str) -> Vec<f64> {
+        let Some(idx) = self.column(name) else {
+            return Vec::new();
+        };
+        self.rows.iter().filter_map(|r| r[idx].parse().ok()).collect()
+    }
+}
+
+fn parse_row(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(format!("unterminated quoted field in `{line}`"));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_roundtrip() {
+        let mut w = CsvWriter::new(vec!["kernel", "unroll", "cycles"]);
+        w.row(&["movaps_u3_SLS", "3", "3.25"]);
+        w.row(&["needs \"quoting\", yes", "1", "2.0"]);
+        let doc = w.finish();
+        let table = CsvTable::parse(&doc).unwrap();
+        assert_eq!(table.columns, vec!["kernel", "unroll", "cycles"]);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[1][0], "needs \"quoting\", yes");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn writer_rejects_wrong_arity() {
+        let mut w = CsvWriter::new(vec!["a", "b"]);
+        w.row(&["only-one"]);
+    }
+
+    #[test]
+    fn numeric_column_extraction() {
+        let doc = "name,cycles\na,1.5\nb,2.5\nc,not-a-number\n";
+        let t = CsvTable::parse(doc).unwrap();
+        assert_eq!(t.numeric_column("cycles"), vec![1.5, 2.5]);
+        assert!(t.numeric_column("missing").is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let err = CsvTable::parse("a,b\n1,2,3\n").unwrap_err();
+        assert!(err.contains("3 fields"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert!(CsvTable::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_quote() {
+        assert!(CsvTable::parse("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = CsvTable::parse("a\n1\n\n2\n").unwrap();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = CsvTable::parse("x,y\n1,2\n").unwrap();
+        assert_eq!(t.column("y"), Some(1));
+        assert_eq!(t.column("z"), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! Figure data series with terminal (ASCII) plotting.
+//!
+//! Each paper figure is a set of named series over a shared X axis; the
+//! `reproduce` harness renders them as multi-series line charts in the
+//! terminal, with the logarithmic Y axes Figures 14, 17 and 18 use.
+
+use serde::{Deserialize, Serialize};
+
+/// Y-axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Linear Y axis.
+    Linear,
+    /// Base-10 logarithmic Y axis ("the OpenMP ones have a logarithmic
+    /// scale", §5.2.3).
+    Log10,
+}
+
+/// One plotted series: a label and `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"L1"`, `"RAM"`, `"OpenMP min"`).
+    pub label: String,
+    /// Data points in X order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// The Y values.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+
+    /// True if Y never increases along X (within `tol` relative slack).
+    pub fn is_non_increasing(&self, tol: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 * (1.0 + tol))
+    }
+
+    /// True if Y never decreases along X (within `tol` relative slack).
+    pub fn is_non_decreasing(&self, tol: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 * (1.0 - tol))
+    }
+
+    /// True if all Y values stay within ±`tol` of the first.
+    pub fn is_flat(&self, tol: f64) -> bool {
+        let Some(&(_, first)) = self.points.first() else { return true };
+        self.points.iter().all(|&(_, y)| (y - first).abs() <= first.abs() * tol)
+    }
+}
+
+/// Renders series as an ASCII chart of `width`×`height` characters (plus
+/// axes and a legend). Series are drawn with distinct glyphs in label
+/// order.
+pub fn render_chart(series: &[Series], width: usize, height: usize, scale: Scale) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let all_points: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all_points.is_empty() {
+        return String::from("(empty chart)\n");
+    }
+    let xform = |y: f64| -> f64 {
+        match scale {
+            Scale::Linear => y,
+            Scale::Log10 => y.max(f64::MIN_POSITIVE).log10(),
+        }
+    };
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all_points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(xform(y));
+        ymax = ymax.max(xform(y));
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((xform(y) - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let y_label = |frac: f64| -> f64 {
+        let v = ymin + (ymax - ymin) * frac;
+        match scale {
+            Scale::Linear => v,
+            Scale::Log10 => 10f64.powf(v),
+        }
+    };
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (height - 1).max(1) as f64;
+        let label = if i == 0 || i == height - 1 || i == height / 2 {
+            format!("{:>10.2} |", y_label(frac))
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>12}{:<.2}{:>w$.2}\n", "", xmin, xmax, w = width - 4));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising() -> Series {
+        Series::new("up", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 4.0)])
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        let up = rising();
+        assert!(up.is_non_decreasing(0.0));
+        assert!(!up.is_non_increasing(0.0));
+        let down = Series::new("down", vec![(1.0, 4.0), (2.0, 2.0), (3.0, 1.0)]);
+        assert!(down.is_non_increasing(0.0));
+        assert!(!down.is_non_decreasing(0.0));
+    }
+
+    #[test]
+    fn tolerance_allows_noise() {
+        let noisy = Series::new("noisy", vec![(1.0, 10.0), (2.0, 10.2), (3.0, 9.0)]);
+        assert!(noisy.is_non_increasing(0.05), "2% bump within 5% slack");
+        assert!(!noisy.is_non_increasing(0.001));
+    }
+
+    #[test]
+    fn flatness() {
+        let flat = Series::new("flat", vec![(1.0, 5.0), (2.0, 5.05), (3.0, 4.98)]);
+        assert!(flat.is_flat(0.02));
+        assert!(!rising().is_flat(0.02));
+        assert!(Series::new("empty", vec![]).is_flat(0.0));
+    }
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let chart = render_chart(&[rising()], 40, 10, Scale::Linear);
+        assert!(chart.contains('*'), "{chart}");
+        assert!(chart.contains("up"), "{chart}");
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    fn log_scale_compresses_large_ranges() {
+        let s = Series::new("wide", vec![(1.0, 1.0), (2.0, 10.0), (3.0, 100.0), (4.0, 1000.0)]);
+        let chart = render_chart(&[s], 40, 9, Scale::Log10);
+        // On a log axis the four points land on evenly spaced rows; verify
+        // the smallest value's row is used (bottom) and the chart renders.
+        assert!(chart.contains('*'));
+        assert!(chart.contains("1000"), "top label should be ~1000: {chart}");
+    }
+
+    #[test]
+    fn multi_series_distinct_glyphs() {
+        let a = Series::new("a", vec![(1.0, 1.0), (2.0, 1.0)]);
+        let b = Series::new("b", vec![(1.0, 2.0), (2.0, 2.0)]);
+        let chart = render_chart(&[a, b], 30, 8, Scale::Linear);
+        assert!(chart.contains('*') && chart.contains('o'), "{chart}");
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        assert_eq!(render_chart(&[], 10, 5, Scale::Linear), "(empty chart)\n");
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let s = Series::new("pt", vec![(1.0, 1.0)]);
+        let chart = render_chart(&[s], 20, 5, Scale::Linear);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,157 @@
+//! Summary statistics over repeated measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a set of measurements (e.g. cycles per iteration across the
+/// outer experiment loop of MicroLauncher's stability protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum. The paper's figures report per-group minima ("For each
+    /// unroll group, the minimum value was taken though the variance was
+    /// minimal", §5.1).
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of middle pair for even counts).
+    pub median: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty or non-finite set.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let count = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        let variance =
+            sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Some(Summary { count, min, max, mean, median, stddev: variance.sqrt() })
+    }
+
+    /// Relative spread `(max − min) / min` — the stability metric the
+    /// paper quotes ("The variation is less than 3% for any alignment
+    /// configuration", §2).
+    pub fn relative_spread(&self) -> f64 {
+        if self.min == 0.0 {
+            return f64::INFINITY;
+        }
+        (self.max - self.min) / self.min
+    }
+
+    /// Coefficient of variation (stddev / mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            return f64::INFINITY;
+        }
+        self.stddev / self.mean
+    }
+}
+
+/// Percentile (0–100) by linear interpolation.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Geometric mean (all samples must be positive).
+pub fn geomean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|v| v.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert!((s.stddev - 1.118).abs() < 0.001);
+    }
+
+    #[test]
+    fn summary_odd_median() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.5]).unwrap();
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn relative_spread_matches_paper_metric() {
+        // 20→33 cycles (Figure 15) is a 65% spread.
+        let s = Summary::of(&[20.0, 25.0, 33.0]).unwrap();
+        assert!((s.relative_spread() - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero() {
+        let s = Summary::of(&[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        let p50 = percentile(&v, 50.0).unwrap();
+        assert!((p50 - 50.5).abs() < 1e-9);
+        assert!(percentile(&v, 101.0).is_none());
+        assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn geomean_properties() {
+        assert_eq!(geomean(&[2.0, 8.0]), Some(4.0));
+        assert!(geomean(&[1.0, 0.0]).is_none());
+        assert!(geomean(&[]).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Fixed-width ASCII table rendering for terminal reports (Tables 1/2).
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct AsciiTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Starts a table with a header row.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        AsciiTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row (padded/truncated to the header arity).
+    pub fn row<S: Into<String>>(&mut self, fields: Vec<S>) {
+        let mut row: Vec<String> = fields.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders with `|` separators and a dashed rule under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<width$}", width = w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", rule.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals, trimming trailing zeros is NOT
+/// done (fixed width keeps tables aligned).
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = AsciiTable::new(vec!["Unroll factor", "OpenMP time (s)", "Seq. time (s)"]);
+        t.row(vec!["1", "9.42", "18.30"]);
+        t.row(vec!["8", "9.31", "14.60"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{s}");
+        assert!(lines[0].contains("Unroll factor"));
+        assert!(lines[2].contains("9.42"));
+    }
+
+    #[test]
+    fn wide_cells_stretch_columns() {
+        let mut t = AsciiTable::new(vec!["a"]);
+        t.row(vec!["a-very-long-cell"]);
+        let s = t.render();
+        assert!(s.lines().next().unwrap().len() >= "| a-very-long-cell |".len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = AsciiTable::new(vec!["a", "b"]);
+        t.row(vec!["only-a"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn fmt_f_fixed_decimals() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(2.0, 2), "2.00");
+    }
+}

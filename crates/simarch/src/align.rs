@@ -1,0 +1,210 @@
+//! Alignment effects: cache-line splits, 4 KiB aliasing between streams,
+//! and same-set competition among many streams.
+//!
+//! MicroLauncher "tests the effect of the alignment on the kernel
+//! execution. For certain kernels, alignment issues greatly affect
+//! performance" (§4). The paper's data shows both regimes:
+//! Figure 4 (three-array matmul at 200×200) sees <3 % variation, while
+//! Figures 15/16 (four/eight-array `movss` traversals on many cores) swing
+//! 20→33 and 60→90 cycles per iteration. This module models the three
+//! first-order mechanisms responsible.
+
+use crate::config::MachineConfig;
+
+/// One array's placement, as MicroLauncher configures it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayPlacement {
+    /// Byte offset added to the (page-aligned) allocation base — the
+    /// launcher's per-array alignment knob.
+    pub offset: u64,
+    /// Whether the kernel stores to this array (loads otherwise).
+    pub stored: bool,
+    /// Bytes per access on this stream.
+    pub access_bytes: u64,
+}
+
+/// Multiplicative penalty and additive cycles from an alignment
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentEffect {
+    /// Multiplier applied to the kernel's memory cost (≥ 1).
+    pub memory_factor: f64,
+    /// Extra core cycles per iteration (store-forwarding stalls).
+    pub extra_core_cycles: f64,
+}
+
+impl AlignmentEffect {
+    /// No effect.
+    pub fn none() -> Self {
+        AlignmentEffect { memory_factor: 1.0, extra_core_cycles: 0.0 }
+    }
+}
+
+/// Penalty weight for a pair of streams whose offsets collide modulo 4 KiB
+/// (same L1 set group / aliasing distance), tapering linearly to zero at
+/// one cache line of separation.
+fn pair_overlap(machine: &MachineConfig, a: u64, b: u64) -> f64 {
+    let page = 4096u64;
+    let delta = (a % page).abs_diff(b % page);
+    let dist = delta.min(page - delta); // circular distance mod 4 KiB
+    let line = machine.line_bytes;
+    if dist >= line {
+        0.0
+    } else {
+        1.0 - dist as f64 / line as f64
+    }
+}
+
+/// Evaluates an alignment configuration.
+///
+/// * **Line splits**: an access not aligned to its own width crosses a
+///   cache line every `line/access` accesses, costing a fraction of an
+///   extra access each time.
+/// * **4 KiB aliasing**: a load and a store whose addresses collide modulo
+///   4 KiB false-positive in the store-forwarding predictor — a flat
+///   per-iteration stall scaled by overlap.
+/// * **Set competition**: load streams colliding modulo 4 KiB fall into
+///   the same cache-set group, degrading effective bandwidth.
+pub fn alignment_effect(machine: &MachineConfig, arrays: &[ArrayPlacement]) -> AlignmentEffect {
+    let mut factor = 1.0f64;
+    let mut extra = 0.0f64;
+    // Line splits.
+    for a in arrays {
+        if a.access_bytes > 1 && a.offset % a.access_bytes != 0 {
+            let split_rate = a.access_bytes as f64 / machine.line_bytes as f64;
+            factor += 0.5 * split_rate;
+        }
+    }
+    // Pairwise interactions.
+    let mut set_conflict = 0.0f64;
+    for (i, a) in arrays.iter().enumerate() {
+        for b in arrays.iter().skip(i + 1) {
+            let overlap = pair_overlap(machine, a.offset, b.offset);
+            if overlap == 0.0 {
+                continue;
+            }
+            if a.stored != b.stored {
+                // Load/store aliasing: store-forwarding false dependence.
+                extra += 4.0 * overlap;
+            } else {
+                // Same-direction streams competing for the same sets.
+                set_conflict += 0.12 * overlap;
+            }
+        }
+    }
+    // Set conflicts saturate: once the conflicting sets thrash, further
+    // colliding streams add little (caps the penalty at +50%).
+    factor += 0.5 * (1.0 - (-set_conflict / 0.5).exp());
+    AlignmentEffect { memory_factor: factor, extra_core_cycles: extra }
+}
+
+/// Enumerates the alignment grid MicroLauncher sweeps: every combination
+/// of per-array offsets from `0` to `max_offset` in `step`-byte
+/// increments. Figure 15 reports "various alignment configurations tested,
+/// upwards of 2500" for four arrays.
+pub fn alignment_grid(n_arrays: usize, step: u64, max_offset: u64) -> Vec<Vec<u64>> {
+    let offsets: Vec<u64> = (0..=max_offset / step).map(|i| i * step).collect();
+    let mut grid: Vec<Vec<u64>> = vec![Vec::new()];
+    for _ in 0..n_arrays {
+        let mut next = Vec::with_capacity(grid.len() * offsets.len());
+        for combo in &grid {
+            for &o in &offsets {
+                let mut c = combo.clone();
+                c.push(o);
+                next.push(c);
+            }
+        }
+        grid = next;
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineConfig {
+        MachineConfig::nehalem_x7550_quad()
+    }
+
+    fn loads(offsets: &[u64]) -> Vec<ArrayPlacement> {
+        offsets
+            .iter()
+            .map(|&offset| ArrayPlacement { offset, stored: false, access_bytes: 4 })
+            .collect()
+    }
+
+    #[test]
+    fn well_separated_streams_have_no_penalty() {
+        let e = alignment_effect(&m(), &loads(&[0, 256, 512, 768]));
+        assert_eq!(e, AlignmentEffect::none());
+    }
+
+    #[test]
+    fn colliding_streams_raise_the_factor() {
+        let e = alignment_effect(&m(), &loads(&[0, 0, 0, 0]));
+        assert!(e.memory_factor > 1.3, "6 colliding pairs: {e:?}");
+        assert!(e.memory_factor < 2.0, "penalty stays bounded: {e:?}");
+    }
+
+    #[test]
+    fn four_array_swing_matches_figure15_ratio() {
+        // Figure 15: 20 → 33 cycles/iteration, a ~1.65× worst/best swing.
+        let machine = m();
+        let best = alignment_effect(&machine, &loads(&[0, 1024, 2048, 3072]));
+        let worst = alignment_effect(&machine, &loads(&[0, 0, 0, 0]));
+        let swing = worst.memory_factor / best.memory_factor;
+        assert!((1.3..=2.0).contains(&swing), "swing {swing}");
+    }
+
+    #[test]
+    fn load_store_aliasing_adds_flat_cycles() {
+        let arrays = vec![
+            ArrayPlacement { offset: 0, stored: false, access_bytes: 4 },
+            ArrayPlacement { offset: 4096, stored: true, access_bytes: 4 },
+        ];
+        let e = alignment_effect(&m(), &arrays);
+        assert!(e.extra_core_cycles > 0.0, "same offset mod 4K: {e:?}");
+        let separated = vec![
+            ArrayPlacement { offset: 0, stored: false, access_bytes: 4 },
+            ArrayPlacement { offset: 4096 + 512, stored: true, access_bytes: 4 },
+        ];
+        assert_eq!(alignment_effect(&m(), &separated).extra_core_cycles, 0.0);
+    }
+
+    #[test]
+    fn unaligned_vector_access_pays_split_penalty() {
+        let arrays = vec![ArrayPlacement { offset: 4, stored: false, access_bytes: 16 }];
+        let e = alignment_effect(&m(), &arrays);
+        assert!(e.memory_factor > 1.0);
+        let aligned = vec![ArrayPlacement { offset: 16, stored: false, access_bytes: 16 }];
+        assert_eq!(alignment_effect(&m(), &aligned), AlignmentEffect::none());
+    }
+
+    #[test]
+    fn overlap_is_circular_mod_4k() {
+        let machine = m();
+        assert!(pair_overlap(&machine, 0, 4095) > 0.9, "1 byte apart circularly");
+        assert_eq!(pair_overlap(&machine, 0, 2048), 0.0);
+        assert_eq!(pair_overlap(&machine, 100, 100), 1.0);
+    }
+
+    #[test]
+    fn grid_size_matches_figure15_scale() {
+        // 4 arrays × 8 offsets each = 4096 configurations ("upwards of
+        // 2500" in the paper's study).
+        let grid = alignment_grid(4, 512, 3584);
+        assert_eq!(grid.len(), 4096);
+        assert!(grid.iter().all(|c| c.len() == 4));
+        // Deterministic order: first all-zero, last all-max.
+        assert_eq!(grid[0], vec![0, 0, 0, 0]);
+        assert_eq!(grid[4095], vec![3584, 3584, 3584, 3584]);
+    }
+
+    #[test]
+    fn effect_is_deterministic() {
+        let a = alignment_effect(&m(), &loads(&[0, 64, 128, 4032]));
+        let b = alignment_effect(&m(), &loads(&[0, 64, 128, 4032]));
+        assert_eq!(a, b);
+    }
+}

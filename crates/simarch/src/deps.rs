@@ -1,0 +1,150 @@
+//! Loop-carried dependency (recurrence) analysis.
+//!
+//! Out-of-order cores hide everything except true dependency chains that
+//! cross iterations — the induction update feeding itself, or a floating-
+//! point accumulator. The recurrence bound is the asymptotic longest-path
+//! growth per iteration through the register data-flow graph.
+//!
+//! Implementation: symbolically unroll the body `K` copies, compute the
+//! longest dependency path by dynamic programming in program order (a
+//! consumer depends on the nearest earlier writer of each register it
+//! reads), and take the growth rate between `K/2` and `K` copies. The DP
+//! is exact for the acyclic expanded graph, and the growth rate converges
+//! to the recurrence after a couple of copies.
+
+use crate::uops::{decompose, PortClass};
+use mc_asm::inst::Inst;
+use mc_asm::reg::ArchReg;
+use std::collections::HashMap;
+
+/// Result latency of an instruction: the latency a dependent consumer of
+/// its register result observes (load latency + compute latency for
+/// load-op forms; stores produce no register result).
+pub fn result_latency(inst: &Inst) -> f64 {
+    decompose(inst)
+        .iter()
+        .filter(|u| u.port != PortClass::Store)
+        .map(|u| u.latency)
+        .sum()
+}
+
+/// Longest dependency path through `copies` back-to-back executions of the
+/// body, in cycles.
+fn longest_path(body: &[&Inst], copies: usize) -> f64 {
+    // last_writer: register → (completion time of the value)
+    let mut ready_time: HashMap<ArchReg, f64> = HashMap::new();
+    let mut longest = 0.0f64;
+    for _ in 0..copies {
+        for inst in body {
+            let start = inst
+                .regs_read()
+                .iter()
+                .filter_map(|r| ready_time.get(r))
+                .fold(0.0f64, |a, &b| a.max(b));
+            let finish = start + result_latency(inst);
+            for r in inst.regs_written() {
+                ready_time.insert(r, finish);
+            }
+            longest = longest.max(finish);
+        }
+    }
+    longest
+}
+
+/// Cycles-per-iteration lower bound from loop-carried dependency chains.
+///
+/// Bodies with no loop-carried chain (e.g. independent rotating-register
+/// loads) report the latency growth 0 and are floored at 1 cycle.
+pub fn recurrence_bound(body: &[&Inst]) -> f64 {
+    if body.is_empty() {
+        return 0.0;
+    }
+    let k = 8usize;
+    let half = longest_path(body, k / 2);
+    let full = longest_path(body, k);
+    let rate = (full - half) / (k as f64 / 2.0);
+    rate.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_asm::format::AsmLine;
+    use mc_asm::parse::parse_listing;
+
+    fn body(text: &str) -> Vec<Inst> {
+        parse_listing(text)
+            .unwrap()
+            .into_iter()
+            .filter_map(|l| match l {
+                AsmLine::Inst(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn rec(text: &str) -> f64 {
+        let insts = body(text);
+        recurrence_bound(&insts.iter().collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn independent_loads_have_unit_recurrence() {
+        // Rotating XMM registers break dependencies (§3.1) — only the
+        // induction update (1 cycle) carries across iterations.
+        let r = rec("movaps (%rsi), %xmm0\nmovaps 16(%rsi), %xmm1\naddq $32, %rsi\nsubq $8, %rdi\n");
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn fp_accumulator_carries_three_cycles() {
+        // addsd into the same register every iteration: 3-cycle chain.
+        let r = rec("movsd (%rsi), %xmm0\naddsd %xmm0, %xmm15\naddq $8, %rsi\nsubq $1, %rdi\n");
+        assert_eq!(r, 3.0);
+    }
+
+    #[test]
+    fn two_accumulations_per_iteration_double_the_chain() {
+        let r = rec(
+            "addsd %xmm0, %xmm15\naddsd %xmm1, %xmm15\naddq $16, %rsi\nsubq $2, %rdi\n",
+        );
+        assert_eq!(r, 6.0);
+    }
+
+    #[test]
+    fn pointer_chase_pays_load_latency() {
+        // movq (%rax), %rax: the next address depends on the loaded value.
+        let r = rec("movq (%rax), %rax\nsubq $1, %rdi\n");
+        assert_eq!(r, 5.0, "load latency 4 + 1-cycle integer mov");
+    }
+
+    #[test]
+    fn matmul_inner_chain_is_the_accumulate() {
+        // Figure 2's kernel: the addsd accumulation into %xmm1 dominates.
+        let r = rec(
+            "movsd (%rdx,%rax,8), %xmm0\naddq $1, %rax\nmulsd (%r8), %xmm0\n\
+             addq %r11, %r8\ncmpl %eax, %edi\naddsd %xmm0, %xmm1\n",
+        );
+        assert_eq!(r, 3.0);
+    }
+
+    #[test]
+    fn result_latencies() {
+        let b = body("movaps (%rsi), %xmm0\nmulsd (%r8), %xmm0\naddq $1, %rax\nmovaps %xmm0, (%rsi)\n");
+        assert_eq!(result_latency(&b[0]), 4.0);
+        assert_eq!(result_latency(&b[1]), 9.0, "load 4 + multiply 5");
+        assert_eq!(result_latency(&b[2]), 1.0);
+        assert_eq!(result_latency(&b[3]), 0.0, "stores produce no register value");
+    }
+
+    #[test]
+    fn empty_body_is_zero() {
+        assert_eq!(recurrence_bound(&[]), 0.0);
+    }
+
+    #[test]
+    fn recurrence_floor_is_one_cycle() {
+        let r = rec("movaps (%rsi), %xmm0\n");
+        assert_eq!(r, 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Power/energy model — the paper's second metric.
+//!
+//! "MicroCreator creates variations of a described program in order to
+//! evaluate variations in performance **or power utilization**" (§7).
+//! MicroLauncher's evaluation library is switchable (§4.2); this module is
+//! the energy-flavoured evaluation backend for the simulated machines.
+//!
+//! First-order CMOS model per core:
+//!
+//! * **Dynamic core power** scales with `f·V²`; with voltage roughly
+//!   proportional to frequency across the DVFS range, `P_dyn ∝ f³`.
+//! * **Static (leakage) power** is frequency-independent.
+//! * **Uncore/DRAM energy** is traffic-proportional: picojoules per byte
+//!   moved from L3/RAM.
+//!
+//! The interesting consequence — testable, and the reason DVFS studies
+//! like Figure 13 matter for energy tuning — is that *memory-bound*
+//! kernels have an energy-optimal frequency strictly below nominal (the
+//! core idles cheaper while waiting on DRAM), while *compute-bound*
+//! kernels usually minimize energy near a balanced mid frequency where
+//! leakage and dynamic power trade off.
+
+use crate::config::{Level, MachineConfig};
+use crate::exec::TimingReport;
+
+/// Per-machine energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Dynamic power of one core at the nominal frequency, in watts.
+    pub core_dynamic_watts_nominal: f64,
+    /// Static (leakage + always-on) power per core, in watts.
+    pub core_static_watts: f64,
+    /// Uncore (L3/interconnect) energy per byte, in picojoules.
+    pub l3_pj_per_byte: f64,
+    /// DRAM energy per byte, in picojoules.
+    pub dram_pj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// Parameters in the range published for the Nehalem/Sandy Bridge
+    /// generation (≈95–130 W TDP across 4–8 cores).
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        // Scale per-core dynamic power with the design's nominal clock.
+        let per_core = 14.0 * machine.nominal_ghz / 2.67;
+        EnergyModel {
+            core_dynamic_watts_nominal: per_core,
+            // Leakage plus the core's share of always-on package/uncore
+            // power — the term that penalizes slow clocks on compute-bound
+            // kernels ("race to halt" only pays when the core can halt).
+            core_static_watts: 8.0,
+            l3_pj_per_byte: 15.0,
+            dram_pj_per_byte: 60.0,
+        }
+    }
+
+    /// Core power at a given frequency: dynamic `∝ (f/f_nom)³` plus
+    /// static leakage.
+    pub fn core_watts(&self, machine: &MachineConfig, core_ghz: f64) -> f64 {
+        let ratio = core_ghz / machine.nominal_ghz;
+        self.core_dynamic_watts_nominal * ratio.powi(3) + self.core_static_watts
+    }
+
+    /// Energy of one loop iteration, in nanojoules: core power × iteration
+    /// time + traffic energy at the residence level.
+    pub fn iteration_nanojoules(
+        &self,
+        machine: &MachineConfig,
+        core_ghz: f64,
+        timing: &TimingReport,
+        bytes_per_iteration: f64,
+    ) -> f64 {
+        let core_nj = self.core_watts(machine, core_ghz) * timing.seconds_per_iteration * 1e9;
+        let traffic_pj = match timing.residence {
+            Level::L1 | Level::L2 => 0.0, // folded into core power
+            Level::L3 => self.l3_pj_per_byte * bytes_per_iteration,
+            Level::Ram => (self.l3_pj_per_byte + self.dram_pj_per_byte) * bytes_per_iteration,
+        };
+        core_nj + traffic_pj * 1e-3
+    }
+}
+
+/// Sweeps the machine's DVFS steps and returns `(ghz, nJ/iteration)`
+/// points for a program/workload — the energy companion to Figure 13.
+pub fn energy_frequency_sweep(
+    program: &mc_kernel::Program,
+    workload: &crate::exec::Workload,
+    machine: &MachineConfig,
+) -> Vec<(f64, f64)> {
+    let model = EnergyModel::for_machine(machine);
+    let bytes = program.bytes_per_iteration() as f64;
+    machine
+        .frequency_steps_ghz
+        .iter()
+        .map(|&ghz| {
+            let env = crate::exec::ExecEnv::single_core(machine.clone()).at_frequency(ghz);
+            let timing = crate::exec::estimate(program, workload, &env);
+            (ghz, model.iteration_nanojoules(machine, ghz, &timing, bytes))
+        })
+        .collect()
+}
+
+/// The frequency with minimal energy per iteration.
+pub fn energy_optimal_frequency(points: &[(f64, f64)]) -> Option<f64> {
+    points
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
+        .map(|&(ghz, _)| ghz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Workload;
+    use mc_creator::MicroCreator;
+    use mc_kernel::builder::load_stream;
+
+    fn movaps8() -> mc_kernel::Program {
+        MicroCreator::new()
+            .generate(&load_stream(mc_asm::Mnemonic::Movaps, 8, 8))
+            .unwrap()
+            .programs
+            .remove(0)
+    }
+
+    #[test]
+    fn core_power_scales_cubically() {
+        let machine = MachineConfig::nehalem_x5650_dual();
+        let model = EnergyModel::for_machine(&machine);
+        let full = model.core_watts(&machine, 2.67);
+        let half = model.core_watts(&machine, 2.67 / 2.0);
+        // Dynamic part drops 8×; static stays.
+        let dynamic_full = full - model.core_static_watts;
+        let dynamic_half = half - model.core_static_watts;
+        assert!((dynamic_full / dynamic_half - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_bound_kernels_prefer_low_frequency() {
+        // RAM-resident streaming: the core just waits; running it slower
+        // costs (almost) no time but saves cubic dynamic power.
+        let machine = MachineConfig::nehalem_x5650_dual();
+        let w = Workload::resident_at(&machine, Level::Ram);
+        let points = energy_frequency_sweep(&movaps8(), &w, &machine);
+        let optimal = energy_optimal_frequency(&points).unwrap();
+        let min_step = machine.frequency_steps_ghz[0];
+        assert_eq!(optimal, min_step, "{points:?}");
+    }
+
+    #[test]
+    fn compute_bound_kernels_prefer_a_middle_frequency() {
+        // L1-resident: halving the clock doubles the runtime, so the
+        // static-power term makes very low frequencies expensive — the
+        // optimum sits strictly above the bottom DVFS step.
+        let machine = MachineConfig::nehalem_x5650_dual();
+        let w = Workload::resident_at(&machine, Level::L1);
+        let points = energy_frequency_sweep(&movaps8(), &w, &machine);
+        let optimal = energy_optimal_frequency(&points).unwrap();
+        assert!(
+            optimal > machine.frequency_steps_ghz[0],
+            "compute-bound optimum above the bottom step: {points:?}"
+        );
+        assert!(
+            optimal < machine.nominal_ghz,
+            "and below nominal (dynamic power is cubic): {points:?}"
+        );
+    }
+
+    #[test]
+    fn ram_iterations_cost_more_energy_than_l1() {
+        let machine = MachineConfig::nehalem_x5650_dual();
+        let p = movaps8();
+        let energy_at = |level| {
+            let w = Workload::resident_at(&machine, level);
+            let env = crate::exec::ExecEnv::single_core(machine.clone());
+            let t = crate::exec::estimate(&p, &w, &env);
+            EnergyModel::for_machine(&machine).iteration_nanojoules(
+                &machine,
+                machine.nominal_ghz,
+                &t,
+                p.bytes_per_iteration() as f64,
+            )
+        };
+        assert!(energy_at(Level::Ram) > 2.0 * energy_at(Level::L1));
+    }
+
+    #[test]
+    fn energy_is_positive_and_finite_across_the_sweep() {
+        let machine = MachineConfig::sandy_bridge_e31240();
+        let w = Workload::resident_at(&machine, Level::L2);
+        for (ghz, nj) in energy_frequency_sweep(&movaps8(), &w, &machine) {
+            assert!(nj.is_finite() && nj > 0.0, "at {ghz} GHz: {nj}");
+        }
+    }
+}

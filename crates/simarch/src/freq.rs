@@ -1,0 +1,96 @@
+//! Frequency domains and reference-cycle conversion.
+//!
+//! The paper times kernels with `rdtsc`, "which is independent on the
+//! frequency" (§5.1, Figure 13): the timestamp counter ticks at the
+//! *nominal* frequency regardless of DVFS. Costs therefore convert as
+//!
+//! ```text
+//! time_seconds   = core_cycles / f_core  +  uncore_ns × 1e-9
+//! rdtsc_cycles   = time_seconds × f_nominal
+//!                = core_cycles × (f_nominal / f_core) + uncore_ns × f_nominal
+//! ```
+//!
+//! so core-domain costs (L1/L2, execution) inflate in reference cycles as
+//! the core slows down, while uncore costs (L3/RAM) stay flat — "proving
+//! on-core frequency modifications do not affect the off-core frequency".
+
+use crate::config::MachineConfig;
+
+/// A split cost: core-clock cycles plus uncore nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SplitCost {
+    /// Core-domain cycles.
+    pub core_cycles: f64,
+    /// Uncore-domain nanoseconds.
+    pub uncore_ns: f64,
+}
+
+impl SplitCost {
+    /// Wall-clock duration at the given core frequency.
+    pub fn seconds(&self, core_ghz: f64) -> f64 {
+        self.core_cycles / (core_ghz * 1e9) + self.uncore_ns * 1e-9
+    }
+
+    /// Reference (`rdtsc`) cycles at the machine's nominal frequency when
+    /// the core runs at `core_ghz`.
+    pub fn reference_cycles(&self, machine: &MachineConfig, core_ghz: f64) -> f64 {
+        self.seconds(core_ghz) * machine.nominal_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineConfig {
+        MachineConfig::nehalem_x5650_dual()
+    }
+
+    #[test]
+    fn at_nominal_frequency_core_cycles_pass_through() {
+        let c = SplitCost { core_cycles: 8.0, uncore_ns: 0.0 };
+        let machine = m();
+        let r = c.reference_cycles(&machine, machine.nominal_ghz);
+        assert!((r - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_cost_scales_inversely_with_core_frequency() {
+        // Figure 13: "The timing varies with the frequency for L1 and L2
+        // accesses".
+        let c = SplitCost { core_cycles: 8.0, uncore_ns: 0.0 };
+        let machine = m();
+        let fast = c.reference_cycles(&machine, 2.67);
+        let slow = c.reference_cycles(&machine, 1.60);
+        assert!((slow / fast - 2.67 / 1.60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncore_cost_is_frequency_invariant() {
+        // Figure 13: "L3 and RAM remain constant".
+        let c = SplitCost { core_cycles: 0.0, uncore_ns: 100.0 };
+        let machine = m();
+        let fast = c.reference_cycles(&machine, 2.67);
+        let slow = c.reference_cycles(&machine, 1.60);
+        assert!((fast - slow).abs() < 1e-9);
+        assert!((fast - 267.0).abs() < 1e-9, "100 ns at 2.67 GHz nominal");
+    }
+
+    #[test]
+    fn mixed_cost_splits_correctly() {
+        let c = SplitCost { core_cycles: 10.0, uncore_ns: 10.0 };
+        let machine = m();
+        let at_nominal = c.reference_cycles(&machine, machine.nominal_ghz);
+        let at_half = c.reference_cycles(&machine, machine.nominal_ghz / 2.0);
+        // Core part doubles, uncore part stays: 10→20 plus 26.7 constant.
+        assert!((at_nominal - (10.0 + 26.7)).abs() < 0.01);
+        assert!((at_half - (20.0 + 26.7)).abs() < 0.01);
+    }
+
+    #[test]
+    fn seconds_composition() {
+        let c = SplitCost { core_cycles: 2_670.0, uncore_ns: 1000.0 };
+        let s = c.seconds(2.67);
+        assert!((s - 2e-6).abs() < 1e-12, "1 µs core + 1 µs uncore");
+    }
+}

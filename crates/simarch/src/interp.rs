@@ -1,0 +1,965 @@
+//! Functional x86-64 interpreter.
+//!
+//! Executes generated kernels instruction-by-instruction over a sparse
+//! simulated memory. The launcher uses it as the "execution vehicle" that
+//! GCC + real silicon provided in the paper: it verifies that a program
+//! really performs its advertised loads and stores, consumes its trip
+//! count, terminates, and leaves the executed iteration count in `%eax`
+//! (MicroLauncher's linkage contract, §4.4).
+
+use mc_asm::format::AsmLine;
+use mc_asm::inst::{Cond, Inst, MemRef, Mnemonic, Operand, Width};
+use mc_asm::reg::{Gpr, GprName, Reg};
+use mc_kernel::Program;
+use std::collections::{HashMap, HashSet};
+
+/// Sparse byte-addressable memory (4 KiB pages, zero-initialized).
+#[derive(Debug, Default)]
+pub struct SimMemory {
+    pages: HashMap<u64, Box<[u8; 4096]>>,
+}
+
+impl SimMemory {
+    /// Fresh empty memory.
+    pub fn new() -> Self {
+        SimMemory::default()
+    }
+
+    /// Reads `len ≤ 16` bytes at `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> [u8; 16] {
+        debug_assert!(len <= 16);
+        let mut out = [0u8; 16];
+        for (i, byte) in out.iter_mut().enumerate().take(len) {
+            let a = addr + i as u64;
+            *byte = self
+                .pages
+                .get(&(a / 4096))
+                .map(|p| p[(a % 4096) as usize])
+                .unwrap_or(0);
+        }
+        out
+    }
+
+    /// Writes `data[..len]` at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        for (i, &byte) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = self.pages.entry(a / 4096).or_insert_with(|| Box::new([0u8; 4096]));
+            page[(a % 4096) as usize] = byte;
+        }
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read(addr, 8)[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Writes an f32 slice (for seeding kernel arrays).
+    pub fn write_f32s(&mut self, addr: u64, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write(addr + 4 * i as u64, &v.to_le_bytes());
+        }
+    }
+
+    /// Writes an f64 slice.
+    pub fn write_f64s(&mut self, addr: u64, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write(addr + 8 * i as u64, &v.to_le_bytes());
+        }
+    }
+
+    /// Reads an f64.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_le_bytes(self.read(addr, 8)[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Reads an f32.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_le_bytes(self.read(addr, 4)[..4].try_into().expect("4 bytes"))
+    }
+}
+
+/// ALU flags (the subset conditional branches consume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Overflow flag.
+    pub of: bool,
+    /// Carry flag.
+    pub cf: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code.
+    pub fn test(&self, cond: Cond) -> bool {
+        match cond {
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::G => !self.zf && self.sf == self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::L => self.sf != self.of,
+            Cond::Le => self.zf || self.sf != self.of,
+            Cond::A => !self.cf && !self.zf,
+            Cond::Ae => !self.cf,
+            Cond::B => self.cf,
+            Cond::Be => self.cf || self.zf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+        }
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Fell off the end of the listing (the loop exited).
+    FellThrough,
+    /// Executed a `ret`.
+    Returned,
+    /// Hit the step budget (probable non-termination).
+    MaxSteps,
+    /// Branched to an unknown label.
+    UnknownLabel,
+}
+
+/// Observable results of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Times the loop's backward branch was executed (= loop iterations).
+    pub loop_iterations: u64,
+    /// Number of load operations performed.
+    pub loads: u64,
+    /// Number of store operations performed.
+    pub stores: u64,
+    /// Bytes loaded.
+    pub bytes_loaded: u64,
+    /// Bytes stored.
+    pub bytes_stored: u64,
+    /// Distinct 64-byte lines touched.
+    pub unique_lines: u64,
+    /// Final `%eax` (the MicroLauncher iteration-count convention).
+    pub eax: u32,
+    /// Why execution stopped.
+    pub stop: StopReason,
+}
+
+/// One memory access in a recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address.
+    pub address: u64,
+    /// Access size in bytes.
+    pub bytes: u8,
+    /// True for stores.
+    pub store: bool,
+}
+
+/// The interpreter state.
+pub struct Interpreter {
+    /// GPR file, indexed by [`GprName::ALL`] position.
+    gprs: [u64; 16],
+    /// XMM register file.
+    xmm: [[u8; 16]; 16],
+    /// ALU flags.
+    pub flags: Flags,
+    /// Simulated memory.
+    pub mem: SimMemory,
+    touched_lines: HashSet<u64>,
+    trace: Option<Vec<MemAccess>>,
+    trace_cap: usize,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Fresh zeroed state.
+    pub fn new() -> Self {
+        Interpreter {
+            gprs: [0; 16],
+            xmm: [[0; 16]; 16],
+            flags: Flags::default(),
+            mem: SimMemory::new(),
+            touched_lines: HashSet::new(),
+            trace: None,
+            trace_cap: 0,
+        }
+    }
+
+    /// Enables address-trace recording, bounded at `cap` accesses (older
+    /// accesses are kept; recording stops at the cap).
+    pub fn record_trace(&mut self, cap: usize) {
+        self.trace = Some(Vec::with_capacity(cap.min(1 << 20)));
+        self.trace_cap = cap;
+    }
+
+    /// The recorded trace, if any.
+    pub fn trace(&self) -> &[MemAccess] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn idx(name: GprName) -> usize {
+        GprName::ALL.iter().position(|&g| g == name).expect("all GPRs are in ALL")
+    }
+
+    /// Reads a full 64-bit GPR.
+    pub fn gpr(&self, name: GprName) -> u64 {
+        self.gprs[Self::idx(name)]
+    }
+
+    /// Writes a full 64-bit GPR.
+    pub fn set_gpr(&mut self, name: GprName, v: u64) {
+        self.gprs[Self::idx(name)] = v;
+    }
+
+    /// Reads an XMM register.
+    pub fn xmm_reg(&self, n: u8) -> [u8; 16] {
+        self.xmm[n as usize]
+    }
+
+    /// Writes an XMM register.
+    pub fn set_xmm(&mut self, n: u8, v: [u8; 16]) {
+        self.xmm[n as usize] = v;
+    }
+
+    fn read_gpr_view(&self, g: Gpr) -> u64 {
+        let v = self.gpr(g.name);
+        match g.width {
+            Width::Q => v,
+            Width::L => v & 0xFFFF_FFFF,
+            Width::W => v & 0xFFFF,
+            Width::B => v & 0xFF,
+        }
+    }
+
+    fn write_gpr_view(&mut self, g: Gpr, v: u64) {
+        let old = self.gpr(g.name);
+        let merged = match g.width {
+            Width::Q => v,
+            // 32-bit writes zero-extend on x86-64.
+            Width::L => v & 0xFFFF_FFFF,
+            Width::W => (old & !0xFFFF) | (v & 0xFFFF),
+            Width::B => (old & !0xFF) | (v & 0xFF),
+        };
+        self.set_gpr(g.name, merged);
+    }
+
+    fn effective_address(&self, mem: &MemRef) -> u64 {
+        let mut addr = mem.disp as u64;
+        if let Some(Reg::Gpr(g)) = mem.base {
+            addr = addr.wrapping_add(self.gpr(g.name));
+        }
+        if let Some((Reg::Gpr(g), scale)) = mem.index {
+            addr = addr.wrapping_add(self.gpr(g.name).wrapping_mul(u64::from(scale)));
+        }
+        addr
+    }
+
+    fn touch(&mut self, addr: u64, len: u64) {
+        let first = addr / 64;
+        let last = (addr + len.saturating_sub(1)) / 64;
+        for line in first..=last {
+            self.touched_lines.insert(line);
+        }
+    }
+
+    fn record(&mut self, address: u64, bytes: u8, store: bool) {
+        if let Some(trace) = &mut self.trace {
+            if trace.len() < self.trace_cap {
+                trace.push(MemAccess { address, bytes, store });
+            }
+        }
+    }
+
+    /// Runs a program's listing until fall-through, `ret`, or `max_steps`.
+    pub fn run(&mut self, program: &Program, max_steps: u64) -> ExecOutcome {
+        let lines = &program.lines;
+        let mut labels: HashMap<&str, usize> = HashMap::new();
+        for (i, line) in lines.iter().enumerate() {
+            if let AsmLine::Label(l) = line {
+                labels.insert(l.as_str(), i);
+            }
+        }
+        let mut outcome = ExecOutcome {
+            instructions: 0,
+            loop_iterations: 0,
+            loads: 0,
+            stores: 0,
+            bytes_loaded: 0,
+            bytes_stored: 0,
+            unique_lines: 0,
+            eax: 0,
+            stop: StopReason::FellThrough,
+        };
+        self.touched_lines.clear();
+        let mut pc = 0usize;
+        while outcome.instructions < max_steps {
+            let Some(line) = lines.get(pc) else {
+                outcome.stop = StopReason::FellThrough;
+                break;
+            };
+            let inst = match line {
+                AsmLine::Inst(i) => i,
+                _ => {
+                    pc += 1;
+                    continue;
+                }
+            };
+            outcome.instructions += 1;
+            match self.step(inst, &mut outcome) {
+                StepResult::Next => pc += 1,
+                StepResult::Jump(label) => {
+                    outcome.loop_iterations += 1;
+                    match labels.get(label.as_str()) {
+                        Some(&target) => pc = target,
+                        None => {
+                            outcome.stop = StopReason::UnknownLabel;
+                            break;
+                        }
+                    }
+                }
+                StepResult::BranchNotTaken => {
+                    outcome.loop_iterations += 1;
+                    pc += 1;
+                }
+                StepResult::Stop => {
+                    outcome.stop = StopReason::Returned;
+                    break;
+                }
+            }
+        }
+        if outcome.instructions >= max_steps {
+            outcome.stop = StopReason::MaxSteps;
+        }
+        outcome.unique_lines = self.touched_lines.len() as u64;
+        outcome.eax = (self.gpr(GprName::Rax) & 0xFFFF_FFFF) as u32;
+        outcome
+    }
+
+    fn load_value(&mut self, op: &Operand, bytes: usize, outcome: &mut ExecOutcome) -> [u8; 16] {
+        match op {
+            Operand::Imm(v) => {
+                let mut out = [0u8; 16];
+                out[..8].copy_from_slice(&(*v as u64).to_le_bytes());
+                out
+            }
+            Operand::Reg(Reg::Gpr(g)) => {
+                let mut out = [0u8; 16];
+                out[..8].copy_from_slice(&self.read_gpr_view(*g).to_le_bytes());
+                out
+            }
+            Operand::Reg(Reg::Xmm(n)) => self.xmm[*n as usize],
+            Operand::Mem(m) => {
+                let addr = self.effective_address(m);
+                self.touch(addr, bytes as u64);
+                self.record(addr, bytes as u8, false);
+                outcome.loads += 1;
+                outcome.bytes_loaded += bytes as u64;
+                self.mem.read(addr, bytes)
+            }
+            Operand::Label(_) => [0u8; 16],
+        }
+    }
+
+    fn store_value(
+        &mut self,
+        op: &Operand,
+        value: [u8; 16],
+        bytes: usize,
+        outcome: &mut ExecOutcome,
+    ) {
+        match op {
+            Operand::Reg(Reg::Gpr(g)) => {
+                let v = u64::from_le_bytes(value[..8].try_into().expect("8 bytes"));
+                self.write_gpr_view(*g, v);
+            }
+            Operand::Reg(Reg::Xmm(n)) => {
+                // Scalar SSE moves/ops merge into the low lanes.
+                let dst = &mut self.xmm[*n as usize];
+                dst[..bytes.min(16)].copy_from_slice(&value[..bytes.min(16)]);
+            }
+            Operand::Mem(m) => {
+                let addr = self.effective_address(m);
+                self.touch(addr, bytes as u64);
+                self.record(addr, bytes as u8, true);
+                outcome.stores += 1;
+                outcome.bytes_stored += bytes as u64;
+                self.mem.write(addr, &value[..bytes]);
+            }
+            Operand::Imm(_) | Operand::Label(_) => {}
+        }
+    }
+
+    fn set_alu_flags(&mut self, result: u64, width: Width, carry: bool, overflow: bool) {
+        let bits = u32::from(width.bytes()) * 8;
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let r = result & mask;
+        self.flags.zf = r == 0;
+        self.flags.sf = (r >> (bits - 1)) & 1 == 1;
+        self.flags.cf = carry;
+        self.flags.of = overflow;
+    }
+
+    fn alu(&mut self, width: Width, a: u64, b: u64, op: AluOp) -> u64 {
+        let bits = u32::from(width.bytes()) * 8;
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let sign_bit = 1u64 << (bits - 1);
+        match op {
+            AluOp::Add => {
+                let r = a.wrapping_add(b) & mask;
+                let carry = r < a;
+                let overflow = ((a ^ r) & (b ^ r) & sign_bit) != 0;
+                self.set_alu_flags(r, width, carry, overflow);
+                r
+            }
+            AluOp::Sub => {
+                let r = a.wrapping_sub(b) & mask;
+                let carry = b > a;
+                let overflow = ((a ^ b) & (a ^ r) & sign_bit) != 0;
+                self.set_alu_flags(r, width, carry, overflow);
+                r
+            }
+            AluOp::And => {
+                let r = a & b;
+                self.set_alu_flags(r, width, false, false);
+                r
+            }
+            AluOp::Or => {
+                let r = a | b;
+                self.set_alu_flags(r, width, false, false);
+                r
+            }
+            AluOp::Xor => {
+                let r = a ^ b;
+                self.set_alu_flags(r, width, false, false);
+                r
+            }
+        }
+    }
+
+    fn step(&mut self, inst: &Inst, outcome: &mut ExecOutcome) -> StepResult {
+        use Mnemonic::*;
+        let m = inst.mnemonic;
+        match m {
+            Ret => return StepResult::Stop,
+            Nop => return StepResult::Next,
+            Jmp => {
+                if let Some(l) = inst.target_label() {
+                    return StepResult::Jump(l.to_owned());
+                }
+                return StepResult::Stop;
+            }
+            Jcc(cond) => {
+                if self.flags.test(cond) {
+                    if let Some(l) = inst.target_label() {
+                        return StepResult::Jump(l.to_owned());
+                    }
+                }
+                return StepResult::BranchNotTaken;
+            }
+            _ => {}
+        }
+
+        // SSE data movement.
+        if let Some(info) = m.mem_move() {
+            let bytes = info.bytes as usize;
+            let src = &inst.operands[0];
+            let dst = &inst.operands[1];
+            let v = self.load_value(src, bytes, outcome);
+            self.store_value(dst, v, bytes, outcome);
+            return StepResult::Next;
+        }
+
+        // SSE arithmetic.
+        if let Some(op) = FpOp::of(m) {
+            let bytes = op.bytes();
+            let a = self.load_value(&inst.operands[0], bytes, outcome);
+            let dstop = inst.operands[1].clone();
+            let b = self.load_value(&dstop, bytes, outcome);
+            // The destination operand read is a register for SSE arith —
+            // undo the accidental load accounting if it was memory (SSE
+            // arith destinations are always registers in our subset).
+            let r = op.apply(b, a); // dst ⊙ src
+            self.store_value(&dstop, r, bytes, outcome);
+            return StepResult::Next;
+        }
+
+        // Integer forms.
+        match m {
+            Mov(w) => {
+                let v = self.load_value(&inst.operands[0], w.bytes() as usize, outcome);
+                self.store_value(&inst.operands[1], v, w.bytes() as usize, outcome);
+            }
+            Lea(_) => {
+                if let (Operand::Mem(mem), Some(dst)) =
+                    (&inst.operands[0], inst.operands.get(1))
+                {
+                    let addr = self.effective_address(mem);
+                    let mut v = [0u8; 16];
+                    v[..8].copy_from_slice(&addr.to_le_bytes());
+                    self.store_value(dst, v, 8, outcome);
+                }
+            }
+            Add(w) | Sub(w) | And(w) | Or(w) | Xor(w) | Cmp(w) | Test(w) => {
+                let bytes = w.bytes() as usize;
+                let src = u64::from_le_bytes(
+                    self.load_value(&inst.operands[0], bytes, outcome)[..8]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                let dst_op = inst.operands[1].clone();
+                let dst = u64::from_le_bytes(
+                    self.load_value(&dst_op, bytes, outcome)[..8].try_into().expect("8 bytes"),
+                );
+                let alu_op = match m {
+                    Add(_) => AluOp::Add,
+                    Sub(_) | Cmp(_) => AluOp::Sub,
+                    And(_) | Test(_) => AluOp::And,
+                    Or(_) => AluOp::Or,
+                    Xor(_) => AluOp::Xor,
+                    _ => unreachable!(),
+                };
+                let r = self.alu(w, dst, src, alu_op);
+                if !matches!(m, Cmp(_) | Test(_)) {
+                    let mut v = [0u8; 16];
+                    v[..8].copy_from_slice(&r.to_le_bytes());
+                    self.store_value(&dst_op, v, bytes, outcome);
+                }
+            }
+            Imul(w) => {
+                let bytes = w.bytes() as usize;
+                let src = u64::from_le_bytes(
+                    self.load_value(&inst.operands[0], bytes, outcome)[..8]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                let dst_op = inst.operands[1].clone();
+                let dst = u64::from_le_bytes(
+                    self.load_value(&dst_op, bytes, outcome)[..8].try_into().expect("8 bytes"),
+                );
+                let r = dst.wrapping_mul(src);
+                let mut v = [0u8; 16];
+                v[..8].copy_from_slice(&r.to_le_bytes());
+                self.store_value(&dst_op, v, bytes, outcome);
+            }
+            Inc(w) | Dec(w) => {
+                let bytes = w.bytes() as usize;
+                let op = inst.operands[0].clone();
+                let v = u64::from_le_bytes(
+                    self.load_value(&op, bytes, outcome)[..8].try_into().expect("8 bytes"),
+                );
+                let r = if matches!(m, Inc(_)) {
+                    self.alu(w, v, 1, AluOp::Add)
+                } else {
+                    self.alu(w, v, 1, AluOp::Sub)
+                };
+                let mut out = [0u8; 16];
+                out[..8].copy_from_slice(&r.to_le_bytes());
+                self.store_value(&op, out, bytes, outcome);
+            }
+            Shl(w) | Shr(w) => {
+                let bytes = w.bytes() as usize;
+                let amount = u64::from_le_bytes(
+                    self.load_value(&inst.operands[0], bytes, outcome)[..8]
+                        .try_into()
+                        .expect("8 bytes"),
+                ) & 0x3F;
+                let dst_op = inst.operands[1].clone();
+                let v = u64::from_le_bytes(
+                    self.load_value(&dst_op, bytes, outcome)[..8].try_into().expect("8 bytes"),
+                );
+                let r = if matches!(m, Shl(_)) { v << amount } else { v >> amount };
+                self.set_alu_flags(r, w, false, false);
+                let mut out = [0u8; 16];
+                out[..8].copy_from_slice(&r.to_le_bytes());
+                self.store_value(&dst_op, out, bytes, outcome);
+            }
+            Neg(w) => {
+                let bytes = w.bytes() as usize;
+                let op = inst.operands[0].clone();
+                let v = u64::from_le_bytes(
+                    self.load_value(&op, bytes, outcome)[..8].try_into().expect("8 bytes"),
+                );
+                let r = self.alu(w, 0, v, AluOp::Sub);
+                let mut out = [0u8; 16];
+                out[..8].copy_from_slice(&r.to_le_bytes());
+                self.store_value(&op, out, bytes, outcome);
+            }
+            other => {
+                debug_assert!(false, "unhandled mnemonic {other:?}");
+            }
+        }
+        StepResult::Next
+    }
+}
+
+enum StepResult {
+    Next,
+    Jump(String),
+    BranchNotTaken,
+    Stop,
+}
+
+#[derive(Clone, Copy)]
+enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+}
+
+/// SSE floating-point operation descriptor.
+#[derive(Clone, Copy)]
+struct FpOp {
+    double: bool,
+    packed: bool,
+    kind: FpKind,
+}
+
+#[derive(Clone, Copy)]
+enum FpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Xor,
+    Max,
+    Min,
+    Sqrt,
+}
+
+impl FpOp {
+    fn of(m: Mnemonic) -> Option<FpOp> {
+        use Mnemonic::*;
+        let (double, packed, kind) = match m {
+            Addss => (false, false, FpKind::Add),
+            Addsd => (true, false, FpKind::Add),
+            Addps => (false, true, FpKind::Add),
+            Addpd => (true, true, FpKind::Add),
+            Subss => (false, false, FpKind::Sub),
+            Subsd => (true, false, FpKind::Sub),
+            Subps => (false, true, FpKind::Sub),
+            Subpd => (true, true, FpKind::Sub),
+            Mulss => (false, false, FpKind::Mul),
+            Mulsd => (true, false, FpKind::Mul),
+            Mulps => (false, true, FpKind::Mul),
+            Mulpd => (true, true, FpKind::Mul),
+            Divss => (false, false, FpKind::Div),
+            Divsd => (true, false, FpKind::Div),
+            Divps => (false, true, FpKind::Div),
+            Divpd => (true, true, FpKind::Div),
+            Xorps => (false, true, FpKind::Xor),
+            Xorpd => (true, true, FpKind::Xor),
+            Maxsd => (true, false, FpKind::Max),
+            Minsd => (true, false, FpKind::Min),
+            Sqrtsd => (true, false, FpKind::Sqrt),
+            _ => return None,
+        };
+        Some(FpOp { double, packed, kind })
+    }
+
+    fn bytes(&self) -> usize {
+        if self.packed {
+            16
+        } else if self.double {
+            8
+        } else {
+            4
+        }
+    }
+
+    /// dst ⊙ src, lane-wise.
+    fn apply(&self, dst: [u8; 16], src: [u8; 16]) -> [u8; 16] {
+        let mut out = dst;
+        if matches!(self.kind, FpKind::Xor) {
+            for i in 0..16 {
+                out[i] = dst[i] ^ src[i];
+            }
+            return out;
+        }
+        let lanes = if self.packed {
+            16 / if self.double { 8 } else { 4 }
+        } else {
+            1
+        };
+        for lane in 0..lanes {
+            if self.double {
+                let off = lane * 8;
+                let a = f64::from_le_bytes(dst[off..off + 8].try_into().expect("8 bytes"));
+                let b = f64::from_le_bytes(src[off..off + 8].try_into().expect("8 bytes"));
+                let r = self.fold(a, b);
+                out[off..off + 8].copy_from_slice(&r.to_le_bytes());
+            } else {
+                let off = lane * 4;
+                let a = f32::from_le_bytes(dst[off..off + 4].try_into().expect("4 bytes"));
+                let b = f32::from_le_bytes(src[off..off + 4].try_into().expect("4 bytes"));
+                let r = self.fold(f64::from(a), f64::from(b)) as f32;
+                out[off..off + 4].copy_from_slice(&r.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn fold(&self, a: f64, b: f64) -> f64 {
+        match self.kind {
+            FpKind::Add => a + b,
+            FpKind::Sub => a - b,
+            FpKind::Mul => a * b,
+            FpKind::Div => a / b,
+            FpKind::Max => a.max(b),
+            FpKind::Min => a.min(b),
+            FpKind::Sqrt => b.sqrt(),
+            FpKind::Xor => unreachable!("handled lane-free"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_creator::MicroCreator;
+    use mc_kernel::builder::{figure6, load_stream};
+    use mc_kernel::UnrollRange;
+
+    const BASE: u64 = 0x10_0000;
+
+    fn program(unroll: u32, swap: bool) -> Program {
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(unroll);
+        desc.instructions[0].swap_after_unroll = swap;
+        MicroCreator::new().generate(&desc).unwrap().programs.remove(0)
+    }
+
+    /// Sets up the MicroLauncher calling convention: n in %rdi (minus the
+    /// first iteration, as the emitted prologue does), array in %rsi.
+    fn launch(p: &Program, n: u64) -> (Interpreter, ExecOutcome) {
+        let mut interp = Interpreter::new();
+        interp.set_gpr(GprName::Rdi, n - p.elements_per_iteration);
+        interp.set_gpr(GprName::Rsi, BASE);
+        let outcome = interp.run(p, 1_000_000);
+        (interp, outcome)
+    }
+
+    #[test]
+    fn figure8_loads_run_the_right_iteration_count() {
+        let p = program(3, false); // 3 movaps loads, 12 elements/iter
+        let n = 1200;
+        let (_, o) = launch(&p, n);
+        assert_eq!(o.stop, StopReason::FellThrough);
+        assert_eq!(o.loop_iterations, n / 12);
+        assert_eq!(o.loads, 3 * n / 12);
+        assert_eq!(o.stores, 0);
+        assert_eq!(o.bytes_loaded, 16 * 3 * n / 12);
+    }
+
+    #[test]
+    fn memory_footprint_matches_trip_count() {
+        let p = program(4, false);
+        let n = 1600; // 1600 floats = 6400 bytes = 100 lines
+        let (_, o) = launch(&p, n);
+        assert_eq!(o.unique_lines, 6400 / 64);
+    }
+
+    #[test]
+    fn store_variant_writes_memory() {
+        let p = program(2, false);
+        // Swap manually: rebuild with swap and find an SS pattern.
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(2);
+        let progs = MicroCreator::new().generate(&desc).unwrap().programs;
+        let ss = progs
+            .iter()
+            .find(|p| p.meta.store_count() == 2)
+            .expect("SS variant exists");
+        let mut interp = Interpreter::new();
+        interp.set_gpr(GprName::Rdi, 80 - ss.elements_per_iteration);
+        interp.set_gpr(GprName::Rsi, BASE);
+        interp.set_xmm(0, [0xAB; 16]);
+        interp.set_xmm(1, [0xCD; 16]);
+        let o = interp.run(ss, 100_000);
+        assert_eq!(o.stores, 20, "80 floats / 8 per iter × 2 stores");
+        assert_eq!(o.loads, 0);
+        assert_eq!(interp.mem.read(BASE, 16)[0], 0xAB);
+        assert_eq!(interp.mem.read(BASE + 16, 16)[0], 0xCD);
+        let _ = p;
+    }
+
+    #[test]
+    fn eax_convention_returns_iterations() {
+        // Add the Figure 9 counter to the kernel and check %eax.
+        let mut desc = figure6();
+        desc.unrolling = UnrollRange::fixed(2);
+        desc.instructions[0].swap_after_unroll = false;
+        desc.inductions.push(mc_kernel::InductionDesc {
+            register: mc_kernel::RegisterRef::Physical(Reg::gpr32(GprName::Rax)),
+            increment_choices: vec![1],
+            offset_step: 0,
+            linked: None,
+            last: false,
+            not_affected_unroll: true,
+        });
+        let p = MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
+        let (_, o) = launch(&p, 800);
+        assert_eq!(o.loop_iterations, 100);
+        assert_eq!(o.eax, 100, "%eax must hold the executed iteration count (§4.4)");
+    }
+
+    #[test]
+    fn all_510_variants_terminate_and_touch_consistent_footprints() {
+        let result = MicroCreator::new().generate(&figure6()).unwrap();
+        assert_eq!(result.programs.len(), 510);
+        for p in &result.programs {
+            let n = p.elements_per_iteration * 16;
+            let mut interp = Interpreter::new();
+            interp.set_gpr(GprName::Rdi, n - p.elements_per_iteration);
+            interp.set_gpr(GprName::Rsi, BASE);
+            let o = interp.run(p, 100_000);
+            assert_eq!(o.stop, StopReason::FellThrough, "{} did not exit", p.name);
+            assert_eq!(o.loop_iterations, 16, "{}", p.name);
+            assert_eq!(
+                o.loads + o.stores,
+                16 * p.meta.unroll as u64,
+                "{} wrong memory op count",
+                p.name
+            );
+            // Every variant of one unroll factor touches the same lines.
+            assert_eq!(o.unique_lines, n * 4 / 64, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn movss_stream_reads_values() {
+        let desc = load_stream(mc_asm::Mnemonic::Movss, 1, 1);
+        let p = MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
+        let mut interp = Interpreter::new();
+        interp.mem.write_f32s(BASE, &[1.5, 2.5, 3.5, 4.5]);
+        interp.set_gpr(GprName::Rdi, 4 - p.elements_per_iteration);
+        interp.set_gpr(GprName::Rsi, BASE);
+        let o = interp.run(&p, 1000);
+        assert_eq!(o.loads, 4);
+        // Last loaded value sits in the rotated xmm register (copy 0 → xmm0).
+        let low = f32::from_le_bytes(interp.xmm_reg(0)[..4].try_into().unwrap());
+        assert_eq!(low, 4.5);
+    }
+
+    #[test]
+    fn fp_arithmetic_computes() {
+        let text = "movsd (%rsi), %xmm0\naddsd %xmm0, %xmm1\nmulsd %xmm0, %xmm1\n";
+        let p = Program::from_asm_text("fp", text).unwrap();
+        let mut interp = Interpreter::new();
+        interp.mem.write_f64s(BASE, &[3.0]);
+        interp.set_gpr(GprName::Rsi, BASE);
+        let o = interp.run(&p, 100);
+        assert_eq!(o.stop, StopReason::FellThrough);
+        // xmm1 = (0 + 3) × 3 = 9
+        let v = f64::from_le_bytes(interp.xmm_reg(1)[..8].try_into().unwrap());
+        assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn packed_arithmetic_is_lane_wise() {
+        let text = "movaps (%rsi), %xmm0\naddps %xmm0, %xmm1\n";
+        let p = Program::from_asm_text("packed", text).unwrap();
+        let mut interp = Interpreter::new();
+        interp.mem.write_f32s(BASE, &[1.0, 2.0, 3.0, 4.0]);
+        interp.set_gpr(GprName::Rsi, BASE);
+        interp.run(&p, 100);
+        let reg = interp.xmm_reg(1);
+        let lanes: Vec<f32> = (0..4)
+            .map(|i| f32::from_le_bytes(reg[i * 4..i * 4 + 4].try_into().unwrap()))
+            .collect();
+        assert_eq!(lanes, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn flags_and_conditions() {
+        let mut interp = Interpreter::new();
+        let p = Program::from_asm_text("flags", "cmpq $5, %rdi\n").unwrap();
+        interp.set_gpr(GprName::Rdi, 5);
+        interp.run(&p, 10);
+        assert!(interp.flags.zf);
+        assert!(interp.flags.test(Cond::E));
+        assert!(interp.flags.test(Cond::Ge));
+        assert!(!interp.flags.test(Cond::G));
+
+        interp.set_gpr(GprName::Rdi, 3);
+        interp.run(&p, 10);
+        assert!(interp.flags.test(Cond::L), "3 < 5");
+        assert!(!interp.flags.test(Cond::Ge));
+    }
+
+    #[test]
+    fn width_views_zero_extend_32_and_merge_8() {
+        let mut interp = Interpreter::new();
+        interp.set_gpr(GprName::Rax, 0xFFFF_FFFF_FFFF_FFFF);
+        let p = Program::from_asm_text("w", "movl $1, %eax\n").unwrap();
+        interp.run(&p, 10);
+        assert_eq!(interp.gpr(GprName::Rax), 1, "32-bit write zero-extends");
+        interp.set_gpr(GprName::Rax, 0x1234_5678_9ABC_DEF0);
+        let p = Program::from_asm_text("b", "movb $5, %al\n").unwrap();
+        interp.run(&p, 10);
+        assert_eq!(interp.gpr(GprName::Rax), 0x1234_5678_9ABC_DE05);
+    }
+
+    #[test]
+    fn infinite_loop_hits_max_steps() {
+        let p = Program::from_asm_text("inf", ".L0:\njmp .L0\n").unwrap();
+        let mut interp = Interpreter::new();
+        let o = interp.run(&p, 1000);
+        assert_eq!(o.stop, StopReason::MaxSteps);
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let p = Program::from_asm_text("bad", "jmp .Lmissing\n").unwrap();
+        let mut interp = Interpreter::new();
+        let o = interp.run(&p, 1000);
+        assert_eq!(o.stop, StopReason::UnknownLabel);
+    }
+
+    #[test]
+    fn ret_stops_execution() {
+        let p = Program::from_asm_text("r", "movq $7, %rax\nret\nmovq $9, %rax\n").unwrap();
+        let mut interp = Interpreter::new();
+        let o = interp.run(&p, 1000);
+        assert_eq!(o.stop, StopReason::Returned);
+        assert_eq!(o.eax, 7);
+    }
+
+    #[test]
+    fn lea_computes_addresses_without_memory_traffic() {
+        let p = Program::from_asm_text("lea", "leaq 8(%rsi,%rdi,4), %rax\n").unwrap();
+        let mut interp = Interpreter::new();
+        interp.set_gpr(GprName::Rsi, 100);
+        interp.set_gpr(GprName::Rdi, 3);
+        let o = interp.run(&p, 10);
+        assert_eq!(interp.gpr(GprName::Rax), 120);
+        assert_eq!(o.loads, 0);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_zero_default() {
+        let mut mem = SimMemory::new();
+        assert_eq!(mem.read_u64(0xDEAD_BEEF), 0);
+        mem.write_u64(0xDEAD_BEEF, 0x0123_4567_89AB_CDEF);
+        assert_eq!(mem.read_u64(0xDEAD_BEEF), 0x0123_4567_89AB_CDEF);
+        // Page-boundary-straddling write.
+        mem.write_u64(4092, u64::MAX);
+        assert_eq!(mem.read_u64(4092), u64::MAX);
+    }
+}

@@ -1,0 +1,265 @@
+//! Memory-hierarchy cost model: streaming bandwidth, prefetch, strides.
+
+use crate::config::{Level, MachineConfig};
+
+/// One memory access stream of the kernel (one array).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stream {
+    /// Bytes loaded per loop iteration on this stream.
+    pub load_bytes_per_iteration: f64,
+    /// Bytes stored per loop iteration on this stream.
+    pub store_bytes_per_iteration: f64,
+    /// Whether the stores are non-temporal (`movntps`): they bypass the
+    /// write-allocate read-for-ownership.
+    pub streaming_store: bool,
+    /// Bytes per individual access (4 for `movss`, 16 for `movaps`).
+    pub access_bytes: f64,
+    /// Address stride between consecutive accesses in bytes (positive).
+    pub stride_bytes: u64,
+    /// Whether the stream's accesses are independent of each other
+    /// (streaming loads with rotated registers) or serially dependent
+    /// (pointer chases). Independent misses overlap up to the line-fill
+    /// buffer limit.
+    pub dependent: bool,
+}
+
+/// Cost of the kernel's memory traffic per loop iteration, split by clock
+/// domain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryCost {
+    /// Core-clock cycles (L1/L2 traffic).
+    pub core_cycles: f64,
+    /// Uncore time in nanoseconds (L3/RAM traffic).
+    pub uncore_ns: f64,
+}
+
+/// Computes the per-iteration memory cost of a set of streams whose
+/// working set resides at `level`.
+///
+/// * Unit-stride (≤ one cache line) streams are **bandwidth-bound**: the
+///   hardware prefetcher hides latency, so the cost is traffic divided by
+///   the level's sustainable bandwidth.
+/// * RAM-resident ordinary stores pay **write-allocate**: the line is read
+///   for ownership before being overwritten, then written back — 2× the
+///   store's nominal traffic. Non-temporal stores (`movntps`) bypass the
+///   allocation and pay 1× (why the paper's instruction set includes the
+///   streaming forms).
+/// * Large strides defeat the prefetcher and touch one line per access:
+///   the cost becomes latency-bound, divided by the achievable
+///   miss-level parallelism (line-fill buffers) for independent streams.
+/// * L1-resident data always hits: the load/store ports (modelled in
+///   [`crate::ports`]) are the only constraint, so only traffic above L1
+///   bandwidth costs extra.
+pub fn memory_cost(machine: &MachineConfig, level: Level, streams: &[Stream]) -> MemoryCost {
+    let mut cost = MemoryCost::default();
+    let line = machine.line_bytes as f64;
+    let cache = machine.level(level);
+    for s in streams {
+        // Write-allocate doubles ordinary store traffic when the data is
+        // not already cached (RAM residence); streaming stores do not.
+        let store_factor = if level == Level::Ram && !s.streaming_store { 2.0 } else { 1.0 };
+        let bytes_per_iteration =
+            s.load_bytes_per_iteration + s.store_bytes_per_iteration * store_factor;
+        if bytes_per_iteration <= 0.0 {
+            continue;
+        }
+        let prefetch_friendly = s.stride_bytes as f64 <= line && !s.dependent;
+        // Strided streams pull whole chunks of each line they touch but
+        // use only `access_bytes` of them, so transfers from the uncore
+        // levels move min(max(stride, access), line) bytes per access.
+        // Core-domain (L1/L2-resident) data is already in place: accesses
+        // hit, and only the consumed bytes cross the load/store ports.
+        let accesses_per_iter = bytes_per_iteration / s.access_bytes.max(1.0);
+        let pulled_per_access = if level.is_core_domain() {
+            s.access_bytes
+        } else {
+            (s.stride_bytes.max(1) as f64).max(s.access_bytes).min(line)
+        };
+        let bw_term = accesses_per_iter * pulled_per_access / cache.bandwidth;
+        let term = if prefetch_friendly || level.is_core_domain() {
+            // Resident (or prefetched) data: bandwidth is the only cost.
+            bw_term
+        } else {
+            // Each strided access touches a fresh line: latency per access,
+            // overlapped across line-fill buffers for independent streams.
+            let mlp = if s.dependent { 1.0 } else { machine.line_fill_buffers };
+            (accesses_per_iter * cache.latency / mlp).max(bw_term)
+        };
+        if level.is_core_domain() {
+            cost.core_cycles += term;
+        } else {
+            cost.uncore_ns += term;
+        }
+    }
+    cost
+}
+
+/// Convenience: a single unit-stride load stream of 16-byte accesses.
+pub fn unit_stream(bytes_per_iteration: f64) -> Stream {
+    Stream {
+        load_bytes_per_iteration: bytes_per_iteration,
+        store_bytes_per_iteration: 0.0,
+        streaming_store: false,
+        access_bytes: 16.0,
+        stride_bytes: 1,
+        dependent: false,
+    }
+}
+
+/// Convenience: a single unit-stride store stream of 16-byte accesses.
+pub fn store_stream(bytes_per_iteration: f64, streaming: bool) -> Stream {
+    Stream {
+        load_bytes_per_iteration: 0.0,
+        store_bytes_per_iteration: bytes_per_iteration,
+        streaming_store: streaming,
+        access_bytes: 16.0,
+        stride_bytes: 1,
+        dependent: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineConfig {
+        MachineConfig::nehalem_x5650_dual()
+    }
+
+    #[test]
+    fn l1_streaming_is_cheap() {
+        // 8 movaps loads = 128 B/iter; L1 bw 16 B/cycle → 8 cycles.
+        let c = memory_cost(&m(), Level::L1, &[unit_stream(128.0)]);
+        assert_eq!(c.core_cycles, 8.0);
+        assert_eq!(c.uncore_ns, 0.0);
+    }
+
+    #[test]
+    fn hierarchy_costs_increase() {
+        let machine = m();
+        let to_ns = |c: MemoryCost| c.core_cycles / machine.nominal_ghz + c.uncore_ns;
+        let costs: Vec<f64> = Level::ALL
+            .iter()
+            .map(|&lvl| to_ns(memory_cost(&machine, lvl, &[unit_stream(128.0)])))
+            .collect();
+        for pair in costs.windows(2) {
+            assert!(pair[0] < pair[1], "costs must increase down the hierarchy: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn ram_cost_is_uncore_only() {
+        let c = memory_cost(&m(), Level::Ram, &[unit_stream(128.0)]);
+        assert_eq!(c.core_cycles, 0.0);
+        assert!(c.uncore_ns > 0.0);
+    }
+
+    #[test]
+    fn movaps_vs_movss_ram_ratio_is_four() {
+        // "vectorized instructions access four times more data than regular
+        //  movss instructions" (§5.1): per-instruction RAM cost ratio = 4.
+        let movaps = memory_cost(&m(), Level::Ram, &[unit_stream(16.0)]);
+        let movss = memory_cost(&m(), Level::Ram, &[unit_stream(4.0)]);
+        assert!((movaps.uncore_ns / movss.uncore_ns - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_strides_defeat_the_prefetcher() {
+        let machine = m();
+        let dense = memory_cost(
+            &machine,
+            Level::Ram,
+            &[Stream { load_bytes_per_iteration: 64.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 16.0, stride_bytes: 16, dependent: false }],
+        );
+        let line_stride = memory_cost(
+            &machine,
+            Level::Ram,
+            &[Stream { load_bytes_per_iteration: 64.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 16.0, stride_bytes: 64, dependent: false }],
+        );
+        let page_stride = memory_cost(
+            &machine,
+            Level::Ram,
+            &[Stream { load_bytes_per_iteration: 64.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 16.0, stride_bytes: 4096, dependent: false }],
+        );
+        // Line-stride pulls 4× the useful traffic; page-stride at least that.
+        assert!(line_stride.uncore_ns > dense.uncore_ns * 3.0, "{line_stride:?} vs {dense:?}");
+        assert!(page_stride.uncore_ns >= line_stride.uncore_ns, "{page_stride:?}");
+    }
+
+    #[test]
+    fn strided_l2_resident_data_costs_only_consumed_bytes() {
+        // A cache-hot strided walk (the matmul column at 200²) hits; it
+        // must not be charged line transfers (Figure 4's flatness).
+        let machine = m();
+        let dense = memory_cost(
+            &machine,
+            Level::L2,
+            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 8, dependent: false }],
+        );
+        let strided = memory_cost(
+            &machine,
+            Level::L2,
+            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 1600, dependent: false }],
+        );
+        assert_eq!(dense, strided);
+    }
+
+    #[test]
+    fn dependent_streams_pay_full_latency() {
+        let machine = m();
+        let indep = memory_cost(
+            &machine,
+            Level::Ram,
+            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 4096, dependent: false }],
+        );
+        let dep = memory_cost(
+            &machine,
+            Level::Ram,
+            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 4096, dependent: true }],
+        );
+        assert!(dep.uncore_ns > indep.uncore_ns * 5.0, "no MLP for pointer chases");
+        // A dependent RAM access costs the full latency.
+        assert!((dep.uncore_ns - machine.ram.latency).abs() < machine.ram.latency * 0.2);
+    }
+
+    #[test]
+    fn multiple_streams_accumulate() {
+        let single = memory_cost(&m(), Level::Ram, &[unit_stream(16.0)]);
+        let quad = memory_cost(
+            &m(),
+            Level::Ram,
+            &[unit_stream(16.0), unit_stream(16.0), unit_stream(16.0), unit_stream(16.0)],
+        );
+        assert!((quad.uncore_ns - 4.0 * single.uncore_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_is_free() {
+        let c = memory_cost(&m(), Level::Ram, &[unit_stream(0.0)]);
+        assert_eq!(c, MemoryCost::default());
+    }
+
+    #[test]
+    fn ram_stores_pay_write_allocate() {
+        let load = memory_cost(&m(), Level::Ram, &[unit_stream(16.0)]);
+        let store = memory_cost(&m(), Level::Ram, &[store_stream(16.0, false)]);
+        assert!((store.uncore_ns / load.uncore_ns - 2.0).abs() < 1e-9, "RFO doubles store traffic");
+    }
+
+    #[test]
+    fn streaming_stores_bypass_write_allocate() {
+        let nt = memory_cost(&m(), Level::Ram, &[store_stream(16.0, true)]);
+        let regular = memory_cost(&m(), Level::Ram, &[store_stream(16.0, false)]);
+        assert!((regular.uncore_ns / nt.uncore_ns - 2.0).abs() < 1e-9, "movntps halves RAM stores");
+    }
+
+    #[test]
+    fn cached_stores_have_no_write_allocate_penalty() {
+        for level in [Level::L1, Level::L2, Level::L3] {
+            let load = memory_cost(&m(), level, &[unit_stream(16.0)]);
+            let store = memory_cost(&m(), level, &[store_stream(16.0, false)]);
+            let (l, st) = (load.core_cycles + load.uncore_ns, store.core_cycles + store.uncore_ns);
+            assert!((l - st).abs() < 1e-9, "{}: {l} vs {st}", level.name());
+        }
+    }
+}

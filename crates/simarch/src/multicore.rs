@@ -1,0 +1,172 @@
+//! Multi-core shared-resource contention.
+//!
+//! MicroLauncher's fork mode "exposes the memory access saturation of an
+//! architecture" (§5.2.1): N copies of the same streaming kernel pinned to
+//! N cores share each socket's sustainable memory bandwidth. Below the
+//! saturation point latencies barely move; past it they grow linearly with
+//! the over-subscription factor — Figure 14's knee at six cores on the
+//! dual-socket X5650.
+
+use crate::config::MachineConfig;
+
+/// How processes are placed on cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Alternate sockets core-by-core (the OS/launcher default for
+    /// bandwidth-hungry HPC runs; what the paper's pinning produces).
+    RoundRobinSockets,
+    /// Fill one socket completely before starting the next.
+    FillFirstSocket,
+}
+
+/// Cores per socket for `n` active cores under a placement.
+pub fn cores_per_socket(machine: &MachineConfig, n: u32, placement: Placement) -> Vec<u32> {
+    let sockets = machine.sockets as usize;
+    let capacity = machine.cores_per_socket;
+    let n = n.min(machine.total_cores());
+    let mut counts = vec![0u32; sockets];
+    match placement {
+        Placement::RoundRobinSockets => {
+            for i in 0..n {
+                counts[(i as usize) % sockets] += 1;
+            }
+        }
+        Placement::FillFirstSocket => {
+            let mut left = n;
+            for c in counts.iter_mut() {
+                let take = left.min(capacity);
+                *c = take;
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// The factor by which one core's traffic through a shared resource of
+/// `socket_bandwidth_gbs` slows down when `n` copies of a kernel demanding
+/// `per_core_gbs` each run under `placement`.
+///
+/// Returns the *worst* socket's factor (every process runs the same kernel;
+/// the launcher reports the slowest, which dominates the joint finish).
+pub fn shared_bandwidth_factor(
+    machine: &MachineConfig,
+    n: u32,
+    per_core_gbs: f64,
+    socket_bandwidth_gbs: f64,
+    placement: Placement,
+) -> f64 {
+    if n == 0 || per_core_gbs <= 0.0 {
+        return 1.0;
+    }
+    cores_per_socket(machine, n, placement)
+        .into_iter()
+        .filter(|&c| c > 0)
+        .map(|c| {
+            let demand = f64::from(c) * per_core_gbs;
+            (demand / socket_bandwidth_gbs).max(1.0)
+        })
+        .fold(1.0, f64::max)
+}
+
+/// [`shared_bandwidth_factor`] for the per-socket RAM bandwidth — the
+/// resource fork-mode streaming saturates (Figure 14).
+pub fn contention_factor(
+    machine: &MachineConfig,
+    n: u32,
+    per_core_gbs: f64,
+    placement: Placement,
+) -> f64 {
+    shared_bandwidth_factor(machine, n, per_core_gbs, machine.ram_socket_bandwidth_gbs, placement)
+}
+
+/// The smallest core count at which the contention factor exceeds
+/// `threshold` — the saturation knee of Figure 14.
+pub fn saturation_knee(
+    machine: &MachineConfig,
+    per_core_gbs: f64,
+    placement: Placement,
+    threshold: f64,
+) -> Option<u32> {
+    (1..=machine.total_cores())
+        .find(|&n| contention_factor(machine, n, per_core_gbs, placement) > threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineConfig {
+        MachineConfig::nehalem_x5650_dual()
+    }
+
+    #[test]
+    fn round_robin_splits_evenly() {
+        assert_eq!(cores_per_socket(&m(), 6, Placement::RoundRobinSockets), vec![3, 3]);
+        assert_eq!(cores_per_socket(&m(), 7, Placement::RoundRobinSockets), vec![4, 3]);
+        assert_eq!(cores_per_socket(&m(), 12, Placement::RoundRobinSockets), vec![6, 6]);
+    }
+
+    #[test]
+    fn fill_first_concentrates() {
+        assert_eq!(cores_per_socket(&m(), 6, Placement::FillFirstSocket), vec![6, 0]);
+        assert_eq!(cores_per_socket(&m(), 8, Placement::FillFirstSocket), vec![6, 2]);
+    }
+
+    #[test]
+    fn request_beyond_capacity_is_clamped() {
+        assert_eq!(cores_per_socket(&m(), 99, Placement::RoundRobinSockets), vec![6, 6]);
+    }
+
+    #[test]
+    fn no_contention_below_saturation() {
+        // One movaps stream ≈ 7 GB/s; 2 cores round-robin = 1 per socket.
+        assert_eq!(contention_factor(&m(), 2, 7.0, Placement::RoundRobinSockets), 1.0);
+        assert_eq!(contention_factor(&m(), 1, 7.0, Placement::RoundRobinSockets), 1.0);
+    }
+
+    #[test]
+    fn figure14_knee_is_at_six_cores() {
+        // "The breaking point for the dual-socket Nehalem machine is six
+        //  cores. Under six cores, the latency is not greatly affected;
+        //  over six cores, there is no longer a single change" (§5.2.1).
+        let machine = m();
+        let per_core = machine.ram.bandwidth; // a full streaming core
+        let knee =
+            saturation_knee(&machine, per_core, Placement::RoundRobinSockets, 1.05).unwrap();
+        assert!((6..=8).contains(&knee), "knee at {knee} cores");
+        // Under the knee: ≈flat. Past the knee: growing.
+        let under = contention_factor(&machine, 4, per_core, Placement::RoundRobinSockets);
+        let over = contention_factor(&machine, 12, per_core, Placement::RoundRobinSockets);
+        assert!(under <= 1.05);
+        assert!(over > 1.5, "12 streaming cores heavily oversubscribe: {over}");
+    }
+
+    #[test]
+    fn contention_grows_monotonically() {
+        let machine = m();
+        let mut prev = 0.0;
+        for n in 1..=12 {
+            let f = contention_factor(&machine, n, 7.0, Placement::RoundRobinSockets);
+            assert!(f >= prev, "factor must not decrease with cores");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn fill_first_saturates_earlier() {
+        let machine = m();
+        let rr = saturation_knee(&machine, 7.0, Placement::RoundRobinSockets, 1.05).unwrap();
+        let ff = saturation_knee(&machine, 7.0, Placement::FillFirstSocket, 1.05).unwrap();
+        assert!(ff < rr, "filling one socket saturates sooner ({ff} vs {rr})");
+    }
+
+    #[test]
+    fn zero_demand_never_contends() {
+        assert_eq!(contention_factor(&m(), 12, 0.0, Placement::RoundRobinSockets), 1.0);
+        assert_eq!(saturation_knee(&m(), 0.0, Placement::RoundRobinSockets, 1.05), None);
+    }
+}

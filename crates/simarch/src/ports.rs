@@ -1,0 +1,147 @@
+//! Port-pressure bound: cycles per iteration implied by execution-port
+//! throughput.
+
+use crate::config::MachineConfig;
+use crate::uops::{decompose, PortClass};
+use mc_asm::inst::Inst;
+
+/// Per-class µop counts for one loop iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PortPressure {
+    /// Load µops.
+    pub loads: f64,
+    /// Store µops.
+    pub stores: f64,
+    /// Integer ALU µops.
+    pub int_alu: f64,
+    /// FP add-pipe µops.
+    pub fp_add: f64,
+    /// FP mul-pipe µops.
+    pub fp_mul: f64,
+    /// FP divide µops.
+    pub fp_div: f64,
+    /// Branch µops.
+    pub branches: f64,
+    /// Total fused-domain µops (front-end slots).
+    pub fused_uops: f64,
+}
+
+impl PortPressure {
+    /// Accumulates the pressure of one instruction sequence.
+    pub fn of(body: &[&Inst]) -> Self {
+        let mut p = PortPressure::default();
+        for inst in body {
+            p.fused_uops += f64::from(inst.fused_uops());
+            for uop in decompose(inst) {
+                match uop.port {
+                    PortClass::Load => p.loads += 1.0,
+                    PortClass::Store => p.stores += 1.0,
+                    PortClass::IntAlu => p.int_alu += 1.0,
+                    PortClass::FpAdd => p.fp_add += 1.0,
+                    PortClass::FpMul => p.fp_mul += 1.0,
+                    PortClass::FpDiv => p.fp_div += 1.0,
+                    PortClass::Branch => p.branches += 1.0,
+                }
+            }
+        }
+        p
+    }
+
+    /// The cycles-per-iteration lower bound from port throughput on the
+    /// given machine.
+    pub fn bound_cycles(&self, m: &MachineConfig) -> f64 {
+        let mut bound: f64 = 0.0;
+        bound = bound.max(self.loads / m.load_ports);
+        bound = bound.max(self.stores / m.store_ports);
+        bound = bound.max(self.int_alu / m.int_alu_ports);
+        bound = bound.max(self.fp_add / m.fp_add_ports);
+        bound = bound.max(self.fp_mul / m.fp_mul_ports);
+        // The divider is unpipelined: each div blocks it for its latency.
+        bound = bound.max(self.fp_div * crate::uops::compute_latency(mc_asm::Mnemonic::Divsd));
+        bound = bound.max(self.branches * m.taken_branch_cycles);
+        bound
+    }
+
+    /// The front-end bound: fused µops over decode width.
+    pub fn frontend_cycles(&self, m: &MachineConfig) -> f64 {
+        self.fused_uops / m.frontend_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_asm::parse::parse_listing;
+    use mc_asm::format::AsmLine;
+
+    fn body(text: &str) -> Vec<Inst> {
+        parse_listing(text)
+            .unwrap()
+            .into_iter()
+            .filter_map(|l| match l {
+                AsmLine::Inst(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn pressure(text: &str) -> PortPressure {
+        let insts = body(text);
+        PortPressure::of(&insts.iter().collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn counts_figure8_kernel() {
+        let p = pressure(
+            "movaps %xmm0, (%rsi)\nmovaps 16(%rsi), %xmm1\nmovaps %xmm2, 32(%rsi)\n\
+             addq $48, %rsi\nsubq $12, %rdi\njge .L6\n",
+        );
+        assert_eq!(p.loads, 1.0);
+        assert_eq!(p.stores, 2.0);
+        assert_eq!(p.int_alu, 2.0);
+        assert_eq!(p.branches, 1.0);
+    }
+
+    #[test]
+    fn nehalem_single_load_port_binds_unrolled_loads() {
+        let m = MachineConfig::nehalem_x5650_dual();
+        let p = pressure(
+            "movaps (%rsi), %xmm0\nmovaps 16(%rsi), %xmm1\nmovaps 32(%rsi), %xmm2\n\
+             movaps 48(%rsi), %xmm3\nmovaps 64(%rsi), %xmm4\nmovaps 80(%rsi), %xmm5\n\
+             movaps 96(%rsi), %xmm6\nmovaps 112(%rsi), %xmm7\naddq $128, %rsi\n\
+             subq $32, %rdi\njge .L6\n",
+        );
+        // 8 loads / 1 port = 8 cycles dominates.
+        assert_eq!(p.bound_cycles(&m), 8.0);
+    }
+
+    #[test]
+    fn sandy_bridge_halves_the_load_bound() {
+        let sb = MachineConfig::sandy_bridge_e31240();
+        let p = pressure("movss (%rsi), %xmm0\nmovss 4(%rsi), %xmm1\nmovss 8(%rsi), %xmm2\nmovss 12(%rsi), %xmm3\n");
+        assert_eq!(p.bound_cycles(&sb), 2.0, "4 loads / 2 ports");
+    }
+
+    #[test]
+    fn branch_throughput_floors_small_loops() {
+        let m = MachineConfig::nehalem_x5650_dual();
+        let p = pressure("movaps (%rsi), %xmm0\naddq $16, %rsi\nsubq $4, %rdi\njge .L6\n");
+        // One taken branch at 2 cycles beats 1 load / 1 port.
+        assert_eq!(p.bound_cycles(&m), 2.0);
+    }
+
+    #[test]
+    fn frontend_bound_counts_fused_uops() {
+        let m = MachineConfig::nehalem_x5650_dual();
+        let p = pressure("movaps (%rsi), %xmm0\nmovaps 16(%rsi), %xmm1\nmovaps %xmm2, 32(%rsi)\nsubq $12, %rdi\n");
+        assert_eq!(p.fused_uops, 4.0);
+        assert_eq!(p.frontend_cycles(&m), 1.0);
+    }
+
+    #[test]
+    fn divider_is_unpipelined() {
+        let m = MachineConfig::nehalem_x5650_dual();
+        let p = pressure("divsd %xmm0, %xmm1\ndivsd %xmm2, %xmm3\n");
+        assert_eq!(p.bound_cycles(&m), 44.0);
+    }
+}

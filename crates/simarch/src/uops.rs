@@ -1,0 +1,187 @@
+//! Instruction → micro-operation decomposition and latency classes.
+
+use mc_asm::inst::{Inst, Mnemonic};
+use mc_asm::InstClass;
+
+/// The execution resource a µop occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortClass {
+    /// Load port(s).
+    Load,
+    /// Store port (address + data treated as one slot here).
+    Store,
+    /// Integer ALU ports.
+    IntAlu,
+    /// FP adder pipe.
+    FpAdd,
+    /// FP multiplier pipe.
+    FpMul,
+    /// FP divider (unpipelined).
+    FpDiv,
+    /// Branch unit.
+    Branch,
+}
+
+/// One micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uop {
+    /// Which resource it needs.
+    pub port: PortClass,
+    /// Result latency in core cycles (excluding cache latency for loads —
+    /// memory costs are modelled separately; this is the L1-hit pipeline
+    /// latency used by the recurrence analysis).
+    pub latency: f64,
+}
+
+/// Pipeline latency of the *computation* part of a mnemonic, in core
+/// cycles (Nehalem/Sandy Bridge class numbers).
+pub fn compute_latency(m: Mnemonic) -> f64 {
+    match m.class() {
+        InstClass::IntAlu => 1.0,
+        InstClass::IntMul => 3.0,
+        InstClass::Lea => 1.0,
+        InstClass::MovGpr => 1.0,
+        InstClass::SseMove => 1.0,
+        InstClass::FpAdd => 3.0,
+        InstClass::FpMul => 5.0,
+        InstClass::FpDiv => 22.0,
+        InstClass::FpLogic => 1.0,
+        InstClass::Branch => 1.0,
+        InstClass::Other => 1.0,
+    }
+}
+
+/// L1-hit load-to-use latency used in dependency chains (machine-specific
+/// cache latency is added by the memory model; 4 cycles is the common
+/// L1 figure for both modelled µarchs).
+pub const L1_LOAD_LATENCY: f64 = 4.0;
+
+/// Decomposes an instruction into µops for port-pressure accounting.
+///
+/// * pure loads → one load µop;
+/// * pure stores → one store µop;
+/// * load-op (e.g. `mulsd (%r8), %xmm0`) → load µop + compute µop;
+/// * read-modify-write → load + compute + store;
+/// * register-register compute → one compute µop;
+/// * branches → one branch µop; `lea` → IntAlu; `nop` → none.
+pub fn decompose(inst: &Inst) -> Vec<Uop> {
+    let mut uops = Vec::with_capacity(3);
+    let class = inst.mnemonic.class();
+    if matches!(class, InstClass::Other) {
+        return uops;
+    }
+    let is_load = inst.load_ref().is_some();
+    let is_store = inst.store_ref().is_some();
+    if is_load {
+        uops.push(Uop { port: PortClass::Load, latency: L1_LOAD_LATENCY });
+    }
+    let compute_port = match class {
+        InstClass::IntAlu | InstClass::IntMul | InstClass::Lea | InstClass::MovGpr => {
+            Some(PortClass::IntAlu)
+        }
+        InstClass::FpAdd => Some(PortClass::FpAdd),
+        InstClass::FpMul => Some(PortClass::FpMul),
+        InstClass::FpDiv => Some(PortClass::FpDiv),
+        InstClass::FpLogic => Some(PortClass::FpAdd),
+        InstClass::Branch => Some(PortClass::Branch),
+        InstClass::SseMove => {
+            // A reg→reg SSE move occupies an FP pipe; load/store forms are
+            // covered by their memory µops.
+            if !is_load && !is_store {
+                Some(PortClass::FpAdd)
+            } else {
+                None
+            }
+        }
+        InstClass::Other => None,
+    };
+    if let Some(port) = compute_port {
+        uops.push(Uop { port, latency: compute_latency(inst.mnemonic) });
+    }
+    if is_store {
+        uops.push(Uop { port: PortClass::Store, latency: 1.0 });
+    }
+    uops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_asm::parse::parse_instruction;
+
+    fn uops_of(text: &str) -> Vec<Uop> {
+        decompose(&parse_instruction(text).unwrap())
+    }
+
+    #[test]
+    fn pure_load_is_one_load_uop() {
+        let u = uops_of("movaps 16(%rsi), %xmm1");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].port, PortClass::Load);
+    }
+
+    #[test]
+    fn pure_store_is_one_store_uop() {
+        let u = uops_of("movaps %xmm0, (%rsi)");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].port, PortClass::Store);
+    }
+
+    #[test]
+    fn load_op_is_load_plus_compute() {
+        let u = uops_of("mulsd (%r8), %xmm0");
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].port, PortClass::Load);
+        assert_eq!(u[1].port, PortClass::FpMul);
+        assert_eq!(u[1].latency, 5.0);
+    }
+
+    #[test]
+    fn rmw_is_load_compute_store() {
+        let u = uops_of("addq $1, (%rsi)");
+        let ports: Vec<PortClass> = u.iter().map(|x| x.port).collect();
+        assert_eq!(ports, vec![PortClass::Load, PortClass::IntAlu, PortClass::Store]);
+    }
+
+    #[test]
+    fn reg_reg_compute_is_single_uop() {
+        let u = uops_of("addsd %xmm0, %xmm1");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].port, PortClass::FpAdd);
+        assert_eq!(u[0].latency, 3.0);
+        let u = uops_of("addq $48, %rsi");
+        assert_eq!(u[0].port, PortClass::IntAlu);
+        assert_eq!(u[0].latency, 1.0);
+    }
+
+    #[test]
+    fn branch_and_nop() {
+        let u = uops_of("jge .L6");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].port, PortClass::Branch);
+        assert!(uops_of("nop").is_empty());
+        assert!(uops_of("ret").is_empty());
+    }
+
+    #[test]
+    fn reg_to_reg_sse_move_occupies_a_pipe() {
+        let u = uops_of("movaps %xmm0, %xmm1");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].port, PortClass::FpAdd);
+    }
+
+    #[test]
+    fn lea_is_alu_not_load() {
+        let u = uops_of("leaq 8(%rsi,%rdi,4), %rax");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].port, PortClass::IntAlu);
+    }
+
+    #[test]
+    fn latency_classes() {
+        assert_eq!(compute_latency(Mnemonic::Addsd), 3.0);
+        assert_eq!(compute_latency(Mnemonic::Mulsd), 5.0);
+        assert_eq!(compute_latency(Mnemonic::Divsd), 22.0);
+        assert_eq!(compute_latency(Mnemonic::Add(mc_asm::Width::Q)), 1.0);
+    }
+}

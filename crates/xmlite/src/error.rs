@@ -1,0 +1,51 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// A parse error with 1-based line/column information pointing at the
+/// offending byte in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl XmlError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        Self { line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = XmlError::new(3, 14, "unexpected `<`");
+        let s = e.to_string();
+        assert!(s.contains("3:14"), "{s}");
+        assert!(s.contains("unexpected `<`"), "{s}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&XmlError::new(1, 1, "x"));
+    }
+}

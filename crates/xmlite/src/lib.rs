@@ -1,0 +1,35 @@
+//! # mc-xmlite — minimal XML for MicroTools
+//!
+//! MicroCreator's kernel descriptions are XML files (Figure 6 of the paper).
+//! The offline dependency set contains no XML crate, so this crate provides a
+//! small, strict, dependency-free XML 1.0 subset sufficient for the
+//! MicroCreator schema and for round-tripping descriptions back to disk:
+//!
+//! * elements with attributes,
+//! * character data with the five predefined entities
+//!   (`&lt; &gt; &amp; &apos; &quot;`) and decimal/hex character references,
+//! * comments (`<!-- … -->`) and processing instructions (skipped),
+//! * an optional XML declaration,
+//! * self-closing tags (`<swap_after_unroll/>`).
+//!
+//! Not supported (and rejected with a clear error rather than misparsed):
+//! DTDs, CDATA sections, namespaces-as-semantics (colons in names are simply
+//! part of the name), and external entities.
+//!
+//! ```
+//! use mc_xmlite::Element;
+//! let doc = Element::parse("<unrolling><min>1</min><max>8</max></unrolling>").unwrap();
+//! assert_eq!(doc.name, "unrolling");
+//! assert_eq!(doc.child_text("min"), Some("1"));
+//! assert_eq!(doc.child_text("max"), Some("8"));
+//! ```
+
+mod error;
+mod node;
+mod parser;
+mod writer;
+
+pub use error::{XmlError, XmlResult};
+pub use node::{Element, Node};
+pub use parser::parse_document;
+pub use writer::{escape_attr, escape_text, write_document};

@@ -1,0 +1,214 @@
+//! DOM-style tree for parsed XML documents.
+
+use crate::error::XmlResult;
+use crate::parser::parse_document;
+use crate::writer::write_document;
+
+/// A node in an element's content: either a child element or character data.
+///
+/// Comments and processing instructions are dropped at parse time; the
+/// MicroCreator schema carries no information in them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Decoded character data (entities already expanded).
+    Text(String),
+}
+
+impl Node {
+    /// Returns the contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Returns the contained text, if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Element(_) => None,
+            Node::Text(t) => Some(t),
+        }
+    }
+}
+
+/// An XML element: name, attributes (in document order), and content.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name, e.g. `instruction`.
+    pub name: String,
+    /// Attributes in document order as `(name, decoded value)` pairs.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Creates an element containing a single text node — the common shape
+    /// for MicroCreator leaves such as `<min>1</min>`.
+    pub fn with_text(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let mut e = Element::new(name);
+        e.children.push(Node::Text(text.into()));
+        e
+    }
+
+    /// Parses a complete document and returns its root element.
+    pub fn parse(input: &str) -> XmlResult<Element> {
+        parse_document(input)
+    }
+
+    /// Serializes this element as a document (with XML declaration and
+    /// 4-space indentation). Parsing the output yields an equal tree for
+    /// trees without mixed element/text content.
+    pub fn to_document_string(&self) -> String {
+        write_document(self)
+    }
+
+    /// Appends a child element, returning `self` for chaining.
+    pub fn child(mut self, e: Element) -> Self {
+        self.children.push(Node::Element(e));
+        self
+    }
+
+    /// Appends an attribute, returning `self` for chaining.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates over child *elements* only (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Returns the first child element with the given tag name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Returns all child elements with the given tag name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// True if a child element with the given name exists. MicroCreator uses
+    /// empty marker elements such as `<swap_after_unroll/>` as booleans.
+    pub fn has_child(&self, name: &str) -> bool {
+        self.find(name).is_some()
+    }
+
+    /// Concatenated text content of this element (direct text children only),
+    /// trimmed. Returns `None` if there is no non-whitespace text.
+    pub fn text(&self) -> Option<&str> {
+        // The schema only ever has a single text node in leaves; for
+        // robustness return the first non-whitespace one.
+        self.children
+            .iter()
+            .filter_map(Node::as_text)
+            .map(str::trim)
+            .find(|t| !t.is_empty())
+    }
+
+    /// Text content of the first child element with the given name.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.find(name).and_then(Element::text)
+    }
+
+    /// Parses the text of a named child as an integer.
+    pub fn child_i64(&self, name: &str) -> Option<i64> {
+        self.child_text(name).and_then(|t| t.parse().ok())
+    }
+
+    /// Total number of elements in this subtree, including `self`.
+    pub fn subtree_len(&self) -> usize {
+        1 + self.elements().map(Element::subtree_len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("kernel")
+            .attr("version", "1")
+            .child(Element::with_text("min", "1"))
+            .child(Element::with_text("max", "8"))
+            .child(Element::new("swap_after_unroll"))
+            .child(Element::with_text("min", "2"))
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let e = sample();
+        assert_eq!(e.attribute("version"), Some("1"));
+        assert_eq!(e.attribute("missing"), None);
+    }
+
+    #[test]
+    fn find_returns_first_match() {
+        let e = sample();
+        assert_eq!(e.find("min").unwrap().text(), Some("1"));
+    }
+
+    #[test]
+    fn find_all_returns_every_match_in_order() {
+        let e = sample();
+        let texts: Vec<_> = e.find_all("min").map(|m| m.text().unwrap()).collect();
+        assert_eq!(texts, ["1", "2"]);
+    }
+
+    #[test]
+    fn has_child_marker_semantics() {
+        let e = sample();
+        assert!(e.has_child("swap_after_unroll"));
+        assert!(!e.has_child("swap_before_unroll"));
+    }
+
+    #[test]
+    fn child_i64_parses_numbers() {
+        let e = sample();
+        assert_eq!(e.child_i64("max"), Some(8));
+        assert_eq!(e.child_i64("swap_after_unroll"), None);
+    }
+
+    #[test]
+    fn text_trims_whitespace() {
+        let e = Element::with_text("x", "  16 \n");
+        assert_eq!(e.text(), Some("16"));
+    }
+
+    #[test]
+    fn text_none_for_empty() {
+        assert_eq!(Element::new("x").text(), None);
+        assert_eq!(Element::with_text("x", "   ").text(), None);
+    }
+
+    #[test]
+    fn subtree_len_counts_elements() {
+        assert_eq!(sample().subtree_len(), 5);
+        assert_eq!(Element::new("leaf").subtree_len(), 1);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::Text("hi".into());
+        assert_eq!(n.as_text(), Some("hi"));
+        assert!(n.as_element().is_none());
+        let n = Node::Element(Element::new("e"));
+        assert!(n.as_text().is_none());
+        assert_eq!(n.as_element().unwrap().name, "e");
+    }
+}

@@ -1,0 +1,496 @@
+//! Recursive-descent parser for the supported XML subset.
+//!
+//! The parser operates on bytes (names and entities in the MicroCreator
+//! schema are ASCII) but preserves arbitrary UTF-8 inside text and attribute
+//! values untouched.
+
+use crate::error::{XmlError, XmlResult};
+use crate::node::{Element, Node};
+
+/// Parses a complete XML document and returns the root element.
+///
+/// Leading XML declaration, comments and processing instructions around the
+/// root are accepted and skipped. Trailing non-whitespace content after the
+/// root element is an error.
+pub fn parse_document(input: &str) -> XmlResult<Element> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.error("content after document root"));
+    }
+    Ok(root)
+}
+
+/// Maximum element nesting depth — bounds the recursive parser's stack.
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0, depth: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XmlResult<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{s}`")))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError::new(line, col, message)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips the XML declaration, comments, PIs and whitespace before the
+    /// root element.
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            self.skip_pi()?;
+        }
+        self.skip_misc()
+    }
+
+    /// Skips whitespace, comments and processing instructions.
+    fn skip_misc(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!") {
+                return Err(self.error("DTD / CDATA markup is not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> XmlResult<()> {
+        debug_assert!(self.starts_with("<!--"));
+        self.pos += 4;
+        while !self.at_end() {
+            if self.eat("-->") {
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated comment"))
+    }
+
+    fn skip_pi(&mut self) -> XmlResult<()> {
+        debug_assert!(self.starts_with("<?"));
+        self.pos += 2;
+        while !self.at_end() {
+            if self.eat("?>") {
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated processing instruction"))
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn parse_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => self.pos += 1,
+            _ => return Err(self.error("expected a name")),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.pos += 1;
+        }
+        // Names are validated byte-wise; the slice boundaries are ASCII so
+        // the conversion cannot fail for valid UTF-8 input.
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("name is not valid UTF-8"))?
+            .to_owned())
+    }
+
+    fn parse_element(&mut self) -> XmlResult<Element> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(format!("element nesting exceeds {MAX_DEPTH} levels")));
+        }
+        let element = self.parse_element_inner();
+        self.depth -= 1;
+        element
+    }
+
+    fn parse_element_inner(&mut self) -> XmlResult<Element> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.parse_content(&mut element)?;
+                    return Ok(element);
+                }
+                Some(b) if Self::is_name_start(b) => {
+                    let (k, v) = self.parse_attribute()?;
+                    if element.attribute(&k).is_some() {
+                        return Err(self.error(format!("duplicate attribute `{k}`")));
+                    }
+                    element.attributes.push((k, v));
+                }
+                _ => return Err(self.error("expected attribute, `>` or `/>`")),
+            }
+        }
+    }
+
+    fn parse_attribute(&mut self) -> XmlResult<(String, String)> {
+        let name = self.parse_name()?;
+        self.skip_whitespace();
+        self.expect("=")?;
+        self.skip_whitespace();
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("expected quoted attribute value")),
+        };
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = &self.bytes[start..self.pos];
+                self.pos += 1;
+                let raw = std::str::from_utf8(raw)
+                    .map_err(|_| self.error("attribute value is not valid UTF-8"))?;
+                if raw.contains('<') {
+                    return Err(self.error("`<` is not allowed in attribute values"));
+                }
+                let value = self.decode_entities(raw)?;
+                return Ok((name, value));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated attribute value"))
+    }
+
+    fn parse_content(&mut self, element: &mut Element) -> XmlResult<()> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error(format!("unclosed element `{}`", element.name))),
+                Some(b'<') => {
+                    Self::flush_text(&mut text, element);
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        if close != element.name {
+                            return Err(self.error(format!(
+                                "mismatched closing tag: expected `</{}>`, found `</{close}>`",
+                                element.name
+                            )));
+                        }
+                        self.skip_whitespace();
+                        self.expect(">")?;
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        self.skip_comment()?;
+                    } else if self.starts_with("<?") {
+                        self.skip_pi()?;
+                    } else if self.starts_with("<!") {
+                        return Err(self.error("DTD / CDATA markup is not supported"));
+                    } else {
+                        let child = self.parse_element()?;
+                        element.children.push(Node::Element(child));
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'<') {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("text is not valid UTF-8"))?;
+                    text.push_str(&self.decode_entities(raw)?);
+                }
+            }
+        }
+    }
+
+    fn flush_text(text: &mut String, element: &mut Element) {
+        if !text.is_empty() {
+            // Whitespace-only runs between elements are formatting noise;
+            // keep anything with visible characters verbatim.
+            if !text.trim().is_empty() {
+                element.children.push(Node::Text(std::mem::take(text)));
+            } else {
+                text.clear();
+            }
+        }
+    }
+
+    /// Expands the predefined entities and numeric character references.
+    fn decode_entities(&self, raw: &str) -> XmlResult<String> {
+        if !raw.contains('&') {
+            return Ok(raw.to_owned());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            let after = &rest[amp + 1..];
+            let semi = after
+                .find(';')
+                .ok_or_else(|| self.error("unterminated entity reference"))?;
+            let entity = &after[..semi];
+            match entity {
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "amp" => out.push('&'),
+                "apos" => out.push('\''),
+                "quot" => out.push('"'),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    let code = u32::from_str_radix(&entity[2..], 16)
+                        .map_err(|_| self.error("invalid hex character reference"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.error("character reference out of range"))?,
+                    );
+                }
+                _ if entity.starts_with('#') => {
+                    let code: u32 = entity[1..]
+                        .parse()
+                        .map_err(|_| self.error("invalid decimal character reference"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.error("character reference out of range"))?,
+                    );
+                }
+                other => {
+                    return Err(self.error(format!("unknown entity `&{other};`")));
+                }
+            }
+            rest = &after[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_element() {
+        let e = parse_document("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn parses_nested_structure() {
+        let e = parse_document("<a><b><c>x</c></b><b/></a>").unwrap();
+        assert_eq!(e.elements().count(), 2);
+        assert_eq!(e.find("b").unwrap().find("c").unwrap().text(), Some("x"));
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let e = parse_document(r#"<a x="1" y='two &amp; three'/>"#).unwrap();
+        assert_eq!(e.attribute("x"), Some("1"));
+        assert_eq!(e.attribute("y"), Some("two & three"));
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let err = parse_document(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn skips_declaration_and_comments() {
+        let doc = "<?xml version=\"1.0\"?>\n<!-- hi -->\n<a><!-- inner -->x</a>\n<!-- bye -->";
+        let e = parse_document(doc).unwrap();
+        assert_eq!(e.text(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("after document root"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_close() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unclosed_element() {
+        let err = parse_document("<a><b>").unwrap_err();
+        assert!(err.message.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn decodes_entities_in_text() {
+        let e = parse_document("<a>&lt;p&gt; &#65;&#x42; &quot;q&quot; &apos;s&apos;</a>").unwrap();
+        assert_eq!(e.text(), Some("<p> AB \"q\" 's'"));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = parse_document("<a>&nbsp;</a>").unwrap_err();
+        assert!(err.message.contains("unknown entity"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_entity() {
+        let err = parse_document("<a>&lt</a>").unwrap_err();
+        assert!(err.message.contains("unterminated entity"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dtd() {
+        let err = parse_document("<!DOCTYPE a><a/>").unwrap_err();
+        assert!(err.message.contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let e = parse_document("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+    }
+
+    #[test]
+    fn mixed_text_is_preserved() {
+        let e = parse_document("<a>x<b/>y</a>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(e.children[0].as_text(), Some("x"));
+        assert_eq!(e.children[2].as_text(), Some("y"));
+    }
+
+    #[test]
+    fn error_position_is_one_based() {
+        let err = parse_document("<a>\n<&/></a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column >= 1);
+    }
+
+    #[test]
+    fn parses_figure6_fragment() {
+        // Verbatim fragment of the paper's Figure 6 (wrapped in a root).
+        let doc = r#"
+<kernel>
+  <instruction>
+    <operation>movaps</operation>
+    <memory>
+      <register> <name>r1</name> </register>
+      <offset>0</offset>
+    </memory>
+    <register>
+      <phyName>%xmm</phyName>
+      <min>0</min>
+      <max>8</max>
+    </register>
+    <swap_after_unroll/>
+  </instruction>
+  <unrolling>
+    <min>1</min>
+    <max>8</max>
+  </unrolling>
+  <branch_information>
+    <label>L6</label>
+    <test>jge</test>
+  </branch_information>
+</kernel>"#;
+        let e = parse_document(doc).unwrap();
+        let inst = e.find("instruction").unwrap();
+        assert_eq!(inst.child_text("operation"), Some("movaps"));
+        assert!(inst.has_child("swap_after_unroll"));
+        assert_eq!(inst.find("memory").unwrap().find("register").unwrap().child_text("name"), Some("r1"));
+        assert_eq!(e.find("unrolling").unwrap().child_i64("max"), Some(8));
+        assert_eq!(e.find("branch_information").unwrap().child_text("test"), Some("jge"));
+    }
+
+    #[test]
+    fn negative_numbers_parse_via_child_i64() {
+        let e = parse_document("<i><increment>-1</increment></i>").unwrap();
+        assert_eq!(e.child_i64("increment"), Some(-1));
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        let deep = "<a>".repeat(100_000) + &"</a>".repeat(100_000);
+        let err = parse_document(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Reasonable depths still parse.
+        let ok = "<a>".repeat(200) + &"</a>".repeat(200);
+        parse_document(&ok).unwrap();
+    }
+
+    #[test]
+    fn utf8_text_roundtrips() {
+        let e = parse_document("<a>héllo — ∞</a>").unwrap();
+        assert_eq!(e.text(), Some("héllo — ∞"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Serialization of [`Element`] trees back to XML text.
+
+use crate::node::{Element, Node};
+
+/// Escapes character data for use inside element content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes `root` as a full document: XML declaration plus the
+/// pretty-printed tree (4-space indentation, one element per line; elements
+/// whose only content is text stay on a single line, matching the layout of
+/// the paper's Figure 6).
+pub fn write_document(root: &Element) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n");
+    write_element(root, 0, &mut out);
+    out
+}
+
+fn write_element(e: &Element, depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    let only_text = e.children.iter().all(|c| matches!(c, Node::Text(_)));
+    if only_text {
+        out.push('>');
+        for c in &e.children {
+            if let Node::Text(t) = c {
+                out.push_str(&escape_text(t));
+            }
+        }
+        out.push_str("</");
+        out.push_str(&e.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for c in &e.children {
+        match c {
+            Node::Element(child) => write_element(child, depth + 1, out),
+            Node::Text(t) => {
+                out.push_str(&"    ".repeat(depth + 1));
+                out.push_str(&escape_text(t));
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn escape_text_covers_specials() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+
+    #[test]
+    fn escape_attr_covers_quote() {
+        assert_eq!(escape_attr(r#"a"b"#), "a&quot;b");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let doc = write_document(&Element::new("swap_after_unroll"));
+        assert!(doc.contains("<swap_after_unroll/>"), "{doc}");
+    }
+
+    #[test]
+    fn text_leaf_stays_on_one_line() {
+        let doc = write_document(&Element::with_text("min", "1"));
+        assert!(doc.contains("<min>1</min>"), "{doc}");
+    }
+
+    #[test]
+    fn roundtrip_structure() {
+        let root = Element::new("kernel")
+            .attr("v", "1 & 2")
+            .child(
+                Element::new("instruction")
+                    .child(Element::with_text("operation", "movaps"))
+                    .child(Element::new("swap_after_unroll")),
+            )
+            .child(Element::with_text("label", "L<6>"));
+        let doc = write_document(&root);
+        let parsed = parse_document(&doc).unwrap();
+        assert_eq!(parsed, root);
+    }
+
+    #[test]
+    fn declaration_present() {
+        let doc = write_document(&Element::new("a"));
+        assert!(doc.starts_with("<?xml version=\"1.0\"?>\n"));
+    }
+
+    #[test]
+    fn indentation_is_four_spaces_per_level() {
+        let root = Element::new("a").child(Element::new("b").child(Element::new("c")));
+        let doc = write_document(&root);
+        assert!(doc.contains("\n    <b>"), "{doc}");
+        assert!(doc.contains("\n        <c/>"), "{doc}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: arbitrary element trees survive a write→parse round trip.
+
+use mc_xmlite::{Element, Node};
+use proptest::prelude::*;
+
+/// Strategy for XML names (ASCII subset used by the MicroCreator schema).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}".prop_map(|s| s)
+}
+
+/// Text without leading/trailing whitespace (the pretty-printer normalizes
+/// surrounding whitespace, so only inner-trimmed text round-trips exactly).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&'\" %/=-]{1,24}".prop_map(|s| s.trim().to_owned()).prop_filter(
+        "non-empty after trim",
+        |s| !s.is_empty(),
+    )
+}
+
+fn attr_strategy() -> impl Strategy<Value = (String, String)> {
+    (name_strategy(), "[a-zA-Z0-9<>&'\" -]{0,16}")
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), prop::collection::vec(attr_strategy(), 0..3), prop::option::of(text_strategy()))
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                if e.attribute(&k).is_none() {
+                    e.attributes.push((k, v));
+                }
+            }
+            if let Some(t) = text {
+                e.children.push(Node::Text(t));
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 0..4)).prop_map(|(name, kids)| {
+            let mut e = Element::new(name);
+            for k in kids {
+                e.children.push(Node::Element(k));
+            }
+            e
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn write_then_parse_is_identity(root in element_strategy()) {
+        let doc = root.to_document_string();
+        let parsed = Element::parse(&doc).unwrap();
+        prop_assert_eq!(parsed, root);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(s in "\\PC{0,256}") {
+        let _ = Element::parse(&s);
+    }
+
+    #[test]
+    fn subtree_len_is_positive_and_bounded(root in element_strategy()) {
+        let n = root.subtree_len();
+        prop_assert!(n >= 1);
+        // Every element contributes at least its own tag to the output.
+        let doc = root.to_document_string();
+        prop_assert!(doc.matches('<').count() >= n);
+    }
+}

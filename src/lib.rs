@@ -1,0 +1,69 @@
+//! # MicroTools
+//!
+//! A Rust reproduction of **"MicroTools: Automating Program Generation and
+//! Performance Measurement"** (Beyler et al., ICPP 2012): the
+//! **MicroCreator** benchmark generator and the **MicroLauncher**
+//! controlled execution harness, together with the substrates this
+//! reproduction had to build — an x86-64 instruction model, a simulated
+//! micro-architecture standing in for the paper's three Intel testbeds, an
+//! OpenMP-style team runtime, and the reporting/shape-check toolkit.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use microtools::prelude::*;
+//!
+//! // 1. Describe a kernel (or parse the paper's Figure 6 XML).
+//! let kernel = figure6();
+//!
+//! // 2. MicroCreator expands it into benchmark program variants.
+//! let generated = MicroCreator::new().generate(&kernel).unwrap();
+//! assert_eq!(generated.programs.len(), 510); // the paper's count
+//!
+//! // 3. MicroLauncher measures a variant in a controlled environment.
+//! let launcher = MicroLauncher::with_defaults();
+//! let report = launcher
+//!     .run(&KernelInput::program(generated.programs[0].clone()))
+//!     .unwrap();
+//! assert!(report.cycles_per_iteration > 0.0);
+//! assert!(report.verify.unwrap().passed);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`xmlite`] | `mc-xmlite` | minimal XML parser/writer |
+//! | [`asm`] | `mc-asm` | x86-64 subset: registers, mnemonics, AT&T text |
+//! | [`kernel`] | `mc-kernel` | kernel descriptions (Figure 6 schema) and programs |
+//! | [`creator`] | `mc-creator` | the 19-pass generator with plugins |
+//! | [`simarch`] | `mc-simarch` | the simulated machines + interpreter |
+//! | [`ompsim`] | `mc-ompsim` | OpenMP-style team runtime + cost model |
+//! | [`launcher`] | `mc-launcher` | the measurement harness |
+//! | [`report`] | `mc-report` | stats, CSV, charts, shape checks |
+
+pub use mc_asm as asm;
+pub use mc_creator as creator;
+pub use mc_kernel as kernel;
+pub use mc_launcher as launcher;
+pub use mc_ompsim as ompsim;
+pub use mc_report as report;
+pub use mc_simarch as simarch;
+pub use mc_xmlite as xmlite;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use mc_asm::inst::Mnemonic;
+    pub use mc_creator::{CreatorConfig, MicroCreator, PassManager, Plugin};
+    pub use mc_kernel::builder::{
+        figure6, load_stream, matmul_inner, multi_array_traversal, stencil_1d, strided_stream,
+        KernelBuilder,
+    };
+    pub use mc_kernel::{KernelDesc, Program};
+    pub use mc_launcher::{
+        Aggregation, KernelInput, LauncherOptions, MachinePreset, MicroLauncher, Mode, NativeKernel,
+    };
+    pub use mc_report::series::{render_chart, Scale, Series};
+    pub use mc_simarch::config::{Level, MachineConfig};
+    pub use mc_simarch::exec::{estimate, ExecEnv, Workload};
+}

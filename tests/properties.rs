@@ -1,0 +1,149 @@
+//! Cross-crate property tests: invariants that must hold for *arbitrary*
+//! kernel descriptions, not just the paper's.
+
+use microtools::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy over small but diverse kernel descriptions.
+fn kernel_strategy() -> impl Strategy<Value = KernelDesc> {
+    let mnemonic = prop::sample::select(vec![
+        Mnemonic::Movss,
+        Mnemonic::Movsd,
+        Mnemonic::Movaps,
+        Mnemonic::Movapd,
+        Mnemonic::Movups,
+    ]);
+    (
+        prop::collection::vec((mnemonic, any::<bool>()), 1..4),
+        1u32..5,
+        1u32..6,
+    )
+        .prop_filter_map(
+            "bounded cartesian expansion",
+            |(instructions, unroll_min, unroll_span)| {
+                let unroll_max = unroll_min + unroll_span - 1;
+                let marked = instructions.iter().filter(|(_, swap)| *swap).count() as u32;
+                // Keep the swap expansion within the generator's safety cap:
+                // the largest kernel yields Σ 2^(u×marked) programs.
+                if unroll_max * marked > 12 {
+                    return None;
+                }
+                let mut builder = KernelBuilder::new("prop");
+                for (i, (m, swap)) in instructions.iter().enumerate() {
+                    builder = builder.stream_instruction(*m, &format!("r{}", i + 1), *swap);
+                }
+                Some(
+                    builder
+                        .unroll(unroll_min, unroll_max)
+                        .counted_by("r1")
+                        .build()
+                        .expect("builder kernels are valid"),
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation must succeed, stay deterministic, produce unique names,
+    /// and every program must parse back from its own assembly text.
+    #[test]
+    fn generation_invariants(desc in kernel_strategy()) {
+        let creator = MicroCreator::new();
+        let a = creator.generate(&desc).unwrap();
+        let b = creator.generate(&desc).unwrap();
+        prop_assert_eq!(a.programs.len(), b.programs.len());
+        prop_assert!(!a.programs.is_empty());
+
+        let mut names: Vec<&str> = a.programs.iter().map(|p| p.name.as_str()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), total, "duplicate program names");
+
+        for (pa, pb) in a.programs.iter().zip(&b.programs) {
+            prop_assert_eq!(pa.to_asm_string(), pb.to_asm_string());
+        }
+        for p in a.programs.iter().take(8) {
+            let text = p.to_asm_string();
+            let reparsed = Program::from_asm_text(&p.name, &text).unwrap();
+            prop_assert_eq!(reparsed.to_asm_string(), text);
+        }
+    }
+
+    /// The variant count follows the combinatorics: per unroll factor u,
+    /// 2^(marked copies) direction patterns.
+    #[test]
+    fn variant_counts_match_combinatorics(desc in kernel_strategy()) {
+        let generated = MicroCreator::new().generate(&desc).unwrap();
+        let marked_per_copy =
+            desc.instructions.iter().filter(|i| i.swap_after_unroll).count() as u32;
+        let expected: u64 = desc
+            .unrolling
+            .factors()
+            .map(|u| 1u64 << (u * marked_per_copy).min(62))
+            .sum();
+        prop_assert_eq!(generated.programs.len() as u64, expected);
+    }
+
+    /// Every generated variant terminates in the interpreter with the
+    /// right iteration count and a footprint consistent with its streams.
+    #[test]
+    fn interpreter_agreement(desc in kernel_strategy()) {
+        let generated = MicroCreator::new().generate(&desc).unwrap();
+        let mut opts = LauncherOptions::default();
+        opts.repetitions = 1;
+        opts.meta_repetitions = 1;
+        let launcher = MicroLauncher::new(opts);
+        let step = (generated.programs.len() / 6).max(1);
+        for p in generated.programs.iter().step_by(step) {
+            let report = launcher.run(&KernelInput::program(p.clone())).unwrap();
+            let v = report.verify.clone().unwrap();
+            prop_assert!(v.passed, "{}: {}", p.name, v.detail);
+        }
+    }
+
+    /// Timing estimates are positive, finite, and monotone in hierarchy
+    /// depth for any generated kernel.
+    #[test]
+    fn timing_monotone_in_hierarchy(desc in kernel_strategy()) {
+        let program = MicroCreator::new()
+            .generate(&desc)
+            .unwrap()
+            .programs
+            .remove(0);
+        let env = ExecEnv::single_core(MachineConfig::nehalem_x5650_dual());
+        let mut last = 0.0f64;
+        for level in Level::ALL {
+            let w = Workload::resident_at(&env.machine, level);
+            let r = estimate(&program, &w, &env);
+            prop_assert!(r.cycles_per_iteration.is_finite());
+            prop_assert!(r.cycles_per_iteration > 0.0);
+            prop_assert!(
+                r.cycles_per_iteration >= last * 0.999,
+                "{}: {} < previous {}",
+                level.name(),
+                r.cycles_per_iteration,
+                last
+            );
+            last = r.cycles_per_iteration;
+        }
+    }
+
+    /// Fork-mode cost never decreases with core count (shared bandwidth
+    /// can only contend).
+    #[test]
+    fn contention_monotone_in_cores(desc in kernel_strategy(), cores in 2u32..12) {
+        let program = MicroCreator::new()
+            .generate(&desc)
+            .unwrap()
+            .programs
+            .remove(0);
+        let machine = MachineConfig::nehalem_x5650_dual();
+        let w = Workload::resident_at(&machine, Level::Ram);
+        let single = estimate(&program, &w, &ExecEnv::single_core(machine.clone()));
+        let forked = estimate(&program, &w, &ExecEnv::forked(machine, cores));
+        prop_assert!(forked.cycles_per_iteration >= single.cycles_per_iteration * 0.999);
+    }
+}
