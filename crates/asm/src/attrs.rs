@@ -59,8 +59,12 @@ impl Mnemonic {
     pub fn mem_move(self) -> Option<MemMoveInfo> {
         use Mnemonic::*;
         Some(match self {
-            Movss => MemMoveInfo { bytes: 4, vector: false, aligned_required: false, streaming: false },
-            Movsd => MemMoveInfo { bytes: 8, vector: false, aligned_required: false, streaming: false },
+            Movss => {
+                MemMoveInfo { bytes: 4, vector: false, aligned_required: false, streaming: false }
+            }
+            Movsd => {
+                MemMoveInfo { bytes: 8, vector: false, aligned_required: false, streaming: false }
+            }
             Movaps | Movapd | Movdqa => {
                 MemMoveInfo { bytes: 16, vector: true, aligned_required: true, streaming: false }
             }
@@ -106,7 +110,15 @@ impl Mnemonic {
         use Mnemonic::*;
         matches!(
             self,
-            Movaps | Movapd | Movups | Movupd | Movdqa | Movdqu | Movntps | Movntpd | Addps
+            Movaps
+                | Movapd
+                | Movups
+                | Movupd
+                | Movdqa
+                | Movdqu
+                | Movntps
+                | Movntpd
+                | Addps
                 | Addpd
                 | Subps
                 | Subpd
@@ -306,7 +318,11 @@ mod tests {
             Operand::Reg(Reg::xmm(1))
         )
         .is_pure_move());
-        assert!(!Inst::binary(Mnemonic::Addsd, Operand::Reg(Reg::xmm(0)), Operand::Reg(Reg::xmm(1)))
-            .is_pure_move());
+        assert!(!Inst::binary(
+            Mnemonic::Addsd,
+            Operand::Reg(Reg::xmm(0)),
+            Operand::Reg(Reg::xmm(1))
+        )
+        .is_pure_move());
     }
 }

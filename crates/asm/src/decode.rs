@@ -74,10 +74,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or_else(|| self.err("truncated instruction"))?;
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("truncated instruction"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -269,21 +266,26 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
                 let (reg, rm) = decode_modrm(&mut c, &p)?;
                 return done(
                     &c,
-                    Inst::binary(Mnemonic::Imul(w), rm_to_operand(rm, false, w), gpr_operand(reg, w)),
+                    Inst::binary(
+                        Mnemonic::Imul(w),
+                        rm_to_operand(rm, false, w),
+                        gpr_operand(reg, w),
+                    ),
                 );
             }
             // SSE opcodes.
-            let sse_w = |mnemonic: Mnemonic, c: &mut Cursor, load: bool| -> Result<Decoded, DecodeError> {
-                let (reg, rm) = decode_modrm(c, &p)?;
-                let xmm = Operand::Reg(Reg::Xmm(reg));
-                let other = rm_to_operand(rm, true, w);
-                let inst = if load {
-                    Inst::binary(mnemonic, other, xmm)
-                } else {
-                    Inst::binary(mnemonic, xmm, other)
+            let sse_w =
+                |mnemonic: Mnemonic, c: &mut Cursor, load: bool| -> Result<Decoded, DecodeError> {
+                    let (reg, rm) = decode_modrm(c, &p)?;
+                    let xmm = Operand::Reg(Reg::Xmm(reg));
+                    let other = rm_to_operand(rm, true, w);
+                    let inst = if load {
+                        Inst::binary(mnemonic, other, xmm)
+                    } else {
+                        Inst::binary(mnemonic, xmm, other)
+                    };
+                    Ok(Decoded { inst, len: c.pos - offset, branch_target: None })
                 };
-                Ok(Decoded { inst, len: c.pos - offset, branch_target: None })
-            };
             let (mnemonic, load): (Mnemonic, bool) = match (op2, p.sse, p.p66) {
                 (0x10, Some(0xF3), _) => (Mnemonic::Movss, true),
                 (0x11, Some(0xF3), _) => (Mnemonic::Movss, false),
@@ -330,8 +332,7 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
         }
         // Short conditional branches.
         b if (0x70..=0x7F).contains(&b) => {
-            let cond =
-                cond_from_number(b - 0x70).ok_or_else(|| c.err(format!("cond {b:#x}")))?;
+            let cond = cond_from_number(b - 0x70).ok_or_else(|| c.err(format!("cond {b:#x}")))?;
             let rel = i64::from(c.i8()?);
             let target = (c.pos as i64) + rel;
             return Ok(Decoded {
@@ -384,7 +385,11 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
                 let (reg, rm) = decode_modrm(&mut c, &p)?;
                 return done(
                     &c,
-                    Inst::binary(m_b, gpr_operand(reg, Width::B), rm_to_operand(rm, false, Width::B)),
+                    Inst::binary(
+                        m_b,
+                        gpr_operand(reg, Width::B),
+                        rm_to_operand(rm, false, Width::B),
+                    ),
                 );
             }
             b if b == base + 1 => {
@@ -398,7 +403,11 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
                 let (reg, rm) = decode_modrm(&mut c, &p)?;
                 return done(
                     &c,
-                    Inst::binary(m_b, rm_to_operand(rm, false, Width::B), gpr_operand(reg, Width::B)),
+                    Inst::binary(
+                        m_b,
+                        rm_to_operand(rm, false, Width::B),
+                        gpr_operand(reg, Width::B),
+                    ),
                 );
             }
             b if b == base + 3 => {
@@ -426,8 +435,8 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
         0x80 | 0x81 | 0x83 => {
             let width = if opcode == 0x80 { Width::B } else { w };
             let (digit, rm) = decode_modrm(&mut c, &p)?;
-            let mnemonic = alu_mnemonic(digit, width)
-                .ok_or_else(|| c.err(format!("group1 /{digit}")))?;
+            let mnemonic =
+                alu_mnemonic(digit, width).ok_or_else(|| c.err(format!("group1 /{digit}")))?;
             let v = match opcode {
                 0x80 | 0x83 => i64::from(c.i8()?),
                 _ if p.p66 => i64::from(c.i16()?),
@@ -493,7 +502,11 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
             let v = i64::from(c.i8()?);
             done(
                 &c,
-                Inst::binary(Mnemonic::Mov(Width::B), Operand::Imm(v), gpr_operand((b - 0xB0) | p.b(), Width::B)),
+                Inst::binary(
+                    Mnemonic::Mov(Width::B),
+                    Operand::Imm(v),
+                    gpr_operand((b - 0xB0) | p.b(), Width::B),
+                ),
             )
         }
         b if (0xB8..=0xBF).contains(&b) => {
@@ -501,7 +514,11 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
             let width = if p.p66 { Width::W } else { Width::L };
             done(
                 &c,
-                Inst::binary(Mnemonic::Mov(width), Operand::Imm(v), gpr_operand((b - 0xB8) | p.b(), width)),
+                Inst::binary(
+                    Mnemonic::Mov(width),
+                    Operand::Imm(v),
+                    gpr_operand((b - 0xB8) | p.b(), width),
+                ),
             )
         }
         0xC6 | 0xC7 => {
@@ -515,7 +532,14 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
                 Width::W => i64::from(c.i16()?),
                 _ => i64::from(c.i32()?),
             };
-            done(&c, Inst::binary(Mnemonic::Mov(width), Operand::Imm(v), rm_to_operand(rm, false, width)))
+            done(
+                &c,
+                Inst::binary(
+                    Mnemonic::Mov(width),
+                    Operand::Imm(v),
+                    rm_to_operand(rm, false, width),
+                ),
+            )
         }
         // inc/dec.
         0xFE | 0xFF => {
@@ -553,10 +577,16 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Decoded, Decode
                     };
                     done(
                         &c,
-                        Inst::binary(Mnemonic::Test(width), Operand::Imm(v), rm_to_operand(rm, false, width)),
+                        Inst::binary(
+                            Mnemonic::Test(width),
+                            Operand::Imm(v),
+                            rm_to_operand(rm, false, width),
+                        ),
                     )
                 }
-                3 => done(&c, Inst::new(Mnemonic::Neg(width), vec![rm_to_operand(rm, false, width)])),
+                3 => {
+                    done(&c, Inst::new(Mnemonic::Neg(width), vec![rm_to_operand(rm, false, width)]))
+                }
                 d => Err(c.err(format!("F6/F7 /{d}"))),
             }
         }
@@ -576,10 +606,7 @@ pub fn decode_listing(bytes: &[u8]) -> Result<Vec<AsmLine>, DecodeError> {
         offset += len;
     }
     // Collect branch targets and assign labels in offset order.
-    let mut targets: Vec<i64> = decoded
-        .iter()
-        .filter_map(|(_, d)| d.branch_target)
-        .collect();
+    let mut targets: Vec<i64> = decoded.iter().filter_map(|(_, d)| d.branch_target).collect();
     targets.sort_unstable();
     targets.dedup();
     let label_of = |t: i64| -> String {
@@ -613,8 +640,8 @@ mod tests {
     fn roundtrip(text: &str) {
         let inst = parse_instruction(text).unwrap();
         let bytes = encode_instruction(&inst).unwrap();
-        let decoded = decode_instruction(&bytes, 0)
-            .unwrap_or_else(|e| panic!("{text} [{bytes:02x?}]: {e}"));
+        let decoded =
+            decode_instruction(&bytes, 0).unwrap_or_else(|e| panic!("{text} [{bytes:02x?}]: {e}"));
         assert_eq!(decoded.len, bytes.len(), "{text}");
         assert_eq!(decoded.inst.to_string(), text, "bytes {bytes:02x?}");
     }

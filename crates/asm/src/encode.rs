@@ -98,7 +98,13 @@ struct Asm {
 
 impl Asm {
     fn new() -> Self {
-        Asm { bytes: Vec::with_capacity(8), rex: 0x40, rex_needed: false, prefix66: false, sse_prefix: None }
+        Asm {
+            bytes: Vec::with_capacity(8),
+            rex: 0x40,
+            rex_needed: false,
+            prefix66: false,
+            sse_prefix: None,
+        }
     }
 
     fn rex_w(&mut self) {
@@ -357,9 +363,7 @@ pub fn encode_instruction(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
         asm.sse_prefix = None;
         let (xmm, rm_operand, opcode) = match (&inst.operands[0], &inst.operands[1]) {
             // load: xmm ← r/m
-            (src, Operand::Reg(Reg::Xmm(x))) => {
-                (*x, src.clone(), load_op.ok_or_else(unsupported)?)
-            }
+            (src, Operand::Reg(Reg::Xmm(x))) => (*x, src.clone(), load_op.ok_or_else(unsupported)?),
             // store: r/m ← xmm
             (Operand::Reg(Reg::Xmm(x)), dst) => {
                 (*x, dst.clone(), store_op.ok_or_else(unsupported)?)
@@ -487,9 +491,10 @@ pub fn encode_instruction(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
                         asm.imm32(v32);
                     } else if byte_form {
                         asm.opcode(&[0xB0 + (gpr_number(dst.name) & 7)]);
-                        asm.imm8(i8::try_from(*v).map_err(|_| {
-                            EncodeError::ImmediateRange(inst.to_string())
-                        })?);
+                        asm.imm8(
+                            i8::try_from(*v)
+                                .map_err(|_| EncodeError::ImmediateRange(inst.to_string()))?,
+                        );
                     } else {
                         // B8+r io — GNU as's pick for 16/32-bit mov imm.
                         asm.opcode(&[0xB8 + (gpr_number(dst.name) & 7)]);
@@ -672,19 +677,12 @@ fn encode_alu_imm(
         if g.name == GprName::Rax {
             if byte_form {
                 asm.opcode(&[digit * 8 + 4]);
-                asm.imm8(
-                    i8::try_from(v)
-                        .map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?,
-                );
+                asm.imm8(i8::try_from(v).map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?);
                 return Ok(());
             }
             if i8::try_from(v).is_err() {
                 asm.opcode(&[digit * 8 + 5]);
-                emit_imm_for_width(
-                    asm,
-                    v,
-                    if asm.prefix66 { Width::W } else { Width::L },
-                )?;
+                emit_imm_for_width(asm, v, if asm.prefix66 { Width::W } else { Width::L })?;
                 return Ok(());
             }
         }
@@ -700,8 +698,7 @@ fn encode_alu_imm(
         emit_rm(asm, digit, &rm)?;
         asm.imm8(v8);
     } else {
-        let v32: i32 =
-            v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
+        let v32: i32 = v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
         asm.opcode(&[0x81]);
         emit_rm(asm, digit, &rm)?;
         asm.imm32(v32);
@@ -711,17 +708,15 @@ fn encode_alu_imm(
 
 fn emit_imm_for_width(asm: &mut Asm, v: i64, w: Width) -> Result<(), EncodeError> {
     match w {
-        Width::B => asm.imm8(
-            i8::try_from(v).map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?,
-        ),
+        Width::B => {
+            asm.imm8(i8::try_from(v).map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?)
+        }
         Width::W => {
-            let v16: i16 =
-                v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
+            let v16: i16 = v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
             asm.bytes.extend_from_slice(&v16.to_le_bytes());
         }
         Width::L | Width::Q => {
-            let v32: i32 =
-                v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
+            let v32: i32 = v.try_into().map_err(|_| EncodeError::ImmediateRange(format!("{v}")))?;
             asm.imm32(v32);
         }
     }

@@ -93,11 +93,7 @@ mod tests {
                 "mulsd (%r8), %xmm0",
             ),
             (
-                Inst::binary(
-                    Mnemonic::Addsd,
-                    Operand::Reg(Reg::xmm(0)),
-                    Operand::Reg(Reg::xmm(1)),
-                ),
+                Inst::binary(Mnemonic::Addsd, Operand::Reg(Reg::xmm(0)), Operand::Reg(Reg::xmm(1))),
                 "addsd %xmm0, %xmm1",
             ),
             (Inst::branch(Mnemonic::Jcc(Cond::G), ".L3"), "jg .L3"),
@@ -131,8 +127,16 @@ mod tests {
                 Operand::Mem(MemRef::base_disp(rsi, 32)),
             )),
             AsmLine::Comment("Induction variables".into()),
-            AsmLine::Inst(Inst::binary(Mnemonic::Add(Width::Q), Operand::Imm(48), Operand::Reg(rsi))),
-            AsmLine::Inst(Inst::binary(Mnemonic::Sub(Width::Q), Operand::Imm(12), Operand::Reg(rdi))),
+            AsmLine::Inst(Inst::binary(
+                Mnemonic::Add(Width::Q),
+                Operand::Imm(48),
+                Operand::Reg(rsi),
+            )),
+            AsmLine::Inst(Inst::binary(
+                Mnemonic::Sub(Width::Q),
+                Operand::Imm(12),
+                Operand::Reg(rdi),
+            )),
             AsmLine::Inst(Inst::branch(Mnemonic::Jcc(Cond::Ge), ".L6")),
         ];
         let text = write_lines(&lines);

@@ -477,7 +477,9 @@ impl Inst {
 
     /// The memory reference this instruction *stores* to, if any.
     pub fn store_ref(&self) -> Option<&MemRef> {
-        if self.mnemonic.is_branch() || matches!(self.mnemonic, Mnemonic::Cmp(_) | Mnemonic::Test(_)) {
+        if self.mnemonic.is_branch()
+            || matches!(self.mnemonic, Mnemonic::Cmp(_) | Mnemonic::Test(_))
+        {
             return None;
         }
         self.dst().and_then(Operand::as_mem)
@@ -489,7 +491,8 @@ impl Inst {
         use Mnemonic::*;
         !matches!(
             self.mnemonic,
-            Mov(_) | Lea(_)
+            Mov(_)
+                | Lea(_)
                 | Movss
                 | Movsd
                 | Movaps
@@ -549,7 +552,15 @@ impl Inst {
         }
         if matches!(
             self.mnemonic,
-            Add(_) | Sub(_) | Imul(_) | And(_) | Or(_) | Xor(_) | Cmp(_) | Test(_) | Inc(_)
+            Add(_)
+                | Sub(_)
+                | Imul(_)
+                | And(_)
+                | Or(_)
+                | Xor(_)
+                | Cmp(_)
+                | Test(_)
+                | Inc(_)
                 | Dec(_)
                 | Shl(_)
                 | Shr(_)
@@ -754,7 +765,11 @@ mod tests {
 
     #[test]
     fn cmp_writes_flags_not_operand() {
-        let i = Inst::binary(Mnemonic::Cmp(Width::L), Operand::Reg(Reg::gpr32(GprName::Rax)), Operand::Reg(Reg::gpr32(GprName::Rdi)));
+        let i = Inst::binary(
+            Mnemonic::Cmp(Width::L),
+            Operand::Reg(Reg::gpr32(GprName::Rax)),
+            Operand::Reg(Reg::gpr32(GprName::Rdi)),
+        );
         assert_eq!(i.regs_written(), vec![ArchReg::Flags]);
         let read = i.regs_read();
         assert!(read.contains(&ArchReg::Gpr(GprName::Rax)));

@@ -67,9 +67,7 @@ pub fn parse_listing(text: &str) -> Result<Vec<AsmLine>, AsmParseError> {
 
 fn validate_label(label: &str, line: usize) -> Result<(), AsmParseError> {
     let ok = !label.is_empty()
-        && label
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '$');
+        && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '$');
     if ok {
         Ok(())
     } else {
@@ -89,8 +87,8 @@ fn parse_instruction_at(text: &str, line: usize) -> Result<Inst, AsmParseError> 
         Some(i) => (&text[..i], text[i..].trim()),
         None => (text, ""),
     };
-    let mnemonic = Mnemonic::from_name(name)
-        .ok_or_else(|| err(format!("unknown mnemonic `{name}`")))?;
+    let mnemonic =
+        Mnemonic::from_name(name).ok_or_else(|| err(format!("unknown mnemonic `{name}`")))?;
     let mut operands = Vec::new();
     if !rest.is_empty() {
         for part in split_operands(rest) {

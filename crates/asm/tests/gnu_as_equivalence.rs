@@ -21,12 +21,8 @@ fn gnu_assemble(text: &str) -> Result<Vec<u8>, String> {
     let obj = dir.join("t.o");
     let bin = dir.join("t.bin");
     std::fs::write(&src, text).map_err(|e| e.to_string())?;
-    let out = Command::new("as")
-        .arg("-o")
-        .arg(&obj)
-        .arg(&src)
-        .output()
-        .map_err(|e| e.to_string())?;
+    let out =
+        Command::new("as").arg("-o").arg(&obj).arg(&src).output().map_err(|e| e.to_string())?;
     if !out.status.success() {
         return Err(format!("as failed: {}", String::from_utf8_lossy(&out.stderr)));
     }
@@ -63,36 +59,85 @@ fn hexdump(bytes: &[u8]) -> String {
 /// the encoder supports.
 fn corpus() -> Vec<String> {
     let mut cases: Vec<String> = vec![
-        "nop", "ret",
+        "nop",
+        "ret",
         // Integer ALU, imm8/imm32, rr, rm, mr — several widths.
-        "addq $1, %rax", "addq $48, %rsi", "addq $1000, %rsi", "addq $-16, %rdx",
-        "addl $1, %eax", "addw $5, %cx", "addb $3, %al", "addb $3, %sil",
-        "subq $12, %rdi", "subl $100000, %ebx",
-        "andq $15, %r8", "orq $8, %r9", "xorq $255, %r10",
-        "cmpq $0, %r11", "cmpl %eax, %edi", "cmpq %r12, %r13",
-        "addq %rax, %rbx", "addq %rax, (%rsi)", "addq (%rsi), %rax",
-        "addq %r15, 8(%r14)", "subq (%rbx,%rcx,4), %rdx",
-        "testq %rax, %rax", "testl %edi, %edi", "testq $7, %rcx",
-        "testq $7, %rax", "testb $1, %al", "testl $66000, %eax",
-        "addl $100000, %eax", "cmpq $200, %rax", "subb $9, %al",
-        "andq $4, %rax", "orl $3, %eax",
+        "addq $1, %rax",
+        "addq $48, %rsi",
+        "addq $1000, %rsi",
+        "addq $-16, %rdx",
+        "addl $1, %eax",
+        "addw $5, %cx",
+        "addb $3, %al",
+        "addb $3, %sil",
+        "subq $12, %rdi",
+        "subl $100000, %ebx",
+        "andq $15, %r8",
+        "orq $8, %r9",
+        "xorq $255, %r10",
+        "cmpq $0, %r11",
+        "cmpl %eax, %edi",
+        "cmpq %r12, %r13",
+        "addq %rax, %rbx",
+        "addq %rax, (%rsi)",
+        "addq (%rsi), %rax",
+        "addq %r15, 8(%r14)",
+        "subq (%rbx,%rcx,4), %rdx",
+        "testq %rax, %rax",
+        "testl %edi, %edi",
+        "testq $7, %rcx",
+        "testq $7, %rax",
+        "testb $1, %al",
+        "testl $66000, %eax",
+        "addl $100000, %eax",
+        "cmpq $200, %rax",
+        "subb $9, %al",
+        "andq $4, %rax",
+        "orl $3, %eax",
         // mov family.
-        "movq %rsi, %rdi", "movl %eax, %ebx", "movw %ax, %bx", "movb %al, %bl",
-        "movq (%rsi), %rax", "movq %rax, (%rsi)", "movl 4(%rdi), %ecx",
-        "movq $7, %rax", "movq $-1, %rbx", "movl $1, %eax", "movl $100000, %edx",
-        "movb $5, %al", "movq $0, 16(%rsp)", "movl $9, (%r8)",
+        "movq %rsi, %rdi",
+        "movl %eax, %ebx",
+        "movw %ax, %bx",
+        "movb %al, %bl",
+        "movq (%rsi), %rax",
+        "movq %rax, (%rsi)",
+        "movl 4(%rdi), %ecx",
+        "movq $7, %rax",
+        "movq $-1, %rbx",
+        "movl $1, %eax",
+        "movl $100000, %edx",
+        "movb $5, %al",
+        "movq $0, 16(%rsp)",
+        "movl $9, (%r8)",
         // lea.
-        "leaq 8(%rsi,%rdi,4), %rax", "leaq (%rdx), %rbx", "leal 1(%eax... skip",
+        "leaq 8(%rsi,%rdi,4), %rax",
+        "leaq (%rdx), %rbx",
+        "leal 1(%eax... skip",
         // inc/dec/neg/shifts.
-        "incq %rax", "decq %rcx", "incl %edx", "decb %bl", "negq %rsi",
-        "shlq $4, %rax", "shrq $3, %rbx", "shlq $1, %rcx", "shrl $2, %edi",
+        "incq %rax",
+        "decq %rcx",
+        "incl %edx",
+        "decb %bl",
+        "negq %rsi",
+        "shlq $4, %rax",
+        "shrq $3, %rbx",
+        "shlq $1, %rcx",
+        "shrl $2, %edi",
         // imul.
-        "imulq %rbx, %rax", "imulq (%rsi), %rdx", "imull %ecx, %eax",
+        "imulq %rbx, %rax",
+        "imulq (%rsi), %rdx",
+        "imull %ecx, %eax",
         // rsp/rbp/r12/r13 quirks.
-        "movq (%rsp), %rax", "movq (%rbp), %rax", "movq (%r12), %rax",
-        "movq (%r13), %rax", "movq 8(%rsp), %rdx", "addq $1, (%r13)",
+        "movq (%rsp), %rax",
+        "movq (%rbp), %rax",
+        "movq (%r12), %rax",
+        "movq (%r13), %rax",
+        "movq 8(%rsp), %rdx",
+        "addq $1, (%r13)",
         // Displacement widths.
-        "movq 127(%rsi), %rax", "movq 128(%rsi), %rax", "movq -128(%rsi), %rax",
+        "movq 127(%rsi), %rax",
+        "movq 128(%rsi), %rax",
+        "movq -128(%rsi), %rax",
         "movq -129(%rsi), %rax",
     ]
     .into_iter()
@@ -119,9 +164,9 @@ fn corpus() -> Vec<String> {
     }
     // SSE arithmetic.
     for m in [
-        "addss", "addsd", "addps", "addpd", "subss", "subsd", "subps", "subpd", "mulss",
-        "mulsd", "mulps", "mulpd", "divss", "divsd", "divps", "divpd", "xorps", "xorpd",
-        "sqrtsd", "maxsd", "minsd",
+        "addss", "addsd", "addps", "addpd", "subss", "subsd", "subps", "subpd", "mulss", "mulsd",
+        "mulps", "mulpd", "divss", "divsd", "divps", "divpd", "xorps", "xorpd", "sqrtsd", "maxsd",
+        "minsd",
     ] {
         cases.push(format!("{m} %xmm0, %xmm1"));
         cases.push(format!("{m} (%rsi), %xmm2"));
@@ -143,12 +188,10 @@ fn every_supported_instruction_matches_binutils() {
     let mut ours: Vec<(String, Vec<u8>)> = Vec::with_capacity(cases.len());
     for text in &cases {
         let inst = parse_instruction(text).unwrap_or_else(|e| panic!("parse {text}: {e}"));
-        let bytes =
-            encode_instruction(&inst).unwrap_or_else(|e| panic!("encode {text}: {e}"));
+        let bytes = encode_instruction(&inst).unwrap_or_else(|e| panic!("encode {text}: {e}"));
         ours.push((text.clone(), bytes));
     }
-    let listing: String =
-        cases.iter().map(|c| format!("\t{c}\n")).collect::<String>();
+    let listing: String = cases.iter().map(|c| format!("\t{c}\n")).collect::<String>();
     let reference = gnu_assemble(&listing).expect("binutils assembles the corpus");
     let mut offset = 0usize;
     for (text, bytes) in &ours {

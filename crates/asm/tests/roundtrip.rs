@@ -27,9 +27,8 @@ fn cond_strategy() -> impl Strategy<Value = Cond> {
 }
 
 fn gpr_strategy() -> impl Strategy<Value = Reg> {
-    (0usize..16, width_strategy()).prop_map(|(i, w)| {
-        Reg::Gpr(mc_asm::reg::Gpr { name: GprName::ALL[i], width: w })
-    })
+    (0usize..16, width_strategy())
+        .prop_map(|(i, w)| Reg::Gpr(mc_asm::reg::Gpr { name: GprName::ALL[i], width: w }))
 }
 
 fn reg_strategy() -> impl Strategy<Value = Reg> {
@@ -88,13 +87,21 @@ fn operand_strategy() -> impl Strategy<Value = Operand> {
 
 fn inst_strategy() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (two_op_mnemonic(), operand_strategy(), prop_oneof![reg_strategy().prop_map(Operand::Reg), mem_strategy().prop_map(Operand::Mem)])
+        (
+            two_op_mnemonic(),
+            operand_strategy(),
+            prop_oneof![
+                reg_strategy().prop_map(Operand::Reg),
+                mem_strategy().prop_map(Operand::Mem)
+            ]
+        )
             .prop_map(|(m, s, d)| Inst::binary(m, s, d)),
         cond_strategy().prop_map(|c| Inst::branch(Mnemonic::Jcc(c), ".L6")),
         Just(Inst::branch(Mnemonic::Jmp, ".Lloop")),
         Just(Inst::nullary(Mnemonic::Ret)),
         Just(Inst::nullary(Mnemonic::Nop)),
-        (width_strategy(), gpr_strategy()).prop_map(|(w, r)| Inst::new(Mnemonic::Dec(w), vec![Operand::Reg(r)])),
+        (width_strategy(), gpr_strategy())
+            .prop_map(|(w, r)| Inst::new(Mnemonic::Dec(w), vec![Operand::Reg(r)])),
     ]
 }
 

@@ -171,10 +171,7 @@ fn ablate_aggregation(c: &mut Criterion) {
         b.iter(|| {
             let mean = measured(Aggregation::Mean);
             let min = measured(Aggregation::Min);
-            assert!(
-                mean > min,
-                "the mean sits above the min under noise: {mean} vs {min}"
-            );
+            assert!(mean > min, "the mean sits above the min under noise: {mean} vs {min}");
             assert!(mean >= truth, "noise never deflates: {mean} vs {truth}");
             black_box(mean)
         });

@@ -23,11 +23,7 @@ use mc_simarch::interp::Interpreter;
 use std::hint::black_box;
 
 fn movaps8() -> Program {
-    MicroCreator::new()
-        .generate(&load_stream(Mnemonic::Movaps, 8, 8))
-        .unwrap()
-        .programs
-        .remove(0)
+    MicroCreator::new().generate(&load_stream(Mnemonic::Movaps, 8, 8)).unwrap().programs.remove(0)
 }
 
 fn bench_simulator(c: &mut Criterion) {

@@ -11,25 +11,37 @@
 //! For each experiment the tool prints the regenerated data (terminal
 //! chart or table), the shape checks against the paper's claims as
 //! `[PASS]`/`[FAIL]` lines, and the measured-vs-paper notes that feed
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md. The shared observability flags (`--trace=PATH`,
+//! `--metrics`, `--quiet`) apply; each experiment runs under one
+//! `bench.experiment` span.
 
 use mc_bench::figures::{run_all, run_experiment, FigureResult};
 use mc_report::experiments::ExperimentId;
 use mc_report::series::render_chart;
-use mc_report::CsvWriter;
+use mc_report::{CsvWriter, RunManifest};
+use mc_tools::TraceSession;
+use mc_trace::diag;
 use std::path::Path;
 use std::process::ExitCode;
 
-/// Writes one experiment's series as `<key>.csv` (columns: series, x, y).
+/// Writes one experiment's series as `<key>.csv` (columns: series, x, y),
+/// preceded by a `# key: value` provenance header.
 fn write_csv(dir: &Path, r: &FigureResult) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
+    let mut manifest = RunManifest::new();
+    manifest.set("tool", "reproduce");
+    manifest.set("version", env!("CARGO_PKG_VERSION"));
+    manifest.set("experiment", r.id.key());
+    manifest.set("claim", r.id.paper_claim());
     let mut csv = CsvWriter::new(vec!["series", "x", "y"]);
     for s in &r.series {
         for (x, y) in &s.points {
             csv.row(&[s.label.clone(), x.to_string(), y.to_string()]);
         }
     }
-    std::fs::write(dir.join(format!("{}.csv", r.id.key())), csv.finish())
+    let mut document = manifest.render();
+    document.push_str(&csv.finish());
+    std::fs::write(dir.join(format!("{}.csv", r.id.key())), document)
 }
 
 fn print_result(r: &FigureResult, summary_only: bool) {
@@ -51,7 +63,20 @@ fn print_result(r: &FigureResult, summary_only: bool) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let session = match TraceSession::from_flags(&mut args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let code = run(args);
+    session.finish();
+    code
+}
+
+fn run(args: Vec<String>) -> ExitCode {
     let mut exp: Option<String> = None;
     let mut summary_only = false;
     let mut csv_dir: Option<String> = None;
@@ -73,7 +98,7 @@ fn main() -> ExitCode {
                 csv_dir = Some(other.trim_start_matches("--csv-dir=").to_owned());
             }
             other => {
-                eprintln!("unknown argument `{other}` (try --list, --summary, --exp <key>)");
+                diag!("unknown argument `{other}` (try --list, --summary, --exp <key>)");
                 return ExitCode::FAILURE;
             }
         }
@@ -82,13 +107,13 @@ fn main() -> ExitCode {
     let results: Vec<FigureResult> = match exp {
         Some(key) => {
             let Some(id) = ExperimentId::from_key(&key) else {
-                eprintln!("unknown experiment `{key}`; --list shows the available keys");
+                diag!("unknown experiment `{key}`; --list shows the available keys");
                 return ExitCode::FAILURE;
             };
             match run_experiment(id) {
                 Ok(r) => vec![r],
                 Err(e) => {
-                    eprintln!("experiment failed: {e}");
+                    diag!("experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -96,7 +121,7 @@ fn main() -> ExitCode {
         None => match run_all() {
             Ok(rs) => rs,
             Err(e) => {
-                eprintln!("reproduction failed: {e}");
+                diag!("reproduction failed: {e}");
                 return ExitCode::FAILURE;
             }
         },
@@ -107,17 +132,15 @@ fn main() -> ExitCode {
         if let Some(dir) = &csv_dir {
             if !r.series.is_empty() {
                 if let Err(e) = write_csv(Path::new(dir), r) {
-                    eprintln!("could not write {}.csv: {e}", r.id.key());
+                    diag!("could not write {}.csv: {e}", r.id.key());
                 }
             }
         }
     }
 
     let total: usize = results.iter().map(|r| r.outcome.checks.len()).sum();
-    let passed: usize = results
-        .iter()
-        .map(|r| r.outcome.checks.iter().filter(|c| c.passed).count())
-        .sum();
+    let passed: usize =
+        results.iter().map(|r| r.outcome.checks.iter().filter(|c| c.passed).count()).sum();
     println!("════ {passed}/{total} shape checks passed across {} experiments ════", results.len());
     if passed == total {
         ExitCode::SUCCESS

@@ -47,10 +47,16 @@ pub fn run() -> Result<FigureResult, String> {
     }
 
     let mut table = AsciiTable::new(vec!["input file", "programs", "paper"]);
-    table.row(vec!["Figure 6 (movaps, unroll 1-8, swap-after)".to_owned(),
-        single.programs.len().to_string(), "510".to_owned()]);
-    table.row(vec!["four-mnemonic variant".to_owned(), multi.programs.len().to_string(),
-        ">2000".to_owned()]);
+    table.row(vec![
+        "Figure 6 (movaps, unroll 1-8, swap-after)".to_owned(),
+        single.programs.len().to_string(),
+        "510".to_owned(),
+    ]);
+    table.row(vec![
+        "four-mnemonic variant".to_owned(),
+        multi.programs.len().to_string(),
+        ">2000".to_owned(),
+    ]);
     result.table = Some(table.render());
     result.notes.push(format!(
         "paper: 510 and >2000; measured: {} and {} (exact: Σ_{{u=1..8}} 2^u × groups)",

@@ -24,11 +24,8 @@ pub const SIZES: [u64; 12] = [50, 100, 150, 200, 300, 400, 500, 600, 700, 800, 1
 pub fn matmul_cycles(size: u64) -> Result<f64, String> {
     let desc = matmul_inner(size);
     let result = MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?;
-    let program = result
-        .programs
-        .iter()
-        .find(|p| p.meta.unroll == 1)
-        .ok_or("no unroll-1 matmul variant")?;
+    let program =
+        result.programs.iter().find(|p| p.meta.unroll == 1).ok_or("no unroll-1 matmul variant")?;
     let mut opts = quick_options();
     // Two kernel arrays stand for the three size² matrices' footprint.
     opts.vector_bytes = 3 * size * size * 8 / 2;

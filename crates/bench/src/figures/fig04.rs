@@ -23,11 +23,8 @@ pub fn run() -> Result<FigureResult, String> {
     );
     let desc = matmul_inner(200);
     let gen = MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?;
-    let program = gen
-        .programs
-        .iter()
-        .find(|p| p.meta.unroll == 1)
-        .ok_or("no unroll-1 matmul variant")?;
+    let program =
+        gen.programs.iter().find(|p| p.meta.unroll == 1).ok_or("no unroll-1 matmul variant")?;
 
     let mut opts = quick_options();
     // The 200² working set is reused across the j-loop: effectively
@@ -39,9 +36,12 @@ pub fn run() -> Result<FigureResult, String> {
     let points = alignment_sweep(&opts, program, 512, 3584)?;
     let series = alignment_series("matmul 200²", &points);
 
-    result
-        .outcome
-        .push(check_spread("alignment variation below 3% (paper: <3%)", &series, 0.0, 0.03));
+    result.outcome.push(check_spread(
+        "alignment variation below 3% (paper: <3%)",
+        &series,
+        0.0,
+        0.03,
+    ));
     result.notes.push(format!(
         "{} alignment configurations, spread {:.2}% (paper: <3%)",
         points.len(),
@@ -53,8 +53,7 @@ pub fn run() -> Result<FigureResult, String> {
 
 fn spread_pct(series: &mc_report::series::Series) -> f64 {
     let ys = series.ys();
-    let (min, max) =
-        ys.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &y| (lo.min(y), hi.max(y)));
+    let (min, max) = ys.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &y| (lo.min(y), hi.max(y)));
     (max - min) / min * 100.0
 }
 

@@ -42,7 +42,8 @@ pub fn run() -> Result<FigureResult, String> {
     ));
     // movapd must be indistinguishable ("The movapd figures are the same
     // as their movaps counterparts").
-    let apd = unroll_by_level_sweep(&opts, &load_stream(Mnemonic::Movapd, 1, 8), &Level::ALL, true)?;
+    let apd =
+        unroll_by_level_sweep(&opts, &load_stream(Mnemonic::Movapd, 1, 8), &Level::ALL, true)?;
     let identical = series
         .iter()
         .zip(&apd)

@@ -21,20 +21,20 @@ pub fn run() -> Result<FigureResult, String> {
         "Figure 12: cycles per movss load vs unroll factor and hierarchy level (X5650)",
     );
     let opts = quick_options();
-    let movss = unroll_by_level_sweep(&opts, &load_stream(Mnemonic::Movss, 1, 8), &Level::ALL, true)?;
-    let movsd = unroll_by_level_sweep(&opts, &load_stream(Mnemonic::Movsd, 1, 8), &Level::ALL, true)?;
+    let movss =
+        unroll_by_level_sweep(&opts, &load_stream(Mnemonic::Movss, 1, 8), &Level::ALL, true)?;
+    let movsd =
+        unroll_by_level_sweep(&opts, &load_stream(Mnemonic::Movsd, 1, 8), &Level::ALL, true)?;
     let movaps =
         unroll_by_level_sweep(&opts, &load_stream(Mnemonic::Movaps, 1, 8), &Level::ALL, true)?;
 
     // Scalar 4-byte loads saturate the load port before any cache level's
     // bandwidth, so L1/L2/L3 converge (the paper itself reports 1 c/l in
     // L3 at unroll 8); only RAM must stand strictly above.
-    let means: Vec<f64> = movss
-        .iter()
-        .map(|s| s.ys().iter().sum::<f64>() / s.points.len() as f64)
-        .collect();
-    let ordered = means.windows(2).all(|w| w[0] <= w[1] * (1.0 + 1e-3))
-        && means[3] > means[2] * 1.05;
+    let means: Vec<f64> =
+        movss.iter().map(|s| s.ys().iter().sum::<f64>() / s.points.len() as f64).collect();
+    let ordered =
+        means.windows(2).all(|w| w[0] <= w[1] * (1.0 + 1e-3)) && means[3] > means[2] * 1.05;
     result.outcome.push(ShapeCheck::new(
         "hierarchy ordering L1 ≤ L2 ≤ L3 < RAM",
         ordered,

@@ -23,11 +23,8 @@ pub fn run() -> Result<FigureResult, String> {
         "Figure 15: cycles/iteration across alignments (8-array movss, 8 of 32 cores, X7550)",
     );
     let desc = multi_array_traversal(Mnemonic::Movss, 8);
-    let program = MicroCreator::new()
-        .generate(&desc)
-        .map_err(|e| e.to_string())?
-        .programs
-        .remove(0);
+    let program =
+        MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?.programs.remove(0);
 
     let mut opts = quick_options();
     opts.machine = MachinePreset::NehalemX7550;

@@ -22,11 +22,8 @@ pub fn run() -> Result<FigureResult, String> {
         "Figure 16: cycles/iteration across alignments (4-array movss, 32 cores, X7550)",
     );
     let desc = multi_array_traversal(Mnemonic::Movss, 4);
-    let program = MicroCreator::new()
-        .generate(&desc)
-        .map_err(|e| e.to_string())?
-        .programs
-        .remove(0);
+    let program =
+        MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?.programs.remove(0);
 
     let mut opts = quick_options();
     opts.machine = MachinePreset::NehalemX7550;
@@ -47,11 +44,8 @@ pub fn run() -> Result<FigureResult, String> {
     // (paper: 60-90 vs 20-33 cycles).
     let fig15_floor = {
         let desc8 = multi_array_traversal(Mnemonic::Movss, 8);
-        let p8 = MicroCreator::new()
-            .generate(&desc8)
-            .map_err(|e| e.to_string())?
-            .programs
-            .remove(0);
+        let p8 =
+            MicroCreator::new().generate(&desc8).map_err(|e| e.to_string())?.programs.remove(0);
         let mut o = quick_options();
         o.machine = MachinePreset::NehalemX7550;
         o.mode = Mode::Fork;

@@ -76,17 +76,15 @@ pub fn common_checks(outcome: &mut ShapeOutcome, series: &[Series], omp_flat_tol
     outcome.push(ShapeCheck::new(
         "OpenMP is flat across unroll factors (parallel setup/bandwidth bound)",
         omp_min.is_flat(omp_flat_tol),
-        format!("{:?}", omp_min.ys().iter().map(|y| (y * 1000.0).round() / 1000.0).collect::<Vec<_>>()),
+        format!(
+            "{:?}",
+            omp_min.ys().iter().map(|y| (y * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        ),
     ));
     // OpenMP wins clearly wherever the sequential code is un- or mildly
     // unrolled; at unroll 8 the curves may meet (the sequential code has
     // amortized its overhead while the team is bandwidth-capped).
-    let wins_low = omp_min
-        .points
-        .iter()
-        .zip(&seq_min.points)
-        .take(4)
-        .all(|(o, s)| o.1 < s.1);
+    let wins_low = omp_min.points.iter().zip(&seq_min.points).take(4).all(|(o, s)| o.1 < s.1);
     outcome.push(ShapeCheck::new(
         "OpenMP beats sequential at unroll ≤ 4",
         wins_low,
@@ -103,12 +101,7 @@ pub fn common_checks(outcome: &mut ShapeOutcome, series: &[Series], omp_flat_tol
     ));
     // Stability: min and max across the ten runs stay close.
     for (lo, hi, label) in [(seq_min, seq_max, "sequential"), (omp_min, omp_max, "OpenMP")] {
-        let worst = lo
-            .points
-            .iter()
-            .zip(&hi.points)
-            .map(|(l, h)| h.1 / l.1)
-            .fold(0.0f64, f64::max);
+        let worst = lo.points.iter().zip(&hi.points).map(|(l, h)| h.1 / l.1).fold(0.0f64, f64::max);
         outcome.push(ShapeCheck::new(
             format!("{label} min/max band is tight across ten runs"),
             worst < 1.10,

@@ -64,24 +64,41 @@ pub fn quick_options() -> LauncherOptions {
     }
 }
 
-/// Runs one experiment by id.
+/// Runs one experiment by id, under one `bench.experiment` span.
 pub fn run_experiment(id: ExperimentId) -> Result<FigureResult, String> {
-    Ok(match id {
-        ExperimentId::Counts => counts::run()?,
-        ExperimentId::Table1 => table1::run()?,
-        ExperimentId::Fig3 => fig03::run()?,
-        ExperimentId::Fig4 => fig04::run()?,
-        ExperimentId::Fig5 => fig05::run()?,
-        ExperimentId::Fig11 => fig11::run()?,
-        ExperimentId::Fig12 => fig12::run()?,
-        ExperimentId::Fig13 => fig13::run()?,
-        ExperimentId::Fig14 => fig14::run()?,
-        ExperimentId::Fig15 => fig15::run()?,
-        ExperimentId::Fig16 => fig16::run()?,
-        ExperimentId::Fig17 => fig17::run()?,
-        ExperimentId::Fig18 => fig18::run()?,
-        ExperimentId::Table2 => table2::run()?,
-    })
+    let mut span = mc_trace::span("bench.experiment");
+    let result = match id {
+        ExperimentId::Counts => counts::run(),
+        ExperimentId::Table1 => table1::run(),
+        ExperimentId::Fig3 => fig03::run(),
+        ExperimentId::Fig4 => fig04::run(),
+        ExperimentId::Fig5 => fig05::run(),
+        ExperimentId::Fig11 => fig11::run(),
+        ExperimentId::Fig12 => fig12::run(),
+        ExperimentId::Fig13 => fig13::run(),
+        ExperimentId::Fig14 => fig14::run(),
+        ExperimentId::Fig15 => fig15::run(),
+        ExperimentId::Fig16 => fig16::run(),
+        ExperimentId::Fig17 => fig17::run(),
+        ExperimentId::Fig18 => fig18::run(),
+        ExperimentId::Table2 => table2::run(),
+    };
+    if span.is_active() {
+        span.field("experiment", id.key());
+        match &result {
+            Ok(r) => {
+                span.field("checks", r.outcome.checks.len() as u64);
+                span.field(
+                    "checks_passed",
+                    r.outcome.checks.iter().filter(|c| c.passed).count() as u64,
+                );
+            }
+            Err(e) => {
+                span.field("error", e.as_str());
+            }
+        }
+    }
+    result
 }
 
 /// Runs every experiment in paper order.

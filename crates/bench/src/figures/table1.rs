@@ -27,7 +27,9 @@ pub fn run() -> Result<FigureResult, String> {
     for (m, (sockets, cores, ghz)) in machines.iter().zip(expected) {
         result.outcome.push(ShapeCheck::new(
             format!("{} topology", m.name),
-            m.sockets == sockets && m.cores_per_socket == cores && (m.nominal_ghz - ghz).abs() < 1e-9,
+            m.sockets == sockets
+                && m.cores_per_socket == cores
+                && (m.nominal_ghz - ghz).abs() < 1e-9,
             format!("{}×{} @ {:.2} GHz", m.sockets, m.cores_per_socket, m.nominal_ghz),
         ));
     }

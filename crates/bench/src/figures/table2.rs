@@ -31,15 +31,11 @@ pub fn run() -> Result<FigureResult, String> {
     );
     let mut opts = quick_options();
     opts.machine = MachinePreset::SandyBridgeE31240;
-    let cmp = openmp_comparison(
-        &opts,
-        &load_stream(Mnemonic::Movss, 1, 8),
-        ELEMENTS,
-        4,
-        INVOCATIONS,
-    )?;
+    let cmp =
+        openmp_comparison(&opts, &load_stream(Mnemonic::Movss, 1, 8), ELEMENTS, 4, INVOCATIONS)?;
 
-    let mut table = AsciiTable::new(vec!["Unroll factor", "OpenMP time (in s)", "Seq. time (in s)"]);
+    let mut table =
+        AsciiTable::new(vec!["Unroll factor", "OpenMP time (in s)", "Seq. time (in s)"]);
     for (omp, seq) in cmp.openmp_seconds.points.iter().zip(&cmp.sequential_seconds.points) {
         table.row(vec![format!("{}", omp.0 as u32), fmt_f(omp.1, 2), fmt_f(seq.1, 2)]);
     }

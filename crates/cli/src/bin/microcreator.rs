@@ -4,6 +4,7 @@
 //! ```text
 //! microcreator <input.xml> [output-dir] [--format=asm|c] [--limit=N]
 //!              [--seed=S] [--no-comments] [--stats] [--list] [--print=NAME]
+//!              [--trace=PATH] [--metrics] [--quiet]
 //! ```
 //!
 //! Without an output directory the tool reports what it would generate;
@@ -11,7 +12,8 @@
 
 use mc_creator::emit::{render_asm_unit, write_programs};
 use mc_creator::{CreatorConfig, MicroCreator};
-use mc_tools::{exitcode, split_args, take_flag};
+use mc_tools::{exitcode, split_args, take_flag, TraceSession};
+use mc_trace::diag;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,13 +27,30 @@ options:
   --no-comments    omit the Figure 8-style comments
   --stats          print per-pass candidate counts
   --list           list generated variant names
-  --print=NAME     print one variant's assembly to stdout";
+  --print=NAME     print one variant's assembly to stdout
+  --trace=PATH     stream trace events as JSONL to PATH (or `stderr`);
+                   MICROTOOLS_TRACE / MICROTOOLS_TRACE_FILTER also apply
+  --metrics        print the end-of-run pass-timing table to stderr
+  --quiet          suppress diagnostic messages";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mut flags, positional) = split_args(&args);
+    let session = match TraceSession::from_flags(&mut flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional);
+    session.finish();
+    code
+}
+
+fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     let Some(input) = positional.first() else {
-        eprintln!("{USAGE}");
+        diag!("{USAGE}");
         return ExitCode::from(exitcode::USAGE);
     };
     let output_dir = positional.get(1).map(PathBuf::from);
@@ -48,7 +67,7 @@ fn main() -> ExitCode {
         Some("c") => Format::C,
         Some("bin") => Format::Bin,
         Some(other) => {
-            eprintln!("unknown --format `{other}` (asm, c or bin)");
+            diag!("unknown --format `{other}` (asm, c or bin)");
             return ExitCode::from(exitcode::USAGE);
         }
     };
@@ -56,7 +75,7 @@ fn main() -> ExitCode {
         match v.parse() {
             Ok(n) => config.limit = Some(n),
             Err(_) => {
-                eprintln!("--limit: invalid integer `{v}`");
+                diag!("--limit: invalid integer `{v}`");
                 return ExitCode::from(exitcode::USAGE);
             }
         }
@@ -65,21 +84,22 @@ fn main() -> ExitCode {
         match v.parse() {
             Ok(s) => config.seed = s,
             Err(_) => {
-                eprintln!("--seed: invalid integer `{v}`");
+                diag!("--seed: invalid integer `{v}`");
                 return ExitCode::from(exitcode::USAGE);
             }
         }
     }
     if let Some(v) = take_flag(&mut flags, "--random") {
         let parts: Vec<&str> = v.split(',').collect();
-        match (parts.first().and_then(|p| p.parse().ok()), parts.get(1).and_then(|p| p.parse().ok()))
-        {
+        match (
+            parts.first().and_then(|p| p.parse().ok()),
+            parts.get(1).and_then(|p| p.parse().ok()),
+        ) {
             (Some(variants), Some(length)) if parts.len() == 2 => {
-                config.random_selection =
-                    Some(mc_creator::RandomSelection { variants, length });
+                config.random_selection = Some(mc_creator::RandomSelection { variants, length });
             }
             _ => {
-                eprintln!("--random expects `variants,length` (e.g. --random=8,4)");
+                diag!("--random expects `variants,length` (e.g. --random=8,4)");
                 return ExitCode::from(exitcode::USAGE);
             }
         }
@@ -91,14 +111,14 @@ fn main() -> ExitCode {
     let want_list = take_flag(&mut flags, "--list").is_some();
     let print_one = take_flag(&mut flags, "--print");
     if let Some(unknown) = flags.first() {
-        eprintln!("unknown option `{unknown}`\n{USAGE}");
+        diag!("unknown option `{unknown}`\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
     }
 
     let xml = match std::fs::read_to_string(input) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("cannot read {input}: {e}");
+            diag!("cannot read {input}: {e}");
             return ExitCode::from(exitcode::BAD_INPUT);
         }
     };
@@ -106,7 +126,7 @@ fn main() -> ExitCode {
     let result = match creator.generate_from_xml(&xml) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("generation failed: {e}");
+            diag!("generation failed: {e}");
             return ExitCode::from(exitcode::BAD_INPUT);
         }
     };
@@ -127,7 +147,7 @@ fn main() -> ExitCode {
         match result.programs.iter().find(|p| p.name == name) {
             Some(p) => print!("{}", render_asm_unit(p)),
             None => {
-                eprintln!("no variant named `{name}` (try --list)");
+                diag!("no variant named `{name}` (try --list)");
                 return ExitCode::from(exitcode::FAILED);
             }
         }
@@ -135,7 +155,7 @@ fn main() -> ExitCode {
     if let Some(dir) = output_dir {
         if format == Format::Bin {
             if let Err(e) = std::fs::create_dir_all(&dir) {
-                eprintln!("cannot create {}: {e}", dir.display());
+                diag!("cannot create {}: {e}", dir.display());
                 return ExitCode::from(exitcode::FAILED);
             }
             let mut written = 0usize;
@@ -144,13 +164,13 @@ fn main() -> ExitCode {
                     Ok(bytes) => {
                         let file = dir.join(format!("{}.bin", p.name.replace('-', "_")));
                         if let Err(e) = std::fs::write(&file, bytes) {
-                            eprintln!("cannot write {}: {e}", file.display());
+                            diag!("cannot write {}: {e}", file.display());
                             return ExitCode::from(exitcode::FAILED);
                         }
                         written += 1;
                     }
                     Err(e) => {
-                        eprintln!("{}: {e}", p.name);
+                        diag!("{}: {e}", p.name);
                         return ExitCode::from(exitcode::FAILED);
                     }
                 }
@@ -165,7 +185,7 @@ fn main() -> ExitCode {
                     dir.display()
                 ),
                 Err(e) => {
-                    eprintln!("emit failed: {e}");
+                    diag!("emit failed: {e}");
                     return ExitCode::from(exitcode::FAILED);
                 }
             }

@@ -10,35 +10,65 @@
 //! measured — the full paper workflow in one command. All other flags are
 //! MicroLauncher's 30+ options (`--machine=x5650`, `--residence=l3`,
 //! `--mode=fork`, `--cores=12`, …); see `--help`.
+//!
+//! Every CSV document opens with a `# key: value` run-manifest header
+//! (tool, version, machine, options hash, seed, …) that
+//! `mc_report::CsvTable::parse` skips, so downstream tooling keeps
+//! working while runs stay attributable.
 
 use mc_creator::MicroCreator;
 use mc_launcher::launcher::RunReport;
 use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
-use mc_tools::exitcode;
+use mc_tools::{exitcode, TraceSession};
+use mc_trace::diag;
 use std::process::ExitCode;
 
 fn usage() -> String {
     format!(
         "usage: microlauncher <kernel.s | description.xml> [options]\n\
-         options (MicroLauncher's §4.2 surface):\n  {}",
+         options (MicroLauncher's §4.2 surface):\n  {}\n  \
+         --trace=PATH --metrics --quiet (observability; see README)",
         LauncherOptions::OPTION_NAMES.join("\n  ")
     )
 }
 
+/// Prints the `# key: value` provenance header ahead of the CSV header.
+fn print_manifest(options: &LauncherOptions, input: &str) {
+    let mut manifest = options.manifest("microlauncher", env!("CARGO_PKG_VERSION"));
+    manifest.set("input", input);
+    if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        manifest.set("timestamp_unix", elapsed.as_secs().to_string());
+    }
+    print!("{}", manifest.render());
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let session = match TraceSession::from_flags(&mut args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args);
+    session.finish();
+    code
+}
+
+fn run(args: Vec<String>) -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
         return ExitCode::from(exitcode::OK);
     }
     let Some(input) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("{}", usage());
+        diag!("{}", usage());
         return ExitCode::from(exitcode::USAGE);
     };
     let options = match LauncherOptions::from_args(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("{e}\n{}", usage());
+            diag!("{e}\n{}", usage());
             return ExitCode::from(exitcode::USAGE);
         }
     };
@@ -48,7 +78,7 @@ fn main() -> ExitCode {
         let bytes = match std::fs::read(input) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("cannot read {input}: {e}");
+                diag!("cannot read {input}: {e}");
                 return ExitCode::from(exitcode::BAD_INPUT);
             }
         };
@@ -56,10 +86,11 @@ fn main() -> ExitCode {
         let kernel_input = match KernelInput::object(name, &bytes) {
             Ok(k) => k,
             Err(e) => {
-                eprintln!("disassembly failed: {e}");
+                diag!("disassembly failed: {e}");
                 return ExitCode::from(exitcode::BAD_INPUT);
             }
         };
+        print_manifest(&options, input);
         let launcher = MicroLauncher::new(options);
         println!("{}", RunReport::csv_header());
         return match launcher.run(&kernel_input) {
@@ -68,7 +99,7 @@ fn main() -> ExitCode {
                 ExitCode::from(exitcode::OK)
             }
             Err(e) => {
-                eprintln!("run failed: {e}");
+                diag!("run failed: {e}");
                 ExitCode::from(exitcode::FAILED)
             }
         };
@@ -77,7 +108,7 @@ fn main() -> ExitCode {
     let contents = match std::fs::read_to_string(input) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("cannot read {input}: {e}");
+            diag!("cannot read {input}: {e}");
             return ExitCode::from(exitcode::BAD_INPUT);
         }
     };
@@ -87,7 +118,7 @@ fn main() -> ExitCode {
         match MicroCreator::new().generate_from_xml(&contents) {
             Ok(r) => r.programs,
             Err(e) => {
-                eprintln!("generation failed: {e}");
+                diag!("generation failed: {e}");
                 return ExitCode::from(exitcode::BAD_INPUT);
             }
         }
@@ -106,12 +137,13 @@ fn main() -> ExitCode {
                 vec![p]
             }
             Err(e) => {
-                eprintln!("assembly parse failed: {e}");
+                diag!("assembly parse failed: {e}");
                 return ExitCode::from(exitcode::BAD_INPUT);
             }
         }
     };
 
+    print_manifest(&options, input);
     let launcher = MicroLauncher::new(options);
     println!("{}", RunReport::csv_header());
     let mut failures = 0usize;
@@ -119,7 +151,7 @@ fn main() -> ExitCode {
         match launcher.run(&KernelInput::program(program)) {
             Ok(report) => println!("{}", report.csv_row()),
             Err(e) => {
-                eprintln!("run failed: {e}");
+                diag!("run failed: {e}");
                 failures += 1;
             }
         }

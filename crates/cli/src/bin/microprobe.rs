@@ -3,7 +3,7 @@
 //! saturation knee, frequency-domain behaviour, and energy optima.
 //!
 //! ```text
-//! microprobe [x5650|x7550|e31240]     # default x5650
+//! microprobe [x5650|x7550|e31240] [--trace=PATH] [--metrics] [--quiet]
 //! ```
 
 use mc_asm::inst::Mnemonic;
@@ -16,15 +16,39 @@ use mc_report::table::{fmt_f, AsciiTable};
 use mc_simarch::config::Level;
 use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
 use mc_simarch::exec::Workload;
-use mc_tools::exitcode;
+use mc_tools::{exitcode, split_args, TraceSession};
+use mc_trace::diag;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "x5650".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut flags, positional) = split_args(&args);
+    let session = match TraceSession::from_flags(&mut flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional);
+    session.finish();
+    code
+}
+
+fn run(flags: Vec<String>, positional: Vec<String>) -> ExitCode {
+    const USAGE: &str = "usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4] \
+                         [--trace=PATH] [--metrics] [--quiet]";
+    if let Some(unknown) = flags.first() {
+        diag!("unknown option `{unknown}`\n{USAGE}");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    let arg = positional.first().cloned().unwrap_or_else(|| "x5650".to_owned());
     let Some(preset) = MachinePreset::from_name(&arg) else {
-        eprintln!("usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4]");
+        diag!("{USAGE}");
         return ExitCode::from(exitcode::USAGE);
     };
+    let mut probe_span = mc_trace::span("probe.machine");
+    probe_span.field("machine", preset.name());
     let machine = preset.config();
     println!("══ {} ══", machine.name);
     println!(
@@ -56,12 +80,7 @@ fn main() -> ExitCode {
         let ss = run(Mnemonic::Movss, 8, level);
         let aps = run(Mnemonic::Movaps, 8, level);
         let gbs = 16.0 / (aps / machine.nominal_ghz); // bytes per ns
-        table.row(vec![
-            level.name().to_owned(),
-            fmt_f(ss, 2),
-            fmt_f(aps, 2),
-            fmt_f(gbs, 1),
-        ]);
+        table.row(vec![level.name().to_owned(), fmt_f(ss, 2), fmt_f(aps, 2), fmt_f(gbs, 1)]);
     }
     println!("─ memory hierarchy (streaming loads) ─\n{}", table.render());
 
@@ -101,5 +120,6 @@ fn main() -> ExitCode {
             println!("  {:4}: {ghz:.2} GHz", level.name());
         }
     }
+    drop(probe_span);
     ExitCode::from(exitcode::OK)
 }

@@ -52,6 +52,93 @@ pub fn take_flag(flags: &mut Vec<String>, name: &str) -> Option<String> {
     }
 }
 
+/// The observability flags every binary shares, and the end-of-run
+/// reporting they imply.
+///
+/// * `--trace=PATH` — stream every event as one JSON line to `PATH`
+///   (`stderr` streams to standard error). Falls back to the
+///   `MICROTOOLS_TRACE` environment variable when the flag is absent;
+///   `MICROTOOLS_TRACE_FILTER` restricts emission to an event-name
+///   prefix (e.g. `creator.`).
+/// * `--metrics` — buffer events in memory and print the end-of-run
+///   pass-timing/span tables plus the metrics registry to stderr.
+/// * `--quiet` — suppress diagnostic output (`mc_trace::diag!` lines).
+#[derive(Debug)]
+pub struct TraceSession {
+    buffer: Option<std::sync::Arc<mc_trace::MemorySink>>,
+    metrics: bool,
+}
+
+impl TraceSession {
+    /// Extracts the shared flags, installs the matching sinks, and
+    /// returns the session handle. Call [`TraceSession::finish`] at exit.
+    pub fn from_flags(flags: &mut Vec<String>) -> Result<TraceSession, String> {
+        use std::sync::Arc;
+        mc_trace::set_quiet(take_flag(flags, "--quiet").is_some());
+        let metrics = take_flag(flags, "--metrics").is_some();
+        let trace_target = match take_flag(flags, "--trace") {
+            Some(path) if path.is_empty() => {
+                return Err("--trace requires a file path (or `stderr`)".into())
+            }
+            Some(path) => Some(path),
+            None => std::env::var("MICROTOOLS_TRACE").ok().filter(|v| !v.is_empty()),
+        };
+        if let Ok(prefix) = std::env::var("MICROTOOLS_TRACE_FILTER") {
+            if !prefix.is_empty() {
+                mc_trace::set_filter(Some(&prefix));
+            }
+        }
+        let buffer = if metrics { Some(Arc::new(mc_trace::MemorySink::new())) } else { None };
+        let mut sinks: Vec<Arc<dyn mc_trace::TraceSink>> = Vec::new();
+        if let Some(target) = &trace_target {
+            if target == "stderr" {
+                sinks.push(Arc::new(mc_trace::JsonlSink::new(std::io::stderr())));
+            } else {
+                let sink = mc_trace::JsonlSink::create(std::path::Path::new(target))
+                    .map_err(|e| format!("--trace: cannot create {target}: {e}"))?;
+                sinks.push(Arc::new(sink));
+            }
+        }
+        if let Some(buffer) = &buffer {
+            sinks.push(buffer.clone());
+        }
+        match sinks.len() {
+            0 => {}
+            1 => mc_trace::install(sinks.pop().expect("one sink")),
+            _ => mc_trace::install(Arc::new(mc_trace::FanoutSink::new(sinks))),
+        }
+        if metrics {
+            mc_trace::enable_metrics(true);
+        }
+        Ok(TraceSession { buffer, metrics })
+    }
+
+    /// Flushes the trace and, under `--metrics`, prints the end-of-run
+    /// tables to stderr (stdout stays machine-readable: CSV, listings).
+    pub fn finish(&self) {
+        mc_trace::flush();
+        if !self.metrics {
+            return;
+        }
+        let events = self.buffer.as_ref().map(|b| b.events()).unwrap_or_default();
+        if events.iter().any(|e| e.name.starts_with("creator.pass")) {
+            eprintln!("── pass timing ──");
+            eprint!("{}", mc_trace::summary::render_pass_table(&events));
+        }
+        let other_spans: Vec<mc_trace::TraceEvent> =
+            events.iter().filter(|e| e.name != "creator.pass").cloned().collect();
+        if other_spans.iter().any(|e| e.duration_micros.is_some()) {
+            eprintln!("── span summary ──");
+            eprint!("{}", mc_trace::summary::render_span_summary(&other_spans));
+        }
+        let snapshot = mc_trace::metrics().snapshot();
+        if !snapshot.is_empty() {
+            eprintln!("── metrics ──");
+            eprint!("{}", mc_trace::summary::render_metrics(&snapshot));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +150,17 @@ mod tests {
         let (flags, pos) = split_args(&args);
         assert_eq!(flags, vec!["--format=c", "--limit=5"]);
         assert_eq!(pos, vec!["input.xml", "out"]);
+    }
+
+    #[test]
+    fn trace_session_rejects_empty_path_and_consumes_flags() {
+        let mut flags: Vec<String> = vec!["--trace".into(), "--other=1".into()];
+        let err = TraceSession::from_flags(&mut flags).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        // The shared flags are consumed even on error paths; the caller's
+        // unknown-flag check must not see them.
+        assert_eq!(flags, vec!["--other=1"]);
+        mc_trace::set_quiet(false);
     }
 
     #[test]

@@ -65,8 +65,7 @@ fn microcreator_rejects_bad_input() {
     let dir = scratch("creator3");
     let bad = dir.join("bad.xml");
     std::fs::write(&bad, "<kernel><instruction/></kernel>").unwrap();
-    let result =
-        Command::new(env!("CARGO_BIN_EXE_microcreator")).arg(&bad).output().expect("runs");
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator")).arg(&bad).output().expect("runs");
     assert!(!result.status.success());
     assert_eq!(result.status.code(), Some(3), "BAD_INPUT exit code");
     std::fs::remove_dir_all(&dir).ok();
@@ -87,9 +86,16 @@ fn microlauncher_measures_an_xml_generation() {
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&result.stdout);
     assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
-    // CSV header + 510 rows.
-    assert_eq!(stdout.lines().count(), 511, "{}", &stdout[..stdout.len().min(400)]);
-    assert!(stdout.starts_with("kernel,"), "{stdout}");
+    // Provenance header, then CSV header + 510 rows.
+    assert!(stdout.starts_with("# tool: microlauncher"), "{}", &stdout[..stdout.len().min(400)]);
+    assert!(stdout.contains("# machine: x5650"), "{}", &stdout[..stdout.len().min(400)]);
+    let csv: Vec<&str> = stdout.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(csv.len(), 511, "{}", &stdout[..stdout.len().min(400)]);
+    assert!(csv[0].starts_with("kernel,"), "{stdout}");
+    // The manifest comments round-trip through the CSV parser.
+    let table = mc_report::CsvTable::parse(&stdout).expect("parses with comments");
+    assert_eq!(table.rows.len(), 510);
+    assert!(!table.comments.is_empty());
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -97,11 +103,8 @@ fn microlauncher_measures_an_xml_generation() {
 fn microlauncher_measures_handwritten_assembly() {
     let dir = scratch("launcher2");
     let kernel = dir.join("hand.s");
-    std::fs::write(
-        &kernel,
-        ".L0:\nmovss (%rsi), %xmm0\naddq $4, %rsi\nsubq $1, %rdi\njge .L0\n",
-    )
-    .unwrap();
+    std::fs::write(&kernel, ".L0:\nmovss (%rsi), %xmm0\naddq $4, %rsi\nsubq $1, %rdi\njge .L0\n")
+        .unwrap();
     let result = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
         .arg(&kernel)
         .arg("--residence=l2")
@@ -111,8 +114,9 @@ fn microlauncher_measures_handwritten_assembly() {
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&result.stdout);
     assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
-    assert_eq!(stdout.lines().count(), 2, "{stdout}");
-    assert!(stdout.lines().nth(1).expect("row").contains("L2"), "{stdout}");
+    let csv: Vec<&str> = stdout.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(csv.len(), 2, "{stdout}");
+    assert!(csv[1].contains("L2"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -176,7 +180,77 @@ fn machine_code_pipeline_end_to_end() {
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&result.stdout);
     assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
-    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert_eq!(stdout.lines().filter(|l| !l.starts_with('#')).count(), 2, "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microcreator_trace_emits_one_span_per_executed_pass() {
+    let dir = scratch("trace");
+    let xml = figure6_xml_file(&dir);
+    let trace = dir.join("trace.jsonl");
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg(format!("--trace={}", trace.display()))
+        .output()
+        .expect("binary runs");
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    let raw = std::fs::read_to_string(&trace).expect("trace file written");
+    // Every line is a valid event; the pipeline's 19 passes show up as
+    // one `creator.pass` span (gated in) or one skipped event (gated out).
+    let events: Vec<mc_trace::TraceEvent> = raw
+        .lines()
+        .map(|l| mc_trace::TraceEvent::from_json(l).expect("valid JSONL line"))
+        .collect();
+    let spans: Vec<_> = events.iter().filter(|e| e.name == "creator.pass").collect();
+    let skips = events.iter().filter(|e| e.name == "creator.pass.skipped").count();
+    assert!(!spans.is_empty());
+    assert_eq!(spans.len() + skips, 19, "{raw}");
+    for span in &spans {
+        assert!(span.duration_micros.is_some());
+        assert!(span.field("pass").is_some());
+        assert!(span.field("variants_out").is_some());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microlauncher_metrics_prints_summary_tables() {
+    let dir = scratch("metrics");
+    let kernel = dir.join("hand.s");
+    std::fs::write(&kernel, ".L0:\nmovss (%rsi), %xmm0\naddq $4, %rsi\nsubq $1, %rdi\njge .L0\n")
+        .unwrap();
+    let result = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg("--metrics")
+        .output()
+        .expect("binary runs");
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("── span summary ──"), "{stderr}");
+    assert!(stderr.contains("launcher.run"), "{stderr}");
+    assert!(stderr.contains("── metrics ──"), "{stderr}");
+    assert!(stderr.contains("launcher.measurements"), "{stderr}");
+    // stdout stays machine-readable: manifest comments + CSV only.
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.lines().all(|l| l.starts_with('#') || l.contains(',')), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quiet_silences_diagnostics() {
+    let dir = scratch("quiet");
+    let bad = dir.join("bad.xml");
+    std::fs::write(&bad, "<kernel><instruction/></kernel>").unwrap();
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&bad)
+        .arg("--quiet")
+        .output()
+        .expect("runs");
+    assert_eq!(result.status.code(), Some(3), "still fails, just quietly");
+    assert!(result.stderr.is_empty(), "{}", String::from_utf8_lossy(&result.stderr));
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -195,7 +269,10 @@ fn microcreator_random_selection_flag() {
     let xml = dir.join("pool.xml");
     std::fs::write(&xml, mc_kernel::xml::kernel_to_xml(&desc)).unwrap();
     let run = |seed: u32| -> String {
-        let out_dir = dir.join(format!("out_{seed}_{}", std::time::UNIX_EPOCH.elapsed().map(|d| d.subsec_nanos()).unwrap_or(0)));
+        let out_dir = dir.join(format!(
+            "out_{seed}_{}",
+            std::time::UNIX_EPOCH.elapsed().map(|d| d.subsec_nanos()).unwrap_or(0)
+        ));
         let out = Command::new(env!("CARGO_BIN_EXE_microcreator"))
             .arg(&xml)
             .arg(&out_dir)
@@ -211,10 +288,7 @@ fn microcreator_random_selection_flag() {
             .map(|e| e.path())
             .collect();
         names.sort();
-        names
-            .iter()
-            .map(|p| std::fs::read_to_string(p).expect("read emitted file"))
-            .collect()
+        names.iter().map(|p| std::fs::read_to_string(p).expect("read emitted file")).collect()
     };
     let a = run(1);
     assert!(!a.is_empty());

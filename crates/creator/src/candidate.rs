@@ -73,11 +73,7 @@ impl Candidate {
 
     /// Resolves a register reference for a given copy index using this
     /// candidate's binding.
-    pub fn resolve_reg(
-        &self,
-        r: &mc_kernel::RegisterRef,
-        copy: u32,
-    ) -> Option<Reg> {
+    pub fn resolve_reg(&self, r: &mc_kernel::RegisterRef, copy: u32) -> Option<Reg> {
         r.resolve(copy, &|name| self.binding.get(name).copied())
     }
 }

@@ -80,8 +80,7 @@ mod tests {
     #[test]
     fn expand_replaces_candidates() {
         let mut c = ctx();
-        c.expand("test", |cand| Ok(vec![cand.clone(), cand.clone(), cand.clone()]))
-            .unwrap();
+        c.expand("test", |cand| Ok(vec![cand.clone(), cand.clone(), cand.clone()])).unwrap();
         assert_eq!(c.candidates.len(), 3);
         c.expand("test", |_| Ok(vec![])).unwrap();
         assert!(c.candidates.is_empty());
@@ -91,9 +90,7 @@ mod tests {
     fn expand_enforces_cap() {
         let mut c = ctx();
         c.config.max_candidates = 5;
-        let err = c
-            .expand("exploder", |cand| Ok(vec![cand.clone(); 10]))
-            .unwrap_err();
+        let err = c.expand("exploder", |cand| Ok(vec![cand.clone(); 10])).unwrap_err();
         assert!(matches!(err, CreatorError::TooManyCandidates { cap: 5, .. }));
     }
 
@@ -101,10 +98,7 @@ mod tests {
     fn for_each_reports_pass_name() {
         let mut c = ctx();
         let err = c.for_each("failing-pass", |_| Err("broke".into())).unwrap_err();
-        assert_eq!(
-            err.to_string(),
-            "pass `failing-pass` failed: broke"
-        );
+        assert_eq!(err.to_string(), "pass `failing-pass` failed: broke");
     }
 
     #[test]

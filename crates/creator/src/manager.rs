@@ -126,12 +126,34 @@ impl PassManager {
 
     /// Runs the pipeline over a context, recording per-pass statistics.
     /// Returns `(pass name, ran?, candidates after, programs after)` rows.
+    ///
+    /// When tracing is enabled (see `mc-trace`), each gated-in pass emits
+    /// one `creator.pass` span carrying variant counts and wall time, and
+    /// each gated-off pass emits one `creator.pass.skipped` event.
     pub fn run(&self, ctx: &mut GenContext) -> CreatorResult<Vec<(String, bool, usize, usize)>> {
         let mut stats = Vec::with_capacity(self.entries.len());
         for entry in &self.entries {
             let ran = entry.gate(ctx);
+            let variants_in = ctx.candidates.len();
             if ran {
+                let mut span = mc_trace::span("creator.pass");
                 entry.pass.run(ctx)?;
+                if span.is_active() {
+                    let variants_out = ctx.candidates.len();
+                    span.field("pass", entry.pass.name());
+                    span.field("variants_in", variants_in as u64);
+                    span.field("variants_out", variants_out as u64);
+                    span.field("pruned", variants_in.saturating_sub(variants_out) as u64);
+                    span.field("programs", ctx.programs.len() as u64);
+                }
+            } else if mc_trace::enabled() {
+                mc_trace::event(
+                    "creator.pass.skipped",
+                    vec![
+                        ("pass", entry.pass.name().into()),
+                        ("variants_in", (variants_in as u64).into()),
+                    ],
+                );
             }
             stats.push((
                 entry.pass.name().to_owned(),
@@ -209,10 +231,7 @@ mod tests {
     fn unknown_pass_is_plugin_error() {
         let mut pm = PassManager::new();
         assert!(matches!(pm.remove_pass("ghost"), Err(CreatorError::Plugin(_))));
-        assert!(matches!(
-            pm.set_gate("ghost", |_| true),
-            Err(CreatorError::Plugin(_))
-        ));
+        assert!(matches!(pm.set_gate("ghost", |_| true), Err(CreatorError::Plugin(_))));
     }
 
     #[test]

@@ -21,8 +21,7 @@ impl Pass for BranchInsertion {
         let comments = ctx.config.emit_comments;
         ctx.for_each(self.name(), |cand| {
             let label = cand.desc.branch.asm_label();
-            let mut lines =
-                Vec::with_capacity(cand.body.len() + cand.tail.len() + 4);
+            let mut lines = Vec::with_capacity(cand.body.len() + cand.tail.len() + 4);
             lines.push(AsmLine::Label(label.clone()));
             if comments {
                 lines.push(AsmLine::Comment("Unrolling iterations".into()));
@@ -44,9 +43,8 @@ mod tests {
     use super::*;
     use crate::config::CreatorConfig;
     use crate::passes::{
-        concretize::Concretize, induction_insert::InductionInsertion,
-        regalloc::RegisterAllocation, unroll_select::UnrollSelection, unrolling::Unrolling,
-        xmm_rotation::XmmRotation,
+        concretize::Concretize, induction_insert::InductionInsertion, regalloc::RegisterAllocation,
+        unroll_select::UnrollSelection, unrolling::Unrolling, xmm_rotation::XmmRotation,
     };
     use mc_kernel::builder::figure6;
     use mc_kernel::UnrollRange;

@@ -36,7 +36,8 @@ impl Pass for Codegen {
                 .collect();
             let base_name = meta.variant_name();
             let count = name_counts.entry(base_name.clone()).or_insert(0);
-            let name = if *count == 0 { base_name.clone() } else { format!("{base_name}_v{count}") };
+            let name =
+                if *count == 0 { base_name.clone() } else { format!("{base_name}_v{count}") };
             *count += 1;
             programs.push(Program {
                 name,

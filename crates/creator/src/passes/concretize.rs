@@ -116,22 +116,15 @@ mod tests {
         let texts: Vec<String> = body.iter().map(|i| i.to_string()).collect();
         assert_eq!(
             texts,
-            vec![
-                "movaps (%rsi), %xmm0",
-                "movaps 16(%rsi), %xmm1",
-                "movaps 32(%rsi), %xmm2",
-            ]
+            vec!["movaps (%rsi), %xmm0", "movaps 16(%rsi), %xmm1", "movaps 32(%rsi), %xmm2",]
         );
     }
 
     #[test]
     fn unroll_8_walks_full_stride_range() {
         let ctx = run_through(8);
-        let disps: Vec<i64> = ctx.candidates[0]
-            .body
-            .iter()
-            .map(|i| i.load_ref().unwrap().disp)
-            .collect();
+        let disps: Vec<i64> =
+            ctx.candidates[0].body.iter().map(|i| i.load_ref().unwrap().disp).collect();
         assert_eq!(disps, vec![0, 16, 32, 48, 64, 80, 96, 112]);
     }
 

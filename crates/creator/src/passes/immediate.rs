@@ -113,8 +113,7 @@ mod tests {
             GenContext::new(desc_with_immediates(vec![1, 2, 4]), CreatorConfig::default());
         ImmediateSelection.run(&mut ctx).unwrap();
         assert_eq!(ctx.candidates.len(), 3);
-        let values: Vec<i64> =
-            ctx.candidates.iter().map(|c| c.meta.immediates[0]).collect();
+        let values: Vec<i64> = ctx.candidates.iter().map(|c| c.meta.immediates[0]).collect();
         assert_eq!(values, vec![1, 2, 4]);
         // All immediates are singletons afterwards.
         for c in &ctx.candidates {

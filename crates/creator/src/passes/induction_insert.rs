@@ -108,8 +108,7 @@ mod tests {
     fn figure8_updates() {
         let mut ctx = prepared(3);
         InductionInsertion.run(&mut ctx).unwrap();
-        let tail: Vec<String> =
-            ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
+        let tail: Vec<String> = ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
         assert_eq!(tail, vec!["addq $48, %rsi", "subq $12, %rdi"]);
         assert_eq!(ctx.candidates[0].elements_per_iter, 12);
     }
@@ -118,8 +117,7 @@ mod tests {
     fn unroll_1_updates() {
         let mut ctx = prepared(1);
         InductionInsertion.run(&mut ctx).unwrap();
-        let tail: Vec<String> =
-            ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
+        let tail: Vec<String> = ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
         assert_eq!(tail, vec!["addq $16, %rsi", "subq $4, %rdi"]);
         assert_eq!(ctx.candidates[0].elements_per_iter, 4);
     }
@@ -154,8 +152,7 @@ mod tests {
         ctx.candidates[0].unroll = 8;
         RegisterAllocation.run(&mut ctx).unwrap();
         InductionInsertion.run(&mut ctx).unwrap();
-        let texts: Vec<String> =
-            ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
+        let texts: Vec<String> = ctx.candidates[0].tail.iter().map(|i| i.to_string()).collect();
         assert!(texts.contains(&"addl $1, %eax".to_owned()), "{texts:?}");
     }
 }

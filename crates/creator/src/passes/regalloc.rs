@@ -68,9 +68,7 @@ impl Pass for RegisterAllocation {
             let mut remaining: Vec<String> = Vec::new();
             for inst in &cand.desc.instructions {
                 for name in inst.logical_registers() {
-                    if !cand.binding.contains_key(name)
-                        && !remaining.iter().any(|n| n == name)
-                    {
+                    if !cand.binding.contains_key(name) && !remaining.iter().any(|n| n == name) {
                         remaining.push(name.to_owned());
                     }
                 }

@@ -36,10 +36,10 @@ impl Pass for InstructionRepetition {
             for combo in cartesian(&choices) {
                 let mut next = cand.clone();
                 next.desc.instructions = rebuild(&cand.desc.instructions, &combo);
-                if let Some(&count) =
-                    combo.iter().zip(&cand.desc.instructions).find_map(|(c, inst)| {
-                        inst.repeat.is_some().then_some(c)
-                    })
+                if let Some(&count) = combo
+                    .iter()
+                    .zip(&cand.desc.instructions)
+                    .find_map(|(c, inst)| inst.repeat.is_some().then_some(c))
                 {
                     next.meta.repeat = Some(count);
                 }
@@ -83,8 +83,8 @@ pub(crate) fn cartesian(choices: &[Vec<u32>]) -> Vec<Vec<u32>> {
 mod tests {
     use super::*;
     use crate::config::CreatorConfig;
-    use mc_kernel::builder::{figure6, KernelBuilder};
     use mc_asm::inst::Mnemonic;
+    use mc_kernel::builder::{figure6, KernelBuilder};
 
     #[test]
     fn no_repeat_is_identity() {
@@ -105,8 +105,7 @@ mod tests {
         let mut ctx = GenContext::new(desc, CreatorConfig::default());
         InstructionRepetition.run(&mut ctx).unwrap();
         assert_eq!(ctx.candidates.len(), 4);
-        let lens: Vec<usize> =
-            ctx.candidates.iter().map(|c| c.desc.instructions.len()).collect();
+        let lens: Vec<usize> = ctx.candidates.iter().map(|c| c.desc.instructions.len()).collect();
         assert_eq!(lens, vec![1, 2, 3, 4]);
         assert_eq!(ctx.candidates[3].meta.repeat, Some(4));
         // The repeat marker is consumed.

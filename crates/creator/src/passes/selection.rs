@@ -21,12 +21,8 @@ impl Pass for InstructionSelection {
     fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
         let name = self.name().to_owned();
         ctx.expand(&name, |cand| {
-            let axes: Vec<Vec<mc_asm::Mnemonic>> = cand
-                .desc
-                .instructions
-                .iter()
-                .map(|i| i.operation.candidates())
-                .collect();
+            let axes: Vec<Vec<mc_asm::Mnemonic>> =
+                cand.desc.instructions.iter().map(|i| i.operation.candidates()).collect();
             if let Some(pos) = axes.iter().position(Vec::is_empty) {
                 return Err(crate::error::CreatorError::Pass {
                     pass: name.clone(),
@@ -37,11 +33,8 @@ impl Pass for InstructionSelection {
             let mut combo_indices = vec![0usize; axes.len()];
             loop {
                 let mut next = cand.clone();
-                for (inst, (axis, &idx)) in next
-                    .desc
-                    .instructions
-                    .iter_mut()
-                    .zip(axes.iter().zip(&combo_indices))
+                for (inst, (axis, &idx)) in
+                    next.desc.instructions.iter_mut().zip(axes.iter().zip(&combo_indices))
                 {
                     inst.operation = OperationDesc::Fixed(axis[idx]);
                 }
@@ -95,19 +88,15 @@ mod tests {
         let mut ctx = GenContext::new(desc, CreatorConfig::default());
         InstructionSelection.run(&mut ctx).unwrap();
         assert_eq!(ctx.candidates.len(), 3);
-        let picked: Vec<_> =
-            ctx.candidates.iter().map(|c| c.meta.mnemonic.unwrap()).collect();
+        let picked: Vec<_> = ctx.candidates.iter().map(|c| c.meta.mnemonic.unwrap()).collect();
         assert_eq!(picked, vec![Mnemonic::Movaps, Mnemonic::Movups, Mnemonic::Movss]);
     }
 
     #[test]
     fn move_semantics_expand_to_matching_instructions() {
         let mut desc = figure6();
-        desc.instructions[0].operation = OperationDesc::Move(MoveSemantics {
-            bytes: 16,
-            aligned: None,
-            double_precision: None,
-        });
+        desc.instructions[0].operation =
+            OperationDesc::Move(MoveSemantics { bytes: 16, aligned: None, double_precision: None });
         let mut ctx = GenContext::new(desc, CreatorConfig::default());
         InstructionSelection.run(&mut ctx).unwrap();
         // movaps, movapd, movups, movupd — "aligned versus non-aligned

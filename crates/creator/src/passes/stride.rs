@@ -18,19 +18,14 @@ impl Pass for StrideSelection {
 
     fn run(&self, ctx: &mut GenContext) -> CreatorResult<()> {
         ctx.expand(self.name(), |cand| {
-            let axes: Vec<Vec<i64>> = cand
-                .desc
-                .inductions
-                .iter()
-                .map(|i| i.increment_choices.clone())
-                .collect();
+            let axes: Vec<Vec<i64>> =
+                cand.desc.inductions.iter().map(|i| i.increment_choices.clone()).collect();
             let had_choice = axes.iter().any(|a| a.len() > 1);
             let mut out = Vec::new();
             let mut idx = vec![0usize; axes.len()];
             loop {
                 let mut next = cand.clone();
-                next.chosen_increments =
-                    idx.iter().zip(&axes).map(|(&i, axis)| axis[i]).collect();
+                next.chosen_increments = idx.iter().zip(&axes).map(|(&i, axis)| axis[i]).collect();
                 for (k, ind) in next.desc.inductions.iter_mut().enumerate() {
                     let chosen = next.chosen_increments[k];
                     // Keep the Figure 6 coupling: when the offset step was
@@ -130,9 +125,10 @@ mod tests {
             .unwrap();
         let mut ctx = GenContext::new(desc, CreatorConfig::default());
         StrideSelection.run(&mut ctx).unwrap();
-        assert!(ctx
-            .candidates
+        assert!(ctx.candidates.iter().all(|c| c
+            .desc
+            .inductions
             .iter()
-            .all(|c| c.desc.inductions.iter().all(|i| i.increment_choices.len() == 1)));
+            .all(|i| i.increment_choices.len() == 1)));
     }
 }

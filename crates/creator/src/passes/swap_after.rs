@@ -115,9 +115,6 @@ mod tests {
     fn markers_consumed() {
         let mut ctx = prepared_ctx(3);
         OperandSwapAfter.run(&mut ctx).unwrap();
-        assert!(ctx
-            .candidates
-            .iter()
-            .all(|c| c.copies.iter().all(|(i, _)| !i.swap_after_unroll)));
+        assert!(ctx.candidates.iter().all(|c| c.copies.iter().all(|(i, _)| !i.swap_after_unroll)));
     }
 }

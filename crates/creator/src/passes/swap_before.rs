@@ -71,10 +71,7 @@ mod tests {
         assert!(ctx.candidates[0].desc.instructions[0].is_load_shaped());
         assert!(ctx.candidates[1].desc.instructions[0].is_store_shaped());
         // Markers consumed.
-        assert!(ctx
-            .candidates
-            .iter()
-            .all(|c| !c.desc.instructions[0].swap_before_unroll));
+        assert!(ctx.candidates.iter().all(|c| !c.desc.instructions[0].swap_before_unroll));
     }
 
     #[test]

@@ -118,14 +118,15 @@ mod tests {
         let mut desc = figure6();
         desc.unrolling = UnrollRange::fixed(1);
         let result = creator.generate(&desc).unwrap();
-        assert!(result.programs.iter().all(|p| p.meta.extra.contains(&("tagged".into(), "yes".into()))));
+        assert!(result
+            .programs
+            .iter()
+            .all(|p| p.meta.extra.contains(&("tagged".into(), "yes".into()))));
     }
 
     #[test]
     fn plugin_errors_propagate() {
-        let plugin = FnPlugin::new("broken", |pm: &mut PassManager| {
-            pm.remove_pass("no-such-pass")
-        });
+        let plugin = FnPlugin::new("broken", |pm: &mut PassManager| pm.remove_pass("no-such-pass"));
         let mut creator = MicroCreator::new();
         let err = creator.register_plugin(&plugin).unwrap_err();
         assert!(err.to_string().contains("no-such-pass"), "{err}");

@@ -68,12 +68,7 @@ impl KernelBuilder {
     /// `array`: `mnemonic (array), %xmmN` rotating XMM registers, with the
     /// matching address induction. `swap_after` enables the per-copy
     /// load/store swap of Figure 6.
-    pub fn stream_instruction(
-        mut self,
-        mnemonic: Mnemonic,
-        array: &str,
-        swap_after: bool,
-    ) -> Self {
+    pub fn stream_instruction(mut self, mnemonic: Mnemonic, array: &str, swap_after: bool) -> Self {
         let bytes = mnemonic
             .mem_move()
             .map(|m| i64::from(m.bytes))
@@ -88,12 +83,7 @@ impl KernelBuilder {
             swap_after_unroll: swap_after,
             repeat: None,
         });
-        if !self
-            .desc
-            .inductions
-            .iter()
-            .any(|i| i.register.logical_name() == Some(array))
-        {
+        if !self.desc.inductions.iter().any(|i| i.register.logical_name() == Some(array)) {
             self.desc.inductions.push(InductionDesc::address(RegisterRef::logical(array), bytes));
         }
         self
@@ -128,12 +118,10 @@ impl KernelBuilder {
     /// one linked to the first array is appended automatically.
     pub fn build(mut self) -> crate::error::KernelResult<KernelDesc> {
         if !self.counter_added && self.desc.last_induction().is_none() {
-            let first_array = self
-                .desc
-                .array_registers()
-                .into_iter()
-                .next()
-                .ok_or_else(|| crate::error::KernelError::Invalid("no arrays to count".into()))?;
+            let first_array =
+                self.desc.array_registers().into_iter().next().ok_or_else(|| {
+                    crate::error::KernelError::Invalid("no arrays to count".into())
+                })?;
             self.desc.inductions.push(InductionDesc::linked_counter(
                 RegisterRef::logical("r0"),
                 -1,
@@ -224,10 +212,7 @@ mod tests {
     #[test]
     fn figure6_matches_xml_parse() {
         let built = figure6();
-        let parsed = crate::xml::parse_kernel(
-            &crate::xml::kernel_to_xml(&built),
-        )
-        .unwrap();
+        let parsed = crate::xml::parse_kernel(&crate::xml::kernel_to_xml(&built)).unwrap();
         assert_eq!(built, parsed);
         built.validate().unwrap();
         assert_eq!(built.unrolling, UnrollRange { min: 1, max: 8 });

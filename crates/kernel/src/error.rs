@@ -59,7 +59,8 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = KernelError::MissingElement { parent: "instruction".into(), child: "operation".into() };
+        let e =
+            KernelError::MissingElement { parent: "instruction".into(), child: "operation".into() };
         assert!(e.to_string().contains("<operation>"));
         let e = KernelError::InvalidValue {
             element: "min".into(),

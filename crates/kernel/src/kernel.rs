@@ -186,10 +186,7 @@ impl KernelDesc {
             for op in &inst.operands {
                 if let Some(mem) = op.as_memory() {
                     if let Some(name) = mem.base.logical_name() {
-                        if !self
-                            .inductions
-                            .iter()
-                            .any(|i| i.register.logical_name() == Some(name))
+                        if !self.inductions.iter().any(|i| i.register.logical_name() == Some(name))
                         {
                             return Err(KernelError::Invalid(format!(
                                 "memory base register {name} has no <induction> declaration"

@@ -185,10 +185,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(RegisterRef::logical("r1").to_string(), "r1");
-        assert_eq!(
-            RegisterRef::Physical(Reg::gpr(GprName::Rsi)).to_string(),
-            "%rsi"
-        );
+        assert_eq!(RegisterRef::Physical(Reg::gpr(GprName::Rsi)).to_string(), "%rsi");
         assert_eq!(RegisterRef::XmmRange { min: 0, max: 8 }.to_string(), "%xmm[0..8)");
     }
 

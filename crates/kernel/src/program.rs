@@ -155,9 +155,7 @@ impl Program {
 
     /// Bytes of memory traffic (loads + stores) per loop iteration.
     pub fn bytes_per_iteration(&self) -> u64 {
-        self.instructions()
-            .map(|i| u64::from(i.load_bytes()) + u64::from(i.store_bytes()))
-            .sum()
+        self.instructions().map(|i| u64::from(i.load_bytes()) + u64::from(i.store_bytes())).sum()
     }
 
     /// Renders the program as an assembly text file body.
@@ -233,8 +231,16 @@ mod tests {
                 Operand::Reg(Reg::xmm(2)),
                 Operand::Mem(MemRef::base_disp(rsi, 32)),
             )),
-            AsmLine::Inst(Inst::binary(Mnemonic::Add(Width::Q), Operand::Imm(48), Operand::Reg(rsi))),
-            AsmLine::Inst(Inst::binary(Mnemonic::Sub(Width::Q), Operand::Imm(12), Operand::Reg(rdi))),
+            AsmLine::Inst(Inst::binary(
+                Mnemonic::Add(Width::Q),
+                Operand::Imm(48),
+                Operand::Reg(rsi),
+            )),
+            AsmLine::Inst(Inst::binary(
+                Mnemonic::Sub(Width::Q),
+                Operand::Imm(12),
+                Operand::Reg(rdi),
+            )),
             AsmLine::Inst(Inst::branch(Mnemonic::Jcc(Cond::Ge), ".L6")),
         ];
         Program {
@@ -285,7 +291,12 @@ mod tests {
 
     #[test]
     fn variant_name_minimal() {
-        let m = VariantMeta { kernel: "k".into(), unroll: 1, strides: vec![1], ..VariantMeta::default() };
+        let m = VariantMeta {
+            kernel: "k".into(),
+            unroll: 1,
+            strides: vec![1],
+            ..VariantMeta::default()
+        };
         assert_eq!(m.variant_name(), "k_u1");
     }
 

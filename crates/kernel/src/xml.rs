@@ -69,9 +69,8 @@ pub fn kernel_from_element(root: &Element) -> KernelResult<KernelDesc> {
         )));
     }
     let name = root.attribute("name").unwrap_or("kernel").to_owned();
-    let branch_el = root
-        .find("branch_information")
-        .ok_or_else(|| missing("kernel", "branch_information"))?;
+    let branch_el =
+        root.find("branch_information").ok_or_else(|| missing("kernel", "branch_information"))?;
     let branch = parse_branch(branch_el)?;
 
     let mut desc = KernelDesc::new(name, branch);
@@ -82,10 +81,8 @@ pub fn kernel_from_element(root: &Element) -> KernelResult<KernelDesc> {
         desc.instructions.push(parse_instruction(inst_el)?);
     }
     if let Some(unroll_el) = root.find("unrolling") {
-        desc.unrolling = UnrollRange {
-            min: child_u32(unroll_el, "min")?,
-            max: child_u32(unroll_el, "max")?,
-        };
+        desc.unrolling =
+            UnrollRange { min: child_u32(unroll_el, "min")?, max: child_u32(unroll_el, "max")? };
     }
     for ind_el in root.find_all("induction") {
         desc.inductions.push(parse_induction(ind_el)?);
@@ -526,7 +523,8 @@ mod tests {
 
     #[test]
     fn rejects_unsatisfiable_move_semantics() {
-        let xml = FIGURE6_XML.replace("<operation>movaps</operation>", "<move_bytes>32</move_bytes>");
+        let xml =
+            FIGURE6_XML.replace("<operation>movaps</operation>", "<move_bytes>32</move_bytes>");
         assert!(parse_kernel(&xml).is_err());
     }
 

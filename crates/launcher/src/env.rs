@@ -3,13 +3,13 @@
 //! convention.
 
 use crate::options::LauncherOptions;
+use mc_asm::reg::GprName;
 use mc_creator::passes::regalloc::ARRAY_REGS;
 use mc_kernel::Program;
 use mc_ompsim::pinning::PinMap;
 use mc_simarch::config::MachineConfig;
 use mc_simarch::exec::{EnvPlacement, Workload};
 use mc_simarch::interp::Interpreter;
-use mc_asm::reg::GprName;
 
 /// One allocated data array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,11 +59,9 @@ impl KernelEnvironment {
             let level = options.residence.unwrap_or(mc_simarch::config::Level::L1);
             (machine.working_set_for(level) / nb_arrays).max(64)
         };
-        let element_bytes = if options.element_bytes > 0 {
-            options.element_bytes
-        } else {
-            program.element_bytes
-        } as u64;
+        let element_bytes =
+            if options.element_bytes > 0 { options.element_bytes } else { program.element_bytes }
+                as u64;
 
         // Arrays spaced a page past their size so offsets never overlap.
         let mut arrays = Vec::with_capacity(nb_arrays as usize);

@@ -94,16 +94,14 @@ impl KernelInput {
     /// Parses assembly text (the `.s`-file path).
     pub fn assembly(name: impl Into<String>, text: &str) -> Result<Self, String> {
         let name = name.into();
-        let program =
-            Program::from_asm_text(name.clone(), text).map_err(|e| e.to_string())?;
+        let program = Program::from_asm_text(name.clone(), text).map_err(|e| e.to_string())?;
         Ok(KernelInput::Assembly { name, program: Box::new(program) })
     }
 
     /// Disassembles raw machine code (the object-file path of §4.1).
     pub fn object(name: impl Into<String>, bytes: &[u8]) -> Result<Self, String> {
         let name = name.into();
-        let program =
-            Program::from_machine_code(name.clone(), bytes).map_err(|e| e.to_string())?;
+        let program = Program::from_machine_code(name.clone(), bytes).map_err(|e| e.to_string())?;
         Ok(KernelInput::Assembly { name, program: Box::new(program) })
     }
 

@@ -79,12 +79,7 @@ impl RunReport {
     /// The CSV row for this run (§4.3: "The output of the launcher is a
     /// generic CSV file").
     pub fn csv_row(&self) -> String {
-        let mode = match self.mode {
-            Mode::Sequential => "seq",
-            Mode::Fork => "fork",
-            Mode::OpenMp => "omp",
-            Mode::Standalone => "standalone",
-        };
+        let mode = self.mode.name();
         format!(
             "{},{},{},{},{},{:.4},{},{:.6e},{:.4},{:.4},{:.4},{},{},{}",
             self.name,
@@ -126,9 +121,11 @@ impl MicroLauncher {
         &self.options
     }
 
-    /// Runs one kernel input.
+    /// Runs one kernel input. Traced as one `launcher.run` span carrying
+    /// the kernel name, mode, and the reported result.
     pub fn run(&self, input: &KernelInput) -> Result<RunReport, String> {
-        match input {
+        let mut span = mc_trace::span("launcher.run");
+        let result = match input {
             KernelInput::Native(kernel) => self.run_native(kernel.as_ref()),
             KernelInput::Standalone { program, iterations } => {
                 self.run_standalone(program, *iterations)
@@ -137,7 +134,21 @@ impl MicroLauncher {
                 let program = input.as_program().expect("program-backed input");
                 self.run_simulated(program)
             }
+        };
+        if span.is_active() {
+            span.field("mode", self.options.mode.name());
+            span.field("machine", self.options.machine.name());
+            match &result {
+                Ok(report) => {
+                    span.field("kernel", report.name.as_str());
+                    span.field("workers", u64::from(report.workers));
+                    span.field("cycles_per_iteration", report.cycles_per_iteration);
+                    span.field("stable", report.stable);
+                }
+                Err(error) => span.field("error", error.as_str()),
+            }
         }
+        result
     }
 
     // -- Simulated path -----------------------------------------------------
@@ -385,20 +396,22 @@ impl MicroLauncher {
             verify: None,
             region_seconds: None,
             energy_nj_per_iteration: Some(
-                mc_simarch::energy::EnergyModel::for_machine(&env.machine)
-                    .iteration_nanojoules(
-                        &env.machine,
-                        o.effective_frequency(),
-                        &timing,
-                        program.bytes_per_iteration() as f64,
-                    ),
+                mc_simarch::energy::EnergyModel::for_machine(&env.machine).iteration_nanojoules(
+                    &env.machine,
+                    o.effective_frequency(),
+                    &timing,
+                    program.bytes_per_iteration() as f64,
+                ),
             ),
         })
     }
 
     // -- Native path ---------------------------------------------------------
 
-    fn run_native(&self, kernel: &(dyn crate::input::NativeKernel + Send)) -> Result<RunReport, String> {
+    fn run_native(
+        &self,
+        kernel: &(dyn crate::input::NativeKernel + Send),
+    ) -> Result<RunReport, String> {
         let o = &self.options;
         let machine = o.machine.config();
         let nominal = machine.nominal_ghz;
@@ -435,12 +448,7 @@ impl MicroLauncher {
             }
             _ => {
                 let mut arrays: Vec<Vec<f32>> = vec![vec![0.0f32; elements]; nb];
-                measure(
-                    &clock,
-                    &cfg,
-                    || kernel.run(n, &mut arrays) as u64,
-                    || {},
-                )?
+                measure(&clock, &cfg, || kernel.run(n, &mut arrays) as u64, || {})?
             }
         };
         let workers = if o.mode == Mode::OpenMp { o.omp_threads.max(1) } else { 1 };

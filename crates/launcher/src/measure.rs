@@ -82,6 +82,10 @@ where
     F: FnMut() -> u64,
     N: FnMut(),
 {
+    // One check up front: the trace instrumentation below (extra clock
+    // reads, per-repetition events) must cost nothing when tracing is off.
+    let tracing = mc_trace::enabled();
+
     // Overhead calibration: minimum of a short loop.
     let mut overhead = u64::MAX;
     for _ in 0..16 {
@@ -93,17 +97,43 @@ where
 
     // Cache heating.
     let mut iterations_per_call = 0u64;
-    for _ in 0..cfg.warmup_runs {
-        iterations_per_call = call();
+    {
+        let mut warmup = mc_trace::span("launcher.warmup");
+        for _ in 0..cfg.warmup_runs {
+            iterations_per_call = call();
+        }
+        if warmup.is_active() {
+            warmup.field("runs", u64::from(cfg.warmup_runs));
+        }
     }
 
     let mut samples = Vec::with_capacity(cfg.meta_repetitions as usize);
     let mut total_cycles = 0u64;
-    for _ in 0..cfg.meta_repetitions {
+    for experiment in 0..cfg.meta_repetitions {
         let t0 = clock.now_cycles();
         let mut iterations = 0u64;
-        for _ in 0..cfg.repetitions {
-            iterations += call();
+        if tracing {
+            // Per-repetition timing events; the extra clock reads sit
+            // inside the timed window, so the trace shows where cycles
+            // went — the cost is only paid when a sink is installed.
+            let mut rep_start = t0;
+            for repetition in 0..cfg.repetitions {
+                iterations += call();
+                let now = clock.now_cycles();
+                mc_trace::event(
+                    "launcher.repetition",
+                    vec![
+                        ("experiment", u64::from(experiment).into()),
+                        ("repetition", u64::from(repetition).into()),
+                        ("cycles", (now - rep_start).into()),
+                    ],
+                );
+                rep_start = now;
+            }
+        } else {
+            for _ in 0..cfg.repetitions {
+                iterations += call();
+            }
         }
         let elapsed = clock.now_cycles() - t0;
         total_cycles += elapsed;
@@ -112,14 +142,55 @@ where
         }
         iterations_per_call = iterations / u64::from(cfg.repetitions);
         let net = (elapsed as f64 - overhead * f64::from(cfg.repetitions)).max(0.0);
-        samples.push(net / iterations as f64);
+        let sample = net / iterations as f64;
+        if tracing {
+            mc_trace::event(
+                "launcher.experiment",
+                vec![
+                    ("experiment", u64::from(experiment).into()),
+                    ("cycles", elapsed.into()),
+                    ("iterations", iterations.into()),
+                    ("cycles_per_iteration", sample.into()),
+                ],
+            );
+        }
+        samples.push(sample);
     }
 
     let summary = Summary::of(&samples).ok_or("no valid samples")?;
     let cycles_per_iteration =
         stability::aggregate(&samples, cfg.aggregation).ok_or("aggregation failed")?;
+    let stable = stability::is_stable(&samples, cfg.stability_threshold);
+    if tracing {
+        // Stability metadata across the outer experiments: the spread
+        // (max − min) is the figure-of-merit the §4.5 protocol minimizes.
+        mc_trace::event(
+            "launcher.measure",
+            vec![
+                ("experiments", u64::from(cfg.meta_repetitions).into()),
+                ("repetitions", u64::from(cfg.repetitions).into()),
+                ("overhead_cycles", overhead.into()),
+                ("min", summary.min.into()),
+                ("median", summary.median.into()),
+                ("max", summary.max.into()),
+                ("spread", (summary.max - summary.min).into()),
+                ("stable", stable.into()),
+                ("cycles_per_iteration", cycles_per_iteration.into()),
+            ],
+        );
+    }
+    if mc_trace::metrics_enabled() {
+        let metrics = mc_trace::metrics();
+        metrics.inc("launcher.measurements", 1);
+        if !stable {
+            metrics.inc("launcher.unstable_runs", 1);
+        }
+        metrics.observe("launcher.cycles_per_iteration", cycles_per_iteration);
+        metrics.observe("launcher.sample_spread", summary.max - summary.min);
+        metrics.observe("launcher.overhead_cycles", overhead);
+    }
     Ok(Measurement {
-        stable: stability::is_stable(&samples, cfg.stability_threshold),
+        stable,
         samples,
         cycles_per_iteration,
         summary,

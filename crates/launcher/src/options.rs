@@ -35,6 +35,16 @@ impl MachinePreset {
             _ => return None,
         })
     }
+
+    /// The canonical command-line name (inverse of
+    /// [`MachinePreset::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            MachinePreset::SandyBridgeE31240 => "e31240",
+            MachinePreset::NehalemX5650 => "x5650",
+            MachinePreset::NehalemX7550 => "x7550",
+        }
+    }
 }
 
 /// Execution mode.
@@ -48,6 +58,18 @@ pub enum Mode {
     OpenMp,
     /// Standalone application timing (§4.1).
     Standalone,
+}
+
+impl Mode {
+    /// The short command-line / CSV name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Sequential => "seq",
+            Mode::Fork => "fork",
+            Mode::OpenMp => "omp",
+            Mode::Standalone => "standalone",
+        }
+    }
 }
 
 /// How the outer-loop samples reduce to the reported number.
@@ -385,6 +407,30 @@ impl LauncherOptions {
             self.machine.config().nominal_ghz
         }
     }
+
+    /// A stable 64-bit fingerprint of the full option surface, recorded
+    /// in the [`mc_report::RunManifest`] so two CSVs can be compared for
+    /// configuration equality without storing every flag.
+    pub fn fingerprint(&self) -> u64 {
+        // The Debug rendering covers every field; a new option changes
+        // the fingerprint, which is exactly the provenance we want.
+        mc_report::fnv1a64(format!("{self:?}").as_bytes())
+    }
+
+    /// The provenance manifest for a run under these options:
+    /// tool/version, machine preset, options fingerprint, seed, mode.
+    /// Callers add timestamps or extra keys before rendering.
+    pub fn manifest(&self, tool: &str, version: &str) -> mc_report::RunManifest {
+        let mut m = mc_report::RunManifest::for_run(
+            tool,
+            version,
+            self.machine.name(),
+            self.fingerprint(),
+            self.seed,
+        );
+        m.set("mode", self.mode.name());
+        m
+    }
 }
 
 fn parse_bool(value: Option<&str>) -> Result<bool, String> {
@@ -424,8 +470,13 @@ mod tests {
                 "--placement" => format!("{name}=compact"),
                 "--mode" => format!("{name}=fork"),
                 "--eval-library" => format!("{name}=sim"),
-                "--heat-cache" | "--disable-interrupts" | "--verify" | "--verify-cache"
-                | "--csv" | "--full-function" | "--verbose" => name.to_owned(),
+                "--heat-cache"
+                | "--disable-interrupts"
+                | "--verify"
+                | "--verify-cache"
+                | "--csv"
+                | "--full-function"
+                | "--verbose" => name.to_owned(),
                 "--stability-threshold" | "--noise" | "--frequency" | "--omp-overhead" => {
                     format!("{name}=1.5")
                 }
@@ -491,6 +542,38 @@ mod tests {
         assert_eq!(o.effective_frequency(), 2.67);
         o.frequency_ghz = 1.6;
         assert_eq!(o.effective_frequency(), 1.6);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = LauncherOptions::default();
+        let mut b = LauncherOptions::default();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.repetitions += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn manifest_carries_provenance() {
+        let o = LauncherOptions::default();
+        let m = o.manifest("microlauncher", "0.1.0");
+        assert_eq!(m.get("tool"), Some("microlauncher"));
+        assert_eq!(m.get("machine"), Some("x5650"));
+        assert_eq!(m.get("mode"), Some("seq"));
+        assert_eq!(m.get("seed"), Some(o.seed.to_string().as_str()));
+        assert_eq!(m.get("options_hash"), Some(format!("{:016x}", o.fingerprint()).as_str()));
+    }
+
+    #[test]
+    fn preset_and_mode_names_round_trip() {
+        for preset in [
+            MachinePreset::SandyBridgeE31240,
+            MachinePreset::NehalemX5650,
+            MachinePreset::NehalemX7550,
+        ] {
+            assert_eq!(MachinePreset::from_name(preset.name()), Some(preset));
+        }
+        assert_eq!(Mode::Fork.name(), "fork");
     }
 
     #[test]

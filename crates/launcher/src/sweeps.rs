@@ -39,7 +39,11 @@ pub fn unroll_by_level_sweep(
     levels: &[Level],
     per_instruction: bool,
 ) -> Result<Vec<Series>, String> {
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "unroll_by_level");
+    sweep_span.field("levels", levels.len() as u64);
     let programs = programs_by_unroll(desc)?;
+    sweep_span.field("programs", programs.len() as u64);
     let mut series = Vec::with_capacity(levels.len());
     for &level in levels {
         let mut opts = base.clone();
@@ -67,7 +71,11 @@ pub fn frequency_sweep(
     program: &Program,
     levels: &[Level],
 ) -> Result<Vec<Series>, String> {
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "frequency");
+    sweep_span.field("levels", levels.len() as u64);
     let steps = base.machine.config().frequency_steps_ghz.clone();
+    sweep_span.field("steps", steps.len() as u64);
     let denom = (program.load_count() + program.store_count()).max(1) as f64;
     let mut series = Vec::with_capacity(levels.len());
     for &level in levels {
@@ -76,8 +84,7 @@ pub fn frequency_sweep(
             let mut opts = base.clone();
             opts.residence = Some(level);
             opts.frequency_ghz = ghz;
-            let report =
-                MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
+            let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
             points.push((ghz, report.cycles_per_iteration / denom));
         }
         series.push(Series::new(level.name(), points));
@@ -91,6 +98,9 @@ pub fn core_sweep(
     program: &Program,
     max_cores: u32,
 ) -> Result<Series, String> {
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "cores");
+    sweep_span.field("max_cores", u64::from(max_cores));
     let mut points = Vec::with_capacity(max_cores as usize);
     for cores in 1..=max_cores {
         let mut opts = base.clone();
@@ -119,7 +129,10 @@ pub fn alignment_sweep(
     step: u64,
     max_offset: u64,
 ) -> Result<Vec<AlignmentPoint>, String> {
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "alignment");
     let grid = alignment_grid(program.nb_arrays as usize, step, max_offset);
+    sweep_span.field("configs", grid.len() as u64);
     let mut out = Vec::with_capacity(grid.len());
     for offsets in grid {
         let mut opts = base.clone();
@@ -147,6 +160,9 @@ pub fn alignment_sweep_sampled(
 ) -> Result<Vec<AlignmentPoint>, String> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "alignment_sampled");
+    sweep_span.field("configs", samples as u64);
     let n_arrays = program.nb_arrays as usize;
     let n_offsets = max_offset / step + 1;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -171,11 +187,7 @@ pub fn alignment_sweep_sampled(
 pub fn alignment_series(label: &str, points: &[AlignmentPoint]) -> Series {
     Series::new(
         label,
-        points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i as f64, p.cycles_per_iteration))
-            .collect(),
+        points.iter().enumerate().map(|(i, p)| (i as f64, p.cycles_per_iteration)).collect(),
     )
 }
 
@@ -190,7 +202,11 @@ pub fn openmp_comparison(
     threads: u32,
     invocations: u64,
 ) -> Result<OmpComparison, String> {
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "openmp_comparison");
+    sweep_span.field("threads", u64::from(threads));
     let programs = programs_by_unroll(desc)?;
+    sweep_span.field("programs", programs.len() as u64);
     let element_bytes = u64::from(desc.element_bytes.max(1));
     let mut seq_points = Vec::new();
     let mut omp_points = Vec::new();
@@ -270,8 +286,7 @@ mod tests {
     #[test]
     fn unroll_sweep_orders_hierarchy() {
         let desc = load_stream(Mnemonic::Movaps, 1, 8);
-        let series =
-            unroll_by_level_sweep(&opts(), &desc, &Level::ALL, true).unwrap();
+        let series = unroll_by_level_sweep(&opts(), &desc, &Level::ALL, true).unwrap();
         assert_eq!(series.len(), 4);
         // At unroll 8 the levels are strictly ordered.
         let at_u8: Vec<f64> = series.iter().map(|s| s.points[7].1).collect();
@@ -334,10 +349,7 @@ mod tests {
         let (_, l1_hidden) =
             arithmetic_hiding_sweep(&opts(), Mnemonic::Movaps, 10, Level::L1, 0.02).unwrap();
         assert!(ram_hidden >= 4, "RAM should hide ≥4 addps, hid {ram_hidden}");
-        assert!(
-            ram_hidden > l1_hidden,
-            "RAM hides more than L1: {ram_hidden} vs {l1_hidden}"
-        );
+        assert!(ram_hidden > l1_hidden, "RAM hides more than L1: {ram_hidden} vs {l1_hidden}");
         // Past the hidden budget the cost grows.
         let last = ram_series.points.last().unwrap().1;
         let first = ram_series.points[0].1;
@@ -348,13 +360,8 @@ mod tests {
     fn stride_sweep_shows_prefetch_cliff() {
         // Unit-stride streaming is bandwidth-bound; page-stride accesses
         // defeat the prefetcher and pay latency per access.
-        let series = stride_sweep(
-            &opts(),
-            Mnemonic::Movss,
-            &[1, 2, 4, 16, 64, 1024],
-            Level::Ram,
-        )
-        .unwrap();
+        let series =
+            stride_sweep(&opts(), Mnemonic::Movss, &[1, 2, 4, 16, 64, 1024], Level::Ram).unwrap();
         assert_eq!(series.points.len(), 6);
         let unit = series.points[0].1;
         let page = series.points.last().unwrap().1;
@@ -392,14 +399,14 @@ pub fn arithmetic_hiding_sweep(
     level: Level,
     tolerance: f64,
 ) -> Result<(Series, u32), String> {
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "arithmetic_hiding");
+    sweep_span.field("configs", u64::from(max_arith) + 1);
     let mut points = Vec::with_capacity(max_arith as usize + 1);
     for k in 0..=max_arith {
         let desc = mc_kernel::builder::arithmetic_hiding(mem_mnemonic, k);
-        let program = MicroCreator::new()
-            .generate(&desc)
-            .map_err(|e| e.to_string())?
-            .programs
-            .remove(0);
+        let program =
+            MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?.programs.remove(0);
         let mut opts = base.clone();
         opts.residence = Some(level);
         let report = MicroLauncher::new(opts).run(&KernelInput::program(program))?;
@@ -411,7 +418,10 @@ pub fn arithmetic_hiding_sweep(
         .take_while(|(_, c)| *c <= baseline * (1.0 + tolerance))
         .count()
         .saturating_sub(1) as u32;
-    Ok((Series::new(format!("{} + k·addps ({})", mem_mnemonic.name(), level.name()), points), hidden))
+    Ok((
+        Series::new(format!("{} + k·addps ({})", mem_mnemonic.name(), level.name()), points),
+        hidden,
+    ))
 }
 
 /// Stride study (§3.5): cycles per access as the stream stride grows —
@@ -422,6 +432,9 @@ pub fn stride_sweep(
     element_strides: &[i64],
     level: Level,
 ) -> Result<Series, String> {
+    let mut sweep_span = mc_trace::span("launcher.sweep");
+    sweep_span.field("sweep", "stride");
+    sweep_span.field("configs", element_strides.len() as u64);
     let desc = mc_kernel::builder::strided_stream(mnemonic, element_strides);
     let generated = MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?;
     let mut points = Vec::with_capacity(generated.programs.len());

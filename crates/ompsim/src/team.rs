@@ -133,10 +133,7 @@ where
         }
         *partials[tid].lock() = Some(acc);
     });
-    partials
-        .into_iter()
-        .filter_map(|m| m.into_inner())
-        .fold(identity, &reduce)
+    partials.into_iter().filter_map(|m| m.into_inner()).fold(identity, &reduce)
 }
 
 /// A parallel sum reduction over f64 values produced per index —
@@ -314,9 +311,7 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             let owner = v.load(Ordering::Relaxed);
             assert!(owner >= 1, "index {i} untouched");
-            let expected = (0..4)
-                .find(|&t| team.static_chunk(n, t).contains(&i))
-                .expect("covered");
+            let expected = (0..4).find(|&t| team.static_chunk(n, t).contains(&i)).expect("covered");
             assert_eq!(owner, expected as u64 + 1);
         }
     }

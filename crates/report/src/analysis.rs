@@ -23,11 +23,7 @@ pub struct Record {
 
 impl Record {
     /// Builds a record from `(key, value)` tag pairs.
-    pub fn new(
-        name: impl Into<String>,
-        tags: &[(&str, &str)],
-        metric: f64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, tags: &[(&str, &str)], metric: f64) -> Self {
         Record {
             name: name.into(),
             tags: tags.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
@@ -63,10 +59,10 @@ pub fn min_per_group(records: &[Record], field: &str) -> Vec<(String, f64)> {
     group_by(records, field)
         .into_iter()
         .filter_map(|(k, rs)| {
-            rs.iter().map(|r| r.metric).fold(None, |acc: Option<f64>, m| {
-                Some(acc.map_or(m, |a| a.min(m)))
-            })
-            .map(|m| (k, m))
+            rs.iter()
+                .map(|r| r.metric)
+                .fold(None, |acc: Option<f64>, m| Some(acc.map_or(m, |a| a.min(m))))
+                .map(|m| (k, m))
         })
         .collect()
 }
@@ -98,10 +94,8 @@ pub fn rank_fields(records: &[Record]) -> Vec<(String, f64)> {
             }
         }
     }
-    let mut ranked: Vec<(String, f64)> = fields
-        .into_iter()
-        .filter_map(|f| field_impact(records, &f).map(|i| (f, i)))
-        .collect();
+    let mut ranked: Vec<(String, f64)> =
+        fields.into_iter().filter_map(|f| field_impact(records, &f).map(|i| (f, i))).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite impacts"));
     ranked
 }

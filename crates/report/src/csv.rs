@@ -51,38 +51,53 @@ fn escape(field: &str) -> String {
     }
 }
 
-/// A parsed CSV document: header plus rows.
+/// A parsed CSV document: header plus rows, with any `#`-prefixed
+/// comment lines (e.g. a [`crate::RunManifest`] header block) preserved
+/// separately.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsvTable {
     /// Column names from the header row.
     pub columns: Vec<String>,
     /// Data rows, each with `columns.len()` fields.
     pub rows: Vec<Vec<String>>,
+    /// `#`-prefixed lines in document order, leading `#` and one
+    /// optional space stripped.
+    pub comments: Vec<String>,
 }
 
 impl CsvTable {
-    /// Parses a document (header required; quoted fields supported).
+    /// Parses a document (header required; quoted fields supported;
+    /// `#`-prefixed comment/manifest lines are collected, not parsed).
     pub fn parse(text: &str) -> Result<CsvTable, String> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or("empty CSV document")?;
-        let columns = parse_row(header)?;
+        let mut columns: Option<Vec<String>> = None;
         let mut rows = Vec::new();
-        for (i, line) in lines.enumerate() {
+        let mut comments = Vec::new();
+        for (i, line) in text.lines().enumerate() {
             if line.is_empty() {
                 continue;
             }
-            let row = parse_row(line)?;
-            if row.len() != columns.len() {
-                return Err(format!(
-                    "row {} has {} fields, header has {}",
-                    i + 2,
-                    row.len(),
-                    columns.len()
-                ));
+            if let Some(comment) = line.strip_prefix('#') {
+                comments.push(comment.strip_prefix(' ').unwrap_or(comment).to_owned());
+                continue;
             }
-            rows.push(row);
+            let row = parse_row(line)?;
+            match &columns {
+                None => columns = Some(row),
+                Some(header) => {
+                    if row.len() != header.len() {
+                        return Err(format!(
+                            "row {} has {} fields, header has {}",
+                            i + 1,
+                            row.len(),
+                            header.len()
+                        ));
+                    }
+                    rows.push(row);
+                }
+            }
         }
-        Ok(CsvTable { columns, rows })
+        let columns = columns.ok_or("empty CSV document")?;
+        Ok(CsvTable { columns, rows, comments })
     }
 
     /// Index of a named column.
@@ -184,6 +199,21 @@ mod tests {
     fn blank_lines_skipped() {
         let t = CsvTable::parse("a\n1\n\n2\n").unwrap();
         assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn comment_lines_are_collected_not_parsed() {
+        let doc =
+            "# tool: microlauncher 0.1.0\n# seed: 42\nkernel,cycles\n# mid-file note\na,1.5\n";
+        let t = CsvTable::parse(doc).unwrap();
+        assert_eq!(t.columns, vec!["kernel", "cycles"]);
+        assert_eq!(t.rows, vec![vec!["a".to_owned(), "1.5".to_owned()]]);
+        assert_eq!(t.comments, vec!["tool: microlauncher 0.1.0", "seed: 42", "mid-file note"]);
+    }
+
+    #[test]
+    fn comment_only_document_is_still_empty() {
+        assert!(CsvTable::parse("# just a manifest\n").is_err());
     }
 
     #[test]

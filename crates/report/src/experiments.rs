@@ -181,10 +181,8 @@ impl ShapeOutcome {
 /// Checks that series (in the given order) are strictly ordered in mean Y —
 /// e.g. L1 < L2 < L3 < RAM.
 pub fn check_ordered(name: &str, series: &[&Series]) -> ShapeCheck {
-    let means: Vec<f64> = series
-        .iter()
-        .map(|s| s.ys().iter().sum::<f64>() / s.points.len().max(1) as f64)
-        .collect();
+    let means: Vec<f64> =
+        series.iter().map(|s| s.ys().iter().sum::<f64>() / s.points.len().max(1) as f64).collect();
     let passed = means.windows(2).all(|w| w[0] < w[1]);
     let detail = series
         .iter()
@@ -199,9 +197,8 @@ pub fn check_ordered(name: &str, series: &[&Series]) -> ShapeCheck {
 /// `[lo, hi]`.
 pub fn check_spread(name: &str, series: &Series, lo: f64, hi: f64) -> ShapeCheck {
     let ys = series.ys();
-    let (min, max) = ys
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| (lo.min(y), hi.max(y)));
+    let (min, max) =
+        ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| (lo.min(y), hi.max(y)));
     let spread = if min > 0.0 { (max - min) / min } else { f64::INFINITY };
     ShapeCheck::new(
         name,
@@ -238,7 +235,12 @@ pub fn check_improvement(name: &str, series: &Series, lo: f64, hi: f64) -> Shape
     ShapeCheck::new(
         name,
         (lo..=hi).contains(&gain),
-        format!("improvement {:.1}% (expected {:.0}%–{:.0}%)", gain * 100.0, lo * 100.0, hi * 100.0),
+        format!(
+            "improvement {:.1}% (expected {:.0}%–{:.0}%)",
+            gain * 100.0,
+            lo * 100.0,
+            hi * 100.0
+        ),
     )
 }
 

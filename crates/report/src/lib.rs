@@ -16,11 +16,14 @@
 //!   checks* (ordering, knees, ratios, flatness) each reproduced figure
 //!   must satisfy,
 //! * [`analysis`] — the §7 "data-mining" helpers: optimal-variant search,
-//!   per-group minima, knob-impact ranking, Pareto fronts.
+//!   per-group minima, knob-impact ranking, Pareto fronts,
+//! * [`manifest`] — the [`RunManifest`] provenance header (`# key: value`
+//!   comment lines) embedded in every emitted CSV.
 
 pub mod analysis;
 pub mod csv;
 pub mod experiments;
+pub mod manifest;
 pub mod series;
 pub mod stats;
 pub mod table;
@@ -28,5 +31,6 @@ pub mod table;
 pub use analysis::Record;
 pub use csv::{CsvTable, CsvWriter};
 pub use experiments::{ExperimentId, ShapeCheck, ShapeOutcome};
+pub use manifest::{fnv1a64, RunManifest};
 pub use series::{Scale, Series};
 pub use stats::Summary;

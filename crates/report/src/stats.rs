@@ -39,8 +39,7 @@ impl Summary {
         } else {
             (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
         };
-        let variance =
-            sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let variance = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         Some(Summary { count, min, max, mean, median, stddev: variance.sqrt() })
     }
 

@@ -31,11 +31,8 @@ impl AsciiTable {
         }
         let mut out = String::new();
         let render_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<width$}", width = w))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<width$}", width = w)).collect();
             format!("| {} |", padded.join(" | "))
         };
         out.push_str(&render_row(&self.header, &widths));

@@ -112,10 +112,29 @@ impl CacheHierarchy {
         }
     }
 
-    /// Replays a whole trace.
+    /// Replays a whole trace. With metrics enabled (`mc-trace`), the
+    /// replay's per-level hit/miss deltas land in
+    /// `simarch.cache.<level>.{hits,misses}` counters and
+    /// `simarch.cache.ram_accesses`.
     pub fn replay(&mut self, trace: &[MemAccess]) {
+        let track = mc_trace::metrics_enabled();
+        let before: Vec<(u64, u64)> = if track {
+            self.levels.iter().map(|l| (l.hits, l.misses)).collect()
+        } else {
+            Vec::new()
+        };
+        let ram_before = self.ram_accesses;
         for &a in trace {
             self.access(a);
+        }
+        if track {
+            let metrics = mc_trace::metrics();
+            for (level, (hits0, misses0)) in self.levels.iter().zip(before) {
+                let name = level.name.to_ascii_lowercase();
+                metrics.inc(&format!("simarch.cache.{name}.hits"), level.hits - hits0);
+                metrics.inc(&format!("simarch.cache.{name}.misses"), level.misses - misses0);
+            }
+            metrics.inc("simarch.cache.ram_accesses", self.ram_accesses - ram_before);
         }
     }
 
@@ -278,9 +297,8 @@ mod tests {
         for round in 0..2 {
             let _ = round;
             for i in 0..64u64 {
-                for (k, base) in [0x10_0000u64, 0x10_0000 + 16384, 0x10_0000 + 2 * 16384]
-                    .into_iter()
-                    .enumerate()
+                for (k, base) in
+                    [0x10_0000u64, 0x10_0000 + 16384, 0x10_0000 + 2 * 16384].into_iter().enumerate()
                 {
                     h2.access(MemAccess {
                         address: base + (k as u64) * 4096 + i * 4,
@@ -291,9 +309,6 @@ mod tests {
             }
         }
         let spread = h2.levels[0].hit_rate();
-        assert!(
-            thrash < spread,
-            "set-aligned streams must thrash: {thrash} vs spread {spread}"
-        );
+        assert!(thrash < spread, "set-aligned streams must thrash: {thrash} vs spread {spread}");
     }
 }

@@ -238,11 +238,7 @@ impl MachineConfig {
 
     /// All Table 1 machines.
     pub fn table1() -> Vec<MachineConfig> {
-        vec![
-            Self::sandy_bridge_e31240(),
-            Self::nehalem_x5650_dual(),
-            Self::nehalem_x7550_quad(),
-        ]
+        vec![Self::sandy_bridge_e31240(), Self::nehalem_x5650_dual(), Self::nehalem_x7550_quad()]
     }
 }
 

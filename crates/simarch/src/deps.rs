@@ -21,11 +21,7 @@ use std::collections::HashMap;
 /// its register result observes (load latency + compute latency for
 /// load-op forms; stores produce no register result).
 pub fn result_latency(inst: &Inst) -> f64 {
-    decompose(inst)
-        .iter()
-        .filter(|u| u.port != PortClass::Store)
-        .map(|u| u.latency)
-        .sum()
+    decompose(inst).iter().filter(|u| u.port != PortClass::Store).map(|u| u.latency).sum()
 }
 
 /// Longest dependency path through `copies` back-to-back executions of the
@@ -92,7 +88,8 @@ mod tests {
     fn independent_loads_have_unit_recurrence() {
         // Rotating XMM registers break dependencies (§3.1) — only the
         // induction update (1 cycle) carries across iterations.
-        let r = rec("movaps (%rsi), %xmm0\nmovaps 16(%rsi), %xmm1\naddq $32, %rsi\nsubq $8, %rdi\n");
+        let r =
+            rec("movaps (%rsi), %xmm0\nmovaps 16(%rsi), %xmm1\naddq $32, %rsi\nsubq $8, %rdi\n");
         assert_eq!(r, 1.0);
     }
 
@@ -105,9 +102,7 @@ mod tests {
 
     #[test]
     fn two_accumulations_per_iteration_double_the_chain() {
-        let r = rec(
-            "addsd %xmm0, %xmm15\naddsd %xmm1, %xmm15\naddq $16, %rsi\nsubq $2, %rdi\n",
-        );
+        let r = rec("addsd %xmm0, %xmm15\naddsd %xmm1, %xmm15\naddq $16, %rsi\nsubq $2, %rdi\n");
         assert_eq!(r, 6.0);
     }
 
@@ -121,16 +116,15 @@ mod tests {
     #[test]
     fn matmul_inner_chain_is_the_accumulate() {
         // Figure 2's kernel: the addsd accumulation into %xmm1 dominates.
-        let r = rec(
-            "movsd (%rdx,%rax,8), %xmm0\naddq $1, %rax\nmulsd (%r8), %xmm0\n\
-             addq %r11, %r8\ncmpl %eax, %edi\naddsd %xmm0, %xmm1\n",
-        );
+        let r = rec("movsd (%rdx,%rax,8), %xmm0\naddq $1, %rax\nmulsd (%r8), %xmm0\n\
+             addq %r11, %r8\ncmpl %eax, %edi\naddsd %xmm0, %xmm1\n");
         assert_eq!(r, 3.0);
     }
 
     #[test]
     fn result_latencies() {
-        let b = body("movaps (%rsi), %xmm0\nmulsd (%r8), %xmm0\naddq $1, %rax\nmovaps %xmm0, (%rsi)\n");
+        let b =
+            body("movaps (%rsi), %xmm0\nmulsd (%r8), %xmm0\naddq $1, %rax\nmovaps %xmm0, (%rsi)\n");
         assert_eq!(result_latency(&b[0]), 4.0);
         assert_eq!(result_latency(&b[1]), 9.0, "load 4 + multiply 5");
         assert_eq!(result_latency(&b[2]), 1.0);

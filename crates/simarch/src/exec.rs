@@ -194,11 +194,12 @@ pub fn extract_streams(program: &Program) -> Vec<StreamInfo> {
     }
     // Pointer advances come from the induction updates in the tail.
     for inst in &insts {
-        let delta = match (inst.mnemonic, inst.operands.first().and_then(mc_asm::inst::Operand::as_imm)) {
-            (mc_asm::Mnemonic::Add(_), Some(v)) => v,
-            (mc_asm::Mnemonic::Sub(_), Some(v)) => -v,
-            _ => continue,
-        };
+        let delta =
+            match (inst.mnemonic, inst.operands.first().and_then(mc_asm::inst::Operand::as_imm)) {
+                (mc_asm::Mnemonic::Add(_), Some(v)) => v,
+                (mc_asm::Mnemonic::Sub(_), Some(v)) => -v,
+                _ => continue,
+            };
         if let Some(Reg::Gpr(g)) = inst.dst().and_then(mc_asm::inst::Operand::as_reg) {
             for s in &mut streams {
                 if let Reg::Gpr(sg) = s.reg {
@@ -262,12 +263,10 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
     // port-bound kernel shrugs it off (Figure 4) while a bandwidth-bound
     // one eats it whole (Figures 15/16).
     let loop_control = machine.loop_control_overhead_cycles * pressure.branches;
-    let core_cycles_base = frontend
-        .max(ports)
-        .max(recurrence)
-        .max(mem.core_cycles * align.memory_factor.max(1.0))
-        + align.extra_core_cycles
-        + loop_control;
+    let core_cycles_base =
+        frontend.max(ports).max(recurrence).max(mem.core_cycles * align.memory_factor.max(1.0))
+            + align.extra_core_cycles
+            + loop_control;
     let core_secs = core_cycles_base / (env.core_ghz * 1e9);
     let uncore_base_secs = mem.uncore_ns * 1e-9;
 
@@ -292,14 +291,11 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
             Level::L3 => machine.l3_socket_bandwidth_gbs,
             _ => unreachable!("core-domain levels filtered above"),
         };
-        let worst_socket_cores = crate::multicore::cores_per_socket(
-            machine,
-            env.active_cores,
-            env.placement,
-        )
-        .into_iter()
-        .max()
-        .unwrap_or(1);
+        let worst_socket_cores =
+            crate::multicore::cores_per_socket(machine, env.active_cores, env.placement)
+                .into_iter()
+                .max()
+                .unwrap_or(1);
         let capped_ns = bytes_per_iter * f64::from(worst_socket_cores) / socket_bw;
         if uncore_base_secs > 0.0 {
             (capped_ns * 1e-9 / uncore_base_secs).max(1.0)
@@ -314,6 +310,24 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
     let uncore_secs = uncore_base_secs * contention * align.memory_factor.max(1.0);
     let total_secs = core_secs.max(uncore_secs);
     let cycles = total_secs * machine.nominal_ghz * 1e9;
+
+    if mc_trace::metrics_enabled() {
+        // Expose the already-computed port pressure and bounds; gauges
+        // hold the latest estimate, histograms the distribution across a
+        // sweep.
+        let metrics = mc_trace::metrics();
+        metrics.inc("simarch.estimates", 1);
+        metrics.gauge_set("simarch.pressure.loads", pressure.loads);
+        metrics.gauge_set("simarch.pressure.stores", pressure.stores);
+        metrics.gauge_set("simarch.pressure.fp_add", pressure.fp_add);
+        metrics.gauge_set("simarch.pressure.fp_mul", pressure.fp_mul);
+        metrics.gauge_set("simarch.pressure.fused_uops", pressure.fused_uops);
+        metrics.gauge_set("simarch.bound.frontend", frontend);
+        metrics.gauge_set("simarch.bound.ports", ports);
+        metrics.gauge_set("simarch.bound.recurrence", recurrence);
+        metrics.gauge_set("simarch.bound.contention", contention);
+        metrics.observe("simarch.cycles_per_iteration", cycles);
+    }
 
     TimingReport {
         cycles_per_iteration: cycles,
@@ -334,9 +348,9 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mc_asm::inst::Mnemonic;
     use mc_creator::MicroCreator;
     use mc_kernel::builder::load_stream;
-    use mc_asm::inst::Mnemonic;
 
     /// Generates the pure-load kernel with the given mnemonic and unroll.
     fn load_program(m: Mnemonic, unroll: u32) -> Program {
@@ -382,11 +396,7 @@ mod tests {
         for level in Level::ALL {
             let w = Workload::resident_at(&env.machine, level);
             let r = estimate(&p, &w, &env);
-            assert!(
-                r.cycles_per_iteration > last,
-                "{} ≤ previous level",
-                level.name()
-            );
+            assert!(r.cycles_per_iteration > last, "{} ≤ previous level", level.name());
             last = r.cycles_per_iteration;
         }
     }
@@ -396,10 +406,10 @@ mod tests {
         // Figures 11/12: cycles per load fall as the unroll factor grows.
         let env = ExecEnv::single_core(x5650());
         let w = Workload::resident_at(&env.machine, Level::L1);
-        let u1 = estimate(&load_program(Mnemonic::Movaps, 1), &w, &env)
-            .cycles_per_memory_instruction(1);
-        let u8 = estimate(&load_program(Mnemonic::Movaps, 8), &w, &env)
-            .cycles_per_memory_instruction(8);
+        let u1 =
+            estimate(&load_program(Mnemonic::Movaps, 1), &w, &env).cycles_per_memory_instruction(1);
+        let u8 =
+            estimate(&load_program(Mnemonic::Movaps, 8), &w, &env).cycles_per_memory_instruction(8);
         assert!(u8 < u1, "u8 {u8} must beat u1 {u1}");
         assert!(u1 / u8 >= 1.5, "amortization should be substantial");
     }
@@ -409,10 +419,10 @@ mod tests {
         // §5.1: vectorized RAM accesses pay for 4× the data.
         let env = ExecEnv::single_core(x5650());
         let w = Workload::resident_at(&env.machine, Level::Ram);
-        let aps = estimate(&load_program(Mnemonic::Movaps, 8), &w, &env)
-            .cycles_per_memory_instruction(8);
-        let ss = estimate(&load_program(Mnemonic::Movss, 8), &w, &env)
-            .cycles_per_memory_instruction(8);
+        let aps =
+            estimate(&load_program(Mnemonic::Movaps, 8), &w, &env).cycles_per_memory_instruction(8);
+        let ss =
+            estimate(&load_program(Mnemonic::Movss, 8), &w, &env).cycles_per_memory_instruction(8);
         assert!(aps > 2.0 * ss, "movaps {aps} vs movss {ss}");
     }
 
@@ -470,8 +480,7 @@ mod tests {
         let p = MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
         let machine = MachineConfig::nehalem_x7550_quad();
         let env = ExecEnv::forked(machine.clone(), 8);
-        let base = Workload::resident_at(&machine, Level::Ram)
-            .aligned(vec![0, 1024, 2048, 3072]);
+        let base = Workload::resident_at(&machine, Level::Ram).aligned(vec![0, 1024, 2048, 3072]);
         let clash = Workload::resident_at(&machine, Level::Ram).aligned(vec![0, 0, 0, 0]);
         let good = estimate(&p, &base, &env).cycles_per_iteration;
         let bad = estimate(&p, &clash, &env).cycles_per_iteration;

@@ -31,11 +31,7 @@ impl SimMemory {
         let mut out = [0u8; 16];
         for (i, byte) in out.iter_mut().enumerate().take(len) {
             let a = addr + i as u64;
-            *byte = self
-                .pages
-                .get(&(a / 4096))
-                .map(|p| p[(a % 4096) as usize])
-                .unwrap_or(0);
+            *byte = self.pages.get(&(a / 4096)).map(|p| p[(a % 4096) as usize]).unwrap_or(0);
         }
         out
     }
@@ -505,9 +501,7 @@ impl Interpreter {
                 self.store_value(&inst.operands[1], v, w.bytes() as usize, outcome);
             }
             Lea(_) => {
-                if let (Operand::Mem(mem), Some(dst)) =
-                    (&inst.operands[0], inst.operands.get(1))
-                {
+                if let (Operand::Mem(mem), Some(dst)) = (&inst.operands[0], inst.operands.get(1)) {
                     let addr = self.effective_address(mem);
                     let mut v = [0u8; 16];
                     v[..8].copy_from_slice(&addr.to_le_bytes());
@@ -692,11 +686,7 @@ impl FpOp {
             }
             return out;
         }
-        let lanes = if self.packed {
-            16 / if self.double { 8 } else { 4 }
-        } else {
-            1
-        };
+        let lanes = if self.packed { 16 / if self.double { 8 } else { 4 } } else { 1 };
         for lane in 0..lanes {
             if self.double {
                 let off = lane * 8;
@@ -782,10 +772,7 @@ mod tests {
         let mut desc = figure6();
         desc.unrolling = UnrollRange::fixed(2);
         let progs = MicroCreator::new().generate(&desc).unwrap().programs;
-        let ss = progs
-            .iter()
-            .find(|p| p.meta.store_count() == 2)
-            .expect("SS variant exists");
+        let ss = progs.iter().find(|p| p.meta.store_count() == 2).expect("SS variant exists");
         let mut interp = Interpreter::new();
         interp.set_gpr(GprName::Rdi, 80 - ss.elements_per_iteration);
         interp.set_gpr(GprName::Rsi, BASE);
@@ -880,9 +867,8 @@ mod tests {
         interp.set_gpr(GprName::Rsi, BASE);
         interp.run(&p, 100);
         let reg = interp.xmm_reg(1);
-        let lanes: Vec<f32> = (0..4)
-            .map(|i| f32::from_le_bytes(reg[i * 4..i * 4 + 4].try_into().unwrap()))
-            .collect();
+        let lanes: Vec<f32> =
+            (0..4).map(|i| f32::from_le_bytes(reg[i * 4..i * 4 + 4].try_into().unwrap())).collect();
         assert_eq!(lanes, vec![1.0, 2.0, 3.0, 4.0]);
     }
 

@@ -41,8 +41,8 @@
 pub mod align;
 pub mod cachesim;
 pub mod config;
-pub mod energy;
 pub mod deps;
+pub mod energy;
 pub mod exec;
 pub mod freq;
 pub mod interp;
@@ -51,8 +51,8 @@ pub mod multicore;
 pub mod ports;
 pub mod uops;
 
+pub use cachesim::CacheHierarchy;
 pub use config::{CacheLevel, Level, MachineConfig};
 pub use energy::EnergyModel;
 pub use exec::{EnvPlacement, ExecEnv, TimingBounds, TimingReport, Workload};
-pub use cachesim::CacheHierarchy;
 pub use interp::{ExecOutcome, Interpreter, MemAccess, SimMemory};

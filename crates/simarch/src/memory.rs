@@ -169,17 +169,38 @@ mod tests {
         let dense = memory_cost(
             &machine,
             Level::Ram,
-            &[Stream { load_bytes_per_iteration: 64.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 16.0, stride_bytes: 16, dependent: false }],
+            &[Stream {
+                load_bytes_per_iteration: 64.0,
+                store_bytes_per_iteration: 0.0,
+                streaming_store: false,
+                access_bytes: 16.0,
+                stride_bytes: 16,
+                dependent: false,
+            }],
         );
         let line_stride = memory_cost(
             &machine,
             Level::Ram,
-            &[Stream { load_bytes_per_iteration: 64.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 16.0, stride_bytes: 64, dependent: false }],
+            &[Stream {
+                load_bytes_per_iteration: 64.0,
+                store_bytes_per_iteration: 0.0,
+                streaming_store: false,
+                access_bytes: 16.0,
+                stride_bytes: 64,
+                dependent: false,
+            }],
         );
         let page_stride = memory_cost(
             &machine,
             Level::Ram,
-            &[Stream { load_bytes_per_iteration: 64.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 16.0, stride_bytes: 4096, dependent: false }],
+            &[Stream {
+                load_bytes_per_iteration: 64.0,
+                store_bytes_per_iteration: 0.0,
+                streaming_store: false,
+                access_bytes: 16.0,
+                stride_bytes: 4096,
+                dependent: false,
+            }],
         );
         // Line-stride pulls 4× the useful traffic; page-stride at least that.
         assert!(line_stride.uncore_ns > dense.uncore_ns * 3.0, "{line_stride:?} vs {dense:?}");
@@ -194,12 +215,26 @@ mod tests {
         let dense = memory_cost(
             &machine,
             Level::L2,
-            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 8, dependent: false }],
+            &[Stream {
+                load_bytes_per_iteration: 8.0,
+                store_bytes_per_iteration: 0.0,
+                streaming_store: false,
+                access_bytes: 8.0,
+                stride_bytes: 8,
+                dependent: false,
+            }],
         );
         let strided = memory_cost(
             &machine,
             Level::L2,
-            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 1600, dependent: false }],
+            &[Stream {
+                load_bytes_per_iteration: 8.0,
+                store_bytes_per_iteration: 0.0,
+                streaming_store: false,
+                access_bytes: 8.0,
+                stride_bytes: 1600,
+                dependent: false,
+            }],
         );
         assert_eq!(dense, strided);
     }
@@ -210,12 +245,26 @@ mod tests {
         let indep = memory_cost(
             &machine,
             Level::Ram,
-            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 4096, dependent: false }],
+            &[Stream {
+                load_bytes_per_iteration: 8.0,
+                store_bytes_per_iteration: 0.0,
+                streaming_store: false,
+                access_bytes: 8.0,
+                stride_bytes: 4096,
+                dependent: false,
+            }],
         );
         let dep = memory_cost(
             &machine,
             Level::Ram,
-            &[Stream { load_bytes_per_iteration: 8.0, store_bytes_per_iteration: 0.0, streaming_store: false, access_bytes: 8.0, stride_bytes: 4096, dependent: true }],
+            &[Stream {
+                load_bytes_per_iteration: 8.0,
+                store_bytes_per_iteration: 0.0,
+                streaming_store: false,
+                access_bytes: 8.0,
+                stride_bytes: 4096,
+                dependent: true,
+            }],
         );
         assert!(dep.uncore_ns > indep.uncore_ns * 5.0, "no MLP for pointer chases");
         // A dependent RAM access costs the full latency.

@@ -135,8 +135,7 @@ mod tests {
         //  over six cores, there is no longer a single change" (§5.2.1).
         let machine = m();
         let per_core = machine.ram.bandwidth; // a full streaming core
-        let knee =
-            saturation_knee(&machine, per_core, Placement::RoundRobinSockets, 1.05).unwrap();
+        let knee = saturation_knee(&machine, per_core, Placement::RoundRobinSockets, 1.05).unwrap();
         assert!((6..=8).contains(&knee), "knee at {knee} cores");
         // Under the knee: ≈flat. Past the knee: growing.
         let under = contention_factor(&machine, 4, per_core, Placement::RoundRobinSockets);

@@ -71,8 +71,8 @@ impl PortPressure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mc_asm::parse::parse_listing;
     use mc_asm::format::AsmLine;
+    use mc_asm::parse::parse_listing;
 
     fn body(text: &str) -> Vec<Inst> {
         parse_listing(text)

@@ -1,0 +1,524 @@
+//! Trace events and their JSONL wire format.
+//!
+//! One event is one JSON object on one line. The schema is deliberately
+//! flat so any JSONL consumer (jq, a spreadsheet import, the summary
+//! renderer) can use it without a schema registry:
+//!
+//! ```json
+//! {"seq":3,"us":1412,"kind":"span","name":"creator.pass","dur_us":95,
+//!  "fields":{"pass":"unrolling","variants_in":8,"variants_out":64}}
+//! ```
+//!
+//! The encoder/decoder is hand-rolled: the workspace has no JSON
+//! dependency, and the subset needed here (objects of scalars) is small —
+//! the same trade the sibling crates make for XML (`mc-xmlite`) and CSV
+//! (`mc-report`).
+
+use std::fmt;
+
+/// A scalar field value.
+///
+/// Constructors normalize non-negative integers to [`Value::UInt`], so a
+/// value survives an encode→parse round trip structurally, not just
+/// numerically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Negative integer (non-negative integers normalize to `UInt`).
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Finite float (non-finite values encode as strings).
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Value::UInt(v as u64)
+        } else {
+            Value::Int(v)
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(u64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    /// The value as f64, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, when a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as &str, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as bool, when boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn encode(&self, out: &mut String) {
+        match self {
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::UInt(v) => out.push_str(&v.to_string()),
+            Value::Float(v) if v.is_finite() => {
+                // `{:?}` is the shortest representation that parses back to
+                // the same f64.
+                out.push_str(&format!("{v:?}"));
+            }
+            // JSON has no NaN/Inf literals; encode as strings.
+            Value::Float(v) => encode_str(&v.to_string(), out),
+            Value::Str(s) => encode_str(s, out),
+        }
+    }
+}
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: a named region with a duration.
+    Span,
+    /// A point-in-time event.
+    Event,
+    /// A routed diagnostic message (the old `eprintln!` traffic).
+    Diag,
+}
+
+impl EventKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Event => "event",
+            EventKind::Diag => "diag",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "span" => EventKind::Span,
+            "event" => EventKind::Event,
+            "diag" => EventKind::Diag,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, stamped by the tracer.
+    pub seq: u64,
+    /// Microseconds since the tracer's epoch (first installed sink).
+    pub micros: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Dotted event name, e.g. `creator.pass` or `launcher.experiment`.
+    pub name: String,
+    /// Wall time of the region, for spans.
+    pub duration_micros: Option<u64>,
+    /// Named scalar payload, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// A bare event with no payload.
+    pub fn new(kind: EventKind, name: impl Into<String>) -> Self {
+        TraceEvent {
+            seq: 0,
+            micros: 0,
+            kind,
+            name: name.into(),
+            duration_micros: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends one field (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Encodes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + self.fields.len() * 24);
+        out.push_str(&format!(
+            "{{\"seq\":{},\"us\":{},\"kind\":\"{}\",\"name\":",
+            self.seq,
+            self.micros,
+            self.kind.name()
+        ));
+        encode_str(&self.name, &mut out);
+        if let Some(d) = self.duration_micros {
+            out.push_str(&format!(",\"dur_us\":{d}"));
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_str(k, &mut out);
+                out.push(':');
+                v.encode(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON line produced by [`TraceEvent::to_json`].
+    pub fn from_json(line: &str) -> Result<TraceEvent, String> {
+        let mut p = Parser::new(line);
+        p.expect('{')?;
+        let mut event = TraceEvent::new(EventKind::Event, "");
+        let mut seen_kind = false;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "seq" => event.seq = p.u64()?,
+                "us" => event.micros = p.u64()?,
+                "dur_us" => event.duration_micros = Some(p.u64()?),
+                "kind" => {
+                    let k = p.string()?;
+                    event.kind = EventKind::from_name(&k)
+                        .ok_or_else(|| format!("unknown event kind `{k}`"))?;
+                    seen_kind = true;
+                }
+                "name" => event.name = p.string()?,
+                "fields" => {
+                    p.expect('{')?;
+                    if !p.eat('}') {
+                        loop {
+                            let k = p.string()?;
+                            p.expect(':')?;
+                            event.fields.push((k, p.value()?));
+                            if !p.eat(',') {
+                                break;
+                            }
+                        }
+                        p.expect('}')?;
+                    }
+                }
+                other => return Err(format!("unknown event key `{other}`")),
+            }
+            if !p.eat(',') {
+                break;
+            }
+        }
+        p.expect('}')?;
+        p.end()?;
+        if !seen_kind {
+            return Err("event missing `kind`".into());
+        }
+        Ok(event)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Minimal JSON scanner for the event subset (objects of scalars).
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { rest: text }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if let Some(stripped) = self.rest.strip_prefix(c) {
+            self.rest = stripped;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at `{}`", truncate(self.rest)))
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if let Some(stripped) = self.rest.strip_prefix(c) {
+            self.rest = stripped;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("trailing input `{}`", truncate(self.rest)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        loop {
+            let Some((i, c)) = chars.next() else {
+                return Err("unterminated string".into());
+            };
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => {
+                    let Some((_, esc)) = chars.next() else {
+                        return Err("dangling escape".into());
+                    };
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some((_, h)) = chars.next() else {
+                                    return Err("truncated \\u escape".into());
+                                };
+                                code = code * 16
+                                    + h.to_digit(16)
+                                        .ok_or_else(|| format!("bad hex digit `{h}`"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad code point {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number_literal(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .char_indices()
+            .find(|(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .map_or(self.rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(format!("expected number at `{}`", truncate(self.rest)));
+        }
+        let lit = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        Ok(lit)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let lit = self.number_literal()?;
+        lit.parse().map_err(|_| format!("invalid unsigned integer `{lit}`"))
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        if self.rest.starts_with('"') {
+            return Ok(Value::Str(self.string()?));
+        }
+        if let Some(stripped) = self.rest.strip_prefix("true") {
+            self.rest = stripped;
+            return Ok(Value::Bool(true));
+        }
+        if let Some(stripped) = self.rest.strip_prefix("false") {
+            self.rest = stripped;
+            return Ok(Value::Bool(false));
+        }
+        let lit = self.number_literal()?;
+        if lit.contains(['.', 'e', 'E']) {
+            lit.parse().map(Value::Float).map_err(|_| format!("invalid float `{lit}`"))
+        } else if lit.starts_with('-') {
+            lit.parse::<i64>().map(Value::Int).map_err(|_| format!("invalid integer `{lit}`"))
+        } else {
+            lit.parse().map(Value::UInt).map_err(|_| format!("invalid integer `{lit}`"))
+        }
+    }
+}
+
+fn truncate(s: &str) -> &str {
+    &s[..s.len().min(24)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_value_shapes() {
+        let mut event = TraceEvent::new(EventKind::Span, "creator.pass")
+            .with("pass", "unrolling")
+            .with("variants_in", 8u64)
+            .with("delta", -3i64)
+            .with("ratio", 0.125f64)
+            .with("ran", true);
+        event.seq = 42;
+        event.micros = 1_000_001;
+        event.duration_micros = Some(95);
+        let line = event.to_json();
+        let back = TraceEvent::from_json(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let event = TraceEvent::new(EventKind::Diag, "cli.diag")
+            .with("msg", "a \"quoted\"\tline\nwith \\ and \u{1}");
+        let back = TraceEvent::from_json(&event.to_json()).unwrap();
+        assert_eq!(back.field("msg"), event.field("msg"));
+    }
+
+    #[test]
+    fn nonnegative_integers_normalize_to_uint() {
+        assert_eq!(Value::from(5i64), Value::UInt(5));
+        assert_eq!(Value::from(-5i64), Value::Int(-5));
+        assert_eq!(Value::from(0i64), Value::UInt(0));
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_as_strings() {
+        let event = TraceEvent::new(EventKind::Event, "x").with("v", f64::NAN);
+        let back = TraceEvent::from_json(&event.to_json()).unwrap();
+        assert_eq!(back.field("v").and_then(Value::as_str), Some("NaN"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"kind\":\"span\"",
+            "{\"kind\":\"warp\",\"name\":\"x\"}",
+            "{\"name\":\"x\"}",
+            "{\"kind\":\"event\",\"name\":\"x\"} trailing",
+            "{\"kind\":\"event\",\"name\":\"x\",\"fields\":{\"k\":}}",
+        ] {
+            assert!(TraceEvent::from_json(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn field_lookup_and_accessors() {
+        let event = TraceEvent::new(EventKind::Event, "x")
+            .with("n", 3u64)
+            .with("f", 1.5f64)
+            .with("s", "text")
+            .with("b", false);
+        assert_eq!(event.field("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(event.field("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(event.field("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(event.field("s").and_then(Value::as_str), Some("text"));
+        assert_eq!(event.field("b").and_then(Value::as_bool), Some(false));
+        assert!(event.field("missing").is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! Human-readable end-of-run rendering: the `--metrics` summary table and
+//! the per-pass timing table the CLI binaries print.
+
+use crate::event::{TraceEvent, Value};
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders a metrics snapshot as an aligned text block.
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if snapshot.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+        return out;
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("─ counters ─\n");
+        let width = snapshot.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:width$}  {value}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("─ gauges ─\n");
+        let width = snapshot.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:width$}  {value:.4}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("─ histograms ─\n");
+        let width = snapshot.histograms.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {:width$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "min", "p50", "p95", "max", "mean"
+        );
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:width$}  {:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+                h.count, h.min, h.p50, h.p95, h.max, h.mean
+            );
+        }
+    }
+    out
+}
+
+/// Renders the pass-timing table from recorded `creator.pass` /
+/// `creator.pass.skipped` span events (the `--metrics` end-of-run view of
+/// one MicroCreator pipeline execution).
+pub fn render_pass_table(events: &[TraceEvent]) -> String {
+    let field_u64 =
+        |e: &TraceEvent, key: &str| -> u64 { e.field(key).and_then(Value::as_u64).unwrap_or(0) };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:28} {:>5} {:>12} {:>12} {:>8} {:>12}",
+        "pass", "ran", "variants in", "variants out", "pruned", "wall µs"
+    );
+    for event in events {
+        match event.name.as_str() {
+            "creator.pass" => {
+                let _ = writeln!(
+                    out,
+                    "{:28} {:>5} {:>12} {:>12} {:>8} {:>12}",
+                    event.field("pass").and_then(Value::as_str).unwrap_or("?"),
+                    "yes",
+                    field_u64(event, "variants_in"),
+                    field_u64(event, "variants_out"),
+                    field_u64(event, "pruned"),
+                    event.duration_micros.unwrap_or(0),
+                );
+            }
+            "creator.pass.skipped" => {
+                let _ = writeln!(
+                    out,
+                    "{:28} {:>5} {:>12} {:>12} {:>8} {:>12}",
+                    event.field("pass").and_then(Value::as_str).unwrap_or("?"),
+                    "no",
+                    field_u64(event, "variants_in"),
+                    field_u64(event, "variants_in"),
+                    0,
+                    "-",
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Aggregates span events by name: count, total and mean wall time. The
+/// generic end-of-run view for launcher/bench runs.
+pub fn render_span_summary(events: &[TraceEvent]) -> String {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for event in events {
+        if let Some(d) = event.duration_micros {
+            let entry = groups.entry(event.name.as_str()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += d;
+        }
+    }
+    let mut out = String::new();
+    if groups.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    let width = groups.keys().map(|n| n.len()).max().unwrap_or(4).max(4);
+    let _ = writeln!(out, "{:width$} {:>8} {:>14} {:>14}", "span", "count", "total µs", "mean µs");
+    for (name, (count, total)) in groups {
+        let _ = writeln!(
+            out,
+            "{name:width$} {count:>8} {total:>14} {:>14.1}",
+            total as f64 / count as f64
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn metrics_rendering_covers_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.inc("launcher.runs", 3);
+        registry.gauge_set("simarch.pressure.loads", 8.0);
+        registry.observe("launcher.cycles", 3.25);
+        let text = render_metrics(&registry.snapshot());
+        assert!(text.contains("launcher.runs"), "{text}");
+        assert!(text.contains("simarch.pressure.loads"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("3.2500"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert!(render_metrics(&MetricsSnapshot::default()).contains("no metrics"));
+    }
+
+    #[test]
+    fn pass_table_lists_ran_and_skipped() {
+        let mut ran = TraceEvent::new(EventKind::Span, "creator.pass")
+            .with("pass", "unrolling")
+            .with("variants_in", 8u64)
+            .with("variants_out", 64u64)
+            .with("pruned", 0u64);
+        ran.duration_micros = Some(120);
+        let skipped = TraceEvent::new(EventKind::Event, "creator.pass.skipped")
+            .with("pass", "random-selection")
+            .with("variants_in", 8u64);
+        let text = render_pass_table(&[ran, skipped]);
+        assert!(text.contains("unrolling"), "{text}");
+        assert!(text.contains("random-selection"), "{text}");
+        assert!(text.contains("120"), "{text}");
+    }
+
+    #[test]
+    fn span_summary_groups_by_name() {
+        let mut a = TraceEvent::new(EventKind::Span, "launcher.run");
+        a.duration_micros = Some(100);
+        let mut b = TraceEvent::new(EventKind::Span, "launcher.run");
+        b.duration_micros = Some(300);
+        let no_span = TraceEvent::new(EventKind::Event, "launcher.experiment");
+        let text = render_span_summary(&[a, b, no_span]);
+        assert!(text.contains("launcher.run"), "{text}");
+        assert!(text.contains("200.0"), "mean column: {text}");
+        assert!(!text.contains("launcher.experiment"), "{text}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property test: serialize → parse round-trip over randomized trace
+//! events. Uses a hand-rolled splitmix/LCG generator (the workspace
+//! convention is zero external test dependencies) — 2 000 cases with
+//! adversarial strings, extreme integers, and odd floats.
+
+use mc_trace::{EventKind, TraceEvent, Value};
+
+/// splitmix64: tiny, seedable, good-enough dispersion for case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Characters chosen to stress the escaper: quotes, backslashes, control
+/// characters, multi-byte UTF-8, JSON-syntax characters.
+const CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1b}', '{', '}', ':', ',', '[',
+    ']', 'µ', '→', '🦀', '\u{7f}',
+];
+
+fn arbitrary_string(rng: &mut Rng, max_len: u64) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| CHARS[rng.below(CHARS.len() as u64) as usize]).collect()
+}
+
+fn arbitrary_value(rng: &mut Rng) -> Value {
+    match rng.below(7) {
+        0 => Value::from(rng.below(2) == 0),
+        // From<i64> normalizes non-negative to UInt, so construct the
+        // negative variant directly to cover it (including i64::MIN).
+        1 => Value::Int(-((rng.next() >> 1) as i64) - 1),
+        2 => Value::Int(i64::MIN),
+        3 => Value::from(rng.next()),
+        4 => {
+            // Finite floats, including subnormals and integral values.
+            let f = f64::from_bits(rng.next());
+            Value::from(if f.is_finite() { f } else { (rng.next() >> 12) as f64 / 7.0 })
+        }
+        5 => Value::from(
+            [0.0, -0.0, f64::MIN, f64::MAX, f64::EPSILON, 1e300, -1e-300][rng.below(7) as usize],
+        ),
+        _ => Value::from(arbitrary_string(rng, 24)),
+    }
+}
+
+fn arbitrary_event(rng: &mut Rng) -> TraceEvent {
+    let kind = match rng.below(3) {
+        0 => EventKind::Span,
+        1 => EventKind::Event,
+        _ => EventKind::Diag,
+    };
+    let mut event = TraceEvent::new(kind, arbitrary_string(rng, 12));
+    event.seq = rng.next();
+    event.micros = rng.next() >> 1;
+    if kind == EventKind::Span {
+        event.duration_micros = Some(rng.below(1 << 40));
+    }
+    for _ in 0..rng.below(6) {
+        let key = format!("k{}", rng.below(1000));
+        event.fields.push((key, arbitrary_value(rng)));
+    }
+    event
+}
+
+#[test]
+fn random_events_round_trip_structurally() {
+    let mut rng = Rng(0x5eed_2026_0806);
+    for case in 0..2000 {
+        let event = arbitrary_event(&mut rng);
+        let line = event.to_json();
+        let parsed = TraceEvent::from_json(&line)
+            .unwrap_or_else(|e| panic!("case {case}: parse failed: {e}\nline: {line}"));
+        assert_eq!(parsed, event, "case {case}: round-trip mismatch\nline: {line}");
+    }
+}
+
+#[test]
+fn nonfinite_floats_degrade_to_strings_without_error() {
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let event = TraceEvent::new(EventKind::Event, "odd").with("x", v);
+        let parsed = TraceEvent::from_json(&event.to_json()).unwrap();
+        // NaN/Inf have no JSON literal; they come back as their string form.
+        assert!(matches!(parsed.field("x"), Some(Value::Str(_))), "{parsed:?}");
+    }
+}
+
+#[test]
+fn parser_rejects_garbage() {
+    for bad in ["", "{", "not json", "{\"seq\":}", "{\"seq\":1", "[1,2]"] {
+        assert!(TraceEvent::from_json(bad).is_err(), "accepted {bad:?}");
+    }
+}

@@ -114,11 +114,7 @@ impl Element {
     pub fn text(&self) -> Option<&str> {
         // The schema only ever has a single text node in leaves; for
         // robustness return the first non-whitespace one.
-        self.children
-            .iter()
-            .filter_map(Node::as_text)
-            .map(str::trim)
-            .find(|t| !t.is_empty())
+        self.children.iter().filter_map(Node::as_text).map(str::trim).find(|t| !t.is_empty())
     }
 
     /// Text content of the first child element with the given name.

@@ -297,9 +297,8 @@ impl<'a> Parser<'a> {
         while let Some(amp) = rest.find('&') {
             out.push_str(&rest[..amp]);
             let after = &rest[amp + 1..];
-            let semi = after
-                .find(';')
-                .ok_or_else(|| self.error("unterminated entity reference"))?;
+            let semi =
+                after.find(';').ok_or_else(|| self.error("unterminated entity reference"))?;
             let entity = &after[..semi];
             match entity {
                 "lt" => out.push('<'),
@@ -467,7 +466,10 @@ mod tests {
         let inst = e.find("instruction").unwrap();
         assert_eq!(inst.child_text("operation"), Some("movaps"));
         assert!(inst.has_child("swap_after_unroll"));
-        assert_eq!(inst.find("memory").unwrap().find("register").unwrap().child_text("name"), Some("r1"));
+        assert_eq!(
+            inst.find("memory").unwrap().find("register").unwrap().child_text("name"),
+            Some("r1")
+        );
         assert_eq!(e.find("unrolling").unwrap().child_i64("max"), Some(8));
         assert_eq!(e.find("branch_information").unwrap().child_text("test"), Some("jge"));
     }

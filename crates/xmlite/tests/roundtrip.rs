@@ -11,10 +11,9 @@ fn name_strategy() -> impl Strategy<Value = String> {
 /// Text without leading/trailing whitespace (the pretty-printer normalizes
 /// surrounding whitespace, so only inner-trimmed text round-trips exactly).
 fn text_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9<>&'\" %/=-]{1,24}".prop_map(|s| s.trim().to_owned()).prop_filter(
-        "non-empty after trim",
-        |s| !s.is_empty(),
-    )
+    "[a-zA-Z0-9<>&'\" %/=-]{1,24}"
+        .prop_map(|s| s.trim().to_owned())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
 }
 
 fn attr_strategy() -> impl Strategy<Value = (String, String)> {
@@ -22,7 +21,11 @@ fn attr_strategy() -> impl Strategy<Value = (String, String)> {
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), prop::collection::vec(attr_strategy(), 0..3), prop::option::of(text_strategy()))
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec(attr_strategy(), 0..3),
+        prop::option::of(text_strategy()),
+    )
         .prop_map(|(name, attrs, text)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {

@@ -17,12 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("── stride study: movss loads from RAM (X5650) ──");
     let mut opts = LauncherOptions::default();
     opts.verify = false;
-    let series = stride_sweep(
-        &opts,
-        Mnemonic::Movss,
-        &[1, 2, 4, 8, 16, 32, 64, 256, 1024],
-        Level::Ram,
-    )?;
+    let series =
+        stride_sweep(&opts, Mnemonic::Movss, &[1, 2, 4, 8, 16, 32, 64, 256, 1024], Level::Ram)?;
     for (stride, cycles) in &series.points {
         println!("  stride {stride:>7.0} B: {cycles:>7.2} cycles/access");
     }
@@ -49,16 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut o = LauncherOptions::default();
     o.verify = false;
     for level in [Level::L1, Level::Ram] {
-        let (series, hidden) =
-            arithmetic_hiding_sweep(&o, Mnemonic::Movaps, 10, level, 0.02)?;
+        let (series, hidden) = arithmetic_hiding_sweep(&o, Mnemonic::Movaps, 10, level, 0.02)?;
         print!("  {:4}:", level.name());
         for (k, c) in &series.points {
             print!(" k={k:.0}→{c:.1}");
         }
         println!("   → {hidden} additions ride free");
     }
-    println!("  → memory latency pays for several vector additions — but only off-core
-");
+    println!(
+        "  → memory latency pays for several vector additions — but only off-core
+"
+    );
 
     // --- 3. Energy: the §7 power-utilization metric ---------------------
     println!("── energy per iteration vs core frequency (movaps ×8) ──");

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("native host measurements ({} experiments × {} repetitions each):", 10, 64);
     println!("{}", microtools::launcher::launcher::RunReport::csv_header());
     let launcher = MicroLauncher::new(opts);
-    for input in [KernelInput::native(sum), KernelInput::native(copy), KernelInput::native(chain)]
-    {
+    for input in [KernelInput::native(sum), KernelInput::native(copy), KernelInput::native(chain)] {
         let report = launcher.run(&input)?;
         println!("{}", report.csv_row());
         println!(

@@ -27,26 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Figures 17/18: OpenMP vs sequential on the E31240 -------------
-    for (elements, label) in [(128 * 1024u64, "128k floats (Figure 17)"), (6_000_000, "6M floats (Figure 18)")] {
+    for (elements, label) in
+        [(128 * 1024u64, "128k floats (Figure 17)"), (6_000_000, "6M floats (Figure 18)")]
+    {
         println!("── OpenMP vs sequential: {label} ──");
         let mut base_opts = LauncherOptions::default();
         base_opts.machine = MachinePreset::SandyBridgeE31240;
         base_opts.verify = false;
-        let cmp = openmp_comparison(
-            &base_opts,
-            &load_stream(Mnemonic::Movss, 1, 8),
-            elements,
-            4,
-            1,
-        )?;
+        let cmp =
+            openmp_comparison(&base_opts, &load_stream(Mnemonic::Movss, 1, 8), elements, 4, 1)?;
         println!(
             "{}",
             render_chart(&[cmp.sequential.clone(), cmp.openmp.clone()], 64, 12, Scale::Log10)
         );
-        let seq_gain = (cmp.sequential.points[0].1 - cmp.sequential.points[7].1)
-            / cmp.sequential.points[0].1;
-        let omp_gain =
-            (cmp.openmp.points[0].1 - cmp.openmp.points[7].1) / cmp.openmp.points[0].1;
+        let seq_gain =
+            (cmp.sequential.points[0].1 - cmp.sequential.points[7].1) / cmp.sequential.points[0].1;
+        let omp_gain = (cmp.openmp.points[0].1 - cmp.openmp.points[7].1) / cmp.openmp.points[0].1;
         let speedup = cmp.sequential.points[0].1 / cmp.openmp.points[0].1;
         println!(
             "  sequential unroll gain {:.1}%, OpenMP unroll gain {:.1}%, OpenMP speedup {speedup:.1}×\n",

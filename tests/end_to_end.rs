@@ -13,9 +13,8 @@ fn figure6_xml_to_measured_csv() {
     assert_eq!(generated.programs.len(), 510);
 
     let launcher = MicroLauncher::with_defaults();
-    let mut csv = microtools::report::CsvWriter::new(
-        RunReport::csv_header().split(',').collect::<Vec<_>>(),
-    );
+    let mut csv =
+        microtools::report::CsvWriter::new(RunReport::csv_header().split(',').collect::<Vec<_>>());
     for program in generated.programs.iter().step_by(100) {
         let report = launcher.run(&KernelInput::program(program.clone())).unwrap();
         assert!(report.verify.as_ref().unwrap().passed, "{}", program.name);
@@ -70,8 +69,7 @@ fn every_unroll_variant_is_semantically_consistent() {
         let v = report.verify.unwrap();
         assert!(v.passed, "{}: {}", program.name, v.detail);
         assert_eq!(
-            v.memory_ops_per_iteration as u32,
-            program.meta.unroll,
+            v.memory_ops_per_iteration as u32, program.meta.unroll,
             "{} does one memory op per unrolled copy",
             program.name
         );
@@ -80,11 +78,9 @@ fn every_unroll_variant_is_semantically_consistent() {
 
 #[test]
 fn unrolling_improves_or_holds_on_every_machine() {
-    for machine in [
-        MachinePreset::SandyBridgeE31240,
-        MachinePreset::NehalemX5650,
-        MachinePreset::NehalemX7550,
-    ] {
+    for machine in
+        [MachinePreset::SandyBridgeE31240, MachinePreset::NehalemX5650, MachinePreset::NehalemX7550]
+    {
         let programs =
             microtools::launcher::sweeps::programs_by_unroll(&load_stream(Mnemonic::Movaps, 1, 8))
                 .unwrap();
@@ -124,10 +120,7 @@ fn sandy_bridge_outruns_nehalem_on_l1_loads() {
     };
     let nehalem = run(MachinePreset::NehalemX5650);
     let snb = run(MachinePreset::SandyBridgeE31240);
-    assert!(
-        snb < nehalem * 0.7,
-        "Sandy Bridge should be markedly faster: {snb} vs {nehalem}"
-    );
+    assert!(snb < nehalem * 0.7, "Sandy Bridge should be markedly faster: {snb} vs {nehalem}");
 }
 
 #[test]
@@ -170,13 +163,10 @@ fn launcher_options_parse_from_cli_and_drive_a_run() {
         "--aggregate=median",
     ])
     .unwrap();
-    let program = microtools::launcher::sweeps::programs_by_unroll(&load_stream(
-        Mnemonic::Movss,
-        4,
-        4,
-    ))
-    .unwrap()
-    .remove(0);
+    let program =
+        microtools::launcher::sweeps::programs_by_unroll(&load_stream(Mnemonic::Movss, 4, 4))
+            .unwrap()
+            .remove(0);
     let report = MicroLauncher::new(opts).run(&KernelInput::program(program)).unwrap();
     assert_eq!(report.residence, Some(Level::L3));
     assert!(report.stable);

@@ -7,7 +7,6 @@ use microtools::prelude::*;
 use microtools::simarch::interp::Interpreter;
 use proptest::prelude::*;
 
-
 /// Reference flag computation for `a - b` at 64 bits (the `cmpq` case).
 fn reference_sub_flags(a: u64, b: u64) -> (bool, bool, bool, bool) {
     let r = a.wrapping_sub(b);
@@ -114,14 +113,10 @@ fn non_temporal_stores_beat_regular_stores_in_ram() {
     opts.residence = Some(Level::Ram);
     opts.verify = false;
     let launcher = MicroLauncher::new(opts);
-    let regular = launcher
-        .run(&KernelInput::program(build(Mnemonic::Movaps)))
-        .unwrap()
-        .cycles_per_iteration;
-    let streaming = launcher
-        .run(&KernelInput::program(build(Mnemonic::Movntps)))
-        .unwrap()
-        .cycles_per_iteration;
+    let regular =
+        launcher.run(&KernelInput::program(build(Mnemonic::Movaps))).unwrap().cycles_per_iteration;
+    let streaming =
+        launcher.run(&KernelInput::program(build(Mnemonic::Movntps))).unwrap().cycles_per_iteration;
     assert!(
         regular > streaming * 1.7,
         "write-allocate must penalize regular stores: {regular} vs {streaming}"
@@ -151,8 +146,7 @@ fn store_streams_cost_more_than_load_streams_in_ram() {
         .into_iter()
         .find(|p| p.store_count() == 8)
         .unwrap();
-    let stores =
-        launcher.run(&KernelInput::program(all_stores)).unwrap().cycles_per_iteration;
+    let stores = launcher.run(&KernelInput::program(all_stores)).unwrap().cycles_per_iteration;
     assert!(stores > loads * 1.5, "stores {stores} vs loads {loads}");
 }
 

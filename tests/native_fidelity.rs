@@ -82,10 +82,7 @@ fn compile_and_run(
         .output()
         .map_err(|e| e.to_string())?;
     if !compile.status.success() {
-        return Err(format!(
-            "cc failed:\n{}",
-            String::from_utf8_lossy(&compile.stderr)
-        ));
+        return Err(format!("cc failed:\n{}", String::from_utf8_lossy(&compile.stderr)));
     }
     let run = Command::new(&binary).output().map_err(|e| e.to_string())?;
     if !run.status.success() {
@@ -158,15 +155,9 @@ fn emitted_assembly_runs_natively_and_matches_the_interpreter() {
         let unit = render_asm_unit(program);
         let file = format!("{}.s", symbol_name(program));
         std::fs::write(dir.join(&file), unit).unwrap();
-        let native = compile_and_run(
-            &dir,
-            &file,
-            &symbol_name(program),
-            program.nb_arrays,
-            array_bytes,
-            n,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        let native =
+            compile_and_run(&dir, &file, &symbol_name(program), program.nb_arrays, array_bytes, n)
+                .unwrap_or_else(|e| panic!("{}: {e}", program.name));
         let interpreted = interpreter_iterations(program, n);
         assert_eq!(
             native, interpreted,
@@ -198,15 +189,9 @@ fn emitted_c_source_compiles_and_runs_natively() {
         let array_bytes = 1u64 << 16;
         // Full traversal of the 64 KiB array, whole iterations only.
         let n = (array_bytes / 4 / epi) * epi;
-        let reported = compile_and_run(
-            &dir,
-            &file,
-            &symbol_name(program),
-            program.nb_arrays,
-            array_bytes,
-            n,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        let reported =
+            compile_and_run(&dir, &file, &symbol_name(program), program.nb_arrays, array_bytes, n)
+                .unwrap_or_else(|e| panic!("{}: {e}", program.name));
         assert_eq!(reported, n / epi, "{}", program.name);
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -13,34 +13,29 @@ fn kernel_strategy() -> impl Strategy<Value = KernelDesc> {
         Mnemonic::Movapd,
         Mnemonic::Movups,
     ]);
-    (
-        prop::collection::vec((mnemonic, any::<bool>()), 1..4),
-        1u32..5,
-        1u32..6,
+    (prop::collection::vec((mnemonic, any::<bool>()), 1..4), 1u32..5, 1u32..6).prop_filter_map(
+        "bounded cartesian expansion",
+        |(instructions, unroll_min, unroll_span)| {
+            let unroll_max = unroll_min + unroll_span - 1;
+            let marked = instructions.iter().filter(|(_, swap)| *swap).count() as u32;
+            // Keep the swap expansion within the generator's safety cap:
+            // the largest kernel yields Σ 2^(u×marked) programs.
+            if unroll_max * marked > 12 {
+                return None;
+            }
+            let mut builder = KernelBuilder::new("prop");
+            for (i, (m, swap)) in instructions.iter().enumerate() {
+                builder = builder.stream_instruction(*m, &format!("r{}", i + 1), *swap);
+            }
+            Some(
+                builder
+                    .unroll(unroll_min, unroll_max)
+                    .counted_by("r1")
+                    .build()
+                    .expect("builder kernels are valid"),
+            )
+        },
     )
-        .prop_filter_map(
-            "bounded cartesian expansion",
-            |(instructions, unroll_min, unroll_span)| {
-                let unroll_max = unroll_min + unroll_span - 1;
-                let marked = instructions.iter().filter(|(_, swap)| *swap).count() as u32;
-                // Keep the swap expansion within the generator's safety cap:
-                // the largest kernel yields Σ 2^(u×marked) programs.
-                if unroll_max * marked > 12 {
-                    return None;
-                }
-                let mut builder = KernelBuilder::new("prop");
-                for (i, (m, swap)) in instructions.iter().enumerate() {
-                    builder = builder.stream_instruction(*m, &format!("r{}", i + 1), *swap);
-                }
-                Some(
-                    builder
-                        .unroll(unroll_min, unroll_max)
-                        .counted_by("r1")
-                        .build()
-                        .expect("builder kernels are valid"),
-                )
-            },
-        )
 }
 
 proptest! {
