@@ -1,0 +1,74 @@
+//! Criterion benches for the mc-exec evaluation engine: the same
+//! unroll-by-level sweep (4 levels × 8 unroll factors = 32 points)
+//! evaluated serially, fanned across the pool, and replayed from the
+//! memoization cache. The serial-vs-parallel ratio is the engine's
+//! speedup; the cached row is the memoization floor.
+//!
+//! The worker count and the cache are process-global, so each variant
+//! pins them explicitly around its measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+use mc_asm::inst::Mnemonic;
+use mc_kernel::builder::load_stream;
+use mc_launcher::batch::{clear_cache, set_cache_enabled};
+use mc_launcher::sweeps::unroll_by_level_sweep;
+use mc_launcher::LauncherOptions;
+use mc_simarch::config::Level;
+use std::hint::black_box;
+
+fn sweep_options() -> LauncherOptions {
+    let mut o = LauncherOptions::default();
+    o.repetitions = 16;
+    o.meta_repetitions = 8;
+    o.verify = false;
+    o
+}
+
+fn run_sweep() -> Vec<mc_report::series::Series> {
+    let desc = load_stream(Mnemonic::Movaps, 1, 8);
+    unroll_by_level_sweep(&sweep_options(), &desc, &Level::ALL, false).expect("sweep runs")
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(10);
+
+    group.bench_function("sweep32_serial", |b| {
+        set_cache_enabled(false);
+        mc_exec::set_jobs(1);
+        b.iter(|| black_box(run_sweep()));
+        set_cache_enabled(true);
+    });
+
+    group.bench_function("sweep32_parallel_nocache", |b| {
+        set_cache_enabled(false);
+        mc_exec::set_jobs(std::thread::available_parallelism().map_or(4, usize::from));
+        b.iter(|| black_box(run_sweep()));
+        set_cache_enabled(true);
+    });
+
+    group.bench_function("sweep32_parallel_cached", |b| {
+        set_cache_enabled(true);
+        clear_cache();
+        mc_exec::set_jobs(std::thread::available_parallelism().map_or(4, usize::from));
+        run_sweep(); // populate
+        b.iter(|| black_box(run_sweep()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_exec
+}
+criterion_main!(benches);

@@ -3,6 +3,8 @@
 //! ```text
 //! reproduce                  # run all experiments
 //! reproduce --exp fig11      # one experiment
+//! reproduce --quick          # a fast smoke subset of the experiments
+//! reproduce --jobs=4         # worker threads for the evaluation engine
 //! reproduce --list           # list experiment keys
 //! reproduce --summary        # verdict lines only, no charts
 //! reproduce --csv-dir=out    # also write each experiment's series as CSV
@@ -15,11 +17,11 @@
 //! `--metrics`, `--quiet`) apply; each experiment runs under one
 //! `bench.experiment` span.
 
-use mc_bench::figures::{run_all, run_experiment, FigureResult};
+use mc_bench::figures::{run_all, run_experiment, run_many, FigureResult};
 use mc_report::experiments::ExperimentId;
 use mc_report::series::render_chart;
 use mc_report::{CsvWriter, RunManifest};
-use mc_tools::TraceSession;
+use mc_tools::{take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::path::Path;
 use std::process::ExitCode;
@@ -62,6 +64,17 @@ fn print_result(r: &FigureResult, summary_only: bool) {
     println!();
 }
 
+/// The `--quick` smoke subset: the cheap experiments, still covering the
+/// creator, the sweep drivers, and both fork and frequency modes.
+const QUICK: &[ExperimentId] = &[
+    ExperimentId::Counts,
+    ExperimentId::Table1,
+    ExperimentId::Fig3,
+    ExperimentId::Fig11,
+    ExperimentId::Fig13,
+    ExperimentId::Fig14,
+];
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let session = match TraceSession::from_flags(&mut args) {
@@ -71,6 +84,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = take_jobs_flag(&mut args) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     let code = run(args);
     session.finish();
     code
@@ -79,6 +96,7 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> ExitCode {
     let mut exp: Option<String> = None;
     let mut summary_only = false;
+    let mut quick = false;
     let mut csv_dir: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -90,6 +108,7 @@ fn run(args: Vec<String>) -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--summary" => summary_only = true,
+            "--quick" => quick = true,
             "--exp" => exp = iter.next().cloned(),
             other if other.starts_with("--exp=") => {
                 exp = Some(other.trim_start_matches("--exp=").to_owned());
@@ -98,7 +117,7 @@ fn run(args: Vec<String>) -> ExitCode {
                 csv_dir = Some(other.trim_start_matches("--csv-dir=").to_owned());
             }
             other => {
-                diag!("unknown argument `{other}` (try --list, --summary, --exp <key>)");
+                diag!("unknown argument `{other}` (try --list, --summary, --quick, --exp <key>)");
                 return ExitCode::FAILURE;
             }
         }
@@ -118,13 +137,16 @@ fn run(args: Vec<String>) -> ExitCode {
                 }
             }
         }
-        None => match run_all() {
-            Ok(rs) => rs,
-            Err(e) => {
-                diag!("reproduction failed: {e}");
-                return ExitCode::FAILURE;
+        None => {
+            let run = if quick { run_many(QUICK) } else { run_all() };
+            match run {
+                Ok(rs) => rs,
+                Err(e) => {
+                    diag!("reproduction failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+        }
     };
 
     for r in &results {

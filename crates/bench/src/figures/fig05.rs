@@ -9,10 +9,10 @@
 //! abstracted kernel description expanded by MicroCreator.
 
 use super::{quick_options, FigureResult};
-use mc_creator::MicroCreator;
 use mc_kernel::builder::matmul_inner;
 use mc_kernel::Program;
-use mc_launcher::{KernelInput, MicroLauncher};
+use mc_launcher::sweeps::generate_shared;
+use mc_launcher::MicroLauncher;
 use mc_report::experiments::{check_improvement, ExperimentId, ShapeCheck};
 use mc_report::series::Series;
 use mc_simarch::config::Level;
@@ -44,14 +44,6 @@ pub fn actual_code(unroll: u32, matrix_size: u64) -> Result<Program, String> {
     Ok(program)
 }
 
-fn cycles_per_element(program: &Program) -> Result<f64, String> {
-    let mut opts = quick_options();
-    opts.residence = Some(Level::L2); // 200² tiles are cache-resident (§2)
-    opts.trip_count = 200;
-    let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
-    Ok(report.cycles_per_iteration / program.elements_per_iteration.max(1) as f64)
-}
-
 /// Runs the comparison.
 pub fn run() -> Result<FigureResult, String> {
     let mut result = FigureResult::new(
@@ -59,19 +51,31 @@ pub fn run() -> Result<FigureResult, String> {
         "Figure 5: matmul unroll factors — actual code vs microbenchmark (200², X5650)",
     );
     let desc = matmul_inner(200);
-    let generated = MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?;
+    let generated = generate_shared(&desc)?;
 
-    let mut actual_points = Vec::new();
-    let mut micro_points = Vec::new();
+    // Interleave [actual, micro] per unroll factor into one batch.
+    let mut programs = Vec::with_capacity(16);
     for unroll in 1..=8u32 {
-        let actual = actual_code(unroll, 200)?;
-        actual_points.push((f64::from(unroll), cycles_per_element(&actual)?));
+        programs.push(std::sync::Arc::new(actual_code(unroll, 200)?));
         let micro = generated
-            .programs
             .iter()
             .find(|p| p.meta.unroll == unroll)
             .ok_or_else(|| format!("no microbenchmark at unroll {unroll}"))?;
-        micro_points.push((f64::from(unroll), cycles_per_element(micro)?));
+        programs.push(micro.clone());
+    }
+    let mut opts = quick_options();
+    opts.residence = Some(Level::L2); // 200² tiles are cache-resident (§2)
+    opts.trip_count = 200;
+    let reports = MicroLauncher::new(opts).run_batch(&programs)?;
+    let per_element = |i: usize| {
+        reports[i].cycles_per_iteration / programs[i].elements_per_iteration.max(1) as f64
+    };
+    let mut actual_points = Vec::new();
+    let mut micro_points = Vec::new();
+    for unroll in 1..=8u32 {
+        let i = (unroll as usize - 1) * 2;
+        actual_points.push((f64::from(unroll), per_element(i)));
+        micro_points.push((f64::from(unroll), per_element(i + 1)));
     }
     let actual = Series::new("actual code", actual_points);
     let micro = Series::new("MicroTools", micro_points);

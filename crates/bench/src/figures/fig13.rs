@@ -8,7 +8,7 @@
 use super::{quick_options, FigureResult};
 use mc_asm::inst::Mnemonic;
 use mc_kernel::builder::load_stream;
-use mc_launcher::sweeps::{frequency_sweep, programs_by_unroll};
+use mc_launcher::sweeps::{frequency_sweep, programs_by_unroll_shared};
 use mc_report::experiments::{ExperimentId, ShapeCheck};
 use mc_simarch::config::Level;
 
@@ -19,7 +19,8 @@ pub fn run() -> Result<FigureResult, String> {
         "Figure 13: cycles per movaps load vs core frequency (X5650, unroll 8)",
     );
     let opts = quick_options();
-    let program = programs_by_unroll(&load_stream(Mnemonic::Movaps, 8, 8))?.remove(0);
+    // The same movaps program set feeds Figure 14; generation is shared.
+    let program = programs_by_unroll_shared(&load_stream(Mnemonic::Movaps, 8, 8))?.remove(0);
     let series = frequency_sweep(&opts, &program, &Level::ALL)?;
 
     for s in &series {

@@ -9,7 +9,7 @@
 use super::{quick_options, FigureResult};
 use mc_asm::inst::Mnemonic;
 use mc_kernel::builder::load_stream;
-use mc_launcher::sweeps::{core_sweep, programs_by_unroll};
+use mc_launcher::sweeps::{core_sweep, programs_by_unroll_shared};
 use mc_report::experiments::{check_knee, ExperimentId, ShapeCheck};
 use mc_report::series::Scale;
 use mc_simarch::config::Level;
@@ -23,7 +23,8 @@ pub fn run() -> Result<FigureResult, String> {
     result.scale = Scale::Log10;
     let mut opts = quick_options();
     opts.residence = Some(Level::Ram);
-    let program = programs_by_unroll(&load_stream(Mnemonic::Movaps, 8, 8))?.remove(0);
+    // Shares the generated program set with Figure 13.
+    let program = programs_by_unroll_shared(&load_stream(Mnemonic::Movaps, 8, 8))?.remove(0);
     let series = core_sweep(&opts, &program, 12)?;
 
     result.outcome.push(check_knee(

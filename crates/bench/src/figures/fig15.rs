@@ -9,10 +9,9 @@
 
 use super::{quick_options, FigureResult};
 use mc_asm::inst::Mnemonic;
-use mc_creator::MicroCreator;
 use mc_kernel::builder::multi_array_traversal;
 use mc_launcher::options::{MachinePreset, Mode};
-use mc_launcher::sweeps::{alignment_series, alignment_sweep_sampled};
+use mc_launcher::sweeps::{alignment_series, alignment_sweep_sampled, generate_shared};
 use mc_report::experiments::{check_spread, ExperimentId, ShapeCheck};
 use mc_simarch::config::Level;
 
@@ -23,8 +22,10 @@ pub fn run() -> Result<FigureResult, String> {
         "Figure 15: cycles/iteration across alignments (8-array movss, 8 of 32 cores, X7550)",
     );
     let desc = multi_array_traversal(Mnemonic::Movss, 8);
-    let program =
-        MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?.programs.remove(0);
+    let program = generate_shared(&desc)?
+        .first()
+        .cloned()
+        .ok_or_else(|| "multi_array_traversal produced no programs".to_owned())?;
 
     let mut opts = quick_options();
     opts.machine = MachinePreset::NehalemX7550;

@@ -8,10 +8,9 @@
 
 use super::{quick_options, FigureResult};
 use mc_asm::inst::Mnemonic;
-use mc_creator::MicroCreator;
 use mc_kernel::builder::multi_array_traversal;
 use mc_launcher::options::{MachinePreset, Mode};
-use mc_launcher::sweeps::{alignment_series, alignment_sweep};
+use mc_launcher::sweeps::{alignment_series, alignment_sweep, generate_shared};
 use mc_report::experiments::{check_spread, ExperimentId, ShapeCheck};
 use mc_simarch::config::Level;
 
@@ -22,8 +21,10 @@ pub fn run() -> Result<FigureResult, String> {
         "Figure 16: cycles/iteration across alignments (4-array movss, 32 cores, X7550)",
     );
     let desc = multi_array_traversal(Mnemonic::Movss, 4);
-    let program =
-        MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?.programs.remove(0);
+    let program = generate_shared(&desc)?
+        .first()
+        .cloned()
+        .ok_or_else(|| "multi_array_traversal produced no programs".to_owned())?;
 
     let mut opts = quick_options();
     opts.machine = MachinePreset::NehalemX7550;
@@ -44,8 +45,11 @@ pub fn run() -> Result<FigureResult, String> {
     // (paper: 60-90 vs 20-33 cycles).
     let fig15_floor = {
         let desc8 = multi_array_traversal(Mnemonic::Movss, 8);
-        let p8 =
-            MicroCreator::new().generate(&desc8).map_err(|e| e.to_string())?.programs.remove(0);
+        // Shares Figure 15's generated program.
+        let p8 = generate_shared(&desc8)?
+            .first()
+            .cloned()
+            .ok_or_else(|| "multi_array_traversal produced no programs".to_owned())?;
         let mut o = quick_options();
         o.machine = MachinePreset::NehalemX7550;
         o.mode = Mode::Fork;

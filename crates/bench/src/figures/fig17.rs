@@ -10,9 +10,9 @@
 use super::{quick_options, FigureResult};
 use mc_asm::inst::Mnemonic;
 use mc_kernel::builder::load_stream;
-use mc_launcher::options::{LauncherOptions, MachinePreset, Mode};
-use mc_launcher::sweeps::programs_by_unroll;
-use mc_launcher::{KernelInput, MicroLauncher};
+use mc_launcher::options::{MachinePreset, Mode, OptionsDelta};
+use mc_launcher::sweeps::programs_by_unroll_shared;
+use mc_launcher::{run_batch, EvalPoint};
 use mc_report::experiments::{ExperimentId, ShapeCheck, ShapeOutcome};
 use mc_report::series::{Scale, Series};
 
@@ -21,8 +21,8 @@ pub const ELEMENTS: u64 = 128 * 1024;
 
 /// Builds the four series (seq/omp × min/max over ten noisy runs).
 pub fn series_for(elements: u64) -> Result<Vec<Series>, String> {
-    let programs = programs_by_unroll(&load_stream(Mnemonic::Movss, 1, 8))?;
-    let base = {
+    let programs = programs_by_unroll_shared(&load_stream(Mnemonic::Movss, 1, 8))?;
+    let base = std::sync::Arc::new({
         let mut o = quick_options();
         o.machine = MachinePreset::SandyBridgeE31240;
         o.vector_bytes = elements * 4;
@@ -31,30 +31,35 @@ pub fn series_for(elements: u64) -> Result<Vec<Series>, String> {
         o.meta_repetitions = 10;
         o.noise_amplitude = 0.04;
         o
-    };
-    let run = |opts: LauncherOptions, p| -> Result<(f64, f64, u64), String> {
-        let program: &mc_kernel::Program = p;
-        let epi = program.elements_per_iteration.max(1);
-        let mut o = opts;
-        o.trip_count = (elements / epi).max(1) * epi;
-        let report = MicroLauncher::new(o).run(&KernelInput::program(program.clone()))?;
-        Ok((report.summary.min, report.summary.max, epi))
-    };
+    });
+    // Two points per program, interleaved [seq, omp, seq, omp, …].
+    let mut eval_points = Vec::with_capacity(programs.len() * 2);
+    for p in &programs {
+        let epi = p.elements_per_iteration.max(1);
+        let trip = OptionsDelta {
+            trip_count: Some((elements / epi).max(1) * epi),
+            ..OptionsDelta::default()
+        };
+        eval_points.push(EvalPoint::with_delta(p.clone(), base.clone(), trip.clone()));
+        eval_points.push(EvalPoint::with_delta(
+            p.clone(),
+            base.clone(),
+            OptionsDelta { mode: Some(Mode::OpenMp), omp_threads: Some(4), ..trip },
+        ));
+    }
+    let reports = run_batch(eval_points)?;
     let mut seq_min = Vec::new();
     let mut seq_max = Vec::new();
     let mut omp_min = Vec::new();
     let mut omp_max = Vec::new();
-    for p in &programs {
+    for (i, p) in programs.iter().enumerate() {
         let x = f64::from(p.meta.unroll);
-        let (lo, hi, epi) = run(base.clone(), p)?;
-        seq_min.push((x, lo / epi as f64));
-        seq_max.push((x, hi / epi as f64));
-        let mut omp_opts = base.clone();
-        omp_opts.mode = Mode::OpenMp;
-        omp_opts.omp_threads = 4;
-        let (lo, hi, epi) = run(omp_opts, p)?;
-        omp_min.push((x, lo / epi as f64));
-        omp_max.push((x, hi / epi as f64));
+        let epi = p.elements_per_iteration.max(1) as f64;
+        let (seq, omp) = (&reports[2 * i], &reports[2 * i + 1]);
+        seq_min.push((x, seq.summary.min / epi));
+        seq_max.push((x, seq.summary.max / epi));
+        omp_min.push((x, omp.summary.min / epi));
+        omp_max.push((x, omp.summary.max / epi));
     }
     Ok(vec![
         Series::new("Sequential min", seq_min),

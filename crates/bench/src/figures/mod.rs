@@ -101,7 +101,16 @@ pub fn run_experiment(id: ExperimentId) -> Result<FigureResult, String> {
     result
 }
 
+/// Runs a set of experiments across the mc-exec engine, results in input
+/// order. Figures run in parallel with each other *and* each figure's
+/// sweeps batch internally; the nested engines can oversubscribe the
+/// machine briefly, which is harmless for throughput and irrelevant for
+/// results (the simulation is deterministic).
+pub fn run_many(ids: &[ExperimentId]) -> Result<Vec<FigureResult>, String> {
+    mc_exec::engine().run(ids.to_vec(), run_experiment).into_iter().collect()
+}
+
 /// Runs every experiment in paper order.
 pub fn run_all() -> Result<Vec<FigureResult>, String> {
-    ExperimentId::ALL.iter().map(|&id| run_experiment(id)).collect()
+    run_many(&ExperimentId::ALL)
 }

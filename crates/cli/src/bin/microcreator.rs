@@ -12,7 +12,7 @@
 
 use mc_creator::emit::{render_asm_unit, write_programs};
 use mc_creator::{CreatorConfig, MicroCreator};
-use mc_tools::{exitcode, split_args, take_flag, TraceSession};
+use mc_tools::{exitcode, split_args, take_flag, take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,6 +28,7 @@ options:
   --stats          print per-pass candidate counts
   --list           list generated variant names
   --print=NAME     print one variant's assembly to stdout
+  --jobs=N         worker threads for batch evaluation (MICROTOOLS_JOBS)
   --trace=PATH     stream trace events as JSONL to PATH (or `stderr`);
                    MICROTOOLS_TRACE / MICROTOOLS_TRACE_FILTER also apply
   --metrics        print the end-of-run pass-timing table to stderr
@@ -49,6 +50,10 @@ fn main() -> ExitCode {
 }
 
 fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
+    if let Err(e) = take_jobs_flag(&mut flags) {
+        diag!("{e}");
+        return ExitCode::from(exitcode::USAGE);
+    }
     let Some(input) = positional.first() else {
         diag!("{USAGE}");
         return ExitCode::from(exitcode::USAGE);

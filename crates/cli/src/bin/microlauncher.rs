@@ -19,14 +19,16 @@
 use mc_creator::MicroCreator;
 use mc_launcher::launcher::RunReport;
 use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
-use mc_tools::{exitcode, TraceSession};
+use mc_tools::{exitcode, take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> String {
     format!(
         "usage: microlauncher <kernel.s | description.xml> [options]\n\
          options (MicroLauncher's §4.2 surface):\n  {}\n  \
+         --jobs=N (parallel batch evaluation; MICROTOOLS_JOBS)\n  \
          --trace=PATH --metrics --quiet (observability; see README)",
         LauncherOptions::OPTION_NAMES.join("\n  ")
     )
@@ -56,10 +58,14 @@ fn main() -> ExitCode {
     code
 }
 
-fn run(args: Vec<String>) -> ExitCode {
+fn run(mut args: Vec<String>) -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
         return ExitCode::from(exitcode::OK);
+    }
+    if let Err(e) = take_jobs_flag(&mut args) {
+        diag!("{e}\n{}", usage());
+        return ExitCode::from(exitcode::USAGE);
     }
     let Some(input) = args.first().filter(|a| !a.starts_with("--")) else {
         diag!("{}", usage());
@@ -144,11 +150,15 @@ fn run(args: Vec<String>) -> ExitCode {
     };
 
     print_manifest(&options, input);
-    let launcher = MicroLauncher::new(options);
     println!("{}", RunReport::csv_header());
+    // Fan the variant set across the evaluation engine; rows come back in
+    // generation order and per-variant failures don't abort the rest.
+    let programs: Vec<Arc<mc_kernel::Program>> = programs.into_iter().map(Arc::new).collect();
+    let base = Arc::new(options);
+    let points = programs.iter().map(|p| mc_launcher::EvalPoint::new(p.clone(), base.clone()));
     let mut failures = 0usize;
-    for program in programs {
-        match launcher.run(&KernelInput::program(program)) {
+    for result in mc_launcher::try_run_batch(points.collect()) {
+        match result {
             Ok(report) => println!("{}", report.csv_row()),
             Err(e) => {
                 diag!("run failed: {e}");

@@ -3,7 +3,7 @@
 //! saturation knee, frequency-domain behaviour, and energy optima.
 //!
 //! ```text
-//! microprobe [x5650|x7550|e31240] [--trace=PATH] [--metrics] [--quiet]
+//! microprobe [x5650|x7550|e31240] [--jobs=N] [--trace=PATH] [--metrics] [--quiet]
 //! ```
 
 use mc_asm::inst::Mnemonic;
@@ -16,7 +16,7 @@ use mc_report::table::{fmt_f, AsciiTable};
 use mc_simarch::config::Level;
 use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
 use mc_simarch::exec::Workload;
-use mc_tools::{exitcode, split_args, TraceSession};
+use mc_tools::{exitcode, split_args, take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::process::ExitCode;
 
@@ -35,9 +35,13 @@ fn main() -> ExitCode {
     code
 }
 
-fn run(flags: Vec<String>, positional: Vec<String>) -> ExitCode {
+fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     const USAGE: &str = "usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4] \
-                         [--trace=PATH] [--metrics] [--quiet]";
+                         [--jobs=N] [--trace=PATH] [--metrics] [--quiet]";
+    if let Err(e) = take_jobs_flag(&mut flags) {
+        diag!("{e}\n{USAGE}");
+        return ExitCode::from(exitcode::USAGE);
+    }
     if let Some(unknown) = flags.first() {
         diag!("unknown option `{unknown}`\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);

@@ -52,6 +52,16 @@ pub fn take_flag(flags: &mut Vec<String>, name: &str) -> Option<String> {
     }
 }
 
+/// Extracts `--jobs=N` and configures the process-wide worker count for
+/// batch evaluation. Without the flag the count comes from the
+/// `MICROTOOLS_JOBS` environment variable, then available parallelism.
+pub fn take_jobs_flag(flags: &mut Vec<String>) -> Result<(), String> {
+    if let Some(value) = take_flag(flags, "--jobs") {
+        mc_exec::set_jobs(mc_exec::parse_jobs(&value)?);
+    }
+    Ok(())
+}
+
 /// The observability flags every binary shares, and the end-of-run
 /// reporting they imply.
 ///
@@ -161,6 +171,16 @@ mod tests {
         // unknown-flag check must not see them.
         assert_eq!(flags, vec!["--other=1"]);
         mc_trace::set_quiet(false);
+    }
+
+    #[test]
+    fn jobs_flag_rejects_garbage_and_is_consumed() {
+        let mut flags: Vec<String> = vec!["--jobs=zero".into(), "--other".into()];
+        let err = take_jobs_flag(&mut flags).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        assert_eq!(flags, vec!["--other"]);
+        let mut none: Vec<String> = vec!["--other".into()];
+        assert!(take_jobs_flag(&mut none).is_ok());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Integration tests driving the actual compiled binaries.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
-fn figure6_xml_file(dir: &PathBuf) -> PathBuf {
+fn figure6_xml_file(dir: &Path) -> PathBuf {
     let xml = mc_kernel::xml::kernel_to_xml(&mc_kernel::builder::figure6());
     let path = dir.join("figure6.xml");
     std::fs::write(&path, xml).expect("write xml");

@@ -241,7 +241,7 @@ mod tests {
         pm.set_gate("skipme", |_| false).unwrap();
         let mut c = ctx();
         let stats = pm.run(&mut c).unwrap();
-        assert_eq!(stats[0].1, false, "gate override suppressed the run");
+        assert!(!stats[0].1, "gate override suppressed the run");
         assert!(c.candidates[0].meta.extra.is_empty());
     }
 

@@ -53,8 +53,7 @@ mod tests {
         let mut desc = figure6();
         desc.unrolling = UnrollRange::fixed(3);
         desc.instructions[0].swap_after_unroll = false;
-        let mut cfg = CreatorConfig::default();
-        cfg.emit_comments = comments;
+        let cfg = CreatorConfig { emit_comments: comments, ..CreatorConfig::default() };
         let mut ctx = GenContext::new(desc, cfg);
         UnrollSelection.run(&mut ctx).unwrap();
         Unrolling.run(&mut ctx).unwrap();

@@ -1,0 +1,189 @@
+//! The sharded memoization cache.
+//!
+//! Evaluation points are pure functions of their inputs, so a
+//! process-wide `(fingerprint, fingerprint) → result` map turns repeated
+//! evaluations — the same kernel appearing in several figures, the same
+//! options grid swept twice — into lookups. The map is sharded to keep
+//! lock contention off the worker threads, and the value is computed
+//! *outside* the shard lock: two workers racing on the same key may both
+//! compute, but determinism makes the duplicate result identical, so
+//! either insert wins harmlessly.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shard count; a small power of two keeps the index a mask.
+const SHARDS: usize = 16;
+
+/// A process-wide memoization cache.
+///
+/// `prefix` names the cache in the metrics registry: hits and misses tick
+/// `<prefix>.hit` / `<prefix>.miss` counters whenever metrics are enabled.
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    prefix: &'static str,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    /// An empty, enabled cache named `prefix` in the metrics registry.
+    pub fn new(prefix: &'static str) -> Self {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            prefix,
+            enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Returns the cached value for `key`, or computes it with `f`.
+    ///
+    /// The computation runs outside the shard lock; errors are never
+    /// cached. With the cache disabled this is exactly `f()`.
+    pub fn get_or_try_compute<E>(&self, key: K, f: impl FnOnce() -> Result<V, E>) -> Result<V, E> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return f();
+        }
+        let shard = self.shard(&key);
+        if let Some(value) = shard.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.tick("hit");
+            return Ok(value);
+        }
+        let value = f()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.tick("miss");
+        shard.lock().entry(key).or_insert_with(|| value.clone());
+        Ok(value)
+    }
+
+    fn tick(&self, outcome: &str) {
+        if mc_trace::metrics_enabled() {
+            mc_trace::metrics().inc(&format!("{}.{outcome}", self.prefix), 1);
+        }
+    }
+
+    /// Turns memoization on or off (off = always compute).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Drops every cached entry and zeroes the hit/miss tallies.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.hits.store(0, Ordering::SeqCst);
+        self.misses.store(0, Ordering::SeqCst);
+    }
+
+    /// Cached entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime `(hits, misses)` tally.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn ok<T>(value: T) -> Result<T, Infallible> {
+        Ok(value)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache: MemoCache<u64, u64> = MemoCache::new("test.cache");
+        let computed = AtomicU64::new(0);
+        let compute = |x: u64| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            ok(x * 2)
+        };
+        assert_eq!(cache.get_or_try_compute(7, || compute(7)), Ok(14));
+        assert_eq!(cache.get_or_try_compute(7, || compute(7)), Ok(14));
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: MemoCache<u64, u64> = MemoCache::new("test.cache");
+        let r: Result<u64, String> = cache.get_or_try_compute(1, || Err("boom".into()));
+        assert_eq!(r, Err("boom".to_owned()));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get_or_try_compute(1, || ok(5)), Ok(5));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache: MemoCache<u64, u64> = MemoCache::new("test.cache");
+        cache.set_enabled(false);
+        assert!(!cache.is_enabled());
+        let computed = AtomicU64::new(0);
+        for _ in 0..3 {
+            let _ = cache.get_or_try_compute(9, || {
+                computed.fetch_add(1, Ordering::Relaxed);
+                ok(1u64)
+            });
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 3);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let cache: MemoCache<u64, u64> = MemoCache::new("test.cache");
+        for k in 0..40 {
+            let _ = cache.get_or_try_compute(k, || ok(k));
+        }
+        assert_eq!(cache.len(), 40);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache: MemoCache<u64, u64> = MemoCache::new("test.cache");
+        let results = crate::ExecEngine::new(8).run((0..256u64).collect(), |i| {
+            cache.get_or_try_compute(i % 16, || ok((i % 16) * 3)).unwrap()
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, (i as u64 % 16) * 3);
+        }
+        assert_eq!(cache.len(), 16);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 256);
+        assert!(misses >= 16);
+    }
+}

@@ -1,0 +1,206 @@
+//! The work-stealing batch pool.
+//!
+//! A batch is a `Vec` of items plus one evaluation function. Items enter a
+//! global injector queue tagged with their submission index; each worker
+//! owns a FIFO deque and steals from the injector or from siblings when it
+//! runs dry. Results land in an index-addressed slot table, so the caller
+//! always gets them back in submission order — scheduling nondeterminism
+//! never reaches the result: parallel output is bit-identical to serial.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A fixed-width scoped thread pool for one batch at a time.
+///
+/// The pool is cheap to construct (no threads until [`ExecEngine::run`]);
+/// a width of 1 runs the batch inline on the caller's thread.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecEngine {
+    workers: usize,
+}
+
+impl ExecEngine {
+    /// An engine with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ExecEngine { workers: workers.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `f` over every item, returning results in submission
+    /// order regardless of which worker computed them.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let points = items.len();
+        let workers = self.workers.min(points.max(1));
+        let mut span = mc_trace::span("exec.batch");
+        span.field("points", points as u64);
+        span.field("workers", workers as u64);
+        let start = Instant::now();
+        let busy_nanos = AtomicU64::new(0);
+
+        let results: Vec<R> = if workers <= 1 {
+            let out: Vec<R> = items
+                .into_iter()
+                .map(|item| {
+                    let t0 = Instant::now();
+                    let r = f(item);
+                    busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    r
+                })
+                .collect();
+            out
+        } else {
+            let injector = Injector::new();
+            for indexed in items.into_iter().enumerate() {
+                injector.push(indexed);
+            }
+            let slots: Vec<Mutex<Option<R>>> = (0..points).map(|_| Mutex::new(None)).collect();
+            let locals: Vec<Worker<(usize, T)>> =
+                (0..workers).map(|_| Worker::new_fifo()).collect();
+            let stealers: Vec<Stealer<(usize, T)>> = locals.iter().map(Worker::stealer).collect();
+            {
+                // The worker deques move into their threads; everything
+                // else is shared by reference.
+                let (injector, stealers, slots) = (&injector, &stealers, &slots);
+                let (f, busy_nanos) = (&f, &busy_nanos);
+                std::thread::scope(|scope| {
+                    for local in locals {
+                        scope.spawn(move || {
+                            while let Some((index, item)) = next_task(&local, injector, stealers) {
+                                let t0 = Instant::now();
+                                let r = f(item);
+                                busy_nanos
+                                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                                *slots[index].lock() = Some(r);
+                            }
+                        });
+                    }
+                });
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every submitted index completes"))
+                .collect()
+        };
+
+        let wall = start.elapsed();
+        record_batch(points, workers, wall.as_secs_f64(), busy_nanos.into_inner());
+        span.field("wall_ms", wall.as_secs_f64() * 1e3);
+        results
+    }
+}
+
+/// The crossbeam-deque scheduling recipe: drain the local FIFO, then steal
+/// a batch from the injector, then from a sibling; retry while any source
+/// reports a racy miss.
+fn next_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T>]) -> Option<T> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            injector
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(Stealer::steal).collect())
+        })
+        .find(|steal: &Steal<T>| !steal.is_retry())
+        .and_then(Steal::success)
+    })
+}
+
+/// Pool telemetry: batch counters, worker gauge, utilization (busy time
+/// over `workers × wall`), and the per-batch wall-time histogram.
+fn record_batch(points: usize, workers: usize, wall_seconds: f64, busy_nanos: u64) {
+    if !mc_trace::metrics_enabled() {
+        return;
+    }
+    let m = mc_trace::metrics();
+    m.inc("exec.batch.count", 1);
+    m.inc("exec.batch.points", points as u64);
+    m.gauge_set("exec.pool.workers", workers as f64);
+    let capacity = workers as f64 * wall_seconds;
+    if capacity > 0.0 {
+        m.gauge_set("exec.pool.utilization", (busy_nanos as f64 / 1e9 / capacity).min(1.0));
+    }
+    m.observe("exec.batch.wall_ms", wall_seconds * 1e3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+
+    /// The metrics registry is process-global; every test that runs an
+    /// engine serializes on this lock so enabled-metrics windows never
+    /// observe a sibling test's batches.
+    fn metrics_lock() -> MutexGuard<'static, ()> {
+        static LOCK: StdMutex<()> = StdMutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let _guard = metrics_lock();
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 8] {
+            let got = ExecEngine::new(workers).run(items.clone(), |x| x * x);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_under_uneven_work() {
+        let _guard = metrics_lock();
+        // Skewed task costs force stealing; order must still hold.
+        let items: Vec<u64> = (0..64).collect();
+        let work = |x: u64| {
+            let spin = if x.is_multiple_of(7) { 40_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        };
+        let serial = ExecEngine::new(1).run(items.clone(), work);
+        let parallel = ExecEngine::new(8).run(items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_batches_work() {
+        let _guard = metrics_lock();
+        let engine = ExecEngine::new(4);
+        assert_eq!(engine.run(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(engine.run(vec![41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        assert_eq!(ExecEngine::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn batch_metrics_are_recorded() {
+        let _guard = metrics_lock();
+        mc_trace::metrics().reset();
+        mc_trace::enable_metrics(true);
+        ExecEngine::new(4).run((0..32u64).collect(), |x| x + 1);
+        mc_trace::enable_metrics(false);
+        let snapshot = mc_trace::metrics().snapshot();
+        mc_trace::metrics().reset();
+        assert_eq!(snapshot.counter("exec.batch.count"), Some(1));
+        assert_eq!(snapshot.counter("exec.batch.points"), Some(32));
+        assert_eq!(snapshot.gauge("exec.pool.workers"), Some(4.0));
+        let utilization = snapshot.gauge("exec.pool.utilization").expect("utilization gauge");
+        assert!((0.0..=1.0).contains(&utilization), "utilization {utilization}");
+        assert_eq!(snapshot.histogram("exec.batch.wall_ms").map(|h| h.count), Some(1));
+    }
+}

@@ -1,0 +1,211 @@
+//! Batch evaluation: many `(Program, LauncherOptions)` points through the
+//! mc-exec engine, with process-wide memoization.
+//!
+//! An [`EvalPoint`] shares its program and base options via `Arc` and
+//! carries only an [`OptionsDelta`] — the sweep drivers submit hundreds of
+//! points without a single deep clone. Results come back in submission
+//! order, so a parallel batch is bit-identical to the serial loop it
+//! replaces.
+//!
+//! ## Cache key derivation
+//!
+//! The memo key is `(program fingerprint, options fingerprint)`: both are
+//! FNV-1a hashes over the value's `Debug` rendering, which covers every
+//! field (any new option or program change alters the key). Program
+//! fingerprints are computed once per distinct `Arc` in the batch, not
+//! per point. Only `Ok` reports are cached; errors always re-evaluate.
+
+use crate::input::KernelInput;
+use crate::launcher::{MicroLauncher, RunReport};
+use crate::options::{LauncherOptions, OptionsDelta};
+use mc_exec::MemoCache;
+use mc_kernel::Program;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// One evaluation point of a sweep: a shared program, shared base
+/// options, and the per-point overrides.
+#[derive(Debug, Clone)]
+pub struct EvalPoint {
+    /// The kernel to evaluate.
+    pub program: Arc<Program>,
+    /// The sweep-wide base options.
+    pub base: Arc<LauncherOptions>,
+    /// Per-point overrides applied at evaluation time.
+    pub delta: OptionsDelta,
+}
+
+impl EvalPoint {
+    /// A point evaluated under the base options as-is.
+    pub fn new(program: Arc<Program>, base: Arc<LauncherOptions>) -> Self {
+        EvalPoint { program, base, delta: OptionsDelta::none() }
+    }
+
+    /// A point with per-point overrides.
+    pub fn with_delta(
+        program: Arc<Program>,
+        base: Arc<LauncherOptions>,
+        delta: OptionsDelta,
+    ) -> Self {
+        EvalPoint { program, base, delta }
+    }
+
+    /// The effective options for this point.
+    pub fn options(&self) -> LauncherOptions {
+        self.delta.apply(&self.base)
+    }
+}
+
+/// The process-wide evaluation cache, shared across sweeps and figures.
+fn eval_cache() -> &'static MemoCache<(u64, u64), RunReport> {
+    static CACHE: OnceLock<MemoCache<(u64, u64), RunReport>> = OnceLock::new();
+    CACHE.get_or_init(|| MemoCache::new("exec.cache"))
+}
+
+/// Enables or disables evaluation memoization process-wide.
+pub fn set_cache_enabled(on: bool) {
+    eval_cache().set_enabled(on);
+}
+
+/// Drops every memoized evaluation.
+pub fn clear_cache() {
+    eval_cache().clear();
+}
+
+/// Lifetime `(hits, misses)` of the evaluation cache.
+pub fn cache_stats() -> (u64, u64) {
+    eval_cache().stats()
+}
+
+/// A stable fingerprint of a program (FNV-1a over its `Debug` form).
+pub fn program_fingerprint(program: &Program) -> u64 {
+    mc_report::fnv1a64(format!("{program:?}").as_bytes())
+}
+
+/// Evaluates every point, keeping per-point failures: `results[i]`
+/// corresponds to `points[i]`. Failures are not cached.
+pub fn try_run_batch(points: Vec<EvalPoint>) -> Vec<Result<RunReport, String>> {
+    let mut span = mc_trace::span("launcher.batch");
+    span.field("points", points.len() as u64);
+    span.field("jobs", mc_exec::jobs() as u64);
+    // One fingerprint per distinct program allocation, not per point.
+    let mut fingerprints: HashMap<*const Program, u64> = HashMap::new();
+    let prepared: Vec<(u64, EvalPoint)> = points
+        .into_iter()
+        .map(|point| {
+            let fp = *fingerprints
+                .entry(Arc::as_ptr(&point.program))
+                .or_insert_with(|| program_fingerprint(&point.program));
+            (fp, point)
+        })
+        .collect();
+    mc_exec::engine().run(prepared, |(program_fp, point)| {
+        let options = point.options();
+        let key = (program_fp, options.fingerprint());
+        eval_cache().get_or_try_compute(key, || {
+            MicroLauncher::new(options).run(&KernelInput::program(point.program.clone()))
+        })
+    })
+}
+
+/// Evaluates every point, failing on the first error (in submission
+/// order, so the reported error is deterministic too).
+pub fn run_batch(points: Vec<EvalPoint>) -> Result<Vec<RunReport>, String> {
+    try_run_batch(points).into_iter().collect()
+}
+
+impl MicroLauncher {
+    /// Evaluates a batch of programs under this launcher's options,
+    /// fanned across the process-wide evaluation engine. `results[i]`
+    /// corresponds to `programs[i]`.
+    pub fn run_batch(&self, programs: &[Arc<Program>]) -> Result<Vec<RunReport>, String> {
+        let base = Arc::new(self.options().clone());
+        run_batch(programs.iter().map(|p| EvalPoint::new(p.clone(), base.clone())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_creator::MicroCreator;
+    use mc_kernel::builder::load_stream;
+
+    fn movaps_program(unroll: u32) -> Arc<Program> {
+        let desc = load_stream(mc_asm::Mnemonic::Movaps, unroll, unroll);
+        Arc::new(MicroCreator::new().generate(&desc).unwrap().programs.remove(0))
+    }
+
+    fn opts() -> LauncherOptions {
+        LauncherOptions { repetitions: 4, meta_repetitions: 3, ..LauncherOptions::default() }
+    }
+
+    #[test]
+    fn batch_matches_serial_runs_exactly() {
+        let programs: Vec<Arc<Program>> = (1..=8).map(movaps_program).collect();
+        let launcher = MicroLauncher::new(opts());
+        let serial: Vec<RunReport> = programs
+            .iter()
+            .map(|p| launcher.run(&KernelInput::program(p.clone())).unwrap())
+            .collect();
+        let batched = launcher.run_batch(&programs).unwrap();
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn deltas_take_effect_per_point() {
+        use mc_simarch::config::Level;
+        let program = movaps_program(8);
+        let base = Arc::new(opts());
+        let points = vec![
+            EvalPoint::with_delta(
+                program.clone(),
+                base.clone(),
+                OptionsDelta { residence: Some(Level::L1), ..OptionsDelta::default() },
+            ),
+            EvalPoint::with_delta(
+                program.clone(),
+                base.clone(),
+                OptionsDelta { residence: Some(Level::Ram), ..OptionsDelta::default() },
+            ),
+        ];
+        let reports = run_batch(points).unwrap();
+        assert_eq!(reports[0].residence, Some(Level::L1));
+        assert_eq!(reports[1].residence, Some(Level::Ram));
+        assert!(reports[1].cycles_per_iteration > reports[0].cycles_per_iteration);
+    }
+
+    #[test]
+    fn identical_points_agree_through_the_cache() {
+        // The cache and its stats are process-global and other tests run
+        // concurrently, so this asserts result equality only; hit/miss
+        // accounting is covered by the serialized integration tests.
+        let program = movaps_program(4);
+        let base = Arc::new(opts());
+        let points: Vec<EvalPoint> =
+            (0..6).map(|_| EvalPoint::new(program.clone(), base.clone())).collect();
+        let reports = run_batch(points).unwrap();
+        for r in &reports[1..] {
+            assert_eq!(r, &reports[0]);
+        }
+    }
+
+    #[test]
+    fn per_point_errors_stay_per_point() {
+        let good = movaps_program(2);
+        let base = Arc::new(opts());
+        let results = try_run_batch(vec![
+            EvalPoint::new(good.clone(), base.clone()),
+            EvalPoint::with_delta(
+                good,
+                base,
+                OptionsDelta { trip_count: Some(3), ..OptionsDelta::default() },
+            ),
+        ]);
+        assert!(results[0].is_ok());
+        // The second point either errors or reports a failed verification;
+        // either way it must not poison the first.
+        if let Ok(report) = &results[1] {
+            assert!(report.verify.is_some());
+        }
+    }
+}

@@ -178,8 +178,7 @@ mod tests {
     #[test]
     fn residence_option_sizes_arrays() {
         let p = movaps_program();
-        let mut o = LauncherOptions::default();
-        o.residence = Some(Level::Ram);
+        let o = LauncherOptions { residence: Some(Level::Ram), ..LauncherOptions::default() };
         let env = KernelEnvironment::prepare(&o, &p).unwrap();
         assert_eq!(env.machine.residence(env.working_set_bytes()), Level::Ram);
     }
@@ -188,8 +187,8 @@ mod tests {
     fn multi_array_split_and_alignment() {
         let desc = multi_array_traversal(mc_asm::Mnemonic::Movss, 4);
         let p = MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
-        let mut o = LauncherOptions::default();
-        o.alignments = vec![0, 512, 1024, 1536];
+        let o =
+            LauncherOptions { alignments: vec![0, 512, 1024, 1536], ..LauncherOptions::default() };
         let env = KernelEnvironment::prepare(&o, &p).unwrap();
         assert_eq!(env.arrays.len(), 4);
         let offsets: Vec<u64> = env.arrays.iter().map(|a| a.offset).collect();
@@ -204,9 +203,11 @@ mod tests {
     #[test]
     fn explicit_vector_bytes_win() {
         let p = movaps_program();
-        let mut o = LauncherOptions::default();
-        o.vector_bytes = 1 << 20;
-        o.residence = Some(Level::L1);
+        let o = LauncherOptions {
+            vector_bytes: 1 << 20,
+            residence: Some(Level::L1),
+            ..LauncherOptions::default()
+        };
         let env = KernelEnvironment::prepare(&o, &p).unwrap();
         assert_eq!(env.working_set_bytes(), 1 << 20);
     }
@@ -214,9 +215,7 @@ mod tests {
     #[test]
     fn fork_mode_pins_round_robin() {
         let p = movaps_program();
-        let mut o = LauncherOptions::default();
-        o.mode = Mode::Fork;
-        o.cores = 6;
+        let o = LauncherOptions { mode: Mode::Fork, cores: 6, ..LauncherOptions::default() };
         let env = KernelEnvironment::prepare(&o, &p).unwrap();
         assert_eq!(env.pin.len(), 6);
         assert!(env.pin.is_exclusive());
@@ -246,8 +245,7 @@ mod tests {
     #[test]
     fn explicit_trip_count_wins() {
         let p = movaps_program();
-        let mut o = LauncherOptions::default();
-        o.trip_count = 160;
+        let o = LauncherOptions { trip_count: 160, ..LauncherOptions::default() };
         let env = KernelEnvironment::prepare(&o, &p).unwrap();
         assert_eq!(env.trip_count, 160);
     }

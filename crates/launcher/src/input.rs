@@ -14,6 +14,7 @@
 //!   whole (fork mode runs one copy per core).
 
 use mc_kernel::Program;
+use std::sync::Arc;
 
 /// A natively executed kernel: the launcher's dynamic-library input path.
 ///
@@ -63,15 +64,19 @@ where
 }
 
 /// One accepted kernel input.
+///
+/// Program-backed inputs hold an `Arc<Program>`: a batch of evaluation
+/// points over one kernel shares a single allocation instead of
+/// deep-cloning the instruction list per point.
 pub enum KernelInput {
     /// A generated program (simulated timing + interpreted semantics).
-    Program(Box<Program>),
+    Program(Arc<Program>),
     /// AT&T assembly text; parsed on construction.
     Assembly {
         /// Kernel name.
         name: String,
         /// The parsed program.
-        program: Box<Program>,
+        program: Arc<Program>,
     },
     /// A native Rust kernel, really executed on the host.
     Native(Box<dyn NativeKernel + Send>),
@@ -79,30 +84,30 @@ pub enum KernelInput {
     /// path), expressed as a program plus total iterations.
     Standalone {
         /// The program to run to completion.
-        program: Box<Program>,
+        program: Arc<Program>,
         /// Total loop iterations the application performs.
         iterations: u64,
     },
 }
 
 impl KernelInput {
-    /// Wraps a generated program.
-    pub fn program(p: Program) -> Self {
-        KernelInput::Program(Box::new(p))
+    /// Wraps a generated program (owned or already shared).
+    pub fn program(p: impl Into<Arc<Program>>) -> Self {
+        KernelInput::Program(p.into())
     }
 
     /// Parses assembly text (the `.s`-file path).
     pub fn assembly(name: impl Into<String>, text: &str) -> Result<Self, String> {
         let name = name.into();
         let program = Program::from_asm_text(name.clone(), text).map_err(|e| e.to_string())?;
-        Ok(KernelInput::Assembly { name, program: Box::new(program) })
+        Ok(KernelInput::Assembly { name, program: Arc::new(program) })
     }
 
     /// Disassembles raw machine code (the object-file path of §4.1).
     pub fn object(name: impl Into<String>, bytes: &[u8]) -> Result<Self, String> {
         let name = name.into();
         let program = Program::from_machine_code(name.clone(), bytes).map_err(|e| e.to_string())?;
-        Ok(KernelInput::Assembly { name, program: Box::new(program) })
+        Ok(KernelInput::Assembly { name, program: Arc::new(program) })
     }
 
     /// Wraps a native kernel.
@@ -111,8 +116,8 @@ impl KernelInput {
     }
 
     /// Wraps a standalone application.
-    pub fn standalone(p: Program, iterations: u64) -> Self {
-        KernelInput::Standalone { program: Box::new(p), iterations }
+    pub fn standalone(p: impl Into<Arc<Program>>, iterations: u64) -> Self {
+        KernelInput::Standalone { program: p.into(), iterations }
     }
 
     /// The program behind this input, when there is one.

@@ -23,6 +23,7 @@
 //! * [`sweeps`] — the study drivers behind the paper's figures: alignment
 //!   sweeps, core-count sweeps, unroll sweeps, frequency sweeps.
 
+pub mod batch;
 pub mod clock;
 pub mod env;
 pub mod input;
@@ -32,7 +33,8 @@ pub mod options;
 pub mod stability;
 pub mod sweeps;
 
+pub use batch::{run_batch, try_run_batch, EvalPoint};
 pub use clock::{Clock, RdtscClock, SimClock};
 pub use input::{KernelInput, NativeKernel};
 pub use launcher::{MicroLauncher, RunReport};
-pub use options::{Aggregation, LauncherOptions, MachinePreset, Mode};
+pub use options::{Aggregation, LauncherOptions, MachinePreset, Mode, OptionsDelta};

@@ -5,23 +5,45 @@
 //! shape checking. The `mc-bench` harness composes these into the exact
 //! figures.
 
-use crate::input::KernelInput;
-use crate::launcher::MicroLauncher;
-use crate::options::{LauncherOptions, Mode};
+use crate::batch::{run_batch, EvalPoint};
+use crate::options::{LauncherOptions, Mode, OptionsDelta};
 use mc_creator::MicroCreator;
+use mc_exec::MemoCache;
 use mc_kernel::{KernelDesc, Program};
 use mc_report::series::Series;
 use mc_simarch::align::alignment_grid;
 use mc_simarch::config::Level;
+use std::sync::{Arc, OnceLock};
 
-/// Generates one program per unroll factor from a description (taking the
-/// pure-load variant when operand swaps produce several).
-pub fn programs_by_unroll(desc: &KernelDesc) -> Result<Vec<Program>, String> {
-    let result = MicroCreator::new().generate(desc).map_err(|e| e.to_string())?;
-    let mut out: Vec<Program> = Vec::new();
+/// The process-wide generation cache: figure drivers sweep the same
+/// `KernelDesc` several times (e.g. a frequency sweep and a core sweep on
+/// one kernel); generating once and sharing the programs by `Arc` keeps
+/// MicroCreator off the sweep hot path. Keyed by the description's
+/// fingerprint; all entries use MicroCreator's default configuration.
+fn generation_cache() -> &'static MemoCache<u64, Arc<Vec<Arc<Program>>>> {
+    static CACHE: OnceLock<MemoCache<u64, Arc<Vec<Arc<Program>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| MemoCache::new("exec.gen"))
+}
+
+/// Generates all programs for a description once per process, shared via
+/// `Arc` (default MicroCreator configuration).
+pub fn generate_shared(desc: &KernelDesc) -> Result<Arc<Vec<Arc<Program>>>, String> {
+    let key = mc_report::fnv1a64(format!("{desc:?}").as_bytes());
+    generation_cache().get_or_try_compute(key, || {
+        MicroCreator::new()
+            .generate(desc)
+            .map(|r| Arc::new(r.programs.into_iter().map(Arc::new).collect::<Vec<_>>()))
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// One shared program per unroll factor (taking the pure-load variant
+/// when operand swaps produce several).
+pub fn programs_by_unroll_shared(desc: &KernelDesc) -> Result<Vec<Arc<Program>>, String> {
+    let all = generate_shared(desc)?;
+    let mut out: Vec<Arc<Program>> = Vec::new();
     for unroll in desc.unrolling.factors() {
-        let p = result
-            .programs
+        let p = all
             .iter()
             .filter(|p| p.meta.unroll == unroll)
             .max_by_key(|p| p.load_count())
@@ -29,6 +51,13 @@ pub fn programs_by_unroll(desc: &KernelDesc) -> Result<Vec<Program>, String> {
         out.push(p.clone());
     }
     Ok(out)
+}
+
+/// Generates one program per unroll factor from a description (taking the
+/// pure-load variant when operand swaps produce several). Owned-value
+/// compatibility wrapper over [`programs_by_unroll_shared`].
+pub fn programs_by_unroll(desc: &KernelDesc) -> Result<Vec<Program>, String> {
+    Ok(programs_by_unroll_shared(desc)?.into_iter().map(|p| (*p).clone()).collect())
 }
 
 /// Cycles-per-iteration across unroll factors, one series per memory
@@ -42,23 +71,35 @@ pub fn unroll_by_level_sweep(
     let mut sweep_span = mc_trace::span("launcher.sweep");
     sweep_span.field("sweep", "unroll_by_level");
     sweep_span.field("levels", levels.len() as u64);
-    let programs = programs_by_unroll(desc)?;
+    let programs = programs_by_unroll_shared(desc)?;
     sweep_span.field("programs", programs.len() as u64);
-    let mut series = Vec::with_capacity(levels.len());
+    let shared_base = Arc::new(base.clone());
+    let mut points = Vec::with_capacity(levels.len() * programs.len());
     for &level in levels {
-        let mut opts = base.clone();
-        opts.residence = Some(level);
-        let launcher = MicroLauncher::new(opts);
-        let mut points = Vec::with_capacity(programs.len());
         for p in &programs {
-            let report = launcher.run(&KernelInput::program(p.clone()))?;
-            let denom = if per_instruction {
-                (p.load_count() + p.store_count()).max(1) as f64
-            } else {
-                1.0
-            };
-            points.push((f64::from(p.meta.unroll), report.cycles_per_iteration / denom));
+            points.push(EvalPoint::with_delta(
+                p.clone(),
+                shared_base.clone(),
+                OptionsDelta { residence: Some(level), ..OptionsDelta::default() },
+            ));
         }
+    }
+    let reports = run_batch(points)?;
+    let mut series = Vec::with_capacity(levels.len());
+    for (li, &level) in levels.iter().enumerate() {
+        let points = programs
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                let report = &reports[li * programs.len() + pi];
+                let denom = if per_instruction {
+                    (p.load_count() + p.store_count()).max(1) as f64
+                } else {
+                    1.0
+                };
+                (f64::from(p.meta.unroll), report.cycles_per_iteration / denom)
+            })
+            .collect();
         series.push(Series::new(level.name(), points));
     }
     Ok(series)
@@ -77,16 +118,30 @@ pub fn frequency_sweep(
     let steps = base.machine.config().frequency_steps_ghz.clone();
     sweep_span.field("steps", steps.len() as u64);
     let denom = (program.load_count() + program.store_count()).max(1) as f64;
-    let mut series = Vec::with_capacity(levels.len());
+    let shared_program = Arc::new(program.clone());
+    let shared_base = Arc::new(base.clone());
+    let mut eval_points = Vec::with_capacity(levels.len() * steps.len());
     for &level in levels {
-        let mut points = Vec::with_capacity(steps.len());
         for &ghz in &steps {
-            let mut opts = base.clone();
-            opts.residence = Some(level);
-            opts.frequency_ghz = ghz;
-            let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
-            points.push((ghz, report.cycles_per_iteration / denom));
+            eval_points.push(EvalPoint::with_delta(
+                shared_program.clone(),
+                shared_base.clone(),
+                OptionsDelta {
+                    residence: Some(level),
+                    frequency_ghz: Some(ghz),
+                    ..OptionsDelta::default()
+                },
+            ));
         }
+    }
+    let reports = run_batch(eval_points)?;
+    let mut series = Vec::with_capacity(levels.len());
+    for (li, &level) in levels.iter().enumerate() {
+        let points = steps
+            .iter()
+            .enumerate()
+            .map(|(si, &ghz)| (ghz, reports[li * steps.len() + si].cycles_per_iteration / denom))
+            .collect();
         series.push(Series::new(level.name(), points));
     }
     Ok(series)
@@ -101,14 +156,27 @@ pub fn core_sweep(
     let mut sweep_span = mc_trace::span("launcher.sweep");
     sweep_span.field("sweep", "cores");
     sweep_span.field("max_cores", u64::from(max_cores));
-    let mut points = Vec::with_capacity(max_cores as usize);
-    for cores in 1..=max_cores {
-        let mut opts = base.clone();
-        opts.mode = Mode::Fork;
-        opts.cores = cores;
-        let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
-        points.push((f64::from(cores), report.cycles_per_iteration));
-    }
+    let shared_program = Arc::new(program.clone());
+    let shared_base = Arc::new(base.clone());
+    let eval_points = (1..=max_cores)
+        .map(|cores| {
+            EvalPoint::with_delta(
+                shared_program.clone(),
+                shared_base.clone(),
+                OptionsDelta {
+                    mode: Some(Mode::Fork),
+                    cores: Some(cores),
+                    ..OptionsDelta::default()
+                },
+            )
+        })
+        .collect();
+    let reports = run_batch(eval_points)?;
+    let points = reports
+        .iter()
+        .zip(1..=max_cores)
+        .map(|(report, cores)| (f64::from(cores), report.cycles_per_iteration))
+        .collect();
     Ok(Series::new(format!("{} fork", program.name), points))
 }
 
@@ -133,16 +201,42 @@ pub fn alignment_sweep(
     sweep_span.field("sweep", "alignment");
     let grid = alignment_grid(program.nb_arrays as usize, step, max_offset);
     sweep_span.field("configs", grid.len() as u64);
-    let mut out = Vec::with_capacity(grid.len());
-    for offsets in grid {
-        let mut opts = base.clone();
-        opts.alignments = offsets.clone();
-        // Verification is O(configs) here; one pass outside suffices.
-        opts.verify = false;
-        let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
-        out.push(AlignmentPoint { offsets, cycles_per_iteration: report.cycles_per_iteration });
-    }
-    Ok(out)
+    alignment_batch(base, program, grid)
+}
+
+/// Shared tail of the alignment sweeps: one shared program and base, one
+/// small delta per grid configuration. Verification is O(configs) here;
+/// one pass outside suffices, so every point disables it.
+fn alignment_batch(
+    base: &LauncherOptions,
+    program: &Program,
+    configs: Vec<Vec<u64>>,
+) -> Result<Vec<AlignmentPoint>, String> {
+    let shared_program = Arc::new(program.clone());
+    let shared_base = Arc::new(base.clone());
+    let eval_points = configs
+        .iter()
+        .map(|offsets| {
+            EvalPoint::with_delta(
+                shared_program.clone(),
+                shared_base.clone(),
+                OptionsDelta {
+                    alignments: Some(offsets.clone()),
+                    verify: Some(false),
+                    ..OptionsDelta::default()
+                },
+            )
+        })
+        .collect();
+    let reports = run_batch(eval_points)?;
+    Ok(configs
+        .into_iter()
+        .zip(reports)
+        .map(|(offsets, report)| AlignmentPoint {
+            offsets,
+            cycles_per_iteration: report.cycles_per_iteration,
+        })
+        .collect())
 }
 
 /// Randomly samples alignment configurations instead of the full grid —
@@ -172,15 +266,9 @@ pub fn alignment_sweep_sampled(
     while configs.len() < samples {
         configs.push((0..n_arrays).map(|_| rng.gen_range(0..n_offsets) * step).collect());
     }
-    let mut out = Vec::with_capacity(configs.len());
-    for offsets in configs {
-        let mut opts = base.clone();
-        opts.alignments = offsets.clone();
-        opts.verify = false;
-        let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
-        out.push(AlignmentPoint { offsets, cycles_per_iteration: report.cycles_per_iteration });
-    }
-    Ok(out)
+    // The sampled configurations are fixed (seeded) before batch
+    // submission, so the worker count never changes which points run.
+    alignment_batch(base, program, configs)
 }
 
 /// Converts alignment points to a Series over the configuration index.
@@ -205,24 +293,36 @@ pub fn openmp_comparison(
     let mut sweep_span = mc_trace::span("launcher.sweep");
     sweep_span.field("sweep", "openmp_comparison");
     sweep_span.field("threads", u64::from(threads));
-    let programs = programs_by_unroll(desc)?;
+    let programs = programs_by_unroll_shared(desc)?;
     sweep_span.field("programs", programs.len() as u64);
     let element_bytes = u64::from(desc.element_bytes.max(1));
+    let shared_base = Arc::new(base.clone());
+    // Two points per program, interleaved [seq, omp, seq, omp, …].
+    let mut eval_points = Vec::with_capacity(programs.len() * 2);
+    for p in &programs {
+        let epi = p.elements_per_iteration.max(1);
+        let trip = (elements / epi).max(1) * epi;
+        let workload = OptionsDelta {
+            vector_bytes: Some(elements * element_bytes),
+            trip_count: Some(trip),
+            ..OptionsDelta::default()
+        };
+        eval_points.push(EvalPoint::with_delta(p.clone(), shared_base.clone(), workload.clone()));
+        eval_points.push(EvalPoint::with_delta(
+            p.clone(),
+            shared_base.clone(),
+            OptionsDelta { mode: Some(Mode::OpenMp), omp_threads: Some(threads), ..workload },
+        ));
+    }
+    let reports = run_batch(eval_points)?;
     let mut seq_points = Vec::new();
     let mut omp_points = Vec::new();
     let mut seq_seconds = Vec::new();
     let mut omp_seconds = Vec::new();
-    for p in &programs {
+    for (i, p) in programs.iter().enumerate() {
         let epi = p.elements_per_iteration.max(1);
         let trip = (elements / epi).max(1) * epi;
-        let mut seq_opts = base.clone();
-        seq_opts.vector_bytes = elements * element_bytes;
-        seq_opts.trip_count = trip;
-        let mut omp_opts = seq_opts.clone();
-        let seq = MicroLauncher::new(seq_opts).run(&KernelInput::program(p.clone()))?;
-        omp_opts.mode = Mode::OpenMp;
-        omp_opts.omp_threads = threads;
-        let omp = MicroLauncher::new(omp_opts).run(&KernelInput::program(p.clone()))?;
+        let (seq, omp) = (&reports[2 * i], &reports[2 * i + 1]);
         let x = f64::from(p.meta.unroll);
         // Per-element normalization keeps unroll factors comparable (an
         // iteration of the u8 kernel does 8× the work of the u1 kernel).
@@ -402,16 +502,23 @@ pub fn arithmetic_hiding_sweep(
     let mut sweep_span = mc_trace::span("launcher.sweep");
     sweep_span.field("sweep", "arithmetic_hiding");
     sweep_span.field("configs", u64::from(max_arith) + 1);
-    let mut points = Vec::with_capacity(max_arith as usize + 1);
+    let shared_base = Arc::new(base.clone());
+    let delta = OptionsDelta { residence: Some(level), ..OptionsDelta::default() };
+    let mut eval_points = Vec::with_capacity(max_arith as usize + 1);
     for k in 0..=max_arith {
         let desc = mc_kernel::builder::arithmetic_hiding(mem_mnemonic, k);
-        let program =
-            MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?.programs.remove(0);
-        let mut opts = base.clone();
-        opts.residence = Some(level);
-        let report = MicroLauncher::new(opts).run(&KernelInput::program(program))?;
-        points.push((f64::from(k), report.cycles_per_iteration));
+        let program = generate_shared(&desc)?
+            .first()
+            .cloned()
+            .ok_or_else(|| "arithmetic_hiding produced no programs".to_owned())?;
+        eval_points.push(EvalPoint::with_delta(program, shared_base.clone(), delta.clone()));
     }
+    let reports = run_batch(eval_points)?;
+    let points: Vec<(f64, f64)> = reports
+        .iter()
+        .enumerate()
+        .map(|(k, report)| (k as f64, report.cycles_per_iteration))
+        .collect();
     let baseline = points[0].1;
     let hidden = points
         .iter()
@@ -436,15 +543,22 @@ pub fn stride_sweep(
     sweep_span.field("sweep", "stride");
     sweep_span.field("configs", element_strides.len() as u64);
     let desc = mc_kernel::builder::strided_stream(mnemonic, element_strides);
-    let generated = MicroCreator::new().generate(&desc).map_err(|e| e.to_string())?;
-    let mut points = Vec::with_capacity(generated.programs.len());
-    for program in &generated.programs {
-        let stride = program.meta.strides.first().copied().unwrap_or(1).unsigned_abs();
-        let mut opts = base.clone();
-        opts.residence = Some(level);
-        let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
-        points.push((stride as f64, report.cycles_per_iteration));
-    }
+    let programs = generate_shared(&desc)?;
+    let shared_base = Arc::new(base.clone());
+    let delta = OptionsDelta { residence: Some(level), ..OptionsDelta::default() };
+    let eval_points = programs
+        .iter()
+        .map(|p| EvalPoint::with_delta(p.clone(), shared_base.clone(), delta.clone()))
+        .collect();
+    let reports = run_batch(eval_points)?;
+    let mut points: Vec<(f64, f64)> = programs
+        .iter()
+        .zip(&reports)
+        .map(|(program, report)| {
+            let stride = program.meta.strides.first().copied().unwrap_or(1).unsigned_abs();
+            (stride as f64, report.cycles_per_iteration)
+        })
+        .collect();
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite strides"));
     Ok(Series::new(format!("{} stride sweep ({})", mnemonic.name(), level.name()), points))
 }

@@ -1,0 +1,89 @@
+//! Property tests for the batch evaluation path: over arbitrary kernel
+//! shapes and option settings, the memoization cache must be invisible —
+//! cache-on and cache-off evaluations return identical `RunReport`s, and
+//! batch evaluation matches the serial launcher run for run.
+//!
+//! The cache and the worker count are process-global; every property
+//! serializes on one lock so the cases cannot interleave.
+
+use mc_creator::MicroCreator;
+use mc_kernel::builder::load_stream;
+use mc_kernel::Program;
+use mc_launcher::batch::{clear_cache, set_cache_enabled};
+use mc_launcher::{EvalPoint, KernelInput, LauncherOptions, MicroLauncher, OptionsDelta};
+use mc_simarch::config::Level;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+static EXEC_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    EXEC_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn program(unroll: u32) -> Arc<Program> {
+    let desc = load_stream(mc_asm::Mnemonic::Movaps, unroll, unroll);
+    Arc::new(MicroCreator::new().generate(&desc).expect("generation").programs.remove(0))
+}
+
+fn options(repetitions: u32, seed: u64) -> LauncherOptions {
+    LauncherOptions { repetitions, meta_repetitions: 3, seed, ..LauncherOptions::default() }
+}
+
+fn level(index: u8) -> Level {
+    match index % 4 {
+        0 => Level::L1,
+        1 => Level::L2,
+        2 => Level::L3,
+        _ => Level::Ram,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Memoization never changes an answer: the same batch evaluated with
+    /// the cache off, cold, and warm yields identical reports.
+    #[test]
+    fn cache_on_and_off_agree(
+        unroll in 1u32..=8,
+        repetitions in 2u32..=6,
+        seed in 0u64..1024,
+        level_index in 0u8..4,
+    ) {
+        let _guard = lock();
+        let base = Arc::new(options(repetitions, seed));
+        let delta = OptionsDelta { residence: Some(level(level_index)), ..OptionsDelta::default() };
+        let points = || -> Vec<EvalPoint> {
+            (0..4).map(|_| EvalPoint::with_delta(program(unroll), base.clone(), delta.clone())).collect()
+        };
+        set_cache_enabled(false);
+        let uncached = mc_launcher::run_batch(points()).expect("uncached batch");
+        set_cache_enabled(true);
+        clear_cache();
+        let cold = mc_launcher::run_batch(points()).expect("cold batch");
+        let warm = mc_launcher::run_batch(points()).expect("warm batch");
+        prop_assert_eq!(&uncached, &cold);
+        prop_assert_eq!(&cold, &warm);
+    }
+
+    /// A parallel batch matches the serial launcher loop point for point.
+    #[test]
+    fn batch_matches_serial(
+        max_unroll in 2u32..=6,
+        seed in 0u64..1024,
+    ) {
+        let _guard = lock();
+        set_cache_enabled(false);
+        let programs: Vec<Arc<Program>> = (1..=max_unroll).map(program).collect();
+        let opts = options(4, seed);
+        let launcher = MicroLauncher::new(opts);
+        let serial: Vec<_> = programs
+            .iter()
+            .map(|p| launcher.run(&KernelInput::program(p.clone())).expect("serial run"))
+            .collect();
+        let batched = launcher.run_batch(&programs).expect("batched run");
+        set_cache_enabled(true);
+        prop_assert_eq!(serial, batched);
+    }
+}

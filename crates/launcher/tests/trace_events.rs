@@ -36,9 +36,8 @@ fn field_f64(e: &TraceEvent, key: &str) -> f64 {
 #[test]
 fn launcher_run_emits_protocol_shaped_events() {
     let _guard = tracer_lock();
-    let mut opts = LauncherOptions::default();
-    opts.repetitions = 4;
-    opts.meta_repetitions = 3;
+    let opts =
+        LauncherOptions { repetitions: 4, meta_repetitions: 3, ..LauncherOptions::default() };
     let sink = Arc::new(MemorySink::new());
     mc_trace::install(sink.clone());
     let report = MicroLauncher::new(opts.clone()).run(&movaps_input(8)).unwrap();
@@ -89,10 +88,12 @@ fn metrics_capture_launcher_and_simarch_tallies() {
     let _guard = tracer_lock();
     mc_trace::metrics().reset();
     mc_trace::enable_metrics(true);
-    let mut opts = LauncherOptions::default();
-    opts.repetitions = 2;
-    opts.meta_repetitions = 2;
-    opts.verify_cache = true; // exercise the cache-simulator replay path
+    let opts = LauncherOptions {
+        repetitions: 2,
+        meta_repetitions: 2,
+        verify_cache: true, // exercise the cache-simulator replay path
+        ..LauncherOptions::default()
+    };
     let report = MicroLauncher::new(opts).run(&movaps_input(4)).unwrap();
     mc_trace::enable_metrics(false);
     let snapshot = mc_trace::metrics().snapshot();
@@ -116,9 +117,8 @@ fn metrics_capture_launcher_and_simarch_tallies() {
 #[test]
 fn untraced_run_matches_traced_run() {
     let _guard = tracer_lock();
-    let mut opts = LauncherOptions::default();
-    opts.repetitions = 4;
-    opts.meta_repetitions = 3;
+    let opts =
+        LauncherOptions { repetitions: 4, meta_repetitions: 3, ..LauncherOptions::default() };
     let bare = MicroLauncher::new(opts.clone()).run(&movaps_input(8)).unwrap();
     let sink = Arc::new(MemorySink::new());
     mc_trace::install(sink);
