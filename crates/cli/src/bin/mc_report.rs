@@ -1,0 +1,97 @@
+//! `mc-report` — utilities over MicroTools CSV artifacts.
+//!
+//! ```text
+//! mc-report diff <base.csv> <new.csv> [--threshold=FRACTION] [--top=N]
+//! ```
+//!
+//! `diff` joins two sweep CSVs (microlauncher output, or the
+//! `reproduce --csv-dir` series files) by their manifest-backed keys and
+//! flags every point that moved beyond its noise threshold, naming what
+//! each side was bound on. Exit code 0 means no regressions; 4 means at
+//! least one point regressed.
+
+use mc_insight::{diff_documents, render_diff, DiffOptions};
+use mc_tools::{exitcode, split_args, take_flag, TraceSession};
+use mc_trace::diag;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut flags, positional) = split_args(&args);
+    let session = match TraceSession::from_flags(&mut flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional);
+    session.finish();
+    code
+}
+
+fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
+    const USAGE: &str = "usage: mc-report diff <base.csv> <new.csv> [--threshold=FRACTION] \
+                         [--top=N] [--trace=PATH] [--metrics] [--quiet]";
+    let mut opts = DiffOptions::default();
+    if let Some(v) = take_flag(&mut flags, "--threshold") {
+        match v.parse::<f64>() {
+            Ok(t) if t.is_finite() && t >= 0.0 => opts.threshold = Some(t),
+            _ => {
+                diag!("--threshold: expected a non-negative fraction, got `{v}`\n{USAGE}");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        }
+    }
+    if let Some(v) = take_flag(&mut flags, "--top") {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => opts.top = n,
+            _ => {
+                diag!("--top: expected a positive count, got `{v}`\n{USAGE}");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        }
+    }
+    if let Some(unknown) = flags.first() {
+        diag!("unknown option `{unknown}`\n{USAGE}");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    let (base_path, new_path) = match positional.as_slice() {
+        [command, base, new] if command == "diff" => (base.clone(), new.clone()),
+        _ => {
+            diag!("{USAGE}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let read = |path: &str| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            diag!("cannot read {path}: {e}");
+            ExitCode::from(exitcode::BAD_INPUT)
+        })
+    };
+    let base = match read(&base_path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let new = match read(&new_path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let mut span = mc_trace::span("report.diff");
+    let report = match diff_documents(&base, &new, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::BAD_INPUT);
+        }
+    };
+    span.field("points", report.entries.len());
+    span.field("regressions", report.regressions().len());
+    span.field("improvements", report.improvements().len());
+    print!("{}", render_diff(&report, &opts));
+    if report.regressions().is_empty() {
+        ExitCode::from(exitcode::OK)
+    } else {
+        ExitCode::from(exitcode::FAILED)
+    }
+}

@@ -35,9 +35,13 @@ fn usage() -> String {
 }
 
 /// Prints the `# key: value` provenance header ahead of the CSV header.
-fn print_manifest(options: &LauncherOptions, input: &str) {
+/// `stable` is the run-level verdict: every emitted row passed the
+/// stability protocol. Diff tooling reads it to decide whether the
+/// document is a trustworthy baseline.
+fn print_manifest(options: &LauncherOptions, input: &str, stable: bool) {
     let mut manifest = options.manifest("microlauncher", env!("CARGO_PKG_VERSION"));
     manifest.set("input", input);
+    manifest.set("stable", if stable { "true" } else { "false" });
     if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
         manifest.set("timestamp_unix", elapsed.as_secs().to_string());
     }
@@ -96,11 +100,11 @@ fn run(mut args: Vec<String>) -> ExitCode {
                 return ExitCode::from(exitcode::BAD_INPUT);
             }
         };
-        print_manifest(&options, input);
-        let launcher = MicroLauncher::new(options);
-        println!("{}", RunReport::csv_header());
+        let launcher = MicroLauncher::new(options.clone());
         return match launcher.run(&kernel_input) {
             Ok(report) => {
+                print_manifest(&options, input, report.stable);
+                println!("{}", RunReport::csv_header());
                 println!("{}", report.csv_row());
                 ExitCode::from(exitcode::OK)
             }
@@ -149,22 +153,32 @@ fn run(mut args: Vec<String>) -> ExitCode {
         }
     };
 
-    print_manifest(&options, input);
-    println!("{}", RunReport::csv_header());
     // Fan the variant set across the evaluation engine; rows come back in
-    // generation order and per-variant failures don't abort the rest.
+    // generation order and per-variant failures don't abort the rest. The
+    // rows are collected before printing so the manifest can carry the
+    // run-level `stable` verdict.
     let programs: Vec<Arc<mc_kernel::Program>> = programs.into_iter().map(Arc::new).collect();
     let base = Arc::new(options);
     let points = programs.iter().map(|p| mc_launcher::EvalPoint::new(p.clone(), base.clone()));
     let mut failures = 0usize;
+    let mut all_stable = true;
+    let mut rows = Vec::with_capacity(programs.len());
     for result in mc_launcher::try_run_batch(points.collect()) {
         match result {
-            Ok(report) => println!("{}", report.csv_row()),
+            Ok(report) => {
+                all_stable &= report.stable;
+                rows.push(report.csv_row());
+            }
             Err(e) => {
                 diag!("run failed: {e}");
                 failures += 1;
             }
         }
+    }
+    print_manifest(&base, input, all_stable);
+    println!("{}", RunReport::csv_header());
+    for row in rows {
+        println!("{row}");
     }
     if failures == 0 {
         ExitCode::from(exitcode::OK)

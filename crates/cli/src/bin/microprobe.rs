@@ -3,20 +3,27 @@
 //! saturation knee, frequency-domain behaviour, and energy optima.
 //!
 //! ```text
-//! microprobe [x5650|x7550|e31240] [--jobs=N] [--trace=PATH] [--metrics] [--quiet]
+//! microprobe [x5650|x7550|e31240] [--explain] [--jobs=N] [--trace=PATH] [--metrics] [--quiet]
 //! ```
+//!
+//! `--explain` skips the probe sweeps and instead runs the canonical
+//! bottleneck kernels (dependency chain, port saturation, streaming
+//! loads, strided RAM traffic) through the timing model, printing what
+//! each one is bound on per the `mc-insight` attribution engine.
 
 use mc_asm::inst::Mnemonic;
 use mc_creator::MicroCreator;
-use mc_kernel::builder::load_stream;
+use mc_insight::attribute;
+use mc_kernel::builder::{load_stream, strided_stream};
+use mc_kernel::Program;
 use mc_launcher::options::MachinePreset;
 use mc_launcher::sweeps::{core_sweep, programs_by_unroll};
 use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
 use mc_report::table::{fmt_f, AsciiTable};
 use mc_simarch::config::Level;
 use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
-use mc_simarch::exec::Workload;
-use mc_tools::{exitcode, split_args, take_jobs_flag, TraceSession};
+use mc_simarch::exec::{estimate, ExecEnv, Workload};
+use mc_tools::{exitcode, split_args, take_flag, take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::process::ExitCode;
 
@@ -37,11 +44,12 @@ fn main() -> ExitCode {
 
 fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     const USAGE: &str = "usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4] \
-                         [--jobs=N] [--trace=PATH] [--metrics] [--quiet]";
+                         [--explain] [--jobs=N] [--trace=PATH] [--metrics] [--quiet]";
     if let Err(e) = take_jobs_flag(&mut flags) {
         diag!("{e}\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
     }
+    let explain_mode = take_flag(&mut flags, "--explain").is_some();
     if let Some(unknown) = flags.first() {
         diag!("unknown option `{unknown}`\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
@@ -51,6 +59,9 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         diag!("{USAGE}");
         return ExitCode::from(exitcode::USAGE);
     };
+    if explain_mode {
+        return explain(preset);
+    }
     let mut probe_span = mc_trace::span("probe.machine");
     probe_span.field("machine", preset.name());
     let machine = preset.config();
@@ -125,5 +136,69 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         }
     }
     drop(probe_span);
+    ExitCode::from(exitcode::OK)
+}
+
+/// `--explain`: run the canonical bottleneck kernels through the timing
+/// model and print what each is bound on.
+fn explain(preset: MachinePreset) -> ExitCode {
+    let machine = preset.config();
+    println!("══ {} — bottleneck attribution ══", machine.name);
+    let generated = |desc: &mc_kernel::KernelDesc| -> Program {
+        MicroCreator::new().generate(desc).expect("generation succeeds").programs.remove(0)
+    };
+    let fp_chain = Program::from_asm_text(
+        "fp_add_chain",
+        ".L0:\nmovsd (%rsi), %xmm0\naddsd %xmm0, %xmm15\naddq $8, %rsi\nsubq $1, %rdi\njge .L0\n",
+    )
+    .expect("assembles");
+    let store_burst = Program::from_asm_text(
+        "store_burst",
+        ".L0:\nmovaps %xmm0, (%rsi)\nmovaps %xmm1, 16(%rsi)\nmovaps %xmm2, 32(%rsi)\n\
+         movaps %xmm3, 48(%rsi)\naddq $64, %rsi\nsubq $16, %rdi\njge .L0\n",
+    )
+    .expect("assembles");
+    let cases: Vec<(Program, Level)> = vec![
+        (fp_chain, Level::L1),
+        (store_burst, Level::L1),
+        (generated(&load_stream(Mnemonic::Movaps, 8, 8)), Level::L1),
+        (generated(&load_stream(Mnemonic::Movaps, 8, 8)), Level::Ram),
+        (generated(&strided_stream(Mnemonic::Movss, &[16])), Level::Ram),
+    ];
+    let mut table = AsciiTable::new(vec![
+        "kernel",
+        "resid",
+        "est c/i",
+        "bound on",
+        "bound c/i",
+        "share",
+        "runner-up",
+    ]);
+    for (program, level) in &cases {
+        let env = ExecEnv::single_core(preset.config());
+        let workload = Workload::resident_at(&env.machine, *level);
+        let timing = estimate(program, &workload, &env);
+        let a = attribute(&timing, &env.machine);
+        mc_trace::event(
+            "insight.attribution",
+            vec![
+                ("kernel", program.name.as_str().into()),
+                ("residence", level.name().into()),
+                ("class", a.class.name().into()),
+                ("bound_cycles", a.bound_cycles.into()),
+                ("share", a.share().into()),
+            ],
+        );
+        table.row(vec![
+            program.name.clone(),
+            level.name().to_owned(),
+            fmt_f(timing.cycles_per_iteration, 2),
+            a.class.name().to_owned(),
+            fmt_f(a.bound_cycles, 2),
+            fmt_f(a.share(), 2),
+            a.runner_up.map_or("-".to_owned(), |r| r.name().to_owned()),
+        ]);
+    }
+    println!("{}", table.render());
     ExitCode::from(exitcode::OK)
 }

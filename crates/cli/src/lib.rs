@@ -9,7 +9,10 @@
 //!   to generate-and-run) measured in the controlled environment, CSV out
 //!   (§4). Accepts the full 33-option surface via `--key=value` flags.
 //! * **`microprobe`** — characterizes one of the Table 1 machine models:
-//!   hierarchy latencies/bandwidths, saturation knees, energy optima.
+//!   hierarchy latencies/bandwidths, saturation knees, energy optima —
+//!   and, with `--explain`, names what the canonical kernels are bound on.
+//! * **`mc-report`** — CSV utilities: `diff` compares two run documents
+//!   by manifest provenance and flags movement beyond the noise band.
 //!
 //! The binaries are thin wrappers: everything they do is library API
 //! (`mc-creator`, `mc-launcher`, `mc-simarch`), so scripted studies can
@@ -70,13 +73,22 @@ pub fn take_jobs_flag(flags: &mut Vec<String>) -> Result<(), String> {
 ///   `MICROTOOLS_TRACE` environment variable when the flag is absent;
 ///   `MICROTOOLS_TRACE_FILTER` restricts emission to an event-name
 ///   prefix (e.g. `creator.`).
+/// * `--trace-format=json|chrome` — wire format for `--trace`. `json`
+///   (default) is the JSONL line protocol; `chrome` writes one
+///   Chrome-trace/Perfetto document (load it in `chrome://tracing` or
+///   ui.perfetto.dev), and requires a file path rather than `stderr`.
 /// * `--metrics` — buffer events in memory and print the end-of-run
 ///   pass-timing/span tables plus the metrics registry to stderr.
 /// * `--quiet` — suppress diagnostic output (`mc_trace::diag!` lines).
+///
+/// The session flushes the installed sink on drop even when
+/// [`TraceSession::finish`] was never reached — a panic or early exit
+/// must not leave a truncated JSONL file or an empty Chrome trace.
 #[derive(Debug)]
 pub struct TraceSession {
     buffer: Option<std::sync::Arc<mc_trace::MemorySink>>,
     metrics: bool,
+    finished: std::sync::atomic::AtomicBool,
 }
 
 impl TraceSession {
@@ -86,6 +98,13 @@ impl TraceSession {
         use std::sync::Arc;
         mc_trace::set_quiet(take_flag(flags, "--quiet").is_some());
         let metrics = take_flag(flags, "--metrics").is_some();
+        let chrome = match take_flag(flags, "--trace-format").as_deref() {
+            None | Some("json") => false,
+            Some("chrome") => true,
+            Some(other) => {
+                return Err(format!("--trace-format: unknown format `{other}` (json or chrome)"))
+            }
+        };
         let trace_target = match take_flag(flags, "--trace") {
             Some(path) if path.is_empty() => {
                 return Err("--trace requires a file path (or `stderr`)".into())
@@ -98,10 +117,22 @@ impl TraceSession {
                 mc_trace::set_filter(Some(&prefix));
             }
         }
+        if chrome && trace_target.is_none() {
+            return Err("--trace-format=chrome requires --trace=PATH".into());
+        }
         let buffer = if metrics { Some(Arc::new(mc_trace::MemorySink::new())) } else { None };
         let mut sinks: Vec<Arc<dyn mc_trace::TraceSink>> = Vec::new();
         if let Some(target) = &trace_target {
-            if target == "stderr" {
+            if chrome {
+                // A Chrome trace is one JSON document rewritten per flush;
+                // it cannot stream to stderr.
+                if target == "stderr" {
+                    return Err("--trace-format=chrome requires a file path, not stderr".into());
+                }
+                let sink = mc_trace::ChromeTraceSink::create(std::path::Path::new(target))
+                    .map_err(|e| format!("--trace: cannot create {target}: {e}"))?;
+                sinks.push(Arc::new(sink));
+            } else if target == "stderr" {
                 sinks.push(Arc::new(mc_trace::JsonlSink::new(std::io::stderr())));
             } else {
                 let sink = mc_trace::JsonlSink::create(std::path::Path::new(target))
@@ -120,12 +151,13 @@ impl TraceSession {
         if metrics {
             mc_trace::enable_metrics(true);
         }
-        Ok(TraceSession { buffer, metrics })
+        Ok(TraceSession { buffer, metrics, finished: std::sync::atomic::AtomicBool::new(false) })
     }
 
     /// Flushes the trace and, under `--metrics`, prints the end-of-run
     /// tables to stderr (stdout stays machine-readable: CSV, listings).
     pub fn finish(&self) {
+        self.finished.store(true, std::sync::atomic::Ordering::Release);
         mc_trace::flush();
         if !self.metrics {
             return;
@@ -145,6 +177,17 @@ impl TraceSession {
         if !snapshot.is_empty() {
             eprintln!("── metrics ──");
             eprint!("{}", mc_trace::summary::render_metrics(&snapshot));
+        }
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        // Guard against panics and early `return`s between installing the
+        // sink and calling finish(): whatever was traced still lands on
+        // disk instead of dying in a BufWriter.
+        if !*self.finished.get_mut() {
+            mc_trace::flush();
         }
     }
 }
@@ -181,6 +224,40 @@ mod tests {
         assert_eq!(flags, vec!["--other"]);
         let mut none: Vec<String> = vec!["--other".into()];
         assert!(take_jobs_flag(&mut none).is_ok());
+    }
+
+    #[test]
+    fn trace_format_flag_is_validated() {
+        let mut bad: Vec<String> = vec!["--trace-format=xml".into()];
+        let err = TraceSession::from_flags(&mut bad).unwrap_err();
+        assert!(err.contains("--trace-format"), "{err}");
+        assert!(bad.is_empty(), "flag consumed even on error: {bad:?}");
+
+        let mut orphan: Vec<String> = vec!["--trace-format=chrome".into()];
+        let err = TraceSession::from_flags(&mut orphan).unwrap_err();
+        assert!(err.contains("requires --trace"), "{err}");
+
+        let mut to_stderr: Vec<String> =
+            vec!["--trace=stderr".into(), "--trace-format=chrome".into()];
+        let err = TraceSession::from_flags(&mut to_stderr).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+        mc_trace::set_quiet(false);
+    }
+
+    #[test]
+    fn dropped_session_flushes_the_chrome_trace() {
+        let path = std::env::temp_dir().join(format!("mc-cli-drop-{}.json", std::process::id()));
+        let mut flags: Vec<String> =
+            vec![format!("--trace={}", path.display()), "--trace-format=chrome".into()];
+        let session = TraceSession::from_flags(&mut flags).unwrap();
+        mc_trace::event("cli.test", vec![("n", mc_trace::Value::from(1u64))]);
+        // No finish(): the Drop guard alone must land the event on disk.
+        drop(session);
+        mc_trace::uninstall();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"traceEvents\""), "{text}");
+        assert!(text.contains("cli.test"), "{text}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

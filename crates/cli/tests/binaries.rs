@@ -254,6 +254,123 @@ fn quiet_silences_diagnostics() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn hand_kernel(dir: &Path) -> PathBuf {
+    let path = dir.join("hand.s");
+    std::fs::write(&path, ".L0:\nmovss (%rsi), %xmm0\naddq $4, %rsi\nsubq $1, %rdi\njge .L0\n")
+        .unwrap();
+    path
+}
+
+/// Runs microlauncher on `kernel` and captures stdout as a CSV file.
+fn launch_csv(kernel: &Path, dir: &Path, name: &str, extra: &[&str]) -> PathBuf {
+    let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(kernel)
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .args(extra)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let path = dir.join(name);
+    std::fs::write(&path, &out.stdout).unwrap();
+    path
+}
+
+#[test]
+fn mc_report_diff_accepts_reruns_and_flags_perturbations() {
+    let dir = scratch("diff");
+    let kernel = hand_kernel(&dir);
+    let trace = dir.join("trace.jsonl");
+    let trace_flag = format!("--trace={}", trace.display());
+    let base = launch_csv(&kernel, &dir, "base.csv", &[trace_flag.as_str()]);
+    let same = launch_csv(&kernel, &dir, "same.csv", &[]);
+    let slow = launch_csv(&kernel, &dir, "slow.csv", &["--frequency=1.6"]);
+
+    // The run manifest surfaces the stability verdict and aggregation
+    // provenance, and every row carries its attribution columns.
+    let text = std::fs::read_to_string(&base).unwrap();
+    assert!(text.contains("# stable: true"), "{text}");
+    assert!(text.contains("# aggregation: min"), "{text}");
+    assert!(text.contains("# samples: 2"), "{text}");
+    let header = text.lines().find(|l| l.starts_with("kernel,")).expect("csv header");
+    assert!(header.ends_with("bottleneck,bound_cycles,bound_share"), "{header}");
+    // The attribution also lands in the trace stream.
+    let raw = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(raw.contains("insight.attribution"), "{raw}");
+
+    // Same options, same seed: nothing regresses, exit 0.
+    let ok = Command::new(env!("CARGO_BIN_EXE_mc-report"))
+        .arg("diff")
+        .arg(&base)
+        .arg(&same)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(ok.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(stdout.contains("0 regression(s)"), "{stdout}");
+
+    // A slower core clock regresses the core-bound kernel, names what it
+    // is bound on, and exits FAILED.
+    let bad = Command::new(env!("CARGO_BIN_EXE_mc-report"))
+        .arg("diff")
+        .arg(&base)
+        .arg(&slow)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(4), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("worst regression"), "{stdout}");
+    assert!(stdout.contains("warning: manifest `options_hash` differs"), "{stdout}");
+
+    // Usage errors exit 2.
+    let usage = Command::new(env!("CARGO_BIN_EXE_mc-report")).output().expect("runs");
+    assert_eq!(usage.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn microprobe_explain_names_bottlenecks() {
+    let result = Command::new(env!("CARGO_BIN_EXE_microprobe"))
+        .arg("x5650")
+        .arg("--explain")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(result.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&result.stderr));
+    assert!(stdout.contains("bound on"), "{stdout}");
+    for class in ["dep-chain", "store-port", "load-port", "ram-bound"] {
+        assert!(stdout.contains(class), "expected `{class}` in: {stdout}");
+    }
+}
+
+#[test]
+fn chrome_trace_format_writes_one_json_document() {
+    let dir = scratch("chrome");
+    let xml = figure6_xml_file(&dir);
+    let trace = dir.join("trace.json");
+    let result = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg(format!("--trace={}", trace.display()))
+        .arg("--trace-format=chrome")
+        .output()
+        .expect("binary runs");
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    let raw = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(raw.trim_start().starts_with("{\"displayTimeUnit\""), "{raw}");
+    assert!(raw.contains("\"traceEvents\""), "{raw}");
+    assert!(raw.contains("\"ph\":\"X\"") && raw.contains("creator.pass"), "{raw}");
+    // Chrome to stderr is rejected up front.
+    let bad = Command::new(env!("CARGO_BIN_EXE_microcreator"))
+        .arg(&xml)
+        .arg("--trace=stderr")
+        .arg("--trace-format=chrome")
+        .output()
+        .expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn microcreator_random_selection_flag() {
     let dir = scratch("random");

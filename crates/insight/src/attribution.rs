@@ -1,0 +1,202 @@
+//! Bottleneck attribution: naming the binding constraint of one variant.
+//!
+//! The timing engine already computes every candidate bound (§ the
+//! max-of-bounds model in `mc_simarch::exec`); attribution re-reads that
+//! decomposition and names the term that actually set the estimate. All
+//! comparisons happen in *reference* (`rdtsc`) cycles: core-domain bounds
+//! are produced in core cycles and scale with DVFS, so they are converted
+//! with `nominal_ghz / core_ghz` before competing against the uncore
+//! (L3/RAM) time, which is frequency-invariant.
+
+use mc_simarch::config::{Level, MachineConfig};
+use mc_simarch::exec::TimingReport;
+use mc_simarch::uops::PortClass;
+
+/// Contention multipliers beyond this are reported as contention-bound
+/// rather than plain memory-bound.
+const CONTENTION_VISIBLE: f64 = 1.05;
+
+/// The binding constraint of one variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BottleneckClass {
+    /// Fused-µop decode bandwidth.
+    Frontend,
+    /// A specific execution-port class (load, store, FP add, …).
+    Port(PortClass),
+    /// The loop-carried dependency chain.
+    DepChain,
+    /// Bandwidth/latency of the residence level.
+    Memory(Level),
+    /// Socket-shared bandwidth contention at the residence level.
+    Contention(Level),
+}
+
+impl BottleneckClass {
+    /// Stable kebab-case name, used in CSV columns and diff tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BottleneckClass::Frontend => "frontend",
+            BottleneckClass::Port(PortClass::Load) => "load-port",
+            BottleneckClass::Port(PortClass::Store) => "store-port",
+            BottleneckClass::Port(PortClass::IntAlu) => "int-alu-port",
+            BottleneckClass::Port(PortClass::FpAdd) => "fp-add-port",
+            BottleneckClass::Port(PortClass::FpMul) => "fp-mul-port",
+            BottleneckClass::Port(PortClass::FpDiv) => "fp-div",
+            BottleneckClass::Port(PortClass::Branch) => "branch",
+            BottleneckClass::DepChain => "dep-chain",
+            BottleneckClass::Memory(Level::L1) => "l1-bound",
+            BottleneckClass::Memory(Level::L2) => "l2-bound",
+            BottleneckClass::Memory(Level::L3) => "l3-bound",
+            BottleneckClass::Memory(Level::Ram) => "ram-bound",
+            BottleneckClass::Contention(Level::L1) => "contention-l1",
+            BottleneckClass::Contention(Level::L2) => "contention-l2",
+            BottleneckClass::Contention(Level::L3) => "contention-l3",
+            BottleneckClass::Contention(Level::Ram) => "contention-ram",
+        }
+    }
+
+    /// Parses a [`BottleneckClass::name`] back; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<BottleneckClass> {
+        ALL_CLASSES.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+const ALL_CLASSES: [BottleneckClass; 17] = [
+    BottleneckClass::Frontend,
+    BottleneckClass::Port(PortClass::Load),
+    BottleneckClass::Port(PortClass::Store),
+    BottleneckClass::Port(PortClass::IntAlu),
+    BottleneckClass::Port(PortClass::FpAdd),
+    BottleneckClass::Port(PortClass::FpMul),
+    BottleneckClass::Port(PortClass::FpDiv),
+    BottleneckClass::Port(PortClass::Branch),
+    BottleneckClass::DepChain,
+    BottleneckClass::Memory(Level::L1),
+    BottleneckClass::Memory(Level::L2),
+    BottleneckClass::Memory(Level::L3),
+    BottleneckClass::Memory(Level::Ram),
+    BottleneckClass::Contention(Level::L1),
+    BottleneckClass::Contention(Level::L2),
+    BottleneckClass::Contention(Level::L3),
+    BottleneckClass::Contention(Level::Ram),
+];
+
+/// The attribution verdict for one variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attribution {
+    /// The binding constraint.
+    pub class: BottleneckClass,
+    /// The winning bound, in reference cycles per iteration.
+    pub bound_cycles: f64,
+    /// The reported cycles per iteration the bound is compared against.
+    pub measured_cycles: f64,
+    /// The strongest non-winning candidate, when any other bound is
+    /// within sight (> 0).
+    pub runner_up: Option<BottleneckClass>,
+    /// The runner-up's bound in reference cycles per iteration.
+    pub runner_up_cycles: f64,
+}
+
+impl Attribution {
+    /// Fraction of the measured cycles the winning bound explains, capped
+    /// at 1. Values well below 1 mean additive terms (loop control,
+    /// alignment extras) or measurement noise carry the rest.
+    pub fn share(&self) -> f64 {
+        if self.measured_cycles > 0.0 {
+            (self.bound_cycles / self.measured_cycles).min(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Classifies the binding constraint behind one timing estimate.
+///
+/// Candidates are evaluated in a fixed order — execution-port classes,
+/// the dependency chain, the front-end, then core-domain memory — with
+/// strictly-greater replacement, so on exact ties the more specific
+/// explanation (a named port) wins. The uncore time (L3/RAM traffic ×
+/// contention × alignment) competes last: when it reaches the best core
+/// bound, the variant is memory-bound at its residence level, or
+/// contention-bound when the multi-core multiplier is visible.
+pub fn attribute(timing: &TimingReport, machine: &MachineConfig) -> Attribution {
+    // Core-domain bounds are in core cycles; reference cycles tick at the
+    // nominal frequency regardless of DVFS.
+    let scale = machine.nominal_ghz / timing.core_ghz;
+    let bounds = &timing.bounds;
+    let align = bounds.alignment.max(1.0);
+
+    let mut candidates: Vec<(BottleneckClass, f64)> = timing
+        .pressure
+        .class_bounds(machine)
+        .iter()
+        .map(|&(class, b)| (BottleneckClass::Port(class), b * scale))
+        .collect();
+    candidates.push((BottleneckClass::DepChain, bounds.recurrence * scale));
+    candidates.push((BottleneckClass::Frontend, bounds.frontend * scale));
+    candidates
+        .push((BottleneckClass::Memory(timing.residence), bounds.memory_core * align * scale));
+
+    // Uncore time in reference cycles: ns × GHz, after contention and
+    // alignment — mirroring the `uncore_secs` term of the estimate.
+    let uncore_class = if bounds.contention > CONTENTION_VISIBLE {
+        BottleneckClass::Contention(timing.residence)
+    } else {
+        BottleneckClass::Memory(timing.residence)
+    };
+    let uncore = bounds.memory_uncore_ns * bounds.contention * align * machine.nominal_ghz;
+    candidates.push((uncore_class, uncore));
+
+    let mut winner = candidates[0];
+    for &(class, b) in &candidates[1..] {
+        if b > winner.1 {
+            winner = (class, b);
+        }
+    }
+    let mut runner_up: Option<(BottleneckClass, f64)> = None;
+    for &(class, b) in &candidates {
+        if class == winner.0 {
+            continue;
+        }
+        match runner_up {
+            Some((_, best)) if best >= b => {}
+            _ if b > 0.0 => runner_up = Some((class, b)),
+            _ => {}
+        }
+    }
+
+    Attribution {
+        class: winner.0,
+        bound_cycles: winner.1,
+        measured_cycles: timing.cycles_per_iteration,
+        runner_up: runner_up.map(|(c, _)| c),
+        runner_up_cycles: runner_up.map_or(0.0, |(_, b)| b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for class in ALL_CLASSES {
+            assert_eq!(BottleneckClass::from_name(class.name()), Some(class), "{class:?}");
+        }
+        assert_eq!(BottleneckClass::from_name("warp-drive"), None);
+    }
+
+    #[test]
+    fn share_is_capped_and_zero_safe() {
+        let a = Attribution {
+            class: BottleneckClass::DepChain,
+            bound_cycles: 6.0,
+            measured_cycles: 4.0,
+            runner_up: None,
+            runner_up_cycles: 0.0,
+        };
+        assert_eq!(a.share(), 1.0);
+        let z = Attribution { measured_cycles: 0.0, ..a };
+        assert_eq!(z.share(), 0.0);
+    }
+}

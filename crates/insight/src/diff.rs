@@ -1,0 +1,408 @@
+//! Run-diff: compare two sweep CSVs and flag movements beyond noise.
+//!
+//! Both documents are parsed with [`mc_report::CsvTable`]; their
+//! `# key: value` comment blocks are read back as
+//! [`mc_report::RunManifest`]s so provenance mismatches (different
+//! machine, options hash or seed) surface as warnings instead of silent
+//! nonsense. Two schemas are understood:
+//!
+//! * **launcher CSVs** (`microlauncher` output): keyed by
+//!   `kernel|label|mode|workers`, valued by `cycles_per_iteration`; the
+//!   per-row `min`/`median`/`max` stability samples give each point its
+//!   own noise width, and the `bottleneck` column names what each side is
+//!   bound on;
+//! * **series CSVs** (`reproduce --csv-dir` output): keyed by
+//!   `series|x`, valued by `y`; no per-point samples, so only the global
+//!   floor applies.
+//!
+//! A point regresses when its relative delta exceeds
+//! `max(floor, 2 × own spread, noise floor)`, where the noise floor is
+//! twice the 95th percentile of the baseline's per-row spreads — runs
+//! whose own replication is noisy get proportionally wider bands.
+
+use crate::attribution::BottleneckClass;
+use mc_report::stats::percentile;
+use mc_report::table::{fmt_f, AsciiTable};
+use mc_report::{CsvTable, RunManifest};
+
+/// Relative-delta floor below which movement is never flagged.
+const DEFAULT_FLOOR: f64 = 0.01;
+
+/// Knobs for a diff.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Override for the relative-delta floor (default 1%).
+    pub threshold: Option<f64>,
+    /// Maximum rows in the rendered table.
+    pub top: usize,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { threshold: None, top: 10 }
+    }
+}
+
+/// One matched point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Join key (`kernel|label|mode|workers` or `series|x`).
+    pub key: String,
+    /// Baseline value.
+    pub base: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative delta `(new − base) / base`.
+    pub delta_rel: f64,
+    /// The noise threshold this point had to clear.
+    pub threshold: f64,
+    /// What the baseline row is bound on (`-` when unknown).
+    pub bottleneck_base: String,
+    /// What the new row is bound on (`-` when unknown).
+    pub bottleneck_new: String,
+}
+
+impl DiffEntry {
+    /// True when the point slowed beyond its noise threshold.
+    pub fn is_regression(&self) -> bool {
+        self.delta_rel > self.threshold
+    }
+
+    /// True when the point sped up beyond its noise threshold.
+    pub fn is_improvement(&self) -> bool {
+        self.delta_rel < -self.threshold
+    }
+}
+
+/// The outcome of diffing two documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// All matched points, worst movers first.
+    pub entries: Vec<DiffEntry>,
+    /// Keys present in the baseline only.
+    pub missing_in_new: Vec<String>,
+    /// Keys present in the new document only.
+    pub added_in_new: Vec<String>,
+    /// Provenance/stability caveats.
+    pub warnings: Vec<String>,
+    /// The global noise floor applied to every point.
+    pub noise_floor: f64,
+}
+
+impl DiffReport {
+    /// Matched points that slowed beyond threshold, worst first.
+    pub fn regressions(&self) -> Vec<&DiffEntry> {
+        self.entries.iter().filter(|e| e.is_regression()).collect()
+    }
+
+    /// Matched points that sped up beyond threshold.
+    pub fn improvements(&self) -> Vec<&DiffEntry> {
+        self.entries.iter().filter(|e| e.is_improvement()).collect()
+    }
+}
+
+/// One side of the diff after schema detection.
+struct Document {
+    manifest: RunManifest,
+    /// key → (value, own relative spread, bottleneck name)
+    points: Vec<(String, f64, f64, String)>,
+    unstable_rows: usize,
+}
+
+fn cell(table: &CsvTable, row: &[String], name: &str) -> Option<String> {
+    table.column(name).map(|i| row[i].clone())
+}
+
+fn numeric_cell(table: &CsvTable, row: &[String], name: &str) -> Option<f64> {
+    cell(table, row, name).and_then(|v| v.parse().ok())
+}
+
+fn load_document(text: &str, label: &str) -> Result<Document, String> {
+    let table = CsvTable::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    let manifest = RunManifest::from_comments(&table.comments);
+    let mut points = Vec::new();
+    let mut unstable_rows = 0usize;
+    if table.column("cycles_per_iteration").is_some() {
+        for row in &table.rows {
+            let key = ["kernel", "label", "mode", "workers"]
+                .iter()
+                .filter_map(|c| cell(&table, row, c))
+                .collect::<Vec<_>>()
+                .join("|");
+            let Some(value) = numeric_cell(&table, row, "cycles_per_iteration") else { continue };
+            let spread = match (
+                numeric_cell(&table, row, "min"),
+                numeric_cell(&table, row, "median"),
+                numeric_cell(&table, row, "max"),
+            ) {
+                (Some(min), Some(median), Some(max)) if median > 0.0 => (max - min) / median,
+                _ => 0.0,
+            };
+            if cell(&table, row, "stable").as_deref() == Some("false") {
+                unstable_rows += 1;
+            }
+            let bottleneck = cell(&table, row, "bottleneck")
+                .filter(|b| BottleneckClass::from_name(b).is_some())
+                .unwrap_or_else(|| "-".to_owned());
+            points.push((key, value, spread, bottleneck));
+        }
+    } else if table.column("y").is_some() {
+        for row in &table.rows {
+            let key = ["series", "x"]
+                .iter()
+                .filter_map(|c| cell(&table, row, c))
+                .collect::<Vec<_>>()
+                .join("|");
+            let Some(value) = numeric_cell(&table, row, "y") else { continue };
+            points.push((key, value, 0.0, "-".to_owned()));
+        }
+    } else {
+        return Err(format!(
+            "{label}: unrecognized schema (want a `cycles_per_iteration` or `y` column)"
+        ));
+    }
+    Ok(Document { manifest, points, unstable_rows })
+}
+
+/// Diffs two CSV documents (baseline first).
+pub fn diff_documents(
+    base_text: &str,
+    new_text: &str,
+    opts: &DiffOptions,
+) -> Result<DiffReport, String> {
+    let base = load_document(base_text, "baseline")?;
+    let new = load_document(new_text, "new")?;
+
+    let mut warnings = Vec::new();
+    for key in ["machine", "options_hash", "seed", "experiment"] {
+        if let (Some(b), Some(n)) = (base.manifest.get(key), new.manifest.get(key)) {
+            if b != n {
+                warnings.push(format!("manifest `{key}` differs: baseline `{b}` vs new `{n}`"));
+            }
+        }
+    }
+    if base.unstable_rows > 0 {
+        warnings.push(format!(
+            "baseline has {} unstable row(s); its thresholds are widened accordingly",
+            base.unstable_rows
+        ));
+    }
+
+    // The global noise floor: twice the p95 of the baseline's own
+    // replication spreads (zero when no row carries samples).
+    let spreads: Vec<f64> = base.points.iter().map(|p| p.2).collect();
+    let noise_floor = 2.0 * percentile(&spreads, 95.0).unwrap_or(0.0);
+    let floor = opts.threshold.unwrap_or(DEFAULT_FLOOR);
+
+    let mut entries = Vec::new();
+    let mut missing_in_new = Vec::new();
+    for (key, base_value, base_spread, base_bn) in &base.points {
+        let Some((_, new_value, new_spread, new_bn)) = new.points.iter().find(|(k, ..)| k == key)
+        else {
+            missing_in_new.push(key.clone());
+            continue;
+        };
+        if *base_value <= 0.0 {
+            continue;
+        }
+        let threshold = floor.max(2.0 * base_spread.max(*new_spread)).max(noise_floor);
+        entries.push(DiffEntry {
+            key: key.clone(),
+            base: *base_value,
+            new: *new_value,
+            delta_rel: (new_value - base_value) / base_value,
+            threshold,
+            bottleneck_base: base_bn.clone(),
+            bottleneck_new: new_bn.clone(),
+        });
+    }
+    let added_in_new = new
+        .points
+        .iter()
+        .filter(|(k, ..)| !base.points.iter().any(|(bk, ..)| bk == k))
+        .map(|(k, ..)| k.clone())
+        .collect();
+    entries.sort_by(|a, b| {
+        b.delta_rel
+            .abs()
+            .partial_cmp(&a.delta_rel.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+
+    Ok(DiffReport { entries, missing_in_new, added_in_new, warnings, noise_floor })
+}
+
+/// Renders the top-N movers as an ASCII table plus a one-line verdict.
+pub fn render_diff(report: &DiffReport, opts: &DiffOptions) -> String {
+    let mut out = String::new();
+    for warning in &report.warnings {
+        out.push_str(&format!("warning: {warning}\n"));
+    }
+    let mut table = AsciiTable::new(vec!["point", "base", "new", "delta", "threshold", "bound on"]);
+    for entry in report.entries.iter().take(opts.top) {
+        let verdict = if entry.is_regression() {
+            " REGRESSED"
+        } else if entry.is_improvement() {
+            " improved"
+        } else {
+            ""
+        };
+        let bound = if entry.bottleneck_base == entry.bottleneck_new {
+            entry.bottleneck_base.clone()
+        } else {
+            format!("{} -> {}", entry.bottleneck_base, entry.bottleneck_new)
+        };
+        table.row(vec![
+            entry.key.clone(),
+            fmt_f(entry.base, 4),
+            fmt_f(entry.new, 4),
+            format!("{:+.2}%{verdict}", entry.delta_rel * 100.0),
+            format!("{:.2}%", entry.threshold * 100.0),
+            bound,
+        ]);
+    }
+    out.push_str(&table.render());
+    let regressions = report.regressions();
+    let improvements = report.improvements();
+    out.push_str(&format!(
+        "{} point(s) compared, {} regression(s), {} improvement(s), noise floor {:.2}%\n",
+        report.entries.len(),
+        regressions.len(),
+        improvements.len(),
+        report.noise_floor * 100.0
+    ));
+    if !report.missing_in_new.is_empty() || !report.added_in_new.is_empty() {
+        out.push_str(&format!(
+            "{} point(s) only in baseline, {} only in new\n",
+            report.missing_in_new.len(),
+            report.added_in_new.len()
+        ));
+    }
+    if let Some(worst) = regressions.first() {
+        out.push_str(&format!(
+            "worst regression: {} ({:+.2}%, bound on {})\n",
+            worst.key,
+            worst.delta_rel * 100.0,
+            worst.bottleneck_new
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,\
+                          seconds_full,min,median,max,stable,residence,verified,bottleneck,\
+                          bound_cycles,bound_share";
+
+    fn launcher_csv(rows: &[(&str, f64, f64, &str)]) -> String {
+        let mut doc = String::from("# machine: x5650\n# options_hash: abc123\n# seed: 42\n");
+        doc.push_str(HEADER);
+        doc.push('\n');
+        for (kernel, cycles, spread, bottleneck) in rows {
+            let min = cycles * (1.0 - spread / 2.0);
+            let max = cycles * (1.0 + spread / 2.0);
+            doc.push_str(&format!(
+                "{kernel},L1,x5650,simulated,1,{cycles:.4},1.0,1e-3,{min:.4},{cycles:.4},\
+                 {max:.4},true,L1,true,{bottleneck},{cycles:.4},1.00\n"
+            ));
+        }
+        doc
+    }
+
+    #[test]
+    fn identical_documents_have_no_regressions() {
+        let doc = launcher_csv(&[("k1", 4.0, 0.01, "load-port"), ("k2", 8.0, 0.01, "dep-chain")]);
+        let report = diff_documents(&doc, &doc, &DiffOptions::default()).unwrap();
+        assert_eq!(report.entries.len(), 2);
+        assert!(report.regressions().is_empty());
+        assert!(report.improvements().is_empty());
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn a_real_slowdown_regresses_with_its_bottleneck_named() {
+        let base = launcher_csv(&[("k1", 4.0, 0.01, "load-port"), ("k2", 8.0, 0.01, "dep-chain")]);
+        let new = launcher_csv(&[("k1", 6.0, 0.01, "ram-bound"), ("k2", 8.0, 0.01, "dep-chain")]);
+        let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        let r = regressions[0];
+        assert!(r.key.starts_with("k1|"));
+        assert!((r.delta_rel - 0.5).abs() < 1e-9);
+        assert_eq!(r.bottleneck_base, "load-port");
+        assert_eq!(r.bottleneck_new, "ram-bound");
+        // Worst mover sorts first and the rendering names the bottleneck.
+        assert_eq!(report.entries[0].key, r.key);
+        let rendered = render_diff(&report, &DiffOptions::default());
+        assert!(rendered.contains("load-port -> ram-bound"), "{rendered}");
+        assert!(rendered.contains("1 regression(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn noisy_baselines_widen_the_band() {
+        // A 10% move under a 30% replication spread is not a regression.
+        let base = launcher_csv(&[("k1", 4.0, 0.3, "load-port")]);
+        let new = launcher_csv(&[("k1", 4.4, 0.3, "load-port")]);
+        let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
+        assert!(report.regressions().is_empty());
+        assert!(report.entries[0].threshold >= 0.59, "{}", report.entries[0].threshold);
+    }
+
+    #[test]
+    fn provenance_mismatches_warn() {
+        let base = launcher_csv(&[("k1", 4.0, 0.01, "load-port")]);
+        let new = base.replace("# seed: 42", "# seed: 43");
+        let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
+        assert!(report.warnings.iter().any(|w| w.contains("seed")), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn unstable_baseline_rows_warn() {
+        let base = launcher_csv(&[("k1", 4.0, 0.01, "load-port")]).replace(",true,L1", ",false,L1");
+        let new = launcher_csv(&[("k1", 4.0, 0.01, "load-port")]);
+        let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
+        assert!(report.warnings.iter().any(|w| w.contains("unstable")), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn series_schema_diffs_by_series_and_x() {
+        let base = "# experiment: fig11\nseries,x,y\nL1,1,10.0\nL1,2,6.0\n";
+        let new = "# experiment: fig11\nseries,x,y\nL1,1,10.0\nL1,2,9.0\nL1,3,5.0\n";
+        let report = diff_documents(base, new, &DiffOptions::default()).unwrap();
+        assert_eq!(report.entries.len(), 2);
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].key, "L1|2");
+        assert_eq!(report.added_in_new, vec!["L1|3"]);
+    }
+
+    #[test]
+    fn disjoint_points_land_in_missing_and_added() {
+        let base = "series,x,y\na,1,1.0\n";
+        let new = "series,x,y\nb,1,1.0\n";
+        let report = diff_documents(base, new, &DiffOptions::default()).unwrap();
+        assert!(report.entries.is_empty());
+        assert_eq!(report.missing_in_new, vec!["a|1"]);
+        assert_eq!(report.added_in_new, vec!["b|1"]);
+    }
+
+    #[test]
+    fn unknown_schema_errors() {
+        let err = diff_documents("a,b\n1,2\n", "a,b\n1,2\n", &DiffOptions::default()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn custom_threshold_overrides_the_floor() {
+        let base = "series,x,y\na,1,100.0\n";
+        let new = "series,x,y\na,1,103.0\n";
+        let loose = DiffOptions { threshold: Some(0.05), top: 10 };
+        assert!(diff_documents(base, new, &loose).unwrap().regressions().is_empty());
+        let tight = DiffOptions { threshold: Some(0.02), top: 10 };
+        assert_eq!(diff_documents(base, new, &tight).unwrap().regressions().len(), 1);
+    }
+}

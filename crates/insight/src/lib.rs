@@ -1,0 +1,24 @@
+//! # mc-insight — why a variant is slow, and what changed between runs
+//!
+//! A sweep ends at a CSV of cycles-per-iteration; this crate is the layer
+//! that *explains* those numbers. It has two halves:
+//!
+//! * [`attribution`] — classifies the binding constraint of one variant
+//!   (front-end, a specific execution port, the loop-carried dependency
+//!   chain, a cache level, or multi-core bandwidth contention) by
+//!   comparing the simulator's per-bound decomposition against the
+//!   reported cycles. The launcher attaches the result to every
+//!   [`RunReport`](../mc_launcher/launcher/struct.RunReport.html) and CSV
+//!   row, so downstream tooling can answer "what is this variant bound
+//!   on?" without re-running the model.
+//! * [`diff`] — compares two run CSVs by manifest provenance, derives a
+//!   per-point noise threshold from the stability samples (min/median/max
+//!   spread per row, plus a p95-of-spreads floor across the baseline) and
+//!   flags the points whose cycles moved beyond it — each regression
+//!   named with the bottleneck it was (and now is) bound on.
+
+pub mod attribution;
+pub mod diff;
+
+pub use attribution::{attribute, Attribution, BottleneckClass};
+pub use diff::{diff_documents, render_diff, DiffEntry, DiffOptions, DiffReport};

@@ -1,0 +1,114 @@
+//! Golden attribution tests: hand-built kernels with known bottlenecks
+//! must be classified accordingly (the ISSUE 4 acceptance kernels).
+
+use mc_insight::{attribute, BottleneckClass};
+use mc_kernel::builder::{load_stream, strided_stream};
+use mc_kernel::Program;
+use mc_simarch::config::{Level, MachineConfig};
+use mc_simarch::exec::{estimate, ExecEnv, Workload};
+use mc_simarch::uops::PortClass;
+
+fn machine() -> MachineConfig {
+    MachineConfig::nehalem_x5650_dual()
+}
+
+fn generated(desc: &mc_kernel::KernelDesc) -> Program {
+    mc_creator::MicroCreator::new().generate(desc).unwrap().programs.remove(0)
+}
+
+#[test]
+fn pure_fp_add_chain_is_dependency_bound() {
+    // One addsd accumulating into %xmm15 every iteration: the 3-cycle FP
+    // add latency carries across iterations and nothing else comes close.
+    let program = Program::from_asm_text(
+        "fp_chain",
+        ".L0:\nmovsd (%rsi), %xmm0\naddsd %xmm0, %xmm15\naddq $8, %rsi\nsubq $1, %rdi\njge .L0\n",
+    )
+    .unwrap();
+    let env = ExecEnv::single_core(machine());
+    let workload = Workload::resident_at(&env.machine, Level::L1);
+    let timing = estimate(&program, &workload, &env);
+    let a = attribute(&timing, &env.machine);
+    assert_eq!(a.class, BottleneckClass::DepChain, "{a:?}");
+    assert_eq!(a.bound_cycles, 3.0);
+    assert!(a.share() > 0.5, "share {}", a.share());
+}
+
+#[test]
+fn store_heavy_body_is_store_port_bound() {
+    // Four stores per iteration against Nehalem's single store port.
+    let program = Program::from_asm_text(
+        "store_burst",
+        ".L0:\nmovaps %xmm0, (%rsi)\nmovaps %xmm1, 16(%rsi)\nmovaps %xmm2, 32(%rsi)\n\
+         movaps %xmm3, 48(%rsi)\naddq $64, %rsi\nsubq $16, %rdi\njge .L0\n",
+    )
+    .unwrap();
+    let env = ExecEnv::single_core(machine());
+    let workload = Workload::resident_at(&env.machine, Level::L1);
+    let timing = estimate(&program, &workload, &env);
+    let a = attribute(&timing, &env.machine);
+    assert_eq!(a.class, BottleneckClass::Port(PortClass::Store), "{a:?}");
+    assert_eq!(a.class.name(), "store-port");
+    assert_eq!(a.bound_cycles, 4.0);
+}
+
+#[test]
+fn strided_large_array_kernel_is_ram_bound() {
+    // A 16-element stride over a RAM-sized array wastes most of every
+    // line transfer: uncore time dwarfs every core bound.
+    let program = generated(&strided_stream(mc_asm::Mnemonic::Movss, &[16]));
+    let env = ExecEnv::single_core(machine());
+    let workload = Workload::resident_at(&env.machine, Level::Ram);
+    let timing = estimate(&program, &workload, &env);
+    let a = attribute(&timing, &env.machine);
+    assert_eq!(a.class, BottleneckClass::Memory(Level::Ram), "{a:?}");
+    assert_eq!(a.class.name(), "ram-bound");
+    // The uncore bound IS the estimate here, so the share is ~1.
+    assert!(a.share() > 0.9, "share {}", a.share());
+}
+
+#[test]
+fn l1_load_stream_is_load_port_bound() {
+    // The classic Figure 11 L1 plateau: one load per cycle.
+    let program = generated(&load_stream(mc_asm::Mnemonic::Movaps, 8, 8));
+    let env = ExecEnv::single_core(machine());
+    let workload = Workload::resident_at(&env.machine, Level::L1);
+    let timing = estimate(&program, &workload, &env);
+    let a = attribute(&timing, &env.machine);
+    assert_eq!(a.class, BottleneckClass::Port(PortClass::Load), "{a:?}");
+    assert_eq!(a.bound_cycles, 8.0);
+    assert!(a.share() > 0.7, "share {}", a.share());
+}
+
+#[test]
+fn saturated_fork_mode_is_contention_bound() {
+    // Twelve cores streaming from RAM blow past the socket bandwidth cap
+    // (the Figure 14 saturated region): contention, not plain bandwidth.
+    let program = generated(&load_stream(mc_asm::Mnemonic::Movaps, 8, 8));
+    let env = ExecEnv::forked(machine(), 12);
+    let workload = Workload::resident_at(&env.machine, Level::Ram);
+    let timing = estimate(&program, &workload, &env);
+    assert!(timing.bounds.contention > 1.05, "contention {}", timing.bounds.contention);
+    let a = attribute(&timing, &env.machine);
+    assert_eq!(a.class, BottleneckClass::Contention(Level::Ram), "{a:?}");
+    assert_eq!(a.class.name(), "contention-ram");
+}
+
+#[test]
+fn dvfs_does_not_flip_core_attributions() {
+    // Core bounds scale to reference cycles with nominal/core GHz; a
+    // dependency-bound kernel stays dependency-bound at low frequency.
+    let program = Program::from_asm_text(
+        "fp_chain",
+        ".L0:\nmovsd (%rsi), %xmm0\naddsd %xmm0, %xmm15\naddq $8, %rsi\nsubq $1, %rdi\njge .L0\n",
+    )
+    .unwrap();
+    let env = ExecEnv::single_core(machine()).at_frequency(1.60);
+    let workload = Workload::resident_at(&env.machine, Level::L1);
+    let timing = estimate(&program, &workload, &env);
+    let a = attribute(&timing, &env.machine);
+    assert_eq!(a.class, BottleneckClass::DepChain, "{a:?}");
+    // 3 core cycles at 1.6 GHz measured in 2.67 GHz reference cycles.
+    let expected = 3.0 * env.machine.nominal_ghz / 1.60;
+    assert!((a.bound_cycles - expected).abs() < 1e-9, "{} vs {expected}", a.bound_cycles);
+}

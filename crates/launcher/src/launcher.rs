@@ -7,6 +7,7 @@ use crate::input::KernelInput;
 use crate::measure::{measure, MeasureConfig, Measurement};
 use crate::options::{LauncherOptions, Mode};
 use crate::stability::NoiseModel;
+use mc_insight::{attribute, Attribution};
 use mc_kernel::Program;
 use mc_ompsim::model::OmpCostModel;
 use mc_ompsim::team::ParallelTeam;
@@ -68,12 +69,15 @@ pub struct RunReport {
     /// Modelled energy per loop iteration in nanojoules (simulated runs) —
     /// the paper's "power utilization" metric (§7).
     pub energy_nj_per_iteration: Option<f64>,
+    /// Bottleneck attribution: what the variant is bound on (simulated
+    /// runs; native measurements carry no model decomposition).
+    pub bottleneck: Option<Attribution>,
 }
 
 impl RunReport {
     /// CSV header matching [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
-        "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,seconds_full,min,median,max,stable,residence,verified"
+        "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,seconds_full,min,median,max,stable,residence,verified,bottleneck,bound_cycles,bound_share"
     }
 
     /// The CSV row for this run (§4.3: "The output of the launcher is a
@@ -81,7 +85,7 @@ impl RunReport {
     pub fn csv_row(&self) -> String {
         let mode = self.mode.name();
         format!(
-            "{},{},{},{},{},{:.4},{},{:.6e},{:.4},{:.4},{:.4},{},{},{}",
+            "{},{},{},{},{},{:.4},{},{:.6e},{:.4},{:.4},{:.4},{},{},{},{},{},{}",
             self.name,
             self.label,
             self.machine.replace(',', ";"),
@@ -96,6 +100,9 @@ impl RunReport {
             self.stable,
             self.residence.map_or("-", Level::name),
             self.verify.as_ref().map_or("-".to_owned(), |v| v.passed.to_string()),
+            self.bottleneck.as_ref().map_or("-", |a| a.class.name()),
+            self.bottleneck.as_ref().map_or("-".to_owned(), |a| format!("{:.4}", a.bound_cycles)),
+            self.bottleneck.as_ref().map_or("-".to_owned(), |a| format!("{:.2}", a.share())),
         )
     }
 }
@@ -144,6 +151,9 @@ impl MicroLauncher {
                     span.field("workers", u64::from(report.workers));
                     span.field("cycles_per_iteration", report.cycles_per_iteration);
                     span.field("stable", report.stable);
+                    if let Some(b) = &report.bottleneck {
+                        span.field("bottleneck", b.class.name());
+                    }
                 }
                 Err(error) => span.field("error", error.as_str()),
             }
@@ -171,6 +181,20 @@ impl MicroLauncher {
         };
         let workload = env.workload();
         let timing = estimate(program, &workload, &exec_env);
+        let bottleneck = attribute(&timing, &env.machine);
+        if mc_trace::enabled() {
+            mc_trace::event(
+                "insight.attribution",
+                vec![
+                    ("kernel", program.name.as_str().into()),
+                    ("class", bottleneck.class.name().into()),
+                    ("bound_cycles", bottleneck.bound_cycles.into()),
+                    ("measured_cycles", bottleneck.measured_cycles.into()),
+                    ("share", bottleneck.share().into()),
+                    ("runner_up", bottleneck.runner_up.map_or("-", |c| c.name()).into()),
+                ],
+            );
+        }
         let epi = program.elements_per_iteration.max(1);
         let total_iterations = (env.trip_count / epi).max(1);
 
@@ -236,6 +260,7 @@ impl MicroLauncher {
             measurement,
             nominal,
             Some(energy),
+            Some(bottleneck),
         ))
     }
 
@@ -351,11 +376,7 @@ impl MicroLauncher {
             hierarchy.replay(interp.trace());
             if pass == 0 {
                 // Reset counters after the heating pass.
-                for level in &mut hierarchy.levels {
-                    level.hits = 0;
-                    level.misses = 0;
-                }
-                hierarchy.ram_accesses = 0;
+                hierarchy.reset_counters();
             }
         }
         let observed = hierarchy.observed_residence(0.9);
@@ -379,6 +400,7 @@ impl MicroLauncher {
             placement: o.placement,
         };
         let timing = estimate(program, &env.workload(), &exec_env);
+        let bottleneck = attribute(&timing, &env.machine);
         let seconds = timing.seconds_per_iteration * iterations as f64;
         let summary = Summary::of(&[timing.cycles_per_iteration]).ok_or("empty")?;
         Ok(RunReport {
@@ -403,6 +425,7 @@ impl MicroLauncher {
                     program.bytes_per_iteration() as f64,
                 ),
             ),
+            bottleneck: Some(bottleneck),
         })
     }
 
@@ -467,6 +490,7 @@ impl MicroLauncher {
             verify: None,
             region_seconds: None,
             energy_nj_per_iteration: None,
+            bottleneck: None,
         })
     }
 
@@ -483,6 +507,7 @@ impl MicroLauncher {
         measurement: Measurement,
         nominal_ghz: f64,
         energy_nj_per_iteration: Option<f64>,
+        bottleneck: Option<Attribution>,
     ) -> RunReport {
         RunReport {
             name,
@@ -499,6 +524,7 @@ impl MicroLauncher {
             verify,
             region_seconds,
             energy_nj_per_iteration,
+            bottleneck,
         }
     }
 }
@@ -538,6 +564,18 @@ mod tests {
         let report = launcher.run(&movaps_input(4)).unwrap();
         let header_fields = RunReport::csv_header().split(',').count();
         assert_eq!(report.csv_row().split(',').count(), header_fields);
+    }
+
+    #[test]
+    fn simulated_runs_carry_attribution_into_the_csv() {
+        let r = MicroLauncher::with_defaults().run(&movaps_input(8)).unwrap();
+        let b = r.bottleneck.expect("simulated runs are attributed");
+        assert_eq!(b.class.name(), "load-port", "{b:?}");
+        assert!(b.bound_cycles > 0.0);
+        let row = r.csv_row();
+        assert!(row.contains(",load-port,"), "{row}");
+        let share: f64 = row.rsplit(',').next().unwrap().parse().unwrap();
+        assert!((0.0..=1.0).contains(&share), "share {share}");
     }
 
     #[test]

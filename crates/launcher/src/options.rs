@@ -84,6 +84,17 @@ pub enum Aggregation {
     Mean,
 }
 
+impl Aggregation {
+    /// Manifest/CSV name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregation::Min => "min",
+            Aggregation::Median => "median",
+            Aggregation::Mean => "mean",
+        }
+    }
+}
+
 /// The full option surface of MicroLauncher.
 ///
 /// The paper: "there are currently more than thirty options in the
@@ -431,6 +442,10 @@ impl LauncherOptions {
         );
         m.set("mode", self.mode.name());
         m.set("jobs", mc_exec::jobs().to_string());
+        // Stability provenance: diff reports trust a baseline only when
+        // they can see how it was aggregated and over how many samples.
+        m.set("aggregation", self.aggregation.name());
+        m.set("samples", self.meta_repetitions.to_string());
         m
     }
 }
@@ -640,6 +655,8 @@ mod tests {
         assert_eq!(m.get("options_hash"), Some(format!("{:016x}", o.fingerprint()).as_str()));
         let jobs: usize = m.get("jobs").expect("worker count recorded").parse().unwrap();
         assert!(jobs >= 1);
+        assert_eq!(m.get("aggregation"), Some(o.aggregation.name()));
+        assert_eq!(m.get("samples"), Some(o.meta_repetitions.to_string().as_str()));
     }
 
     #[test]

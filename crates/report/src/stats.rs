@@ -62,9 +62,17 @@ impl Summary {
     }
 }
 
-/// Percentile (0–100) by linear interpolation.
+/// Percentile (0–100) by linear interpolation on `rank = p/100 × (n−1)`.
+///
+/// Tiny samples follow the same rule rather than special cases, so
+/// callers deriving noise thresholds from few samples get defined
+/// behavior: with `n = 1` every percentile is that sample (the rank is
+/// always 0); with `n = 2` every percentile interpolates linearly
+/// between the two (p95 of `{a, b}` is `a + 0.95 × (b − a)`). Returns
+/// `None` for an empty set, an out-of-range `p`, or any non-finite
+/// sample.
 pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
-    if samples.is_empty() || !(0.0..=100.0).contains(&p) {
+    if samples.is_empty() || !(0.0..=100.0).contains(&p) || samples.iter().any(|v| !v.is_finite()) {
         return None;
     }
     let mut sorted = samples.to_vec();
@@ -145,6 +153,28 @@ mod tests {
         assert!((p50 - 50.5).abs() < 1e-9);
         assert!(percentile(&v, 101.0).is_none());
         assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn percentile_of_one_sample_is_that_sample() {
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&[7.5], p), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn percentile_of_two_samples_interpolates() {
+        assert_eq!(percentile(&[10.0, 20.0], 0.0), Some(10.0));
+        assert_eq!(percentile(&[10.0, 20.0], 50.0), Some(15.0));
+        let p95 = percentile(&[10.0, 20.0], 95.0).unwrap();
+        assert!((p95 - 19.5).abs() < 1e-12);
+        assert_eq!(percentile(&[20.0, 10.0], 100.0), Some(20.0));
+    }
+
+    #[test]
+    fn percentile_rejects_non_finite_samples() {
+        assert_eq!(percentile(&[1.0, f64::NAN], 50.0), None);
+        assert_eq!(percentile(&[f64::INFINITY], 95.0), None);
     }
 
     #[test]

@@ -68,6 +68,28 @@ impl CacheLevel {
     }
 }
 
+/// Event counters of one level, frozen at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTally {
+    /// Level name ("L1", "L2", …).
+    pub name: &'static str,
+    /// Hits observed at this level.
+    pub hits: u64,
+    /// Misses observed at this level.
+    pub misses: u64,
+    /// Hit rate over all accesses that reached this level.
+    pub hit_rate: f64,
+}
+
+/// A snapshot of a hierarchy's event counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CacheTally {
+    /// Per-level counters, closest first.
+    pub levels: Vec<LevelTally>,
+    /// Accesses that missed every level.
+    pub ram_accesses: u64,
+}
+
 /// A cache hierarchy (inclusive, LRU, write-allocate).
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
@@ -138,6 +160,34 @@ impl CacheHierarchy {
         }
     }
 
+    /// Zeroes every hit/miss counter (cache *contents* stay warm) — the
+    /// idiom between a heating pass and a measured pass.
+    pub fn reset_counters(&mut self) {
+        for level in &mut self.levels {
+            level.hits = 0;
+            level.misses = 0;
+        }
+        self.ram_accesses = 0;
+    }
+
+    /// A snapshot of the per-level event counters, for attribution and
+    /// reporting.
+    pub fn tally(&self) -> CacheTally {
+        CacheTally {
+            levels: self
+                .levels
+                .iter()
+                .map(|l| LevelTally {
+                    name: l.name,
+                    hits: l.hits,
+                    misses: l.misses,
+                    hit_rate: l.hit_rate(),
+                })
+                .collect(),
+            ram_accesses: self.ram_accesses,
+        }
+    }
+
     /// The deepest level with a hit rate above `threshold` — the observed
     /// residence, comparable against
     /// [`crate::config::MachineConfig::residence`].
@@ -190,11 +240,7 @@ mod tests {
         // Heat pass fills the caches…
         run(true, Some(&mut hierarchy));
         // …reset counters, then measure the steady-state pass.
-        for level in &mut hierarchy.levels {
-            level.hits = 0;
-            level.misses = 0;
-        }
-        hierarchy.ram_accesses = 0;
+        hierarchy.reset_counters();
         run(true, Some(&mut hierarchy));
         hierarchy
     }
@@ -241,6 +287,25 @@ mod tests {
                 ws
             );
         }
+    }
+
+    #[test]
+    fn tally_snapshots_and_reset_clears_counters_not_contents() {
+        let mut h = CacheHierarchy::new(vec![CacheLevel::new("L1", 1024, 2, 64)]);
+        let a = MemAccess { address: 0, bytes: 4, store: false };
+        h.access(a); // miss → RAM
+        h.access(a); // hit
+        let t = h.tally();
+        assert_eq!(t.levels[0].name, "L1");
+        assert_eq!(t.levels[0].hits, 1);
+        assert_eq!(t.levels[0].misses, 1);
+        assert_eq!(t.ram_accesses, 1);
+        h.reset_counters();
+        let t = h.tally();
+        assert_eq!((t.levels[0].hits, t.levels[0].misses, t.ram_accesses), (0, 0, 0));
+        // Contents stayed warm: the same line still hits.
+        h.access(a);
+        assert_eq!(h.tally().levels[0].hits, 1);
     }
 
     #[test]

@@ -24,9 +24,17 @@ pub fn result_latency(inst: &Inst) -> f64 {
     decompose(inst).iter().filter(|u| u.port != PortClass::Store).map(|u| u.latency).sum()
 }
 
+fn reg_name(reg: ArchReg) -> String {
+    match reg {
+        ArchReg::Gpr(g) => g.base_name().to_string(),
+        ArchReg::Xmm(n) => format!("xmm{n}"),
+        ArchReg::Flags => "flags".to_string(),
+    }
+}
+
 /// Longest dependency path through `copies` back-to-back executions of the
-/// body, in cycles.
-fn longest_path(body: &[&Inst], copies: usize) -> f64 {
+/// body, in cycles, plus the per-register completion times at the end.
+fn longest_path(body: &[&Inst], copies: usize) -> (f64, HashMap<ArchReg, f64>) {
     // last_writer: register → (completion time of the value)
     let mut ready_time: HashMap<ArchReg, f64> = HashMap::new();
     let mut longest = 0.0f64;
@@ -44,7 +52,7 @@ fn longest_path(body: &[&Inst], copies: usize) -> f64 {
             longest = longest.max(finish);
         }
     }
-    longest
+    (longest, ready_time)
 }
 
 /// Cycles-per-iteration lower bound from loop-carried dependency chains.
@@ -52,14 +60,36 @@ fn longest_path(body: &[&Inst], copies: usize) -> f64 {
 /// Bodies with no loop-carried chain (e.g. independent rotating-register
 /// loads) report the latency growth 0 and are floored at 1 cycle.
 pub fn recurrence_bound(body: &[&Inst]) -> f64 {
+    recurrence_detail(body).0
+}
+
+/// [`recurrence_bound`] plus the *carrier*: the register whose value chain
+/// grows fastest across iterations — the accumulator or induction variable
+/// responsible for the bound. `None` when the body is empty or no chain
+/// grows (the floor case).
+pub fn recurrence_detail(body: &[&Inst]) -> (f64, Option<String>) {
     if body.is_empty() {
-        return 0.0;
+        return (0.0, None);
     }
     let k = 8usize;
-    let half = longest_path(body, k / 2);
-    let full = longest_path(body, k);
+    let (half, half_ready) = longest_path(body, k / 2);
+    let (full, full_ready) = longest_path(body, k);
     let rate = (full - half) / (k as f64 / 2.0);
-    rate.max(1.0)
+    // The carrier is the register whose completion time grew the most
+    // between K/2 and K copies — i.e. the one actually accruing latency
+    // every iteration rather than being rewritten from scratch.
+    let mut growths: Vec<(String, f64)> = full_ready
+        .iter()
+        .filter_map(|(reg, &t_full)| {
+            let growth = t_full - half_ready.get(reg).copied().unwrap_or(0.0);
+            (growth > 0.0).then(|| (reg_name(*reg), growth))
+        })
+        .collect();
+    // Deterministic pick: fastest-growing chain, names break ties.
+    growths.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    (rate.max(1.0), growths.into_iter().next().map(|(name, _)| name))
 }
 
 #[cfg(test)]
@@ -134,6 +164,24 @@ mod tests {
     #[test]
     fn empty_body_is_zero() {
         assert_eq!(recurrence_bound(&[]), 0.0);
+        assert_eq!(recurrence_detail(&[]), (0.0, None));
+    }
+
+    #[test]
+    fn carrier_names_the_accumulator() {
+        let insts =
+            body("movsd (%rsi), %xmm0\naddsd %xmm0, %xmm15\naddq $8, %rsi\nsubq $1, %rdi\n");
+        let (rate, carrier) = recurrence_detail(&insts.iter().collect::<Vec<_>>());
+        assert_eq!(rate, 3.0);
+        assert_eq!(carrier.as_deref(), Some("xmm15"));
+    }
+
+    #[test]
+    fn carrier_of_pointer_chase_is_the_pointer() {
+        let insts = body("movq (%rax), %rax\nsubq $1, %rdi\n");
+        let (rate, carrier) = recurrence_detail(&insts.iter().collect::<Vec<_>>());
+        assert_eq!(rate, 5.0);
+        assert_eq!(carrier.as_deref(), Some("rax"));
     }
 
     #[test]

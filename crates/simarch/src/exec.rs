@@ -115,6 +115,13 @@ pub struct TimingReport {
     pub residence: Level,
     /// The contributing bounds.
     pub bounds: TimingBounds,
+    /// Per-class µop pressure of the loop — the decomposition behind
+    /// `bounds.ports`, kept so the insight layer can name the binding
+    /// port class without re-walking the program.
+    pub pressure: PortPressure,
+    /// The core frequency the estimate ran at, in GHz. Core-domain bounds
+    /// are in core cycles; converting them to reference cycles needs this.
+    pub core_ghz: f64,
 }
 
 impl TimingReport {
@@ -342,6 +349,8 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
             contention,
             alignment: align.memory_factor,
         },
+        pressure,
+        core_ghz: env.core_ghz,
     }
 }
 
@@ -527,5 +536,9 @@ mod tests {
         assert_eq!(r.bounds.contention, 1.0);
         assert_eq!(r.bounds.alignment, 1.0);
         assert!(r.seconds_per_iteration > 0.0);
+        // The pressure decomposition rides along for attribution.
+        assert_eq!(r.pressure.loads, 4.0);
+        assert_eq!(r.pressure.bound_cycles(&env.machine), r.bounds.ports);
+        assert_eq!(r.core_ghz, env.core_ghz);
     }
 }

@@ -47,19 +47,28 @@ impl PortPressure {
         p
     }
 
+    /// The per-class throughput bounds on the given machine, in cycles
+    /// per iteration, in a fixed class order. This is the decomposition
+    /// behind [`PortPressure::bound_cycles`]; the insight layer uses it to
+    /// name *which* port binds a kernel.
+    pub fn class_bounds(&self, m: &MachineConfig) -> [(PortClass, f64); 7] {
+        [
+            (PortClass::Load, self.loads / m.load_ports),
+            (PortClass::Store, self.stores / m.store_ports),
+            (PortClass::IntAlu, self.int_alu / m.int_alu_ports),
+            (PortClass::FpAdd, self.fp_add / m.fp_add_ports),
+            (PortClass::FpMul, self.fp_mul / m.fp_mul_ports),
+            // The divider is unpipelined: each div blocks it for its
+            // latency.
+            (PortClass::FpDiv, self.fp_div * crate::uops::compute_latency(mc_asm::Mnemonic::Divsd)),
+            (PortClass::Branch, self.branches * m.taken_branch_cycles),
+        ]
+    }
+
     /// The cycles-per-iteration lower bound from port throughput on the
-    /// given machine.
+    /// given machine: the worst class of [`PortPressure::class_bounds`].
     pub fn bound_cycles(&self, m: &MachineConfig) -> f64 {
-        let mut bound: f64 = 0.0;
-        bound = bound.max(self.loads / m.load_ports);
-        bound = bound.max(self.stores / m.store_ports);
-        bound = bound.max(self.int_alu / m.int_alu_ports);
-        bound = bound.max(self.fp_add / m.fp_add_ports);
-        bound = bound.max(self.fp_mul / m.fp_mul_ports);
-        // The divider is unpipelined: each div blocks it for its latency.
-        bound = bound.max(self.fp_div * crate::uops::compute_latency(mc_asm::Mnemonic::Divsd));
-        bound = bound.max(self.branches * m.taken_branch_cycles);
-        bound
+        self.class_bounds(m).iter().fold(0.0f64, |acc, &(_, b)| acc.max(b))
     }
 
     /// The front-end bound: fused µops over decode width.
@@ -136,6 +145,29 @@ mod tests {
         let p = pressure("movaps (%rsi), %xmm0\nmovaps 16(%rsi), %xmm1\nmovaps %xmm2, 32(%rsi)\nsubq $12, %rdi\n");
         assert_eq!(p.fused_uops, 4.0);
         assert_eq!(p.frontend_cycles(&m), 1.0);
+    }
+
+    #[test]
+    fn class_bounds_decompose_the_scalar_bound() {
+        let m = MachineConfig::nehalem_x5650_dual();
+        let p = pressure(
+            "movaps %xmm0, (%rsi)\nmovaps 16(%rsi), %xmm1\nmovaps %xmm2, 32(%rsi)\n\
+             addq $48, %rsi\nsubq $12, %rdi\njge .L6\n",
+        );
+        let bounds = p.class_bounds(&m);
+        // The max over the decomposition IS the scalar bound.
+        let max = bounds.iter().fold(0.0f64, |a, &(_, b)| a.max(b));
+        assert_eq!(max, p.bound_cycles(&m));
+        // And the store class reaches it first in class order: 2 stores /
+        // 1 port tie the taken-branch bound, and earlier classes win ties.
+        let mut binding = bounds[0];
+        for &(class, bound) in &bounds[1..] {
+            if bound > binding.1 {
+                binding = (class, bound);
+            }
+        }
+        assert_eq!(binding.0, PortClass::Store);
+        assert_eq!(binding.1, 2.0);
     }
 
     #[test]

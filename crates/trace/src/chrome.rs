@@ -1,0 +1,285 @@
+//! Chrome-trace (Perfetto) export.
+//!
+//! [`ChromeTraceSink`] renders the event stream in the Trace Event
+//! Format that `chrome://tracing` and [ui.perfetto.dev] load directly:
+//! one JSON document with a `traceEvents` array. Spans become `"X"`
+//! (complete) events carrying `ts`/`dur` in microseconds, so the
+//! creator-pass pipeline and every launcher run show up as bars on a
+//! per-thread timeline; point events and diagnostics become `"i"`
+//! (instant) markers.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+//!
+//! Unlike the JSONL sink, the output is a single document, not a line
+//! protocol — so the sink buffers rendered entries and rewrites the
+//! complete file on every [`TraceSink::flush`]. The file on disk is
+//! therefore always valid JSON, even if the process dies between
+//! flushes, at the cost of O(events) rewrite work per flush. Traces
+//! from a `--quick` reproduction are a few thousand events; that trade
+//! is fine.
+
+use crate::event::{encode_str, EventKind, TraceEvent};
+use crate::sink::TraceSink;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Renders the trace as one Chrome-trace JSON document.
+pub struct ChromeTraceSink {
+    entries: Mutex<Vec<String>>,
+    path: Option<PathBuf>,
+}
+
+/// Small dense thread ordinals: Chrome's UI sorts rows by `tid`, and the
+/// OS thread ids are large and arbitrary. First thread to record gets 0
+/// (the main timeline), workers count up from there.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|t| *t)
+}
+
+impl ChromeTraceSink {
+    /// A sink rewriting `path` on every flush. Creates the file eagerly
+    /// (with an empty trace) so path errors surface at startup, not at
+    /// the end of the run.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let sink = ChromeTraceSink { entries: Mutex::new(Vec::new()), path: Some(path.into()) };
+        std::fs::write(path, sink.render())?;
+        Ok(sink)
+    }
+
+    /// A sink that only buffers; read the document back with
+    /// [`ChromeTraceSink::render`]. Used by tests and `--metrics`-style
+    /// in-process consumers.
+    pub fn in_memory() -> Self {
+        ChromeTraceSink { entries: Mutex::new(Vec::new()), path: None }
+    }
+
+    /// The complete Chrome-trace JSON document for everything recorded
+    /// so far.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("chrome sink poisoned");
+        let mut out =
+            String::with_capacity(64 + entries.iter().map(|e| e.len() + 2).sum::<usize>());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, entry) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(entry);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    fn render_entry(event: &TraceEvent) -> String {
+        let mut out = String::with_capacity(96 + event.fields.len() * 24);
+        out.push_str("{\"name\":");
+        encode_str(&event.name, &mut out);
+        // Category = first dotted segment (creator, launcher, insight…);
+        // Perfetto can filter and color by it.
+        let category = event.name.split('.').next().unwrap_or("trace");
+        out.push_str(",\"cat\":");
+        encode_str(category, &mut out);
+        match event.kind {
+            EventKind::Span => {
+                out.push_str(&format!(
+                    ",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                    event.micros,
+                    event.duration_micros.unwrap_or(0)
+                ));
+            }
+            EventKind::Event | EventKind::Diag => {
+                // Thread-scoped instant marker.
+                out.push_str(&format!(",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}", event.micros));
+            }
+        }
+        out.push_str(&format!(",\"pid\":{},\"tid\":{}", std::process::id(), thread_ordinal()));
+        out.push_str(&format!(",\"args\":{{\"seq\":{}", event.seq));
+        for (key, value) in &event.fields {
+            out.push(',');
+            encode_str(key, &mut out);
+            out.push(':');
+            value.encode(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&self, event: &TraceEvent) {
+        let entry = Self::render_entry(event);
+        self.entries.lock().expect("chrome sink poisoned").push(entry);
+    }
+
+    fn flush(&self) {
+        if let Some(path) = &self.path {
+            let _ = std::fs::write(path, self.render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn span(name: &str, micros: u64, dur: u64) -> TraceEvent {
+        let mut e = TraceEvent::new(EventKind::Span, name);
+        e.micros = micros;
+        e.duration_micros = Some(dur);
+        e
+    }
+
+    /// Generic JSON validator (the subset is small, but the document must
+    /// be *real* JSON for Perfetto to load it — arrays, nesting, and all).
+    fn check_json(text: &str) -> Result<(), String> {
+        let rest = check_value(text.trim_start())?;
+        if rest.trim_start().is_empty() {
+            Ok(())
+        } else {
+            Err(format!("trailing input `{}`", &rest[..rest.len().min(24)]))
+        }
+    }
+
+    fn check_value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        if let Some(rest) = s.strip_prefix('{') {
+            return check_sequence(rest, '}', |item| {
+                let after_key = check_string(item.trim_start())?;
+                let after_colon = after_key
+                    .trim_start()
+                    .strip_prefix(':')
+                    .ok_or_else(|| "missing `:`".to_string())?;
+                check_value(after_colon)
+            });
+        }
+        if let Some(rest) = s.strip_prefix('[') {
+            return check_sequence(rest, ']', check_value);
+        }
+        if s.starts_with('"') {
+            return check_string(s);
+        }
+        for literal in ["true", "false", "null"] {
+            if let Some(rest) = s.strip_prefix(literal) {
+                return Ok(rest);
+            }
+        }
+        let end = s
+            .char_indices()
+            .find(|(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .map_or(s.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(format!("expected value at `{}`", &s[..s.len().min(24)]));
+        }
+        s[..end].parse::<f64>().map_err(|_| format!("bad number `{}`", &s[..end]))?;
+        Ok(&s[end..])
+    }
+
+    fn check_sequence<'a>(
+        mut s: &'a str,
+        close: char,
+        item: impl Fn(&'a str) -> Result<&'a str, String>,
+    ) -> Result<&'a str, String> {
+        if let Some(rest) = s.trim_start().strip_prefix(close) {
+            return Ok(rest);
+        }
+        loop {
+            s = item(s)?.trim_start();
+            if let Some(rest) = s.strip_prefix(',') {
+                s = rest;
+            } else if let Some(rest) = s.strip_prefix(close) {
+                return Ok(rest);
+            } else {
+                return Err(format!("expected `,` or `{close}` at `{}`", &s[..s.len().min(24)]));
+            }
+        }
+    }
+
+    fn check_string(s: &str) -> Result<&str, String> {
+        let mut chars = s.strip_prefix('"').ok_or("expected string")?.char_indices();
+        loop {
+            match chars.next() {
+                Some((i, '"')) => return Ok(&s[i + 2..]),
+                Some((_, '\\')) => {
+                    chars.next();
+                }
+                Some(_) => {}
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    /// Pulls a numeric field out of a rendered entry line.
+    fn grab(line: &str, key: &str) -> u64 {
+        let at = line.find(&format!("\"{key}\":")).unwrap_or_else(|| panic!("no {key} in {line}"));
+        line[at + key.len() + 3..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn document_is_valid_json_with_escapes_and_all_kinds() {
+        let sink = ChromeTraceSink::in_memory();
+        sink.record(&span("creator.pass", 10, 90).with("pass", "a \"quoted\"\npass"));
+        sink.record(
+            &TraceEvent::new(EventKind::Event, "insight.attribution")
+                .with("share", Value::Float(0.93)),
+        );
+        sink.record(&TraceEvent::new(EventKind::Diag, "diag").with("msg", "warn\tme"));
+        let doc = sink.render();
+        check_json(&doc).unwrap_or_else(|e| panic!("{e}\nin {doc}"));
+        assert!(doc.contains("\"ph\":\"X\""), "{doc}");
+        assert!(doc.contains("\"ph\":\"i\""), "{doc}");
+        assert!(doc.contains("\"cat\":\"insight\""), "{doc}");
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let sink = ChromeTraceSink::in_memory();
+        check_json(&sink.render()).unwrap();
+    }
+
+    #[test]
+    fn nested_spans_telescope_on_the_timeline() {
+        // Spans emit at drop, so the inner one is recorded first; the
+        // rendered `ts`/`dur` intervals must still nest outer ⊇ inner.
+        let sink = ChromeTraceSink::in_memory();
+        sink.record(&span("launcher.measure", 120, 40));
+        sink.record(&span("launcher.run", 100, 200));
+        let doc = sink.render();
+        check_json(&doc).unwrap_or_else(|e| panic!("{e}\nin {doc}"));
+        let inner = doc.lines().find(|l| l.contains("launcher.measure")).unwrap();
+        let outer = doc.lines().find(|l| l.contains("\"launcher.run\"")).unwrap();
+        let (its, idur) = (grab(inner, "ts"), grab(inner, "dur"));
+        let (ots, odur) = (grab(outer, "ts"), grab(outer, "dur"));
+        assert!(ots <= its && its + idur <= ots + odur, "inner {its}+{idur} outer {ots}+{odur}");
+    }
+
+    #[test]
+    fn flush_rewrites_a_complete_file_every_time() {
+        let dir = std::env::temp_dir().join("mc-trace-chrome-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.json", std::process::id()));
+        let sink = ChromeTraceSink::create(&path).unwrap();
+        // Eager create: valid (empty) document before any event.
+        check_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        sink.record(&span("a", 0, 5));
+        sink.flush();
+        let first = std::fs::read_to_string(&path).unwrap();
+        check_json(&first).unwrap();
+        sink.record(&span("b", 5, 5));
+        sink.flush();
+        let second = std::fs::read_to_string(&path).unwrap();
+        check_json(&second).unwrap();
+        assert!(second.contains("\"name\":\"a\"") && second.contains("\"name\":\"b\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

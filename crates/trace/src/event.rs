@@ -122,7 +122,7 @@ impl Value {
         }
     }
 
-    fn encode(&self, out: &mut String) {
+    pub(crate) fn encode(&self, out: &mut String) {
         match self {
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Int(v) => out.push_str(&v.to_string()),
@@ -296,7 +296,7 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-fn encode_str(s: &str, out: &mut String) {
+pub(crate) fn encode_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -12,7 +12,7 @@
 //! * [`event`] — [`TraceEvent`]: spans, point events, and routed
 //!   diagnostics with a flat JSONL wire format,
 //! * [`sink`] — pluggable [`TraceSink`]s: JSONL writer, in-memory buffer,
-//!   fan-out,
+//!   fan-out — plus [`chrome`]'s Perfetto/Chrome-trace timeline exporter,
 //! * [`metrics`] — a thread-safe [`MetricsRegistry`] of counters, gauges,
 //!   and histograms (p50/p95/max), rendered by [`summary`].
 //!
@@ -34,11 +34,13 @@
 //! assert_eq!(sink.events()[0].name, "demo.work");
 //! ```
 
+pub mod chrome;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 pub mod summary;
 
+pub use chrome::ChromeTraceSink;
 pub use event::{EventKind, TraceEvent, Value};
 pub use metrics::{Counter, HistogramStats, MetricsRegistry, MetricsSnapshot};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, TraceSink};

@@ -40,10 +40,12 @@
 //! | [`simarch`] | `mc-simarch` | the simulated machines + interpreter |
 //! | [`ompsim`] | `mc-ompsim` | OpenMP-style team runtime + cost model |
 //! | [`launcher`] | `mc-launcher` | the measurement harness |
+//! | [`insight`] | `mc-insight` | bottleneck attribution + run-diff reports |
 //! | [`report`] | `mc-report` | stats, CSV, charts, shape checks |
 
 pub use mc_asm as asm;
 pub use mc_creator as creator;
+pub use mc_insight as insight;
 pub use mc_kernel as kernel;
 pub use mc_launcher as launcher;
 pub use mc_ompsim as ompsim;
@@ -55,6 +57,7 @@ pub use mc_xmlite as xmlite;
 pub mod prelude {
     pub use mc_asm::inst::Mnemonic;
     pub use mc_creator::{CreatorConfig, MicroCreator, PassManager, Plugin};
+    pub use mc_insight::{attribute, Attribution, BottleneckClass};
     pub use mc_kernel::builder::{
         figure6, load_stream, matmul_inner, multi_array_traversal, stencil_1d, strided_stream,
         KernelBuilder,
