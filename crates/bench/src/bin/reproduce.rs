@@ -14,27 +14,36 @@
 //! chart or table), the shape checks against the paper's claims as
 //! `[PASS]`/`[FAIL]` lines, and the measured-vs-paper notes that feed
 //! EXPERIMENTS.md. The shared observability flags (`--trace=PATH`,
-//! `--metrics`, `--quiet`) apply; each experiment runs under one
-//! `bench.experiment` span.
+//! `--metrics`, `--quiet`) and supervision flags (`--deadline-ms`,
+//! `--retries`, `--max-failures`, `--keep-going`/`--fail-fast`,
+//! `--checkpoint=PATH [--resume]`) apply; each experiment runs under one
+//! `bench.experiment` span. Exit codes follow the shared convention:
+//! 0 ok, 2 usage, 3 evaluation failures over budget, 4 shape-check
+//! regression.
 
 use mc_bench::figures::{run_all, run_experiment, run_many, FigureResult};
 use mc_report::experiments::ExperimentId;
 use mc_report::series::render_chart;
 use mc_report::{CsvWriter, RunManifest};
-use mc_tools::{take_jobs_flag, TraceSession};
+use mc_tools::{exitcode, take_guard_flags, take_jobs_flag, GuardSession, TraceSession};
 use mc_trace::diag;
 use std::path::Path;
 use std::process::ExitCode;
 
 /// Writes one experiment's series as `<key>.csv` (columns: series, x, y),
-/// preceded by a `# key: value` provenance header.
-fn write_csv(dir: &Path, r: &FigureResult) -> std::io::Result<()> {
+/// preceded by a `# key: value` provenance header. The write is atomic
+/// (temp file + rename), so a killed run leaves complete documents only.
+fn write_csv(dir: &Path, r: &FigureResult, guard: &GuardSession) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let mut manifest = RunManifest::new();
     manifest.set("tool", "reproduce");
     manifest.set("version", env!("CARGO_PKG_VERSION"));
     manifest.set("experiment", r.id.key());
     manifest.set("claim", r.id.paper_claim());
+    if let Some(path) = &guard.checkpoint {
+        manifest.set("checkpoint", path.clone());
+        manifest.set("resumed_rows", guard.resumed.to_string());
+    }
     let mut csv = CsvWriter::new(vec!["series", "x", "y"]);
     for s in &r.series {
         for (x, y) in &s.points {
@@ -43,7 +52,7 @@ fn write_csv(dir: &Path, r: &FigureResult) -> std::io::Result<()> {
     }
     let mut document = manifest.render();
     document.push_str(&csv.finish());
-    std::fs::write(dir.join(format!("{}.csv", r.id.key())), document)
+    mc_report::atomic_write(&dir.join(format!("{}.csv", r.id.key())), document.as_bytes())
 }
 
 fn print_result(r: &FigureResult, summary_only: bool) {
@@ -81,19 +90,26 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     if let Err(e) = take_jobs_flag(&mut args) {
         eprintln!("{e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(exitcode::USAGE);
     }
-    let code = run(args);
+    let guard = match take_guard_flags(&mut args) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args, &guard);
     session.finish();
     code
 }
 
-fn run(args: Vec<String>) -> ExitCode {
+fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
     let mut exp: Option<String> = None;
     let mut summary_only = false;
     let mut quick = false;
@@ -118,7 +134,7 @@ fn run(args: Vec<String>) -> ExitCode {
             }
             other => {
                 diag!("unknown argument `{other}` (try --list, --summary, --quick, --exp <key>)");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     }
@@ -127,13 +143,13 @@ fn run(args: Vec<String>) -> ExitCode {
         Some(key) => {
             let Some(id) = ExperimentId::from_key(&key) else {
                 diag!("unknown experiment `{key}`; --list shows the available keys");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exitcode::USAGE);
             };
             match run_experiment(id) {
                 Ok(r) => vec![r],
                 Err(e) => {
                     diag!("experiment failed: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(exitcode::EVAL);
                 }
             }
         }
@@ -143,7 +159,7 @@ fn run(args: Vec<String>) -> ExitCode {
                 Ok(rs) => rs,
                 Err(e) => {
                     diag!("reproduction failed: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(exitcode::EVAL);
                 }
             }
         }
@@ -153,7 +169,7 @@ fn run(args: Vec<String>) -> ExitCode {
         print_result(r, summary_only);
         if let Some(dir) = &csv_dir {
             if !r.series.is_empty() {
-                if let Err(e) = write_csv(Path::new(dir), r) {
+                if let Err(e) = write_csv(Path::new(dir), r, guard) {
                     diag!("could not write {}.csv: {e}", r.id.key());
                 }
             }
@@ -164,9 +180,11 @@ fn run(args: Vec<String>) -> ExitCode {
     let passed: usize =
         results.iter().map(|r| r.outcome.checks.iter().filter(|c| c.passed).count()).sum();
     println!("════ {passed}/{total} shape checks passed across {} experiments ════", results.len());
-    if passed == total {
-        ExitCode::SUCCESS
+    if mc_guard::over_budget() {
+        ExitCode::from(exitcode::EVAL)
+    } else if passed == total {
+        ExitCode::from(exitcode::OK)
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(exitcode::REGRESSION)
     }
 }

@@ -66,7 +66,7 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     let read = |path: &str| -> Result<String, ExitCode> {
         std::fs::read_to_string(path).map_err(|e| {
             diag!("cannot read {path}: {e}");
-            ExitCode::from(exitcode::BAD_INPUT)
+            ExitCode::from(exitcode::USAGE)
         })
     };
     let base = match read(&base_path) {
@@ -82,7 +82,7 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         Ok(report) => report,
         Err(e) => {
             diag!("{e}");
-            return ExitCode::from(exitcode::BAD_INPUT);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     span.field("points", report.entries.len());
@@ -92,6 +92,6 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     if report.regressions().is_empty() {
         ExitCode::from(exitcode::OK)
     } else {
-        ExitCode::from(exitcode::FAILED)
+        ExitCode::from(exitcode::REGRESSION)
     }
 }

@@ -12,7 +12,7 @@
 
 use mc_creator::emit::{render_asm_unit, write_programs};
 use mc_creator::{CreatorConfig, MicroCreator};
-use mc_tools::{exitcode, split_args, take_flag, take_jobs_flag, TraceSession};
+use mc_tools::{exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,6 +29,8 @@ options:
   --list           list generated variant names
   --print=NAME     print one variant's assembly to stdout
   --jobs=N         worker threads for batch evaluation (MICROTOOLS_JOBS)
+  --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast
+  --checkpoint=PATH [--resume]   supervised execution (see README)
   --trace=PATH     stream trace events as JSONL to PATH (or `stderr`);
                    MICROTOOLS_TRACE / MICROTOOLS_TRACE_FILTER also apply
   --metrics        print the end-of-run pass-timing table to stderr
@@ -51,6 +53,10 @@ fn main() -> ExitCode {
 
 fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     if let Err(e) = take_jobs_flag(&mut flags) {
+        diag!("{e}");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    if let Err(e) = take_guard_flags(&mut flags) {
         diag!("{e}");
         return ExitCode::from(exitcode::USAGE);
     }
@@ -124,7 +130,7 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             diag!("cannot read {input}: {e}");
-            return ExitCode::from(exitcode::BAD_INPUT);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     let creator = MicroCreator::with_config(config);
@@ -132,7 +138,7 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             diag!("generation failed: {e}");
-            return ExitCode::from(exitcode::BAD_INPUT);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
 
@@ -153,7 +159,7 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
             Some(p) => print!("{}", render_asm_unit(p)),
             None => {
                 diag!("no variant named `{name}` (try --list)");
-                return ExitCode::from(exitcode::FAILED);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     }
@@ -161,22 +167,22 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         if format == Format::Bin {
             if let Err(e) = std::fs::create_dir_all(&dir) {
                 diag!("cannot create {}: {e}", dir.display());
-                return ExitCode::from(exitcode::FAILED);
+                return ExitCode::from(exitcode::EVAL);
             }
             let mut written = 0usize;
             for p in &result.programs {
                 match p.to_machine_code() {
                     Ok(bytes) => {
                         let file = dir.join(format!("{}.bin", p.name.replace('-', "_")));
-                        if let Err(e) = std::fs::write(&file, bytes) {
+                        if let Err(e) = mc_report::atomic_write(&file, &bytes) {
                             diag!("cannot write {}: {e}", file.display());
-                            return ExitCode::from(exitcode::FAILED);
+                            return ExitCode::from(exitcode::EVAL);
                         }
                         written += 1;
                     }
                     Err(e) => {
                         diag!("{}: {e}", p.name);
-                        return ExitCode::from(exitcode::FAILED);
+                        return ExitCode::from(exitcode::EVAL);
                     }
                 }
             }
@@ -191,7 +197,7 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
                 ),
                 Err(e) => {
                     diag!("emit failed: {e}");
-                    return ExitCode::from(exitcode::FAILED);
+                    return ExitCode::from(exitcode::EVAL);
                 }
             }
         }

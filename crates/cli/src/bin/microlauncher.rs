@@ -19,7 +19,7 @@
 use mc_creator::MicroCreator;
 use mc_launcher::launcher::RunReport;
 use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
-use mc_tools::{exitcode, take_jobs_flag, TraceSession};
+use mc_tools::{exitcode, guard_exit_code, take_guard_flags, take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -29,6 +29,8 @@ fn usage() -> String {
         "usage: microlauncher <kernel.s | description.xml> [options]\n\
          options (MicroLauncher's §4.2 surface):\n  {}\n  \
          --jobs=N (parallel batch evaluation; MICROTOOLS_JOBS)\n  \
+         --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast\n  \
+         --checkpoint=PATH [--resume] (supervised execution; see README)\n  \
          --trace=PATH --metrics --quiet (observability; see README)",
         LauncherOptions::OPTION_NAMES.join("\n  ")
     )
@@ -37,11 +39,26 @@ fn usage() -> String {
 /// Prints the `# key: value` provenance header ahead of the CSV header.
 /// `stable` is the run-level verdict: every emitted row passed the
 /// stability protocol. Diff tooling reads it to decide whether the
-/// document is a trustworthy baseline.
-fn print_manifest(options: &LauncherOptions, input: &str, stable: bool) {
+/// document is a trustworthy baseline. Supervised runs also record how
+/// many evaluations failed terminally and how many were replayed from a
+/// `--resume` checkpoint.
+fn print_manifest(
+    options: &LauncherOptions,
+    input: &str,
+    stable: bool,
+    guard: &mc_tools::GuardSession,
+    failures: usize,
+) {
     let mut manifest = options.manifest("microlauncher", env!("CARGO_PKG_VERSION"));
     manifest.set("input", input);
     manifest.set("stable", if stable { "true" } else { "false" });
+    if failures > 0 {
+        manifest.set("failed_rows", failures.to_string());
+    }
+    if let Some(path) = &guard.checkpoint {
+        manifest.set("checkpoint", path.clone());
+        manifest.set("resumed_rows", guard.resumed.to_string());
+    }
     if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
         manifest.set("timestamp_unix", elapsed.as_secs().to_string());
     }
@@ -71,6 +88,13 @@ fn run(mut args: Vec<String>) -> ExitCode {
         diag!("{e}\n{}", usage());
         return ExitCode::from(exitcode::USAGE);
     }
+    let guard = match take_guard_flags(&mut args) {
+        Ok(g) => g,
+        Err(e) => {
+            diag!("{e}\n{}", usage());
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
     let Some(input) = args.first().filter(|a| !a.starts_with("--")) else {
         diag!("{}", usage());
         return ExitCode::from(exitcode::USAGE);
@@ -89,7 +113,7 @@ fn run(mut args: Vec<String>) -> ExitCode {
             Ok(b) => b,
             Err(e) => {
                 diag!("cannot read {input}: {e}");
-                return ExitCode::from(exitcode::BAD_INPUT);
+                return ExitCode::from(exitcode::USAGE);
             }
         };
         let name = input.rsplit('/').next().unwrap_or(input).trim_end_matches(".bin");
@@ -97,20 +121,20 @@ fn run(mut args: Vec<String>) -> ExitCode {
             Ok(k) => k,
             Err(e) => {
                 diag!("disassembly failed: {e}");
-                return ExitCode::from(exitcode::BAD_INPUT);
+                return ExitCode::from(exitcode::USAGE);
             }
         };
         let launcher = MicroLauncher::new(options.clone());
         return match launcher.run(&kernel_input) {
             Ok(report) => {
-                print_manifest(&options, input, report.stable);
+                print_manifest(&options, input, report.stable, &guard, 0);
                 println!("{}", RunReport::csv_header());
                 println!("{}", report.csv_row());
                 ExitCode::from(exitcode::OK)
             }
             Err(e) => {
                 diag!("run failed: {e}");
-                ExitCode::from(exitcode::FAILED)
+                ExitCode::from(exitcode::EVAL)
             }
         };
     }
@@ -119,7 +143,7 @@ fn run(mut args: Vec<String>) -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             diag!("cannot read {input}: {e}");
-            return ExitCode::from(exitcode::BAD_INPUT);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
 
@@ -129,7 +153,7 @@ fn run(mut args: Vec<String>) -> ExitCode {
             Ok(r) => r.programs,
             Err(e) => {
                 diag!("generation failed: {e}");
-                return ExitCode::from(exitcode::BAD_INPUT);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     } else {
@@ -148,41 +172,46 @@ fn run(mut args: Vec<String>) -> ExitCode {
             }
             Err(e) => {
                 diag!("assembly parse failed: {e}");
-                return ExitCode::from(exitcode::BAD_INPUT);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     };
 
-    // Fan the variant set across the evaluation engine; rows come back in
-    // generation order and per-variant failures don't abort the rest. The
-    // rows are collected before printing so the manifest can carry the
-    // run-level `stable` verdict.
+    // Fan the variant set across the supervised evaluation engine; rows
+    // come back in generation order. A failed variant (panic, timeout,
+    // exhausted retries) stays visible as a `status=failed` row instead
+    // of silently shrinking the document. The rows are collected before
+    // printing so the manifest can carry the run-level verdicts.
     let programs: Vec<Arc<mc_kernel::Program>> = programs.into_iter().map(Arc::new).collect();
     let base = Arc::new(options);
     let points = programs.iter().map(|p| mc_launcher::EvalPoint::new(p.clone(), base.clone()));
     let mut failures = 0usize;
     let mut all_stable = true;
     let mut rows = Vec::with_capacity(programs.len());
-    for result in mc_launcher::try_run_batch(points.collect()) {
+    for (program, result) in
+        programs.iter().zip(mc_launcher::try_run_batch_supervised(points.collect()))
+    {
         match result {
             Ok(report) => {
                 all_stable &= report.stable;
                 rows.push(report.csv_row());
             }
             Err(e) => {
-                diag!("run failed: {e}");
+                diag!("run failed: {} ({e})", program.name);
+                rows.push(RunReport::failed_csv_row(
+                    &program.name,
+                    &program.name,
+                    &base,
+                    e.kind.name(),
+                ));
                 failures += 1;
             }
         }
     }
-    print_manifest(&base, input, all_stable);
+    print_manifest(&base, input, all_stable, &guard, failures);
     println!("{}", RunReport::csv_header());
     for row in rows {
         println!("{row}");
     }
-    if failures == 0 {
-        ExitCode::from(exitcode::OK)
-    } else {
-        ExitCode::from(exitcode::FAILED)
-    }
+    ExitCode::from(guard_exit_code())
 }

@@ -23,7 +23,7 @@ use mc_report::table::{fmt_f, AsciiTable};
 use mc_simarch::config::Level;
 use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
 use mc_simarch::exec::{estimate, ExecEnv, Workload};
-use mc_tools::{exitcode, split_args, take_flag, take_jobs_flag, TraceSession};
+use mc_tools::{exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, TraceSession};
 use mc_trace::diag;
 use std::process::ExitCode;
 
@@ -46,6 +46,10 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     const USAGE: &str = "usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4] \
                          [--explain] [--jobs=N] [--trace=PATH] [--metrics] [--quiet]";
     if let Err(e) = take_jobs_flag(&mut flags) {
+        diag!("{e}\n{USAGE}");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    if let Err(e) = take_guard_flags(&mut flags) {
         diag!("{e}\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
     }

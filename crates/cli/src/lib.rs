@@ -19,15 +19,27 @@
 //! skip the process boundary entirely.
 
 /// Shared exit-code convention for the binaries.
+///
+/// Every binary in this crate (and the `reproduce` driver in mc-bench)
+/// maps its outcome onto the same four codes, so scripts and the CI
+/// recovery smoke can branch on them uniformly:
+///
+/// | code | meaning |
+/// |------|---------|
+/// | 0    | success |
+/// | 2    | bad usage or malformed input (flags, XML, assembly) |
+/// | 3    | evaluation failures exceeded the error budget (`--max-failures`) |
+/// | 4    | regression: a diff or paper shape-check failed on valid runs |
 pub mod exitcode {
     /// Success.
     pub const OK: u8 = 0;
-    /// Bad command-line usage.
+    /// Bad command-line usage or input that failed to parse/validate.
     pub const USAGE: u8 = 2;
-    /// Input (XML/assembly) failed to parse or validate.
-    pub const BAD_INPUT: u8 = 3;
-    /// Generation or measurement failed.
-    pub const FAILED: u8 = 4;
+    /// Evaluation failures (panics, timeouts, errors) exceeded the
+    /// error budget.
+    pub const EVAL: u8 = 3;
+    /// A regression or shape-check failure over otherwise valid runs.
+    pub const REGRESSION: u8 = 4;
 }
 
 /// Splits args into flags (`--x[=v]`) and positionals.
@@ -63,6 +75,104 @@ pub fn take_jobs_flag(flags: &mut Vec<String>) -> Result<(), String> {
         mc_exec::set_jobs(mc_exec::parse_jobs(&value)?);
     }
     Ok(())
+}
+
+/// What [`take_guard_flags`] set up: the installed supervision policy
+/// plus checkpoint state the binary reports at the end of the run.
+#[derive(Debug, Default)]
+pub struct GuardSession {
+    /// Checkpoint journal path, when `--checkpoint` was given.
+    pub checkpoint: Option<String>,
+    /// Journaled completions found by `--resume` (0 on a fresh run).
+    pub resumed: usize,
+}
+
+/// The supervision flags every evaluating binary shares.
+///
+/// * `--deadline-ms=N` — per-evaluation wall-clock deadline; a blown
+///   deadline counts as a failed attempt.
+/// * `--retries=N` — retries after a failed attempt, with deterministic
+///   exponential backoff (0 = single attempt, the default).
+/// * `--max-failures=N` — error budget: the run exits with code 3 only
+///   when more than N evaluations fail terminally (default 0).
+/// * `--keep-going` — evaluate every point regardless of failures (the
+///   default; the flag exists to state it explicitly).
+/// * `--fail-fast` — once the budget is spent, skip the remaining
+///   points instead of evaluating them.
+/// * `--checkpoint=PATH` — journal completed evaluations to `PATH`
+///   (JSONL, atomically rewritten) so a killed run can resume.
+/// * `--resume` — with `--checkpoint=PATH`, reload the journal and skip
+///   every point it already records as `ok`; failed and missing points
+///   re-evaluate.
+///
+/// The `MICROTOOLS_FAULT` environment variable installs a deterministic
+/// fault plan (`panic@I`, `delay@I:MS`, `io@I`, `flaky@I:N`,
+/// comma-separated) — the recovery tests and the CI smoke use it to
+/// make evaluations fail on purpose.
+pub fn take_guard_flags(flags: &mut Vec<String>) -> Result<GuardSession, String> {
+    let mut policy = mc_guard::GuardPolicy::default();
+    if let Some(v) = take_flag(flags, "--deadline-ms") {
+        let ms: u64 = v.parse().map_err(|_| format!("--deadline-ms: not a number: `{v}`"))?;
+        if ms == 0 {
+            return Err("--deadline-ms: deadline must be positive".into());
+        }
+        policy.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(v) = take_flag(flags, "--retries") {
+        policy.retries = v.parse().map_err(|_| format!("--retries: not a number: `{v}`"))?;
+    }
+    if let Some(v) = take_flag(flags, "--max-failures") {
+        policy.max_failures =
+            v.parse().map_err(|_| format!("--max-failures: not a number: `{v}`"))?;
+    }
+    let keep_going = take_flag(flags, "--keep-going").is_some();
+    let fail_fast = take_flag(flags, "--fail-fast").is_some();
+    if keep_going && fail_fast {
+        return Err("--keep-going and --fail-fast are mutually exclusive".into());
+    }
+    policy.fail_fast = fail_fast;
+    mc_guard::set_policy(policy);
+
+    let checkpoint = take_flag(flags, "--checkpoint");
+    let resume = take_flag(flags, "--resume").is_some();
+    let mut session = GuardSession::default();
+    match (checkpoint, resume) {
+        (Some(path), _) if path.is_empty() => {
+            return Err("--checkpoint requires a file path".into())
+        }
+        (Some(path), true) => {
+            let (journal, ok) = mc_guard::Journal::resume(std::path::Path::new(&path))
+                .map_err(|e| format!("--resume: cannot read {path}: {e}"))?;
+            session.resumed = ok;
+            mc_guard::install_journal(std::sync::Arc::new(journal));
+            session.checkpoint = Some(path);
+        }
+        (Some(path), false) => {
+            let journal = mc_guard::Journal::create(std::path::Path::new(&path))
+                .map_err(|e| format!("--checkpoint: cannot create {path}: {e}"))?;
+            mc_guard::install_journal(std::sync::Arc::new(journal));
+            session.checkpoint = Some(path);
+        }
+        (None, true) => return Err("--resume requires --checkpoint=PATH".into()),
+        (None, false) => {}
+    }
+    if let Ok(spec) = std::env::var("MICROTOOLS_FAULT") {
+        if !spec.is_empty() {
+            mc_guard::install_fault_spec(&spec).map_err(|e| format!("MICROTOOLS_FAULT: {e}"))?;
+        }
+    }
+    Ok(session)
+}
+
+/// The exit code a supervised run ends with: [`exitcode::EVAL`] when
+/// terminal failures exceeded the error budget, [`exitcode::OK`]
+/// otherwise. Call after the sweep completes.
+pub fn guard_exit_code() -> u8 {
+    if mc_guard::over_budget() {
+        exitcode::EVAL
+    } else {
+        exitcode::OK
+    }
 }
 
 /// The observability flags every binary shares, and the end-of-run
@@ -258,6 +368,47 @@ mod tests {
         assert!(text.contains("\"traceEvents\""), "{text}");
         assert!(text.contains("cli.test"), "{text}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn guard_flags_configure_the_policy_and_are_consumed() {
+        let mut flags: Vec<String> = vec![
+            "--deadline-ms=500".into(),
+            "--retries=2".into(),
+            "--max-failures=3".into(),
+            "--fail-fast".into(),
+            "--other=1".into(),
+        ];
+        let session = take_guard_flags(&mut flags).unwrap();
+        assert_eq!(flags, vec!["--other=1"]);
+        assert!(session.checkpoint.is_none());
+        assert_eq!(session.resumed, 0);
+        let p = mc_guard::policy();
+        assert_eq!(p.deadline, Some(std::time::Duration::from_millis(500)));
+        assert_eq!(p.retries, 2);
+        assert_eq!(p.max_failures, 3);
+        assert!(p.fail_fast);
+        mc_guard::set_policy(mc_guard::GuardPolicy::default());
+    }
+
+    #[test]
+    fn guard_flag_misuse_is_rejected() {
+        let mut orphan: Vec<String> = vec!["--resume".into()];
+        let err = take_guard_flags(&mut orphan).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+
+        let mut both: Vec<String> = vec!["--keep-going".into(), "--fail-fast".into()];
+        let err = take_guard_flags(&mut both).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+
+        let mut zero: Vec<String> = vec!["--deadline-ms=0".into()];
+        let err = take_guard_flags(&mut zero).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+
+        let mut empty: Vec<String> = vec!["--checkpoint".into()];
+        let err = take_guard_flags(&mut empty).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+        mc_guard::set_policy(mc_guard::GuardPolicy::default());
     }
 
     #[test]

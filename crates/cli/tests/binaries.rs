@@ -67,7 +67,7 @@ fn microcreator_rejects_bad_input() {
     std::fs::write(&bad, "<kernel><instruction/></kernel>").unwrap();
     let result = Command::new(env!("CARGO_BIN_EXE_microcreator")).arg(&bad).output().expect("runs");
     assert!(!result.status.success());
-    assert_eq!(result.status.code(), Some(3), "BAD_INPUT exit code");
+    assert_eq!(result.status.code(), Some(2), "bad input is a USAGE exit");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -249,7 +249,7 @@ fn quiet_silences_diagnostics() {
         .arg("--quiet")
         .output()
         .expect("runs");
-    assert_eq!(result.status.code(), Some(3), "still fails, just quietly");
+    assert_eq!(result.status.code(), Some(2), "still fails, just quietly");
     assert!(result.stderr.is_empty(), "{}", String::from_utf8_lossy(&result.stderr));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -293,7 +293,7 @@ fn mc_report_diff_accepts_reruns_and_flags_perturbations() {
     assert!(text.contains("# aggregation: min"), "{text}");
     assert!(text.contains("# samples: 2"), "{text}");
     let header = text.lines().find(|l| l.starts_with("kernel,")).expect("csv header");
-    assert!(header.ends_with("bottleneck,bound_cycles,bound_share"), "{header}");
+    assert!(header.ends_with("bottleneck,bound_cycles,bound_share,status"), "{header}");
     // The attribution also lands in the trace stream.
     let raw = std::fs::read_to_string(&trace).expect("trace written");
     assert!(raw.contains("insight.attribution"), "{raw}");
@@ -368,6 +368,95 @@ fn chrome_trace_format_writes_one_json_document() {
         .output()
         .expect("runs");
     assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_panic_yields_a_failed_row_and_a_budget_exit() {
+    let dir = scratch("fault");
+    let xml = figure6_xml_file(&dir);
+    // Poison eval index 5 of the 510-variant sweep: the sweep must
+    // survive, emit 509 ok rows plus one failed row, and exit 3 because
+    // the default error budget is zero.
+    let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&xml)
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg("--verify=false")
+        .arg("--jobs=2")
+        .env("MICROTOOLS_FAULT", "panic@5")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let rows: Vec<&str> =
+        stdout.lines().filter(|l| !l.starts_with('#') && !l.starts_with("kernel,")).collect();
+    assert_eq!(rows.len(), 510, "failed points stay visible: {}", rows.len());
+    assert_eq!(rows.iter().filter(|r| r.ends_with(",ok")).count(), 509, "{stdout}");
+    assert_eq!(rows.iter().filter(|r| r.ends_with(",panic")).count(), 1, "{stdout}");
+    assert!(stdout.contains("# failed_rows: 1"), "{stdout}");
+
+    // A budget of one tolerates the same fault: exit 0, same rows.
+    let tolerant = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&xml)
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg("--verify=false")
+        .arg("--jobs=2")
+        .arg("--max-failures=1")
+        .env("MICROTOOLS_FAULT", "panic@5")
+        .output()
+        .expect("binary runs");
+    assert_eq!(tolerant.status.code(), Some(0), "{}", String::from_utf8_lossy(&tolerant.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_replays_the_journal_instead_of_re_evaluating() {
+    let dir = scratch("resume");
+    let kernel = hand_kernel(&dir);
+    let journal = dir.join("run.journal.jsonl");
+    let checkpoint_flag = format!("--checkpoint={}", journal.display());
+    let fresh = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg(&checkpoint_flag)
+        .output()
+        .expect("binary runs");
+    assert!(fresh.status.success(), "{}", String::from_utf8_lossy(&fresh.stderr));
+    assert!(journal.exists(), "checkpoint journal written");
+
+    // Resume with a fault armed at eval index 0: if the point were
+    // re-evaluated it would panic, so a clean exit with an identical row
+    // proves the journal replay skipped the evaluation.
+    let resumed = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg(&checkpoint_flag)
+        .arg("--resume")
+        .env("MICROTOOLS_FAULT", "panic@0")
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    let fresh_out = String::from_utf8_lossy(&fresh.stdout);
+    let resumed_out = String::from_utf8_lossy(&resumed.stdout);
+    assert!(resumed_out.contains("# resumed_rows: 1"), "{resumed_out}");
+    let row = |text: &str| {
+        text.lines()
+            .find(|l| !l.starts_with('#') && !l.starts_with("kernel,"))
+            .expect("a data row")
+            .to_owned()
+    };
+    assert_eq!(row(&fresh_out), row(&resumed_out), "replayed row is bit-identical");
+    // --resume without --checkpoint is a usage error.
+    let orphan = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--resume")
+        .output()
+        .expect("runs");
+    assert_eq!(orphan.status.code(), Some(2));
     std::fs::remove_dir_all(&dir).ok();
 }
 

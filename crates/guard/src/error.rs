@@ -1,0 +1,79 @@
+//! Structured evaluation failures.
+
+use std::fmt;
+
+/// How a supervised evaluation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalErrorKind {
+    /// The evaluation panicked; the message was captured.
+    Panic,
+    /// The per-eval deadline fired before the evaluation returned.
+    Timeout,
+    /// The evaluation returned an error of its own.
+    Failed,
+    /// The evaluation was skipped: the error budget was already spent
+    /// under `--fail-fast`.
+    Skipped,
+}
+
+impl EvalErrorKind {
+    /// Short wire/CSV name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalErrorKind::Panic => "panic",
+            EvalErrorKind::Timeout => "timeout",
+            EvalErrorKind::Failed => "failed",
+            EvalErrorKind::Skipped => "skipped",
+        }
+    }
+}
+
+/// A terminal evaluation failure, after retries were exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Failure class.
+    pub kind: EvalErrorKind,
+    /// Human-readable detail: the panic message and location, the
+    /// underlying error string, or the deadline that fired.
+    pub message: String,
+    /// Attempts made (1 = no retries).
+    pub attempts: u32,
+}
+
+impl EvalError {
+    /// A new terminal failure.
+    pub fn new(kind: EvalErrorKind, message: impl Into<String>, attempts: u32) -> Self {
+        EvalError { kind, message: message.into(), attempts }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = match self.kind {
+            EvalErrorKind::Panic => "panicked",
+            EvalErrorKind::Timeout => "timed out",
+            EvalErrorKind::Failed => "failed",
+            EvalErrorKind::Skipped => "skipped",
+        };
+        write!(f, "evaluation {verb}: {}", self.message)?;
+        if self.attempts > 1 {
+            write!(f, " (after {} attempts)", self.attempts)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_kind_and_attempts() {
+        let e = EvalError::new(EvalErrorKind::Panic, "index out of bounds", 3);
+        let text = e.to_string();
+        assert!(text.contains("panicked"), "{text}");
+        assert!(text.contains("after 3 attempts"), "{text}");
+        let single = EvalError::new(EvalErrorKind::Failed, "bad", 1);
+        assert!(!single.to_string().contains("attempts"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic fault injection — the test-only hook behind the
+//! recovery test suite and the CI kill/resume smoke.
+//!
+//! Evaluations are numbered by a process-wide sequence: each batch
+//! reserves a contiguous index range up front ([`reserve_indices`]), so
+//! eval index `N` names the same point whether the pool runs 1 worker or
+//! 8. A [`FaultPlan`] maps indices to faults; [`fire`] is called inside
+//! the guarded region of every supervised attempt, before the real
+//! evaluation runs.
+//!
+//! Plans are installed programmatically ([`install_faults`]) or from a
+//! spec string ([`install_fault_spec`], also reachable through the
+//! `MICROTOOLS_FAULT` environment variable in the binaries):
+//!
+//! ```text
+//! panic@5            panic at eval index 5 (every attempt)
+//! delay@10:500       sleep 500 ms at index 10 (every attempt)
+//! io@7               injected I/O error at index 7 (every attempt)
+//! flaky@3:2          error at index 3 for the first 2 attempts only
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic with this message.
+    Panic(String),
+    /// Sleep this long, then continue normally.
+    Delay(Duration),
+    /// Fail the attempt with this error message.
+    Error(String),
+}
+
+/// A deterministic schedule of faults keyed by global eval index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// (eval index, fault, remaining fires; `u32::MAX` = unlimited).
+    faults: Vec<(u64, Fault, u32)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Panics at `index` on every attempt.
+    pub fn panic_at(self, index: u64) -> Self {
+        self.with(index, Fault::Panic(format!("injected panic at eval index {index}")), u32::MAX)
+    }
+
+    /// Sleeps `millis` at `index` on every attempt.
+    pub fn delay_at(self, index: u64, millis: u64) -> Self {
+        self.with(index, Fault::Delay(Duration::from_millis(millis)), u32::MAX)
+    }
+
+    /// Fails the attempt at `index` with an injected I/O error, every
+    /// attempt.
+    pub fn io_error_at(self, index: u64) -> Self {
+        self.with(
+            index,
+            Fault::Error(format!("injected I/O error at eval index {index}")),
+            u32::MAX,
+        )
+    }
+
+    /// Fails the first `fires` attempts at `index`, then succeeds —
+    /// exercises the retry path.
+    pub fn flaky_at(self, index: u64, fires: u32) -> Self {
+        self.with(index, Fault::Error(format!("injected transient error at index {index}")), fires)
+    }
+
+    /// Adds one fault with an explicit fire budget.
+    pub fn with(mut self, index: u64, fault: Fault, fires: u32) -> Self {
+        self.faults.push((index, fault, fires));
+        self
+    }
+
+    /// Parses the `MICROTOOLS_FAULT` spec grammar (see module docs).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{part}`: expected KIND@INDEX"))?;
+            let (index, arg) = match rest.split_once(':') {
+                Some((i, a)) => (i, Some(a)),
+                None => (rest, None),
+            };
+            let index: u64 =
+                index.parse().map_err(|_| format!("fault `{part}`: bad index `{index}`"))?;
+            plan = match (kind, arg) {
+                ("panic", None) => plan.panic_at(index),
+                ("io", None) => plan.io_error_at(index),
+                ("delay", Some(ms)) => plan.delay_at(
+                    index,
+                    ms.parse().map_err(|_| format!("fault `{part}`: bad delay `{ms}`"))?,
+                ),
+                ("flaky", Some(n)) => plan.flaky_at(
+                    index,
+                    n.parse().map_err(|_| format!("fault `{part}`: bad fire count `{n}`"))?,
+                ),
+                _ => {
+                    return Err(format!(
+                        "fault `{part}`: unknown kind (panic@I, delay@I:MS, io@I, flaky@I:N)"
+                    ))
+                }
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static NEXT_INDEX: AtomicU64 = AtomicU64::new(0);
+
+fn plan_slot() -> &'static Mutex<FaultPlan> {
+    static PLAN: OnceLock<Mutex<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| Mutex::new(FaultPlan::new()))
+}
+
+/// Installs a fault plan process-wide (test-only hook).
+pub fn install_faults(plan: FaultPlan) {
+    let active = !plan.is_empty();
+    *plan_slot().lock().expect("fault plan lock poisoned") = plan;
+    ACTIVE.store(active, Ordering::Release);
+}
+
+/// Parses and installs a `MICROTOOLS_FAULT` spec.
+pub fn install_fault_spec(spec: &str) -> Result<(), String> {
+    install_faults(FaultPlan::parse(spec)?);
+    Ok(())
+}
+
+/// Removes any installed plan.
+pub fn clear_faults() {
+    install_faults(FaultPlan::new());
+}
+
+/// Reserves `count` consecutive eval indices for a batch and returns the
+/// first. Reservation happens at submission time, so index assignment is
+/// independent of worker count and scheduling order.
+pub fn reserve_indices(count: usize) -> u64 {
+    NEXT_INDEX.fetch_add(count as u64, Ordering::Relaxed)
+}
+
+/// The next index [`reserve_indices`] would hand out.
+pub fn next_eval_index() -> u64 {
+    NEXT_INDEX.load(Ordering::Relaxed)
+}
+
+/// Resets the index sequence to zero (test-only: lets a test pin faults
+/// to batch-relative indices regardless of what ran before it).
+pub fn reset_indices() {
+    NEXT_INDEX.store(0, Ordering::Relaxed);
+}
+
+/// Fires any fault scheduled at `index`. Called inside the guarded
+/// region of every attempt; a panic here is caught by the supervisor
+/// like any other evaluation panic. The non-firing path is one relaxed
+/// atomic load.
+pub(crate) fn fire(index: u64) -> Result<(), String> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    let fault = {
+        let mut plan = plan_slot().lock().expect("fault plan lock poisoned");
+        match plan.faults.iter_mut().find(|(i, _, fires)| *i == index && *fires > 0) {
+            Some((_, fault, fires)) => {
+                if *fires != u32::MAX {
+                    *fires -= 1;
+                }
+                fault.clone()
+            }
+            None => return Ok(()),
+        }
+    };
+    match fault {
+        Fault::Panic(message) => panic!("{message}"),
+        Fault::Delay(duration) => {
+            std::thread::sleep(duration);
+            Ok(())
+        }
+        Fault::Error(message) => Err(message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let plan = FaultPlan::parse("panic@5, delay@10:500 ,io@7,flaky@3:2").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::new().panic_at(5).delay_at(10, 500).io_error_at(7).flaky_at(3, 2)
+        );
+        assert_eq!(plan.len(), 4);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_entries() {
+        for bad in ["panic", "panic@x", "delay@1", "delay@1:abc", "flaky@1", "warp@1", "io@1:2"] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn index_reservation_is_contiguous() {
+        // Not reset here: other tests share the counter; only the
+        // contiguity of one reservation is asserted.
+        let base = reserve_indices(10);
+        let next = reserve_indices(1);
+        assert_eq!(next, base + 10);
+    }
+}

@@ -107,6 +107,9 @@ struct Document {
     /// key → (value, own relative spread, bottleneck name)
     points: Vec<(String, f64, f64, String)>,
     unstable_rows: usize,
+    /// Rows whose `status` column marks a failed evaluation — excluded
+    /// from the comparison, surfaced as a warning.
+    failed_rows: usize,
 }
 
 fn cell(table: &CsvTable, row: &[String], name: &str) -> Option<String> {
@@ -122,8 +125,18 @@ fn load_document(text: &str, label: &str) -> Result<Document, String> {
     let manifest = RunManifest::from_comments(&table.comments);
     let mut points = Vec::new();
     let mut unstable_rows = 0usize;
+    let mut failed_rows = 0usize;
     if table.column("cycles_per_iteration").is_some() {
         for row in &table.rows {
+            // Failed evaluations (mc-guard `status` column) carry no
+            // measurements — drop them from the comparison, but keep
+            // count so the verdict can say so.
+            if let Some(status) = cell(&table, row, "status") {
+                if status != "ok" {
+                    failed_rows += 1;
+                    continue;
+                }
+            }
             let key = ["kernel", "label", "mode", "workers"]
                 .iter()
                 .filter_map(|c| cell(&table, row, c))
@@ -161,7 +174,7 @@ fn load_document(text: &str, label: &str) -> Result<Document, String> {
             "{label}: unrecognized schema (want a `cycles_per_iteration` or `y` column)"
         ));
     }
-    Ok(Document { manifest, points, unstable_rows })
+    Ok(Document { manifest, points, unstable_rows, failed_rows })
 }
 
 /// Diffs two CSV documents (baseline first).
@@ -186,6 +199,14 @@ pub fn diff_documents(
             "baseline has {} unstable row(s); its thresholds are widened accordingly",
             base.unstable_rows
         ));
+    }
+    for (label, doc) in [("baseline", &base), ("new", &new)] {
+        if doc.failed_rows > 0 {
+            warnings.push(format!(
+                "{label} has {} failed row(s), excluded from the comparison",
+                doc.failed_rows
+            ));
+        }
     }
 
     // The global noise floor: twice the p95 of the baseline's own
@@ -296,7 +317,7 @@ mod tests {
 
     const HEADER: &str = "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,\
                           seconds_full,min,median,max,stable,residence,verified,bottleneck,\
-                          bound_cycles,bound_share";
+                          bound_cycles,bound_share,status";
 
     fn launcher_csv(rows: &[(&str, f64, f64, &str)]) -> String {
         let mut doc = String::from("# machine: x5650\n# options_hash: abc123\n# seed: 42\n");
@@ -307,7 +328,7 @@ mod tests {
             let max = cycles * (1.0 + spread / 2.0);
             doc.push_str(&format!(
                 "{kernel},L1,x5650,simulated,1,{cycles:.4},1.0,1e-3,{min:.4},{cycles:.4},\
-                 {max:.4},true,L1,true,{bottleneck},{cycles:.4},1.00\n"
+                 {max:.4},true,L1,true,{bottleneck},{cycles:.4},1.00,ok\n"
             ));
         }
         doc
@@ -366,6 +387,24 @@ mod tests {
         let new = launcher_csv(&[("k1", 4.0, 0.01, "load-port")]);
         let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
         assert!(report.warnings.iter().any(|w| w.contains("unstable")), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn failed_rows_are_excluded_and_warned_about() {
+        let base = launcher_csv(&[("k1", 4.0, 0.01, "load-port"), ("k2", 8.0, 0.01, "dep-chain")]);
+        let mut new = launcher_csv(&[("k1", 4.0, 0.01, "load-port")]);
+        new.push_str("k2,L1,x5650,simulated,1,-,-,-,-,-,-,-,L1,-,-,-,-,panic\n");
+        let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
+        // The failed row never becomes a point: k2 shows up as missing,
+        // not as a bogus comparison, and a warning names the count.
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.missing_in_new.len(), 1);
+        assert!(report.missing_in_new[0].starts_with("k2|"));
+        assert!(
+            report.warnings.iter().any(|w| w.contains("1 failed row(s)") && w.contains("new")),
+            "{:?}",
+            report.warnings
+        );
     }
 
     #[test]

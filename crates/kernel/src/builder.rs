@@ -23,6 +23,10 @@ use mc_asm::inst::{Cond, Mnemonic};
 pub struct KernelBuilder {
     desc: KernelDesc,
     counter_added: bool,
+    /// First construction error, reported by [`KernelBuilder::build`].
+    /// Deferring keeps the fluent chain panic-free: a bad step records
+    /// the error and later steps are applied to the unchanged state.
+    error: Option<crate::error::KernelError>,
 }
 
 impl KernelBuilder {
@@ -31,6 +35,7 @@ impl KernelBuilder {
         KernelBuilder {
             desc: KernelDesc::new(name, BranchInfo::new("L6", Cond::Ge)),
             counter_added: false,
+            error: None,
         }
     }
 
@@ -69,10 +74,15 @@ impl KernelBuilder {
     /// matching address induction. `swap_after` enables the per-copy
     /// load/store swap of Figure 6.
     pub fn stream_instruction(mut self, mnemonic: Mnemonic, array: &str, swap_after: bool) -> Self {
-        let bytes = mnemonic
-            .mem_move()
-            .map(|m| i64::from(m.bytes))
-            .expect("stream instructions must be memory moves");
+        let Some(bytes) = mnemonic.mem_move().map(|m| i64::from(m.bytes)) else {
+            if self.error.is_none() {
+                self.error = Some(crate::error::KernelError::Invalid(format!(
+                    "stream instruction `{}` is not a memory move",
+                    mnemonic.name()
+                )));
+            }
+            return self;
+        };
         self.desc.instructions.push(InstructionDesc {
             operation: OperationDesc::Fixed(mnemonic),
             operands: vec![
@@ -92,13 +102,17 @@ impl KernelBuilder {
     /// Adds stride choices to the induction of `array` (the stride-selection
     /// pass will expand one variant per stride).
     pub fn strides(mut self, array: &str, strides: &[i64]) -> Self {
-        let ind = self
-            .desc
-            .inductions
-            .iter_mut()
-            .find(|i| i.register.logical_name() == Some(array))
-            .expect("strides() requires the array's induction to exist");
-        ind.increment_choices = strides.to_vec();
+        let ind =
+            self.desc.inductions.iter_mut().find(|i| i.register.logical_name() == Some(array));
+        match ind {
+            Some(ind) => ind.increment_choices = strides.to_vec(),
+            None if self.error.is_none() => {
+                self.error = Some(crate::error::KernelError::Invalid(format!(
+                    "strides() requires the induction of array `{array}` to exist"
+                )));
+            }
+            None => {}
+        }
         self
     }
 
@@ -115,8 +129,13 @@ impl KernelBuilder {
     }
 
     /// Validates and returns the description. If no trip counter was added,
-    /// one linked to the first array is appended automatically.
+    /// one linked to the first array is appended automatically. A step that
+    /// failed earlier in the chain (e.g. [`Self::stream_instruction`] on a
+    /// non-move mnemonic) surfaces here as its recorded error.
     pub fn build(mut self) -> crate::error::KernelResult<KernelDesc> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
         if !self.counter_added && self.desc.last_induction().is_none() {
             let first_array =
                 self.desc.array_registers().into_iter().next().ok_or_else(|| {
@@ -144,25 +163,47 @@ pub fn figure6() -> KernelDesc {
 }
 
 /// A pure load stream with the given move instruction and unroll range —
-/// the kernels behind Figures 11–13 and 17–18.
-pub fn load_stream(mnemonic: Mnemonic, unroll_min: u32, unroll_max: u32) -> KernelDesc {
+/// the kernels behind Figures 11–13 and 17–18. Fails with a typed error
+/// when `mnemonic` is not a memory move.
+pub fn try_load_stream(
+    mnemonic: Mnemonic,
+    unroll_min: u32,
+    unroll_max: u32,
+) -> crate::error::KernelResult<KernelDesc> {
     KernelBuilder::new(format!("{}_loads", mnemonic.name()))
         .stream_instruction(mnemonic, "r1", false)
         .unroll(unroll_min, unroll_max)
         .build()
-        .expect("load stream kernel is valid")
+}
+
+/// [`try_load_stream`], panicking on invalid input — for the canned
+/// figure kernels whose mnemonics are known-good constants.
+pub fn load_stream(mnemonic: Mnemonic, unroll_min: u32, unroll_max: u32) -> KernelDesc {
+    try_load_stream(mnemonic, unroll_min, unroll_max).expect("load stream kernel is valid")
 }
 
 /// A strided traversal of `n_arrays` distinct arrays with one instruction
 /// per array per unroll copy — the kernels behind Figures 15 and 16
 /// ("a single strided traversal of a number of arrays").
-pub fn multi_array_traversal(mnemonic: Mnemonic, n_arrays: u32) -> KernelDesc {
-    assert!(n_arrays >= 1, "need at least one array");
+pub fn try_multi_array_traversal(
+    mnemonic: Mnemonic,
+    n_arrays: u32,
+) -> crate::error::KernelResult<KernelDesc> {
+    if n_arrays == 0 {
+        return Err(crate::error::KernelError::Invalid(
+            "multi-array traversal needs at least one array".into(),
+        ));
+    }
     let mut b = KernelBuilder::new(format!("{}_{}arrays", mnemonic.name(), n_arrays));
     for i in 1..=n_arrays {
         b = b.stream_instruction(mnemonic, &format!("r{i}"), false);
     }
-    b.unroll(1, 1).counted_by("r1").build().expect("traversal kernel is valid")
+    b.unroll(1, 1).counted_by("r1").build()
+}
+
+/// [`try_multi_array_traversal`], panicking on invalid input.
+pub fn multi_array_traversal(mnemonic: Mnemonic, n_arrays: u32) -> KernelDesc {
+    try_multi_array_traversal(mnemonic, n_arrays).expect("traversal kernel is valid")
 }
 
 /// The inner loop of the naive matrix multiply (paper Figure 2), expressed
@@ -203,6 +244,104 @@ pub fn matmul_inner(matrix_size: u64) -> KernelDesc {
         .unroll(1, 8)
         .build()
         .expect("matmul kernel is valid")
+}
+
+/// A 1-D three-point stencil kernel (§3.5: "users are modeling unrolled
+/// codes and stencil codes with the MicroCreator tool"): loads
+/// `a[i-1], a[i], a[i+1]`, accumulates, stores `b[i]`.
+pub fn stencil_1d(unroll_min: u32, unroll_max: u32) -> KernelDesc {
+    let elem = 4i64; // f32 stencil
+    let load = |offset: i64| {
+        InstructionDesc::new(
+            OperationDesc::Fixed(Mnemonic::Movss),
+            vec![
+                OperandDesc::Memory(MemoryOperand::new(RegisterRef::logical("r1"), offset)),
+                OperandDesc::Register(RegisterRef::XmmRange { min: 0, max: 8 }),
+            ],
+        )
+    };
+    let add = InstructionDesc::new(
+        OperationDesc::Fixed(Mnemonic::Addss),
+        vec![
+            OperandDesc::Register(RegisterRef::XmmRange { min: 0, max: 8 }),
+            OperandDesc::Register(RegisterRef::Physical(mc_asm::reg::Reg::Xmm(15))),
+        ],
+    );
+    let store = InstructionDesc::new(
+        OperationDesc::Fixed(Mnemonic::Movss),
+        vec![
+            OperandDesc::Register(RegisterRef::Physical(mc_asm::reg::Reg::Xmm(15))),
+            OperandDesc::Memory(MemoryOperand::new(RegisterRef::logical("r2"), 0)),
+        ],
+    );
+    KernelBuilder::new("stencil3")
+        .instruction(load(-elem))
+        .instruction(load(0))
+        .instruction(load(elem))
+        .instruction(add)
+        .instruction(store)
+        .induction(InductionDesc::address(RegisterRef::logical("r1"), elem))
+        .induction(InductionDesc::address(RegisterRef::logical("r2"), elem))
+        .counted_by("r1")
+        .unroll(unroll_min, unroll_max)
+        .build()
+        .expect("stencil kernel is valid")
+}
+
+/// A memory stream plus `arith_count` independent packed-FP additions —
+/// §3.5's "how many arithmetic instructions are hidden by the latencies of
+/// a memory-based kernel" study. The additions rotate XMM registers so no
+/// dependency chain forms; an out-of-order core overlaps them with the
+/// memory traffic until the FP pipe itself saturates.
+pub fn try_arithmetic_hiding(
+    mem_mnemonic: Mnemonic,
+    arith_count: u32,
+) -> crate::error::KernelResult<KernelDesc> {
+    let mut b = KernelBuilder::new(format!("{}_{}addps", mem_mnemonic.name(), arith_count))
+        .stream_instruction(mem_mnemonic, "r1", false);
+    for _ in 0..arith_count {
+        b = b.instruction(InstructionDesc::new(
+            OperationDesc::Fixed(Mnemonic::Addps),
+            vec![
+                OperandDesc::Register(RegisterRef::XmmRange { min: 8, max: 15 }),
+                OperandDesc::Register(RegisterRef::XmmRange { min: 0, max: 8 }),
+            ],
+        ));
+    }
+    b.counted_by("r1").unroll(1, 1).build()
+}
+
+/// [`try_arithmetic_hiding`], panicking on invalid input.
+pub fn arithmetic_hiding(mem_mnemonic: Mnemonic, arith_count: u32) -> KernelDesc {
+    try_arithmetic_hiding(mem_mnemonic, arith_count).expect("hiding kernel is valid")
+}
+
+/// A strided single-stream load kernel with multiple stride choices —
+/// §3.5's "detect the effect of strides on various microbenchmark program
+/// templates". Strides are in elements of the move's width.
+pub fn try_strided_stream(
+    mnemonic: Mnemonic,
+    element_strides: &[i64],
+) -> crate::error::KernelResult<KernelDesc> {
+    let Some(mv) = mnemonic.mem_move() else {
+        return Err(crate::error::KernelError::Invalid(format!(
+            "strided stream instruction `{}` is not a memory move",
+            mnemonic.name()
+        )));
+    };
+    let bytes = mv.bytes as i64;
+    let strides: Vec<i64> = element_strides.iter().map(|s| s * bytes).collect();
+    KernelBuilder::new(format!("{}_strided", mnemonic.name()))
+        .stream_instruction(mnemonic, "r1", false)
+        .strides("r1", &strides)
+        .counted_by("r1")
+        .unroll(1, 1)
+        .build()
+}
+
+/// [`try_strided_stream`], panicking on invalid input.
+pub fn strided_stream(mnemonic: Mnemonic, element_strides: &[i64]) -> KernelDesc {
+    try_strided_stream(mnemonic, element_strides).expect("strided kernel is valid")
 }
 
 #[cfg(test)]
@@ -273,9 +412,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "memory moves")]
     fn stream_requires_move_mnemonic() {
-        let _ = KernelBuilder::new("bad").stream_instruction(Mnemonic::Addsd, "r1", false);
+        // The bad step is recorded, not panicked; build() reports it.
+        let err = KernelBuilder::new("bad")
+            .stream_instruction(Mnemonic::Addsd, "r1", false)
+            .unroll(1, 2)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("addsd"), "{err}");
+        assert!(err.to_string().contains("not a memory move"), "{err}");
+    }
+
+    #[test]
+    fn try_constructors_reject_bad_input_without_panicking() {
+        assert!(try_load_stream(Mnemonic::Addps, 1, 8).is_err());
+        assert!(try_multi_array_traversal(Mnemonic::Movss, 0).is_err());
+        assert!(try_arithmetic_hiding(Mnemonic::Mulsd, 2).is_err(), "mulsd is not a move");
+        assert!(try_strided_stream(Mnemonic::Addsd, &[1, 2]).is_err());
+        // The happy paths agree with the panicking wrappers.
+        assert_eq!(
+            try_load_stream(Mnemonic::Movaps, 1, 4).unwrap(),
+            load_stream(Mnemonic::Movaps, 1, 4)
+        );
+        assert_eq!(
+            try_strided_stream(Mnemonic::Movss, &[1, 4]).unwrap(),
+            strided_stream(Mnemonic::Movss, &[1, 4])
+        );
+    }
+
+    #[test]
+    fn strides_on_unknown_array_is_a_typed_error() {
+        let err = KernelBuilder::new("bad")
+            .stream_instruction(Mnemonic::Movss, "r1", false)
+            .strides("r9", &[4])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("r9"), "{err}");
     }
 
     #[test]
@@ -306,81 +478,4 @@ mod tests {
         assert_eq!(k.inductions[0].increment_choices, vec![16, 64]);
         k.validate().unwrap();
     }
-}
-
-/// A 1-D three-point stencil kernel (§3.5: "users are modeling unrolled
-/// codes and stencil codes with the MicroCreator tool"): loads
-/// `a[i-1], a[i], a[i+1]`, accumulates, stores `b[i]`.
-pub fn stencil_1d(unroll_min: u32, unroll_max: u32) -> KernelDesc {
-    let elem = 4i64; // f32 stencil
-    let load = |offset: i64| {
-        InstructionDesc::new(
-            OperationDesc::Fixed(Mnemonic::Movss),
-            vec![
-                OperandDesc::Memory(MemoryOperand::new(RegisterRef::logical("r1"), offset)),
-                OperandDesc::Register(RegisterRef::XmmRange { min: 0, max: 8 }),
-            ],
-        )
-    };
-    let add = InstructionDesc::new(
-        OperationDesc::Fixed(Mnemonic::Addss),
-        vec![
-            OperandDesc::Register(RegisterRef::XmmRange { min: 0, max: 8 }),
-            OperandDesc::Register(RegisterRef::Physical(mc_asm::reg::Reg::Xmm(15))),
-        ],
-    );
-    let store = InstructionDesc::new(
-        OperationDesc::Fixed(Mnemonic::Movss),
-        vec![
-            OperandDesc::Register(RegisterRef::Physical(mc_asm::reg::Reg::Xmm(15))),
-            OperandDesc::Memory(MemoryOperand::new(RegisterRef::logical("r2"), 0)),
-        ],
-    );
-    KernelBuilder::new("stencil3")
-        .instruction(load(-elem))
-        .instruction(load(0))
-        .instruction(load(elem))
-        .instruction(add)
-        .instruction(store)
-        .induction(InductionDesc::address(RegisterRef::logical("r1"), elem))
-        .induction(InductionDesc::address(RegisterRef::logical("r2"), elem))
-        .counted_by("r1")
-        .unroll(unroll_min, unroll_max)
-        .build()
-        .expect("stencil kernel is valid")
-}
-
-/// A memory stream plus `arith_count` independent packed-FP additions —
-/// §3.5's "how many arithmetic instructions are hidden by the latencies of
-/// a memory-based kernel" study. The additions rotate XMM registers so no
-/// dependency chain forms; an out-of-order core overlaps them with the
-/// memory traffic until the FP pipe itself saturates.
-pub fn arithmetic_hiding(mem_mnemonic: Mnemonic, arith_count: u32) -> KernelDesc {
-    let mut b = KernelBuilder::new(format!("{}_{}addps", mem_mnemonic.name(), arith_count))
-        .stream_instruction(mem_mnemonic, "r1", false);
-    for _ in 0..arith_count {
-        b = b.instruction(InstructionDesc::new(
-            OperationDesc::Fixed(Mnemonic::Addps),
-            vec![
-                OperandDesc::Register(RegisterRef::XmmRange { min: 8, max: 15 }),
-                OperandDesc::Register(RegisterRef::XmmRange { min: 0, max: 8 }),
-            ],
-        ));
-    }
-    b.counted_by("r1").unroll(1, 1).build().expect("hiding kernel is valid")
-}
-
-/// A strided single-stream load kernel with multiple stride choices —
-/// §3.5's "detect the effect of strides on various microbenchmark program
-/// templates". Strides are in elements of the move's width.
-pub fn strided_stream(mnemonic: Mnemonic, element_strides: &[i64]) -> KernelDesc {
-    let bytes = mnemonic.mem_move().expect("memory move").bytes as i64;
-    let strides: Vec<i64> = element_strides.iter().map(|s| s * bytes).collect();
-    KernelBuilder::new(format!("{}_strided", mnemonic.name()))
-        .stream_instruction(mnemonic, "r1", false)
-        .strides("r1", &strides)
-        .counted_by("r1")
-        .unroll(1, 1)
-        .build()
-        .expect("strided kernel is valid")
 }

@@ -14,6 +14,9 @@ pub enum KernelError {
         parent: String,
         /// The missing child element name.
         child: String,
+        /// 1-based source line of the parent element; 0 if unknown
+        /// (e.g. the tree was built in code rather than parsed).
+        line: usize,
     },
     /// An element's text could not be interpreted.
     InvalidValue {
@@ -23,6 +26,8 @@ pub enum KernelError {
         found: String,
         /// What was expected.
         expected: String,
+        /// 1-based source line of the offending element; 0 if unknown.
+        line: usize,
     },
     /// The description is structurally invalid (e.g. no `last_induction`).
     Invalid(String),
@@ -32,12 +37,13 @@ pub enum KernelError {
 
 impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let at = |line: &usize| if *line > 0 { format!(" (line {line})") } else { String::new() };
         match self {
-            KernelError::MissingElement { parent, child } => {
-                write!(f, "missing `<{child}>` inside `<{parent}>`")
+            KernelError::MissingElement { parent, child, line } => {
+                write!(f, "missing `<{child}>` inside `<{parent}>`{}", at(line))
             }
-            KernelError::InvalidValue { element, found, expected } => {
-                write!(f, "invalid `<{element}>`: expected {expected}, found `{found}`")
+            KernelError::InvalidValue { element, found, expected, line } => {
+                write!(f, "invalid `<{element}>`: expected {expected}, found `{found}`{}", at(line))
             }
             KernelError::Invalid(msg) => write!(f, "invalid kernel description: {msg}"),
             KernelError::Xml(msg) => write!(f, "XML error: {msg}"),
@@ -59,15 +65,21 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e =
-            KernelError::MissingElement { parent: "instruction".into(), child: "operation".into() };
+        let e = KernelError::MissingElement {
+            parent: "instruction".into(),
+            child: "operation".into(),
+            line: 0,
+        };
         assert!(e.to_string().contains("<operation>"));
+        assert!(!e.to_string().contains("line"), "line 0 means unknown: {e}");
         let e = KernelError::InvalidValue {
             element: "min".into(),
             found: "x".into(),
             expected: "an integer".into(),
+            line: 7,
         };
         assert!(e.to_string().contains("expected an integer"));
+        assert!(e.to_string().contains("(line 7)"), "{e}");
         let e = KernelError::Invalid("no last induction".into());
         assert!(e.to_string().contains("no last induction"));
     }

@@ -70,12 +70,13 @@ pub fn kernel_from_element(root: &Element) -> KernelResult<KernelDesc> {
     }
     let name = root.attribute("name").unwrap_or("kernel").to_owned();
     let branch_el =
-        root.find("branch_information").ok_or_else(|| missing("kernel", "branch_information"))?;
+        root.find("branch_information").ok_or_else(|| missing(root, "branch_information"))?;
     let branch = parse_branch(branch_el)?;
 
     let mut desc = KernelDesc::new(name, branch);
     if let Some(eb) = root.attribute("element_bytes") {
-        desc.element_bytes = eb.parse().map_err(|_| invalid("element_bytes", eb, "an integer"))?;
+        desc.element_bytes =
+            eb.parse().map_err(|_| invalid("element_bytes", eb, "an integer", root.line))?;
     }
     for inst_el in root.find_all("instruction") {
         desc.instructions.push(parse_instruction(inst_el)?);
@@ -91,30 +92,40 @@ pub fn kernel_from_element(root: &Element) -> KernelResult<KernelDesc> {
     Ok(desc)
 }
 
-fn missing(parent: &str, child: &str) -> KernelError {
-    KernelError::MissingElement { parent: parent.into(), child: child.into() }
+fn missing(parent: &Element, child: &str) -> KernelError {
+    KernelError::MissingElement {
+        parent: parent.name.clone(),
+        child: child.into(),
+        line: parent.line,
+    }
 }
 
-fn invalid(element: &str, found: &str, expected: &str) -> KernelError {
+fn invalid(element: &str, found: &str, expected: &str, line: usize) -> KernelError {
     KernelError::InvalidValue {
         element: element.into(),
         found: found.into(),
         expected: expected.into(),
+        line,
     }
 }
 
+/// Source line of `el`'s named child, falling back to `el`'s own line —
+/// errors about a leaf value should point at the leaf when possible.
+fn line_of(el: &Element, child: &str) -> usize {
+    el.find(child).map_or(el.line, |c| c.line)
+}
+
 fn child_u32(el: &Element, name: &str) -> KernelResult<u32> {
-    let text = el.child_text(name).ok_or_else(|| missing(&el.name, name))?;
-    text.parse().map_err(|_| invalid(name, text, "a non-negative integer"))
+    let text = el.child_text(name).ok_or_else(|| missing(el, name))?;
+    text.parse().map_err(|_| invalid(name, text, "a non-negative integer", line_of(el, name)))
 }
 
 fn parse_branch(el: &Element) -> KernelResult<BranchInfo> {
-    let label = el.child_text("label").ok_or_else(|| missing("branch_information", "label"))?;
-    let test = el.child_text("test").ok_or_else(|| missing("branch_information", "test"))?;
-    let cond = test
-        .strip_prefix('j')
-        .and_then(Cond::from_suffix)
-        .ok_or_else(|| invalid("test", test, "a conditional jump such as `jge`"))?;
+    let label = el.child_text("label").ok_or_else(|| missing(el, "label"))?;
+    let test = el.child_text("test").ok_or_else(|| missing(el, "test"))?;
+    let cond = test.strip_prefix('j').and_then(Cond::from_suffix).ok_or_else(|| {
+        invalid("test", test, "a conditional jump such as `jge`", line_of(el, "test"))
+    })?;
     Ok(BranchInfo::new(label, cond))
 }
 
@@ -122,40 +133,47 @@ fn parse_register_ref(el: &Element) -> KernelResult<RegisterRef> {
     if let Some(name) = el.child_text("name") {
         return Ok(RegisterRef::logical(name));
     }
-    let phy = el.child_text("phyName").ok_or_else(|| missing("register", "name or phyName"))?;
+    let phy = el.child_text("phyName").ok_or_else(|| missing(el, "name or phyName"))?;
     let bare = phy.strip_prefix('%').unwrap_or(phy);
     if bare == "xmm" {
         // Range form: %xmm with min/max (Figure 6).
         let min = child_u32(el, "min")? as u8;
         let max = child_u32(el, "max")? as u8;
         if min >= max || max > 16 {
-            return Err(invalid("register", &format!("%xmm[{min}..{max})"), "0 ≤ min < max ≤ 16"));
+            return Err(invalid(
+                "register",
+                &format!("%xmm[{min}..{max})"),
+                "0 ≤ min < max ≤ 16",
+                el.line,
+            ));
         }
         return Ok(RegisterRef::XmmRange { min, max });
     }
-    let reg = Reg::from_name(bare).ok_or_else(|| invalid("phyName", phy, "a register name"))?;
+    let reg = Reg::from_name(bare)
+        .ok_or_else(|| invalid("phyName", phy, "a register name", line_of(el, "phyName")))?;
     Ok(RegisterRef::Physical(reg))
 }
 
 fn parse_memory(el: &Element) -> KernelResult<MemoryOperand> {
-    let reg_el = el.find("register").ok_or_else(|| missing("memory", "register"))?;
+    let reg_el = el.find("register").ok_or_else(|| missing(el, "register"))?;
     let base = parse_register_ref(reg_el)?;
     let offset = match el.child_text("offset") {
-        Some(t) => t.parse().map_err(|_| invalid("offset", t, "an integer"))?,
+        Some(t) => {
+            t.parse().map_err(|_| invalid("offset", t, "an integer", line_of(el, "offset")))?
+        }
         None => 0,
     };
     let index = match el.find("index") {
         Some(idx_el) => {
-            let idx_reg_el = idx_el.find("register").ok_or_else(|| missing("index", "register"))?;
+            let idx_reg_el = idx_el.find("register").ok_or_else(|| missing(idx_el, "register"))?;
             let idx = parse_register_ref(idx_reg_el)?;
-            let scale = match idx_el.child_text("scale") {
-                Some(t) => t
-                    .parse()
-                    .ok()
-                    .filter(|s| matches!(s, 1u8 | 2 | 4 | 8))
-                    .ok_or_else(|| invalid("scale", t, "1, 2, 4 or 8"))?,
-                None => 1,
-            };
+            let scale =
+                match idx_el.child_text("scale") {
+                    Some(t) => t.parse().ok().filter(|s| matches!(s, 1u8 | 2 | 4 | 8)).ok_or_else(
+                        || invalid("scale", t, "1, 2, 4 or 8", line_of(idx_el, "scale")),
+                    )?,
+                    None => 1,
+                };
             Some((idx, scale))
         }
         None => None,
@@ -164,12 +182,14 @@ fn parse_memory(el: &Element) -> KernelResult<MemoryOperand> {
 }
 
 fn parse_operation(el: &Element) -> KernelResult<OperationDesc> {
-    let ops: Vec<&str> = el.find_all("operation").filter_map(Element::text).collect();
+    let ops: Vec<(&str, usize)> =
+        el.find_all("operation").filter_map(|o| o.text().map(|t| (t, o.line))).collect();
     if !ops.is_empty() {
         let mut mnemonics = Vec::with_capacity(ops.len());
-        for op in ops {
+        for (op, line) in ops {
             mnemonics.push(
-                Mnemonic::from_name(op).ok_or_else(|| invalid("operation", op, "a mnemonic"))?,
+                Mnemonic::from_name(op)
+                    .ok_or_else(|| invalid("operation", op, "a mnemonic", line))?,
             );
         }
         return Ok(if mnemonics.len() == 1 {
@@ -179,14 +199,16 @@ fn parse_operation(el: &Element) -> KernelResult<OperationDesc> {
         });
     }
     if let Some(bytes_text) = el.child_text("move_bytes") {
-        let bytes: u8 =
-            bytes_text.parse().map_err(|_| invalid("move_bytes", bytes_text, "4, 8 or 16"))?;
+        let bytes_line = line_of(el, "move_bytes");
+        let bytes: u8 = bytes_text
+            .parse()
+            .map_err(|_| invalid("move_bytes", bytes_text, "4, 8 or 16", bytes_line))?;
         let parse_flag = |name: &str| -> KernelResult<Option<bool>> {
             match el.child_text(name) {
                 None => Ok(None),
                 Some("true") => Ok(Some(true)),
                 Some("false") => Ok(Some(false)),
-                Some(other) => Err(invalid(name, other, "true or false")),
+                Some(other) => Err(invalid(name, other, "true or false", line_of(el, name))),
             }
         };
         let sem = MoveSemantics {
@@ -195,11 +217,16 @@ fn parse_operation(el: &Element) -> KernelResult<OperationDesc> {
             double_precision: parse_flag("double_precision")?,
         };
         if sem.candidates().is_empty() {
-            return Err(invalid("move_bytes", bytes_text, "semantics matching ≥1 instruction"));
+            return Err(invalid(
+                "move_bytes",
+                bytes_text,
+                "semantics matching ≥1 instruction",
+                bytes_line,
+            ));
         }
         return Ok(OperationDesc::Move(sem));
     }
-    Err(missing("instruction", "operation"))
+    Err(missing(el, "operation"))
 }
 
 fn parse_instruction(el: &Element) -> KernelResult<InstructionDesc> {
@@ -212,11 +239,11 @@ fn parse_instruction(el: &Element) -> KernelResult<InstructionDesc> {
             "immediate" => {
                 let mut choices = Vec::new();
                 for v in child.find_all("value") {
-                    let t = v.text().ok_or_else(|| missing("immediate", "value"))?;
-                    choices.push(t.parse().map_err(|_| invalid("value", t, "an integer"))?);
+                    let t = v.text().ok_or_else(|| missing(child, "value"))?;
+                    choices.push(t.parse().map_err(|_| invalid("value", t, "an integer", v.line))?);
                 }
                 if choices.is_empty() {
-                    return Err(missing("immediate", "value"));
+                    return Err(missing(child, "value"));
                 }
                 operands.push(OperandDesc::Immediate(ImmediateDesc { choices }));
             }
@@ -237,23 +264,26 @@ fn parse_instruction(el: &Element) -> KernelResult<InstructionDesc> {
 }
 
 fn parse_induction(el: &Element) -> KernelResult<InductionDesc> {
-    let reg_el = el.find("register").ok_or_else(|| missing("induction", "register"))?;
+    let reg_el = el.find("register").ok_or_else(|| missing(el, "register"))?;
     let register = parse_register_ref(reg_el)?;
     let mut increment_choices = Vec::new();
     for inc in el.find_all("increment") {
-        let t = inc.text().ok_or_else(|| missing("induction", "increment"))?;
-        increment_choices.push(t.parse().map_err(|_| invalid("increment", t, "an integer"))?);
+        let t = inc.text().ok_or_else(|| missing(el, "increment"))?;
+        increment_choices
+            .push(t.parse().map_err(|_| invalid("increment", t, "an integer", inc.line))?);
     }
     if increment_choices.is_empty() {
-        return Err(missing("induction", "increment"));
+        return Err(missing(el, "increment"));
     }
     let offset_step = match el.child_text("offset") {
-        Some(t) => t.parse().map_err(|_| invalid("offset", t, "an integer"))?,
+        Some(t) => {
+            t.parse().map_err(|_| invalid("offset", t, "an integer", line_of(el, "offset")))?
+        }
         None => increment_choices[0],
     };
     let linked = match el.find("linked") {
         Some(l) => {
-            let r = l.find("register").ok_or_else(|| missing("linked", "register"))?;
+            let r = l.find("register").ok_or_else(|| missing(l, "register"))?;
             Some(parse_register_ref(r)?)
         }
         None => None,
@@ -536,6 +566,22 @@ mod tests {
         );
         let k = parse_kernel(&xml).unwrap();
         assert_eq!(k.inductions[0].increment_choices, vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn errors_carry_the_source_line() {
+        let bad_value = "<kernel>\n  <unrolling>\n    <min>nope</min>\n    <max>8</max>\n  \
+                         </unrolling>\n  <branch_information><label>L6</label><test>jge</test>\
+                         </branch_information>\n</kernel>";
+        let err = parse_kernel(bad_value).unwrap_err();
+        assert!(err.to_string().contains("(line 3)"), "{err}");
+
+        let no_operation = "<kernel>\n  <instruction>\n    <memory><register><name>r1</name>\
+                            </register></memory>\n  </instruction>\n  <branch_information>\
+                            <label>L6</label><test>jge</test></branch_information>\n</kernel>";
+        let err = parse_kernel(no_operation).unwrap_err();
+        assert!(err.to_string().contains("<operation>"), "{err}");
+        assert!(err.to_string().contains("(line 2)"), "{err}");
     }
 
     #[test]

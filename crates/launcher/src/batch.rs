@@ -14,11 +14,25 @@
 //! field (any new option or program change alters the key). Program
 //! fingerprints are computed once per distinct `Arc` in the batch, not
 //! per point. Only `Ok` reports are cached; errors always re-evaluate.
+//!
+//! ## Supervision
+//!
+//! Every point runs through [`mc_guard::supervise`]: a panic inside the
+//! generate→simulate→measure chain, a blown per-eval deadline, or an
+//! exhausted retry budget yields a structured [`mc_guard::EvalError`]
+//! for that point while the rest of the batch completes — one poisoned
+//! variant no longer kills the pool. When a checkpoint journal is
+//! installed ([`mc_guard::install_journal`]), completed points are
+//! recorded under the same key the memo cache uses, and journaled `ok`
+//! entries short-circuit evaluation on `--resume` — only failed and
+//! missing points are re-evaluated.
 
+use crate::checkpoint;
 use crate::input::KernelInput;
 use crate::launcher::{MicroLauncher, RunReport};
 use crate::options::{LauncherOptions, OptionsDelta};
 use mc_exec::MemoCache;
+use mc_guard::{EvalError, JournalEntry};
 use mc_kernel::Program;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -82,30 +96,72 @@ pub fn program_fingerprint(program: &Program) -> u64 {
     mc_report::fnv1a64(format!("{program:?}").as_bytes())
 }
 
-/// Evaluates every point, keeping per-point failures: `results[i]`
-/// corresponds to `points[i]`. Failures are not cached.
-pub fn try_run_batch(points: Vec<EvalPoint>) -> Vec<Result<RunReport, String>> {
+/// Evaluates every point under guard supervision, keeping structured
+/// per-point failures: `results[i]` corresponds to `points[i]`.
+/// Failures are not cached (and journal as `failed`, so a resume
+/// retries them).
+///
+/// Eval indices for fault injection are reserved contiguously at
+/// submission time, so `results[i]` always carries global index
+/// `base + i` regardless of worker count — the foundation of the
+/// "jobs=1 and jobs=8 agree under injected faults" guarantee.
+pub fn try_run_batch_supervised(points: Vec<EvalPoint>) -> Vec<Result<RunReport, EvalError>> {
     let mut span = mc_trace::span("launcher.batch");
     span.field("points", points.len() as u64);
     span.field("jobs", mc_exec::jobs() as u64);
+    let base_index = mc_guard::reserve_indices(points.len());
     // One fingerprint per distinct program allocation, not per point.
     let mut fingerprints: HashMap<*const Program, u64> = HashMap::new();
-    let prepared: Vec<(u64, EvalPoint)> = points
+    let prepared: Vec<(u64, u64, EvalPoint)> = points
         .into_iter()
-        .map(|point| {
+        .enumerate()
+        .map(|(i, point)| {
             let fp = *fingerprints
                 .entry(Arc::as_ptr(&point.program))
                 .or_insert_with(|| program_fingerprint(&point.program));
-            (fp, point)
+            (base_index + i as u64, fp, point)
         })
         .collect();
-    mc_exec::engine().run(prepared, |(program_fp, point)| {
+    mc_exec::engine().run(prepared, |(index, program_fp, point)| {
         let options = point.options();
         let key = (program_fp, options.fingerprint());
-        eval_cache().get_or_try_compute(key, || {
-            MicroLauncher::new(options).run(&KernelInput::program(point.program.clone()))
-        })
+        let journal = mc_guard::journal();
+        let journal_key = journal.is_some().then(|| format!("{:016x}-{:016x}", key.0, key.1));
+        // Resume: a journaled completion replays without re-evaluating.
+        if let (Some(journal), Some(journal_key)) = (&journal, &journal_key) {
+            if let Some(JournalEntry::Ok(fields)) = journal.lookup(journal_key) {
+                if let Some(report) = checkpoint::report_from_fields(&fields) {
+                    if mc_trace::metrics_enabled() {
+                        mc_trace::metrics().inc("guard.journal.hits", 1);
+                    }
+                    return Ok(report);
+                }
+            }
+        }
+        let label = point.program.name.clone();
+        let program = point.program.clone();
+        let result = mc_guard::supervise(index, &label, move || {
+            eval_cache().get_or_try_compute(key, || {
+                MicroLauncher::new(options.clone()).run(&KernelInput::program(program.clone()))
+            })
+        });
+        if let (Some(journal), Some(journal_key)) = (&journal, &journal_key) {
+            match &result {
+                Ok(report) => journal.record_ok(journal_key, checkpoint::report_to_fields(report)),
+                Err(error) => journal.record_failed(journal_key, &error.to_string()),
+            }
+        }
+        result
     })
+}
+
+/// Evaluates every point, keeping per-point failures as strings:
+/// `results[i]` corresponds to `points[i]`. Failures are not cached.
+pub fn try_run_batch(points: Vec<EvalPoint>) -> Vec<Result<RunReport, String>> {
+    try_run_batch_supervised(points)
+        .into_iter()
+        .map(|result| result.map_err(|error| error.to_string()))
+        .collect()
 }
 
 /// Evaluates every point, failing on the first error (in submission

@@ -1,0 +1,232 @@
+//! Checkpoint serialization: a [`RunReport`] as flat journal fields.
+//!
+//! The guard journal (`mc-guard`) stores one JSONL record per completed
+//! evaluation; this module is the launcher's side of the contract — it
+//! flattens a report into `(key, Value)` pairs and reconstructs it on
+//! resume. Nested structures use dotted prefixes (`summary.min`,
+//! `verify.passed`, `bottleneck.class`); optional sections are simply
+//! absent. Floats travel as [`mc_trace::Value::Float`], whose wire format
+//! is the shortest round-trip representation, so a resumed report is
+//! bit-identical to the freshly computed one.
+//!
+//! Decoding is strict where it matters: a record missing a required
+//! field (or carrying one of the wrong shape) decodes to `None`, and the
+//! point is simply re-evaluated — a stale or foreign journal can cost
+//! time, never correctness.
+
+use crate::launcher::{RunReport, VerifyReport};
+use crate::options::Mode;
+use mc_insight::{Attribution, BottleneckClass};
+use mc_report::stats::Summary;
+use mc_simarch::config::Level;
+use mc_trace::Value;
+
+/// Flattens a report into journal payload fields.
+pub fn report_to_fields(report: &RunReport) -> Vec<(String, Value)> {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".into(), report.name.as_str().into()),
+        ("label".into(), report.label.as_str().into()),
+        ("machine".into(), report.machine.as_str().into()),
+        ("mode".into(), report.mode.name().into()),
+        ("workers".into(), report.workers.into()),
+        ("cycles_per_iteration".into(), report.cycles_per_iteration.into()),
+        ("seconds_full_function".into(), report.seconds_full_function.into()),
+        ("summary.count".into(), report.summary.count.into()),
+        ("summary.min".into(), report.summary.min.into()),
+        ("summary.max".into(), report.summary.max.into()),
+        ("summary.mean".into(), report.summary.mean.into()),
+        ("summary.median".into(), report.summary.median.into()),
+        ("summary.stddev".into(), report.summary.stddev.into()),
+        ("stable".into(), report.stable.into()),
+        (
+            "pin_cores".into(),
+            report.pin_cores.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" ").into(),
+        ),
+    ];
+    if let Some(residence) = report.residence {
+        fields.push(("residence".into(), residence.name().into()));
+    }
+    if let Some(verify) = &report.verify {
+        fields.push(("verify.passed".into(), verify.passed.into()));
+        fields.push(("verify.loop_iterations".into(), verify.loop_iterations.into()));
+        fields.push(("verify.expected_iterations".into(), verify.expected_iterations.into()));
+        fields.push((
+            "verify.memory_ops_per_iteration".into(),
+            verify.memory_ops_per_iteration.into(),
+        ));
+        fields.push(("verify.footprint_lines".into(), verify.footprint_lines.into()));
+        if let Some(observed) = verify.observed_residence {
+            fields.push(("verify.observed_residence".into(), observed.into()));
+        }
+        fields.push(("verify.detail".into(), verify.detail.as_str().into()));
+    }
+    if let Some(region) = report.region_seconds {
+        fields.push(("region_seconds".into(), region.into()));
+    }
+    if let Some(energy) = report.energy_nj_per_iteration {
+        fields.push(("energy_nj_per_iteration".into(), energy.into()));
+    }
+    if let Some(b) = &report.bottleneck {
+        fields.push(("bottleneck.class".into(), b.class.name().into()));
+        fields.push(("bottleneck.bound_cycles".into(), b.bound_cycles.into()));
+        fields.push(("bottleneck.measured_cycles".into(), b.measured_cycles.into()));
+        if let Some(runner_up) = b.runner_up {
+            fields.push(("bottleneck.runner_up".into(), runner_up.name().into()));
+        }
+        fields.push(("bottleneck.runner_up_cycles".into(), b.runner_up_cycles.into()));
+    }
+    fields
+}
+
+fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(fields: &[(String, Value)], key: &str) -> Option<String> {
+    get(fields, key)?.as_str().map(str::to_owned)
+}
+
+fn f64_field(fields: &[(String, Value)], key: &str) -> Option<f64> {
+    get(fields, key)?.as_f64()
+}
+
+fn u64_field(fields: &[(String, Value)], key: &str) -> Option<u64> {
+    get(fields, key)?.as_u64()
+}
+
+fn bool_field(fields: &[(String, Value)], key: &str) -> Option<bool> {
+    get(fields, key)?.as_bool()
+}
+
+/// Reconstructs a report from journal payload fields. `None` when the
+/// record is incomplete or malformed — the caller re-evaluates.
+pub fn report_from_fields(fields: &[(String, Value)]) -> Option<RunReport> {
+    let verify = if get(fields, "verify.passed").is_some() {
+        Some(VerifyReport {
+            passed: bool_field(fields, "verify.passed")?,
+            loop_iterations: u64_field(fields, "verify.loop_iterations")?,
+            expected_iterations: u64_field(fields, "verify.expected_iterations")?,
+            memory_ops_per_iteration: f64_field(fields, "verify.memory_ops_per_iteration")?,
+            footprint_lines: u64_field(fields, "verify.footprint_lines")?,
+            // Map through `Level` to recover the `&'static str` name.
+            observed_residence: match str_field(fields, "verify.observed_residence") {
+                Some(name) => Some(Level::from_name(&name)?.name()),
+                None => None,
+            },
+            detail: str_field(fields, "verify.detail")?,
+        })
+    } else {
+        None
+    };
+    let bottleneck = if get(fields, "bottleneck.class").is_some() {
+        Some(Attribution {
+            class: BottleneckClass::from_name(&str_field(fields, "bottleneck.class")?)?,
+            bound_cycles: f64_field(fields, "bottleneck.bound_cycles")?,
+            measured_cycles: f64_field(fields, "bottleneck.measured_cycles")?,
+            runner_up: match str_field(fields, "bottleneck.runner_up") {
+                Some(name) => Some(BottleneckClass::from_name(&name)?),
+                None => None,
+            },
+            runner_up_cycles: f64_field(fields, "bottleneck.runner_up_cycles")?,
+        })
+    } else {
+        None
+    };
+    let residence = match str_field(fields, "residence") {
+        Some(name) => Some(Level::from_name(&name)?),
+        None => None,
+    };
+    let pin_cores = {
+        let joined = str_field(fields, "pin_cores")?;
+        let mut cores = Vec::new();
+        for part in joined.split_whitespace() {
+            cores.push(part.parse().ok()?);
+        }
+        cores
+    };
+    Some(RunReport {
+        name: str_field(fields, "name")?,
+        label: str_field(fields, "label")?,
+        machine: str_field(fields, "machine")?,
+        mode: Mode::from_name(&str_field(fields, "mode")?)?,
+        workers: u64_field(fields, "workers")? as u32,
+        cycles_per_iteration: f64_field(fields, "cycles_per_iteration")?,
+        seconds_full_function: f64_field(fields, "seconds_full_function")?,
+        summary: Summary {
+            count: u64_field(fields, "summary.count")? as usize,
+            min: f64_field(fields, "summary.min")?,
+            max: f64_field(fields, "summary.max")?,
+            mean: f64_field(fields, "summary.mean")?,
+            median: f64_field(fields, "summary.median")?,
+            stddev: f64_field(fields, "summary.stddev")?,
+        },
+        stable: bool_field(fields, "stable")?,
+        residence,
+        pin_cores,
+        verify,
+        region_seconds: f64_field(fields, "region_seconds"),
+        energy_nj_per_iteration: f64_field(fields, "energy_nj_per_iteration"),
+        bottleneck,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::KernelInput;
+    use crate::launcher::MicroLauncher;
+    use crate::options::LauncherOptions;
+    use mc_creator::MicroCreator;
+    use mc_kernel::builder::load_stream;
+
+    fn real_report() -> RunReport {
+        let desc = load_stream(mc_asm::Mnemonic::Movaps, 4, 4);
+        let p = MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
+        let opts =
+            LauncherOptions { repetitions: 2, meta_repetitions: 2, ..LauncherOptions::default() };
+        MicroLauncher::new(opts).run(&KernelInput::program(p)).unwrap()
+    }
+
+    #[test]
+    fn a_real_report_round_trips_bit_identically() {
+        let report = real_report();
+        let fields = report_to_fields(&report);
+        let back = report_from_fields(&fields).expect("round trip");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn round_trip_survives_the_journal_wire_format() {
+        // Encode → JSONL line → decode, through the actual journal file.
+        let report = real_report();
+        let dir = std::env::temp_dir().join("mc-launcher-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wire-{}.jsonl", std::process::id()));
+        let journal = mc_guard::Journal::create(&path).unwrap();
+        journal.record_ok("k", report_to_fields(&report));
+        let (resumed, ok) = mc_guard::Journal::resume(&path).unwrap();
+        assert_eq!(ok, 1);
+        let Some(mc_guard::JournalEntry::Ok(fields)) = resumed.lookup("k") else {
+            panic!("missing journal entry");
+        };
+        assert_eq!(report_from_fields(&fields).expect("decode"), report);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_or_mistyped_fields_fail_the_decode() {
+        let report = real_report();
+        let fields = report_to_fields(&report);
+        for victim in ["name", "mode", "summary.min", "stable", "pin_cores"] {
+            let pruned: Vec<_> = fields.iter().filter(|(k, _)| k != victim).cloned().collect();
+            assert!(report_from_fields(&pruned).is_none(), "decoded without `{victim}`");
+        }
+        let mut mistyped = fields.clone();
+        for (k, v) in &mut mistyped {
+            if k == "mode" {
+                *v = Value::Str("warp".into());
+            }
+        }
+        assert!(report_from_fields(&mistyped).is_none(), "decoded an unknown mode");
+    }
+}

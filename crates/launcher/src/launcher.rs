@@ -77,15 +77,16 @@ pub struct RunReport {
 impl RunReport {
     /// CSV header matching [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
-        "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,seconds_full,min,median,max,stable,residence,verified,bottleneck,bound_cycles,bound_share"
+        "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,seconds_full,min,median,max,stable,residence,verified,bottleneck,bound_cycles,bound_share,status"
     }
 
     /// The CSV row for this run (§4.3: "The output of the launcher is a
-    /// generic CSV file").
+    /// generic CSV file"). Successful evaluations carry `status=ok`; see
+    /// [`RunReport::failed_csv_row`] for the failure shape.
     pub fn csv_row(&self) -> String {
         let mode = self.mode.name();
         format!(
-            "{},{},{},{},{},{:.4},{},{:.6e},{:.4},{:.4},{:.4},{},{},{},{},{},{}",
+            "{},{},{},{},{},{:.4},{},{:.6e},{:.4},{:.4},{:.4},{},{},{},{},{},{},ok",
             self.name,
             self.label,
             self.machine.replace(',', ";"),
@@ -103,6 +104,29 @@ impl RunReport {
             self.bottleneck.as_ref().map_or("-", |a| a.class.name()),
             self.bottleneck.as_ref().map_or("-".to_owned(), |a| format!("{:.4}", a.bound_cycles)),
             self.bottleneck.as_ref().map_or("-".to_owned(), |a| format!("{:.2}", a.share())),
+        )
+    }
+
+    /// The CSV row for a point whose evaluation failed: identity columns
+    /// are filled from what was submitted, every measurement column is
+    /// `-`, and `status` names the failure kind (`failed`, `panic`,
+    /// `timeout`, `skipped`). Keeps failed points visible in the output
+    /// instead of silently shrinking the sweep.
+    pub fn failed_csv_row(
+        name: &str,
+        label: &str,
+        options: &LauncherOptions,
+        status: &str,
+    ) -> String {
+        format!(
+            "{},{},{},{},{},-,-,-,-,-,-,-,{},-,-,-,-,{}",
+            name,
+            label,
+            options.machine.name().replace(',', ";"),
+            options.mode.name(),
+            options.cores.max(1),
+            options.residence.map_or("-", Level::name),
+            status,
         )
     }
 }
@@ -574,8 +598,19 @@ mod tests {
         assert!(b.bound_cycles > 0.0);
         let row = r.csv_row();
         assert!(row.contains(",load-port,"), "{row}");
-        let share: f64 = row.rsplit(',').next().unwrap().parse().unwrap();
+        assert!(row.ends_with(",ok"), "{row}");
+        let share: f64 = row.rsplit(',').nth(1).unwrap().parse().unwrap();
         assert!((0.0..=1.0).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn failed_rows_match_header_arity_and_carry_status() {
+        let opts = LauncherOptions::default();
+        let row = RunReport::failed_csv_row("movaps_u8", "movaps_u8", &opts, "panic");
+        let header_fields = RunReport::csv_header().split(',').count();
+        assert_eq!(row.split(',').count(), header_fields, "{row}");
+        assert!(row.ends_with(",panic"), "{row}");
+        assert!(row.starts_with("movaps_u8,movaps_u8,"), "{row}");
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //! * [`launcher`] — the facade: sequential, fork multi-core (§4.6) and
 //!   OpenMP (§5.2.3) execution modes with CSV output (§4.3),
 //! * [`sweeps`] — the study drivers behind the paper's figures: alignment
-//!   sweeps, core-count sweeps, unroll sweeps, frequency sweeps.
+//!   sweeps, core-count sweeps, unroll sweeps, frequency sweeps,
+//! * [`checkpoint`] — the journal serialization of a [`RunReport`] used
+//!   by the mc-guard checkpoint/resume machinery.
 
 pub mod batch;
+pub mod checkpoint;
 pub mod clock;
 pub mod env;
 pub mod input;
@@ -33,7 +36,7 @@ pub mod options;
 pub mod stability;
 pub mod sweeps;
 
-pub use batch::{run_batch, try_run_batch, EvalPoint};
+pub use batch::{run_batch, try_run_batch, try_run_batch_supervised, EvalPoint};
 pub use clock::{Clock, RdtscClock, SimClock};
 pub use input::{KernelInput, NativeKernel};
 pub use launcher::{MicroLauncher, RunReport};

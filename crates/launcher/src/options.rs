@@ -70,6 +70,17 @@ impl Mode {
             Mode::Standalone => "standalone",
         }
     }
+
+    /// Parses the short name (inverse of [`Mode::name`]).
+    pub fn from_name(name: &str) -> Option<Mode> {
+        Some(match name {
+            "seq" => Mode::Sequential,
+            "fork" => Mode::Fork,
+            "omp" => Mode::OpenMp,
+            "standalone" => Mode::Standalone,
+            _ => return None,
+        })
+    }
 }
 
 /// How the outer-loop samples reduce to the reported number.
@@ -379,13 +390,9 @@ impl LauncherOptions {
                         want("ns")?.parse().map_err(|_| "--omp-overhead: invalid float")?
                 }
                 "--mode" => {
-                    opts.mode = match want("seq|fork|omp|standalone")? {
-                        "seq" => Mode::Sequential,
-                        "fork" => Mode::Fork,
-                        "omp" => Mode::OpenMp,
-                        "standalone" => Mode::Standalone,
-                        other => return Err(format!("--mode: unknown mode `{other}`")),
-                    }
+                    let name = want("seq|fork|omp|standalone")?;
+                    opts.mode = Mode::from_name(name)
+                        .ok_or_else(|| format!("--mode: unknown mode `{name}`"))?
                 }
                 "--eval-library" => {
                     opts.sim_clock = match want("rdtsc|sim")? {

@@ -506,7 +506,8 @@ pub fn arithmetic_hiding_sweep(
     let delta = OptionsDelta { residence: Some(level), ..OptionsDelta::default() };
     let mut eval_points = Vec::with_capacity(max_arith as usize + 1);
     for k in 0..=max_arith {
-        let desc = mc_kernel::builder::arithmetic_hiding(mem_mnemonic, k);
+        let desc = mc_kernel::builder::try_arithmetic_hiding(mem_mnemonic, k)
+            .map_err(|e| e.to_string())?;
         let program = generate_shared(&desc)?
             .first()
             .cloned()
@@ -542,7 +543,8 @@ pub fn stride_sweep(
     let mut sweep_span = mc_trace::span("launcher.sweep");
     sweep_span.field("sweep", "stride");
     sweep_span.field("configs", element_strides.len() as u64);
-    let desc = mc_kernel::builder::strided_stream(mnemonic, element_strides);
+    let desc = mc_kernel::builder::try_strided_stream(mnemonic, element_strides)
+        .map_err(|e| e.to_string())?;
     let programs = generate_shared(&desc)?;
     let shared_base = Arc::new(base.clone());
     let delta = OptionsDelta { residence: Some(level), ..OptionsDelta::default() };

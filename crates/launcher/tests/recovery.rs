@@ -1,0 +1,222 @@
+//! Recovery tests: the mc-guard supervision layer driven through real
+//! launcher batches — panic isolation, deadlines, retries,
+//! checkpoint/resume, and worker-count determinism under injected
+//! faults.
+//!
+//! Everything here touches process-global state (the fault plan, the
+//! eval-index sequence, the guard policy, the journal, the memo cache,
+//! the worker count, the metrics registry), so each test takes one
+//! shared lock and resets that state up front.
+
+use mc_creator::MicroCreator;
+use mc_guard::{EvalErrorKind, FaultPlan, GuardPolicy};
+use mc_kernel::builder::load_stream;
+use mc_kernel::Program;
+use mc_launcher::batch::clear_cache;
+use mc_launcher::{try_run_batch_supervised, EvalPoint, LauncherOptions, RunReport};
+use std::sync::{Arc, Mutex};
+
+static EXEC_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    EXEC_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Resets every piece of process-global guard/exec state a previous test
+/// (or test ordering) could have left behind.
+fn reset() {
+    mc_guard::clear_faults();
+    mc_guard::clear_journal();
+    mc_guard::clear_quarantine();
+    mc_guard::reset_indices();
+    mc_guard::set_policy(GuardPolicy::default());
+    clear_cache();
+}
+
+fn program(unroll: u32) -> Arc<Program> {
+    let desc = load_stream(mc_asm::Mnemonic::Movaps, unroll, unroll);
+    Arc::new(MicroCreator::new().generate(&desc).expect("generation").programs.remove(0))
+}
+
+fn options() -> LauncherOptions {
+    LauncherOptions { repetitions: 2, meta_repetitions: 2, ..LauncherOptions::default() }
+}
+
+/// `count` evaluation points sharing one program and base options.
+fn identical_points(count: usize) -> Vec<EvalPoint> {
+    let p = program(4);
+    let base = Arc::new(options());
+    (0..count).map(|_| EvalPoint::new(p.clone(), base.clone())).collect()
+}
+
+/// Eight distinct points (unroll 1..=8), so every evaluation computes.
+fn distinct_points() -> Vec<EvalPoint> {
+    let base = Arc::new(options());
+    (1..=8).map(|u| EvalPoint::new(program(u), base.clone())).collect()
+}
+
+fn journal_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mc-launcher-recovery-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn a_panic_at_one_index_leaves_the_other_99_points_alive() {
+    let _guard = lock();
+    reset();
+    mc_exec::set_jobs(4);
+    mc_guard::install_faults(FaultPlan::new().panic_at(5));
+    let results = try_run_batch_supervised(identical_points(100));
+    mc_guard::clear_faults();
+    assert_eq!(results.len(), 100);
+    let failures: Vec<usize> =
+        results.iter().enumerate().filter(|(_, r)| r.is_err()).map(|(i, _)| i).collect();
+    assert_eq!(failures, vec![5], "exactly the poisoned index fails");
+    let error = results[5].as_ref().unwrap_err();
+    assert_eq!(error.kind, EvalErrorKind::Panic);
+    assert!(error.message.contains("injected panic"), "{}", error.message);
+    // The quarantine names the point; the default zero budget is blown.
+    let quarantined = mc_guard::quarantine_snapshot();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].index, 5);
+    assert_eq!(mc_guard::failure_count(), 1);
+    assert!(mc_guard::over_budget());
+}
+
+#[test]
+fn a_deadline_fires_deterministically_on_a_delayed_eval() {
+    let _guard = lock();
+    reset();
+    mc_exec::set_jobs(2);
+    mc_guard::set_policy(GuardPolicy {
+        deadline: Some(std::time::Duration::from_millis(50)),
+        ..GuardPolicy::default()
+    });
+    // Index 1 sleeps 400 ms against a 50 ms deadline; index 0 is clean.
+    mc_guard::install_faults(FaultPlan::new().delay_at(1, 400));
+    let results = try_run_batch_supervised(identical_points(2));
+    mc_guard::clear_faults();
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    let error = results[1].as_ref().unwrap_err();
+    assert_eq!(error.kind, EvalErrorKind::Timeout);
+    assert_eq!(error.attempts, 1);
+}
+
+#[test]
+fn transient_faults_are_retried_and_recover() {
+    let _guard = lock();
+    reset();
+    mc_exec::set_jobs(1);
+    mc_guard::set_policy(GuardPolicy { retries: 2, backoff_base_ms: 1, ..GuardPolicy::default() });
+    // Fails the first attempt at index 0, then succeeds on the retry.
+    mc_guard::install_faults(FaultPlan::new().flaky_at(0, 1));
+    mc_trace::metrics().reset();
+    mc_trace::enable_metrics(true);
+    let results = try_run_batch_supervised(identical_points(1));
+    mc_trace::enable_metrics(false);
+    mc_guard::clear_faults();
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    let snapshot = mc_trace::metrics().snapshot();
+    assert_eq!(snapshot.counter("guard.retries"), Some(1));
+    assert_eq!(snapshot.counter("guard.recovered"), Some(1));
+    assert!(snapshot.counter("guard.failures").is_none());
+    assert_eq!(mc_guard::failure_count(), 0, "a recovered eval is not quarantined");
+}
+
+#[test]
+fn resume_skips_exactly_the_journaled_set() {
+    let _guard = lock();
+    reset();
+    mc_exec::set_jobs(2);
+    let path = journal_path("resume");
+    // Interrupted run: point 3 fails with an injected I/O error, the
+    // other seven land in the journal as ok.
+    mc_guard::install_journal(Arc::new(mc_guard::Journal::create(&path).unwrap()));
+    mc_guard::install_faults(FaultPlan::new().io_error_at(3));
+    let first = try_run_batch_supervised(distinct_points());
+    mc_guard::clear_faults();
+    mc_guard::clear_journal();
+    assert_eq!(first.iter().filter(|r| r.is_ok()).count(), 7);
+    assert_eq!(first[3].as_ref().unwrap_err().kind, EvalErrorKind::Failed);
+
+    // Resume: seven entries replay from the journal, only the failed
+    // point re-executes. The cache is cleared so a memo hit cannot mask
+    // a journal miss.
+    let (journal, ok) = mc_guard::Journal::resume(&path).unwrap();
+    assert_eq!(ok, 7);
+    mc_guard::install_journal(Arc::new(journal));
+    mc_guard::clear_quarantine();
+    clear_cache();
+    mc_trace::metrics().reset();
+    mc_trace::enable_metrics(true);
+    let second = try_run_batch_supervised(distinct_points());
+    mc_trace::enable_metrics(false);
+    mc_guard::clear_journal();
+    assert!(second.iter().all(Result::is_ok), "resume completes cleanly");
+    let snapshot = mc_trace::metrics().snapshot();
+    assert_eq!(snapshot.counter("guard.journal.hits"), Some(7), "seven replays");
+    assert_eq!(snapshot.counter("guard.eval.executed"), Some(1), "one re-evaluation");
+    // Replayed reports are bit-identical to freshly computed ones.
+    for (a, b) in first.iter().zip(&second) {
+        if let (Ok(a), Ok(b)) = (a, b) {
+            assert_eq!(a, b);
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn worker_count_does_not_change_the_csv_under_faults() {
+    let _guard = lock();
+    reset();
+    let render = |jobs: usize| -> Vec<String> {
+        mc_exec::set_jobs(jobs);
+        mc_guard::reset_indices();
+        mc_guard::clear_quarantine();
+        clear_cache();
+        // Reinstall per run: flaky fire budgets are consumed state.
+        mc_guard::install_faults(FaultPlan::new().panic_at(2).io_error_at(6));
+        let base = Arc::new(options());
+        let points: Vec<EvalPoint> =
+            (1..=8).map(|u| EvalPoint::new(program(u), base.clone())).collect();
+        let rows = try_run_batch_supervised(points)
+            .into_iter()
+            .enumerate()
+            .map(|(i, result)| match result {
+                Ok(report) => report.csv_row(),
+                Err(error) => {
+                    let name = format!("point{i}");
+                    RunReport::failed_csv_row(&name, &name, &options(), error.kind.name())
+                }
+            })
+            .collect();
+        mc_guard::clear_faults();
+        rows
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    assert_eq!(serial, parallel, "jobs=1 and jobs=8 agree row for row");
+    assert_eq!(serial.iter().filter(|r| r.ends_with(",panic")).count(), 1);
+    assert_eq!(serial.iter().filter(|r| r.ends_with(",failed")).count(), 1);
+    assert_eq!(serial.iter().filter(|r| r.ends_with(",ok")).count(), 6);
+}
+
+#[test]
+fn fail_fast_skips_points_after_the_budget_is_spent() {
+    let _guard = lock();
+    reset();
+    // Serial execution makes "after the failure" well defined.
+    mc_exec::set_jobs(1);
+    mc_guard::set_policy(GuardPolicy { fail_fast: true, ..GuardPolicy::default() });
+    mc_guard::install_faults(FaultPlan::new().panic_at(2));
+    let results = try_run_batch_supervised(identical_points(6));
+    mc_guard::clear_faults();
+    assert!(results[0].is_ok() && results[1].is_ok());
+    assert_eq!(results[2].as_ref().unwrap_err().kind, EvalErrorKind::Panic);
+    for r in &results[3..] {
+        assert_eq!(r.as_ref().unwrap_err().kind, EvalErrorKind::Skipped);
+    }
+    // Skipped points are not failures: the quarantine holds one entry.
+    assert_eq!(mc_guard::failure_count(), 1);
+}

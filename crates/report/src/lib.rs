@@ -18,11 +18,14 @@
 //! * [`analysis`] — the §7 "data-mining" helpers: optimal-variant search,
 //!   per-group minima, knob-impact ranking, Pareto fronts,
 //! * [`manifest`] — the [`RunManifest`] provenance header (`# key: value`
-//!   comment lines) embedded in every emitted CSV.
+//!   comment lines) embedded in every emitted CSV,
+//! * [`fsio`] — crash-safe artifact writes (temp file + fsync + rename),
+//!   so an interrupted run never leaves a torn CSV or manifest behind.
 
 pub mod analysis;
 pub mod csv;
 pub mod experiments;
+pub mod fsio;
 pub mod manifest;
 pub mod series;
 pub mod stats;
@@ -31,6 +34,7 @@ pub mod table;
 pub use analysis::Record;
 pub use csv::{CsvTable, CsvWriter};
 pub use experiments::{ExperimentId, ShapeCheck, ShapeOutcome};
+pub use fsio::{atomic_write, atomic_write_str};
 pub use manifest::{fnv1a64, RunManifest};
 pub use series::{Scale, Series};
 pub use stats::Summary;

@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn fmt_f_fixed_decimals() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_f(2.0, 2), "2.00");
     }
 }

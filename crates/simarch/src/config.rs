@@ -34,6 +34,11 @@ impl Level {
         }
     }
 
+    /// Parses a figure/CSV name (inverse of [`Level::name`]).
+    pub fn from_name(name: &str) -> Option<Level> {
+        Level::ALL.into_iter().find(|level| level.name() == name)
+    }
+
     /// True for levels clocked with the core (their costs scale with core
     /// frequency); L3 and RAM live in the uncore domain.
     pub fn is_core_domain(self) -> bool {

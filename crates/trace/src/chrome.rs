@@ -30,6 +30,28 @@ pub struct ChromeTraceSink {
     path: Option<PathBuf>,
 }
 
+/// Crash-safe rewrite: temp file in the same directory, fsync, rename.
+/// A flush interrupted by a kill leaves the previous complete document,
+/// never a torn one. (Private copy — mc-trace sits below mc-report in
+/// the dependency graph, so it cannot use `mc_report::fsio`.)
+fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other(format!("not a file path: {}", path.display())))?;
+    let tmp = path.with_file_name(format!(".{name}.tmp"));
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(contents.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
 /// Small dense thread ordinals: Chrome's UI sorts rows by `tid`, and the
 /// OS thread ids are large and arbitrary. First thread to record gets 0
 /// (the main timeline), workers count up from there.
@@ -47,7 +69,7 @@ impl ChromeTraceSink {
     /// the end of the run.
     pub fn create(path: &Path) -> std::io::Result<Self> {
         let sink = ChromeTraceSink { entries: Mutex::new(Vec::new()), path: Some(path.into()) };
-        std::fs::write(path, sink.render())?;
+        atomic_write(path, &sink.render())?;
         Ok(sink)
     }
 
@@ -118,7 +140,7 @@ impl TraceSink for ChromeTraceSink {
 
     fn flush(&self) {
         if let Some(path) = &self.path {
-            let _ = std::fs::write(path, self.render());
+            let _ = atomic_write(path, &self.render());
         }
     }
 }
@@ -280,6 +302,9 @@ mod tests {
         let second = std::fs::read_to_string(&path).unwrap();
         check_json(&second).unwrap();
         assert!(second.contains("\"name\":\"a\"") && second.contains("\"name\":\"b\""));
+        // The atomic rewrite must not leave its temp file behind.
+        let tmp = path.with_file_name(format!(".trace-{}.json.tmp", std::process::id()));
+        assert!(!tmp.exists(), "temp file survived the rename");
         std::fs::remove_file(&path).unwrap();
     }
 }

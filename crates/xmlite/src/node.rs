@@ -35,7 +35,7 @@ impl Node {
 }
 
 /// An XML element: name, attributes (in document order), and content.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Eq, Default)]
 pub struct Element {
     /// Tag name, e.g. `instruction`.
     pub name: String,
@@ -43,12 +43,27 @@ pub struct Element {
     pub attributes: Vec<(String, String)>,
     /// Child nodes in document order.
     pub children: Vec<Node>,
+    /// 1-based source line of the opening tag; 0 for elements built in
+    /// code rather than parsed. Carried so schema-level errors can point
+    /// at the offending line of the document.
+    pub line: usize,
+}
+
+/// Equality ignores `line`: a parsed tree equals the programmatically
+/// built tree with the same content, which is what round-trip tests and
+/// the creator's structural comparisons rely on.
+impl PartialEq for Element {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.attributes == other.attributes
+            && self.children == other.children
+    }
 }
 
 impl Element {
     /// Creates an empty element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new(), line: 0 }
     }
 
     /// Creates an element containing a single text node — the common shape

@@ -74,7 +74,10 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> XmlError {
+    /// 1-based (line, column) of the current position. Documents in the
+    /// MicroCreator schema are small, so the linear scan is cheap even
+    /// when called once per element.
+    fn position(&self) -> (usize, usize) {
         let (mut line, mut col) = (1usize, 1usize);
         for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
             if b == b'\n' {
@@ -84,6 +87,11 @@ impl<'a> Parser<'a> {
                 col += 1;
             }
         }
+        (line, col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        let (line, col) = self.position();
         XmlError::new(line, col, message)
     }
 
@@ -178,9 +186,11 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element_inner(&mut self) -> XmlResult<Element> {
+        let (line, _) = self.position();
         self.expect("<")?;
         let name = self.parse_name()?;
         let mut element = Element::new(name);
+        element.line = line;
         loop {
             self.skip_whitespace();
             match self.peek() {
@@ -488,6 +498,20 @@ mod tests {
         // Reasonable depths still parse.
         let ok = "<a>".repeat(200) + &"</a>".repeat(200);
         parse_document(&ok).unwrap();
+    }
+
+    #[test]
+    fn elements_carry_their_source_line() {
+        let e = parse_document("<a>\n  <b/>\n  <c>\n    <d/>\n  </c>\n</a>").unwrap();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.find("b").unwrap().line, 2);
+        assert_eq!(e.find("c").unwrap().line, 3);
+        assert_eq!(e.find("c").unwrap().find("d").unwrap().line, 4);
+        // Built elements stay at line 0 and still compare equal to parsed
+        // ones: line is provenance, not content.
+        let built = Element::new("b");
+        assert_eq!(built.line, 0);
+        assert_eq!(&built, e.find("b").unwrap());
     }
 
     #[test]

@@ -15,8 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 1. Stride study (§3.5): where does the prefetcher give up? ----
     println!("── stride study: movss loads from RAM (X5650) ──");
-    let mut opts = LauncherOptions::default();
-    opts.verify = false;
+    let opts = LauncherOptions { verify: false, ..LauncherOptions::default() };
     let series =
         stride_sweep(&opts, Mnemonic::Movss, &[1, 2, 4, 8, 16, 32, 64, 256, 1024], Level::Ram)?;
     for (stride, cycles) in &series.points {
@@ -28,12 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("── 3-point stencil: cycles/iteration by residence ──");
     let stencil_programs = programs_by_unroll(&microtools::kernel::builder::stencil_1d(1, 4))?;
     for level in Level::ALL {
-        let mut o = LauncherOptions::default();
-        o.residence = Some(level);
-        // Separate the in/out arrays mod 4 KiB — page-aligned pairs alias
-        // in the store-forwarding predictor (try removing this!).
-        o.alignments = vec![0, 512];
-        o.verify = false;
+        let o = LauncherOptions {
+            residence: Some(level),
+            // Separate the in/out arrays mod 4 KiB — page-aligned pairs alias
+            // in the store-forwarding predictor (try removing this!).
+            alignments: vec![0, 512],
+            verify: false,
+            ..LauncherOptions::default()
+        };
         let report =
             MicroLauncher::new(o).run(&KernelInput::program(stencil_programs[0].clone()))?;
         println!("  {:4}: {:>6.2} cycles/iteration", level.name(), report.cycles_per_iteration);
@@ -42,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2b. Arithmetic hiding (§3.5) ------------------------------------
     println!("── free arithmetic under a movaps RAM stream ──");
-    let mut o = LauncherOptions::default();
-    o.verify = false;
+    let o = LauncherOptions { verify: false, ..LauncherOptions::default() };
     for level in [Level::L1, Level::Ram] {
         let (series, hidden) = arithmetic_hiding_sweep(&o, Mnemonic::Movaps, 10, level, 0.02)?;
         print!("  {:4}:", level.name());
@@ -75,13 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 4. Data-mining the 510-variant study (§7) -----------------------
     println!("── automated analysis of the 510 Figure 6 variants ──");
     let generated = MicroCreator::new().generate(&figure6())?;
-    let launcher = {
-        let mut o = LauncherOptions::default();
-        o.verify = false;
-        o.repetitions = 2;
-        o.meta_repetitions = 2;
-        MicroLauncher::new(o)
-    };
+    let launcher = MicroLauncher::new(LauncherOptions {
+        verify: false,
+        repetitions: 2,
+        meta_repetitions: 2,
+        ..LauncherOptions::default()
+    });
     let mut records = Vec::new();
     for p in generated.programs.iter().step_by(5) {
         let report = launcher.run(&KernelInput::program(p.clone()))?;

@@ -23,10 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .into_iter()
             .find(|p| p.meta.unroll == 1)
             .expect("unroll-1 variant");
-        let mut opts = LauncherOptions::default();
-        opts.vector_bytes = 3 * size * size * 8 / 2; // three size² matrices
-        opts.trip_count = size;
-        opts.verify = false;
+        let opts = LauncherOptions {
+            vector_bytes: 3 * size * size * 8 / 2, // three size² matrices
+            trip_count: size,
+            verify: false,
+            ..LauncherOptions::default()
+        };
         let report = MicroLauncher::new(opts).run(&KernelInput::program(program))?;
         println!(
             "  size {size:>5}: {:>6.2} cycles/iteration ({} resident)",
@@ -46,9 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|p| p.meta.unroll == 1)
         .expect("unroll-1 variant");
-    let mut opts = LauncherOptions::default();
-    opts.residence = Some(Level::L2); // 200² tiles fit in the cache (§2)
-    opts.trip_count = 200;
+    let opts = LauncherOptions {
+        residence: Some(Level::L2), // 200² tiles fit in the cache (§2)
+        trip_count: 200,
+        ..LauncherOptions::default()
+    };
     let points = microtools::launcher::sweeps::alignment_sweep(&opts, &program, 512, 3584)?;
     let (mut min, mut max) = (f64::MAX, f64::MIN);
     for p in &points {
@@ -69,10 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let programs = microtools::launcher::sweeps::programs_by_unroll(&matmul_inner(200))?;
     let mut unroll_points = Vec::new();
     for program in &programs {
-        let mut opts = LauncherOptions::default();
-        opts.residence = Some(Level::L2);
-        opts.trip_count = 200;
-        opts.verify = false;
+        let opts = LauncherOptions {
+            residence: Some(Level::L2),
+            trip_count: 200,
+            verify: false,
+            ..LauncherOptions::default()
+        };
         let report = MicroLauncher::new(opts).run(&KernelInput::program(program.clone()))?;
         let per_element =
             report.cycles_per_iteration / program.elements_per_iteration.max(1) as f64;

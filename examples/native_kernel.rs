@@ -12,11 +12,13 @@ use microtools::launcher::input::FnKernel;
 use microtools::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut opts = LauncherOptions::default();
-    opts.vector_bytes = 64 << 10; // 64 KiB of f32s per array
-    opts.nb_vectors = 2;
-    opts.repetitions = 64;
-    opts.meta_repetitions = 10;
+    let opts = LauncherOptions {
+        vector_bytes: 64 << 10, // 64 KiB of f32s per array
+        nb_vectors: 2,
+        repetitions: 64,
+        meta_repetitions: 10,
+        ..LauncherOptions::default()
+    };
 
     // Kernel 1: a streaming sum (load-bound).
     let sum = FnKernel::new("stream_sum", |n, arrays: &mut [Vec<f32>]| {

@@ -11,9 +11,11 @@ use microtools::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Figure 14: fork-mode saturation on the dual-socket X5650 ------
     println!("── Figure 14: forked movaps streams from RAM (X5650) ──");
-    let mut opts = LauncherOptions::default();
-    opts.residence = Some(Level::Ram);
-    opts.verify = false;
+    let opts = LauncherOptions {
+        residence: Some(Level::Ram),
+        verify: false,
+        ..LauncherOptions::default()
+    };
     let program = programs_by_unroll(&load_stream(Mnemonic::Movaps, 8, 8))?.remove(0);
     let series = core_sweep(&opts, &program, 12)?;
     println!("{}", render_chart(std::slice::from_ref(&series), 64, 14, Scale::Log10));
@@ -31,9 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [(128 * 1024u64, "128k floats (Figure 17)"), (6_000_000, "6M floats (Figure 18)")]
     {
         println!("── OpenMP vs sequential: {label} ──");
-        let mut base_opts = LauncherOptions::default();
-        base_opts.machine = MachinePreset::SandyBridgeE31240;
-        base_opts.verify = false;
+        let base_opts = LauncherOptions {
+            machine: MachinePreset::SandyBridgeE31240,
+            verify: false,
+            ..LauncherOptions::default()
+        };
         let cmp =
             openmp_comparison(&base_opts, &load_stream(Mnemonic::Movss, 1, 8), elements, 4, 1)?;
         println!(
