@@ -1,0 +1,57 @@
+//! Criterion bench for adaptive repetition control: the full figure
+//! suite under the paper's fixed stability budget (8 outer experiments
+//! per point) versus the μOpTime-style adaptive controller (2..8).
+//! The evaluation cache is cleared per iteration so every point is
+//! measured live — the speedup is the controller's, not the cache's.
+//!
+//! `cargo bench -p mc-bench --bench adaptive` regenerates the numbers
+//! behind BENCH_pr6.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_bench::figures::{run_all, set_meta_budget};
+use mc_launcher::{set_adaptive_default, AdaptiveSampling};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Shared Criterion tuning: short windows keep the full-workspace bench
+/// suite tractable on small CI hosts while still collecting ≥10 samples.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5))
+        .configure_from_args()
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive");
+    group.sample_size(10);
+
+    group.bench_function("full_suite_fixed_budget8", |b| {
+        set_meta_budget(8);
+        set_adaptive_default(None);
+        b.iter(|| {
+            mc_launcher::batch::clear_cache();
+            black_box(run_all().unwrap())
+        });
+    });
+
+    group.bench_function("full_suite_adaptive_2to8", |b| {
+        set_meta_budget(8);
+        set_adaptive_default(Some(AdaptiveSampling { min_samples: 2, max_samples: 8 }));
+        b.iter(|| {
+            mc_launcher::batch::clear_cache();
+            black_box(run_all().unwrap())
+        });
+        set_adaptive_default(None);
+        set_meta_budget(0);
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_adaptive
+}
+criterion_main!(benches);

@@ -8,7 +8,14 @@
 //! reproduce --list           # list experiment keys
 //! reproduce --summary        # verdict lines only, no charts
 //! reproduce --csv-dir=out    # also write each experiment's series as CSV
+//! reproduce --adaptive       # adaptive repetition control (μOpTime)
 //! ```
+//!
+//! `--adaptive[=bool]` switches every experiment's sweeps to adaptive
+//! sampling: each point starts at `--min-samples` (default 2) outer
+//! experiments and grows geometrically only while unstable, capped at
+//! `--max-samples` (default 8). `MICROTOOLS_ADAPTIVE=bool|MIN..MAX`
+//! sets the same policy from the environment; explicit flags win.
 //!
 //! For each experiment the tool prints the regenerated data (terminal
 //! chart or table), the shape checks against the paper's claims as
@@ -21,7 +28,8 @@
 //! 0 ok, 2 usage, 3 evaluation failures over budget, 4 shape-check
 //! regression.
 
-use mc_bench::figures::{run_all, run_experiment, run_many, FigureResult};
+use mc_bench::figures::{quick_options, run_all, run_experiment, run_many, FigureResult};
+use mc_launcher::{set_adaptive_default, AdaptiveSampling, LauncherOptions};
 use mc_report::experiments::ExperimentId;
 use mc_report::series::render_chart;
 use mc_report::{CsvWriter, RunManifest};
@@ -40,6 +48,12 @@ fn write_csv(dir: &Path, r: &FigureResult, guard: &GuardSession) -> std::io::Res
     manifest.set("version", env!("CARGO_PKG_VERSION"));
     manifest.set("experiment", r.id.key());
     manifest.set("claim", r.id.paper_claim());
+    // Record the sampling policy the sweeps actually ran under, so
+    // `mc-report diff` can warn before comparing a fixed-budget baseline
+    // against an adaptive run (or vice versa).
+    let sampling = quick_options();
+    manifest.set("adaptive", if sampling.adaptive { "true" } else { "false" });
+    manifest.set("sampling", sampling.sampling_policy());
     if let Some(path) = &guard.checkpoint {
         manifest.set("checkpoint", path.clone());
         manifest.set("resumed_rows", guard.resumed.to_string());
@@ -109,11 +123,34 @@ fn main() -> ExitCode {
     code
 }
 
+fn parse_bool_flag(flag: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "1" | "true" | "yes" => Ok(true),
+        "0" | "false" | "no" => Ok(false),
+        other => Err(format!("{flag} expects a boolean, got `{other}`")),
+    }
+}
+
+fn parse_u32_flag(flag: &str, value: &str) -> Result<u32, String> {
+    value
+        .parse::<u32>()
+        .map_err(|_| format!("{flag} expects a non-negative integer, got `{value}`"))
+}
+
 fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
     let mut exp: Option<String> = None;
     let mut summary_only = false;
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
+    // Environment-derived sampling policy first; explicit flags win. The
+    // reproduce defaults (2..8) are tighter than the launcher's because
+    // the quick suite's fixed budget is only 3 outer experiments.
+    let mut sampling =
+        LauncherOptions { min_samples: 2, max_samples: 8, ..LauncherOptions::default() };
+    if let Err(e) = sampling.apply_adaptive_env() {
+        diag!("{e}");
+        return ExitCode::from(exitcode::USAGE);
+    }
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -125,6 +162,7 @@ fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
             }
             "--summary" => summary_only = true,
             "--quick" => quick = true,
+            "--adaptive" => sampling.adaptive = true,
             "--exp" => exp = iter.next().cloned(),
             other if other.starts_with("--exp=") => {
                 exp = Some(other.trim_start_matches("--exp=").to_owned());
@@ -132,12 +170,57 @@ fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
             other if other.starts_with("--csv-dir=") => {
                 csv_dir = Some(other.trim_start_matches("--csv-dir=").to_owned());
             }
+            other if other.starts_with("--adaptive=") => {
+                match parse_bool_flag("--adaptive", other.trim_start_matches("--adaptive=")) {
+                    Ok(v) => sampling.adaptive = v,
+                    Err(e) => {
+                        diag!("{e}");
+                        return ExitCode::from(exitcode::USAGE);
+                    }
+                }
+            }
+            other if other.starts_with("--min-samples=") => {
+                match parse_u32_flag("--min-samples", other.trim_start_matches("--min-samples=")) {
+                    Ok(v) => sampling.min_samples = v,
+                    Err(e) => {
+                        diag!("{e}");
+                        return ExitCode::from(exitcode::USAGE);
+                    }
+                }
+            }
+            other if other.starts_with("--max-samples=") => {
+                match parse_u32_flag("--max-samples", other.trim_start_matches("--max-samples=")) {
+                    Ok(v) => sampling.max_samples = v,
+                    Err(e) => {
+                        diag!("{e}");
+                        return ExitCode::from(exitcode::USAGE);
+                    }
+                }
+            }
             other => {
-                diag!("unknown argument `{other}` (try --list, --summary, --quick, --exp <key>)");
+                diag!(
+                    "unknown argument `{other}` (try --list, --summary, --quick, --adaptive, \
+                     --exp <key>)"
+                );
                 return ExitCode::from(exitcode::USAGE);
             }
         }
     }
+    if sampling.adaptive && sampling.max_samples > 0 && sampling.max_samples < sampling.min_samples
+    {
+        diag!("--max-samples must be >= --min-samples");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    // Install the policy process-wide; `quick_options()` folds it into
+    // every figure harness's sweep.
+    set_adaptive_default(if sampling.adaptive {
+        Some(AdaptiveSampling {
+            min_samples: sampling.min_samples.max(1),
+            max_samples: sampling.max_samples,
+        })
+    } else {
+        None
+    });
 
     let results: Vec<FigureResult> = match exp {
         Some(key) => {

@@ -53,15 +53,31 @@ impl FigureResult {
     }
 }
 
+/// The outer-experiment budget each figure harness runs with (0 = the
+/// quick default of 3). The adaptive-vs-fixed benchmark raises it to the
+/// paper's full stability budget so the comparison is honest: adaptive
+/// mode's savings only exist relative to the budget fixed mode pays.
+static META_BUDGET: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Overrides the outer-experiment budget for every subsequent
+/// [`quick_options`] caller. Pass 0 to restore the quick default.
+pub fn set_meta_budget(meta_repetitions: u32) {
+    META_BUDGET.store(meta_repetitions, std::sync::atomic::Ordering::SeqCst);
+}
+
 /// Launcher options tuned for harness throughput: the simulation is
-/// deterministic, so a handful of repetitions suffices.
+/// deterministic, so a handful of repetitions suffices. Applies the
+/// process-wide adaptive sampling default (`reproduce --adaptive`), so
+/// every figure's sweep inherits one sampling policy.
 pub fn quick_options() -> LauncherOptions {
+    let budget = META_BUDGET.load(std::sync::atomic::Ordering::SeqCst);
     LauncherOptions {
         repetitions: 4,
-        meta_repetitions: 3,
+        meta_repetitions: if budget > 0 { budget } else { 3 },
         verify: false,
         ..LauncherOptions::default()
     }
+    .with_adaptive_default()
 }
 
 /// Runs one experiment by id, under one `bench.experiment` span.

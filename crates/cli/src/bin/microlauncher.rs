@@ -31,7 +31,9 @@ fn usage() -> String {
          --jobs=N (parallel batch evaluation; MICROTOOLS_JOBS)\n  \
          --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast\n  \
          --checkpoint=PATH [--resume] (supervised execution; see README)\n  \
-         --trace=PATH --metrics --quiet (observability; see README)",
+         --trace=PATH --metrics --quiet (observability; see README)\n\
+         env: MICROTOOLS_ADAPTIVE=bool|MIN..MAX (adaptive sampling default; \
+         flags win)",
         LauncherOptions::OPTION_NAMES.join("\n  ")
     )
 }
@@ -99,7 +101,13 @@ fn run(mut args: Vec<String>) -> ExitCode {
         diag!("{}", usage());
         return ExitCode::from(exitcode::USAGE);
     };
-    let options = match LauncherOptions::from_args(&args[1..]) {
+    // Environment-derived defaults first, explicit flags on top.
+    let mut env_base = LauncherOptions::default();
+    if let Err(e) = env_base.apply_adaptive_env() {
+        diag!("{e}\n{}", usage());
+        return ExitCode::from(exitcode::USAGE);
+    }
+    let options = match LauncherOptions::from_args_over(env_base, &args[1..]) {
         Ok(o) => o,
         Err(e) => {
             diag!("{e}\n{}", usage());

@@ -261,6 +261,57 @@ fn hand_kernel(dir: &Path) -> PathBuf {
     path
 }
 
+#[test]
+fn adaptive_flags_and_env_reach_the_manifest() {
+    let dir = scratch("adaptive-cli");
+    let kernel = hand_kernel(&dir);
+    // Explicit flags: the manifest records the policy and every row
+    // carries the samples it actually used (quiet sim → the floor).
+    let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--adaptive")
+        .arg("--min-samples=2")
+        .arg("--max-samples=8")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# adaptive: true"), "{text}");
+    assert!(text.contains("# sampling: adaptive:2..8"), "{text}");
+    let row = text.lines().find(|l| l.ends_with(",ok")).expect("csv row");
+    assert!(row.ends_with(",2,ok"), "samples_used column: {row}");
+
+    // The environment variable sets the default…
+    let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .env("MICROTOOLS_ADAPTIVE", "2..8")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# sampling: adaptive:2..8"), "{text}");
+
+    // …and explicit flags beat it.
+    let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--adaptive=false")
+        .env("MICROTOOLS_ADAPTIVE", "1")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# adaptive: false"), "{text}");
+
+    // A malformed setting is a usage error, not a silent fallback.
+    let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .env("MICROTOOLS_ADAPTIVE", "sometimes")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Runs microlauncher on `kernel` and captures stdout as a CSV file.
 fn launch_csv(kernel: &Path, dir: &Path, name: &str, extra: &[&str]) -> PathBuf {
     let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
@@ -293,7 +344,10 @@ fn mc_report_diff_accepts_reruns_and_flags_perturbations() {
     assert!(text.contains("# aggregation: min"), "{text}");
     assert!(text.contains("# samples: 2"), "{text}");
     let header = text.lines().find(|l| l.starts_with("kernel,")).expect("csv header");
-    assert!(header.ends_with("bottleneck,bound_cycles,bound_share,status"), "{header}");
+    assert!(
+        header.ends_with("bottleneck,bound_cycles,bound_share,samples_used,status"),
+        "{header}"
+    );
     // The attribution also lands in the trace stream.
     let raw = std::fs::read_to_string(&trace).expect("trace written");
     assert!(raw.contains("insight.attribution"), "{raw}");

@@ -187,7 +187,11 @@ pub fn diff_documents(
     let new = load_document(new_text, "new")?;
 
     let mut warnings = Vec::new();
-    for key in ["machine", "options_hash", "seed", "experiment"] {
+    // `adaptive`/`sampling`/`samples` describe the measurement sampling
+    // policy: comparing a fixed-budget baseline against an adaptive run
+    // is legitimate, but the reader should know the sample counts differ.
+    for key in ["machine", "options_hash", "seed", "experiment", "adaptive", "sampling", "samples"]
+    {
         if let (Some(b), Some(n)) = (base.manifest.get(key), new.manifest.get(key)) {
             if b != n {
                 warnings.push(format!("manifest `{key}` differs: baseline `{b}` vs new `{n}`"));
@@ -379,6 +383,26 @@ mod tests {
         let new = base.replace("# seed: 42", "# seed: 43");
         let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
         assert!(report.warnings.iter().any(|w| w.contains("seed")), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn sampling_policy_mismatches_warn() {
+        // A fixed-budget baseline vs an adaptive re-run is comparable but
+        // worth flagging: the sample counts behind each point differ.
+        let with_sampling = |policy: &str, adaptive: &str| {
+            launcher_csv(&[("k1", 4.0, 0.01, "load-port")]).replace(
+                "# seed: 42\n",
+                &format!("# seed: 42\n# adaptive: {adaptive}\n# sampling: {policy}\n"),
+            )
+        };
+        let base = with_sampling("fixed:8", "false");
+        let new = with_sampling("adaptive:2..8", "true");
+        let report = diff_documents(&base, &new, &DiffOptions::default()).unwrap();
+        assert!(report.warnings.iter().any(|w| w.contains("sampling")), "{:?}", report.warnings);
+        assert!(report.warnings.iter().any(|w| w.contains("`adaptive`")), "{:?}", report.warnings);
+        // Same policy on both sides stays quiet.
+        let same = diff_documents(&base, &base, &DiffOptions::default()).unwrap();
+        assert!(same.warnings.is_empty(), "{:?}", same.warnings);
     }
 
     #[test]

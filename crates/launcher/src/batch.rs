@@ -246,6 +246,33 @@ mod tests {
     }
 
     #[test]
+    fn fixed_and_adaptive_queries_never_share_a_cache_entry() {
+        // The memo key hashes the full option surface, so the adaptive
+        // toggle and its bounds separate cache entries: a fixed-mode
+        // result (meta_repetitions samples) must never answer an adaptive
+        // query (which settles at min_samples on the quiet simulator).
+        let program = movaps_program(4);
+        let fixed_base = Arc::new(opts());
+        let adaptive_base =
+            Arc::new(LauncherOptions { adaptive: true, min_samples: 2, max_samples: 8, ..opts() });
+        let reports = run_batch(vec![
+            EvalPoint::new(program.clone(), fixed_base.clone()),
+            EvalPoint::new(program.clone(), adaptive_base.clone()),
+            EvalPoint::new(program.clone(), fixed_base.clone()),
+        ])
+        .unwrap();
+        assert_eq!(reports[0].samples_used, 3, "fixed mode pays the full budget");
+        assert!(!reports[0].adaptive);
+        assert_eq!(reports[1].samples_used, 2, "adaptive answer came from a fixed entry");
+        assert!(reports[1].adaptive);
+        assert_eq!(reports[2], reports[0]);
+        assert_eq!(
+            reports[0].cycles_per_iteration, reports[1].cycles_per_iteration,
+            "policies disagree only in sampling, not in the reported cycles"
+        );
+    }
+
+    #[test]
     fn per_point_errors_stay_per_point() {
         let good = movaps_program(2);
         let base = Arc::new(opts());

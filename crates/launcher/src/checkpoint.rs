@@ -38,6 +38,8 @@ pub fn report_to_fields(report: &RunReport) -> Vec<(String, Value)> {
         ("summary.median".into(), report.summary.median.into()),
         ("summary.stddev".into(), report.summary.stddev.into()),
         ("stable".into(), report.stable.into()),
+        ("samples_used".into(), report.samples_used.into()),
+        ("adaptive".into(), report.adaptive.into()),
         (
             "pin_cores".into(),
             report.pin_cores.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" ").into(),
@@ -167,6 +169,8 @@ pub fn report_from_fields(fields: &[(String, Value)]) -> Option<RunReport> {
         region_seconds: f64_field(fields, "region_seconds"),
         energy_nj_per_iteration: f64_field(fields, "energy_nj_per_iteration"),
         bottleneck,
+        samples_used: u64_field(fields, "samples_used")? as u32,
+        adaptive: bool_field(fields, "adaptive")?,
     })
 }
 
@@ -196,6 +200,24 @@ mod tests {
     }
 
     #[test]
+    fn an_adaptive_report_round_trips_with_its_sampling_fields() {
+        let desc = load_stream(mc_asm::Mnemonic::Movaps, 4, 4);
+        let p = MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
+        let opts = LauncherOptions {
+            repetitions: 2,
+            adaptive: true,
+            min_samples: 2,
+            max_samples: 6,
+            ..LauncherOptions::default()
+        };
+        let report = MicroLauncher::new(opts).run(&KernelInput::program(p)).unwrap();
+        assert!(report.adaptive);
+        let back = report_from_fields(&report_to_fields(&report)).expect("round trip");
+        assert_eq!(back, report);
+        assert_eq!(back.samples_used, report.samples_used);
+    }
+
+    #[test]
     fn round_trip_survives_the_journal_wire_format() {
         // Encode → JSONL line → decode, through the actual journal file.
         let report = real_report();
@@ -217,7 +239,7 @@ mod tests {
     fn missing_or_mistyped_fields_fail_the_decode() {
         let report = real_report();
         let fields = report_to_fields(&report);
-        for victim in ["name", "mode", "summary.min", "stable", "pin_cores"] {
+        for victim in ["name", "mode", "summary.min", "stable", "pin_cores", "samples_used"] {
             let pruned: Vec<_> = fields.iter().filter(|(k, _)| k != victim).cloned().collect();
             assert!(report_from_fields(&pruned).is_none(), "decoded without `{victim}`");
         }

@@ -72,12 +72,18 @@ pub struct RunReport {
     /// Bottleneck attribution: what the variant is bound on (simulated
     /// runs; native measurements carry no model decomposition).
     pub bottleneck: Option<Attribution>,
+    /// Outer experiments the measurement protocol actually executed
+    /// (fixed mode: `meta_repetitions`; adaptive mode: wherever growth
+    /// stopped between `min_samples` and `max_samples`).
+    pub samples_used: u32,
+    /// Whether adaptive repetition control produced this report.
+    pub adaptive: bool,
 }
 
 impl RunReport {
     /// CSV header matching [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
-        "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,seconds_full,min,median,max,stable,residence,verified,bottleneck,bound_cycles,bound_share,status"
+        "kernel,label,machine,mode,workers,cycles_per_iteration,energy_nj,seconds_full,min,median,max,stable,residence,verified,bottleneck,bound_cycles,bound_share,samples_used,status"
     }
 
     /// The CSV row for this run (§4.3: "The output of the launcher is a
@@ -86,7 +92,7 @@ impl RunReport {
     pub fn csv_row(&self) -> String {
         let mode = self.mode.name();
         format!(
-            "{},{},{},{},{},{:.4},{},{:.6e},{:.4},{:.4},{:.4},{},{},{},{},{},{},ok",
+            "{},{},{},{},{},{:.4},{},{:.6e},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},ok",
             self.name,
             self.label,
             self.machine.replace(',', ";"),
@@ -104,6 +110,7 @@ impl RunReport {
             self.bottleneck.as_ref().map_or("-", |a| a.class.name()),
             self.bottleneck.as_ref().map_or("-".to_owned(), |a| format!("{:.4}", a.bound_cycles)),
             self.bottleneck.as_ref().map_or("-".to_owned(), |a| format!("{:.2}", a.share())),
+            self.samples_used,
         )
     }
 
@@ -119,7 +126,7 @@ impl RunReport {
         status: &str,
     ) -> String {
         format!(
-            "{},{},{},{},{},-,-,-,-,-,-,-,{},-,-,-,-,{}",
+            "{},{},{},{},{},-,-,-,-,-,-,-,{},-,-,-,-,-,{}",
             name,
             label,
             options.machine.name().replace(',', ";"),
@@ -450,6 +457,8 @@ impl MicroLauncher {
                 ),
             ),
             bottleneck: Some(bottleneck),
+            samples_used: 1,
+            adaptive: false,
         })
     }
 
@@ -515,6 +524,8 @@ impl MicroLauncher {
             region_seconds: None,
             energy_nj_per_iteration: None,
             bottleneck: None,
+            samples_used: measurement.samples_used,
+            adaptive: measurement.adaptive,
         })
     }
 
@@ -549,6 +560,8 @@ impl MicroLauncher {
             region_seconds,
             energy_nj_per_iteration,
             bottleneck,
+            samples_used: measurement.samples_used,
+            adaptive: measurement.adaptive,
         }
     }
 }
@@ -599,7 +612,8 @@ mod tests {
         let row = r.csv_row();
         assert!(row.contains(",load-port,"), "{row}");
         assert!(row.ends_with(",ok"), "{row}");
-        let share: f64 = row.rsplit(',').nth(1).unwrap().parse().unwrap();
+        // Last three fields are bound_share, samples_used, status.
+        let share: f64 = row.rsplit(',').nth(2).unwrap().parse().unwrap();
         assert!((0.0..=1.0).contains(&share), "share {share}");
     }
 
@@ -611,6 +625,30 @@ mod tests {
         assert_eq!(row.split(',').count(), header_fields, "{row}");
         assert!(row.ends_with(",panic"), "{row}");
         assert!(row.starts_with("movaps_u8,movaps_u8,"), "{row}");
+    }
+
+    #[test]
+    fn adaptive_run_settles_early_and_matches_fixed_mode() {
+        // The simulator is quiet: adaptive mode must stop at the floor,
+        // report the same cycles as fixed mode, and record samples_used
+        // in the CSV row.
+        let fixed_opts = LauncherOptions::default();
+        let fixed = MicroLauncher::new(fixed_opts.clone()).run(&movaps_input(8)).unwrap();
+        assert_eq!(fixed.samples_used, fixed_opts.meta_repetitions);
+        assert!(!fixed.adaptive);
+
+        let adaptive_opts = LauncherOptions {
+            adaptive: true,
+            min_samples: 2,
+            max_samples: 8,
+            ..LauncherOptions::default()
+        };
+        let adaptive = MicroLauncher::new(adaptive_opts).run(&movaps_input(8)).unwrap();
+        assert!(adaptive.adaptive);
+        assert_eq!(adaptive.samples_used, 2, "quiet simulation settles at the floor");
+        assert_eq!(adaptive.cycles_per_iteration, fixed.cycles_per_iteration);
+        let row = adaptive.csv_row();
+        assert!(row.ends_with(",2,ok"), "samples_used lands in the CSV: {row}");
     }
 
     #[test]

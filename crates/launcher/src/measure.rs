@@ -3,7 +3,7 @@
 //! ```text
 //! overhead ← time of an empty call (minimum over a calibration loop)
 //! call kernel once                      # heat instruction & data caches
-//! for e in 0..meta_repetitions:         # outer loop: stability
+//! for e in 0..experiments:              # outer loop: stability
 //!     t0 ← clock
 //!     for r in 0..repetitions:          # inner loop: amplification
 //!         iterations += call kernel
@@ -15,6 +15,26 @@
 //! noise from the final calculation" (§4.5). The protocol is generic over
 //! the clock and the kernel call, so the simulated and native paths share
 //! it verbatim.
+//!
+//! ## Adaptive repetition control
+//!
+//! In fixed mode the outer loop always runs `meta_repetitions`
+//! experiments. Adaptive mode (μOpTime-style) starts from `min_samples`
+//! experiments and grows the count geometrically only while the samples'
+//! coefficient of variation exceeds `stability_threshold`, stopping at
+//! the `max_samples` ceiling. A quiet clock stabilizes at `min_samples`;
+//! a noisy one escalates toward the full budget. The number of
+//! experiments actually executed is reported as
+//! [`Measurement::samples_used`].
+//!
+//! ## Sample validity
+//!
+//! A sample whose timed window does not exceed the calibrated overhead
+//! (`elapsed ≤ overhead × repetitions`) carries no information about the
+//! kernel — it is dropped from aggregation and counted in
+//! [`Measurement::clamped_samples`] instead of being clamped to `0.0`
+//! (which `Aggregation::Min` would otherwise happily report as
+//! "0.00 cycles/iter"). A run whose samples *all* clamp is an error.
 
 use crate::clock::Clock;
 use crate::options::Aggregation;
@@ -26,7 +46,7 @@ use mc_report::stats::Summary;
 pub struct MeasureConfig {
     /// Inner repetitions per experiment.
     pub repetitions: u32,
-    /// Outer experiments.
+    /// Outer experiments (fixed mode).
     pub meta_repetitions: u32,
     /// Cache-heating calls before timing.
     pub warmup_runs: u32,
@@ -34,17 +54,44 @@ pub struct MeasureConfig {
     pub aggregation: Aggregation,
     /// Stability threshold on the samples' coefficient of variation.
     pub stability_threshold: f64,
+    /// Adaptive repetition control: grow the outer experiment count from
+    /// `min_samples` while the samples' CV exceeds the threshold.
+    pub adaptive: bool,
+    /// Smallest outer experiment count adaptive mode may settle on.
+    pub min_samples: u32,
+    /// Adaptive ceiling on outer experiments.
+    pub max_samples: u32,
 }
 
 impl MeasureConfig {
-    /// Builds from launcher options.
+    /// Builds from launcher options. `--max-samples=0` means "use the
+    /// fixed budget (`--meta-repetitions`) as the adaptive ceiling".
     pub fn from_options(o: &crate::options::LauncherOptions) -> Self {
+        let min_samples = o.min_samples.max(1);
+        let max_samples = if o.max_samples > 0 {
+            o.max_samples.max(min_samples)
+        } else {
+            o.meta_repetitions.max(1).max(min_samples)
+        };
         MeasureConfig {
             repetitions: o.repetitions.max(1),
             meta_repetitions: o.meta_repetitions.max(1),
             warmup_runs: if o.heat_cache { o.warmup_runs.max(1) } else { 0 },
             aggregation: o.aggregation,
             stability_threshold: o.stability_threshold,
+            adaptive: o.adaptive,
+            min_samples,
+            max_samples,
+        }
+    }
+
+    /// The outer-experiment budget: the most experiments this
+    /// configuration may execute.
+    pub fn sample_budget(&self) -> u32 {
+        if self.adaptive {
+            self.max_samples.max(self.min_samples).max(1)
+        } else {
+            self.meta_repetitions.max(1)
         }
     }
 }
@@ -52,7 +99,7 @@ impl MeasureConfig {
 /// Result of one measured kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
-    /// Cycles per iteration, per outer experiment.
+    /// Cycles per iteration, per valid outer experiment.
     pub samples: Vec<f64>,
     /// The aggregated (reported) cycles per iteration.
     pub cycles_per_iteration: f64,
@@ -66,6 +113,15 @@ pub struct Measurement {
     pub total_cycles: u64,
     /// Loop iterations executed per call.
     pub iterations_per_call: u64,
+    /// Outer experiments actually executed (equals `meta_repetitions` in
+    /// fixed mode; between `min_samples` and `max_samples` in adaptive
+    /// mode).
+    pub samples_used: u32,
+    /// Whether adaptive repetition control produced this measurement.
+    pub adaptive: bool,
+    /// Experiments dropped because overhead subtraction consumed the
+    /// entire timed window (see the module docs on sample validity).
+    pub clamped_samples: u32,
 }
 
 /// Runs the protocol. `call` executes the kernel once and returns the
@@ -107,56 +163,118 @@ where
         }
     }
 
-    let mut samples = Vec::with_capacity(cfg.meta_repetitions as usize);
+    let budget = cfg.sample_budget();
+    let mut target = if cfg.adaptive { cfg.min_samples.clamp(1, budget) } else { budget };
+    let mut samples = Vec::with_capacity(target as usize);
+    // One clock read per repetition when tracing; the buffer is reused
+    // across experiments so the timed window never sees an allocation.
+    let mut rep_marks: Vec<u64> =
+        Vec::with_capacity(if tracing { cfg.repetitions as usize } else { 0 });
     let mut total_cycles = 0u64;
-    for experiment in 0..cfg.meta_repetitions {
-        let t0 = clock.now_cycles();
-        let mut iterations = 0u64;
-        if tracing {
-            // Per-repetition timing events; the extra clock reads sit
-            // inside the timed window, so the trace shows where cycles
-            // went — the cost is only paid when a sink is installed.
-            let mut rep_start = t0;
-            for repetition in 0..cfg.repetitions {
-                iterations += call();
-                let now = clock.now_cycles();
-                mc_trace::event(
-                    "launcher.repetition",
-                    vec![
-                        ("experiment", u64::from(experiment).into()),
-                        ("repetition", u64::from(repetition).into()),
-                        ("cycles", (now - rep_start).into()),
-                    ],
-                );
-                rep_start = now;
+    let mut executed = 0u32;
+    let mut clamped = 0u32;
+    // Bug guard: `call()` must report the same trip count every time; a
+    // varying count means the amplification loop measured different work
+    // per repetition and the cycles-per-iteration division is meaningless.
+    let mut expected_per_call: Option<u64> = None;
+
+    loop {
+        while executed < target {
+            let experiment = executed;
+            let t0 = clock.now_cycles();
+            let mut iterations = 0u64;
+            if tracing {
+                // Buffer one clock read per repetition; the events are
+                // emitted only after `elapsed` is captured, so the sink
+                // cost cannot leak into the timed window.
+                rep_marks.clear();
+                for _ in 0..cfg.repetitions {
+                    iterations += call();
+                    rep_marks.push(clock.now_cycles());
+                }
+            } else {
+                for _ in 0..cfg.repetitions {
+                    iterations += call();
+                }
             }
-        } else {
-            for _ in 0..cfg.repetitions {
-                iterations += call();
+            let elapsed = clock.now_cycles() - t0;
+            total_cycles += elapsed;
+            executed += 1;
+            if iterations == 0 {
+                return Err("kernel reported zero iterations".into());
             }
-        }
-        let elapsed = clock.now_cycles() - t0;
-        total_cycles += elapsed;
-        if iterations == 0 {
-            return Err("kernel reported zero iterations".into());
-        }
-        iterations_per_call = iterations / u64::from(cfg.repetitions);
-        let net = (elapsed as f64 - overhead * f64::from(cfg.repetitions)).max(0.0);
-        let sample = net / iterations as f64;
-        if tracing {
-            mc_trace::event(
-                "launcher.experiment",
-                vec![
+            if iterations % u64::from(cfg.repetitions) != 0 {
+                return Err(format!(
+                    "inconsistent iteration counts within experiment {experiment}: \
+                     {iterations} total iterations do not divide across {} repetitions",
+                    cfg.repetitions
+                ));
+            }
+            let per_call = iterations / u64::from(cfg.repetitions);
+            match expected_per_call {
+                None => expected_per_call = Some(per_call),
+                Some(expected) if expected != per_call => {
+                    return Err(format!(
+                        "inconsistent iteration counts across experiments: \
+                         {expected} then {per_call} iterations per call"
+                    ));
+                }
+                Some(_) => {}
+            }
+            iterations_per_call = per_call;
+            let net = elapsed as f64 - overhead * f64::from(cfg.repetitions);
+            // A window the calibrated overhead swallows whole measures
+            // nothing; drop it instead of reporting 0 cycles/iteration.
+            let valid = net > 0.0;
+            if valid {
+                samples.push(net / iterations as f64);
+            } else {
+                clamped += 1;
+            }
+            if tracing {
+                let mut rep_start = t0;
+                for (repetition, &mark) in rep_marks.iter().enumerate() {
+                    mc_trace::event(
+                        "launcher.repetition",
+                        vec![
+                            ("experiment", u64::from(experiment).into()),
+                            ("repetition", (repetition as u64).into()),
+                            ("cycles", mark.saturating_sub(rep_start).into()),
+                        ],
+                    );
+                    rep_start = mark;
+                }
+                let mut fields = vec![
                     ("experiment", u64::from(experiment).into()),
                     ("cycles", elapsed.into()),
                     ("iterations", iterations.into()),
-                    ("cycles_per_iteration", sample.into()),
-                ],
-            );
+                ];
+                if valid {
+                    fields.push(("cycles_per_iteration", (net / iterations as f64).into()));
+                } else {
+                    fields.push(("clamped", true.into()));
+                }
+                mc_trace::event("launcher.experiment", fields);
+            }
         }
-        samples.push(sample);
+        if !cfg.adaptive || target >= budget {
+            break;
+        }
+        if stability::is_stable(&samples, cfg.stability_threshold) {
+            break;
+        }
+        // Still unstable: grow geometrically toward the ceiling.
+        target = target.saturating_mul(2).min(budget);
     }
 
+    if samples.is_empty() {
+        return Err(format!(
+            "all {executed} samples were zero-clamped: the calibrated overhead \
+             ({overhead} cycles × {} repetitions) exceeded every timed window — \
+             the noop calibration is slower than the kernel call",
+            cfg.repetitions
+        ));
+    }
     let summary = Summary::of(&samples).ok_or("no valid samples")?;
     let cycles_per_iteration =
         stability::aggregate(&samples, cfg.aggregation).ok_or("aggregation failed")?;
@@ -167,7 +285,7 @@ where
         mc_trace::event(
             "launcher.measure",
             vec![
-                ("experiments", u64::from(cfg.meta_repetitions).into()),
+                ("experiments", u64::from(executed).into()),
                 ("repetitions", u64::from(cfg.repetitions).into()),
                 ("overhead_cycles", overhead.into()),
                 ("min", summary.min.into()),
@@ -176,6 +294,9 @@ where
                 ("spread", (summary.max - summary.min).into()),
                 ("stable", stable.into()),
                 ("cycles_per_iteration", cycles_per_iteration.into()),
+                ("adaptive", cfg.adaptive.into()),
+                ("samples_used", u64::from(executed).into()),
+                ("clamped_samples", u64::from(clamped).into()),
             ],
         );
     }
@@ -188,6 +309,13 @@ where
         metrics.observe("launcher.cycles_per_iteration", cycles_per_iteration);
         metrics.observe("launcher.sample_spread", summary.max - summary.min);
         metrics.observe("launcher.overhead_cycles", overhead);
+        metrics.inc("launcher.timed_calls", u64::from(executed) * u64::from(cfg.repetitions));
+        if clamped > 0 {
+            metrics.inc("launcher.clamped_samples", u64::from(clamped));
+        }
+        if cfg.adaptive {
+            metrics.inc("launcher.samples_saved", u64::from(budget.saturating_sub(executed)));
+        }
     }
     Ok(Measurement {
         stable,
@@ -197,6 +325,9 @@ where
         overhead_cycles: overhead,
         total_cycles,
         iterations_per_call,
+        samples_used: executed,
+        adaptive: cfg.adaptive,
+        clamped_samples: clamped,
     })
 }
 
@@ -212,7 +343,14 @@ mod tests {
             warmup_runs: 1,
             aggregation: Aggregation::Min,
             stability_threshold: 0.05,
+            adaptive: false,
+            min_samples: 3,
+            max_samples: 0,
         }
+    }
+
+    fn adaptive_cfg(min: u32, max: u32) -> MeasureConfig {
+        MeasureConfig { adaptive: true, min_samples: min, max_samples: max, ..cfg() }
     }
 
     #[test]
@@ -234,6 +372,9 @@ mod tests {
         assert!(m.stable);
         assert_eq!(m.iterations_per_call, 100);
         assert_eq!(m.overhead_cycles, 50.0);
+        assert_eq!(m.samples_used, 5, "fixed mode runs the full budget");
+        assert!(!m.adaptive);
+        assert_eq!(m.clamped_samples, 0);
     }
 
     #[test]
@@ -336,5 +477,216 @@ mod tests {
         .unwrap();
         // 5 experiments × 8 reps × 1000 cycles.
         assert_eq!(m.total_cycles, 40_000);
+    }
+
+    // -- Zero-clamp bugfix ---------------------------------------------------
+
+    #[test]
+    fn noop_slower_than_kernel_is_an_error_not_zero() {
+        // Regression: a noop (500 cycles) slower than the kernel call
+        // (100 cycles) over-subtracts every window. The old protocol
+        // clamped each sample to 0.0 and Min aggregation reported
+        // "0.00 cycles/iter"; now the run fails loudly.
+        let clock = SimClock::new(1.0);
+        let err = measure(
+            &clock,
+            &cfg(),
+            || {
+                clock.advance_cycles(100);
+                10
+            },
+            || clock.advance_cycles(500),
+        )
+        .unwrap_err();
+        assert!(err.contains("zero-clamped"), "{err}");
+        assert!(err.contains("noop calibration is slower"), "{err}");
+    }
+
+    #[test]
+    fn partially_clamped_samples_are_dropped_from_aggregation() {
+        // One noisy overhead calibration: the first experiment's calls are
+        // cheaper than the calibrated overhead (its window clamps), the
+        // rest measure real work. Min aggregation must see only the valid
+        // samples — not a silent 0.0.
+        let clock = SimClock::new(1.0);
+        let calls = std::cell::Cell::new(0u32);
+        let m = measure(
+            &clock,
+            &cfg(),
+            || {
+                let n = calls.get();
+                calls.set(n + 1);
+                // warm-up call + experiment 0 (8 calls): cheaper than the
+                // 500-cycle overhead; later experiments: 700 cycles.
+                clock.advance_cycles(if n < 9 { 100 } else { 700 });
+                10
+            },
+            || clock.advance_cycles(500),
+        )
+        .unwrap();
+        assert_eq!(m.clamped_samples, 1, "{m:?}");
+        assert_eq!(m.samples.len(), 4, "dropped from aggregation, not zeroed");
+        // (700 − 500) / 10 = 20 cycles/iter from the valid windows.
+        assert!((m.cycles_per_iteration - 20.0).abs() < 1e-9, "{}", m.cycles_per_iteration);
+        assert_eq!(m.samples_used, 5, "clamped experiments still count as executed");
+    }
+
+    // -- Inconsistent-iterations bugfix --------------------------------------
+
+    #[test]
+    fn varying_iteration_counts_across_experiments_are_an_error() {
+        let clock = SimClock::new(1.0);
+        let calls = std::cell::Cell::new(0u32);
+        let err = measure(
+            &clock,
+            &cfg(),
+            || {
+                let n = calls.get();
+                calls.set(n + 1);
+                clock.advance_cycles(100);
+                // Warm-up + experiment 0 report 100; every later
+                // experiment reports 50 per call.
+                if n < 9 {
+                    100
+                } else {
+                    50
+                }
+            },
+            || {},
+        )
+        .unwrap_err();
+        assert!(err.contains("inconsistent iteration counts across experiments"), "{err}");
+        assert!(err.contains("100 then 50"), "{err}");
+    }
+
+    #[test]
+    fn varying_iteration_counts_within_an_experiment_are_an_error() {
+        let clock = SimClock::new(1.0);
+        let calls = std::cell::Cell::new(0u32);
+        let err = measure(
+            &clock,
+            &cfg(),
+            || {
+                let n = calls.get();
+                calls.set(n + 1);
+                clock.advance_cycles(100);
+                // One call in the middle of an experiment drops an
+                // iteration: the total no longer divides by repetitions.
+                if n == 4 {
+                    99
+                } else {
+                    100
+                }
+            },
+            || {},
+        )
+        .unwrap_err();
+        assert!(err.contains("inconsistent iteration counts within experiment"), "{err}");
+    }
+
+    // -- Adaptive repetition control -----------------------------------------
+
+    #[test]
+    fn adaptive_mode_stops_at_min_samples_on_a_quiet_clock() {
+        let clock = SimClock::new(1.0);
+        let m = measure(
+            &clock,
+            &adaptive_cfg(2, 16),
+            || {
+                clock.advance_cycles(800);
+                100
+            },
+            || {},
+        )
+        .unwrap();
+        assert_eq!(m.samples_used, 2, "quiet clock must settle at the floor");
+        assert!(m.adaptive);
+        assert!(m.stable);
+        assert!((m.cycles_per_iteration - 8.0).abs() < 1e-9, "{m:?}");
+    }
+
+    #[test]
+    fn adaptive_mode_matches_fixed_mode_on_a_quiet_clock() {
+        let run = |cfg: &MeasureConfig| {
+            let clock = SimClock::new(1.0);
+            measure(
+                &clock,
+                cfg,
+                || {
+                    clock.advance_cycles(1234);
+                    100
+                },
+                || clock.advance_cycles(34),
+            )
+            .unwrap()
+        };
+        let fixed = run(&MeasureConfig { meta_repetitions: 16, ..cfg() });
+        let adaptive = run(&adaptive_cfg(2, 16));
+        assert_eq!(fixed.cycles_per_iteration, adaptive.cycles_per_iteration);
+        assert!(adaptive.samples_used < fixed.samples_used);
+    }
+
+    #[test]
+    fn adaptive_mode_grows_geometrically_until_stable() {
+        // The first experiment is inflated 2×; with one outlier over an
+        // otherwise-flat sample set the CV is √(n−1)/(n+1): 0.333 at n=2,
+        // 0.346 at n=4, 0.294 at n=8 — so a 0.3 threshold forces exactly
+        // two doublings (2 → 4 → 8) before stability is declared, well
+        // short of the 32-sample ceiling.
+        let clock = SimClock::new(1.0);
+        let calls = std::cell::Cell::new(0u32);
+        let m = measure(
+            &clock,
+            &MeasureConfig { stability_threshold: 0.3, ..adaptive_cfg(2, 32) },
+            || {
+                let n = calls.get();
+                calls.set(n + 1);
+                // Warm-up + experiment 0: 2000 cycles; later calls: 1000.
+                clock.advance_cycles(if n < 9 { 2000 } else { 1000 });
+                10
+            },
+            || {},
+        )
+        .unwrap();
+        assert_eq!(m.samples_used, 8, "expected 2 → 4 → 8 growth: {m:?}");
+        assert!(m.stable);
+    }
+
+    #[test]
+    fn adaptive_mode_caps_at_the_ceiling_when_never_stable() {
+        let clock = SimClock::new(1.0);
+        let step = std::cell::Cell::new(0u64);
+        let m = measure(
+            &clock,
+            &MeasureConfig { stability_threshold: 0.01, ..adaptive_cfg(2, 8) },
+            || {
+                step.set(step.get() + 1);
+                clock.advance_cycles(100 + step.get() * 50);
+                10
+            },
+            || {},
+        )
+        .unwrap();
+        assert_eq!(m.samples_used, 8, "unstable run must stop at the ceiling");
+        assert!(!m.stable);
+    }
+
+    #[test]
+    fn single_sample_cv_cannot_terminate_growth_before_min_samples() {
+        // CV of one sample is 0 (trivially "stable"); the floor must
+        // still be honored — stability is only consulted once
+        // `min_samples` experiments have run.
+        let clock = SimClock::new(1.0);
+        let m = measure(
+            &clock,
+            &adaptive_cfg(3, 16),
+            || {
+                clock.advance_cycles(500);
+                10
+            },
+            || {},
+        )
+        .unwrap();
+        assert_eq!(m.samples_used, 3, "must not stop before the floor");
     }
 }

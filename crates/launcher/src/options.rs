@@ -144,6 +144,17 @@ pub struct LauncherOptions {
     pub repetitions: u32,
     /// Outer experiments (`--meta-repetitions`).
     pub meta_repetitions: u32,
+    /// Adaptive repetition control (`--adaptive`,
+    /// `MICROTOOLS_ADAPTIVE`): start from `--min-samples` outer
+    /// experiments and grow geometrically only while the samples' CV
+    /// exceeds `--stability-threshold`.
+    pub adaptive: bool,
+    /// Smallest outer experiment count adaptive mode may settle on
+    /// (`--min-samples`).
+    pub min_samples: u32,
+    /// Adaptive ceiling on outer experiments (`--max-samples`;
+    /// 0 = use `--meta-repetitions` as the ceiling).
+    pub max_samples: u32,
     /// Cache-heating runs before measuring (`--warmup`).
     pub warmup_runs: u32,
     /// Whether to heat instruction/data caches at all (`--heat-cache`).
@@ -223,6 +234,9 @@ impl Default for LauncherOptions {
             align_max: 0,
             repetitions: 32,
             meta_repetitions: 8,
+            adaptive: false,
+            min_samples: 3,
+            max_samples: 0,
             warmup_runs: 1,
             heat_cache: true,
             disable_interrupts: true,
@@ -251,7 +265,7 @@ impl Default for LauncherOptions {
 
 impl LauncherOptions {
     /// Every command-line option name, for `--help` and the >30 contract.
-    pub const OPTION_NAMES: [&'static str; 34] = [
+    pub const OPTION_NAMES: [&'static str; 37] = [
         "--function",
         "--nbvectors",
         "--label",
@@ -264,6 +278,9 @@ impl LauncherOptions {
         "--align-max",
         "--repetitions",
         "--meta-repetitions",
+        "--adaptive",
+        "--min-samples",
+        "--max-samples",
         "--warmup",
         "--heat-cache",
         "--disable-interrupts",
@@ -290,7 +307,17 @@ impl LauncherOptions {
 
     /// Parses `--key=value` / `--flag` arguments over the defaults.
     pub fn from_args<S: AsRef<str>>(args: &[S]) -> Result<LauncherOptions, String> {
-        let mut opts = LauncherOptions::default();
+        Self::from_args_over(LauncherOptions::default(), args)
+    }
+
+    /// Parses `--key=value` / `--flag` arguments over an explicit base —
+    /// used by the CLI tools so environment-derived defaults (e.g.
+    /// `MICROTOOLS_ADAPTIVE`) apply first and explicit flags win.
+    pub fn from_args_over<S: AsRef<str>>(
+        base: LauncherOptions,
+        args: &[S],
+    ) -> Result<LauncherOptions, String> {
+        let mut opts = base;
         for raw in args {
             let raw = raw.as_ref();
             let (key, value) = match raw.split_once('=') {
@@ -344,6 +371,9 @@ impl LauncherOptions {
                 }
                 "--repetitions" => opts.repetitions = parse_u32("count")?,
                 "--meta-repetitions" => opts.meta_repetitions = parse_u32("count")?,
+                "--adaptive" => opts.adaptive = parse_bool(value)?,
+                "--min-samples" => opts.min_samples = parse_u32("count")?,
+                "--max-samples" => opts.max_samples = parse_u32("count")?,
                 "--warmup" => opts.warmup_runs = parse_u32("count")?,
                 "--heat-cache" => opts.heat_cache = parse_bool(value)?,
                 "--disable-interrupts" => opts.disable_interrupts = parse_bool(value)?,
@@ -416,6 +446,69 @@ impl LauncherOptions {
         Ok(opts)
     }
 
+    /// Applies the `MICROTOOLS_ADAPTIVE` environment variable over these
+    /// options. Accepted values: a boolean (`1`/`true`/`0`/`false`/…)
+    /// toggling adaptive mode, or a `min..max` range (e.g. `2..8`) which
+    /// enables it with explicit bounds. Explicit `--adaptive` /
+    /// `--min-samples` / `--max-samples` flags parsed afterwards win.
+    pub fn apply_adaptive_env(&mut self) -> Result<(), String> {
+        match std::env::var("MICROTOOLS_ADAPTIVE") {
+            Ok(value) => self.apply_adaptive_setting(&value),
+            Err(_) => Ok(()),
+        }
+    }
+
+    /// Parses one `MICROTOOLS_ADAPTIVE`-style setting (see
+    /// [`LauncherOptions::apply_adaptive_env`]).
+    pub fn apply_adaptive_setting(&mut self, value: &str) -> Result<(), String> {
+        let value = value.trim();
+        if let Some((min, max)) = value.split_once("..") {
+            let min: u32 =
+                min.parse().map_err(|_| format!("MICROTOOLS_ADAPTIVE: invalid min `{min}`"))?;
+            let max: u32 =
+                max.parse().map_err(|_| format!("MICROTOOLS_ADAPTIVE: invalid max `{max}`"))?;
+            if max < min {
+                return Err(format!("MICROTOOLS_ADAPTIVE: empty range `{value}`"));
+            }
+            self.adaptive = true;
+            self.min_samples = min;
+            self.max_samples = max;
+            return Ok(());
+        }
+        self.adaptive = parse_bool(Some(value)).map_err(|e| format!("MICROTOOLS_ADAPTIVE: {e}"))?;
+        Ok(())
+    }
+
+    /// Applies the process-wide adaptive sampling default installed via
+    /// [`set_adaptive_default`], if any. Sweep drivers call this when
+    /// building their base options so one CLI flag (`reproduce
+    /// --adaptive`) reaches every figure's measurement loop.
+    pub fn with_adaptive_default(mut self) -> Self {
+        if let Some(policy) = adaptive_default() {
+            self.adaptive = true;
+            self.min_samples = policy.min_samples;
+            self.max_samples = policy.max_samples;
+        }
+        self
+    }
+
+    /// The sampling policy as a manifest string: `fixed:N` or
+    /// `adaptive:MIN..MAX` — what `mc-report diff` compares to warn when
+    /// two runs were sampled differently.
+    pub fn sampling_policy(&self) -> String {
+        if self.adaptive {
+            let min = self.min_samples.max(1);
+            let max = if self.max_samples > 0 {
+                self.max_samples.max(min)
+            } else {
+                self.meta_repetitions.max(1).max(min)
+            };
+            format!("adaptive:{min}..{max}")
+        } else {
+            format!("fixed:{}", self.meta_repetitions.max(1))
+        }
+    }
+
     /// The effective core frequency: explicit override or the machine's
     /// nominal.
     pub fn effective_frequency(&self) -> f64 {
@@ -453,8 +546,36 @@ impl LauncherOptions {
         // they can see how it was aggregated and over how many samples.
         m.set("aggregation", self.aggregation.name());
         m.set("samples", self.meta_repetitions.to_string());
+        m.set("adaptive", if self.adaptive { "true" } else { "false" });
+        m.set("sampling", self.sampling_policy());
         m
     }
+}
+
+/// A process-wide adaptive-sampling default: when installed, option sets
+/// built through [`LauncherOptions::with_adaptive_default`] run with
+/// adaptive repetition control using these bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSampling {
+    /// Smallest outer experiment count adaptive mode may settle on.
+    pub min_samples: u32,
+    /// Ceiling on outer experiments (0 = each option set's
+    /// `meta_repetitions`).
+    pub max_samples: u32,
+}
+
+static ADAPTIVE_DEFAULT: parking_lot::Mutex<Option<AdaptiveSampling>> =
+    parking_lot::Mutex::new(None);
+
+/// Installs (or clears, with `None`) the process-wide adaptive sampling
+/// default consulted by [`LauncherOptions::with_adaptive_default`].
+pub fn set_adaptive_default(policy: Option<AdaptiveSampling>) {
+    *ADAPTIVE_DEFAULT.lock() = policy;
+}
+
+/// The currently installed process-wide adaptive sampling default.
+pub fn adaptive_default() -> Option<AdaptiveSampling> {
+    *ADAPTIVE_DEFAULT.lock()
 }
 
 /// A small set of per-point overrides applied to a shared base
@@ -569,6 +690,7 @@ mod tests {
                 "--mode" => format!("{name}=fork"),
                 "--eval-library" => format!("{name}=sim"),
                 "--heat-cache"
+                | "--adaptive"
                 | "--disable-interrupts"
                 | "--verify"
                 | "--verify-cache"
@@ -649,6 +771,84 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.repetitions += 1;
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sampling_policies() {
+        // The memo cache and checkpoint journal key on this fingerprint:
+        // a cached fixed-mode result must never answer an adaptive query.
+        let fixed = LauncherOptions::default();
+        let adaptive = LauncherOptions { adaptive: true, ..LauncherOptions::default() };
+        assert_ne!(fixed.fingerprint(), adaptive.fingerprint());
+        let tighter = LauncherOptions { max_samples: 4, ..adaptive.clone() };
+        assert_ne!(adaptive.fingerprint(), tighter.fingerprint());
+    }
+
+    #[test]
+    fn adaptive_flags_parse() {
+        let o = LauncherOptions::from_args(&["--adaptive", "--min-samples=2", "--max-samples=16"])
+            .unwrap();
+        assert!(o.adaptive);
+        assert_eq!(o.min_samples, 2);
+        assert_eq!(o.max_samples, 16);
+        let off = LauncherOptions::from_args(&["--adaptive=false"]).unwrap();
+        assert!(!off.adaptive);
+    }
+
+    #[test]
+    fn adaptive_env_setting_parses_booleans_and_ranges() {
+        let mut o = LauncherOptions::default();
+        o.apply_adaptive_setting("1").unwrap();
+        assert!(o.adaptive);
+        o.apply_adaptive_setting("false").unwrap();
+        assert!(!o.adaptive);
+        o.apply_adaptive_setting("2..8").unwrap();
+        assert!(o.adaptive);
+        assert_eq!((o.min_samples, o.max_samples), (2, 8));
+        assert!(o.apply_adaptive_setting("8..2").is_err());
+        assert!(o.apply_adaptive_setting("maybe").is_err());
+    }
+
+    #[test]
+    fn env_derived_base_loses_to_explicit_flags() {
+        let mut base = LauncherOptions::default();
+        base.apply_adaptive_setting("2..8").unwrap();
+        let o = LauncherOptions::from_args_over(base, &["--adaptive=false"]).unwrap();
+        assert!(!o.adaptive, "explicit flags must override the environment");
+        assert_eq!(o.min_samples, 2, "non-conflicting env settings survive");
+    }
+
+    #[test]
+    fn sampling_policy_strings() {
+        let fixed = LauncherOptions::default();
+        assert_eq!(fixed.sampling_policy(), "fixed:8");
+        let adaptive = LauncherOptions {
+            adaptive: true,
+            min_samples: 2,
+            max_samples: 0,
+            ..LauncherOptions::default()
+        };
+        // max-samples 0 falls back to the fixed budget as the ceiling.
+        assert_eq!(adaptive.sampling_policy(), "adaptive:2..8");
+        let bounded = LauncherOptions { max_samples: 16, ..adaptive };
+        assert_eq!(bounded.sampling_policy(), "adaptive:2..16");
+    }
+
+    #[test]
+    fn adaptive_default_round_trips_through_options() {
+        // Process-global state: leave it as we found it.
+        let before = adaptive_default();
+        set_adaptive_default(Some(AdaptiveSampling { min_samples: 2, max_samples: 8 }));
+        let o = LauncherOptions::default().with_adaptive_default();
+        assert!(o.adaptive);
+        assert_eq!((o.min_samples, o.max_samples), (2, 8));
+        let m = o.manifest("t", "v");
+        assert_eq!(m.get("adaptive"), Some("true"));
+        assert_eq!(m.get("sampling"), Some("adaptive:2..8"));
+        set_adaptive_default(None);
+        let o = LauncherOptions::default().with_adaptive_default();
+        assert!(!o.adaptive, "cleared default leaves options fixed");
+        set_adaptive_default(before);
     }
 
     #[test]

@@ -158,4 +158,29 @@ mod tests {
         assert!(!is_stable(&[10.0, 15.0, 20.0], 0.05));
         assert!(!is_stable(&[], 0.05));
     }
+
+    #[test]
+    fn single_sample_is_trivially_stable() {
+        // CV of one sample is 0: the adaptive loop must therefore enforce
+        // its min-samples floor *before* consulting stability, or a
+        // single measurement would always terminate growth (covered by
+        // `measure::tests::single_sample_cv_cannot_terminate_growth_…`).
+        assert!(is_stable(&[42.0], 0.0));
+        assert!(is_stable(&[42.0], 0.05));
+    }
+
+    #[test]
+    fn all_zero_samples_are_never_stable() {
+        // mean == 0 → CV is INFINITY, which no finite threshold accepts —
+        // a degenerate run keeps the adaptive loop growing instead of
+        // passing a meaningless verdict.
+        assert!(!is_stable(&[0.0, 0.0, 0.0], 0.05));
+        assert!(!is_stable(&[0.0, 0.0, 0.0], 1e9));
+    }
+
+    #[test]
+    fn non_finite_samples_are_never_stable() {
+        assert!(!is_stable(&[1.0, f64::NAN], 0.05));
+        assert!(!is_stable(&[1.0, f64::INFINITY], 0.05));
+    }
 }

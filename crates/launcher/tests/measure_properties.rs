@@ -1,0 +1,58 @@
+//! Property tests for the measurement protocol's adaptive repetition
+//! control: over arbitrary bounds and quiet simulated kernels, the
+//! sample count must stay inside `[min_samples, max_samples]` and the
+//! aggregate must match fixed-budget mode exactly — adaptive sampling
+//! may only change how many experiments run, never what they conclude.
+
+use mc_launcher::measure::{measure, MeasureConfig};
+use mc_launcher::{Aggregation, SimClock};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn adaptive_respects_bounds_and_matches_fixed_on_quiet_clocks(
+        repetitions in 1u32..8,
+        min in 1u32..6,
+        span in 0u32..8,
+        cost in 1u64..5_000,
+        iters in 1u64..200,
+    ) {
+        let max = min + span;
+        let run = |adaptive: bool| {
+            let clock = SimClock::new(1.0);
+            let cfg = MeasureConfig {
+                repetitions,
+                meta_repetitions: max,
+                warmup_runs: 1,
+                aggregation: Aggregation::Min,
+                stability_threshold: 0.05,
+                adaptive,
+                min_samples: min,
+                max_samples: max,
+            };
+            measure(
+                &clock,
+                &cfg,
+                || {
+                    clock.advance_cycles(cost);
+                    iters
+                },
+                || {},
+            )
+            .unwrap()
+        };
+        let adaptive = run(true);
+        let fixed = run(false);
+        prop_assert!(adaptive.samples_used >= min, "below floor: {}", adaptive.samples_used);
+        prop_assert!(adaptive.samples_used <= max, "above ceiling: {}", adaptive.samples_used);
+        // A quiet clock yields identical per-experiment samples, so
+        // the adaptive aggregate matches fixed mode exactly.
+        prop_assert!(
+            (adaptive.cycles_per_iteration - fixed.cycles_per_iteration).abs() < 1e-12,
+            "adaptive {} vs fixed {}",
+            adaptive.cycles_per_iteration,
+            fixed.cycles_per_iteration
+        );
+        prop_assert_eq!(adaptive.iterations_per_call, fixed.iterations_per_call);
+    }
+}

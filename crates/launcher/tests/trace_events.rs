@@ -114,6 +114,88 @@ fn metrics_capture_launcher_and_simarch_tallies() {
     assert!(l1_hits > l1_misses, "L1-resident replay: {l1_hits} hits vs {l1_misses} misses");
 }
 
+/// A clock whose state a trace sink can also advance — models a host
+/// where emitting an event costs real time. `SimClock` can't catch the
+/// trace-skew bug because its reads and sink calls are free; here any
+/// event emitted *inside* the timed window inflates `elapsed`.
+struct SharedClock(std::sync::atomic::AtomicU64);
+
+impl mc_launcher::Clock for SharedClock {
+    fn now_cycles(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn nominal_ghz(&self) -> f64 {
+        1.0
+    }
+}
+
+impl SharedClock {
+    fn advance(&self, cycles: u64) {
+        self.0.fetch_add(cycles, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// A sink that charges the shared clock for every recorded event.
+struct TickingSink {
+    clock: Arc<SharedClock>,
+    cost_cycles: u64,
+}
+
+impl mc_trace::TraceSink for TickingSink {
+    fn record(&self, _event: &mc_trace::TraceEvent) {
+        self.clock.advance(self.cost_cycles);
+    }
+}
+
+#[test]
+fn event_emission_cost_stays_out_of_the_timed_window() {
+    // Regression for the trace-skew bug: per-repetition events used to be
+    // emitted between `t0` and the `elapsed` read, so a sink with any
+    // per-event cost changed the reported cycles. The protocol now
+    // buffers one clock mark per repetition and emits everything after
+    // `elapsed` is captured.
+    let _guard = tracer_lock();
+    use mc_launcher::measure::{measure, MeasureConfig};
+    use mc_launcher::options::Aggregation;
+
+    let cfg = MeasureConfig {
+        repetitions: 4,
+        meta_repetitions: 3,
+        warmup_runs: 1,
+        aggregation: Aggregation::Min,
+        stability_threshold: 0.05,
+        adaptive: false,
+        min_samples: 3,
+        max_samples: 0,
+    };
+    let run = |traced: bool| -> f64 {
+        let clock = Arc::new(SharedClock(std::sync::atomic::AtomicU64::new(0)));
+        if traced {
+            mc_trace::install(Arc::new(TickingSink { clock: clock.clone(), cost_cycles: 7 }));
+        }
+        let m = measure(
+            clock.as_ref(),
+            &cfg,
+            || {
+                clock.advance(1000);
+                100
+            },
+            || clock.advance(50),
+        )
+        .unwrap();
+        if traced {
+            mc_trace::uninstall();
+        }
+        m.cycles_per_iteration
+    };
+    let bare = run(false);
+    let traced = run(true);
+    // (1000 − 50) / 100 cycles per iteration, bit-identical either way.
+    assert_eq!(bare, 9.5);
+    assert_eq!(bare, traced, "sink cost leaked into the timed window");
+}
+
 #[test]
 fn untraced_run_matches_traced_run() {
     let _guard = tracer_lock();

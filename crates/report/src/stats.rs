@@ -145,6 +145,27 @@ mod tests {
     }
 
     #[test]
+    fn cv_of_single_sample_is_zero() {
+        // One sample has stddev 0, so its CV is 0 — "trivially stable".
+        // Adaptive measurement consumers must enforce their min-samples
+        // floor separately rather than trusting this verdict.
+        let s = Summary::of(&[7.5]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_of_zero_mean_is_infinite() {
+        // stddev/mean is undefined at mean 0; INFINITY fails every finite
+        // stability threshold, which is the conservative behavior the
+        // adaptive loop relies on.
+        let zero = Summary::of(&[0.0, 0.0]).unwrap();
+        assert_eq!(zero.cv(), f64::INFINITY);
+        // Mixed-sign samples cancelling to mean 0 behave the same.
+        let cancelling = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert_eq!(cancelling.cv(), f64::INFINITY);
+    }
+
+    #[test]
     fn percentiles() {
         let v: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(percentile(&v, 0.0), Some(1.0));
