@@ -33,16 +33,17 @@ use mc_launcher::{set_adaptive_default, AdaptiveSampling, LauncherOptions};
 use mc_report::experiments::ExperimentId;
 use mc_report::series::render_chart;
 use mc_report::{CsvWriter, RunManifest};
-use mc_tools::{exitcode, take_guard_flags, take_jobs_flag, GuardSession, TraceSession};
+use mc_tools::{
+    exitcode, take_guard_flags, take_jobs_flag, GuardSession, PulseSession, TraceSession,
+};
 use mc_trace::diag;
 use std::path::Path;
 use std::process::ExitCode;
 
-/// Writes one experiment's series as `<key>.csv` (columns: series, x, y),
-/// preceded by a `# key: value` provenance header. The write is atomic
-/// (temp file + rename), so a killed run leaves complete documents only.
-fn write_csv(dir: &Path, r: &FigureResult, guard: &GuardSession) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+/// One experiment's series as a CSV document (columns: series, x, y),
+/// preceded by a `# key: value` provenance header. The same text is
+/// written by `--csv-dir` and registered by `--register`.
+fn experiment_document(r: &FigureResult, guard: &GuardSession) -> String {
     let mut manifest = RunManifest::new();
     manifest.set("tool", "reproduce");
     manifest.set("version", env!("CARGO_PKG_VERSION"));
@@ -66,6 +67,13 @@ fn write_csv(dir: &Path, r: &FigureResult, guard: &GuardSession) -> std::io::Res
     }
     let mut document = manifest.render();
     document.push_str(&csv.finish());
+    document
+}
+
+/// Writes one experiment's document as `<key>.csv`. The write is atomic
+/// (temp file + rename), so a killed run leaves complete documents only.
+fn write_csv(dir: &Path, r: &FigureResult, document: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
     mc_report::atomic_write(&dir.join(format!("{}.csv", r.id.key())), document.as_bytes())
 }
 
@@ -118,7 +126,14 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(args, &guard);
+    let mut pulse = match PulseSession::from_flags(&mut args) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args, &guard, &mut pulse);
     session.finish();
     code
 }
@@ -137,7 +152,7 @@ fn parse_u32_flag(flag: &str, value: &str) -> Result<u32, String> {
         .map_err(|_| format!("{flag} expects a non-negative integer, got `{value}`"))
 }
 
-fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
+fn run(args: Vec<String>, guard: &GuardSession, pulse: &mut PulseSession) -> ExitCode {
     let mut exp: Option<String> = None;
     let mut summary_only = false;
     let mut quick = false;
@@ -222,6 +237,7 @@ fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
         None
     });
 
+    let input_label = exp.clone().unwrap_or_else(|| if quick { "quick" } else { "all" }.to_owned());
     let results: Vec<FigureResult> = match exp {
         Some(key) => {
             let Some(id) = ExperimentId::from_key(&key) else {
@@ -250,12 +266,14 @@ fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
 
     for r in &results {
         print_result(r, summary_only);
-        if let Some(dir) = &csv_dir {
-            if !r.series.is_empty() {
-                if let Err(e) = write_csv(Path::new(dir), r, guard) {
+        if (csv_dir.is_some() || pulse.active()) && !r.series.is_empty() {
+            let document = experiment_document(r, guard);
+            if let Some(dir) = &csv_dir {
+                if let Err(e) = write_csv(Path::new(dir), r, &document) {
                     diag!("could not write {}.csv: {e}", r.id.key());
                 }
             }
+            pulse.record_document(r.id.key(), &document);
         }
     }
 
@@ -263,11 +281,23 @@ fn run(args: Vec<String>, guard: &GuardSession) -> ExitCode {
     let passed: usize =
         results.iter().map(|r| r.outcome.checks.iter().filter(|c| c.passed).count()).sum();
     println!("════ {passed}/{total} shape checks passed across {} experiments ════", results.len());
-    if mc_guard::over_budget() {
-        ExitCode::from(exitcode::EVAL)
+    let code = if mc_guard::over_budget() {
+        exitcode::EVAL
     } else if passed == total {
-        ExitCode::from(exitcode::OK)
+        exitcode::OK
     } else {
-        ExitCode::from(exitcode::REGRESSION)
+        exitcode::REGRESSION
+    };
+    if pulse.active() {
+        let mut manifest = RunManifest::new();
+        manifest.set("tool", "reproduce");
+        manifest.set("input", input_label.as_str());
+        manifest.set("experiments", results.len().to_string());
+        manifest.set("checks_passed", passed.to_string());
+        manifest.set("checks_total", total.to_string());
+        let sampling_ran = quick_options();
+        manifest.set("adaptive", if sampling_ran.adaptive { "true" } else { "false" });
+        pulse.finish("reproduce", manifest, code);
     }
+    ExitCode::from(code)
 }

@@ -1,19 +1,43 @@
-//! `mc-report` — utilities over MicroTools CSV artifacts.
+//! `mc-report` — utilities over MicroTools CSV artifacts and the run
+//! registry.
 //!
 //! ```text
 //! mc-report diff <base.csv> <new.csv> [--threshold=FRACTION] [--top=N]
+//! mc-report history <series> [--registry=DIR] [--last=N] [--top=N]
+//! mc-report trend [--registry=DIR] [--last=N] [--top=N]
+//!                 [--threshold=FRACTION] [--json[=PATH]]
+//! mc-report import-bench <BENCH.json>... [--registry=DIR]
 //! ```
 //!
 //! `diff` joins two sweep CSVs (microlauncher output, or the
 //! `reproduce --csv-dir` series files) by their manifest-backed keys and
 //! flags every point that moved beyond its noise threshold, naming what
-//! each side was bound on. Exit code 0 means no regressions; 4 means at
-//! least one point regressed.
+//! each side was bound on. Provenance warnings go to stderr; stdout is
+//! the table alone. Exit code 0 means no regressions; 4 means at least
+//! one point regressed.
+//!
+//! `history` and `trend` read runs persisted by `--register` (root:
+//! `--registry=DIR`, else `MICROTOOLS_REGISTRY`, else `.microtools`).
+//! `history` lists one series' value across runs; `trend` joins every
+//! series, builds a noise band from each run's recorded stability
+//! spreads, and exits 4 when the latest run regressed beyond its band.
+//!
+//! `import-bench` backfills historical `BENCH_*.json` acceptance
+//! snapshots into the registry so trends start with history.
 
 use mc_insight::{diff_documents, render_diff, DiffOptions};
+use mc_pulse::{import_bench, Registry, TrendOptions};
 use mc_tools::{exitcode, split_args, take_flag, TraceSession};
 use mc_trace::diag;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: mc-report <command> [options]\n\
+  diff <base.csv> <new.csv>   [--threshold=FRACTION] [--top=N]\n\
+  history <series>            [--registry=DIR] [--last=N] [--top=N]\n\
+  trend                       [--registry=DIR] [--last=N] [--top=N]\n\
+                              [--threshold=FRACTION] [--json[=PATH]]\n\
+  import-bench <BENCH.json>.. [--registry=DIR]\n\
+common: [--trace=PATH] [--metrics] [--quiet]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,38 +54,81 @@ fn main() -> ExitCode {
     code
 }
 
-fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
-    const USAGE: &str = "usage: mc-report diff <base.csv> <new.csv> [--threshold=FRACTION] \
-                         [--top=N] [--trace=PATH] [--metrics] [--quiet]";
-    let mut opts = DiffOptions::default();
-    if let Some(v) = take_flag(&mut flags, "--threshold") {
+fn usage_error(message: &str) -> ExitCode {
+    diag!("{message}\n{USAGE}");
+    ExitCode::from(exitcode::USAGE)
+}
+
+fn run(flags: Vec<String>, positional: Vec<String>) -> ExitCode {
+    match positional.first().map(String::as_str) {
+        Some("diff") => diff(flags, &positional[1..]),
+        Some("history") => history(flags, &positional[1..]),
+        Some("trend") => trend(flags, &positional[1..]),
+        Some("import-bench") => import(flags, &positional[1..]),
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+        None => usage_error("missing command"),
+    }
+}
+
+/// Parses `--threshold`, `--top`, and `--last` into their slots; every
+/// command shares the same validation.
+struct NumFlags {
+    threshold: Option<f64>,
+    top: Option<usize>,
+    last: Option<usize>,
+}
+
+fn take_num_flags(flags: &mut Vec<String>) -> Result<NumFlags, String> {
+    let mut out = NumFlags { threshold: None, top: None, last: None };
+    if let Some(v) = take_flag(flags, "--threshold") {
         match v.parse::<f64>() {
-            Ok(t) if t.is_finite() && t >= 0.0 => opts.threshold = Some(t),
-            _ => {
-                diag!("--threshold: expected a non-negative fraction, got `{v}`\n{USAGE}");
-                return ExitCode::from(exitcode::USAGE);
+            Ok(t) if t.is_finite() && t >= 0.0 => out.threshold = Some(t),
+            _ => return Err(format!("--threshold: expected a non-negative fraction, got `{v}`")),
+        }
+    }
+    for (name, slot) in [("--top", &mut out.top), ("--last", &mut out.last)] {
+        if let Some(v) = take_flag(flags, name) {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => *slot = Some(n),
+                _ => return Err(format!("{name}: expected a positive count, got `{v}`")),
             }
         }
     }
-    if let Some(v) = take_flag(&mut flags, "--top") {
-        match v.parse::<usize>() {
-            Ok(n) if n > 0 => opts.top = n,
-            _ => {
-                diag!("--top: expected a positive count, got `{v}`\n{USAGE}");
-                return ExitCode::from(exitcode::USAGE);
-            }
-        }
+    Ok(out)
+}
+
+/// The registry the subcommand reads or writes: `--registry=DIR` flag,
+/// then the environment, then `.microtools`.
+fn take_registry(flags: &mut Vec<String>) -> Result<Registry, String> {
+    let flag = take_flag(flags, "--registry");
+    if flag.as_deref() == Some("") {
+        return Err("--registry requires a directory path".into());
     }
-    if let Some(unknown) = flags.first() {
-        diag!("unknown option `{unknown}`\n{USAGE}");
-        return ExitCode::from(exitcode::USAGE);
+    Ok(Registry::resolve(flag.as_deref()))
+}
+
+fn reject_unknown(flags: &[String]) -> Result<(), String> {
+    match flags.first() {
+        Some(unknown) => Err(format!("unknown option `{unknown}`")),
+        None => Ok(()),
     }
-    let (base_path, new_path) = match positional.as_slice() {
-        [command, base, new] if command == "diff" => (base.clone(), new.clone()),
-        _ => {
-            diag!("{USAGE}");
-            return ExitCode::from(exitcode::USAGE);
-        }
+}
+
+fn diff(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let nums = match take_num_flags(&mut flags) {
+        Ok(n) => n,
+        Err(e) => return usage_error(&e),
+    };
+    opts.threshold = nums.threshold;
+    if let Some(top) = nums.top {
+        opts.top = top;
+    }
+    if let Err(e) = reject_unknown(&flags) {
+        return usage_error(&e);
+    }
+    let [base_path, new_path] = positional else {
+        return usage_error("diff takes exactly two CSV paths");
     };
     let read = |path: &str| -> Result<String, ExitCode> {
         std::fs::read_to_string(path).map_err(|e| {
@@ -69,11 +136,11 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
             ExitCode::from(exitcode::USAGE)
         })
     };
-    let base = match read(&base_path) {
+    let base = match read(base_path) {
         Ok(text) => text,
         Err(code) => return code,
     };
-    let new = match read(&new_path) {
+    let new = match read(new_path) {
         Ok(text) => text,
         Err(code) => return code,
     };
@@ -88,10 +155,139 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
     span.field("points", report.entries.len());
     span.field("regressions", report.regressions().len());
     span.field("improvements", report.improvements().len());
+    // Provenance warnings are diagnostics: stderr, so piped stdout stays
+    // a clean table.
+    for warning in &report.warnings {
+        diag!("warning: {warning}");
+    }
     print!("{}", render_diff(&report, &opts));
     if report.regressions().is_empty() {
         ExitCode::from(exitcode::OK)
     } else {
         ExitCode::from(exitcode::REGRESSION)
     }
+}
+
+fn history(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
+    let nums = match take_num_flags(&mut flags) {
+        Ok(n) => n,
+        Err(e) => return usage_error(&e),
+    };
+    let registry = match take_registry(&mut flags) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    if let Err(e) = reject_unknown(&flags) {
+        return usage_error(&e);
+    }
+    let [series] = positional else {
+        return usage_error("history takes exactly one series filter (substring of doc:key)");
+    };
+    let runs = match mc_pulse::load_runs(&registry, nums.last) {
+        Ok(runs) => runs,
+        Err(e) => {
+            diag!("{}: {e}", registry.root().display());
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    if runs.is_empty() {
+        diag!("no registered runs under {} (run with --register first)", registry.root().display());
+        return ExitCode::from(exitcode::USAGE);
+    }
+    print!("{}", mc_pulse::render_history(&runs, series, nums.top.unwrap_or(20)));
+    ExitCode::from(exitcode::OK)
+}
+
+fn trend(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
+    let nums = match take_num_flags(&mut flags) {
+        Ok(n) => n,
+        Err(e) => return usage_error(&e),
+    };
+    let json = take_flag(&mut flags, "--json");
+    let registry = match take_registry(&mut flags) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    if let Err(e) = reject_unknown(&flags) {
+        return usage_error(&e);
+    }
+    if !positional.is_empty() {
+        return usage_error("trend takes no positional arguments");
+    }
+    let mut opts = TrendOptions { last: nums.last, ..TrendOptions::default() };
+    if let Some(floor) = nums.threshold {
+        opts.floor = floor;
+    }
+    if let Some(top) = nums.top {
+        opts.top = top;
+    }
+    let mut span = mc_trace::span("report.trend");
+    let runs = match mc_pulse::load_runs(&registry, opts.last) {
+        Ok(runs) => runs,
+        Err(e) => {
+            diag!("{}: {e}", registry.root().display());
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    if runs.is_empty() {
+        diag!("no registered runs under {} (run with --register first)", registry.root().display());
+        return ExitCode::from(exitcode::USAGE);
+    }
+    let report = mc_pulse::compute_trend(&runs, &opts);
+    span.field("runs", report.runs.len());
+    span.field("series", report.series.len());
+    span.field("regressions", report.regressions().len());
+    match json.as_deref() {
+        None => print!("{}", mc_pulse::render_trend(&report, &opts)),
+        Some("") => println!("{}", mc_pulse::trend_to_json(&report)),
+        Some(path) => {
+            let mut text = mc_pulse::trend_to_json(&report);
+            text.push('\n');
+            if let Err(e) = std::fs::write(path, text) {
+                diag!("--json: cannot write {path}: {e}");
+                return ExitCode::from(exitcode::USAGE);
+            }
+            print!("{}", mc_pulse::render_trend(&report, &opts));
+        }
+    }
+    if report.regressions().is_empty() {
+        ExitCode::from(exitcode::OK)
+    } else {
+        ExitCode::from(exitcode::REGRESSION)
+    }
+}
+
+fn import(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
+    let registry = match take_registry(&mut flags) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    if let Err(e) = reject_unknown(&flags) {
+        return usage_error(&e);
+    }
+    if positional.is_empty() {
+        return usage_error("import-bench takes one or more BENCH_*.json paths");
+    }
+    let mut imported = 0usize;
+    for path in positional {
+        let record = match import_bench(std::path::Path::new(path)) {
+            Ok(record) => record,
+            Err(e) => {
+                diag!("{e}");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        };
+        match registry.register(&record) {
+            Ok(run_id) => {
+                diag!("imported {path} as run {run_id} ({} points)", record.points.len());
+                imported += 1;
+            }
+            Err(e) => {
+                diag!("{path}: registration failed: {e}");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        }
+    }
+    diag!("{imported} snapshot(s) imported into {}", registry.root().display());
+    ExitCode::from(exitcode::OK)
 }

@@ -12,7 +12,9 @@
 
 use mc_creator::emit::{render_asm_unit, write_programs};
 use mc_creator::{CreatorConfig, MicroCreator};
-use mc_tools::{exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, TraceSession};
+use mc_tools::{
+    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, PulseSession, TraceSession,
+};
 use mc_trace::diag;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,7 +36,10 @@ options:
   --trace=PATH     stream trace events as JSONL to PATH (or `stderr`);
                    MICROTOOLS_TRACE / MICROTOOLS_TRACE_FILTER also apply
   --metrics        print the end-of-run pass-timing table to stderr
-  --quiet          suppress diagnostic messages";
+  --quiet          suppress diagnostic messages and progress displays
+  --register       persist this run in the registry (--registry=DIR,
+                   MICROTOOLS_REGISTRY, default .microtools)
+  --metrics-listen=ADDR  serve live OpenMetrics on ADDR";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,12 +51,19 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(flags, positional);
+    let mut pulse = match PulseSession::from_flags(&mut flags) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional, &mut pulse);
     session.finish();
     code
 }
 
-fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
+fn run(mut flags: Vec<String>, positional: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
     if let Err(e) = take_jobs_flag(&mut flags) {
         diag!("{e}");
         return ExitCode::from(exitcode::USAGE);
@@ -201,6 +213,16 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
                 }
             }
         }
+    }
+    // Generation produces no measurement CSV; the registered record is
+    // the manifest alone, so trend listings still show the run happened.
+    if pulse.active() {
+        let mut manifest = mc_report::RunManifest::new();
+        manifest.set("tool", "microcreator");
+        manifest.set("input", input.as_str());
+        manifest.set("programs", result.programs.len().to_string());
+        manifest.set("seed", creator.config().seed.to_string());
+        pulse.finish("microcreator", manifest, exitcode::OK);
     }
     ExitCode::from(exitcode::OK)
 }

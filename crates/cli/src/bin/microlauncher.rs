@@ -19,7 +19,9 @@
 use mc_creator::MicroCreator;
 use mc_launcher::launcher::RunReport;
 use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
-use mc_tools::{exitcode, guard_exit_code, take_guard_flags, take_jobs_flag, TraceSession};
+use mc_tools::{
+    exitcode, guard_exit_code, take_guard_flags, take_jobs_flag, PulseSession, TraceSession,
+};
 use mc_trace::diag;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -31,26 +33,28 @@ fn usage() -> String {
          --jobs=N (parallel batch evaluation; MICROTOOLS_JOBS)\n  \
          --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast\n  \
          --checkpoint=PATH [--resume] (supervised execution; see README)\n  \
-         --trace=PATH --metrics --quiet (observability; see README)\n\
+         --trace=PATH --metrics --quiet (observability; see README)\n  \
+         --register --registry=DIR (persist this run; see README)\n  \
+         --progress[=tty|jsonl|jsonl:PATH] --metrics-listen=ADDR (live view)\n\
          env: MICROTOOLS_ADAPTIVE=bool|MIN..MAX (adaptive sampling default; \
          flags win)",
         LauncherOptions::OPTION_NAMES.join("\n  ")
     )
 }
 
-/// Prints the `# key: value` provenance header ahead of the CSV header.
-/// `stable` is the run-level verdict: every emitted row passed the
+/// Builds the `# key: value` provenance header that precedes the CSV
+/// rows. `stable` is the run-level verdict: every emitted row passed the
 /// stability protocol. Diff tooling reads it to decide whether the
 /// document is a trustworthy baseline. Supervised runs also record how
 /// many evaluations failed terminally and how many were replayed from a
 /// `--resume` checkpoint.
-fn print_manifest(
+fn build_manifest(
     options: &LauncherOptions,
     input: &str,
     stable: bool,
     guard: &mc_tools::GuardSession,
     failures: usize,
-) {
+) -> mc_report::RunManifest {
     let mut manifest = options.manifest("microlauncher", env!("CARGO_PKG_VERSION"));
     manifest.set("input", input);
     manifest.set("stable", if stable { "true" } else { "false" });
@@ -64,7 +68,13 @@ fn print_manifest(
     if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
         manifest.set("timestamp_unix", elapsed.as_secs().to_string());
     }
-    print!("{}", manifest.render());
+    manifest
+}
+
+/// The registry document name for an input path: its file stem, so the
+/// same kernel file joins across registered runs.
+fn document_name(input: &str) -> String {
+    std::path::Path::new(input).file_stem().and_then(|s| s.to_str()).unwrap_or(input).to_owned()
 }
 
 fn main() -> ExitCode {
@@ -76,12 +86,21 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(args);
+    // After TraceSession: --quiet must already be in effect when the
+    // progress flags decide whether to install a sink.
+    let mut pulse = match PulseSession::from_flags(&mut args) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args, &mut pulse);
     session.finish();
     code
 }
 
-fn run(mut args: Vec<String>) -> ExitCode {
+fn run(mut args: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
         return ExitCode::from(exitcode::OK);
@@ -135,9 +154,16 @@ fn run(mut args: Vec<String>) -> ExitCode {
         let launcher = MicroLauncher::new(options.clone());
         return match launcher.run(&kernel_input) {
             Ok(report) => {
-                print_manifest(&options, input, report.stable, &guard, 0);
-                println!("{}", RunReport::csv_header());
-                println!("{}", report.csv_row());
+                let manifest = build_manifest(&options, input, report.stable, &guard, 0);
+                let document = format!(
+                    "{}{}\n{}\n",
+                    manifest.render(),
+                    RunReport::csv_header(),
+                    report.csv_row()
+                );
+                print!("{document}");
+                pulse.record_document(&document_name(input), &document);
+                pulse.finish("microlauncher", manifest, exitcode::OK);
                 ExitCode::from(exitcode::OK)
             }
             Err(e) => {
@@ -216,10 +242,17 @@ fn run(mut args: Vec<String>) -> ExitCode {
             }
         }
     }
-    print_manifest(&base, input, all_stable, &guard, failures);
-    println!("{}", RunReport::csv_header());
+    let manifest = build_manifest(&base, input, all_stable, &guard, failures);
+    let mut document = manifest.render();
+    document.push_str(RunReport::csv_header());
+    document.push('\n');
     for row in rows {
-        println!("{row}");
+        document.push_str(&row);
+        document.push('\n');
     }
-    ExitCode::from(guard_exit_code())
+    print!("{document}");
+    let code = guard_exit_code();
+    pulse.record_document(&document_name(input), &document);
+    pulse.finish("microlauncher", manifest, code);
+    ExitCode::from(code)
 }

@@ -23,7 +23,9 @@ use mc_report::table::{fmt_f, AsciiTable};
 use mc_simarch::config::Level;
 use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
 use mc_simarch::exec::{estimate, ExecEnv, Workload};
-use mc_tools::{exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, TraceSession};
+use mc_tools::{
+    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, PulseSession, TraceSession,
+};
 use mc_trace::diag;
 use std::process::ExitCode;
 
@@ -37,14 +39,22 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(flags, positional);
+    let mut pulse = match PulseSession::from_flags(&mut flags) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional, &mut pulse);
     session.finish();
     code
 }
 
-fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
+fn run(mut flags: Vec<String>, positional: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
     const USAGE: &str = "usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4] \
-                         [--explain] [--jobs=N] [--trace=PATH] [--metrics] [--quiet]";
+                         [--explain] [--jobs=N] [--trace=PATH] [--metrics] [--quiet] \
+                         [--register] [--registry=DIR] [--progress[=MODE]] [--metrics-listen=ADDR]";
     if let Err(e) = take_jobs_flag(&mut flags) {
         diag!("{e}\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
@@ -140,6 +150,16 @@ fn run(mut flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         }
     }
     drop(probe_span);
+    // The probe's product is its stdout report; the registered record is
+    // the manifest alone so the characterization run stays on the time
+    // axis alongside measured sweeps.
+    if pulse.active() {
+        let mut manifest = mc_report::RunManifest::new();
+        manifest.set("tool", "microprobe");
+        manifest.set("machine", preset.name());
+        manifest.set("input", preset.name());
+        pulse.finish("microprobe", manifest, exitcode::OK);
+    }
     ExitCode::from(exitcode::OK)
 }
 

@@ -11,8 +11,11 @@
 //! * **`microprobe`** — characterizes one of the Table 1 machine models:
 //!   hierarchy latencies/bandwidths, saturation knees, energy optima —
 //!   and, with `--explain`, names what the canonical kernels are bound on.
-//! * **`mc-report`** — CSV utilities: `diff` compares two run documents
-//!   by manifest provenance and flags movement beyond the noise band.
+//! * **`mc-report`** — CSV and registry utilities: `diff` compares two
+//!   run documents by manifest provenance and flags movement beyond the
+//!   noise band; `history`/`trend` read runs persisted by `--register`
+//!   and gate on cross-run regressions; `import-bench` backfills the
+//!   historical `BENCH_*.json` snapshots.
 //!
 //! The binaries are thin wrappers: everything they do is library API
 //! (`mc-creator`, `mc-launcher`, `mc-simarch`), so scripted studies can
@@ -266,10 +269,12 @@ impl TraceSession {
 
     /// Flushes the trace and, under `--metrics`, prints the end-of-run
     /// tables to stderr (stdout stays machine-readable: CSV, listings).
+    /// `--quiet` wins over `--metrics`: a quiet run prints no summary
+    /// tables, matching the diagnostics it already suppresses.
     pub fn finish(&self) {
         self.finished.store(true, std::sync::atomic::Ordering::Release);
         mc_trace::flush();
-        if !self.metrics {
+        if !self.metrics || mc_trace::quiet() {
             return;
         }
         let events = self.buffer.as_ref().map(|b| b.events()).unwrap_or_default();
@@ -298,6 +303,183 @@ impl Drop for TraceSession {
         // disk instead of dying in a BufWriter.
         if !*self.finished.get_mut() {
             mc_trace::flush();
+        }
+    }
+}
+
+/// How `--progress` renders, after validation.
+enum ProgressMode {
+    /// Repainted single line on stderr (only when stderr is a TTY).
+    Tty,
+    /// JSONL stream to stderr or a file.
+    Jsonl(Option<String>),
+}
+
+/// The mc-pulse flags every measuring binary shares, and the end-of-run
+/// registration they imply.
+///
+/// * `--register` — persist this run (manifest, extracted points,
+///   metrics snapshot) into the run registry; `mc-report history/trend`
+///   read it back. The registry root defaults to `.microtools`,
+///   overridden by `MICROTOOLS_REGISTRY` or `--registry=DIR` (which
+///   implies `--register`).
+/// * `--progress[=tty|jsonl|jsonl:PATH]` — live sweep progress. The
+///   default `tty` mode repaints one stderr status line (throughput,
+///   ETA, cache hit rate, failures) and auto-disables when stderr is not
+///   a terminal; `jsonl` streams deterministic progress records plus
+///   time-gated heartbeats. `--quiet` suppresses every progress display.
+/// * `--metrics-listen=ADDR` — serve the live metrics registry and
+///   progress gauges as OpenMetrics text on `ADDR` (e.g.
+///   `127.0.0.1:9464`; port 0 picks a free port) for the lifetime of the
+///   process.
+///
+/// Call [`PulseSession::finish`] with the run's manifest and exit code
+/// once the product output is complete.
+pub struct PulseSession {
+    registry: Option<mc_pulse::Registry>,
+    tty: Option<std::sync::Arc<mc_pulse::TtyProgress>>,
+    server: Option<mc_pulse::MetricsServer>,
+    documents: Vec<(String, String)>,
+    finished: bool,
+}
+
+impl PulseSession {
+    /// Extracts the pulse flags, installs progress sinks and the metrics
+    /// endpoint, and returns the session handle.
+    pub fn from_flags(flags: &mut Vec<String>) -> Result<PulseSession, String> {
+        use std::io::IsTerminal;
+        use std::sync::Arc;
+        let register = match take_flag(flags, "--register") {
+            None => false,
+            Some(v) if v.is_empty() => true,
+            Some(v) => return Err(format!("--register takes no value (got `{v}`)")),
+        };
+        let registry_flag = take_flag(flags, "--registry");
+        if registry_flag.as_deref() == Some("") {
+            return Err("--registry requires a directory path".into());
+        }
+        let progress = take_flag(flags, "--progress");
+        let listen = take_flag(flags, "--metrics-listen");
+
+        let mode = match progress.as_deref() {
+            None => None,
+            Some("") | Some("tty") => Some(ProgressMode::Tty),
+            Some("jsonl") => Some(ProgressMode::Jsonl(None)),
+            Some(v) if v.starts_with("jsonl:") => {
+                Some(ProgressMode::Jsonl(Some(v["jsonl:".len()..].to_owned())))
+            }
+            Some(other) => {
+                return Err(format!("--progress: unknown mode `{other}` (tty, jsonl, jsonl:PATH)"))
+            }
+        };
+
+        let registry = if register || registry_flag.is_some() {
+            // Registered records carry a metrics snapshot, so turn the
+            // registry on even without --metrics.
+            mc_trace::enable_metrics(true);
+            Some(mc_pulse::Registry::resolve(registry_flag.as_deref()))
+        } else {
+            None
+        };
+
+        let mut server = None;
+        match listen.as_deref() {
+            None => {}
+            Some("") => {
+                return Err("--metrics-listen requires an address (e.g. 127.0.0.1:9464)".into())
+            }
+            Some(addr) => {
+                mc_trace::enable_metrics(true);
+                let s = mc_pulse::MetricsServer::start(addr)
+                    .map_err(|e| format!("--metrics-listen: cannot bind {addr}: {e}"))?;
+                mc_trace::diag!("serving OpenMetrics on http://{}/", s.local_addr());
+                server = Some(s);
+            }
+        }
+
+        let mut tty = None;
+        if !mc_trace::quiet() {
+            match mode {
+                None => {}
+                // Off-TTY (redirected stderr, CI logs) the repainting
+                // line would be noise; auto-disable instead of erroring.
+                Some(ProgressMode::Tty) if std::io::stderr().is_terminal() => {
+                    let sink = Arc::new(mc_pulse::TtyProgress::new());
+                    mc_trace::install_progress(sink.clone());
+                    tty = Some(sink);
+                }
+                Some(ProgressMode::Tty) => {}
+                Some(ProgressMode::Jsonl(None)) => {
+                    mc_trace::install_progress(Arc::new(mc_pulse::JsonlProgress::new(
+                        std::io::stderr(),
+                    )));
+                }
+                Some(ProgressMode::Jsonl(Some(path))) => {
+                    let file = std::fs::File::create(&path)
+                        .map_err(|e| format!("--progress: cannot create {path}: {e}"))?;
+                    mc_trace::install_progress(Arc::new(mc_pulse::JsonlProgress::new(file)));
+                }
+            }
+        }
+
+        Ok(PulseSession { registry, tty, server, documents: Vec::new(), finished: false })
+    }
+
+    /// True when this run will be registered — callers can skip
+    /// assembling documents otherwise.
+    pub fn active(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Queues a produced CSV document (launcher or reproduce schema) for
+    /// point extraction at registration. No-op when not registering.
+    pub fn record_document(&mut self, name: &str, text: &str) {
+        if self.registry.is_some() {
+            self.documents.push((name.to_owned(), text.to_owned()));
+        }
+    }
+
+    /// Tears down live monitoring and, under `--register`, writes the
+    /// run record. Call once, after the product output is complete, with
+    /// the exit code the process is about to return.
+    pub fn finish(&mut self, tool: &str, manifest: mc_report::RunManifest, status: u8) {
+        self.finished = true;
+        mc_trace::uninstall_progress();
+        if let Some(tty) = &self.tty {
+            tty.clear();
+        }
+        let Some(registry) = &self.registry else { return };
+        let mut record =
+            mc_pulse::RunRecord::new(tool, env!("CARGO_PKG_VERSION"), i32::from(status), manifest);
+        for (name, text) in &self.documents {
+            if let Err(e) = record.add_document(name, text) {
+                mc_trace::diag!("pulse: cannot extract points from {name}: {e}");
+            }
+        }
+        record.metrics_text = mc_pulse::registry::snapshot_metrics();
+        match registry.register(&record) {
+            Ok(run_id) => {
+                mc_trace::diag!("registered run {run_id} in {}", registry.root().display());
+            }
+            Err(e) => mc_trace::diag!("pulse: registration failed: {e}"),
+        }
+    }
+
+    /// The OpenMetrics endpoint's bound address, when listening.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(mc_pulse::MetricsServer::local_addr)
+    }
+}
+
+impl Drop for PulseSession {
+    fn drop(&mut self) {
+        // A panic or early exit must not leave a progress sink installed
+        // or a half-painted status line on the terminal.
+        if !self.finished {
+            mc_trace::uninstall_progress();
+            if let Some(tty) = &self.tty {
+                tty.clear();
+            }
         }
     }
 }
@@ -419,5 +601,57 @@ mod tests {
         assert_eq!(take_flag(&mut flags, "--verbose"), Some(String::new()));
         assert_eq!(take_flag(&mut flags, "--missing"), None);
         assert!(flags.is_empty());
+    }
+
+    #[test]
+    fn pulse_flag_misuse_is_rejected_and_flags_are_consumed() {
+        let mut valued: Vec<String> = vec!["--register=yes".into(), "--other".into()];
+        let err = PulseSession::from_flags(&mut valued).err().unwrap();
+        assert!(err.contains("--register"), "{err}");
+        assert_eq!(valued, vec!["--other"]);
+
+        let mut empty_dir: Vec<String> = vec!["--registry".into()];
+        let err = PulseSession::from_flags(&mut empty_dir).err().unwrap();
+        assert!(err.contains("directory"), "{err}");
+        assert!(empty_dir.is_empty());
+
+        let mut bad_mode: Vec<String> = vec!["--progress=csv".into()];
+        let err = PulseSession::from_flags(&mut bad_mode).err().unwrap();
+        assert!(err.contains("csv"), "{err}");
+
+        let mut no_addr: Vec<String> = vec!["--metrics-listen".into()];
+        let err = PulseSession::from_flags(&mut no_addr).err().unwrap();
+        assert!(err.contains("address"), "{err}");
+    }
+
+    #[test]
+    fn pulse_session_without_flags_is_inert() {
+        let mut flags: Vec<String> = vec!["--other=1".into()];
+        let mut session = PulseSession::from_flags(&mut flags).unwrap();
+        assert!(!session.active());
+        assert!(session.metrics_addr().is_none());
+        session.record_document("ignored", "key,value\n");
+        assert!(session.documents.is_empty(), "no registry, nothing buffered");
+        // finish() without a registry is a no-op, not a panic.
+        session.finish("test", mc_report::RunManifest::new(), 0);
+        assert_eq!(flags, vec!["--other=1"]);
+    }
+
+    #[test]
+    fn registry_flag_implies_registration() {
+        let dir = std::env::temp_dir().join(format!("mc-cli-pulse-{}", std::process::id()));
+        let mut flags: Vec<String> = vec![format!("--registry={}", dir.display())];
+        let mut session = PulseSession::from_flags(&mut flags).unwrap();
+        assert!(session.active(), "--registry alone registers");
+        assert!(flags.is_empty());
+        session.record_document("doc", "not,a,launcher,csv\n");
+        let mut manifest = mc_report::RunManifest::new();
+        manifest.set("kernel", "t");
+        session.finish("test", manifest, 0);
+        let registry = mc_pulse::Registry::open(&dir);
+        let index = registry.load_index().unwrap();
+        assert_eq!(index.len(), 1, "run landed despite the unparseable document");
+        assert_eq!(index[0].tool, "test");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -364,7 +364,8 @@ fn mc_report_diff_accepts_reruns_and_flags_perturbations() {
     assert!(stdout.contains("0 regression(s)"), "{stdout}");
 
     // A slower core clock regresses the core-bound kernel, names what it
-    // is bound on, and exits FAILED.
+    // is bound on, and exits FAILED. Provenance warnings are diagnostics
+    // and go to stderr; piped stdout stays a clean table.
     let bad = Command::new(env!("CARGO_BIN_EXE_mc-report"))
         .arg("diff")
         .arg(&base)
@@ -372,10 +373,12 @@ fn mc_report_diff_accepts_reruns_and_flags_perturbations() {
         .output()
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&bad.stdout);
+    let stderr = String::from_utf8_lossy(&bad.stderr);
     assert_eq!(bad.status.code(), Some(4), "{stdout}");
     assert!(stdout.contains("REGRESSED"), "{stdout}");
     assert!(stdout.contains("worst regression"), "{stdout}");
-    assert!(stdout.contains("warning: manifest `options_hash` differs"), "{stdout}");
+    assert!(stderr.contains("warning: manifest `options_hash` differs"), "{stderr}");
+    assert!(!stdout.contains("warning:"), "warnings must not pollute stdout: {stdout}");
 
     // Usage errors exit 2.
     let usage = Command::new(env!("CARGO_BIN_EXE_mc-report")).output().expect("runs");
@@ -560,5 +563,183 @@ fn microcreator_random_selection_flag() {
         .output()
         .expect("runs");
     assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn registered_runs_feed_history_and_trend() {
+    let dir = scratch("pulse");
+    let kernel = hand_kernel(&dir);
+    let registry = dir.join("reg");
+    let registry_flag = format!("--registry={}", registry.display());
+    let launch = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+            .arg(&kernel)
+            .arg("--repetitions=2")
+            .arg("--meta-repetitions=2")
+            .arg(&registry_flag)
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    // Two identical runs: the content-derived ID collapses them to one
+    // stored record, while the index keeps both registrations.
+    let first = launch(&[]);
+    assert!(first.contains("registered run"), "{first}");
+    launch(&[]);
+    let stored: Vec<_> = std::fs::read_dir(registry.join("runs"))
+        .expect("runs dir")
+        .filter_map(Result::ok)
+        .collect();
+    assert_eq!(stored.len(), 1, "identical runs share one record");
+    let index = std::fs::read_to_string(registry.join("index.jsonl")).unwrap();
+    assert_eq!(index.lines().count(), 2, "…but both registrations are indexed");
+
+    // Two healthy runs: trend sees no regression and renders the series.
+    let trend = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_mc-report"))
+            .arg("trend")
+            .arg(&registry_flag)
+            .args(args)
+            .output()
+            .expect("binary runs")
+    };
+    let ok = trend(&[]);
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert_eq!(ok.status.code(), Some(0), "{stdout}\n{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(stdout.contains("2 registered run(s)"), "{stdout}");
+
+    // A degraded third run (slower core clock) regresses beyond the
+    // noise band: exit 4, and the verdict names the series.
+    launch(&["--frequency=1.6"]);
+    let bad = trend(&[]);
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(4), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // --json emits machine-readable output instead of the table.
+    let json_out = trend(&["--json"]);
+    let text = String::from_utf8_lossy(&json_out.stdout);
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.contains("\"regressions\""), "{text}");
+
+    // history lists one series' value across the registrations.
+    let hist = Command::new(env!("CARGO_BIN_EXE_mc-report"))
+        .arg("history")
+        .arg("hand")
+        .arg(&registry_flag)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&hist.stdout);
+    assert_eq!(hist.status.code(), Some(0), "{stdout}\n{}", String::from_utf8_lossy(&hist.stderr));
+    assert!(stdout.contains("hand"), "{stdout}");
+
+    // An empty registry is a usage error, not an empty success.
+    let empty = Command::new(env!("CARGO_BIN_EXE_mc-report"))
+        .arg("trend")
+        .arg(format!("--registry={}", dir.join("nothing").display()))
+        .output()
+        .expect("binary runs");
+    assert_eq!(empty.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn progress_jsonl_is_byte_stable_across_job_counts() {
+    let dir = scratch("progress");
+    let xml = figure6_xml_file(&dir);
+    let run = |jobs: &str, name: &str| -> String {
+        let path = dir.join(name);
+        let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+            .arg(&xml)
+            .arg("--repetitions=2")
+            .arg("--meta-repetitions=2")
+            .arg("--verify=false")
+            .arg(jobs)
+            .arg(format!("--progress=jsonl:{}", path.display()))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        std::fs::read_to_string(&path).expect("progress stream written")
+    };
+    let serial = run("--jobs=1", "serial.jsonl");
+    let parallel = run("--jobs=8", "parallel.jsonl");
+    // Heartbeats carry wall-clock state; everything else is emitted from
+    // the sink's own monotonic accounting and must not depend on worker
+    // scheduling.
+    assert_eq!(
+        mc_pulse::strip_heartbeats(&serial),
+        mc_pulse::strip_heartbeats(&parallel),
+        "deterministic records differ between --jobs=1 and --jobs=8"
+    );
+    let stripped = mc_pulse::strip_heartbeats(&serial);
+    assert!(stripped.starts_with("{\"kind\":\"batch\",\"total\":510}"), "{stripped}");
+    assert!(stripped.contains("{\"kind\":\"end\",\"done\":510"), "{stripped}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quiet_silences_progress_heartbeats_and_summaries() {
+    let dir = scratch("quiet");
+    let kernel = hand_kernel(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_microlauncher"))
+        .arg(&kernel)
+        .arg("--repetitions=2")
+        .arg("--meta-repetitions=2")
+        .arg("--quiet")
+        .arg("--progress=jsonl")
+        .arg("--metrics")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.is_empty(), "--quiet must silence progress and tables: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("# tool: microlauncher"), "product output unaffected: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn import_bench_backfills_snapshots_into_the_registry() {
+    let dir = scratch("import");
+    let registry = dir.join("reg");
+    let registry_flag = format!("--registry={}", registry.display());
+    let snapshot = dir.join("BENCH_seed.json");
+    std::fs::write(
+        &snapshot,
+        r#"{"bench":"exec sweep","results":[
+            {"config":"serial","sweep_ms":0.7},
+            {"config":"parallel","sweep_ms":0.2}],
+           "acceptance":{"pass":true}}"#,
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_mc-report"))
+        .arg("import-bench")
+        .arg(&snapshot)
+        .arg(&registry_flag)
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("imported"), "{stderr}");
+    let hist = Command::new(env!("CARGO_BIN_EXE_mc-report"))
+        .arg("history")
+        .arg("serial")
+        .arg(&registry_flag)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&hist.stdout);
+    assert_eq!(hist.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("BENCH_seed"), "{stdout}");
+    // A missing snapshot is a usage error.
+    let missing = Command::new(env!("CARGO_BIN_EXE_mc-report"))
+        .arg("import-bench")
+        .arg(dir.join("nope.json"))
+        .arg(&registry_flag)
+        .output()
+        .expect("binary runs");
+    assert_eq!(missing.status.code(), Some(2));
     std::fs::remove_dir_all(&dir).ok();
 }

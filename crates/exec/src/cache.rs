@@ -59,11 +59,13 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         if let Some(value) = shard.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.tick("hit");
+            mc_trace::progress_cache_hit();
             return Ok(value);
         }
         let value = f()?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.tick("miss");
+        mc_trace::progress_cache_miss();
         shard.lock().entry(key).or_insert_with(|| value.clone());
         Ok(value)
     }

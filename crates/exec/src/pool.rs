@@ -45,6 +45,8 @@ impl ExecEngine {
         let mut span = mc_trace::span("exec.batch");
         span.field("points", points as u64);
         span.field("workers", workers as u64);
+        mc_trace::progress_batch_started(points as u64);
+        record_batch_admitted(points, workers);
         let start = Instant::now();
         let busy_nanos = AtomicU64::new(0);
 
@@ -55,6 +57,7 @@ impl ExecEngine {
                     let t0 = Instant::now();
                     let r = f(item);
                     busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    mc_trace::progress_point_done();
                     r
                 })
                 .collect();
@@ -82,6 +85,7 @@ impl ExecEngine {
                                 busy_nanos
                                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                                 *slots[index].lock() = Some(r);
+                                mc_trace::progress_point_done();
                             }
                         });
                     }
@@ -94,7 +98,8 @@ impl ExecEngine {
         };
 
         let wall = start.elapsed();
-        record_batch(points, workers, wall.as_secs_f64(), busy_nanos.into_inner());
+        record_batch(workers, wall.as_secs_f64(), busy_nanos.into_inner());
+        mc_trace::progress_batch_finished();
         span.field("wall_ms", wall.as_secs_f64() * 1e3);
         results
     }
@@ -115,9 +120,9 @@ fn next_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T
     })
 }
 
-/// Pool telemetry: batch counters, worker gauge, utilization (busy time
-/// over `workers × wall`), and the per-batch wall-time histogram.
-fn record_batch(points: usize, workers: usize, wall_seconds: f64, busy_nanos: u64) {
+/// Batch admission telemetry, recorded when the batch *starts* so a live
+/// metrics scrape mid-sweep already sees the submitted point count.
+fn record_batch_admitted(points: usize, workers: usize) {
     if !mc_trace::metrics_enabled() {
         return;
     }
@@ -125,6 +130,15 @@ fn record_batch(points: usize, workers: usize, wall_seconds: f64, busy_nanos: u6
     m.inc("exec.batch.count", 1);
     m.inc("exec.batch.points", points as u64);
     m.gauge_set("exec.pool.workers", workers as f64);
+}
+
+/// End-of-batch telemetry: utilization (busy time over `workers × wall`)
+/// and the per-batch wall-time histogram.
+fn record_batch(workers: usize, wall_seconds: f64, busy_nanos: u64) {
+    if !mc_trace::metrics_enabled() {
+        return;
+    }
+    let m = mc_trace::metrics();
     let capacity = workers as f64 * wall_seconds;
     if capacity > 0.0 {
         m.gauge_set("exec.pool.utilization", (busy_nanos as f64 / 1e9 / capacity).min(1.0));

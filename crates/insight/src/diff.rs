@@ -101,15 +101,37 @@ impl DiffReport {
     }
 }
 
-/// One side of the diff after schema detection.
-struct Document {
-    manifest: RunManifest,
-    /// key → (value, own relative spread, bottleneck name)
-    points: Vec<(String, f64, f64, String)>,
-    unstable_rows: usize,
+/// One extracted measurement point.
+///
+/// The `key` is the diff join key (`kernel|label|mode|workers` for
+/// launcher CSVs, `series|x` for reproduce CSVs); the same keys index
+/// mc-pulse's cross-run registry so history joins line up with diffs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Join key.
+    pub key: String,
+    /// The measured value (`cycles_per_iteration` or `y`).
+    pub value: f64,
+    /// Own relative replication spread (`(max − min) / median`; zero
+    /// when the schema carries no per-row samples).
+    pub spread: f64,
+    /// Whether the row's replication met the stability criterion.
+    pub stable: bool,
+    /// Bottleneck class name (`-` when unknown).
+    pub bottleneck: String,
+}
+
+/// One parsed CSV document after schema detection.
+pub struct SweepDoc {
+    /// Provenance read back from the `# key: value` comment block.
+    pub manifest: RunManifest,
+    /// Every successfully measured point.
+    pub points: Vec<SweepPoint>,
+    /// Rows whose `stable` column reads `false`.
+    pub unstable_rows: usize,
     /// Rows whose `status` column marks a failed evaluation — excluded
-    /// from the comparison, surfaced as a warning.
-    failed_rows: usize,
+    /// from the points, surfaced as a warning.
+    pub failed_rows: usize,
 }
 
 fn cell(table: &CsvTable, row: &[String], name: &str) -> Option<String> {
@@ -120,7 +142,9 @@ fn numeric_cell(table: &CsvTable, row: &[String], name: &str) -> Option<f64> {
     cell(table, row, name).and_then(|v| v.parse().ok())
 }
 
-fn load_document(text: &str, label: &str) -> Result<Document, String> {
+/// Parses a sweep CSV (launcher or reproduce schema) into its manifest
+/// and measurement points. `label` names the document in error messages.
+pub fn load_document(text: &str, label: &str) -> Result<SweepDoc, String> {
     let table = CsvTable::parse(text).map_err(|e| format!("{label}: {e}"))?;
     let manifest = RunManifest::from_comments(&table.comments);
     let mut points = Vec::new();
@@ -151,13 +175,14 @@ fn load_document(text: &str, label: &str) -> Result<Document, String> {
                 (Some(min), Some(median), Some(max)) if median > 0.0 => (max - min) / median,
                 _ => 0.0,
             };
-            if cell(&table, row, "stable").as_deref() == Some("false") {
+            let stable = cell(&table, row, "stable").as_deref() != Some("false");
+            if !stable {
                 unstable_rows += 1;
             }
             let bottleneck = cell(&table, row, "bottleneck")
                 .filter(|b| BottleneckClass::from_name(b).is_some())
                 .unwrap_or_else(|| "-".to_owned());
-            points.push((key, value, spread, bottleneck));
+            points.push(SweepPoint { key, value, spread, stable, bottleneck });
         }
     } else if table.column("y").is_some() {
         for row in &table.rows {
@@ -167,14 +192,20 @@ fn load_document(text: &str, label: &str) -> Result<Document, String> {
                 .collect::<Vec<_>>()
                 .join("|");
             let Some(value) = numeric_cell(&table, row, "y") else { continue };
-            points.push((key, value, 0.0, "-".to_owned()));
+            points.push(SweepPoint {
+                key,
+                value,
+                spread: 0.0,
+                stable: true,
+                bottleneck: "-".to_owned(),
+            });
         }
     } else {
         return Err(format!(
             "{label}: unrecognized schema (want a `cycles_per_iteration` or `y` column)"
         ));
     }
-    Ok(Document { manifest, points, unstable_rows, failed_rows })
+    Ok(SweepDoc { manifest, points, unstable_rows, failed_rows })
 }
 
 /// Diffs two CSV documents (baseline first).
@@ -215,37 +246,36 @@ pub fn diff_documents(
 
     // The global noise floor: twice the p95 of the baseline's own
     // replication spreads (zero when no row carries samples).
-    let spreads: Vec<f64> = base.points.iter().map(|p| p.2).collect();
+    let spreads: Vec<f64> = base.points.iter().map(|p| p.spread).collect();
     let noise_floor = 2.0 * percentile(&spreads, 95.0).unwrap_or(0.0);
     let floor = opts.threshold.unwrap_or(DEFAULT_FLOOR);
 
     let mut entries = Vec::new();
     let mut missing_in_new = Vec::new();
-    for (key, base_value, base_spread, base_bn) in &base.points {
-        let Some((_, new_value, new_spread, new_bn)) = new.points.iter().find(|(k, ..)| k == key)
-        else {
-            missing_in_new.push(key.clone());
+    for bp in &base.points {
+        let Some(np) = new.points.iter().find(|p| p.key == bp.key) else {
+            missing_in_new.push(bp.key.clone());
             continue;
         };
-        if *base_value <= 0.0 {
+        if bp.value <= 0.0 {
             continue;
         }
-        let threshold = floor.max(2.0 * base_spread.max(*new_spread)).max(noise_floor);
+        let threshold = floor.max(2.0 * bp.spread.max(np.spread)).max(noise_floor);
         entries.push(DiffEntry {
-            key: key.clone(),
-            base: *base_value,
-            new: *new_value,
-            delta_rel: (new_value - base_value) / base_value,
+            key: bp.key.clone(),
+            base: bp.value,
+            new: np.value,
+            delta_rel: (np.value - bp.value) / bp.value,
             threshold,
-            bottleneck_base: base_bn.clone(),
-            bottleneck_new: new_bn.clone(),
+            bottleneck_base: bp.bottleneck.clone(),
+            bottleneck_new: np.bottleneck.clone(),
         });
     }
     let added_in_new = new
         .points
         .iter()
-        .filter(|(k, ..)| !base.points.iter().any(|(bk, ..)| bk == k))
-        .map(|(k, ..)| k.clone())
+        .filter(|p| !base.points.iter().any(|bp| bp.key == p.key))
+        .map(|p| p.key.clone())
         .collect();
     entries.sort_by(|a, b| {
         b.delta_rel
@@ -259,11 +289,12 @@ pub fn diff_documents(
 }
 
 /// Renders the top-N movers as an ASCII table plus a one-line verdict.
+///
+/// Warnings are *not* part of the rendering: they are diagnostics, and
+/// callers route them to stderr (see `mc-report diff`) so stdout stays a
+/// clean, machine-readable report.
 pub fn render_diff(report: &DiffReport, opts: &DiffOptions) -> String {
     let mut out = String::new();
-    for warning in &report.warnings {
-        out.push_str(&format!("warning: {warning}\n"));
-    }
     let mut table = AsciiTable::new(vec!["point", "base", "new", "delta", "threshold", "bound on"]);
     for entry in report.entries.iter().take(opts.top) {
         let verdict = if entry.is_regression() {

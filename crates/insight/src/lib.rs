@@ -21,4 +21,7 @@ pub mod attribution;
 pub mod diff;
 
 pub use attribution::{attribute, Attribution, BottleneckClass};
-pub use diff::{diff_documents, render_diff, DiffEntry, DiffOptions, DiffReport};
+pub use diff::{
+    diff_documents, load_document, render_diff, DiffEntry, DiffOptions, DiffReport, SweepDoc,
+    SweepPoint,
+};

@@ -1,0 +1,10 @@
+//! Prints the paper's Figure 6 kernel description as XML — the input the
+//! `microcreator`/`microlauncher` quick-start examples consume.
+//!
+//! ```bash
+//! cargo run -q -p mc-kernel --example figure6_xml > descriptions/figure6.xml
+//! ```
+
+fn main() {
+    print!("{}", mc_kernel::xml::kernel_to_xml(&mc_kernel::builder::figure6()));
+}

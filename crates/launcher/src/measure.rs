@@ -203,7 +203,7 @@ where
             if iterations == 0 {
                 return Err("kernel reported zero iterations".into());
             }
-            if iterations % u64::from(cfg.repetitions) != 0 {
+            if !iterations.is_multiple_of(u64::from(cfg.repetitions)) {
                 return Err(format!(
                     "inconsistent iteration counts within experiment {experiment}: \
                      {iterations} total iterations do not divide across {} repetitions",
@@ -316,6 +316,9 @@ where
         if cfg.adaptive {
             metrics.inc("launcher.samples_saved", u64::from(budget.saturating_sub(executed)));
         }
+    }
+    if cfg.adaptive {
+        mc_trace::progress_samples_saved(u64::from(budget.saturating_sub(executed)));
     }
     Ok(Measurement {
         stable,

@@ -1,0 +1,368 @@
+//! A minimal recursive-descent JSON reader/writer.
+//!
+//! The trace crate's JSONL wire format is deliberately flat, so its
+//! hand-rolled parser only understands one object of scalars per line.
+//! The registry needs more: `BENCH_*.json` snapshots nest objects and
+//! arrays, and trend exports emit them. This module is the std-only
+//! answer — a full (if unfancy) JSON value type with parse and render.
+//! Numbers are kept as `f64`; integral values round-trip without a
+//! fractional suffix so counters stay readable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers included).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is not preserved (sorted by key), which
+    /// keeps renderings canonical.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses `text` as one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_into(self, &mut out);
+        out
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&what) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", what as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escape = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let unit = parse_hex4(bytes, pos)?;
+                        // Surrogate pairs combine into one scalar; a lone
+                        // surrogate degrades to U+FFFD rather than erroring.
+                        let ch = if (0xD800..0xDC00).contains(&unit) {
+                            if bytes[*pos..].starts_with(b"\\u") {
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                let combined = 0x10000
+                                    + ((unit - 0xD800) << 10)
+                                    + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(combined).unwrap_or('\u{FFFD}')
+                            } else {
+                                '\u{FFFD}'
+                            }
+                        } else {
+                            char::from_u32(unit).unwrap_or('\u{FFFD}')
+                        };
+                        out.push(ch);
+                    }
+                    other => return Err(format!("bad escape `\\{}`", other as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always a valid boundary walk).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let end = *pos + 4;
+    let hex = bytes.get(*pos..end).ok_or("truncated \\u escape")?;
+    let s = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape `{s}`"))?;
+    *pos = end;
+    Ok(v)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn render_into(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => render_num(*n, out),
+        Json::Str(s) => render_str(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_str(k, out);
+                out.push(':');
+                render_into(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Integral values render without a fractional part; everything else
+/// uses Rust's shortest round-trip formatting.
+fn render_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "3", "-2.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.render(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_documents_parse() {
+        let v = Json::parse(r#"{"a": [1, {"b": "x\ny"}], "c": {"d": null}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(|a| a.as_array()).map(<[Json]>::len), Some(2));
+        let inner = v.get("a").unwrap().as_array().unwrap()[1].get("b").unwrap();
+        assert_eq!(inner.as_str(), Some("x\ny"));
+        // Canonical rendering sorts keys and escapes the newline.
+        assert_eq!(v.render(), r#"{"a":[1,{"b":"x\ny"}],"c":{"d":null}}"#);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(Json::parse(r#""é😀""#).unwrap().as_str(), Some("é😀"));
+        // BMP escape and an astral surrogate pair.
+        assert_eq!(Json::parse(r#""\u00e9 \ud83d\ude00""#).unwrap().as_str(), Some("é 😀"));
+    }
+
+    #[test]
+    fn real_bench_snapshot_parses() {
+        let text = r#"{"bench":"sweep","results":[{"config":"serial","sweep_ms":12.5},
+            {"config":"jobs=8","sweep_ms":3.25}],"acceptance":{"pass":true}}"#;
+        let v = Json::parse(text).unwrap();
+        let results = v.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].get("sweep_ms").and_then(Json::as_f64), Some(3.25));
+        assert_eq!(v.get("acceptance").unwrap().get("pass").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "1 2", "tru"] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

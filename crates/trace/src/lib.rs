@@ -7,14 +7,16 @@
 //! configuration — without perturbing the measurements when nobody is
 //! listening.
 //!
-//! Three layers, all std-only (no external dependencies):
+//! Four layers, all std-only (no external dependencies):
 //!
 //! * [`event`] — [`TraceEvent`]: spans, point events, and routed
 //!   diagnostics with a flat JSONL wire format,
 //! * [`sink`] — pluggable [`TraceSink`]s: JSONL writer, in-memory buffer,
 //!   fan-out — plus [`chrome`]'s Perfetto/Chrome-trace timeline exporter,
 //! * [`metrics`] — a thread-safe [`MetricsRegistry`] of counters, gauges,
-//!   and histograms (p50/p95/max), rendered by [`summary`].
+//!   and histograms (p50/p95/max), rendered by [`summary`],
+//! * [`progress`] — live batch-progress counters and the [`ProgressSink`]
+//!   surface mc-pulse's displays consume.
 //!
 //! The tracer is a process-global dispatcher in the style of the `log`
 //! crate: libraries call [`span`]/[`event`]/[`diag!`] unconditionally, and
@@ -37,12 +39,19 @@
 pub mod chrome;
 pub mod event;
 pub mod metrics;
+pub mod progress;
 pub mod sink;
 pub mod summary;
 
 pub use chrome::ChromeTraceSink;
 pub use event::{EventKind, TraceEvent, Value};
 pub use metrics::{Counter, HistogramStats, MetricsRegistry, MetricsSnapshot};
+pub use progress::{
+    install_progress, progress_batch_finished, progress_batch_started, progress_cache_hit,
+    progress_cache_miss, progress_enabled, progress_point_done, progress_point_failed,
+    progress_retry, progress_samples_saved, progress_snapshot, uninstall_progress, ProgressEvent,
+    ProgressSink, ProgressSnapshot,
+};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, TraceSink};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -60,9 +60,7 @@ fn every_unroll_variant_is_semantically_consistent() {
     // return the right iteration count — verified by the interpreter via
     // the launcher's verification pass.
     let generated = MicroCreator::new().generate(&figure6()).unwrap();
-    let mut opts = LauncherOptions::default();
-    opts.repetitions = 2;
-    opts.meta_repetitions = 2;
+    let opts = LauncherOptions { repetitions: 2, meta_repetitions: 2, ..Default::default() };
     let launcher = MicroLauncher::new(opts);
     for program in generated.programs.iter().step_by(25) {
         let report = launcher.run(&KernelInput::program(program.clone())).unwrap();
@@ -84,9 +82,7 @@ fn unrolling_improves_or_holds_on_every_machine() {
         let programs =
             microtools::launcher::sweeps::programs_by_unroll(&load_stream(Mnemonic::Movaps, 1, 8))
                 .unwrap();
-        let mut opts = LauncherOptions::default();
-        opts.machine = machine;
-        opts.verify = false;
+        let opts = LauncherOptions { machine, verify: false, ..Default::default() };
         let launcher = MicroLauncher::new(opts);
         let mut last_per_load = f64::MAX;
         for p in &programs {
@@ -110,9 +106,7 @@ fn sandy_bridge_outruns_nehalem_on_l1_loads() {
         microtools::launcher::sweeps::programs_by_unroll(&load_stream(Mnemonic::Movaps, 8, 8))
             .unwrap();
     let run = |machine| {
-        let mut opts = LauncherOptions::default();
-        opts.machine = machine;
-        opts.verify = false;
+        let opts = LauncherOptions { machine, verify: false, ..Default::default() };
         MicroLauncher::new(opts)
             .run(&KernelInput::program(programs[0].clone()))
             .unwrap()

@@ -13,7 +13,7 @@ use microtools::creator::emit::{render_asm_unit, render_c_unit, symbol_name};
 use microtools::creator::MicroCreator;
 use microtools::kernel::{InductionDesc, Program, RegisterRef};
 use microtools::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn cc_available() -> bool {
@@ -45,7 +45,7 @@ fn with_iteration_counter(mut desc: KernelDesc) -> KernelDesc {
 /// Compiles `kernel_file` + a generated driver, runs it with trip count
 /// `n`, and returns the kernel's reported iteration count.
 fn compile_and_run(
-    dir: &PathBuf,
+    dir: &Path,
     kernel_file: &str,
     symbol: &str,
     nb_arrays: u32,
