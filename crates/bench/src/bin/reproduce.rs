@@ -9,6 +9,7 @@
 //! reproduce --summary        # verdict lines only, no charts
 //! reproduce --csv-dir=out    # also write each experiment's series as CSV
 //! reproduce --adaptive       # adaptive repetition control (μOpTime)
+//! reproduce --store=DIR      # persistent evaluation store (warm reruns)
 //! ```
 //!
 //! `--adaptive[=bool]` switches every experiment's sweeps to adaptive
@@ -34,7 +35,8 @@ use mc_report::experiments::ExperimentId;
 use mc_report::series::render_chart;
 use mc_report::{CsvWriter, RunManifest};
 use mc_tools::{
-    exitcode, take_guard_flags, take_jobs_flag, GuardSession, PulseSession, TraceSession,
+    exitcode, take_guard_flags, take_jobs_flag, take_store_flags, GuardSession, PulseSession,
+    StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::path::Path;
@@ -43,7 +45,7 @@ use std::process::ExitCode;
 /// One experiment's series as a CSV document (columns: series, x, y),
 /// preceded by a `# key: value` provenance header. The same text is
 /// written by `--csv-dir` and registered by `--register`.
-fn experiment_document(r: &FigureResult, guard: &GuardSession) -> String {
+fn experiment_document(r: &FigureResult, guard: &GuardSession, store: &StoreSession) -> String {
     let mut manifest = RunManifest::new();
     manifest.set("tool", "reproduce");
     manifest.set("version", env!("CARGO_PKG_VERSION"));
@@ -58,6 +60,11 @@ fn experiment_document(r: &FigureResult, guard: &GuardSession) -> String {
     if let Some(path) = &guard.checkpoint {
         manifest.set("checkpoint", path.clone());
         manifest.set("resumed_rows", guard.resumed.to_string());
+    }
+    // The path only: hit counts differ between cold and warm runs and
+    // would break byte-identical documents.
+    if let Some(root) = store.root() {
+        manifest.set("store", root.display().to_string());
     }
     let mut csv = CsvWriter::new(vec!["series", "x", "y"]);
     for s in &r.series {
@@ -133,7 +140,15 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(args, &guard, &mut pulse);
+    let mut store = match take_store_flags(&mut args, pulse.registry_root()) {
+        Ok(s) => s,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args, &guard, &mut pulse, &store);
+    store.finish();
     session.finish();
     code
 }
@@ -152,7 +167,12 @@ fn parse_u32_flag(flag: &str, value: &str) -> Result<u32, String> {
         .map_err(|_| format!("{flag} expects a non-negative integer, got `{value}`"))
 }
 
-fn run(args: Vec<String>, guard: &GuardSession, pulse: &mut PulseSession) -> ExitCode {
+fn run(
+    args: Vec<String>,
+    guard: &GuardSession,
+    pulse: &mut PulseSession,
+    store: &StoreSession,
+) -> ExitCode {
     let mut exp: Option<String> = None;
     let mut summary_only = false;
     let mut quick = false;
@@ -267,7 +287,7 @@ fn run(args: Vec<String>, guard: &GuardSession, pulse: &mut PulseSession) -> Exi
     for r in &results {
         print_result(r, summary_only);
         if (csv_dir.is_some() || pulse.active()) && !r.series.is_empty() {
-            let document = experiment_document(r, guard);
+            let document = experiment_document(r, guard, store);
             if let Some(dir) = &csv_dir {
                 if let Err(e) = write_csv(Path::new(dir), r, &document) {
                     diag!("could not write {}.csv: {e}", r.id.key());
@@ -297,6 +317,9 @@ fn run(args: Vec<String>, guard: &GuardSession, pulse: &mut PulseSession) -> Exi
         manifest.set("checks_total", total.to_string());
         let sampling_ran = quick_options();
         manifest.set("adaptive", if sampling_ran.adaptive { "true" } else { "false" });
+        if let Some(root) = store.root() {
+            manifest.set("store", root.display().to_string());
+        }
         pulse.finish("reproduce", manifest, code);
     }
     ExitCode::from(code)

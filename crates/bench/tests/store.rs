@@ -1,0 +1,293 @@
+//! The persistent evaluation store at figure-suite scale: a warm second
+//! process must reproduce experiments with near-zero simulator work and
+//! unchanged shape verdicts, a store written under `jobs=8` must warm a
+//! `jobs=1` run bit-identically, concurrent handles over one directory
+//! must never tear records, a real second process (the `reproduce`
+//! binary, run twice with `--store`) must hit the disk tier, and a
+//! damaged store must degrade to recomputation — never fail a sweep.
+//!
+//! The evaluation cache, generation cache, worker count, installed store,
+//! and metrics registry are process-global, so every test serializes on
+//! one lock and restores the configuration it found.
+
+use mc_bench::figures::{run_many, FigureResult};
+use mc_report::experiments::ExperimentId;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+static EXEC_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    EXEC_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Restores every piece of process-global state a test here touches.
+fn restore_defaults() {
+    mc_launcher::store::clear_store();
+    mc_launcher::batch::set_cache_enabled(true);
+    mc_launcher::batch::clear_cache();
+    mc_launcher::sweeps::clear_generation_cache();
+    mc_trace::enable_metrics(false);
+    mc_trace::metrics().reset();
+}
+
+/// A fresh store directory per test (removed first, so reruns start
+/// cold).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mc_bench_store_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    dir
+}
+
+/// Empties both in-memory memo tiers — the next sweep sees exactly what
+/// a freshly started process sharing the store directory would see.
+fn simulate_fresh_process() {
+    mc_launcher::batch::clear_cache();
+    mc_launcher::sweeps::clear_generation_cache();
+}
+
+/// Simulator evaluations the measurement protocol actually ran (one per
+/// measured point; warm store hits never reach it).
+fn measurements() -> u64 {
+    mc_trace::metrics().snapshot().counter("launcher.measurements").unwrap_or(0)
+}
+
+fn run_counted(figures: &[ExperimentId]) -> (u64, Vec<FigureResult>) {
+    mc_trace::metrics().reset();
+    mc_trace::enable_metrics(true);
+    let results = run_many(figures).expect("figures run");
+    mc_trace::enable_metrics(false);
+    (measurements(), results)
+}
+
+fn assert_identical(a: &FigureResult, b: &FigureResult, what: &str) {
+    assert_eq!(a.series.len(), b.series.len(), "{what}: series count");
+    for (sa, sb) in a.series.iter().zip(&b.series) {
+        assert_eq!(sa.label, sb.label, "{what}: series label");
+        assert_eq!(sa.points, sb.points, "{what}: series `{}`", sa.label);
+    }
+    let verdicts = |r: &FigureResult| r.outcome.checks.iter().map(|c| c.passed).collect::<Vec<_>>();
+    assert_eq!(verdicts(a), verdicts(b), "{what}: check verdicts");
+}
+
+/// The figures the store tests sweep: cheap, but covering generation,
+/// core sweeps, and frequency sweeps.
+const FIGURES: &[ExperimentId] = &[ExperimentId::Fig11, ExperimentId::Fig13, ExperimentId::Fig14];
+
+/// Every record file under a store directory's data tree.
+fn record_files(root: &Path) -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rec") {
+                out.push(path);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, &mut out);
+    out.sort();
+    out
+}
+
+/// The headline claim: a second process sharing the store directory
+/// reproduces the figures from disk with at least 5x fewer simulator
+/// evaluations — in practice zero, since every point and every generated
+/// program set replays from the persistent tier. The printed counts are
+/// the source for BENCH_pr8.json.
+#[test]
+fn warm_process_runs_at_least_5x_fewer_simulator_evaluations() {
+    let _guard = lock();
+    mc_exec::set_jobs(4);
+    let dir = fresh_dir("warm");
+    let store = mc_launcher::store::install_store(&dir);
+
+    simulate_fresh_process();
+    let (cold_evals, cold) = run_counted(FIGURES);
+
+    simulate_fresh_process();
+    let (warm_evals, warm) = run_counted(FIGURES);
+    let counters = store.counters();
+    restore_defaults();
+
+    println!(
+        "simulator evaluations: cold {cold_evals}, warm {warm_evals}; \
+         store hit_disk={} miss={} saved={}",
+        counters.hit_disk, counters.miss, counters.saved
+    );
+    assert!(cold_evals > 0, "cold run must evaluate");
+    assert!(
+        (warm_evals as f64) <= cold_evals as f64 / 5.0,
+        "warm process saved less than 5x ({cold_evals} -> {warm_evals})"
+    );
+    assert!(counters.hit_disk > 0, "warm run never touched the disk tier");
+    assert_eq!(counters.skipped_corrupt, 0, "healthy store reported corruption");
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_identical(a, b, a.id.key());
+    }
+}
+
+/// A store written by a `jobs=8` run warms a `jobs=1` run to zero
+/// simulator evaluations, and the two produce bit-identical series —
+/// persistence must not loosen the engine's scheduling-independence
+/// guarantee.
+#[test]
+fn store_written_under_jobs_8_warms_jobs_1_bit_identically() {
+    let _guard = lock();
+    let dir = fresh_dir("jobs");
+    mc_launcher::store::install_store(&dir);
+
+    mc_exec::set_jobs(8);
+    simulate_fresh_process();
+    let (cold_evals, parallel) = run_counted(FIGURES);
+
+    mc_exec::set_jobs(1);
+    simulate_fresh_process();
+    let (warm_evals, serial) = run_counted(FIGURES);
+    restore_defaults();
+
+    assert!(cold_evals > 0, "cold jobs=8 run must evaluate");
+    assert_eq!(warm_evals, 0, "jobs=1 run recomputed {warm_evals} points a jobs=8 run persisted");
+    for (a, b) in parallel.iter().zip(&serial) {
+        assert_identical(a, b, a.id.key());
+    }
+}
+
+/// Two handles over one directory — the in-process stand-in for two
+/// concurrent processes. Writers save while readers load the same keys;
+/// every successful load returns the exact payload (atomic rename means
+/// a reader sees a complete record or nothing).
+#[test]
+fn concurrent_handles_over_one_directory_never_tear_records() {
+    let dir = fresh_dir("threads");
+    let schema = mc_launcher::store::schema_fingerprint();
+    let calib = mc_launcher::store::calib_fingerprint();
+    let payload = |i: usize| format!("payload line {i}\nsecond line {i}\n").repeat(20);
+
+    let writer_dir = dir.clone();
+    let writer = std::thread::spawn(move || {
+        let store = mc_store::DiskStore::open(&writer_dir, schema, calib);
+        for i in 0..200 {
+            store.save("eval", &format!("{i:016x}"), &payload(i));
+        }
+    });
+    let reader_dir = dir.clone();
+    let reader = std::thread::spawn(move || {
+        let store = mc_store::DiskStore::open(&reader_dir, schema, calib);
+        let mut hits = 0u32;
+        for round in 0..20 {
+            for i in 0..200 {
+                if let Some(seen) = store.load("eval", &format!("{i:016x}")) {
+                    assert_eq!(seen, payload(i), "torn read of record {i} (round {round})");
+                    hits += 1;
+                }
+            }
+        }
+        (hits, store.counters().skipped_corrupt)
+    });
+    writer.join().expect("writer thread");
+    let (_racing_hits, corrupt) = reader.join().expect("reader thread");
+    assert_eq!(corrupt, 0, "concurrent writes produced a corrupt read");
+    // With the writer done, a third handle must see every record whole.
+    let store = mc_store::DiskStore::open(&dir, schema, calib);
+    for i in 0..200 {
+        let seen = store.load("eval", &format!("{i:016x}"));
+        assert_eq!(seen.as_deref(), Some(payload(i).as_str()), "record {i} lost or torn");
+    }
+}
+
+/// The cross-process acceptance check, with real processes: running the
+/// `reproduce` binary twice against one `--store` directory must make
+/// the second process serve at least 90% of its lookups from disk and
+/// persist nothing new.
+#[test]
+fn second_reproduce_process_runs_warm_from_the_shared_store() {
+    let dir = fresh_dir("procs");
+    let exe = env!("CARGO_BIN_EXE_reproduce");
+    let run = || {
+        std::process::Command::new(exe)
+            .args(["--exp", "fig13", "--summary", "--quiet"])
+            .arg(format!("--store={}", dir.display()))
+            .output()
+            .expect("spawn reproduce")
+    };
+
+    let first = run();
+    assert!(first.status.success(), "cold run failed: {}", String::from_utf8_lossy(&first.stderr));
+    let after_first = mc_store::ledger_totals(&dir);
+    assert_eq!(after_first.processes, 1, "cold process did not ledger");
+    assert!(after_first.counters.saved > 0, "cold process persisted nothing");
+    assert_eq!(after_first.counters.hit_disk, 0, "cold process claimed disk hits");
+
+    let second = run();
+    assert!(
+        second.status.success(),
+        "warm run failed: {}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&second.stdout),
+        "warm process printed a different document"
+    );
+    let after_second = mc_store::ledger_totals(&dir);
+    assert_eq!(after_second.processes, 2, "warm process did not ledger");
+    let warm_hits = after_second.counters.hit_disk - after_first.counters.hit_disk;
+    let warm_misses = after_second.counters.miss - after_first.counters.miss;
+    assert!(warm_hits > 0, "warm process never hit the disk tier");
+    assert!(
+        warm_hits >= 9 * warm_misses,
+        "warm process hit rate under 90%: {warm_hits} hits, {warm_misses} misses"
+    );
+    assert_eq!(
+        after_second.counters.saved, after_first.counters.saved,
+        "warm process recomputed and re-persisted records"
+    );
+}
+
+/// The degradation guarantee: truncated records, garbage bytes, and
+/// future format versions are each skipped and counted — the sweep
+/// recomputes those points and its results never change.
+#[test]
+fn damaged_records_degrade_to_recomputation_never_failure() {
+    let _guard = lock();
+    mc_exec::set_jobs(4);
+    let dir = fresh_dir("damage");
+    mc_launcher::store::install_store(&dir);
+
+    simulate_fresh_process();
+    let (cold_evals, cold) = run_counted(&[ExperimentId::Fig13]);
+    let records = record_files(&dir);
+    assert!(records.len() >= 3, "expected at least 3 records, found {}", records.len());
+
+    // Three distinct failure modes across three real records.
+    let bytes = std::fs::read(&records[0]).expect("read record");
+    std::fs::write(&records[0], &bytes[..bytes.len() / 2]).expect("truncate record");
+    std::fs::write(&records[1], b"not a record at all\n").expect("garbage record");
+    let future = String::from_utf8_lossy(&std::fs::read(&records[2]).expect("read record"))
+        .replacen("microtools-store 1 ", "microtools-store 99 ", 1);
+    std::fs::write(&records[2], future).expect("future-version record");
+
+    // A fresh handle, as a new process would open: damaged entries are
+    // misses, the rest still hit, and the figure's shape is unchanged.
+    let store = mc_launcher::store::install_store(&dir);
+    simulate_fresh_process();
+    let (damaged_evals, damaged) = run_counted(&[ExperimentId::Fig13]);
+    let counters = store.counters();
+    restore_defaults();
+
+    assert!(counters.skipped_corrupt >= 2, "corrupt records not counted: {counters:?}");
+    assert!(counters.stale >= 1, "future-version record not counted stale: {counters:?}");
+    assert!(counters.hit_disk > 0, "undamaged records stopped hitting");
+    assert!(
+        damaged_evals > 0 && damaged_evals < cold_evals,
+        "expected partial recomputation, got {damaged_evals} of {cold_evals}"
+    );
+    for (a, b) in cold.iter().zip(&damaged) {
+        assert_identical(a, b, a.id.key());
+    }
+}

@@ -7,6 +7,7 @@
 //! mc-report trend [--registry=DIR] [--last=N] [--top=N]
 //!                 [--threshold=FRACTION] [--json[=PATH]]
 //! mc-report import-bench <BENCH.json>... [--registry=DIR]
+//! mc-report store stats <dir> [--gc --max-bytes=N]
 //! ```
 //!
 //! `diff` joins two sweep CSVs (microlauncher output, or the
@@ -24,6 +25,12 @@
 //!
 //! `import-bench` backfills historical `BENCH_*.json` acceptance
 //! snapshots into the registry so trends start with history.
+//!
+//! `store stats` summarizes a persistent evaluation store directory
+//! (`--store=DIR` on the measurement tools): entry count and bytes per
+//! record kind, the version/fingerprint histogram, cumulative hit-ledger
+//! totals, and — with `--gc --max-bytes=N` — evicts oldest records until
+//! the store fits the byte budget.
 
 use mc_insight::{diff_documents, render_diff, DiffOptions};
 use mc_pulse::{import_bench, Registry, TrendOptions};
@@ -37,6 +44,7 @@ const USAGE: &str = "usage: mc-report <command> [options]\n\
   trend                       [--registry=DIR] [--last=N] [--top=N]\n\
                               [--threshold=FRACTION] [--json[=PATH]]\n\
   import-bench <BENCH.json>.. [--registry=DIR]\n\
+  store stats <dir>           [--gc --max-bytes=N]\n\
 common: [--trace=PATH] [--metrics] [--quiet]";
 
 fn main() -> ExitCode {
@@ -65,6 +73,7 @@ fn run(flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         Some("history") => history(flags, &positional[1..]),
         Some("trend") => trend(flags, &positional[1..]),
         Some("import-bench") => import(flags, &positional[1..]),
+        Some("store") => store_cmd(flags, &positional[1..]),
         Some(other) => usage_error(&format!("unknown command `{other}`")),
         None => usage_error("missing command"),
     }
@@ -255,6 +264,84 @@ fn trend(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
     } else {
         ExitCode::from(exitcode::REGRESSION)
     }
+}
+
+/// `store stats <dir>`: what a persistent evaluation store holds and how
+/// it has been hit across processes, plus opt-in size-budget GC.
+fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
+    let want_gc = take_flag(&mut flags, "--gc").is_some();
+    let max_bytes = match take_flag(&mut flags, "--max-bytes") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return usage_error(&format!("--max-bytes: invalid byte count `{v}`")),
+        },
+        None => None,
+    };
+    if want_gc != max_bytes.is_some() {
+        return usage_error("store stats: --gc and --max-bytes=N go together");
+    }
+    if let Err(e) = reject_unknown(&flags) {
+        return usage_error(&e);
+    }
+    let [stats, dir] = positional else {
+        return usage_error("store takes a subcommand and a directory: store stats <dir>");
+    };
+    if stats != "stats" {
+        return usage_error(&format!("unknown store subcommand `{stats}` (expected `stats`)"));
+    }
+    let root = std::path::Path::new(dir);
+    if !root.is_dir() {
+        diag!("{dir}: not a directory");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    if let Some(budget) = max_bytes {
+        match mc_store::gc(root, budget) {
+            Ok(report) => println!(
+                "gc: removed {} of {} entries ({} of {} bytes) to fit {budget} bytes",
+                report.removed_entries,
+                report.scanned_entries,
+                report.removed_bytes,
+                report.scanned_bytes
+            ),
+            Err(e) => {
+                diag!("gc failed under {dir}: {e}");
+                return ExitCode::from(exitcode::EVAL);
+            }
+        }
+    }
+    let scan = match mc_store::scan(root) {
+        Ok(scan) => scan,
+        Err(e) => {
+            diag!("cannot scan {dir}: {e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    println!("store {dir}");
+    println!("  entries: {} ({} bytes)", scan.entries, scan.bytes);
+    for (kind, count) in &scan.kinds {
+        println!("    {kind}: {count}");
+    }
+    if scan.unreadable > 0 {
+        println!("  unreadable: {} (skipped at load, removed first by --gc)", scan.unreadable);
+    }
+    if !scan.versions.is_empty() {
+        println!("  versions (format/schema/calibration -> entries):");
+        for ((version, schema, calib), count) in &scan.versions {
+            println!("    v{version} schema={schema:016x} calib={calib:016x}: {count}");
+        }
+    }
+    let ledger = mc_store::ledger_totals(root);
+    if ledger.processes == 0 {
+        println!("  ledger: no recorded processes");
+    } else {
+        let c = &ledger.counters;
+        println!(
+            "  ledger: {} process(es); hit_mem={} hit_disk={} miss={} saved={} \
+             corrupt={} stale={}",
+            ledger.processes, c.hit_mem, c.hit_disk, c.miss, c.saved, c.skipped_corrupt, c.stale
+        );
+    }
+    ExitCode::from(exitcode::OK)
 }
 
 fn import(mut flags: Vec<String>, positional: &[String]) -> ExitCode {

@@ -13,7 +13,8 @@
 use mc_creator::emit::{render_asm_unit, write_programs};
 use mc_creator::{CreatorConfig, MicroCreator};
 use mc_tools::{
-    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, PulseSession, TraceSession,
+    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, take_store_flags,
+    PulseSession, StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::path::PathBuf;
@@ -33,6 +34,7 @@ options:
   --jobs=N         worker threads for batch evaluation (MICROTOOLS_JOBS)
   --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast
   --checkpoint=PATH [--resume]   supervised execution (see README)
+  --store=DIR      persistent evaluation store (MICROTOOLS_STORE)
   --trace=PATH     stream trace events as JSONL to PATH (or `stderr`);
                    MICROTOOLS_TRACE / MICROTOOLS_TRACE_FILTER also apply
   --metrics        print the end-of-run pass-timing table to stderr
@@ -58,12 +60,25 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(flags, positional, &mut pulse);
+    let mut store = match take_store_flags(&mut flags, pulse.registry_root()) {
+        Ok(s) => s,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional, &mut pulse, &store);
+    store.finish();
     session.finish();
     code
 }
 
-fn run(mut flags: Vec<String>, positional: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
+fn run(
+    mut flags: Vec<String>,
+    positional: Vec<String>,
+    pulse: &mut PulseSession,
+    store: &StoreSession,
+) -> ExitCode {
     if let Err(e) = take_jobs_flag(&mut flags) {
         diag!("{e}");
         return ExitCode::from(exitcode::USAGE);
@@ -222,6 +237,9 @@ fn run(mut flags: Vec<String>, positional: Vec<String>, pulse: &mut PulseSession
         manifest.set("input", input.as_str());
         manifest.set("programs", result.programs.len().to_string());
         manifest.set("seed", creator.config().seed.to_string());
+        if let Some(root) = store.root() {
+            manifest.set("store", root.display().to_string());
+        }
         pulse.finish("microcreator", manifest, exitcode::OK);
     }
     ExitCode::from(exitcode::OK)

@@ -20,7 +20,8 @@ use mc_creator::MicroCreator;
 use mc_launcher::launcher::RunReport;
 use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
 use mc_tools::{
-    exitcode, guard_exit_code, take_guard_flags, take_jobs_flag, PulseSession, TraceSession,
+    exitcode, guard_exit_code, take_guard_flags, take_jobs_flag, take_store_flags, PulseSession,
+    StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::process::ExitCode;
@@ -33,6 +34,7 @@ fn usage() -> String {
          --jobs=N (parallel batch evaluation; MICROTOOLS_JOBS)\n  \
          --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast\n  \
          --checkpoint=PATH [--resume] (supervised execution; see README)\n  \
+         --store=DIR (persistent evaluation store; MICROTOOLS_STORE)\n  \
          --trace=PATH --metrics --quiet (observability; see README)\n  \
          --register --registry=DIR (persist this run; see README)\n  \
          --progress[=tty|jsonl|jsonl:PATH] --metrics-listen=ADDR (live view)\n\
@@ -53,6 +55,7 @@ fn build_manifest(
     input: &str,
     stable: bool,
     guard: &mc_tools::GuardSession,
+    store: &StoreSession,
     failures: usize,
 ) -> mc_report::RunManifest {
     let mut manifest = options.manifest("microlauncher", env!("CARGO_PKG_VERSION"));
@@ -64,6 +67,11 @@ fn build_manifest(
     if let Some(path) = &guard.checkpoint {
         manifest.set("checkpoint", path.clone());
         manifest.set("resumed_rows", guard.resumed.to_string());
+    }
+    // The path only: hit counts vary between cold and warm runs and
+    // would break byte-identical documents.
+    if let Some(root) = store.root() {
+        manifest.set("store", root.display().to_string());
     }
     if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
         manifest.set("timestamp_unix", elapsed.as_secs().to_string());
@@ -95,12 +103,20 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(args, &mut pulse);
+    let mut store = match take_store_flags(&mut args, pulse.registry_root()) {
+        Ok(s) => s,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args, &mut pulse, &store);
+    store.finish();
     session.finish();
     code
 }
 
-fn run(mut args: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
+fn run(mut args: Vec<String>, pulse: &mut PulseSession, store: &StoreSession) -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
         return ExitCode::from(exitcode::OK);
@@ -154,7 +170,7 @@ fn run(mut args: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
         let launcher = MicroLauncher::new(options.clone());
         return match launcher.run(&kernel_input) {
             Ok(report) => {
-                let manifest = build_manifest(&options, input, report.stable, &guard, 0);
+                let manifest = build_manifest(&options, input, report.stable, &guard, store, 0);
                 let document = format!(
                     "{}{}\n{}\n",
                     manifest.render(),
@@ -242,7 +258,7 @@ fn run(mut args: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
             }
         }
     }
-    let manifest = build_manifest(&base, input, all_stable, &guard, failures);
+    let manifest = build_manifest(&base, input, all_stable, &guard, store, failures);
     let mut document = manifest.render();
     document.push_str(RunReport::csv_header());
     document.push('\n');

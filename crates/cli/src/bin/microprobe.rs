@@ -24,7 +24,8 @@ use mc_simarch::config::Level;
 use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
 use mc_simarch::exec::{estimate, ExecEnv, Workload};
 use mc_tools::{
-    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, PulseSession, TraceSession,
+    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, take_store_flags,
+    PulseSession, StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::process::ExitCode;
@@ -46,15 +47,29 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(flags, positional, &mut pulse);
+    let mut store = match take_store_flags(&mut flags, pulse.registry_root()) {
+        Ok(s) => s,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional, &mut pulse, &store);
+    store.finish();
     session.finish();
     code
 }
 
-fn run(mut flags: Vec<String>, positional: Vec<String>, pulse: &mut PulseSession) -> ExitCode {
+fn run(
+    mut flags: Vec<String>,
+    positional: Vec<String>,
+    pulse: &mut PulseSession,
+    store: &StoreSession,
+) -> ExitCode {
     const USAGE: &str = "usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4] \
-                         [--explain] [--jobs=N] [--trace=PATH] [--metrics] [--quiet] \
-                         [--register] [--registry=DIR] [--progress[=MODE]] [--metrics-listen=ADDR]";
+                         [--explain] [--jobs=N] [--store=DIR] [--trace=PATH] [--metrics] \
+                         [--quiet] [--register] [--registry=DIR] [--progress[=MODE]] \
+                         [--metrics-listen=ADDR]";
     if let Err(e) = take_jobs_flag(&mut flags) {
         diag!("{e}\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
@@ -158,6 +173,9 @@ fn run(mut flags: Vec<String>, positional: Vec<String>, pulse: &mut PulseSession
         manifest.set("tool", "microprobe");
         manifest.set("machine", preset.name());
         manifest.set("input", preset.name());
+        if let Some(root) = store.root() {
+            manifest.set("store", root.display().to_string());
+        }
         pulse.finish("microprobe", manifest, exitcode::OK);
     }
     ExitCode::from(exitcode::OK)

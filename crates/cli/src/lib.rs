@@ -469,6 +469,12 @@ impl PulseSession {
     pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
         self.server.as_ref().map(mc_pulse::MetricsServer::local_addr)
     }
+
+    /// The registry root, when this run registers — the persistent
+    /// store's default home (`<root>/store`).
+    pub fn registry_root(&self) -> Option<&std::path::Path> {
+        self.registry.as_ref().map(mc_pulse::Registry::root)
+    }
 }
 
 impl Drop for PulseSession {
@@ -481,6 +487,92 @@ impl Drop for PulseSession {
                 tty.clear();
             }
         }
+    }
+}
+
+/// Environment variable selecting the persistent evaluation store root.
+pub const STORE_ENV: &str = "MICROTOOLS_STORE";
+
+/// What [`take_store_flags`] set up: the installed persistent evaluation
+/// store, if any, plus the end-of-run bookkeeping it implies.
+#[derive(Default)]
+pub struct StoreSession {
+    store: Option<std::sync::Arc<mc_store::DiskStore>>,
+}
+
+/// Extracts `--store=DIR` and installs the persistent two-tier
+/// evaluation store for the run.
+///
+/// Resolution order: the `--store=DIR` flag, the `MICROTOOLS_STORE`
+/// environment variable, then — when the run registers (`--register` /
+/// `--registry`) — `<registry root>/store`, so registered sweeps warm
+/// up across processes by default. With none of the three, no store is
+/// installed and evaluation is memoized in-process only.
+///
+/// Records persisted under a different report schema or simulator
+/// calibration self-invalidate, and corrupt records are skipped with a
+/// counted warning — a damaged store can cost simulator time, never
+/// correctness.
+pub fn take_store_flags(
+    flags: &mut Vec<String>,
+    registry_root: Option<&std::path::Path>,
+) -> Result<StoreSession, String> {
+    let dir = match take_flag(flags, "--store") {
+        Some(dir) if dir.is_empty() => return Err("--store requires a directory path".into()),
+        Some(dir) => Some(std::path::PathBuf::from(dir)),
+        None => match std::env::var(STORE_ENV).ok().filter(|v| !v.is_empty()) {
+            Some(dir) => Some(std::path::PathBuf::from(dir)),
+            None => registry_root.map(|root| root.join("store")),
+        },
+    };
+    let Some(dir) = dir else { return Ok(StoreSession::default()) };
+    Ok(StoreSession { store: Some(mc_launcher::store::install_store(&dir)) })
+}
+
+impl StoreSession {
+    /// True when a persistent store is installed for this run.
+    pub fn active(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The store root, for the `# store:` manifest line. Carries only
+    /// the path — counters vary between warm and cold runs and would
+    /// break byte-identical output and content-derived run IDs.
+    pub fn root(&self) -> Option<&std::path::Path> {
+        self.store.as_deref().map(mc_store::DiskStore::root)
+    }
+
+    /// Flushes this process's tallies to the store's hit ledger, prints
+    /// a diagnostic summary, and uninstalls the store. Call once, after
+    /// the product output is complete.
+    pub fn finish(&mut self) {
+        let Some(store) = self.store.take() else { return };
+        store.flush_ledger();
+        let c = store.counters();
+        if !c.is_empty() {
+            mc_trace::diag!(
+                "store: {} mem hits, {} disk hits, {} misses, {} saved{} ({})",
+                c.hit_mem,
+                c.hit_disk,
+                c.miss,
+                c.saved,
+                if c.skipped_corrupt + c.stale > 0 {
+                    format!(", {} corrupt, {} stale skipped", c.skipped_corrupt, c.stale)
+                } else {
+                    String::new()
+                },
+                store.root().display(),
+            );
+        }
+        mc_launcher::store::clear_store();
+    }
+}
+
+impl Drop for StoreSession {
+    fn drop(&mut self) {
+        // A panic or early exit still flushes the ledger and clears the
+        // process-wide slot.
+        self.finish();
     }
 }
 

@@ -8,6 +8,12 @@
 //! *outside* the shard lock: two workers racing on the same key may both
 //! compute, but determinism makes the duplicate result identical, so
 //! either insert wins harmlessly.
+//!
+//! Shard selection is on the hot path of every evaluation, so keys that
+//! are already FNV fingerprints index a shard straight off their low
+//! bits via [`ShardKey`] — re-hashing a 64-bit hash through SipHash
+//! bought no distribution and cost a hasher setup per lookup. Arbitrary
+//! key types opt back into hashing with the [`HashedKey`] wrapper.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -17,24 +23,66 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// Shard count; a small power of two keeps the index a mask.
 const SHARDS: usize = 16;
 
+/// Maps a key to the bits that pick its shard.
+///
+/// Fingerprint keys are already uniformly distributed, so their low bits
+/// index a shard directly — no second hash. Key types without that
+/// guarantee wrap themselves in [`HashedKey`], which falls back to the
+/// standard hasher.
+pub trait ShardKey {
+    /// Well-distributed bits derived from the key; the low bits pick the
+    /// shard.
+    fn shard_bits(&self) -> u64;
+}
+
+impl ShardKey for u64 {
+    fn shard_bits(&self) -> u64 {
+        *self
+    }
+}
+
+impl ShardKey for (u64, u64) {
+    fn shard_bits(&self) -> u64 {
+        // Both halves are independent FNV fingerprints; xor keeps a
+        // sweep that varies only one of them spread across shards.
+        self.0 ^ self.1
+    }
+}
+
+/// Adapter giving any hashable key a [`ShardKey`] via the standard
+/// hasher — the pre-fingerprint behaviour, for keys whose distribution
+/// is unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashedKey<K>(pub K);
+
+impl<K: Hash> ShardKey for HashedKey<K> {
+    fn shard_bits(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.0.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
 /// A process-wide memoization cache.
 ///
 /// `prefix` names the cache in the metrics registry: hits and misses tick
 /// `<prefix>.hit` / `<prefix>.miss` counters whenever metrics are enabled.
 pub struct MemoCache<K, V> {
     shards: Vec<Mutex<HashMap<K, V>>>,
-    prefix: &'static str,
+    hit_name: String,
+    miss_name: String,
     enabled: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+impl<K: Eq + Hash + ShardKey, V: Clone> MemoCache<K, V> {
     /// An empty, enabled cache named `prefix` in the metrics registry.
     pub fn new(prefix: &'static str) -> Self {
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            prefix,
+            hit_name: format!("{prefix}.hit"),
+            miss_name: format!("{prefix}.miss"),
             enabled: AtomicBool::new(true),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -42,9 +90,7 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+        &self.shards[(key.shard_bits() as usize) & (SHARDS - 1)]
     }
 
     /// Returns the cached value for `key`, or computes it with `f`.
@@ -58,21 +104,21 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         let shard = self.shard(&key);
         if let Some(value) = shard.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            self.tick("hit");
+            self.tick(&self.hit_name);
             mc_trace::progress_cache_hit();
             return Ok(value);
         }
         let value = f()?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.tick("miss");
+        self.tick(&self.miss_name);
         mc_trace::progress_cache_miss();
         shard.lock().entry(key).or_insert_with(|| value.clone());
         Ok(value)
     }
 
-    fn tick(&self, outcome: &str) {
+    fn tick(&self, name: &str) {
         if mc_trace::metrics_enabled() {
-            mc_trace::metrics().inc(&format!("{}.{outcome}", self.prefix), 1);
+            mc_trace::metrics().inc(name, 1);
         }
     }
 
@@ -187,5 +233,25 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(hits + misses, 256);
         assert!(misses >= 16);
+    }
+
+    #[test]
+    fn fingerprint_keys_spread_across_shards() {
+        let cache: MemoCache<(u64, u64), u64> = MemoCache::new("test.cache");
+        for k in 0..(SHARDS as u64 * 4) {
+            // Vary only the second half — rotate-fold must still spread.
+            let _ = cache.get_or_try_compute((0xabcd, k), || ok(k));
+        }
+        let occupied = cache.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(occupied > SHARDS / 2, "only {occupied} of {SHARDS} shards used");
+    }
+
+    #[test]
+    fn hashed_key_wrapper_admits_arbitrary_key_types() {
+        let cache: MemoCache<HashedKey<(String, u32)>, u64> = MemoCache::new("test.cache");
+        let key = || HashedKey(("fig13".to_owned(), 7u32));
+        assert_eq!(cache.get_or_try_compute(key(), || ok(1)), Ok(1));
+        assert_eq!(cache.get_or_try_compute(key(), || ok(2)), Ok(1));
+        assert_eq!(cache.stats(), (1, 1));
     }
 }

@@ -23,7 +23,7 @@
 pub mod cache;
 pub mod pool;
 
-pub use cache::MemoCache;
+pub use cache::{HashedKey, MemoCache, ShardKey};
 pub use pool::ExecEngine;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -5,12 +5,12 @@
 //! payload fields), so the file is both the resume state and an ordinary
 //! JSONL document any trace consumer can read.
 //!
-//! Every record rewrites the whole file through a temp-file + fsync +
-//! rename, so the journal on disk is always a complete document — a
-//! `SIGKILL` between records loses at most the in-flight point, never
-//! the file. Loading additionally tolerates torn or foreign trailing
-//! lines (skipped, not fatal), so a journal written by an older build or
-//! a crashed writer still resumes.
+//! Every record is one whole-line `O_APPEND` write followed by an
+//! fsync, so a checkpoint costs O(record) — not the O(file) rewrite it
+//! once did, which made long sweeps quadratic in journal size. A
+//! `SIGKILL` mid-write can leave at most one torn trailing line, and
+//! loading tolerates torn or foreign lines (skipped, not fatal), so a
+//! journal written by an older build or a crashed writer still resumes.
 
 use mc_trace::{EventKind, TraceEvent, Value};
 use std::collections::HashMap;
@@ -30,7 +30,7 @@ pub enum JournalEntry {
 
 struct JournalState {
     entries: HashMap<String, JournalEntry>,
-    lines: Vec<String>,
+    file: Option<std::fs::File>,
 }
 
 /// A checkpoint journal bound to one sidecar file.
@@ -39,15 +39,26 @@ pub struct Journal {
     state: Mutex<JournalState>,
 }
 
+fn open_append(path: &Path, truncate: bool) -> std::io::Result<std::fs::File> {
+    let mut options = std::fs::OpenOptions::new();
+    options.create(true).append(true);
+    if truncate {
+        // `truncate` conflicts with `append` on some platforms; explicit
+        // create-then-reopen keeps the semantics unambiguous.
+        std::fs::File::create(path)?;
+    }
+    options.open(path)
+}
+
 impl Journal {
     /// Creates (or truncates) a fresh journal at `path`.
     pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Journal> {
-        let journal = Journal {
-            path: path.into(),
-            state: Mutex::new(JournalState { entries: HashMap::new(), lines: Vec::new() }),
-        };
-        journal.persist(&journal.state.lock().expect("journal lock poisoned").lines)?;
-        Ok(journal)
+        let path = path.into();
+        let file = open_append(&path, true)?;
+        Ok(Journal {
+            path,
+            state: Mutex::new(JournalState { entries: HashMap::new(), file: Some(file) }),
+        })
     }
 
     /// Opens an existing journal for resumption, loading every parseable
@@ -57,7 +68,6 @@ impl Journal {
     pub fn resume(path: impl Into<PathBuf>) -> std::io::Result<(Journal, usize)> {
         let path = path.into();
         let mut entries = HashMap::new();
-        let mut lines = Vec::new();
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 for line in text.lines() {
@@ -65,14 +75,14 @@ impl Journal {
                         continue; // torn tail or foreign line
                     };
                     entries.insert(key, entry);
-                    lines.push(line.to_owned());
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
         let ok = entries.values().filter(|e| matches!(e, JournalEntry::Ok(_))).count();
-        Ok((Journal { path, state: Mutex::new(JournalState { entries, lines }) }, ok))
+        let file = open_append(&path, false)?;
+        Ok((Journal { path, state: Mutex::new(JournalState { entries, file: Some(file) }) }, ok))
     }
 
     /// The sidecar path.
@@ -106,41 +116,25 @@ impl Journal {
     }
 
     fn record(&self, key: &str, entry: JournalEntry) {
-        let line = encode_line(key, &entry);
+        let mut line = encode_line(key, &entry);
+        line.push('\n');
         let mut state = self.state.lock().expect("journal lock poisoned");
         state.entries.insert(key.to_owned(), entry);
-        state.lines.push(line);
         // Checkpointing is best-effort durability: a full disk must not
         // fail the sweep itself, so write errors are diagnosed, not
-        // propagated.
-        if let Err(e) = self.persist(&state.lines) {
+        // propagated. The whole line goes out in one append, so readers
+        // of a live journal see only complete records (plus at most one
+        // torn tail after a crash, which resume skips).
+        let appended = match state.file.as_mut() {
+            Some(file) => file.write_all(line.as_bytes()).and_then(|()| file.sync_data()),
+            None => Err(std::io::Error::other("journal file unavailable")),
+        };
+        if let Err(e) = appended {
             mc_trace::diag!("checkpoint: cannot write {}: {e}", self.path.display());
         }
         if mc_trace::metrics_enabled() {
             mc_trace::metrics().inc("guard.journal.records", 1);
         }
-    }
-
-    /// Writes the complete document to `path` atomically: temp file in
-    /// the same directory, fsync, rename over the target.
-    fn persist(&self, lines: &[String]) -> std::io::Result<()> {
-        let dir = self.path.parent().filter(|p| !p.as_os_str().is_empty());
-        let file_name = self
-            .path
-            .file_name()
-            .ok_or_else(|| std::io::Error::other("journal path has no file name"))?;
-        let tmp = match dir {
-            Some(dir) => dir.join(format!(".{}.tmp", file_name.to_string_lossy())),
-            None => PathBuf::from(format!(".{}.tmp", file_name.to_string_lossy())),
-        };
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            for line in lines {
-                writeln!(file, "{line}")?;
-            }
-            file.sync_all()?;
-        }
-        std::fs::rename(&tmp, &self.path)
     }
 }
 

@@ -15,6 +15,14 @@
 //! fingerprints are computed once per distinct `Arc` in the batch, not
 //! per point. Only `Ok` reports are cached; errors always re-evaluate.
 //!
+//! When a persistent store is installed ([`crate::store::install_store`])
+//! the memo cache gains a disk tier: a miss consults the store under the
+//! same key before evaluating, and fresh results are written back — so a
+//! *new process* re-running a sweep warms up from records an earlier
+//! process paid for. Store records self-invalidate on schema or
+//! simulator-calibration changes, and a damaged store degrades to
+//! misses, never wrong results.
+//!
 //! ## Supervision
 //!
 //! Every point runs through [`mc_guard::supervise`]: a panic inside the
@@ -141,9 +149,37 @@ pub fn try_run_batch_supervised(points: Vec<EvalPoint>) -> Vec<Result<RunReport,
         let label = point.program.name.clone();
         let program = point.program.clone();
         let result = mc_guard::supervise(index, &label, move || {
-            eval_cache().get_or_try_compute(key, || {
+            let store = crate::store::store();
+            let mut computed = false;
+            let report = eval_cache().get_or_try_compute(key, || {
+                computed = true;
+                // Second tier: a record persisted by an earlier process
+                // answers without touching the simulator.
+                if let Some(store) = &store {
+                    let store_key = crate::store::eval_key(key);
+                    if let Some(report) = store
+                        .load(crate::store::EVAL_KIND, &store_key)
+                        .and_then(|payload| crate::store::decode_report(&payload))
+                    {
+                        return Ok(report);
+                    }
+                    let report = MicroLauncher::new(options.clone())
+                        .run(&KernelInput::program(program.clone()))?;
+                    store.save(
+                        crate::store::EVAL_KIND,
+                        &store_key,
+                        &crate::store::encode_report(&report),
+                    );
+                    return Ok(report);
+                }
                 MicroLauncher::new(options.clone()).run(&KernelInput::program(program.clone()))
-            })
+            });
+            if !computed {
+                if let Some(store) = &store {
+                    store.note_mem_hit();
+                }
+            }
+            report
         });
         if let (Some(journal), Some(journal_key)) = (&journal, &journal_key) {
             match &result {

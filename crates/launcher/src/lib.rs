@@ -34,6 +34,7 @@ pub mod launcher;
 pub mod measure;
 pub mod options;
 pub mod stability;
+pub mod store;
 pub mod sweeps;
 
 pub use batch::{run_batch, try_run_batch, try_run_batch_supervised, EvalPoint};

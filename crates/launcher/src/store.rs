@@ -1,0 +1,319 @@
+//! The launcher's side of the persistent evaluation store.
+//!
+//! `mc-store` is payload-agnostic; this module owns the meaning of its
+//! bytes — the fingerprints that scope a record's validity and the
+//! codecs that turn evaluation results and generated programs into
+//! payloads and back:
+//!
+//! * **schema fingerprint** — hashes the payload codec version together
+//!   with the [`RunReport`] CSV header, so a report that grows a field
+//!   invalidates every persisted entry at once;
+//! * **calibration fingerprint** — hashes the simulated-machine
+//!   configuration tables ([`mc_simarch::config::MachineConfig::table1`]),
+//!   so recalibrating the simulator invalidates results computed under
+//!   the old model;
+//! * **eval payloads** — the checkpoint field codec rendered as one
+//!   trace-event JSON line, the same bit-identical round trip the
+//!   resume journal already proves;
+//! * **gen payloads** — one JSON line per generated program (assembly
+//!   text plus variant metadata), persisted only after an in-memory
+//!   decode verifies the exact round trip, because evaluation keys hash
+//!   the program's `Debug` rendering and a lossy decode would silently
+//!   kill every downstream warm hit.
+//!
+//! The installed store is a process-wide slot, like the guard journal:
+//! binaries install it once at startup and the batch/sweep hot paths
+//! consult it on memo-cache misses.
+
+use crate::checkpoint;
+use crate::launcher::RunReport;
+use mc_kernel::program::{MemDir, Program, VariantMeta};
+use mc_store::DiskStore;
+use mc_trace::{EventKind, TraceEvent, Value};
+use std::path::Path;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Store namespace of evaluation results.
+pub const EVAL_KIND: &str = "eval";
+
+/// Store namespace of generated program sets.
+pub const GEN_KIND: &str = "gen";
+
+/// Bumped when either payload codec changes shape.
+const PAYLOAD_CODEC: &str = "store-payload-v1";
+
+/// Fingerprint scoping record validity to this build's payload shapes.
+pub fn schema_fingerprint() -> u64 {
+    mc_report::fnv1a64(format!("{PAYLOAD_CODEC} {}", RunReport::csv_header()).as_bytes())
+}
+
+/// Fingerprint scoping record validity to this build's simulator
+/// calibration (the machine configuration tables).
+pub fn calib_fingerprint() -> u64 {
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        mc_report::fnv1a64(format!("{:?}", mc_simarch::config::MachineConfig::table1()).as_bytes())
+    })
+}
+
+/// The store key of an evaluation memo key — same rendering as the
+/// checkpoint journal key, so the two ledgers correlate.
+pub fn eval_key(key: (u64, u64)) -> String {
+    format!("{:016x}-{:016x}", key.0, key.1)
+}
+
+/// The store key of a generation-cache key.
+pub fn gen_key(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+fn store_slot() -> &'static RwLock<Option<Arc<DiskStore>>> {
+    static STORE: OnceLock<RwLock<Option<Arc<DiskStore>>>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(None))
+}
+
+/// Opens a disk store rooted at `dir` under this build's fingerprints
+/// and installs it process-wide. Returns the handle (for end-of-run
+/// counter reporting and ledger flushing).
+pub fn install_store(dir: impl AsRef<Path>) -> Arc<DiskStore> {
+    let store = Arc::new(DiskStore::open(dir.as_ref(), schema_fingerprint(), calib_fingerprint()));
+    *store_slot().write().expect("store slot poisoned") = Some(store.clone());
+    store
+}
+
+/// The installed store, if any.
+pub fn store() -> Option<Arc<DiskStore>> {
+    store_slot().read().expect("store slot poisoned").clone()
+}
+
+/// Removes the installed store.
+pub fn clear_store() {
+    *store_slot().write().expect("store slot poisoned") = None;
+}
+
+/// Renders a report as a store payload: one trace-event JSON line over
+/// the checkpoint fields.
+pub fn encode_report(report: &RunReport) -> String {
+    let mut event = TraceEvent::new(EventKind::Event, "report");
+    event.fields = checkpoint::report_to_fields(report);
+    event.to_json()
+}
+
+/// Reconstructs a report from a store payload. `None` on any mismatch —
+/// the caller re-evaluates.
+pub fn decode_report(payload: &str) -> Option<RunReport> {
+    let event = TraceEvent::from_json(payload.trim()).ok()?;
+    if event.name != "report" {
+        return None;
+    }
+    checkpoint::report_from_fields(&event.fields)
+}
+
+fn join<T: ToString>(values: &[T]) -> String {
+    values.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+}
+
+fn encode_program(program: &Program) -> String {
+    let meta = &program.meta;
+    let mut event = TraceEvent::new(EventKind::Event, "program")
+        .with("name", program.name.as_str())
+        .with("asm", program.to_asm_string().as_str())
+        .with("nb_arrays", program.nb_arrays)
+        .with("element_bytes", u64::from(program.element_bytes))
+        .with("elements_per_iteration", program.elements_per_iteration)
+        .with("meta.kernel", meta.kernel.as_str())
+        .with("meta.unroll", meta.unroll)
+        .with("meta.directions", meta.directions.iter().map(|d| d.code()).collect::<String>())
+        .with("meta.strides", join(&meta.strides).as_str())
+        .with("meta.immediates", join(&meta.immediates).as_str());
+    if let Some(m) = meta.mnemonic {
+        event = event.with("meta.mnemonic", m.name().as_str());
+    }
+    if let Some(r) = meta.repeat {
+        event = event.with("meta.repeat", r);
+    }
+    event = event.with("meta.extra.len", meta.extra.len() as u64);
+    for (i, (k, v)) in meta.extra.iter().enumerate() {
+        event = event.with(format!("meta.extra.{i}.k"), k.as_str());
+        event = event.with(format!("meta.extra.{i}.v"), v.as_str());
+    }
+    event.to_json()
+}
+
+fn parsed_list<T: std::str::FromStr>(joined: &str) -> Option<Vec<T>> {
+    joined.split_whitespace().map(|part| part.parse().ok()).collect()
+}
+
+fn decode_program(line: &str) -> Option<Program> {
+    let event = TraceEvent::from_json(line.trim()).ok()?;
+    if event.name != "program" {
+        return None;
+    }
+    let text = |key: &str| event.field(key).and_then(Value::as_str).map(str::to_owned);
+    let uint = |key: &str| event.field(key).and_then(Value::as_u64);
+    let directions = text("meta.directions")?
+        .chars()
+        .map(|c| match c {
+            'L' => Some(MemDir::Load),
+            'S' => Some(MemDir::Store),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let mnemonic = match text("meta.mnemonic") {
+        Some(name) => Some(mc_asm::Mnemonic::from_name(&name)?),
+        None => None,
+    };
+    let mut extra = Vec::new();
+    for i in 0..uint("meta.extra.len")? {
+        extra.push((text(&format!("meta.extra.{i}.k"))?, text(&format!("meta.extra.{i}.v"))?));
+    }
+    let name = text("name")?;
+    let mut program = Program::from_asm_text(name, &text("asm")?).ok()?;
+    program.nb_arrays = u32::try_from(uint("nb_arrays")?).ok()?;
+    program.element_bytes = u8::try_from(uint("element_bytes")?).ok()?;
+    program.elements_per_iteration = uint("elements_per_iteration")?;
+    program.meta = VariantMeta {
+        kernel: text("meta.kernel")?,
+        unroll: u32::try_from(uint("meta.unroll")?).ok()?,
+        mnemonic,
+        directions,
+        strides: parsed_list(&text("meta.strides")?)?,
+        immediates: parsed_list(&text("meta.immediates")?)?,
+        repeat: match uint("meta.repeat") {
+            Some(r) => Some(u32::try_from(r).ok()?),
+            None => None,
+        },
+        extra,
+    };
+    Some(program)
+}
+
+/// Renders a generated program set as a store payload (one JSON line per
+/// program) — but only when every program provably round-trips: the
+/// evaluation key hashes the program's `Debug` rendering, so an encode
+/// the decoder cannot reproduce exactly must not be persisted at all.
+/// `None` means "do not persist"; generation simply stays per-process.
+pub fn encode_programs(programs: &[Arc<Program>]) -> Option<String> {
+    let mut lines = Vec::with_capacity(programs.len());
+    for program in programs {
+        let line = encode_program(program);
+        if decode_program(&line).as_ref() != Some(program) {
+            mc_trace::diag!("store: program `{}` does not round-trip; not persisted", program.name);
+            return None;
+        }
+        lines.push(line);
+    }
+    Some(lines.join("\n"))
+}
+
+/// Reconstructs a program set from a store payload. `None` on any
+/// mismatch — the caller regenerates.
+pub fn decode_programs(payload: &str) -> Option<Vec<Arc<Program>>> {
+    payload.lines().map(|line| decode_program(line).map(Arc::new)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::KernelInput;
+    use crate::launcher::MicroLauncher;
+    use crate::options::LauncherOptions;
+    use mc_creator::MicroCreator;
+    use mc_kernel::builder::{load_stream, multi_array_traversal};
+
+    #[test]
+    fn report_payload_round_trips_bit_identically() {
+        let desc = load_stream(mc_asm::Mnemonic::Movaps, 3, 3);
+        let p = MicroCreator::new().generate(&desc).unwrap().programs.remove(0);
+        let opts =
+            LauncherOptions { repetitions: 2, meta_repetitions: 2, ..LauncherOptions::default() };
+        let report = MicroLauncher::new(opts).run(&KernelInput::program(p)).unwrap();
+        let payload = encode_report(&report);
+        assert_eq!(decode_report(&payload), Some(report));
+    }
+
+    #[test]
+    fn generated_program_sets_round_trip_exactly() {
+        for desc in [
+            load_stream(mc_asm::Mnemonic::Movaps, 1, 4),
+            multi_array_traversal(mc_asm::Mnemonic::Movss, 3),
+        ] {
+            let programs: Vec<Arc<Program>> = MicroCreator::new()
+                .generate(&desc)
+                .unwrap()
+                .programs
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+            let payload = encode_programs(&programs).expect("generator output must round-trip");
+            let back = decode_programs(&payload).expect("decode");
+            assert_eq!(back, programs);
+            // The eval key hashes the Debug rendering; it must survive too.
+            for (a, b) in programs.iter().zip(&back) {
+                assert_eq!(
+                    crate::batch::program_fingerprint(a),
+                    crate::batch::program_fingerprint(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stride_and_repeat_variants_round_trip() {
+        let desc =
+            mc_kernel::builder::try_strided_stream(mc_asm::Mnemonic::Movss, &[1, 4, 64]).unwrap();
+        let programs: Vec<Arc<Program>> = MicroCreator::new()
+            .generate(&desc)
+            .unwrap()
+            .programs
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let payload = encode_programs(&programs).expect("strided variants must round-trip");
+        assert_eq!(decode_programs(&payload), Some(programs));
+    }
+
+    #[test]
+    fn damaged_payloads_decode_to_none() {
+        assert_eq!(decode_report("not json"), None);
+        assert_eq!(decode_report("{\"kind\":\"event\",\"name\":\"other\"}"), None);
+        assert_eq!(decode_programs("garbage\nlines"), None);
+        let desc = load_stream(mc_asm::Mnemonic::Movaps, 2, 2);
+        let programs: Vec<Arc<Program>> = MicroCreator::new()
+            .generate(&desc)
+            .unwrap()
+            .programs
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let payload = encode_programs(&programs).unwrap();
+        let truncated = &payload[..payload.len() / 2];
+        assert_eq!(decode_programs(truncated), None);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_within_a_build() {
+        assert_eq!(schema_fingerprint(), schema_fingerprint());
+        assert_eq!(calib_fingerprint(), calib_fingerprint());
+        assert_ne!(schema_fingerprint(), calib_fingerprint());
+    }
+
+    #[test]
+    fn install_store_round_trips_through_the_slot() {
+        // Other tests share the process-wide slot; restore it on exit.
+        let before = store();
+        let dir =
+            std::env::temp_dir().join(format!("mc_launcher_store_slot_{}", std::process::id()));
+        let handle = install_store(&dir);
+        assert_eq!(store().map(|s| s.root().to_owned()), Some(dir.clone()));
+        assert_eq!(handle.schema(), schema_fingerprint());
+        assert_eq!(handle.calib(), calib_fingerprint());
+        match before {
+            Some(prev) => {
+                *store_slot().write().unwrap() = Some(prev);
+            }
+            None => clear_store(),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,16 +25,52 @@ fn generation_cache() -> &'static MemoCache<u64, Arc<Vec<Arc<Program>>>> {
     CACHE.get_or_init(|| MemoCache::new("exec.gen"))
 }
 
+/// Drops every memoized generation (the in-memory tier only; persisted
+/// store records survive). Tests use this to simulate a fresh process.
+pub fn clear_generation_cache() {
+    generation_cache().clear();
+}
+
 /// Generates all programs for a description once per process, shared via
-/// `Arc` (default MicroCreator configuration).
+/// `Arc` (default MicroCreator configuration). With a persistent store
+/// installed, generation also checks the disk tier — a set persisted by
+/// an earlier process is reparsed instead of regenerated, and fresh sets
+/// are written back (only when they provably round-trip, because the
+/// evaluation keys hash the programs themselves).
 pub fn generate_shared(desc: &KernelDesc) -> Result<Arc<Vec<Arc<Program>>>, String> {
     let key = mc_report::fnv1a64(format!("{desc:?}").as_bytes());
-    generation_cache().get_or_try_compute(key, || {
+    let store = crate::store::store();
+    let mut computed = false;
+    let programs = generation_cache().get_or_try_compute(key, || {
+        computed = true;
+        if let Some(store) = &store {
+            let store_key = crate::store::gen_key(key);
+            if let Some(programs) = store
+                .load(crate::store::GEN_KIND, &store_key)
+                .and_then(|payload| crate::store::decode_programs(&payload))
+            {
+                return Ok(Arc::new(programs));
+            }
+            let programs: Vec<Arc<Program>> = MicroCreator::new()
+                .generate(desc)
+                .map(|r| r.programs.into_iter().map(Arc::new).collect())
+                .map_err(|e| e.to_string())?;
+            if let Some(payload) = crate::store::encode_programs(&programs) {
+                store.save(crate::store::GEN_KIND, &store_key, &payload);
+            }
+            return Ok(Arc::new(programs));
+        }
         MicroCreator::new()
             .generate(desc)
             .map(|r| Arc::new(r.programs.into_iter().map(Arc::new).collect::<Vec<_>>()))
             .map_err(|e| e.to_string())
-    })
+    });
+    if !computed {
+        if let Some(store) = &store {
+            store.note_mem_hit();
+        }
+    }
+    programs
 }
 
 /// One shared program per unroll factor (taking the pure-load variant

@@ -41,7 +41,7 @@ pub const REGISTRY_ENV: &str = "MICROTOOLS_REGISTRY";
 /// Manifest keys excluded from the run fingerprint: they vary between
 /// bit-identical runs (wall clock, scheduling width, resume bookkeeping).
 const VOLATILE_KEYS: &[&str] =
-    &["timestamp_unix", "registered_unix", "jobs", "checkpoint", "resumed_rows"];
+    &["timestamp_unix", "registered_unix", "jobs", "checkpoint", "resumed_rows", "store"];
 
 /// One measurement point inside a run record.
 #[derive(Debug, Clone, PartialEq)]

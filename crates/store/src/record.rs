@@ -1,0 +1,234 @@
+//! The on-disk record format: one self-validating file per entry.
+//!
+//! A record is a single header line followed by an exact-length payload:
+//!
+//! ```text
+//! microtools-store 1 schema=<16x> calib=<16x> key=<kind>:<key> len=<n> sum=<16x>
+//! <payload: exactly n bytes>
+//! ```
+//!
+//! The header carries everything needed to decide whether the payload is
+//! trustworthy *before* interpreting a byte of it:
+//!
+//! * **format version** — an unknown version is skipped, never parsed,
+//!   so an old build reading a newer store (or vice versa) degrades to a
+//!   cache miss;
+//! * **schema fingerprint** — hashes the shape of the payload the writer
+//!   produced; when the result type grows a field, every old entry
+//!   self-invalidates;
+//! * **calibration fingerprint** — hashes the simulated-machine
+//!   configuration tables; recalibrating the simulator invalidates every
+//!   result computed under the old model;
+//! * **key echo** — the content address the record claims to answer; a
+//!   mis-filed record is treated as corrupt rather than served;
+//! * **payload length + FNV-1a checksum** — a truncated (torn) or
+//!   bit-flipped payload is detected without a parse attempt.
+//!
+//! Decoding never panics and never returns a wrong payload: every
+//! failure mode collapses into [`RecordIssue`], which callers count and
+//! treat as a miss.
+
+use mc_report::fnv1a64;
+
+/// Leading magic token of every record header.
+pub const MAGIC: &str = "microtools-store";
+
+/// Current record format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a record on disk was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordIssue {
+    /// Torn, truncated, checksum-mismatched, mis-keyed, or otherwise
+    /// unparseable — the bytes cannot be trusted.
+    Corrupt(String),
+    /// A well-formed record in a format version this build does not
+    /// speak.
+    Version(u32),
+    /// A well-formed record written under a different schema or
+    /// simulator calibration — valid bytes, stale meaning.
+    Stale { schema: u64, calib: u64 },
+}
+
+impl RecordIssue {
+    /// Short classification label for counters and diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecordIssue::Corrupt(_) => "corrupt",
+            RecordIssue::Version(_) => "version",
+            RecordIssue::Stale { .. } => "stale",
+        }
+    }
+}
+
+/// What the reader expects a record to match.
+#[derive(Debug, Clone, Copy)]
+pub struct Expect<'a> {
+    /// Payload schema fingerprint of the current build.
+    pub schema: u64,
+    /// Simulator calibration fingerprint of the current build.
+    pub calib: u64,
+    /// Namespace the record was looked up in (`eval`, `gen`).
+    pub kind: &'a str,
+    /// Content address the caller asked for.
+    pub key: &'a str,
+}
+
+/// Encodes a record: header line plus payload, ready for an atomic write.
+pub fn encode(schema: u64, calib: u64, kind: &str, key: &str, payload: &str) -> Vec<u8> {
+    let header = format!(
+        "{MAGIC} {FORMAT_VERSION} schema={schema:016x} calib={calib:016x} key={kind}:{key} \
+         len={} sum={:016x}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes()),
+    );
+    let mut bytes = Vec::with_capacity(header.len() + payload.len());
+    bytes.extend_from_slice(header.as_bytes());
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes
+}
+
+fn corrupt(why: impl Into<String>) -> RecordIssue {
+    RecordIssue::Corrupt(why.into())
+}
+
+fn header_field(tokens: &[&str], name: &str) -> Result<String, RecordIssue> {
+    let prefix = format!("{name}=");
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(&prefix))
+        .map(str::to_owned)
+        .ok_or_else(|| corrupt(format!("header missing `{name}`")))
+}
+
+fn hex_field(tokens: &[&str], name: &str) -> Result<u64, RecordIssue> {
+    let raw = header_field(tokens, name)?;
+    u64::from_str_radix(&raw, 16).map_err(|_| corrupt(format!("bad hex in `{name}`")))
+}
+
+/// Parses only the prefix of a header: `(version, schema, calib)`.
+/// Best-effort — used by the stats scanner to build histograms without
+/// requiring full validity.
+pub fn peek_header(bytes: &[u8]) -> Option<(u32, u64, u64)> {
+    let newline = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.first() != Some(&MAGIC) {
+        return None;
+    }
+    let version = tokens.get(1)?.parse().ok()?;
+    let schema = u64::from_str_radix(&header_field(&tokens, "schema").ok()?, 16).ok()?;
+    let calib = u64::from_str_radix(&header_field(&tokens, "calib").ok()?, 16).ok()?;
+    Some((version, schema, calib))
+}
+
+/// Validates a record against `expect` and returns its payload.
+pub fn decode(bytes: &[u8], expect: &Expect<'_>) -> Result<String, RecordIssue> {
+    let newline =
+        bytes.iter().position(|&b| b == b'\n').ok_or_else(|| corrupt("no header line"))?;
+    let header = std::str::from_utf8(&bytes[..newline]).map_err(|_| corrupt("header not UTF-8"))?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.first() != Some(&MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    let version: u32 =
+        tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(|| corrupt("bad version token"))?;
+    if version != FORMAT_VERSION {
+        return Err(RecordIssue::Version(version));
+    }
+    let schema = hex_field(&tokens, "schema")?;
+    let calib = hex_field(&tokens, "calib")?;
+    let key = header_field(&tokens, "key")?;
+    let len: usize = header_field(&tokens, "len")?.parse().map_err(|_| corrupt("bad `len`"))?;
+    let sum = hex_field(&tokens, "sum")?;
+    if key != format!("{}:{}", expect.kind, expect.key) {
+        return Err(corrupt(format!("key mismatch: record says `{key}`")));
+    }
+    if schema != expect.schema || calib != expect.calib {
+        return Err(RecordIssue::Stale { schema, calib });
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() != len {
+        return Err(corrupt(format!("torn payload: {} of {len} bytes", payload.len())));
+    }
+    if fnv1a64(payload) != sum {
+        return Err(corrupt("payload checksum mismatch"));
+    }
+    String::from_utf8(payload.to_vec()).map_err(|_| corrupt("payload not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expect<'a>(key: &'a str) -> Expect<'a> {
+        Expect { schema: 0xabc, calib: 0xdef, kind: "eval", key }
+    }
+
+    fn sample() -> Vec<u8> {
+        encode(0xabc, 0xdef, "eval", "k1", "the payload\nwith a second line")
+    }
+
+    #[test]
+    fn round_trips() {
+        let payload = decode(&sample(), &expect("k1")).unwrap();
+        assert_eq!(payload, "the payload\nwith a second line");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_corrupt_or_unversioned_never_a_hit() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut], &expect("k1"));
+            assert!(r.is_err(), "served a truncated record at {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_the_payload_fail_the_checksum() {
+        let mut bytes = sample();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        assert!(matches!(decode(&bytes, &expect("k1")), Err(RecordIssue::Corrupt(_))));
+    }
+
+    #[test]
+    fn future_versions_are_reported_not_parsed() {
+        let mut bytes = encode(0xabc, 0xdef, "eval", "k1", "p");
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        bytes = text.replacen("microtools-store 1 ", "microtools-store 9 ", 1).into_bytes();
+        assert_eq!(decode(&bytes, &expect("k1")), Err(RecordIssue::Version(9)));
+    }
+
+    #[test]
+    fn schema_and_calibration_changes_invalidate() {
+        let bytes = sample();
+        let stale_schema = Expect { schema: 0x111, ..expect("k1") };
+        assert!(matches!(decode(&bytes, &stale_schema), Err(RecordIssue::Stale { .. })));
+        let stale_calib = Expect { calib: 0x222, ..expect("k1") };
+        assert!(matches!(decode(&bytes, &stale_calib), Err(RecordIssue::Stale { .. })));
+    }
+
+    #[test]
+    fn misfiled_records_are_corrupt_not_served() {
+        let bytes = sample();
+        assert!(matches!(decode(&bytes, &expect("other")), Err(RecordIssue::Corrupt(_))));
+        let wrong_kind = Expect { kind: "gen", ..expect("k1") };
+        assert!(matches!(decode(&bytes, &wrong_kind), Err(RecordIssue::Corrupt(_))));
+    }
+
+    #[test]
+    fn garbage_is_corrupt_not_a_panic() {
+        for garbage in
+            [&b""[..], b"\n", b"not a record\npayload", b"microtools-store\n", b"\xff\xfe\n\xff"]
+        {
+            assert!(decode(garbage, &expect("k1")).is_err());
+        }
+    }
+
+    #[test]
+    fn peek_reads_version_and_fingerprints() {
+        assert_eq!(peek_header(&sample()), Some((1, 0xabc, 0xdef)));
+        assert_eq!(peek_header(b"junk\n"), None);
+    }
+}
