@@ -10,6 +10,7 @@
 //! reproduce --csv-dir=out    # also write each experiment's series as CSV
 //! reproduce --adaptive       # adaptive repetition control (μOpTime)
 //! reproduce --store=DIR      # persistent evaluation store (warm reruns)
+//! reproduce --profile[=DIR]  # per-evaluation mc-scope profiles
 //! ```
 //!
 //! `--adaptive[=bool]` switches every experiment's sweeps to adaptive
@@ -35,8 +36,8 @@ use mc_report::experiments::ExperimentId;
 use mc_report::series::render_chart;
 use mc_report::{CsvWriter, RunManifest};
 use mc_tools::{
-    exitcode, take_guard_flags, take_jobs_flag, take_store_flags, GuardSession, PulseSession,
-    StoreSession, TraceSession,
+    exitcode, take_guard_flags, take_jobs_flag, take_profile_flags, take_store_flags, GuardSession,
+    ProfileSession, PulseSession, StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::path::Path;
@@ -147,7 +148,14 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(args, &guard, &mut pulse, &store);
+    let mut profile = match take_profile_flags(&mut args, pulse.registry_root()) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args, &guard, &mut pulse, &store, &mut profile);
     store.finish();
     session.finish();
     code
@@ -172,6 +180,7 @@ fn run(
     guard: &GuardSession,
     pulse: &mut PulseSession,
     store: &StoreSession,
+    profile: &mut ProfileSession,
 ) -> ExitCode {
     let mut exp: Option<String> = None;
     let mut summary_only = false;
@@ -308,7 +317,7 @@ fn run(
     } else {
         exitcode::REGRESSION
     };
-    if pulse.active() {
+    let run_id = if pulse.active() {
         let mut manifest = RunManifest::new();
         manifest.set("tool", "reproduce");
         manifest.set("input", input_label.as_str());
@@ -320,7 +329,10 @@ fn run(
         if let Some(root) = store.root() {
             manifest.set("store", root.display().to_string());
         }
-        pulse.finish("reproduce", manifest, code);
-    }
+        pulse.finish("reproduce", manifest, code)
+    } else {
+        None
+    };
+    profile.finish(run_id.as_deref());
     ExitCode::from(code)
 }

@@ -7,7 +7,8 @@
 //! mc-report trend [--registry=DIR] [--last=N] [--top=N]
 //!                 [--threshold=FRACTION] [--json[=PATH]]
 //! mc-report import-bench <BENCH.json>... [--registry=DIR]
-//! mc-report store stats <dir> [--gc --max-bytes=N]
+//! mc-report store stats <dir> [--gc --max-bytes=N] [--json[=PATH]]
+//! mc-report profile <file.jsonl> [--check] [--format=chrome[:OUT]]
 //! ```
 //!
 //! `diff` joins two sweep CSVs (microlauncher output, or the
@@ -30,7 +31,15 @@
 //! (`--store=DIR` on the measurement tools): entry count and bytes per
 //! record kind, the version/fingerprint histogram, cumulative hit-ledger
 //! totals, and — with `--gc --max-bytes=N` — evicts oldest records until
-//! the store fits the byte budget.
+//! the store fits the byte budget. `--json` emits the same summary as
+//! one JSON object (machine-readable, like `trend --json`).
+//!
+//! `profile` renders a per-evaluation mc-scope profile (written by the
+//! measurement tools' `--profile`): port-pressure heatmap, critical-path
+//! table, instruction timeline, and the evidence-backed verdict.
+//! `--check` validates the file and prints a one-line summary instead;
+//! `--format=chrome:OUT` exports the instruction timeline as a
+//! Chrome-trace document for `chrome://tracing` / Perfetto.
 
 use mc_insight::{diff_documents, render_diff, DiffOptions};
 use mc_pulse::{import_bench, Registry, TrendOptions};
@@ -44,7 +53,8 @@ const USAGE: &str = "usage: mc-report <command> [options]\n\
   trend                       [--registry=DIR] [--last=N] [--top=N]\n\
                               [--threshold=FRACTION] [--json[=PATH]]\n\
   import-bench <BENCH.json>.. [--registry=DIR]\n\
-  store stats <dir>           [--gc --max-bytes=N]\n\
+  store stats <dir>           [--gc --max-bytes=N] [--json[=PATH]]\n\
+  profile <file.jsonl>        [--check] [--format=chrome[:OUT]]\n\
 common: [--trace=PATH] [--metrics] [--quiet]";
 
 fn main() -> ExitCode {
@@ -74,6 +84,7 @@ fn run(flags: Vec<String>, positional: Vec<String>) -> ExitCode {
         Some("trend") => trend(flags, &positional[1..]),
         Some("import-bench") => import(flags, &positional[1..]),
         Some("store") => store_cmd(flags, &positional[1..]),
+        Some("profile") => profile_cmd(flags, &positional[1..]),
         Some(other) => usage_error(&format!("unknown command `{other}`")),
         None => usage_error("missing command"),
     }
@@ -267,7 +278,8 @@ fn trend(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
 }
 
 /// `store stats <dir>`: what a persistent evaluation store holds and how
-/// it has been hit across processes, plus opt-in size-budget GC.
+/// it has been hit across processes, plus opt-in size-budget GC and a
+/// `--json` machine-readable mode.
 fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
     let want_gc = take_flag(&mut flags, "--gc").is_some();
     let max_bytes = match take_flag(&mut flags, "--max-bytes") {
@@ -277,6 +289,7 @@ fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
         },
         None => None,
     };
+    let json = take_flag(&mut flags, "--json");
     if want_gc != max_bytes.is_some() {
         return usage_error("store stats: --gc and --max-bytes=N go together");
     }
@@ -294,15 +307,21 @@ fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
         diag!("{dir}: not a directory");
         return ExitCode::from(exitcode::USAGE);
     }
+    let mut gc_report = None;
     if let Some(budget) = max_bytes {
         match mc_store::gc(root, budget) {
-            Ok(report) => println!(
-                "gc: removed {} of {} entries ({} of {} bytes) to fit {budget} bytes",
-                report.removed_entries,
-                report.scanned_entries,
-                report.removed_bytes,
-                report.scanned_bytes
-            ),
+            Ok(report) => {
+                if json.as_deref() != Some("") {
+                    println!(
+                        "gc: removed {} of {} entries ({} of {} bytes) to fit {budget} bytes",
+                        report.removed_entries,
+                        report.scanned_entries,
+                        report.removed_bytes,
+                        report.scanned_bytes
+                    );
+                }
+                gc_report = Some(report);
+            }
             Err(e) => {
                 diag!("gc failed under {dir}: {e}");
                 return ExitCode::from(exitcode::EVAL);
@@ -316,8 +335,30 @@ fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
+    let ledger = mc_store::ledger_totals(root);
+    if json.is_some() {
+        let text = store_stats_json(dir, &scan, &ledger, max_bytes, gc_report.as_ref());
+        match json.as_deref() {
+            Some("") => println!("{text}"),
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, format!("{text}\n")) {
+                    diag!("--json: cannot write {path}: {e}");
+                    return ExitCode::from(exitcode::USAGE);
+                }
+            }
+            None => unreachable!("json.is_some() checked above"),
+        }
+        if json.as_deref() == Some("") {
+            return ExitCode::from(exitcode::OK);
+        }
+    }
     println!("store {dir}");
-    println!("  entries: {} ({} bytes)", scan.entries, scan.bytes);
+    println!(
+        "  entries: {} ({}, {} bytes)",
+        scan.entries,
+        mc_report::table::human_bytes(scan.bytes),
+        scan.bytes
+    );
     for (kind, count) in &scan.kinds {
         println!("    {kind}: {count}");
     }
@@ -330,7 +371,6 @@ fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
             println!("    v{version} schema={schema:016x} calib={calib:016x}: {count}");
         }
     }
-    let ledger = mc_store::ledger_totals(root);
     if ledger.processes == 0 {
         println!("  ledger: no recorded processes");
     } else {
@@ -342,6 +382,159 @@ fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
         );
     }
     ExitCode::from(exitcode::OK)
+}
+
+/// The `store stats --json` document: one canonical JSON object, shaped
+/// like `trend --json` (sorted keys, numbers as numbers).
+fn store_stats_json(
+    dir: &str,
+    scan: &mc_store::StoreScan,
+    ledger: &mc_store::LedgerTotals,
+    budget: Option<u64>,
+    gc: Option<&mc_store::GcReport>,
+) -> String {
+    use mc_pulse::Json;
+    use std::collections::BTreeMap;
+    let mut o = BTreeMap::new();
+    o.insert("root".to_owned(), Json::Str(dir.to_owned()));
+    o.insert("entries".to_owned(), Json::Num(scan.entries as f64));
+    o.insert("bytes".to_owned(), Json::Num(scan.bytes as f64));
+    o.insert("bytes_human".to_owned(), Json::Str(mc_report::table::human_bytes(scan.bytes)));
+    o.insert("unreadable".to_owned(), Json::Num(scan.unreadable as f64));
+    let kinds: BTreeMap<String, Json> =
+        scan.kinds.iter().map(|(k, n)| (k.clone(), Json::Num(*n as f64))).collect();
+    o.insert("kinds".to_owned(), Json::Obj(kinds));
+    let versions: Vec<Json> = scan
+        .versions
+        .iter()
+        .map(|((version, schema, calib), count)| {
+            let mut v = BTreeMap::new();
+            v.insert("version".to_owned(), Json::Num(f64::from(*version)));
+            v.insert("schema".to_owned(), Json::Str(format!("{schema:016x}")));
+            v.insert("calibration".to_owned(), Json::Str(format!("{calib:016x}")));
+            v.insert("entries".to_owned(), Json::Num(*count as f64));
+            Json::Obj(v)
+        })
+        .collect();
+    o.insert("versions".to_owned(), Json::Arr(versions));
+    let mut l = BTreeMap::new();
+    l.insert("processes".to_owned(), Json::Num(ledger.processes as f64));
+    let c = &ledger.counters;
+    for (key, n) in [
+        ("hit_mem", c.hit_mem),
+        ("hit_disk", c.hit_disk),
+        ("miss", c.miss),
+        ("saved", c.saved),
+        ("corrupt", c.skipped_corrupt),
+        ("stale", c.stale),
+    ] {
+        l.insert(key.to_owned(), Json::Num(n as f64));
+    }
+    o.insert("ledger".to_owned(), Json::Obj(l));
+    if let (Some(budget), Some(gc)) = (budget, gc) {
+        let mut g = BTreeMap::new();
+        g.insert("budget_bytes".to_owned(), Json::Num(budget as f64));
+        g.insert("removed_entries".to_owned(), Json::Num(gc.removed_entries as f64));
+        g.insert("scanned_entries".to_owned(), Json::Num(gc.scanned_entries as f64));
+        g.insert("removed_bytes".to_owned(), Json::Num(gc.removed_bytes as f64));
+        g.insert("scanned_bytes".to_owned(), Json::Num(gc.scanned_bytes as f64));
+        o.insert("gc".to_owned(), Json::Obj(g));
+    }
+    Json::Obj(o).render()
+}
+
+/// `profile <file.jsonl>`: render (or validate, or export) one
+/// per-evaluation mc-scope profile.
+fn profile_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
+    let check = take_flag(&mut flags, "--check").is_some();
+    let format = take_flag(&mut flags, "--format");
+    if let Err(e) = reject_unknown(&flags) {
+        return usage_error(&e);
+    }
+    let [path] = positional else {
+        return usage_error("profile takes exactly one profile .jsonl path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            diag!("cannot read {path}: {e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    if check {
+        return match mc_scope::jsonl::validate(&text) {
+            Ok(summary) => {
+                println!("{path}: {summary}");
+                ExitCode::from(exitcode::OK)
+            }
+            Err(e) => {
+                diag!("{path}: invalid profile: {e}");
+                ExitCode::from(exitcode::REGRESSION)
+            }
+        };
+    }
+    let profile = match mc_scope::jsonl::decode(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{path}: invalid profile: {e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    match format.as_deref() {
+        None => {
+            print!("{}", mc_scope::render::full_report(&profile));
+            let lines = mc_insight::evidence(&profile);
+            if !lines.is_empty() {
+                println!("─ evidence (profile line: record backing the verdict) ─");
+                for l in &lines {
+                    println!("  L{}: {}", l.line, l.text);
+                }
+            }
+            ExitCode::from(exitcode::OK)
+        }
+        Some(spec) if spec == "chrome" || spec.starts_with("chrome:") => {
+            let out = spec.strip_prefix("chrome:").filter(|s| !s.is_empty());
+            let document = profile_chrome_trace(&profile);
+            match out {
+                None => print!("{document}"),
+                Some(out_path) => {
+                    if let Err(e) =
+                        mc_report::atomic_write_str(std::path::Path::new(out_path), &document)
+                    {
+                        diag!("--format=chrome: cannot write {out_path}: {e}");
+                        return ExitCode::from(exitcode::USAGE);
+                    }
+                    println!("wrote Chrome trace to {out_path}");
+                }
+            }
+            ExitCode::from(exitcode::OK)
+        }
+        Some(other) => usage_error(&format!("--format: unknown format `{other}` (chrome[:OUT])")),
+    }
+}
+
+/// Renders the profile's reconstructed instruction timeline as one
+/// Chrome-trace document, reusing the mc-trace exporter: one span per
+/// instruction lifetime (issue → retire, microseconds stand in for
+/// cycles), named by the instruction text, on a per-port "thread".
+fn profile_chrome_trace(profile: &mc_scope::EvalProfile) -> String {
+    let insts: std::collections::HashMap<usize, &mc_scope::InstScope> =
+        profile.insts().into_iter().map(|(_, i)| (i.index, i)).collect();
+    let sink = mc_trace::ChromeTraceSink::in_memory();
+    for (seq, (_, t)) in profile.timeline().into_iter().enumerate() {
+        let name =
+            insts.get(&t.inst).map_or_else(|| format!("inst#{}", t.inst), |i| i.text.clone());
+        let mut event = mc_trace::TraceEvent::new(mc_trace::EventKind::Span, name)
+            .with("inst", t.inst as u64)
+            .with("iteration", u64::from(t.iteration))
+            .with("port", t.port.as_str())
+            .with("waited_on", t.wait.as_str());
+        event.seq = seq as u64;
+        event.micros = t.issue.round() as u64;
+        event.duration_micros = Some((t.retire - t.issue).round().max(1.0) as u64);
+        mc_trace::TraceSink::record(&sink, &event);
+    }
+    sink.render()
 }
 
 fn import(mut flags: Vec<String>, positional: &[String]) -> ExitCode {

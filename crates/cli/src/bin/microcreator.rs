@@ -13,8 +13,8 @@
 use mc_creator::emit::{render_asm_unit, write_programs};
 use mc_creator::{CreatorConfig, MicroCreator};
 use mc_tools::{
-    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, take_store_flags,
-    PulseSession, StoreSession, TraceSession,
+    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, take_profile_flags,
+    take_store_flags, ProfileSession, PulseSession, StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::path::PathBuf;
@@ -35,6 +35,7 @@ options:
   --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast
   --checkpoint=PATH [--resume]   supervised execution (see README)
   --store=DIR      persistent evaluation store (MICROTOOLS_STORE)
+  --profile[=DIR]  per-evaluation mc-scope profiles (MICROTOOLS_PROFILE)
   --trace=PATH     stream trace events as JSONL to PATH (or `stderr`);
                    MICROTOOLS_TRACE / MICROTOOLS_TRACE_FILTER also apply
   --metrics        print the end-of-run pass-timing table to stderr
@@ -67,7 +68,14 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(flags, positional, &mut pulse, &store);
+    let mut profile = match take_profile_flags(&mut flags, pulse.registry_root()) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional, &mut pulse, &store, &mut profile);
     store.finish();
     session.finish();
     code
@@ -78,6 +86,7 @@ fn run(
     positional: Vec<String>,
     pulse: &mut PulseSession,
     store: &StoreSession,
+    profile: &mut ProfileSession,
 ) -> ExitCode {
     if let Err(e) = take_jobs_flag(&mut flags) {
         diag!("{e}");
@@ -231,7 +240,7 @@ fn run(
     }
     // Generation produces no measurement CSV; the registered record is
     // the manifest alone, so trend listings still show the run happened.
-    if pulse.active() {
+    let run_id = if pulse.active() {
         let mut manifest = mc_report::RunManifest::new();
         manifest.set("tool", "microcreator");
         manifest.set("input", input.as_str());
@@ -240,7 +249,10 @@ fn run(
         if let Some(root) = store.root() {
             manifest.set("store", root.display().to_string());
         }
-        pulse.finish("microcreator", manifest, exitcode::OK);
-    }
+        pulse.finish("microcreator", manifest, exitcode::OK)
+    } else {
+        None
+    };
+    profile.finish(run_id.as_deref());
     ExitCode::from(exitcode::OK)
 }

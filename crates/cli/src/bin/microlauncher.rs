@@ -20,8 +20,8 @@ use mc_creator::MicroCreator;
 use mc_launcher::launcher::RunReport;
 use mc_launcher::{KernelInput, LauncherOptions, MicroLauncher};
 use mc_tools::{
-    exitcode, guard_exit_code, take_guard_flags, take_jobs_flag, take_store_flags, PulseSession,
-    StoreSession, TraceSession,
+    exitcode, guard_exit_code, take_guard_flags, take_jobs_flag, take_profile_flags,
+    take_store_flags, ProfileSession, PulseSession, StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::process::ExitCode;
@@ -35,6 +35,7 @@ fn usage() -> String {
          --deadline-ms=N --retries=N --max-failures=N --keep-going | --fail-fast\n  \
          --checkpoint=PATH [--resume] (supervised execution; see README)\n  \
          --store=DIR (persistent evaluation store; MICROTOOLS_STORE)\n  \
+         --profile[=DIR] (per-evaluation mc-scope profiles; MICROTOOLS_PROFILE)\n  \
          --trace=PATH --metrics --quiet (observability; see README)\n  \
          --register --registry=DIR (persist this run; see README)\n  \
          --progress[=tty|jsonl|jsonl:PATH] --metrics-listen=ADDR (live view)\n\
@@ -110,13 +111,25 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(args, &mut pulse, &store);
+    let mut profile = match take_profile_flags(&mut args, pulse.registry_root()) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(args, &mut pulse, &store, &mut profile);
     store.finish();
     session.finish();
     code
 }
 
-fn run(mut args: Vec<String>, pulse: &mut PulseSession, store: &StoreSession) -> ExitCode {
+fn run(
+    mut args: Vec<String>,
+    pulse: &mut PulseSession,
+    store: &StoreSession,
+    profile: &mut ProfileSession,
+) -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
         return ExitCode::from(exitcode::OK);
@@ -179,7 +192,8 @@ fn run(mut args: Vec<String>, pulse: &mut PulseSession, store: &StoreSession) ->
                 );
                 print!("{document}");
                 pulse.record_document(&document_name(input), &document);
-                pulse.finish("microlauncher", manifest, exitcode::OK);
+                let run_id = pulse.finish("microlauncher", manifest, exitcode::OK);
+                profile.finish(run_id.as_deref());
                 ExitCode::from(exitcode::OK)
             }
             Err(e) => {
@@ -269,6 +283,7 @@ fn run(mut args: Vec<String>, pulse: &mut PulseSession, store: &StoreSession) ->
     print!("{document}");
     let code = guard_exit_code();
     pulse.record_document(&document_name(input), &document);
-    pulse.finish("microlauncher", manifest, code);
+    let run_id = pulse.finish("microlauncher", manifest, code);
+    profile.finish(run_id.as_deref());
     ExitCode::from(code)
 }

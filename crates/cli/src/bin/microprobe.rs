@@ -10,6 +10,9 @@
 //! bottleneck kernels (dependency chain, port saturation, streaming
 //! loads, strided RAM traffic) through the timing model, printing what
 //! each one is bound on per the `mc-insight` attribution engine.
+//! `--evidence` extends each verdict with the mc-scope profile records
+//! that back it, cited by profile line; `--profile[=DIR]` writes the
+//! full per-evaluation profiles for `mc-report profile` to render.
 
 use mc_asm::inst::Mnemonic;
 use mc_creator::MicroCreator;
@@ -24,8 +27,8 @@ use mc_simarch::config::Level;
 use mc_simarch::energy::{energy_frequency_sweep, energy_optimal_frequency};
 use mc_simarch::exec::{estimate, ExecEnv, Workload};
 use mc_tools::{
-    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, take_store_flags,
-    PulseSession, StoreSession, TraceSession,
+    exitcode, split_args, take_flag, take_guard_flags, take_jobs_flag, take_profile_flags,
+    take_store_flags, ProfileSession, PulseSession, StoreSession, TraceSession,
 };
 use mc_trace::diag;
 use std::process::ExitCode;
@@ -54,7 +57,14 @@ fn main() -> ExitCode {
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let code = run(flags, positional, &mut pulse, &store);
+    let mut profile = match take_profile_flags(&mut flags, pulse.registry_root()) {
+        Ok(p) => p,
+        Err(e) => {
+            diag!("{e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let code = run(flags, positional, &mut pulse, &store, &mut profile);
     store.finish();
     session.finish();
     code
@@ -65,11 +75,12 @@ fn run(
     positional: Vec<String>,
     pulse: &mut PulseSession,
     store: &StoreSession,
+    profile: &mut ProfileSession,
 ) -> ExitCode {
     const USAGE: &str = "usage: microprobe [x5650|x7550|e31240|sandybridge|nehalem2|nehalem4] \
-                         [--explain] [--jobs=N] [--store=DIR] [--trace=PATH] [--metrics] \
-                         [--quiet] [--register] [--registry=DIR] [--progress[=MODE]] \
-                         [--metrics-listen=ADDR]";
+                         [--explain [--evidence]] [--jobs=N] [--store=DIR] [--profile[=DIR]] \
+                         [--trace=PATH] [--metrics] [--quiet] [--register] [--registry=DIR] \
+                         [--progress[=MODE]] [--metrics-listen=ADDR]";
     if let Err(e) = take_jobs_flag(&mut flags) {
         diag!("{e}\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
@@ -79,6 +90,11 @@ fn run(
         return ExitCode::from(exitcode::USAGE);
     }
     let explain_mode = take_flag(&mut flags, "--explain").is_some();
+    let evidence_mode = take_flag(&mut flags, "--evidence").is_some();
+    if evidence_mode && !explain_mode {
+        diag!("--evidence requires --explain\n{USAGE}");
+        return ExitCode::from(exitcode::USAGE);
+    }
     if let Some(unknown) = flags.first() {
         diag!("unknown option `{unknown}`\n{USAGE}");
         return ExitCode::from(exitcode::USAGE);
@@ -89,7 +105,23 @@ fn run(
         return ExitCode::from(exitcode::USAGE);
     };
     if explain_mode {
-        return explain(preset);
+        let code = explain(preset, evidence_mode);
+        // An explain run registers like the probe: manifest only, so the
+        // collected profiles get stamped with a real run ID.
+        let run_id = if pulse.active() {
+            let mut manifest = mc_report::RunManifest::new();
+            manifest.set("tool", "microprobe");
+            manifest.set("machine", preset.name());
+            manifest.set("input", format!("explain:{}", preset.name()));
+            if let Some(root) = store.root() {
+                manifest.set("store", root.display().to_string());
+            }
+            pulse.finish("microprobe", manifest, exitcode::OK)
+        } else {
+            None
+        };
+        profile.finish(run_id.as_deref());
+        return code;
     }
     let mut probe_span = mc_trace::span("probe.machine");
     probe_span.field("machine", preset.name());
@@ -168,7 +200,7 @@ fn run(
     // The probe's product is its stdout report; the registered record is
     // the manifest alone so the characterization run stays on the time
     // axis alongside measured sweeps.
-    if pulse.active() {
+    let run_id = if pulse.active() {
         let mut manifest = mc_report::RunManifest::new();
         manifest.set("tool", "microprobe");
         manifest.set("machine", preset.name());
@@ -176,14 +208,20 @@ fn run(
         if let Some(root) = store.root() {
             manifest.set("store", root.display().to_string());
         }
-        pulse.finish("microprobe", manifest, exitcode::OK);
-    }
+        pulse.finish("microprobe", manifest, exitcode::OK)
+    } else {
+        None
+    };
+    profile.finish(run_id.as_deref());
     ExitCode::from(exitcode::OK)
 }
 
 /// `--explain`: run the canonical bottleneck kernels through the timing
-/// model and print what each is bound on.
-fn explain(preset: MachinePreset) -> ExitCode {
+/// model and print what each is bound on. With `--evidence` (or an
+/// installed `--profile` collector) every estimate also records an
+/// mc-scope profile; evidence mode then cites, per verdict, the profile
+/// lines that back it.
+fn explain(preset: MachinePreset, evidence_mode: bool) -> ExitCode {
     let machine = preset.config();
     println!("══ {} — bottleneck attribution ══", machine.name);
     let generated = |desc: &mc_kernel::KernelDesc| -> Program {
@@ -216,11 +254,43 @@ fn explain(preset: MachinePreset) -> ExitCode {
         "share",
         "runner-up",
     ]);
+    let profiler = mc_launcher::profile::profiler();
+    let mut cited: Vec<(String, String, String, Vec<mc_insight::EvidenceLine>)> = Vec::new();
     for (program, level) in &cases {
         let env = ExecEnv::single_core(preset.config());
         let workload = Workload::resident_at(&env.machine, *level);
-        let timing = estimate(program, &workload, &env);
+        let profiling = evidence_mode || profiler.is_some();
+        let mut collector = profiling.then(|| mc_scope::Collector::new(program.name.clone()));
+        let timing = match collector.as_mut() {
+            Some(c) => mc_simarch::estimate_with_scope(program, &workload, &env, c),
+            None => estimate(program, &workload, &env),
+        };
         let a = attribute(&timing, &env.machine);
+        if let Some(collector) = collector {
+            let mut prof = collector.finish();
+            prof.program_fingerprint =
+                format!("{:016x}", mc_launcher::batch::program_fingerprint(program));
+            // Key the profile exactly as a launcher run of this case would.
+            let o = LauncherOptions {
+                machine: preset,
+                residence: Some(*level),
+                verify: false,
+                ..LauncherOptions::default()
+            };
+            prof.options_fingerprint = format!("{:016x}", o.fingerprint());
+            prof.set_verdict(mc_insight::verdict_of(&a));
+            if evidence_mode {
+                cited.push((
+                    program.name.clone(),
+                    level.name().to_owned(),
+                    format!("{} ({}.jsonl)", a.class.name(), prof.key()),
+                    mc_insight::evidence(&prof),
+                ));
+            }
+            if let Some(p) = &profiler {
+                p.record(prof);
+            }
+        }
         mc_trace::event(
             "insight.attribution",
             vec![
@@ -242,5 +312,17 @@ fn explain(preset: MachinePreset) -> ExitCode {
         ]);
     }
     println!("{}", table.render());
+    if evidence_mode {
+        println!("─ evidence (profile line: record backing the verdict) ─");
+        for (kernel, level, verdict, lines) in &cited {
+            println!("{kernel} @ {level} — {verdict}");
+            if lines.is_empty() {
+                println!("  (no profile records back this verdict)");
+            }
+            for l in lines {
+                println!("  L{}: {}", l.line, l.text);
+            }
+        }
+    }
     ExitCode::from(exitcode::OK)
 }

@@ -441,14 +441,21 @@ impl PulseSession {
 
     /// Tears down live monitoring and, under `--register`, writes the
     /// run record. Call once, after the product output is complete, with
-    /// the exit code the process is about to return.
-    pub fn finish(&mut self, tool: &str, manifest: mc_report::RunManifest, status: u8) {
+    /// the exit code the process is about to return. Returns the
+    /// registered run ID so companion artifacts (evaluation profiles)
+    /// can link back to the run.
+    pub fn finish(
+        &mut self,
+        tool: &str,
+        manifest: mc_report::RunManifest,
+        status: u8,
+    ) -> Option<String> {
         self.finished = true;
         mc_trace::uninstall_progress();
         if let Some(tty) = &self.tty {
             tty.clear();
         }
-        let Some(registry) = &self.registry else { return };
+        let registry = self.registry.as_ref()?;
         let mut record =
             mc_pulse::RunRecord::new(tool, env!("CARGO_PKG_VERSION"), i32::from(status), manifest);
         for (name, text) in &self.documents {
@@ -460,8 +467,12 @@ impl PulseSession {
         match registry.register(&record) {
             Ok(run_id) => {
                 mc_trace::diag!("registered run {run_id} in {}", registry.root().display());
+                Some(run_id)
             }
-            Err(e) => mc_trace::diag!("pulse: registration failed: {e}"),
+            Err(e) => {
+                mc_trace::diag!("pulse: registration failed: {e}");
+                None
+            }
         }
     }
 
@@ -573,6 +584,86 @@ impl Drop for StoreSession {
         // A panic or early exit still flushes the ledger and clears the
         // process-wide slot.
         self.finish();
+    }
+}
+
+/// Environment variable selecting the evaluation-profile directory.
+pub const PROFILE_ENV: &str = "MICROTOOLS_PROFILE";
+
+/// What [`take_profile_flags`] set up: the installed mc-scope evaluation
+/// profiler, if any, plus the end-of-run finalization it implies.
+#[derive(Default)]
+pub struct ProfileSession {
+    profiler: Option<std::sync::Arc<mc_launcher::profile::Profiler>>,
+}
+
+/// Extracts `--profile[=DIR]` and installs the per-evaluation profiler.
+///
+/// * `--profile=DIR` writes one `<key>.jsonl` profile per evaluated
+///   kernel into `DIR`.
+/// * Bare `--profile` defaults to `<registry root>/profiles` when the
+///   run registers (`--register` / `--registry`), else `profiles/`.
+/// * Without the flag, the `MICROTOOLS_PROFILE` environment variable
+///   supplies the directory.
+///
+/// Profiling is observation only: it is not a launcher option, never
+/// reaches the memo/store fingerprints, and a profiled run produces
+/// byte-identical CSV output and store records. Memo and store warm
+/// hits skip evaluation entirely and therefore record no profile — a
+/// profile documents an evaluation that actually ran.
+pub fn take_profile_flags(
+    flags: &mut Vec<String>,
+    registry_root: Option<&std::path::Path>,
+) -> Result<ProfileSession, String> {
+    let dir = match take_flag(flags, "--profile") {
+        Some(dir) if dir.is_empty() => Some(
+            registry_root
+                .map_or_else(|| std::path::PathBuf::from("profiles"), |r| r.join("profiles")),
+        ),
+        Some(dir) => Some(std::path::PathBuf::from(dir)),
+        None => {
+            std::env::var(PROFILE_ENV).ok().filter(|v| !v.is_empty()).map(std::path::PathBuf::from)
+        }
+    };
+    let Some(dir) = dir else { return Ok(ProfileSession::default()) };
+    let profiler =
+        mc_launcher::profile::install_profiler(&dir).map_err(|e| format!("--profile: {e}"))?;
+    Ok(ProfileSession { profiler: Some(profiler) })
+}
+
+impl ProfileSession {
+    /// True when profiling is on for this run.
+    pub fn active(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The profile directory, when profiling.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.profiler.as_deref().map(mc_launcher::profile::Profiler::dir)
+    }
+
+    /// Stamps the registered run ID into the collected profiles, writes
+    /// the `index.jsonl` ledger, prints a diagnostic summary, and
+    /// uninstalls the profiler. Call once, after [`PulseSession::finish`]
+    /// (whose return value is the `run_id`).
+    pub fn finish(&mut self, run_id: Option<&str>) {
+        let Some(profiler) = self.profiler.take() else { return };
+        mc_launcher::profile::clear_profiler();
+        let count = profiler.finish(run_id);
+        if count > 0 {
+            mc_trace::diag!(
+                "profiles: {count} evaluation profile(s) in {}",
+                profiler.dir().display()
+            );
+        }
+    }
+}
+
+impl Drop for ProfileSession {
+    fn drop(&mut self) {
+        // A panic or early exit still lands the collected profiles
+        // (without a run ID) and clears the process-wide slot.
+        self.finish(None);
     }
 }
 
@@ -727,6 +818,35 @@ mod tests {
         // finish() without a registry is a no-op, not a panic.
         session.finish("test", mc_report::RunManifest::new(), 0);
         assert_eq!(flags, vec!["--other=1"]);
+    }
+
+    #[test]
+    fn profile_session_without_flags_is_inert() {
+        let mut flags: Vec<String> = vec!["--other=1".into()];
+        let mut session = take_profile_flags(&mut flags, None).unwrap();
+        assert!(!session.active());
+        assert!(session.dir().is_none());
+        session.finish(None);
+        assert_eq!(flags, vec!["--other=1"]);
+    }
+
+    #[test]
+    fn profile_flag_resolves_directories() {
+        let base = std::env::temp_dir().join(format!("mc-cli-profile-{}", std::process::id()));
+        let mut explicit: Vec<String> = vec![format!("--profile={}", base.join("p").display())];
+        let mut session = take_profile_flags(&mut explicit, None).unwrap();
+        assert!(session.active());
+        assert!(explicit.is_empty());
+        assert_eq!(session.dir(), Some(base.join("p").as_path()));
+        session.finish(None);
+        assert!(!session.active(), "finish uninstalls");
+
+        // Bare --profile lands beside the registry when the run registers.
+        let mut bare: Vec<String> = vec!["--profile".into()];
+        let mut session = take_profile_flags(&mut bare, Some(&base)).unwrap();
+        assert_eq!(session.dir(), Some(base.join("profiles").as_path()));
+        session.finish(None);
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

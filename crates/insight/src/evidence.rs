@@ -1,0 +1,337 @@
+//! Evidence-backed verdicts: cite the profile records behind a bottleneck.
+//!
+//! [`attribute`](crate::attribute) names the binding constraint; this
+//! module grounds that name in the evaluation's mc-scope profile. Each
+//! [`EvidenceLine`] pairs a human sentence with the 1-based JSONL line of
+//! the record it cites, so `microprobe --explain --evidence` (and anyone
+//! reading the profile file) can jump straight from the claim to the
+//! data: "dep-chain bound" points at the recorded critical-path hops,
+//! "ram-bound" at the cache service stream, "load-port" at the port
+//! pressure histogram.
+
+use crate::attribution::{Attribution, BottleneckClass};
+use mc_scope::{EvalProfile, PortWindowScope, VerdictScope};
+use mc_simarch::uops::PortClass;
+
+/// Renders an attribution as the verdict record a profile stores.
+pub fn verdict_of(a: &Attribution) -> VerdictScope {
+    VerdictScope {
+        class: a.class.name().to_string(),
+        bound_cycles: a.bound_cycles,
+        measured_cycles: a.measured_cycles,
+        share: a.share(),
+        runner_up: a.runner_up.map_or_else(String::new, |c| c.name().to_string()),
+        runner_up_cycles: a.runner_up_cycles,
+    }
+}
+
+/// One citation: a claim plus the profile line that backs it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvidenceLine {
+    /// 1-based line number in the profile JSONL file.
+    pub line: usize,
+    /// The claim the cited record supports.
+    pub text: String,
+}
+
+impl EvidenceLine {
+    fn new(line: usize, text: impl Into<String>) -> Self {
+        EvidenceLine { line, text: text.into() }
+    }
+}
+
+/// Cites the profile records that back the profile's own verdict.
+///
+/// Returns an empty list when the profile has no verdict, and a
+/// generic bound citation when the verdict class is unknown to this
+/// build. Every non-empty result cites at least one concrete record.
+pub fn evidence(profile: &EvalProfile) -> Vec<EvidenceLine> {
+    let Some(verdict) = profile.verdict() else {
+        return Vec::new();
+    };
+    let mut lines = match BottleneckClass::from_name(&verdict.class) {
+        Some(BottleneckClass::Frontend) => frontend_evidence(profile),
+        Some(BottleneckClass::Port(pc)) => port_evidence(profile, pc),
+        Some(BottleneckClass::DepChain) => dep_chain_evidence(profile),
+        Some(BottleneckClass::Memory(level)) => memory_evidence(profile, level.name()),
+        Some(BottleneckClass::Contention(level)) => contention_evidence(profile, level.name()),
+        None => Vec::new(),
+    };
+    if lines.is_empty() {
+        // Unknown class or a profile missing the expected records: fall
+        // back to citing whichever named bound matches the verdict.
+        lines.extend(bound_line(profile, &verdict.class, "the winning bound"));
+    }
+    lines
+}
+
+/// Cites the bound record named `name`, phrased with `role`.
+fn bound_line(profile: &EvalProfile, name: &str, role: &str) -> Option<EvidenceLine> {
+    profile.bounds().into_iter().find(|(_, b)| b.name == name).map(|(i, b)| {
+        EvidenceLine::new(
+            profile.line_of(i),
+            format!("{role}: `{}` = {:.3} cycles/iteration", b.name, b.cycles),
+        )
+    })
+}
+
+fn frontend_evidence(profile: &EvalProfile) -> Vec<EvidenceLine> {
+    let mut lines = Vec::new();
+    if let Some(m) = profile.machine() {
+        let fused: u32 = profile.insts().iter().map(|(_, i)| i.fused_uops).sum();
+        // The machine record is always the first profile record.
+        lines.push(EvidenceLine::new(
+            profile.line_of(0),
+            format!(
+                "{} decodes {} fused µops/cycle; the loop body issues {} per iteration",
+                m.name, m.frontend_width, fused
+            ),
+        ));
+    }
+    lines.extend(bound_line(profile, "frontend", "decode-bandwidth bound"));
+    let stalls = profile.stalls();
+    let stalled: u64 = stalls.iter().map(|(_, s)| s.end - s.start).sum();
+    if let Some((i, _)) = stalls.first() {
+        lines.push(EvidenceLine::new(
+            profile.line_of(*i),
+            format!(
+                "scheduler reconstruction: {} zero-issue interval(s), {} cycle(s) stalled",
+                stalls.len(),
+                stalled
+            ),
+        ));
+    }
+    lines
+}
+
+fn port_evidence(profile: &EvalProfile, pc: PortClass) -> Vec<EvidenceLine> {
+    let class = pc.name();
+    let mut lines = Vec::new();
+    if let Some((i, b)) = profile.port_bounds().into_iter().find(|(_, b)| b.class == class) {
+        let servers = profile.machine().map_or(0, |m| m.servers(class));
+        lines.push(EvidenceLine::new(
+            profile.line_of(i),
+            format!(
+                "{:.2} `{class}` µops/iteration over {servers} port(s) bounds the loop at {:.3} cycles",
+                b.uops, b.cycles
+            ),
+        ));
+    }
+    if let Some((i, w, busy)) = peak_window(profile, class) {
+        lines.push(EvidenceLine::new(
+            profile.line_of(i),
+            format!(
+                "port-pressure peak: `{class}` {:.0}% busy in cycle window {}..{}",
+                busy * 100.0,
+                w.start,
+                w.start + u64::from(w.width)
+            ),
+        ));
+    }
+    lines
+}
+
+/// The window where `class` is busiest, with its occupancy.
+fn peak_window<'p>(
+    profile: &'p EvalProfile,
+    class: &str,
+) -> Option<(usize, &'p PortWindowScope, f64)> {
+    profile
+        .port_windows()
+        .into_iter()
+        .filter_map(|(i, w)| {
+            let busy = w.busy.iter().find(|(c, _)| c == class).map(|(_, b)| *b)?;
+            Some((i, w, busy))
+        })
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+}
+
+fn dep_chain_evidence(profile: &EvalProfile) -> Vec<EvidenceLine> {
+    let mut lines = Vec::new();
+    lines.extend(bound_line(profile, "recurrence", "loop-carried recurrence bound"));
+    let path = profile.critical_path();
+    if let (Some((first, _)), Some((_, last_hop))) = (path.first(), path.last()) {
+        let total: f64 = path.iter().map(|(_, h)| h.latency).sum();
+        let carried = path.iter().filter(|(_, h)| h.carried).count();
+        lines.push(EvidenceLine::new(
+            profile.line_of(*first),
+            format!(
+                "critical path: {} hop(s), {carried} loop-carried, {total:.1} cycles, ending at instruction #{}",
+                path.len(),
+                last_hop.inst
+            ),
+        ));
+    }
+    if let Some((i, e)) = profile
+        .dep_edges()
+        .into_iter()
+        .filter(|(_, e)| e.carried)
+        .max_by(|a, b| a.1.latency.total_cmp(&b.1.latency))
+    {
+        lines.push(EvidenceLine::new(
+            profile.line_of(i),
+            format!(
+                "slowest carried edge: instruction #{} feeds #{} through `{}` ({:.1} cycles)",
+                e.from, e.to, e.reg, e.latency
+            ),
+        ));
+    }
+    lines
+}
+
+fn memory_evidence(profile: &EvalProfile, level: &str) -> Vec<EvidenceLine> {
+    let mut lines = Vec::new();
+    let bound = if level == "L1" || level == "L2" { "memory_core" } else { "memory_uncore_ns" };
+    let role = format!("{level} bandwidth bound");
+    lines.extend(bound_line(profile, bound, &role));
+    lines.extend(cache_stream_line(profile, level));
+    if let Some((i, n)) = profile.notes().into_iter().find(|(_, n)| n.key == "residence") {
+        lines.push(EvidenceLine::new(
+            profile.line_of(i),
+            format!("working set resides in {}", n.value),
+        ));
+    }
+    lines
+}
+
+fn contention_evidence(profile: &EvalProfile, level: &str) -> Vec<EvidenceLine> {
+    let mut lines = Vec::new();
+    if let Some((i, t)) = topology(profile) {
+        let worst = t.sockets.iter().copied().max().unwrap_or(1);
+        lines.push(EvidenceLine::new(
+            profile.line_of(i),
+            format!(
+                "{} core(s) ({} on the fullest socket) share {:.1} GB/s of {level} bandwidth, {:.0} bytes/iteration each",
+                t.active_cores, worst, t.socket_bandwidth_gbs, t.bytes_per_iteration
+            ),
+        ));
+    }
+    lines.extend(bound_line(profile, "contention_factor", "contention slowdown factor"));
+    lines.extend(cache_stream_line(profile, level));
+    lines
+}
+
+fn topology(profile: &EvalProfile) -> Option<(usize, &mc_scope::TopologyScope)> {
+    profile.records.iter().enumerate().find_map(|(i, r)| match r {
+        mc_scope::Record::Topology(t) => Some((i, t)),
+        _ => None,
+    })
+}
+
+/// Cites the cache service stream with `level`'s share of accesses.
+fn cache_stream_line(profile: &EvalProfile, level: &str) -> Option<EvidenceLine> {
+    let (i, stream) = profile.cache_stream()?;
+    let total: u64 = stream.totals.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return None;
+    }
+    let served = stream.totals.iter().find(|(l, _)| l == level).map_or(0, |(_, n)| *n);
+    Some(EvidenceLine::new(
+        profile.line_of(i),
+        format!(
+            "cache replay: {served} of {total} line accesses ({:.0}%) served by {level}",
+            served as f64 / total as f64 * 100.0
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_scope::{
+        BoundScope, CritScope, DepEdgeScope, MachineScope, PortBoundScope, ScopeSink,
+        TopologyScope, VerdictScope,
+    };
+
+    fn base_collector() -> mc_scope::Collector {
+        let mut c = mc_scope::Collector::new("k");
+        c.machine(MachineScope {
+            name: "test".into(),
+            frontend_width: 4.0,
+            load_ports: 1.0,
+            div_block_cycles: 22.0,
+            taken_branch_cycles: 1.0,
+            ..MachineScope::default()
+        });
+        c.bound(BoundScope { name: "frontend".into(), cycles: 2.0 });
+        c.bound(BoundScope { name: "recurrence".into(), cycles: 4.0 });
+        c.bound(BoundScope { name: "memory_uncore_ns".into(), cycles: 3.0 });
+        c.bound(BoundScope { name: "contention_factor".into(), cycles: 1.5 });
+        c
+    }
+
+    fn with_verdict(mut profile: EvalProfile, class: &str) -> EvalProfile {
+        profile.set_verdict(VerdictScope { class: class.into(), ..VerdictScope::default() });
+        profile
+    }
+
+    #[test]
+    fn no_verdict_means_no_evidence() {
+        let profile = base_collector().finish();
+        assert!(evidence(&profile).is_empty());
+    }
+
+    #[test]
+    fn every_line_cites_a_real_record() {
+        let mut c = base_collector();
+        c.port_bound(PortBoundScope { class: "load".into(), uops: 8.0, cycles: 8.0 });
+        c.dep_edge(DepEdgeScope {
+            from: 2,
+            to: 0,
+            reg: "xmm0".into(),
+            latency: 4.0,
+            carried: true,
+        });
+        c.crit_hop(CritScope { step: 0, inst: 2, reg: String::new(), latency: 4.0, carried: true });
+        let profile = with_verdict(c.finish(), "dep-chain");
+        let lines = evidence(&profile);
+        assert!(!lines.is_empty());
+        for line in &lines {
+            assert!(line.line >= 2, "line 1 is the header: {line:?}");
+            assert!(line.line <= profile.records.len() + 1, "{line:?}");
+        }
+        // The recurrence bound and the critical path are both cited.
+        assert!(lines.iter().any(|l| l.text.contains("recurrence")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.text.contains("critical path")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.text.contains("xmm0")), "{lines:?}");
+    }
+
+    #[test]
+    fn port_verdicts_cite_pressure_and_bound() {
+        let mut c = base_collector();
+        c.port_bound(PortBoundScope { class: "load".into(), uops: 8.0, cycles: 8.0 });
+        let profile = with_verdict(c.finish(), "load-port");
+        let lines = evidence(&profile);
+        assert!(lines.iter().any(|l| l.text.contains("`load` µops")), "{lines:?}");
+    }
+
+    #[test]
+    fn contention_verdicts_cite_topology() {
+        let mut c = base_collector();
+        c.topology(TopologyScope {
+            active_cores: 8,
+            sockets: vec![4, 4],
+            socket_bandwidth_gbs: 20.0,
+            bytes_per_iteration: 64.0,
+        });
+        for _ in 0..10 {
+            c.cache_access(mc_scope::profile::RAM_LEVEL);
+        }
+        let profile = with_verdict(c.finish(), "contention-ram");
+        let lines = evidence(&profile);
+        assert!(lines.iter().any(|l| l.text.contains("fullest socket")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.text.contains("served by RAM")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.text.contains("contention")), "{lines:?}");
+    }
+
+    #[test]
+    fn unknown_class_falls_back_to_the_named_bound() {
+        let profile = with_verdict(base_collector().finish(), "frontend");
+        let lines = evidence(&profile);
+        assert!(lines.iter().any(|l| l.text.contains("decode-bandwidth")), "{lines:?}");
+        // A verdict class with no matching records yields nothing rather
+        // than fabricated citations.
+        let empty = with_verdict(base_collector().finish(), "no-such-class");
+        assert!(evidence(&empty).is_empty());
+    }
+}

@@ -11,6 +11,9 @@
 //!   [`RunReport`](../mc_launcher/launcher/struct.RunReport.html) and CSV
 //!   row, so downstream tooling can answer "what is this variant bound
 //!   on?" without re-running the model.
+//! * [`evidence`] — grounds an attribution verdict in the evaluation's
+//!   mc-scope profile: each claim is paired with the JSONL line of the
+//!   profile record that backs it (`microprobe --explain --evidence`).
 //! * [`diff`] — compares two run CSVs by manifest provenance, derives a
 //!   per-point noise threshold from the stability samples (min/median/max
 //!   spread per row, plus a p95-of-spreads floor across the baseline) and
@@ -19,9 +22,11 @@
 
 pub mod attribution;
 pub mod diff;
+pub mod evidence;
 
 pub use attribution::{attribute, Attribution, BottleneckClass};
 pub use diff::{
     diff_documents, load_document, render_diff, DiffEntry, DiffOptions, DiffReport, SweepDoc,
     SweepPoint,
 };
+pub use evidence::{evidence, verdict_of, EvidenceLine};

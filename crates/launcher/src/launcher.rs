@@ -211,8 +211,25 @@ impl MicroLauncher {
             placement: o.placement,
         };
         let workload = env.workload();
-        let timing = estimate(program, &workload, &exec_env);
+        let profiler = crate::profile::profiler();
+        let mut collector =
+            profiler.as_ref().map(|_| mc_scope::Collector::new(program.name.clone()));
+        let timing = match collector.as_mut() {
+            Some(c) => mc_simarch::estimate_with_scope(program, &workload, &exec_env, c),
+            None => estimate(program, &workload, &exec_env),
+        };
+        if let Some(c) = collector.as_mut() {
+            self.profile_cache_stream(program, &env, c);
+        }
         let bottleneck = attribute(&timing, &env.machine);
+        if let (Some(profiler), Some(collector)) = (profiler, collector) {
+            let mut profile = collector.finish();
+            profile.program_fingerprint =
+                format!("{:016x}", crate::batch::program_fingerprint(program));
+            profile.options_fingerprint = format!("{:016x}", o.fingerprint());
+            profile.set_verdict(mc_insight::verdict_of(&bottleneck));
+            profiler.record(profile);
+        }
         if mc_trace::enabled() {
             mc_trace::event(
                 "insight.attribution",
@@ -420,6 +437,31 @@ impl MicroLauncher {
         observed
     }
 
+    /// Feeds the profile collector a steady-state cache-access stream:
+    /// the same heat-then-replay protocol as [`Self::verify_residence`],
+    /// with the steady pass replayed through the scope sink so the
+    /// profile records which level served each line.
+    fn profile_cache_stream(
+        &self,
+        program: &Program,
+        env: &KernelEnvironment,
+        sink: &mut dyn mc_scope::ScopeSink,
+    ) {
+        use mc_simarch::cachesim::CacheHierarchy;
+        let mut hierarchy = CacheHierarchy::for_machine(&env.machine);
+        for pass in 0..2 {
+            let mut interp = env.interpreter(program);
+            interp.record_trace(16 << 20);
+            interp.run(program, self.options.max_interp_steps);
+            if pass == 0 {
+                hierarchy.replay(interp.trace());
+                hierarchy.reset_counters();
+            } else {
+                hierarchy.replay_with_scope(interp.trace(), sink);
+            }
+        }
+    }
+
     fn run_standalone(&self, program: &Program, iterations: u64) -> Result<RunReport, String> {
         let o = &self.options;
         let env = KernelEnvironment::prepare(o, program)?;
@@ -593,6 +635,40 @@ mod tests {
         // ~1 cycle/load on the Nehalem load port.
         let cpl = report.cycles_per_iteration / 8.0;
         assert!((0.8..=1.6).contains(&cpl), "cycles/load {cpl}");
+    }
+
+    #[test]
+    fn profiled_run_records_a_complete_eval_profile() {
+        let _guard = crate::profile::test_slot_lock().lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("mc_profiled_run_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profiler = crate::profile::install_profiler(&dir).unwrap();
+        let report = MicroLauncher::with_defaults().run(&movaps_input(8)).unwrap();
+        crate::profile::clear_profiler();
+        assert_eq!(profiler.len(), 1, "one evaluation, one profile");
+        assert_eq!(profiler.finish(Some("run-under-test")), 1);
+
+        let index = std::fs::read_to_string(dir.join("index.jsonl")).unwrap();
+        let file = index.split("\"file\":\"").nth(1).unwrap().split('"').next().unwrap();
+        let profile =
+            mc_scope::jsonl::decode(&std::fs::read_to_string(dir.join(file)).unwrap()).unwrap();
+
+        // The profile documents the run it came from.
+        assert_eq!(profile.run_id, "run-under-test");
+        assert_eq!(profile.kernel, report.name);
+        let verdict = profile.verdict().expect("verdict recorded");
+        let b = report.bottleneck.as_ref().unwrap();
+        assert_eq!(verdict.class, b.class.name());
+        assert_eq!(verdict.bound_cycles, b.bound_cycles);
+        // And carries the full evidence: instructions, bounds, the
+        // scheduler reconstruction, and the cache-access stream.
+        assert!(!profile.insts().is_empty());
+        assert!(!profile.bounds().is_empty());
+        assert!(!profile.timeline().is_empty());
+        assert!(!profile.port_windows().is_empty());
+        let (_, cache) = profile.cache_stream().expect("cache stream recorded");
+        assert!(cache.totals.iter().any(|(_, n)| *n > 0), "{cache:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

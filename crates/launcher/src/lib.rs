@@ -33,6 +33,7 @@ pub mod input;
 pub mod launcher;
 pub mod measure;
 pub mod options;
+pub mod profile;
 pub mod stability;
 pub mod store;
 pub mod sweeps;

@@ -54,9 +54,36 @@ pub fn fmt_f(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
 }
 
+/// Renders a byte count for humans: exact below 1 KiB, one decimal of
+/// KiB/MiB/GiB above. Binary units — this sizes caches and stores, not
+/// disks in a catalogue.
+pub fn human_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if b < KIB * KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else if b < KIB * KIB * KIB {
+        format!("{:.1} MiB", b / (KIB * KIB))
+    } else {
+        format!("{:.1} GiB", b / (KIB * KIB * KIB))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn human_bytes_picks_the_right_unit() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.0 KiB");
+        assert_eq!(human_bytes(34_567), "33.8 KiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
 
     #[test]
     fn renders_aligned_columns() {

@@ -1,0 +1,800 @@
+//! The versioned JSONL profile format.
+//!
+//! Line 1 is the header object; every following line is one record with
+//! a `"t"` discriminator. Encoding is deterministic: fixed field order,
+//! floats rendered with Rust's shortest round-trip formatting, no
+//! timestamps — the same profile always produces the same bytes, so
+//! profiles are diffable and byte-identical across `--jobs` counts.
+//!
+//! ```text
+//! {"format":"mc-scope","version":1,"schema":"mc-scope/v1","kernel":…}
+//! {"t":"machine","name":"x5650",…}
+//! {"t":"inst","i":0,"text":"movsd (%rsi), %xmm0",…}
+//! …
+//! {"t":"verdict","class":"dep-chain",…}
+//! ```
+//!
+//! [`decode`] is strict for the current version and refuses future
+//! versions with a clear message — a reader never mis-parses a newer
+//! format silently.
+
+use crate::profile::{
+    BoundScope, CacheStreamScope, CritScope, DepEdgeScope, EvalProfile, InstScope, MachineScope,
+    NoteScope, PortBoundScope, PortWindowScope, Record, StallScope, TimelineScope, TopologyScope,
+    UopScope, VerdictScope, FORMAT_VERSION,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------- encode
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn field_str(out: &mut String, key: &str, value: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str(out, key);
+    out.push(':');
+    push_str(out, value);
+}
+
+fn field_num(out: &mut String, key: &str, value: f64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str(out, key);
+    out.push(':');
+    push_num(out, value);
+}
+
+fn field_bool(out: &mut String, key: &str, value: bool, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str(out, key);
+    out.push_str(if value { ":true" } else { ":false" });
+}
+
+fn field_raw(out: &mut String, key: &str, raw: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str(out, key);
+    out.push(':');
+    out.push_str(raw);
+}
+
+fn str_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(&mut out, item);
+    }
+    out.push(']');
+    out
+}
+
+fn pair_array<V: Copy + Into<f64>>(items: &[(String, V)]) -> String {
+    let mut out = String::from("[");
+    for (i, (name, v)) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_str(&mut out, name);
+        out.push(',');
+        push_num(&mut out, (*v).into());
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+fn encode_record(r: &Record) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    let f = &mut first;
+    match r {
+        Record::Machine(m) => {
+            field_str(&mut out, "t", "machine", f);
+            field_str(&mut out, "name", &m.name, f);
+            field_num(&mut out, "frontend_width", m.frontend_width, f);
+            field_num(&mut out, "load_ports", m.load_ports, f);
+            field_num(&mut out, "store_ports", m.store_ports, f);
+            field_num(&mut out, "int_alu_ports", m.int_alu_ports, f);
+            field_num(&mut out, "fp_add_ports", m.fp_add_ports, f);
+            field_num(&mut out, "fp_mul_ports", m.fp_mul_ports, f);
+            field_num(&mut out, "div_block_cycles", m.div_block_cycles, f);
+            field_num(&mut out, "taken_branch_cycles", m.taken_branch_cycles, f);
+            field_num(&mut out, "nominal_ghz", m.nominal_ghz, f);
+        }
+        Record::Topology(t) => {
+            field_str(&mut out, "t", "topo", f);
+            field_num(&mut out, "cores", f64::from(t.active_cores), f);
+            let sockets: Vec<String> =
+                t.sockets.iter().map(std::string::ToString::to_string).collect();
+            field_raw(&mut out, "sockets", &format!("[{}]", sockets.join(",")), f);
+            field_num(&mut out, "bw_gbs", t.socket_bandwidth_gbs, f);
+            field_num(&mut out, "bytes_per_iter", t.bytes_per_iteration, f);
+        }
+        Record::Inst(i) => {
+            field_str(&mut out, "t", "inst", f);
+            field_num(&mut out, "i", i.index as f64, f);
+            field_str(&mut out, "text", &i.text, f);
+            field_raw(&mut out, "reads", &str_array(&i.reads), f);
+            field_raw(&mut out, "writes", &str_array(&i.writes), f);
+            field_num(&mut out, "fused", f64::from(i.fused_uops), f);
+            let mut uops = String::from("[");
+            for (k, u) in i.uops.iter().enumerate() {
+                if k > 0 {
+                    uops.push(',');
+                }
+                uops.push('[');
+                push_str(&mut uops, &u.port);
+                uops.push(',');
+                push_num(&mut uops, u.latency);
+                uops.push(']');
+            }
+            uops.push(']');
+            field_raw(&mut out, "uops", &uops, f);
+        }
+        Record::PortBound(b) => {
+            field_str(&mut out, "t", "port_bound", f);
+            field_str(&mut out, "class", &b.class, f);
+            field_num(&mut out, "uops", b.uops, f);
+            field_num(&mut out, "cycles", b.cycles, f);
+        }
+        Record::Bound(b) => {
+            field_str(&mut out, "t", "bound", f);
+            field_str(&mut out, "name", &b.name, f);
+            field_num(&mut out, "cycles", b.cycles, f);
+        }
+        Record::Note(n) => {
+            field_str(&mut out, "t", "note", f);
+            field_str(&mut out, "key", &n.key, f);
+            field_str(&mut out, "value", &n.value, f);
+        }
+        Record::DepEdge(e) => {
+            field_str(&mut out, "t", "dep", f);
+            field_num(&mut out, "from", e.from as f64, f);
+            field_num(&mut out, "to", e.to as f64, f);
+            field_str(&mut out, "reg", &e.reg, f);
+            field_num(&mut out, "lat", e.latency, f);
+            field_bool(&mut out, "carried", e.carried, f);
+        }
+        Record::Crit(c) => {
+            field_str(&mut out, "t", "crit", f);
+            field_num(&mut out, "step", c.step as f64, f);
+            field_num(&mut out, "inst", c.inst as f64, f);
+            field_str(&mut out, "reg", &c.reg, f);
+            field_num(&mut out, "lat", c.latency, f);
+            field_bool(&mut out, "carried", c.carried, f);
+        }
+        Record::Timeline(t) => {
+            field_str(&mut out, "t", "tl", f);
+            field_num(&mut out, "inst", t.inst as f64, f);
+            field_num(&mut out, "iter", f64::from(t.iteration), f);
+            field_num(&mut out, "issue", t.issue, f);
+            field_num(&mut out, "dispatch", t.dispatch, f);
+            field_num(&mut out, "retire", t.retire, f);
+            field_str(&mut out, "port", &t.port, f);
+            field_str(&mut out, "wait", &t.wait, f);
+        }
+        Record::PortWindow(w) => {
+            field_str(&mut out, "t", "pw", f);
+            field_num(&mut out, "start", w.start as f64, f);
+            field_num(&mut out, "width", f64::from(w.width), f);
+            field_raw(&mut out, "busy", &pair_array(&w.busy), f);
+        }
+        Record::Stall(s) => {
+            field_str(&mut out, "t", "stall", f);
+            field_num(&mut out, "start", s.start as f64, f);
+            field_num(&mut out, "end", s.end as f64, f);
+            field_str(&mut out, "reason", &s.reason, f);
+        }
+        Record::Cache(c) => {
+            field_str(&mut out, "t", "cache", f);
+            let totals: Vec<(String, f64)> =
+                c.totals.iter().map(|(n, v)| (n.clone(), *v as f64)).collect();
+            field_raw(&mut out, "totals", &pair_array(&totals), f);
+            let runs: Vec<(String, f64)> =
+                c.runs.iter().map(|(n, v)| (n.clone(), f64::from(*v))).collect();
+            field_raw(&mut out, "runs", &pair_array(&runs), f);
+            field_num(&mut out, "truncated", c.truncated as f64, f);
+        }
+        Record::Verdict(v) => {
+            field_str(&mut out, "t", "verdict", f);
+            field_str(&mut out, "class", &v.class, f);
+            field_num(&mut out, "bound_cycles", v.bound_cycles, f);
+            field_num(&mut out, "measured", v.measured_cycles, f);
+            field_num(&mut out, "share", v.share, f);
+            field_str(&mut out, "runner_up", &v.runner_up, f);
+            field_num(&mut out, "runner_up_cycles", v.runner_up_cycles, f);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Encodes a profile as versioned JSONL (header line + one record per
+/// line, trailing newline).
+pub fn encode(profile: &EvalProfile) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    let f = &mut first;
+    field_str(&mut out, "format", "mc-scope", f);
+    field_num(&mut out, "version", f64::from(profile.format_version), f);
+    field_str(&mut out, "schema", &profile.schema, f);
+    field_str(&mut out, "kernel", &profile.kernel, f);
+    field_str(&mut out, "program_fp", &profile.program_fingerprint, f);
+    field_str(&mut out, "options_fp", &profile.options_fingerprint, f);
+    field_str(&mut out, "run_id", &profile.run_id, f);
+    out.push_str("}\n");
+    for r in &profile.records {
+        out.push_str(&encode_record(r));
+        out.push('\n');
+    }
+    out
+}
+
+// ----------------------------------------------------------------- parse
+
+/// A parsed JSON value (the subset the format uses).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn str_of(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("missing string field `{key}`")),
+        }
+    }
+
+    fn num_of(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Json::Num(n)) => Ok(*n),
+            _ => Err(format!("missing numeric field `{key}`")),
+        }
+    }
+
+    fn bool_of(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("missing boolean field `{key}`")),
+        }
+    }
+
+    fn arr_of(&self, key: &str) -> Result<&[Json], String> {
+        match self.get(key) {
+            Some(Json::Arr(a)) => Ok(a),
+            _ => Err(format!("missing array field `{key}`")),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unexpected end of string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse_line(line: &str) -> Result<Json, String> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn string_pairs(items: &[Json], what: &str) -> Result<Vec<(String, f64)>, String> {
+    items
+        .iter()
+        .map(|item| match item {
+            Json::Arr(pair) => match (pair.first(), pair.get(1)) {
+                (Some(Json::Str(s)), Some(Json::Num(n))) => Ok((s.clone(), *n)),
+                _ => Err(format!("bad {what} pair")),
+            },
+            _ => Err(format!("bad {what} entry")),
+        })
+        .collect()
+}
+
+fn strings(items: &[Json], what: &str) -> Result<Vec<String>, String> {
+    items
+        .iter()
+        .map(|item| match item {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(format!("bad {what} entry")),
+        })
+        .collect()
+}
+
+fn decode_record(v: &Json) -> Result<Record, String> {
+    let t = v.str_of("t")?;
+    Ok(match t.as_str() {
+        "machine" => Record::Machine(MachineScope {
+            name: v.str_of("name")?,
+            frontend_width: v.num_of("frontend_width")?,
+            load_ports: v.num_of("load_ports")?,
+            store_ports: v.num_of("store_ports")?,
+            int_alu_ports: v.num_of("int_alu_ports")?,
+            fp_add_ports: v.num_of("fp_add_ports")?,
+            fp_mul_ports: v.num_of("fp_mul_ports")?,
+            div_block_cycles: v.num_of("div_block_cycles")?,
+            taken_branch_cycles: v.num_of("taken_branch_cycles")?,
+            nominal_ghz: v.num_of("nominal_ghz")?,
+        }),
+        "topo" => Record::Topology(TopologyScope {
+            active_cores: v.num_of("cores")? as u32,
+            sockets: v
+                .arr_of("sockets")?
+                .iter()
+                .map(|s| match s {
+                    Json::Num(n) => Ok(*n as u32),
+                    _ => Err("bad socket count".to_string()),
+                })
+                .collect::<Result<_, _>>()?,
+            socket_bandwidth_gbs: v.num_of("bw_gbs")?,
+            bytes_per_iteration: v.num_of("bytes_per_iter")?,
+        }),
+        "inst" => Record::Inst(InstScope {
+            index: v.num_of("i")? as usize,
+            text: v.str_of("text")?,
+            reads: strings(v.arr_of("reads")?, "reads")?,
+            writes: strings(v.arr_of("writes")?, "writes")?,
+            fused_uops: v.num_of("fused")? as u32,
+            uops: string_pairs(v.arr_of("uops")?, "uop")?
+                .into_iter()
+                .map(|(port, latency)| UopScope { port, latency })
+                .collect(),
+        }),
+        "port_bound" => Record::PortBound(PortBoundScope {
+            class: v.str_of("class")?,
+            uops: v.num_of("uops")?,
+            cycles: v.num_of("cycles")?,
+        }),
+        "bound" => {
+            Record::Bound(BoundScope { name: v.str_of("name")?, cycles: v.num_of("cycles")? })
+        }
+        "note" => Record::Note(NoteScope { key: v.str_of("key")?, value: v.str_of("value")? }),
+        "dep" => Record::DepEdge(DepEdgeScope {
+            from: v.num_of("from")? as usize,
+            to: v.num_of("to")? as usize,
+            reg: v.str_of("reg")?,
+            latency: v.num_of("lat")?,
+            carried: v.bool_of("carried")?,
+        }),
+        "crit" => Record::Crit(CritScope {
+            step: v.num_of("step")? as usize,
+            inst: v.num_of("inst")? as usize,
+            reg: v.str_of("reg")?,
+            latency: v.num_of("lat")?,
+            carried: v.bool_of("carried")?,
+        }),
+        "tl" => Record::Timeline(TimelineScope {
+            inst: v.num_of("inst")? as usize,
+            iteration: v.num_of("iter")? as u32,
+            issue: v.num_of("issue")?,
+            dispatch: v.num_of("dispatch")?,
+            retire: v.num_of("retire")?,
+            port: v.str_of("port")?,
+            wait: v.str_of("wait")?,
+        }),
+        "pw" => Record::PortWindow(PortWindowScope {
+            start: v.num_of("start")? as u64,
+            width: v.num_of("width")? as u32,
+            busy: string_pairs(v.arr_of("busy")?, "busy")?,
+        }),
+        "stall" => Record::Stall(StallScope {
+            start: v.num_of("start")? as u64,
+            end: v.num_of("end")? as u64,
+            reason: v.str_of("reason")?,
+        }),
+        "cache" => Record::Cache(CacheStreamScope {
+            totals: string_pairs(v.arr_of("totals")?, "totals")?
+                .into_iter()
+                .map(|(n, c)| (n, c as u64))
+                .collect(),
+            runs: string_pairs(v.arr_of("runs")?, "runs")?
+                .into_iter()
+                .map(|(n, c)| (n, c as u32))
+                .collect(),
+            truncated: v.num_of("truncated")? as u64,
+        }),
+        "verdict" => Record::Verdict(VerdictScope {
+            class: v.str_of("class")?,
+            bound_cycles: v.num_of("bound_cycles")?,
+            measured_cycles: v.num_of("measured")?,
+            share: v.num_of("share")?,
+            runner_up: v.str_of("runner_up")?,
+            runner_up_cycles: v.num_of("runner_up_cycles")?,
+        }),
+        other => return Err(format!("unknown record type `{other}`")),
+    })
+}
+
+/// Parses and validates a JSONL profile document.
+pub fn decode(text: &str) -> Result<EvalProfile, String> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("empty profile")?;
+    let header = parse_line(header_line).map_err(|e| format!("header: {e}"))?;
+    if header.str_of("format")? != "mc-scope" {
+        return Err("not an mc-scope profile (bad `format` field)".into());
+    }
+    let version = header.num_of("version")? as u32;
+    if version > FORMAT_VERSION {
+        return Err(format!(
+            "profile format version {version} is newer than this reader (v{FORMAT_VERSION})"
+        ));
+    }
+    if version == 0 {
+        return Err("invalid profile format version 0".into());
+    }
+    let mut profile = EvalProfile {
+        format_version: version,
+        schema: header.str_of("schema")?,
+        kernel: header.str_of("kernel")?,
+        program_fingerprint: header.str_of("program_fp")?,
+        options_fingerprint: header.str_of("options_fp")?,
+        run_id: header.str_of("run_id")?,
+        records: Vec::new(),
+    };
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_line(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+        profile.records.push(decode_record(&v).map_err(|e| format!("line {}: {e}", i + 2))?);
+    }
+    Ok(profile)
+}
+
+/// One-line validation summary, for CI smoke checks:
+/// `ok: version 1, kernel <name>, N records`.
+pub fn validate(text: &str) -> Result<String, String> {
+    let p = decode(text)?;
+    Ok(format!(
+        "ok: version {}, schema {}, kernel {}, {} records",
+        p.format_version,
+        p.schema,
+        p.kernel,
+        p.records.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Collector;
+    use crate::sink::ScopeSink;
+
+    fn sample() -> EvalProfile {
+        let mut c = Collector::new("hostile \"kernel\"\n\u{7f}\u{2028}");
+        c.machine(MachineScope {
+            name: "x5650".into(),
+            frontend_width: 4.0,
+            load_ports: 1.0,
+            store_ports: 1.0,
+            int_alu_ports: 3.0,
+            fp_add_ports: 1.0,
+            fp_mul_ports: 1.0,
+            div_block_cycles: 22.0,
+            taken_branch_cycles: 2.0,
+            nominal_ghz: 2.67,
+        });
+        c.instruction(InstScope {
+            index: 0,
+            text: "movsd (%rsi), %xmm0".into(),
+            reads: vec!["rsi".into()],
+            writes: vec!["xmm0".into()],
+            fused_uops: 1,
+            uops: vec![UopScope { port: "load".into(), latency: 4.0 }],
+        });
+        c.port_bound(PortBoundScope { class: "load".into(), uops: 1.0, cycles: 1.0 });
+        c.bound(BoundScope { name: "frontend".into(), cycles: 0.25 });
+        c.note(NoteScope { key: "residence".into(), value: "L1".into() });
+        c.dep_edge(DepEdgeScope {
+            from: 0,
+            to: 0,
+            reg: "xmm0".into(),
+            latency: 4.0,
+            carried: true,
+        });
+        c.cache_access(0);
+        c.cache_access(3);
+        c.topology(TopologyScope {
+            active_cores: 8,
+            sockets: vec![4, 4],
+            socket_bandwidth_gbs: 32.0,
+            bytes_per_iteration: 16.0,
+        });
+        let mut p = c.finish();
+        p.program_fingerprint = "00000000000000aa".into();
+        p.options_fingerprint = "00000000000000bb".into();
+        p.set_verdict(VerdictScope {
+            class: "port-load".into(),
+            bound_cycles: 1.0,
+            measured_cycles: 1.2,
+            share: 0.83,
+            runner_up: "frontend".into(),
+            runner_up_cycles: 0.25,
+        });
+        p
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let p = sample();
+        let text = encode(&p);
+        let back = decode(&text).unwrap();
+        assert_eq!(p, back);
+        // Encoding is deterministic.
+        assert_eq!(text, encode(&back));
+    }
+
+    #[test]
+    fn hostile_strings_stay_on_one_line() {
+        let text = encode(&sample());
+        // Raw control characters and JS line separators never appear.
+        assert!(text.chars().all(|c| c == '\n'
+            || ((c as u32) >= 0x20 && c != '\u{2028}' && c != '\u{2029}' && c != '\u{7f}')));
+        // The header is exactly one line and still names the kernel.
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\\u2028"));
+        assert!(header.contains("\\u007f"));
+    }
+
+    #[test]
+    fn rejects_future_versions_and_garbage() {
+        let mut p = sample();
+        p.format_version = FORMAT_VERSION + 1;
+        let text = encode(&p);
+        let err = decode(&text).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+        assert!(decode("").is_err());
+        assert!(decode("not json\n").is_err());
+        assert!(decode("{\"format\":\"other\",\"version\":1}\n").is_err());
+        let valid = encode(&sample());
+        let torn = &valid[..valid.len() - 10];
+        assert!(decode(torn).is_err(), "torn tail must not parse silently");
+    }
+
+    #[test]
+    fn unknown_record_type_is_an_error() {
+        let mut text = encode(&sample());
+        text.push_str("{\"t\":\"mystery\"}\n");
+        let err = decode(&text).unwrap_err();
+        assert!(err.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn validate_summarizes() {
+        let text = encode(&sample());
+        let summary = validate(&text).unwrap();
+        assert!(summary.starts_with("ok: version 1"), "{summary}");
+        assert!(summary.contains("records"));
+    }
+
+    #[test]
+    fn line_numbers_match_encoding() {
+        let p = sample();
+        let text = encode(&p);
+        let lines: Vec<&str> = text.lines().collect();
+        // Record i is on line i+2 (1-based): the verdict is last.
+        let (vi, _) =
+            p.records.iter().enumerate().find(|(_, r)| matches!(r, Record::Verdict(_))).unwrap();
+        assert_eq!(p.line_of(vi), lines.len());
+        assert!(lines[p.line_of(vi) - 1].contains("\"verdict\""));
+    }
+}

@@ -1,0 +1,42 @@
+//! # mc-scope — per-evaluation simulator introspection
+//!
+//! The analytic simulator (`mc-simarch`) produces one number per
+//! evaluation — cycles per iteration — as the max over independent
+//! bounds. This crate opens that box *without touching the numbers*:
+//!
+//! * [`sink`] — the [`ScopeSink`] trait simarch's hot loops emit facts
+//!   to. The default [`NoopSink`] reports `enabled() == false`, so every
+//!   emit site is skipped and the profiled and unprofiled paths compute
+//!   bit-identical results.
+//! * [`profile`] — the fact vocabulary (instructions with their µop
+//!   decompositions, per-class port bounds, dependency edges, cache
+//!   service streams, contention topology, contributing bounds) plus the
+//!   [`Collector`] that accumulates them and assembles an
+//!   [`EvalProfile`].
+//! * [`sched`] — a deterministic greedy scheduler that *reconstructs* a
+//!   concrete execution from the same µops, latencies, port counts and
+//!   frontend width the bounds are computed from: per-instruction
+//!   issue→dispatch→retire lifetimes, per-cycle-window port-occupancy
+//!   histograms, and frontend-stall intervals. The reconstruction is
+//!   evidence for the bounds, never an input to them.
+//! * [`jsonl`] — the versioned compact profile format: one JSON object
+//!   per line, header first, deterministic field order, parse + validate.
+//! * [`render`] — terminal renderings: port-pressure heatmap,
+//!   critical-path table, per-instruction timeline.
+//!
+//! The crate is dependency-free and knows nothing about simarch's types:
+//! emit sites translate into the plain strings/numbers defined here, so
+//! scope sits *below* the simulator in the crate graph.
+
+pub mod jsonl;
+pub mod profile;
+pub mod render;
+pub mod sched;
+pub mod sink;
+
+pub use profile::{
+    BoundScope, CacheStreamScope, Collector, CritScope, DepEdgeScope, EvalProfile, InstScope,
+    MachineScope, NoteScope, PortBoundScope, PortWindowScope, Record, StallScope, TimelineScope,
+    TopologyScope, UopScope, VerdictScope, FORMAT_VERSION, SCHEMA,
+};
+pub use sink::{NoopSink, ScopeSink};

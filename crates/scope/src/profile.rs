@@ -1,0 +1,661 @@
+//! The profile data model and the collecting sink.
+//!
+//! A profile is a header plus a flat, ordered list of [`Record`]s. The
+//! order is canonical (machine, topology, instructions, port bounds,
+//! bounds, notes, dependency edges, critical path, timeline, port
+//! windows, stalls, cache stream, verdict), so a record's position *is*
+//! its citation: record `i` lives on line `i + 2` of the encoded JSONL
+//! file (line 1 is the header), and the evidence layer can point a
+//! verdict at the exact lines that support it.
+
+use crate::sched;
+use crate::sink::ScopeSink;
+
+/// Version of the on-disk JSONL profile format.
+pub const FORMAT_VERSION: u32 = 1;
+/// Schema identifier written into every profile header.
+pub const SCHEMA: &str = "mc-scope/v1";
+/// The `served_by` value for an access that missed every cache level.
+pub const RAM_LEVEL: u8 = 255;
+/// Cap on the number of runs kept in a cache service stream.
+pub const CACHE_RUN_CAP: usize = 4096;
+/// Fixed port-class name order used by histograms and renderings.
+pub const CLASS_ORDER: [&str; 7] =
+    ["load", "store", "int_alu", "fp_add", "fp_mul", "fp_div", "branch"];
+
+/// Machine parameters the scheduler and renderings need.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineScope {
+    /// Machine model name.
+    pub name: String,
+    /// Fused-µop decode width per cycle.
+    pub frontend_width: f64,
+    /// Per-class port (server) counts, `CLASS_ORDER`-aligned where a
+    /// count applies; divider and branch are modelled as single servers
+    /// with occupancy below.
+    pub load_ports: f64,
+    /// Store ports.
+    pub store_ports: f64,
+    /// Integer ALU ports.
+    pub int_alu_ports: f64,
+    /// FP add-pipe ports.
+    pub fp_add_ports: f64,
+    /// FP mul-pipe ports.
+    pub fp_mul_ports: f64,
+    /// Cycles one divide blocks the (unpipelined) divider.
+    pub div_block_cycles: f64,
+    /// Cycles one taken branch occupies the branch unit.
+    pub taken_branch_cycles: f64,
+    /// Nominal (reference-clock) frequency in GHz.
+    pub nominal_ghz: f64,
+}
+
+impl MachineScope {
+    /// Server count for a `CLASS_ORDER` class name (min 1).
+    pub fn servers(&self, class: &str) -> u32 {
+        let n = match class {
+            "load" => self.load_ports,
+            "store" => self.store_ports,
+            "int_alu" => self.int_alu_ports,
+            "fp_add" => self.fp_add_ports,
+            "fp_mul" => self.fp_mul_ports,
+            _ => 1.0,
+        };
+        (n as u32).max(1)
+    }
+
+    /// Cycles one µop of `class` occupies a server.
+    pub fn occupancy(&self, class: &str) -> f64 {
+        match class {
+            "fp_div" => self.div_block_cycles.max(1.0),
+            "branch" => self.taken_branch_cycles.max(1.0),
+            _ => 1.0,
+        }
+    }
+}
+
+/// One µop of an instruction's decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UopScope {
+    /// Port class name (`CLASS_ORDER` member).
+    pub port: String,
+    /// Result latency in core cycles.
+    pub latency: f64,
+}
+
+/// One loop instruction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InstScope {
+    /// Index in the loop body (program order).
+    pub index: usize,
+    /// Rendered assembly text.
+    pub text: String,
+    /// Architectural registers read.
+    pub reads: Vec<String>,
+    /// Architectural registers written.
+    pub writes: Vec<String>,
+    /// Fused-domain µop count (frontend slots).
+    pub fused_uops: u32,
+    /// µop decomposition.
+    pub uops: Vec<UopScope>,
+}
+
+/// One per-class port-throughput bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortBoundScope {
+    /// Port class name.
+    pub class: String,
+    /// µops of this class per iteration.
+    pub uops: f64,
+    /// Implied cycles-per-iteration bound.
+    pub cycles: f64,
+}
+
+/// One dependency edge: the producer whose result gated a consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepEdgeScope {
+    /// Producer instruction index.
+    pub from: usize,
+    /// Consumer instruction index.
+    pub to: usize,
+    /// The register carrying the value.
+    pub reg: String,
+    /// The producer's result latency in cycles (the stall it imposes).
+    pub latency: f64,
+    /// True when the edge crosses an iteration boundary (loop-carried).
+    pub carried: bool,
+}
+
+/// One hop of the steady-state critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CritScope {
+    /// Position along the path (0 = earliest).
+    pub step: usize,
+    /// Instruction index of this hop.
+    pub inst: usize,
+    /// Register the hop consumes from the previous hop (empty for the
+    /// path head).
+    pub reg: String,
+    /// Cycles this hop adds to the path.
+    pub latency: f64,
+    /// True when the incoming edge is loop-carried.
+    pub carried: bool,
+}
+
+/// Socket topology and traffic behind a contention factor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopologyScope {
+    /// Active cores running the kernel.
+    pub active_cores: u32,
+    /// Cores per socket under the placement policy.
+    pub sockets: Vec<u32>,
+    /// The shared (socket) bandwidth being divided, GB/s.
+    pub socket_bandwidth_gbs: f64,
+    /// Bytes of shared-resource traffic per iteration per core.
+    pub bytes_per_iteration: f64,
+}
+
+/// One named contributing bound or factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundScope {
+    /// Bound name (`frontend`, `ports`, `recurrence`, `memory_core`,
+    /// `memory_uncore_ns`, `contention_factor`, `alignment_factor`,
+    /// `loop_control`, `total_cycles_per_iteration`, …).
+    pub name: String,
+    /// Value: cycles per iteration, ns per iteration, or a factor,
+    /// depending on the name.
+    pub cycles: f64,
+}
+
+/// A free-form key/value observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoteScope {
+    /// Observation key (`residence`, `recurrence_carrier`, …).
+    pub key: String,
+    /// Observation value.
+    pub value: String,
+}
+
+/// One reconstructed instruction lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineScope {
+    /// Instruction index.
+    pub inst: usize,
+    /// Iteration number of the reconstruction.
+    pub iteration: u32,
+    /// Cycle the frontend issued it.
+    pub issue: f64,
+    /// Cycle its last µop started executing.
+    pub dispatch: f64,
+    /// Cycle its result retired.
+    pub retire: f64,
+    /// Port classes its µops occupied, `+`-joined.
+    pub port: String,
+    /// What the dispatch waited on: `frontend`, `ready` (operands) or
+    /// `port` (structural).
+    pub wait: String,
+}
+
+/// One row of the port-occupancy histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortWindowScope {
+    /// First cycle of the window.
+    pub start: u64,
+    /// Window width in cycles.
+    pub width: u32,
+    /// Per-class occupancy fraction (0..=1), `CLASS_ORDER` names.
+    pub busy: Vec<(String, f64)>,
+}
+
+/// One frontend-stall interval: cycles the frontend issued nothing while
+/// instructions remained, because the reorder window was full.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallScope {
+    /// First stalled cycle.
+    pub start: u64,
+    /// One past the last stalled cycle.
+    pub end: u64,
+    /// Stall reason (`backend-pressure`).
+    pub reason: String,
+}
+
+/// The cache service stream: which level served each line access.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheStreamScope {
+    /// Per-level `(name, accesses served)` totals, closest level first,
+    /// with `RAM` last.
+    pub totals: Vec<(String, u64)>,
+    /// Run-length-encoded service stream `(level name, run length)`,
+    /// capped at [`CACHE_RUN_CAP`] runs.
+    pub runs: Vec<(String, u32)>,
+    /// Accesses beyond the run cap (still counted in `totals`).
+    pub truncated: u64,
+}
+
+/// The bottleneck verdict attached after attribution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerdictScope {
+    /// Bottleneck class name (mc-insight's kebab-case vocabulary).
+    pub class: String,
+    /// The winning bound in reference cycles.
+    pub bound_cycles: f64,
+    /// The estimate it is compared against.
+    pub measured_cycles: f64,
+    /// Share of the estimate the winning bound explains (0..=1).
+    pub share: f64,
+    /// The runner-up class, when any.
+    pub runner_up: String,
+    /// The runner-up's bound in reference cycles.
+    pub runner_up_cycles: f64,
+}
+
+/// One profile record. A record's index in [`EvalProfile::records`]
+/// determines its JSONL line: `index + 2`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Machine parameters.
+    Machine(MachineScope),
+    /// Contention topology.
+    Topology(TopologyScope),
+    /// A loop instruction.
+    Inst(InstScope),
+    /// A per-class port bound.
+    PortBound(PortBoundScope),
+    /// A contributing bound.
+    Bound(BoundScope),
+    /// A key/value observation.
+    Note(NoteScope),
+    /// A dependency edge.
+    DepEdge(DepEdgeScope),
+    /// A critical-path hop.
+    Crit(CritScope),
+    /// A reconstructed instruction lifetime.
+    Timeline(TimelineScope),
+    /// A port-occupancy histogram row.
+    PortWindow(PortWindowScope),
+    /// A frontend-stall interval.
+    Stall(StallScope),
+    /// The cache service stream.
+    Cache(CacheStreamScope),
+    /// The bottleneck verdict.
+    Verdict(VerdictScope),
+}
+
+/// One evaluation's profile: header fields plus the ordered records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalProfile {
+    /// Format version ([`FORMAT_VERSION`] when freshly collected).
+    pub format_version: u32,
+    /// Schema identifier.
+    pub schema: String,
+    /// Kernel (program) name.
+    pub kernel: String,
+    /// FNV-1a program fingerprint, `%016x` (empty until keyed).
+    pub program_fingerprint: String,
+    /// FNV-1a options fingerprint, `%016x` (empty until keyed).
+    pub options_fingerprint: String,
+    /// Registry run ID this profile belongs to (empty until linked).
+    pub run_id: String,
+    /// The records, in canonical order.
+    pub records: Vec<Record>,
+}
+
+impl EvalProfile {
+    /// The 1-based JSONL line of record `index` (header is line 1).
+    pub fn line_of(&self, index: usize) -> usize {
+        index + 2
+    }
+
+    /// The memo/store-style key `<program_fp>-<options_fp>`, used as the
+    /// profile's file stem. Empty fingerprints yield `unkeyed-<kernel>`.
+    pub fn key(&self) -> String {
+        if self.program_fingerprint.is_empty() || self.options_fingerprint.is_empty() {
+            format!("unkeyed-{}", self.kernel)
+        } else {
+            format!("{}-{}", self.program_fingerprint, self.options_fingerprint)
+        }
+    }
+
+    /// Appends the attribution verdict (canonically the last record).
+    pub fn set_verdict(&mut self, v: VerdictScope) {
+        self.records.retain(|r| !matches!(r, Record::Verdict(_)));
+        self.records.push(Record::Verdict(v));
+    }
+
+    /// The machine record, when present.
+    pub fn machine(&self) -> Option<&MachineScope> {
+        self.records.iter().find_map(|r| match r {
+            Record::Machine(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// The verdict record, when present.
+    pub fn verdict(&self) -> Option<&VerdictScope> {
+        self.records.iter().find_map(|r| match r {
+            Record::Verdict(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Instruction records, with their record indices.
+    pub fn insts(&self) -> Vec<(usize, &InstScope)> {
+        self.indexed(|r| match r {
+            Record::Inst(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Timeline records, with their record indices.
+    pub fn timeline(&self) -> Vec<(usize, &TimelineScope)> {
+        self.indexed(|r| match r {
+            Record::Timeline(t) => Some(t),
+            _ => None,
+        })
+    }
+
+    /// Port-window records, with their record indices.
+    pub fn port_windows(&self) -> Vec<(usize, &PortWindowScope)> {
+        self.indexed(|r| match r {
+            Record::PortWindow(w) => Some(w),
+            _ => None,
+        })
+    }
+
+    /// Port-bound records, with their record indices.
+    pub fn port_bounds(&self) -> Vec<(usize, &PortBoundScope)> {
+        self.indexed(|r| match r {
+            Record::PortBound(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Dependency-edge records, with their record indices.
+    pub fn dep_edges(&self) -> Vec<(usize, &DepEdgeScope)> {
+        self.indexed(|r| match r {
+            Record::DepEdge(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Critical-path hops, with their record indices.
+    pub fn critical_path(&self) -> Vec<(usize, &CritScope)> {
+        self.indexed(|r| match r {
+            Record::Crit(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Named bounds, with their record indices.
+    pub fn bounds(&self) -> Vec<(usize, &BoundScope)> {
+        self.indexed(|r| match r {
+            Record::Bound(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Frontend-stall intervals, with their record indices.
+    pub fn stalls(&self) -> Vec<(usize, &StallScope)> {
+        self.indexed(|r| match r {
+            Record::Stall(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// The cache service stream, with its record index.
+    pub fn cache_stream(&self) -> Option<(usize, &CacheStreamScope)> {
+        self.records.iter().enumerate().find_map(|(i, r)| match r {
+            Record::Cache(c) => Some((i, c)),
+            _ => None,
+        })
+    }
+
+    /// Notes, with their record indices.
+    pub fn notes(&self) -> Vec<(usize, &NoteScope)> {
+        self.indexed(|r| match r {
+            Record::Note(n) => Some(n),
+            _ => None,
+        })
+    }
+
+    fn indexed<'a, T>(&'a self, pick: fn(&'a Record) -> Option<&'a T>) -> Vec<(usize, &'a T)> {
+        self.records.iter().enumerate().filter_map(|(i, r)| pick(r).map(|t| (i, t))).collect()
+    }
+}
+
+/// The collecting sink: accumulates facts during one
+/// `estimate_with_scope` call and assembles the [`EvalProfile`] (running
+/// the reconstruction scheduler) at [`Collector::finish`].
+#[derive(Debug, Default)]
+pub struct Collector {
+    kernel: String,
+    machine: Option<MachineScope>,
+    topology: Option<TopologyScope>,
+    insts: Vec<InstScope>,
+    port_bounds: Vec<PortBoundScope>,
+    bounds: Vec<BoundScope>,
+    notes: Vec<NoteScope>,
+    dep_edges: Vec<DepEdgeScope>,
+    crit: Vec<CritScope>,
+    cache_runs: Vec<(u8, u32)>,
+    cache_totals: [u64; 4],
+    cache_truncated: u64,
+}
+
+/// Level names for `served_by` indices 0..3 plus RAM.
+fn level_name(served_by: u8) -> &'static str {
+    match served_by {
+        0 => "L1",
+        1 => "L2",
+        2 => "L3",
+        _ => "RAM",
+    }
+}
+
+impl Collector {
+    /// A collector for one evaluation of `kernel`.
+    pub fn new(kernel: impl Into<String>) -> Self {
+        Collector { kernel: kernel.into(), ..Collector::default() }
+    }
+
+    /// Assembles the profile: runs the reconstruction scheduler over the
+    /// collected instructions and lays records out in canonical order.
+    pub fn finish(self) -> EvalProfile {
+        let mut records = Vec::new();
+        let machine = self.machine.unwrap_or_default();
+        let reconstruction = sched::schedule(&machine, &self.insts, sched::DEFAULT_ITERATIONS);
+        records.push(Record::Machine(machine));
+        if let Some(t) = self.topology {
+            records.push(Record::Topology(t));
+        }
+        records.extend(self.insts.into_iter().map(Record::Inst));
+        records.extend(self.port_bounds.into_iter().map(Record::PortBound));
+        records.extend(self.bounds.into_iter().map(Record::Bound));
+        records.push(Record::Bound(BoundScope {
+            name: "sched_steady_cycles".into(),
+            cycles: reconstruction.steady_cycles_per_iteration,
+        }));
+        records.extend(self.notes.into_iter().map(Record::Note));
+        records.extend(self.dep_edges.into_iter().map(Record::DepEdge));
+        records.extend(self.crit.into_iter().map(Record::Crit));
+        records.extend(reconstruction.timeline.into_iter().map(Record::Timeline));
+        records.extend(reconstruction.windows.into_iter().map(Record::PortWindow));
+        records.extend(reconstruction.stalls.into_iter().map(Record::Stall));
+        if self.cache_totals.iter().any(|&t| t > 0) {
+            let mut totals: Vec<(String, u64)> = Vec::new();
+            for (i, name) in ["L1", "L2", "L3", "RAM"].iter().enumerate() {
+                if self.cache_totals[i] > 0 {
+                    totals.push(((*name).to_string(), self.cache_totals[i]));
+                }
+            }
+            records.push(Record::Cache(CacheStreamScope {
+                totals,
+                runs: self
+                    .cache_runs
+                    .into_iter()
+                    .map(|(l, n)| (level_name(l).to_string(), n))
+                    .collect(),
+                truncated: self.cache_truncated,
+            }));
+        }
+        EvalProfile {
+            format_version: FORMAT_VERSION,
+            schema: SCHEMA.to_string(),
+            kernel: self.kernel,
+            program_fingerprint: String::new(),
+            options_fingerprint: String::new(),
+            run_id: String::new(),
+            records,
+        }
+    }
+}
+
+impl ScopeSink for Collector {
+    fn machine(&mut self, m: MachineScope) {
+        self.machine = Some(m);
+    }
+
+    fn instruction(&mut self, inst: InstScope) {
+        self.insts.push(inst);
+    }
+
+    fn port_bound(&mut self, b: PortBoundScope) {
+        self.port_bounds.push(b);
+    }
+
+    fn dep_edge(&mut self, e: DepEdgeScope) {
+        self.dep_edges.push(e);
+    }
+
+    fn crit_hop(&mut self, h: CritScope) {
+        self.crit.push(h);
+    }
+
+    fn cache_access(&mut self, served_by: u8) {
+        let slot = match served_by {
+            0..=2 => served_by as usize,
+            _ => 3,
+        };
+        self.cache_totals[slot] += 1;
+        if self.cache_truncated > 0 {
+            // Once the run cap is hit the recorded stream is a strict
+            // prefix; extending the last run would misrepresent it.
+            self.cache_truncated += 1;
+            return;
+        }
+        if let Some((level, n)) = self.cache_runs.last_mut() {
+            if *level == served_by && *n < u32::MAX {
+                *n += 1;
+                return;
+            }
+        }
+        if self.cache_runs.len() < CACHE_RUN_CAP {
+            self.cache_runs.push((served_by, 1));
+        } else {
+            self.cache_truncated += 1;
+        }
+    }
+
+    fn topology(&mut self, t: TopologyScope) {
+        self.topology = Some(t);
+    }
+
+    fn bound(&mut self, b: BoundScope) {
+        self.bounds.push(b);
+    }
+
+    fn note(&mut self, n: NoteScope) {
+        self.notes.push(n);
+    }
+}
+
+impl Collector {
+    /// Records the critical path computed by the dependency analysis.
+    pub fn critical_path(&mut self, hops: Vec<CritScope>) {
+        self.crit = hops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inst(index: usize, port: &str, latency: f64) -> InstScope {
+        InstScope {
+            index,
+            text: format!("inst{index}"),
+            reads: vec!["rsi".into()],
+            writes: vec![format!("xmm{index}")],
+            fused_uops: 1,
+            uops: vec![UopScope { port: port.into(), latency }],
+        }
+    }
+
+    #[test]
+    fn collector_assembles_canonical_order() {
+        let mut c = Collector::new("k");
+        c.machine(MachineScope {
+            name: "m".into(),
+            frontend_width: 4.0,
+            load_ports: 1.0,
+            store_ports: 1.0,
+            int_alu_ports: 3.0,
+            fp_add_ports: 1.0,
+            fp_mul_ports: 1.0,
+            div_block_cycles: 22.0,
+            taken_branch_cycles: 2.0,
+            nominal_ghz: 2.67,
+        });
+        c.instruction(sample_inst(0, "load", 4.0));
+        c.instruction(sample_inst(1, "fp_add", 3.0));
+        c.port_bound(PortBoundScope { class: "load".into(), uops: 1.0, cycles: 1.0 });
+        c.bound(BoundScope { name: "frontend".into(), cycles: 0.5 });
+        c.cache_access(0);
+        c.cache_access(0);
+        c.cache_access(1);
+        let mut p = c.finish();
+        assert_eq!(p.format_version, FORMAT_VERSION);
+        assert_eq!(p.insts().len(), 2);
+        assert_eq!(p.port_bounds().len(), 1);
+        assert!(!p.timeline().is_empty(), "scheduler ran");
+        let (_, cache) = p.cache_stream().unwrap();
+        assert_eq!(cache.totals, vec![("L1".to_string(), 2), ("L2".to_string(), 1)]);
+        assert_eq!(cache.runs, vec![("L1".to_string(), 2), ("L2".to_string(), 1)]);
+        // Machine first, verdict (once set) last.
+        assert!(matches!(p.records[0], Record::Machine(_)));
+        p.set_verdict(VerdictScope { class: "port-load".into(), ..VerdictScope::default() });
+        assert!(matches!(p.records.last(), Some(Record::Verdict(_))));
+        assert_eq!(p.verdict().unwrap().class, "port-load");
+    }
+
+    #[test]
+    fn cache_run_cap_truncates_but_keeps_totals() {
+        let mut c = Collector::new("k");
+        for i in 0..(CACHE_RUN_CAP + 10) {
+            // Alternate levels so every access opens a new run.
+            c.cache_access((i % 2) as u8);
+        }
+        let p = c.finish();
+        let (_, cache) = p.cache_stream().unwrap();
+        assert_eq!(cache.runs.len(), CACHE_RUN_CAP);
+        assert_eq!(cache.truncated, 10);
+        let total: u64 = cache.totals.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, (CACHE_RUN_CAP + 10) as u64);
+    }
+
+    #[test]
+    fn line_numbers_follow_record_order() {
+        let p = Collector::new("k").finish();
+        assert_eq!(p.line_of(0), 2);
+        assert_eq!(p.line_of(3), 5);
+    }
+
+    #[test]
+    fn key_is_fingerprint_pair_or_unkeyed() {
+        let mut p = Collector::new("kern").finish();
+        assert_eq!(p.key(), "unkeyed-kern");
+        p.program_fingerprint = "00000000000000aa".into();
+        p.options_fingerprint = "00000000000000bb".into();
+        assert_eq!(p.key(), "00000000000000aa-00000000000000bb");
+    }
+}

@@ -1,0 +1,429 @@
+//! Terminal renderings of a profile.
+//!
+//! Everything here is plain ASCII-art over the record list: a
+//! port-pressure heatmap (classes × cycle windows, shaded by occupancy),
+//! the steady-state critical path as a table, the reconstructed
+//! per-instruction timeline, and a one-screen summary that leads with
+//! the verdict. The renderer never recomputes anything — it only shows
+//! what the profile already asserts, citing record line numbers so
+//! output can be traced back to the JSONL file.
+
+use crate::profile::{EvalProfile, CLASS_ORDER};
+use std::fmt::Write as _;
+
+/// Shade ramp for occupancy 0..=1 (space = idle, `@` = saturated).
+const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+fn shade(occupancy: f64) -> char {
+    let idx = (occupancy.clamp(0.0, 1.0) * 9.0).round() as usize;
+    SHADES[idx.min(9)]
+}
+
+fn pad(s: &str, width: usize) -> String {
+    let mut out = String::from(s);
+    while out.chars().count() < width {
+        out.push(' ');
+    }
+    out
+}
+
+fn pad_left(s: &str, width: usize) -> String {
+    let mut out = String::new();
+    let len = s.chars().count();
+    for _ in len..width {
+        out.push(' ');
+    }
+    out.push_str(s);
+    out
+}
+
+/// A minimal fixed-width table (scope is dependency-free, so it cannot
+/// reuse mc-report's `AsciiTable`; the output shape matches it).
+struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+    }
+
+    fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&pad(cell, widths[i]));
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &rule);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+fn fmt_cycles(v: f64) -> String {
+    if (v - v.round()).abs() < 5e-3 {
+        format!("{:.0}", v.round())
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders the port-pressure heatmap: one row per active port class, one
+/// column per cycle window, shaded by occupancy.
+pub fn heatmap(profile: &EvalProfile) -> String {
+    let windows = profile.port_windows();
+    let mut out = String::new();
+    let _ = writeln!(out, "port-pressure heatmap (occupancy per cycle window)");
+    if windows.is_empty() {
+        out.push_str("  (no reconstruction windows — empty loop body)\n");
+        return out;
+    }
+    let width = windows.first().map_or(8, |(_, w)| w.width);
+    let span = windows.len() as u64 * u64::from(width);
+    let _ = writeln!(
+        out,
+        "  {} windows x {} cycles, {} reconstructed cycles total",
+        windows.len(),
+        width,
+        span
+    );
+    let active: Vec<&str> = CLASS_ORDER
+        .iter()
+        .copied()
+        .filter(|class| {
+            windows
+                .iter()
+                .any(|(_, w)| w.busy.iter().any(|(name, occ)| name == class && *occ > 0.0))
+        })
+        .collect();
+    let label_w = active.iter().map(|c| c.len()).max().unwrap_or(0).max("class".len());
+    let _ = writeln!(
+        out,
+        "  {} |{}|  scale: '{}'..'{}' = 0%..100%",
+        pad("class", label_w),
+        "-".repeat(windows.len()),
+        SHADES[1],
+        SHADES[9]
+    );
+    for class in &active {
+        let mut row = String::new();
+        let mut peak = 0.0f64;
+        for (_, w) in &windows {
+            let occ = w
+                .busy
+                .iter()
+                .find_map(|(name, occ)| (name == class).then_some(*occ))
+                .unwrap_or(0.0);
+            peak = peak.max(occ);
+            row.push(shade(occ));
+        }
+        let _ = writeln!(out, "  {} |{row}|  peak {:>3.0}%", pad(class, label_w), peak * 100.0);
+    }
+    if active.is_empty() {
+        out.push_str("  (no port activity recorded)\n");
+    }
+    out
+}
+
+/// Renders the steady-state critical path as a table, citing the JSONL
+/// line of each hop.
+pub fn critical_path_table(profile: &EvalProfile) -> String {
+    let hops = profile.critical_path();
+    let insts = profile.insts();
+    let mut out = String::from("critical path (steady-state dependency chain)\n");
+    if hops.is_empty() {
+        out.push_str("  (no loop-carried recurrence — throughput bound)\n");
+        return out;
+    }
+    let mut table = Table::new(&["step", "line", "inst", "via", "latency", "instruction"]);
+    let mut total = 0.0;
+    for (idx, hop) in &hops {
+        total += hop.latency;
+        let text = insts
+            .iter()
+            .find_map(|(_, i)| (i.index == hop.inst).then(|| i.text.clone()))
+            .unwrap_or_default();
+        let via = if hop.reg.is_empty() {
+            "(head)".to_string()
+        } else if hop.carried {
+            format!("%{} (carried)", hop.reg)
+        } else {
+            format!("%{}", hop.reg)
+        };
+        table.row(vec![
+            hop.step.to_string(),
+            format!("L{}", profile.line_of(*idx)),
+            format!("#{}", hop.inst),
+            via,
+            fmt_cycles(hop.latency),
+            text,
+        ]);
+    }
+    out.push_str(&indent(&table.render()));
+    let _ = writeln!(out, "  total: {} cycles per iteration along the chain", fmt_cycles(total));
+    out
+}
+
+/// Renders the reconstructed per-instruction timeline for the last full
+/// iteration (the steady-state one).
+pub fn timeline_table(profile: &EvalProfile) -> String {
+    let timeline = profile.timeline();
+    let insts = profile.insts();
+    let mut out = String::from("instruction timeline (reconstruction, steady-state iteration)\n");
+    if timeline.is_empty() {
+        out.push_str("  (empty loop body)\n");
+        return out;
+    }
+    let last_iter = timeline.iter().map(|(_, t)| t.iteration).max().unwrap_or(0);
+    let mut table =
+        Table::new(&["inst", "issue", "dispatch", "retire", "port", "waited-on", "instruction"]);
+    for (_, t) in timeline.iter().filter(|(_, t)| t.iteration == last_iter) {
+        let text = insts
+            .iter()
+            .find_map(|(_, i)| (i.index == t.inst).then(|| i.text.clone()))
+            .unwrap_or_default();
+        table.row(vec![
+            format!("#{}", t.inst),
+            pad_left(&fmt_cycles(t.issue), 5),
+            pad_left(&fmt_cycles(t.dispatch), 5),
+            pad_left(&fmt_cycles(t.retire), 5),
+            t.port.clone(),
+            t.wait.clone(),
+            text,
+        ]);
+    }
+    out.push_str(&indent(&table.render()));
+    let stalls = profile.stalls();
+    if !stalls.is_empty() {
+        let total: u64 = stalls.iter().map(|(_, s)| s.end - s.start).sum();
+        let _ = writeln!(
+            out,
+            "  frontend stalls: {} interval(s), {} cycle(s) issued nothing (reorder window full)",
+            stalls.len(),
+            total
+        );
+    }
+    out
+}
+
+/// Renders the bounds-vs-verdict summary block.
+pub fn summary(profile: &EvalProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: kernel {} (format v{}, schema {})",
+        profile.kernel, profile.format_version, profile.schema
+    );
+    if !profile.program_fingerprint.is_empty() {
+        let _ = writeln!(out, "  key: {}", profile.key());
+    }
+    if !profile.run_id.is_empty() {
+        let _ = writeln!(out, "  run: {}", profile.run_id);
+    }
+    if let Some(m) = profile.machine() {
+        let _ = writeln!(
+            out,
+            "  machine: {} ({}-wide frontend, {:.2} GHz nominal)",
+            m.name, m.frontend_width, m.nominal_ghz
+        );
+    }
+    if let Some(v) = profile.verdict() {
+        let _ = writeln!(
+            out,
+            "  verdict: {} — bound {} of {} estimated cycles/iter ({:.0}% explained)",
+            v.class,
+            fmt_cycles(v.bound_cycles),
+            fmt_cycles(v.measured_cycles),
+            v.share * 100.0
+        );
+        if !v.runner_up.is_empty() {
+            let _ = writeln!(
+                out,
+                "  runner-up: {} at {} cycles/iter",
+                v.runner_up,
+                fmt_cycles(v.runner_up_cycles)
+            );
+        }
+    }
+    let bounds = profile.bounds();
+    if !bounds.is_empty() {
+        let mut table = Table::new(&["bound", "value", "line"]);
+        for (idx, b) in &bounds {
+            table.row(vec![
+                b.name.clone(),
+                fmt_cycles(b.cycles),
+                format!("L{}", profile.line_of(*idx)),
+            ]);
+        }
+        out.push_str(&indent(&table.render()));
+    }
+    if let Some((idx, cache)) = profile.cache_stream() {
+        let parts: Vec<String> =
+            cache.totals.iter().map(|(name, n)| format!("{name} {n}")).collect();
+        let _ = writeln!(
+            out,
+            "  cache service stream: {} (L{})",
+            parts.join(", "),
+            profile.line_of(idx)
+        );
+    }
+    for (_, note) in profile.notes() {
+        let _ = writeln!(out, "  note: {} = {}", note.key, note.value);
+    }
+    out
+}
+
+/// The full report: summary, heatmap, critical path, timeline.
+pub fn full_report(profile: &EvalProfile) -> String {
+    let mut out = summary(profile);
+    out.push('\n');
+    out.push_str(&heatmap(profile));
+    out.push('\n');
+    out.push_str(&critical_path_table(profile));
+    out.push('\n');
+    out.push_str(&timeline_table(profile));
+    out
+}
+
+fn indent(block: &str) -> String {
+    let mut out = String::new();
+    for line in block.lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Collector, CritScope, InstScope, MachineScope, UopScope, VerdictScope};
+    use crate::sink::ScopeSink;
+
+    fn profile_with_loads() -> EvalProfile {
+        let mut c = Collector::new("fig13");
+        c.machine(MachineScope {
+            name: "x5650".into(),
+            frontend_width: 4.0,
+            load_ports: 1.0,
+            store_ports: 1.0,
+            int_alu_ports: 3.0,
+            fp_add_ports: 1.0,
+            fp_mul_ports: 1.0,
+            div_block_cycles: 22.0,
+            taken_branch_cycles: 2.0,
+            nominal_ghz: 2.67,
+        });
+        for i in 0..4 {
+            c.instruction(InstScope {
+                index: i,
+                text: format!("movsd {}(%rsi), %xmm{i}", i * 8),
+                reads: vec!["rsi".into()],
+                writes: vec![format!("xmm{i}")],
+                fused_uops: 1,
+                uops: vec![UopScope { port: "load".into(), latency: 4.0 }],
+            });
+        }
+        c.critical_path(vec![CritScope {
+            step: 0,
+            inst: 0,
+            reg: "xmm0".into(),
+            latency: 4.0,
+            carried: true,
+        }]);
+        let mut p = c.finish();
+        p.set_verdict(VerdictScope {
+            class: "port-load".into(),
+            bound_cycles: 4.0,
+            measured_cycles: 4.0,
+            share: 1.0,
+            runner_up: "frontend".into(),
+            runner_up_cycles: 1.0,
+        });
+        p
+    }
+
+    #[test]
+    fn heatmap_names_itself_and_shows_load_pressure() {
+        let p = profile_with_loads();
+        let map = heatmap(&p);
+        assert!(map.contains("port-pressure"), "{map}");
+        assert!(map.contains("load"), "{map}");
+        // The single load port is saturated: its row peaks at 100%.
+        let load_row = map.lines().find(|l| l.trim_start().starts_with("load")).unwrap();
+        assert!(load_row.contains("100%"), "{load_row}");
+        assert!(load_row.contains('@'), "{load_row}");
+    }
+
+    #[test]
+    fn critical_path_cites_lines() {
+        let p = profile_with_loads();
+        let table = critical_path_table(&p);
+        assert!(table.contains("critical path"), "{table}");
+        assert!(table.contains("%xmm0 (carried)"), "{table}");
+        // Cites the JSONL line of the hop record.
+        let (idx, _) = p.critical_path()[0];
+        assert!(table.contains(&format!("L{}", p.line_of(idx))), "{table}");
+    }
+
+    #[test]
+    fn timeline_shows_waits() {
+        let p = profile_with_loads();
+        let table = timeline_table(&p);
+        assert!(table.contains("instruction timeline"), "{table}");
+        assert!(table.contains("port"), "{table}");
+        assert!(table.contains("movsd"), "{table}");
+    }
+
+    #[test]
+    fn summary_leads_with_verdict() {
+        let p = profile_with_loads();
+        let s = summary(&p);
+        assert!(s.contains("verdict: port-load"), "{s}");
+        assert!(s.contains("runner-up: frontend"), "{s}");
+        assert!(s.contains("sched_steady_cycles"), "{s}");
+    }
+
+    #[test]
+    fn full_report_contains_all_sections() {
+        let p = profile_with_loads();
+        let r = full_report(&p);
+        for needle in
+            ["profile: kernel fig13", "port-pressure", "critical path", "instruction timeline"]
+        {
+            assert!(r.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_profile_renders_gracefully() {
+        let p = Collector::new("empty").finish();
+        let r = full_report(&p);
+        assert!(r.contains("empty loop body") || r.contains("no reconstruction"), "{r}");
+    }
+}

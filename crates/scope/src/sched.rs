@@ -1,0 +1,357 @@
+//! Deterministic execution reconstruction.
+//!
+//! The analytic simulator never schedules anything — its estimate is a
+//! max over closed-form bounds. To show *why* a bound binds, this module
+//! replays the loop through a small greedy out-of-order model built from
+//! the same inputs the bounds use: the µop decomposition with its
+//! latencies, the per-class port counts, the fused-µop frontend width,
+//! and the register data-flow graph. The reconstruction yields
+//! per-instruction issue→dispatch→retire lifetimes, per-cycle-window
+//! port-occupancy histograms, and frontend-stall intervals.
+//!
+//! The model is intentionally simple and fully deterministic:
+//!
+//! * the frontend issues fused µops in program order, at most
+//!   `frontend_width` per cycle, and no further than
+//!   [`REORDER_WINDOW`] fused µops past the oldest unretired one;
+//! * each µop dispatches at `max(issue, operands ready, port free)`;
+//! * pipelined classes occupy a port for 1 cycle, the divider for the
+//!   full divide latency, the branch unit for the taken-branch cost;
+//! * an instruction retires when its last µop's result is ready.
+//!
+//! Nothing here feeds back into the estimate — the schedule is evidence,
+//! not input.
+
+use crate::profile::{
+    InstScope, MachineScope, PortWindowScope, StallScope, TimelineScope, CLASS_ORDER,
+};
+use std::collections::BTreeMap;
+
+/// Iterations replayed by default — enough for steady state on the
+/// paper's kernels while keeping profiles compact.
+pub const DEFAULT_ITERATIONS: u32 = 4;
+/// Reorder-window depth in fused µops (Nehalem-class ROB, scaled down to
+/// keep small-loop stalls visible).
+pub const REORDER_WINDOW: usize = 32;
+/// Port-occupancy histogram window width, in cycles.
+pub const WINDOW_CYCLES: u64 = 8;
+/// Cap on timeline records (iterations are trimmed to fit under it).
+pub const TIMELINE_CAP: usize = 2048;
+/// Cap on histogram horizon, in cycles.
+pub const HORIZON_CAP: usize = 4096;
+
+/// The reconstruction result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schedule {
+    /// Per-instruction lifetimes, iteration-major.
+    pub timeline: Vec<TimelineScope>,
+    /// Port-occupancy histogram rows.
+    pub windows: Vec<PortWindowScope>,
+    /// Frontend-stall intervals.
+    pub stalls: Vec<StallScope>,
+    /// Retire-to-retire distance between the last two iterations — the
+    /// reconstruction's own cycles-per-iteration, a cross-check against
+    /// the analytic bounds.
+    pub steady_cycles_per_iteration: f64,
+}
+
+/// Replays `iterations` copies of the loop and reconstructs lifetimes.
+pub fn schedule(machine: &MachineScope, insts: &[InstScope], iterations: u32) -> Schedule {
+    if insts.is_empty() {
+        return Schedule::default();
+    }
+    let iterations = iterations.min(((TIMELINE_CAP / insts.len()).max(1)) as u32).max(1);
+    let width = machine.frontend_width.max(1.0) as u64;
+
+    // Port servers: per class, the cycle each server frees up.
+    let mut servers: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for class in CLASS_ORDER {
+        servers.insert(class, vec![0.0; machine.servers(class) as usize]);
+    }
+    // Register scoreboard.
+    let mut reg_ready: BTreeMap<String, f64> = BTreeMap::new();
+    // Fused-µop retire times, for the reorder-window constraint.
+    let mut fused_retires: Vec<f64> = Vec::new();
+    // Per-class per-cycle busy counts for the histogram.
+    let mut busy: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    // Per-cycle issued-slot counts, for stall detection.
+    let mut issued_per_cycle: Vec<u64> = Vec::new();
+
+    let mut timeline = Vec::with_capacity(insts.len() * iterations as usize);
+    let mut iter_retire = vec![0.0f64; iterations as usize];
+    let mut issue_cycle = 0u64;
+    let mut slots_used = 0u64;
+
+    for iteration in 0..iterations {
+        for inst in insts {
+            let fused = u64::from(inst.fused_uops.max(1));
+            // Reorder window: the first slot of this instruction cannot
+            // issue until the fused µop REORDER_WINDOW places earlier has
+            // retired.
+            let window_floor = fused_retires
+                .len()
+                .checked_sub(REORDER_WINDOW)
+                .map(|i| fused_retires[i].floor() as u64 + 1)
+                .unwrap_or(0);
+            if window_floor > issue_cycle {
+                issue_cycle = window_floor;
+                slots_used = 0;
+            }
+            let issue = issue_cycle as f64;
+            for _ in 0..fused {
+                record_slot(&mut issued_per_cycle, issue_cycle);
+                slots_used += 1;
+                if slots_used >= width {
+                    issue_cycle += 1;
+                    slots_used = 0;
+                }
+            }
+
+            // Dispatch the µops in decomposition order; a later µop of
+            // the same instruction consumes the earlier one's result
+            // (load feeding compute feeding store).
+            let operand_ready =
+                inst.reads.iter().filter_map(|r| reg_ready.get(r)).fold(0.0f64, |a, &b| a.max(b));
+            let mut chain_ready = operand_ready;
+            let mut retire = issue;
+            let mut last_dispatch = issue;
+            let mut wait = "frontend";
+            for uop in &inst.uops {
+                let free = servers
+                    .get_mut(uop.port.as_str())
+                    .map_or(0.0, |s| s.iter().cloned().fold(f64::INFINITY, f64::min));
+                let free = if free.is_finite() { free } else { 0.0 };
+                let dispatch = issue.max(chain_ready).max(free);
+                wait = if dispatch <= issue {
+                    "frontend"
+                } else if chain_ready >= free {
+                    "ready"
+                } else {
+                    "port"
+                };
+                let hold = machine.occupancy(&uop.port);
+                if let Some(s) = servers.get_mut(uop.port.as_str()) {
+                    if let Some(slot) = s
+                        .iter_mut()
+                        .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                    {
+                        *slot = dispatch + hold;
+                    }
+                }
+                mark_busy(&mut busy, &uop.port, dispatch, hold);
+                chain_ready = dispatch + uop.latency;
+                retire = retire.max(chain_ready);
+                last_dispatch = dispatch;
+            }
+            if inst.uops.is_empty() {
+                retire = issue;
+            }
+            for _ in 0..fused {
+                fused_retires.push(retire);
+            }
+            for reg in &inst.writes {
+                reg_ready.insert(reg.clone(), retire);
+            }
+            iter_retire[iteration as usize] = iter_retire[iteration as usize].max(retire);
+            timeline.push(TimelineScope {
+                inst: inst.index,
+                iteration,
+                issue,
+                dispatch: last_dispatch,
+                retire,
+                port: inst.uops.iter().map(|u| u.port.as_str()).collect::<Vec<_>>().join("+"),
+                wait: wait.to_string(),
+            });
+        }
+    }
+
+    let steady = if iterations >= 2 {
+        let n = iterations as usize;
+        (iter_retire[n - 1] - iter_retire[n - 2]).max(0.0)
+    } else {
+        iter_retire[0]
+    };
+
+    Schedule {
+        windows: windows_of(machine, &busy),
+        stalls: stalls_of(&issued_per_cycle),
+        timeline,
+        steady_cycles_per_iteration: steady,
+    }
+}
+
+fn record_slot(issued: &mut Vec<u64>, cycle: u64) {
+    let idx = cycle as usize;
+    if idx >= issued.len() {
+        issued.resize((idx + 1).min(HORIZON_CAP), 0);
+    }
+    if idx < issued.len() {
+        issued[idx] += 1;
+    }
+}
+
+fn mark_busy(busy: &mut BTreeMap<&str, Vec<f64>>, class: &str, dispatch: f64, hold: f64) {
+    let Some((key, _)) = CLASS_ORDER.iter().find(|&&c| c == class).map(|c| (*c, ())) else {
+        return;
+    };
+    let row = busy.entry(key).or_default();
+    let start = dispatch.floor() as usize;
+    let end = ((dispatch + hold).ceil() as usize).min(HORIZON_CAP);
+    if end > row.len() {
+        row.resize(end, 0.0);
+    }
+    for cell in row.iter_mut().take(end).skip(start.min(end)) {
+        *cell += 1.0;
+    }
+}
+
+fn windows_of(machine: &MachineScope, busy: &BTreeMap<&str, Vec<f64>>) -> Vec<PortWindowScope> {
+    let horizon = busy.values().map(Vec::len).max().unwrap_or(0);
+    let mut windows = Vec::new();
+    let mut start = 0usize;
+    while start < horizon {
+        let end = (start + WINDOW_CYCLES as usize).min(horizon);
+        let mut row: Vec<(String, f64)> = Vec::new();
+        for class in CLASS_ORDER {
+            let servers = f64::from(machine.servers(class));
+            let used: f64 =
+                busy.get(class).map(|b| b.iter().take(end).skip(start).sum()).unwrap_or(0.0);
+            let capacity = servers * (end - start) as f64;
+            let occupancy = if capacity > 0.0 { (used / capacity).min(1.0) } else { 0.0 };
+            if occupancy > 0.0 {
+                row.push((class.to_string(), occupancy));
+            }
+        }
+        if !row.is_empty() {
+            windows.push(PortWindowScope {
+                start: start as u64,
+                width: (end - start) as u32,
+                busy: row,
+            });
+        }
+        start = end;
+    }
+    windows
+}
+
+fn stalls_of(issued: &[u64]) -> Vec<StallScope> {
+    let last_active = match issued.iter().rposition(|&n| n > 0) {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    let mut stalls = Vec::new();
+    let mut gap_start: Option<usize> = None;
+    for (cycle, &n) in issued.iter().enumerate().take(last_active + 1) {
+        match (n, gap_start) {
+            (0, None) => gap_start = Some(cycle),
+            (n, Some(start)) if n > 0 => {
+                stalls.push(StallScope {
+                    start: start as u64,
+                    end: cycle as u64,
+                    reason: "backend-pressure".to_string(),
+                });
+                gap_start = None;
+            }
+            _ => {}
+        }
+    }
+    stalls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::UopScope;
+
+    fn machine() -> MachineScope {
+        MachineScope {
+            name: "test".into(),
+            frontend_width: 4.0,
+            load_ports: 1.0,
+            store_ports: 1.0,
+            int_alu_ports: 3.0,
+            fp_add_ports: 1.0,
+            fp_mul_ports: 1.0,
+            div_block_cycles: 22.0,
+            taken_branch_cycles: 2.0,
+            nominal_ghz: 2.67,
+        }
+    }
+
+    fn inst(index: usize, port: &str, latency: f64, reads: &[&str], writes: &[&str]) -> InstScope {
+        InstScope {
+            index,
+            text: format!("inst{index}"),
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+            fused_uops: 1,
+            uops: vec![UopScope { port: port.into(), latency }],
+        }
+    }
+
+    #[test]
+    fn empty_body_schedules_to_nothing() {
+        let s = schedule(&machine(), &[], 4);
+        assert!(s.timeline.is_empty());
+        assert_eq!(s.steady_cycles_per_iteration, 0.0);
+    }
+
+    #[test]
+    fn dependent_adds_serialize_at_their_latency() {
+        // addsd into the same accumulator: steady state = 3 cycles/iter.
+        let body = [inst(0, "fp_add", 3.0, &["xmm0", "xmm15"], &["xmm15"])];
+        let s = schedule(&machine(), &body, 6);
+        assert_eq!(s.steady_cycles_per_iteration, 3.0, "{s:?}");
+        // The later iterations wait on operands, not ports.
+        assert_eq!(s.timeline.last().unwrap().wait, "ready");
+    }
+
+    #[test]
+    fn independent_loads_pack_onto_the_single_port() {
+        // 4 independent loads, 1 load port: port-limited at 1/cycle.
+        let body: Vec<InstScope> =
+            (0..4).map(|i| inst(i, "load", 4.0, &["rsi"], &[&format!("xmm{i}")[..]])).collect();
+        let s = schedule(&machine(), &body, 4);
+        assert_eq!(s.steady_cycles_per_iteration, 4.0, "4 loads / 1 port");
+        // Some dispatch waited structurally on the port.
+        assert!(s.timeline.iter().any(|t| t.wait == "port"), "{s:?}");
+        // The load row saturates in at least one window.
+        let max_load = s
+            .windows
+            .iter()
+            .flat_map(|w| w.busy.iter())
+            .filter(|(c, _)| c == "load")
+            .map(|&(_, o)| o)
+            .fold(0.0f64, f64::max);
+        assert!(max_load > 0.9, "load occupancy {max_load}");
+    }
+
+    #[test]
+    fn determinism_same_input_same_schedule() {
+        let body: Vec<InstScope> = (0..3)
+            .map(|i| inst(i, "fp_mul", 5.0, &["xmm1"], &[&format!("xmm{}", i + 2)[..]]))
+            .collect();
+        let a = schedule(&machine(), &body, 4);
+        let b = schedule(&machine(), &body, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn long_dependency_chains_stall_the_frontend() {
+        // A serial divide chain overruns the reorder window quickly: the
+        // frontend must go quiet while the divider drains.
+        let body: Vec<InstScope> =
+            (0..2).map(|i| inst(i, "fp_div", 22.0, &["xmm0"], &["xmm0"])).collect();
+        let s = schedule(&machine(), &body, 40);
+        assert!(!s.stalls.is_empty(), "divide chain must stall the frontend");
+        assert!(s.stalls.iter().all(|st| st.end > st.start));
+        assert_eq!(s.stalls[0].reason, "backend-pressure");
+    }
+
+    #[test]
+    fn timeline_cap_trims_iterations() {
+        let body: Vec<InstScope> = (0..1200).map(|i| inst(i, "int_alu", 1.0, &[], &[])).collect();
+        let s = schedule(&machine(), &body, 8);
+        assert!(s.timeline.len() <= TIMELINE_CAP + body.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! The sink trait simarch's emit sites talk to.
+//!
+//! Contract: every emit site in the simulator must be guarded by
+//! [`ScopeSink::enabled`], and emitted facts must be *derived from*
+//! values the simulator computes anyway — never the other way round. A
+//! sink observes; it cannot perturb. With the [`NoopSink`] the simulator
+//! takes the exact same arithmetic path as an unscoped call, so timing
+//! reports are bit-identical whether or not a profile is collected.
+
+use crate::profile::{
+    BoundScope, CritScope, DepEdgeScope, InstScope, MachineScope, NoteScope, PortBoundScope,
+    TopologyScope,
+};
+
+/// Receiver for simulator introspection facts.
+///
+/// All methods default to no-ops so sinks implement only what they care
+/// about; [`enabled`](ScopeSink::enabled) defaults to `true` for real
+/// sinks and is overridden to `false` by [`NoopSink`].
+pub trait ScopeSink {
+    /// When `false`, emit sites skip building their facts entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// The machine parameters the estimate ran against.
+    fn machine(&mut self, _m: MachineScope) {}
+    /// One loop instruction with its µop decomposition and register sets.
+    fn instruction(&mut self, _inst: InstScope) {}
+    /// One per-class port-throughput bound.
+    fn port_bound(&mut self, _b: PortBoundScope) {}
+    /// One dependency edge: the producer that gated a consumer's start.
+    fn dep_edge(&mut self, _e: DepEdgeScope) {}
+    /// One hop of the steady-state critical path, in path order.
+    fn crit_hop(&mut self, _h: CritScope) {}
+    /// One cache line access, identified by the level that served it
+    /// (0 = L1, 1 = L2, 2 = L3, [`crate::profile::RAM_LEVEL`] = RAM).
+    fn cache_access(&mut self, _served_by: u8) {}
+    /// The socket topology and traffic behind a contention factor.
+    fn topology(&mut self, _t: TopologyScope) {}
+    /// One named contributing bound (cycles or a dimensionless factor).
+    fn bound(&mut self, _b: BoundScope) {}
+    /// A free-form key/value observation (residence level, carrier reg…).
+    fn note(&mut self, _n: NoteScope) {}
+}
+
+/// The disabled sink: `enabled()` is `false` and every emit is a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl ScopeSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        // All emits are inert.
+        s.cache_access(0);
+        s.bound(BoundScope { name: "frontend".into(), cycles: 1.0 });
+    }
+
+    #[test]
+    fn default_methods_accept_everything() {
+        struct Counting(u32);
+        impl ScopeSink for Counting {
+            fn cache_access(&mut self, _l: u8) {
+                self.0 += 1;
+            }
+        }
+        let mut c = Counting(0);
+        assert!(c.enabled());
+        c.cache_access(1);
+        c.machine(MachineScope::default());
+        assert_eq!(c.0, 1);
+    }
+}

@@ -116,21 +116,24 @@ impl CacheHierarchy {
         ])
     }
 
+    /// Accesses one line; returns the index of the level that served it,
+    /// or [`mc_scope::profile::RAM_LEVEL`] when every level missed.
+    fn access_line(&mut self, line: u64) -> u8 {
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.access(line) {
+                return i as u8;
+            }
+        }
+        self.ram_accesses += 1;
+        mc_scope::profile::RAM_LEVEL
+    }
+
     /// Replays one access (possibly spanning lines).
     pub fn access(&mut self, access: MemAccess) {
         let first = access.address / self.line_bytes;
         let last = (access.address + u64::from(access.bytes).saturating_sub(1)) / self.line_bytes;
         for line in first..=last {
-            let mut hit = false;
-            for level in &mut self.levels {
-                if level.access(line) {
-                    hit = true;
-                    break;
-                }
-            }
-            if !hit {
-                self.ram_accesses += 1;
-            }
+            self.access_line(line);
         }
     }
 
@@ -139,6 +142,13 @@ impl CacheHierarchy {
     /// `simarch.cache.<level>.{hits,misses}` counters and
     /// `simarch.cache.ram_accesses`.
     pub fn replay(&mut self, trace: &[MemAccess]) {
+        self.replay_with_scope(trace, &mut mc_scope::NoopSink);
+    }
+
+    /// [`CacheHierarchy::replay`], additionally emitting each line's
+    /// serving level to a profile sink (the cache service stream). With
+    /// the [`mc_scope::NoopSink`] the two are identical.
+    pub fn replay_with_scope(&mut self, trace: &[MemAccess], sink: &mut dyn mc_scope::ScopeSink) {
         let track = mc_trace::metrics_enabled();
         let before: Vec<(u64, u64)> = if track {
             self.levels.iter().map(|l| (l.hits, l.misses)).collect()
@@ -146,8 +156,18 @@ impl CacheHierarchy {
             Vec::new()
         };
         let ram_before = self.ram_accesses;
+        let scoped = sink.enabled();
         for &a in trace {
-            self.access(a);
+            if scoped {
+                let first = a.address / self.line_bytes;
+                let last = (a.address + u64::from(a.bytes).saturating_sub(1)) / self.line_bytes;
+                for line in first..=last {
+                    let served_by = self.access_line(line);
+                    sink.cache_access(served_by);
+                }
+            } else {
+                self.access(a);
+            }
         }
         if track {
             let metrics = mc_trace::metrics();

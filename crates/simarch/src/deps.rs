@@ -24,7 +24,8 @@ pub fn result_latency(inst: &Inst) -> f64 {
     decompose(inst).iter().filter(|u| u.port != PortClass::Store).map(|u| u.latency).sum()
 }
 
-fn reg_name(reg: ArchReg) -> String {
+/// Canonical register name used in profiles and carrier reports.
+pub fn reg_name(reg: ArchReg) -> String {
     match reg {
         ArchReg::Gpr(g) => g.base_name().to_string(),
         ArchReg::Xmm(n) => format!("xmm{n}"),
@@ -90,6 +91,111 @@ pub fn recurrence_detail(body: &[&Inst]) -> (f64, Option<String>) {
         b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
     });
     (rate.max(1.0), growths.into_iter().next().map(|(name, _)| name))
+}
+
+/// Cap on emitted critical-path hops (the tail nearest retirement wins).
+const CRIT_HOP_CAP: usize = 32;
+
+/// Emits the dependency structure behind the recurrence bound to a
+/// profile sink: one edge per (consumer, register) resolving to the
+/// nearest earlier writer in a two-copy unrolling (so loop-carried edges
+/// are visible), plus the longest-path walk-back as critical-path hops.
+///
+/// `body` carries each instruction's original program index so edges and
+/// hops cite the same indices as the emitted instruction records.
+pub fn emit_scope(body: &[(usize, &Inst)], sink: &mut dyn mc_scope::ScopeSink) {
+    if !sink.enabled() || body.is_empty() {
+        return;
+    }
+    // --- dependency edges: resolve reads of the second copy ------------
+    // writer: register → (program index, copy it was written in)
+    let mut writer: HashMap<ArchReg, (usize, usize)> = HashMap::new();
+    for copy in 0..2usize {
+        for &(index, inst) in body {
+            if copy == 1 {
+                for r in inst.regs_read() {
+                    if let Some(&(from, from_copy)) = writer.get(&r) {
+                        let from_inst = body
+                            .iter()
+                            .find_map(|&(i, inst)| (i == from).then_some(inst))
+                            .expect("writer index came from this body");
+                        sink.dep_edge(mc_scope::DepEdgeScope {
+                            from,
+                            to: index,
+                            reg: reg_name(r),
+                            latency: result_latency(from_inst),
+                            carried: from_copy == 0,
+                        });
+                    }
+                }
+            }
+            for r in inst.regs_written() {
+                writer.insert(r, (index, copy));
+            }
+        }
+    }
+    // --- critical path: longest-path DP with predecessor tracking ------
+    // Node per executed instruction over K copies; walk back from the
+    // latest finisher.
+    let k = 8usize;
+    struct Node {
+        index: usize,
+        copy: usize,
+        finish: f64,
+        pred: Option<(usize, ArchReg)>, // node id + register consumed
+        latency: f64,
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(body.len() * k);
+    let mut ready: HashMap<ArchReg, (f64, usize)> = HashMap::new();
+    for copy in 0..k {
+        for &(index, inst) in body {
+            let mut start = 0.0f64;
+            let mut pred = None;
+            for r in inst.regs_read() {
+                if let Some(&(t, node_id)) = ready.get(&r) {
+                    if t > start {
+                        start = t;
+                        pred = Some((node_id, r));
+                    }
+                }
+            }
+            let latency = result_latency(inst);
+            let finish = start + latency;
+            let id = nodes.len();
+            nodes.push(Node { index, copy, finish, pred, latency });
+            for r in inst.regs_written() {
+                ready.insert(r, (finish, id));
+            }
+        }
+    }
+    let Some(mut at) = nodes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.finish.partial_cmp(&b.1.finish).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(id, _)| id)
+    else {
+        return;
+    };
+    let mut chain: Vec<(usize, String, f64, bool)> = Vec::new();
+    loop {
+        let node = &nodes[at];
+        let (reg, carried, next) = match node.pred {
+            Some((pred_id, reg)) => (reg_name(reg), nodes[pred_id].copy < node.copy, Some(pred_id)),
+            None => (String::new(), false, None),
+        };
+        chain.push((node.index, reg, node.latency, carried));
+        match next {
+            Some(pred_id) if chain.len() < body.len() * k => at = pred_id,
+            _ => break,
+        }
+    }
+    // The walk-back runs retirement → head; emit head → retirement,
+    // keeping the last CRIT_HOP_CAP hops (the steady-state tail).
+    chain.truncate(CRIT_HOP_CAP);
+    chain.reverse();
+    for (step, (inst, reg, latency, carried)) in chain.into_iter().enumerate() {
+        sink.crit_hop(mc_scope::CritScope { step, inst, reg, latency, carried });
+    }
 }
 
 #[cfg(test)]

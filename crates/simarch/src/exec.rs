@@ -4,13 +4,15 @@
 
 use crate::align::{alignment_effect, ArrayPlacement};
 use crate::config::{Level, MachineConfig};
-use crate::deps::recurrence_bound;
+use crate::deps::{self, recurrence_detail};
 use crate::memory::{memory_cost, Stream};
 use crate::multicore::Placement;
 use crate::ports::PortPressure;
+use crate::uops::decompose;
 use mc_asm::inst::Inst;
 use mc_asm::reg::Reg;
 use mc_kernel::Program;
+use mc_scope::{NoopSink, ScopeSink};
 
 /// Re-export of the placement policy for launcher convenience.
 pub type EnvPlacement = Placement;
@@ -222,6 +224,21 @@ pub fn extract_streams(program: &Program) -> Vec<StreamInfo> {
 
 /// Estimates the steady-state cost of one loop iteration.
 pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> TimingReport {
+    estimate_with_scope(program, workload, env, &mut NoopSink)
+}
+
+/// [`estimate`], additionally emitting the estimate's internals to a
+/// profile sink.
+///
+/// Every emit site is guarded by [`ScopeSink::enabled`] and feeds the
+/// sink values the estimate computes anyway, so with the [`NoopSink`]
+/// this *is* `estimate` — same arithmetic, bit-identical report.
+pub fn estimate_with_scope(
+    program: &Program,
+    workload: &Workload,
+    env: &ExecEnv,
+    sink: &mut dyn ScopeSink,
+) -> TimingReport {
     let machine = &env.machine;
     let insts: Vec<&Inst> = program.instructions().collect();
 
@@ -229,11 +246,16 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
     let pressure = PortPressure::of(&insts);
     let frontend = pressure.frontend_cycles(machine);
     let ports = pressure.bound_cycles(machine);
-    let recurrence = {
-        // The branch ends the iteration; recurrence flows through the rest.
-        let no_branch: Vec<&Inst> =
-            insts.iter().copied().filter(|i| !i.mnemonic.is_branch()).collect();
-        recurrence_bound(&no_branch)
+    // The branch ends the iteration; recurrence flows through the rest.
+    let no_branch: Vec<(usize, &Inst)> = insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.mnemonic.is_branch())
+        .map(|(k, i)| (k, *i))
+        .collect();
+    let (recurrence, carrier) = {
+        let bodies: Vec<&Inst> = no_branch.iter().map(|&(_, i)| i).collect();
+        recurrence_detail(&bodies)
     };
 
     // Memory side.
@@ -283,6 +305,7 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
     // `bytes × cores_on_socket / socket_bandwidth`. Below the cap the
     // single-core time stands (Figure 14's flat region); past it every
     // core slows in proportion (the saturated region).
+    let mut topology = None;
     let contention = if env.active_cores > 1 && !residence.is_core_domain() {
         let bytes_per_iter: f64 = mem_streams
             .iter()
@@ -298,11 +321,17 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
             Level::L3 => machine.l3_socket_bandwidth_gbs,
             _ => unreachable!("core-domain levels filtered above"),
         };
-        let worst_socket_cores =
-            crate::multicore::cores_per_socket(machine, env.active_cores, env.placement)
-                .into_iter()
-                .max()
-                .unwrap_or(1);
+        let per_socket =
+            crate::multicore::cores_per_socket(machine, env.active_cores, env.placement);
+        let worst_socket_cores = per_socket.iter().copied().max().unwrap_or(1);
+        if sink.enabled() {
+            topology = Some(mc_scope::TopologyScope {
+                active_cores: env.active_cores,
+                sockets: per_socket,
+                socket_bandwidth_gbs: socket_bw,
+                bytes_per_iteration: bytes_per_iter,
+            });
+        }
         let capped_ns = bytes_per_iter * f64::from(worst_socket_cores) / socket_bw;
         if uncore_base_secs > 0.0 {
             (capped_ns * 1e-9 / uncore_base_secs).max(1.0)
@@ -334,6 +363,70 @@ pub fn estimate(program: &Program, workload: &Workload, env: &ExecEnv) -> Timing
         metrics.gauge_set("simarch.bound.recurrence", recurrence);
         metrics.gauge_set("simarch.bound.contention", contention);
         metrics.observe("simarch.cycles_per_iteration", cycles);
+    }
+
+    if sink.enabled() {
+        sink.machine(mc_scope::MachineScope {
+            name: machine.name.to_string(),
+            frontend_width: machine.frontend_width,
+            load_ports: machine.load_ports,
+            store_ports: machine.store_ports,
+            int_alu_ports: machine.int_alu_ports,
+            fp_add_ports: machine.fp_add_ports,
+            fp_mul_ports: machine.fp_mul_ports,
+            div_block_cycles: crate::uops::compute_latency(mc_asm::Mnemonic::Divsd),
+            taken_branch_cycles: machine.taken_branch_cycles,
+            nominal_ghz: machine.nominal_ghz,
+        });
+        if let Some(t) = topology {
+            sink.topology(t);
+        }
+        for (index, inst) in insts.iter().enumerate() {
+            sink.instruction(mc_scope::InstScope {
+                index,
+                text: inst.to_string(),
+                reads: inst.regs_read().into_iter().map(deps::reg_name).collect(),
+                writes: inst.regs_written().into_iter().map(deps::reg_name).collect(),
+                fused_uops: u32::from(inst.fused_uops()),
+                uops: decompose(inst)
+                    .into_iter()
+                    .map(|u| mc_scope::UopScope {
+                        port: u.port.name().to_string(),
+                        latency: u.latency,
+                    })
+                    .collect(),
+            });
+        }
+        pressure.emit_scope(machine, sink);
+        for (name, value) in [
+            ("frontend", frontend),
+            ("ports", ports),
+            ("recurrence", recurrence),
+            ("memory_core", mem.core_cycles),
+            ("memory_uncore_ns", mem.uncore_ns),
+            ("loop_control", loop_control),
+            ("alignment_factor", align.memory_factor),
+            ("contention_factor", contention),
+            ("core_cycles_per_iteration", core_cycles_base),
+            ("total_cycles_per_iteration", cycles),
+        ] {
+            sink.bound(mc_scope::BoundScope { name: name.to_string(), cycles: value });
+        }
+        sink.note(mc_scope::NoteScope {
+            key: "residence".to_string(),
+            value: residence.name().to_string(),
+        });
+        sink.note(mc_scope::NoteScope {
+            key: "core_ghz".to_string(),
+            value: format!("{}", env.core_ghz),
+        });
+        if let Some(carrier) = &carrier {
+            sink.note(mc_scope::NoteScope {
+                key: "recurrence_carrier".to_string(),
+                value: carrier.clone(),
+            });
+        }
+        deps::emit_scope(&no_branch, sink);
     }
 
     TimingReport {
@@ -521,6 +614,61 @@ mod tests {
         let without_term = gain(no_term);
         assert!(with_term > 0.05, "gain with the term: {with_term}");
         assert!(without_term.abs() < 0.02, "no gain without it: {without_term}");
+    }
+
+    #[test]
+    fn scoped_estimate_is_bit_identical_to_plain_estimate() {
+        // The tentpole contract: with profiling enabled or disabled, the
+        // numbers are the same bits.
+        let env = ExecEnv::forked(x5650(), 8);
+        for (mnemonic, level) in [
+            (Mnemonic::Movaps, Level::L1),
+            (Mnemonic::Movaps, Level::Ram),
+            (Mnemonic::Movss, Level::L3),
+        ] {
+            let p = load_program(mnemonic, 8);
+            let w = Workload::resident_at(&env.machine, level);
+            let plain = estimate(&p, &w, &env);
+            let noop = estimate_with_scope(&p, &w, &env, &mut mc_scope::NoopSink);
+            let mut collector = mc_scope::Collector::new("k");
+            let scoped = estimate_with_scope(&p, &w, &env, &mut collector);
+            assert_eq!(plain, noop);
+            assert_eq!(plain, scoped, "collecting a profile must not move the estimate");
+        }
+    }
+
+    #[test]
+    fn collector_captures_the_estimate_internals() {
+        let p = load_program(Mnemonic::Movaps, 8);
+        let env = ExecEnv::forked(x5650(), 8);
+        let w = Workload::resident_at(&env.machine, Level::Ram);
+        let mut collector = mc_scope::Collector::new("fig14");
+        let r = estimate_with_scope(&p, &w, &env, &mut collector);
+        let profile = collector.finish();
+        // Instructions: 8 loads + induction updates + branch.
+        assert_eq!(profile.insts().len(), p.instructions().count());
+        assert_eq!(profile.port_bounds().len(), 7);
+        // The recorded bounds echo the report.
+        let bound = |name: &str| {
+            profile.bounds().iter().find_map(|(_, b)| (b.name == name).then_some(b.cycles)).unwrap()
+        };
+        assert_eq!(bound("frontend"), r.bounds.frontend);
+        assert_eq!(bound("ports"), r.bounds.ports);
+        assert_eq!(bound("recurrence"), r.bounds.recurrence);
+        assert_eq!(bound("contention_factor"), r.bounds.contention);
+        assert_eq!(bound("total_cycles_per_iteration"), r.cycles_per_iteration);
+        // RAM-resident fork mode has a contention topology.
+        let topo = profile.records.iter().find_map(|rec| match rec {
+            mc_scope::Record::Topology(t) => Some(t),
+            _ => None,
+        });
+        assert_eq!(topo.unwrap().active_cores, 8);
+        // Dependency edges and the reconstruction rode along.
+        assert!(!profile.dep_edges().is_empty());
+        assert!(!profile.timeline().is_empty());
+        assert!(!profile.port_windows().is_empty());
+        // Residence note names RAM.
+        assert!(profile.notes().iter().any(|(_, n)| n.key == "residence" && n.value == "RAM"));
     }
 
     #[test]

@@ -75,6 +75,35 @@ impl PortPressure {
     pub fn frontend_cycles(&self, m: &MachineConfig) -> f64 {
         self.fused_uops / m.frontend_width
     }
+
+    /// The µop count of one class.
+    fn class_uops(&self, class: PortClass) -> f64 {
+        match class {
+            PortClass::Load => self.loads,
+            PortClass::Store => self.stores,
+            PortClass::IntAlu => self.int_alu,
+            PortClass::FpAdd => self.fp_add,
+            PortClass::FpMul => self.fp_mul,
+            PortClass::FpDiv => self.fp_div,
+            PortClass::Branch => self.branches,
+        }
+    }
+
+    /// Emits the per-class bound decomposition to a profile sink. The
+    /// values are exactly [`PortPressure::class_bounds`] — the sink
+    /// observes the decomposition the estimate already computed.
+    pub fn emit_scope(&self, m: &MachineConfig, sink: &mut dyn mc_scope::ScopeSink) {
+        if !sink.enabled() {
+            return;
+        }
+        for (class, cycles) in self.class_bounds(m) {
+            sink.port_bound(mc_scope::PortBoundScope {
+                class: class.name().to_string(),
+                uops: self.class_uops(class),
+                cycles,
+            });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,22 @@ pub enum PortClass {
     Branch,
 }
 
+impl PortClass {
+    /// Stable class name, matching `mc_scope::profile::CLASS_ORDER` and
+    /// the profile format's vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            PortClass::Load => "load",
+            PortClass::Store => "store",
+            PortClass::IntAlu => "int_alu",
+            PortClass::FpAdd => "fp_add",
+            PortClass::FpMul => "fp_mul",
+            PortClass::FpDiv => "fp_div",
+            PortClass::Branch => "branch",
+        }
+    }
+}
+
 /// One micro-operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uop {

@@ -264,6 +264,39 @@ mod tests {
     }
 
     #[test]
+    fn hostile_names_round_trip_as_valid_single_line_entries() {
+        // Names straight out of a fuzzer: C0 controls, DEL, the Unicode
+        // line separators, quotes and backslashes. The document must stay
+        // parseable JSON with one physical line per entry — U+2028/U+2029
+        // would otherwise split lines in JavaScript-based viewers.
+        let hostile = [
+            "ctrl \u{1}\u{1f} end",
+            "del \u{7f} end",
+            "sep \u{2028} and \u{2029} end",
+            "quote \" slash \\ tab \t",
+        ];
+        let sink = ChromeTraceSink::in_memory();
+        for (i, name) in hostile.iter().enumerate() {
+            sink.record(&span(name, i as u64 * 10, 5).with("arg", *name));
+        }
+        let doc = sink.render();
+        check_json(&doc).unwrap_or_else(|e| panic!("{e}\nin {doc}"));
+        for raw in ['\u{1}', '\u{1f}', '\u{7f}', '\u{2028}', '\u{2029}'] {
+            assert!(!doc.contains(raw), "raw {raw:?} in {doc}");
+        }
+        // The opening wrapper, one line per entry, and the closing `]}`.
+        assert_eq!(doc.lines().count(), 2 + hostile.len(), "{doc}");
+        // The escaping must be reversible: the event codec decodes the
+        // same \uXXXX sequences back to the original strings.
+        for name in hostile {
+            let event = TraceEvent::new(EventKind::Event, name).with("arg", name);
+            let back = TraceEvent::from_json(&event.to_json()).unwrap();
+            assert_eq!(back.name, name);
+            assert_eq!(back.field("arg"), event.field("arg"));
+        }
+    }
+
+    #[test]
     fn empty_trace_is_still_a_valid_document() {
         let sink = ChromeTraceSink::in_memory();
         check_json(&sink.render()).unwrap();

@@ -305,7 +305,14 @@ pub(crate) fn encode_str(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            // DEL and the Unicode line separators join the C0 range:
+            // U+2028/U+2029 are legal in JSON strings but terminate lines
+            // in JavaScript source and some JSONL consumers, and raw DEL
+            // trips terminal pagers. Escaped, the output stays one
+            // physical line per event everywhere.
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
+                out.push_str(&format!("\\u{:04x}", c as u32))
+            }
             c => out.push(c),
         }
     }
@@ -475,6 +482,25 @@ mod tests {
         let event = TraceEvent::new(EventKind::Diag, "cli.diag")
             .with("msg", "a \"quoted\"\tline\nwith \\ and \u{1}");
         let back = TraceEvent::from_json(&event.to_json()).unwrap();
+        assert_eq!(back.field("msg"), event.field("msg"));
+    }
+
+    #[test]
+    fn del_and_line_separators_escape_to_u_sequences() {
+        // DEL and U+2028/U+2029 are legal raw in JSON strings but break
+        // line-oriented consumers; they must leave as \uXXXX and come
+        // back as themselves.
+        let hostile = "del:\u{7f} ls:\u{2028} ps:\u{2029}";
+        let event = TraceEvent::new(EventKind::Event, hostile).with("msg", hostile);
+        let line = event.to_json();
+        assert!(line.contains("\\u007f"), "{line}");
+        assert!(line.contains("\\u2028"), "{line}");
+        assert!(line.contains("\\u2029"), "{line}");
+        for raw in ['\u{7f}', '\u{2028}', '\u{2029}'] {
+            assert!(!line.contains(raw), "raw {:?} survived in {line}", raw);
+        }
+        let back = TraceEvent::from_json(&line).unwrap();
+        assert_eq!(back.name, hostile);
         assert_eq!(back.field("msg"), event.field("msg"));
     }
 
