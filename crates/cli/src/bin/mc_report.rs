@@ -336,8 +336,10 @@ fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
         }
     };
     let ledger = mc_store::ledger_totals(root);
+    let ledger_bytes = mc_store::ledger_size(root);
     if json.is_some() {
-        let text = store_stats_json(dir, &scan, &ledger, max_bytes, gc_report.as_ref());
+        let text =
+            store_stats_json(dir, &scan, &ledger, ledger_bytes, max_bytes, gc_report.as_ref());
         match json.as_deref() {
             Some("") => println!("{text}"),
             Some(path) => {
@@ -377,8 +379,24 @@ fn store_cmd(mut flags: Vec<String>, positional: &[String]) -> ExitCode {
         let c = &ledger.counters;
         println!(
             "  ledger: {} process(es); hit_mem={} hit_disk={} miss={} saved={} \
-             corrupt={} stale={}",
-            ledger.processes, c.hit_mem, c.hit_disk, c.miss, c.saved, c.skipped_corrupt, c.stale
+             corrupt={} stale={} write_failed={}",
+            ledger.processes,
+            c.hit_mem,
+            c.hit_disk,
+            c.miss,
+            c.saved,
+            c.skipped_corrupt,
+            c.stale,
+            c.write_failed
+        );
+        // The on-disk size after any auto-compaction (flushes fold the
+        // ledger past mc_store::LEDGER_COMPACT_BYTES into one rollup).
+        let size = mc_store::ledger_size(root);
+        println!(
+            "  ledger file: {} bytes ({}, compacts past {})",
+            size,
+            mc_report::table::human_bytes(size),
+            mc_report::table::human_bytes(mc_store::LEDGER_COMPACT_BYTES)
         );
     }
     ExitCode::from(exitcode::OK)
@@ -390,6 +408,7 @@ fn store_stats_json(
     dir: &str,
     scan: &mc_store::StoreScan,
     ledger: &mc_store::LedgerTotals,
+    ledger_bytes: u64,
     budget: Option<u64>,
     gc: Option<&mc_store::GcReport>,
 ) -> String {
@@ -427,6 +446,9 @@ fn store_stats_json(
         ("saved", c.saved),
         ("corrupt", c.skipped_corrupt),
         ("stale", c.stale),
+        ("write_failed", c.write_failed),
+        ("file_bytes", ledger_bytes),
+        ("compact_threshold_bytes", mc_store::LEDGER_COMPACT_BYTES),
     ] {
         l.insert(key.to_owned(), Json::Num(n as f64));
     }

@@ -17,7 +17,15 @@
 //! delay@10:500       sleep 500 ms at index 10 (every attempt)
 //! io@7               injected I/O error at index 7 (every attempt)
 //! flaky@3:2          error at index 3 for the first 2 attempts only
+//! enospc@4           disk-full error at durable-write index 4
 //! ```
+//!
+//! `enospc` faults ride a *separate* process-wide counter: durable
+//! writers (store records, hit ledgers, registry files, job journals)
+//! call [`fire_write`] immediately before each write, and an injected
+//! failure there must be skipped-and-counted by the caller — persistence
+//! is best-effort, never a correctness dependency. The split keeps write
+//! indices independent of how many evaluations ran first.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -39,6 +47,8 @@ pub enum Fault {
 pub struct FaultPlan {
     /// (eval index, fault, remaining fires; `u32::MAX` = unlimited).
     faults: Vec<(u64, Fault, u32)>,
+    /// (durable-write index, remaining fires) for `enospc` injections.
+    write_faults: Vec<(u64, u32)>,
 }
 
 impl FaultPlan {
@@ -79,6 +89,13 @@ impl FaultPlan {
         self
     }
 
+    /// Fails the durable write at write index `index` with a disk-full
+    /// error (every attempt — a full disk does not heal by retrying).
+    pub fn enospc_at(mut self, index: u64) -> Self {
+        self.write_faults.push((index, u32::MAX));
+        self
+    }
+
     /// Parses the `MICROTOOLS_FAULT` spec grammar (see module docs).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::new();
@@ -103,9 +120,11 @@ impl FaultPlan {
                     index,
                     n.parse().map_err(|_| format!("fault `{part}`: bad fire count `{n}`"))?,
                 ),
+                ("enospc", None) => plan.enospc_at(index),
                 _ => {
                     return Err(format!(
-                        "fault `{part}`: unknown kind (panic@I, delay@I:MS, io@I, flaky@I:N)"
+                        "fault `{part}`: unknown kind (panic@I, delay@I:MS, io@I, flaky@I:N, \
+                         enospc@I)"
                     ))
                 }
             };
@@ -115,17 +134,19 @@ impl FaultPlan {
 
     /// Number of scheduled faults.
     pub fn len(&self) -> usize {
-        self.faults.len()
+        self.faults.len() + self.write_faults.len()
     }
 
     /// True when no faults are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.write_faults.is_empty()
     }
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
+static WRITE_ACTIVE: AtomicBool = AtomicBool::new(false);
 static NEXT_INDEX: AtomicU64 = AtomicU64::new(0);
+static NEXT_WRITE_INDEX: AtomicU64 = AtomicU64::new(0);
 
 fn plan_slot() -> &'static Mutex<FaultPlan> {
     static PLAN: OnceLock<Mutex<FaultPlan>> = OnceLock::new();
@@ -134,9 +155,11 @@ fn plan_slot() -> &'static Mutex<FaultPlan> {
 
 /// Installs a fault plan process-wide (test-only hook).
 pub fn install_faults(plan: FaultPlan) {
-    let active = !plan.is_empty();
+    let active = !plan.faults.is_empty();
+    let write_active = !plan.write_faults.is_empty();
     *plan_slot().lock().expect("fault plan lock poisoned") = plan;
     ACTIVE.store(active, Ordering::Release);
+    WRITE_ACTIVE.store(write_active, Ordering::Release);
 }
 
 /// Parses and installs a `MICROTOOLS_FAULT` spec.
@@ -166,6 +189,49 @@ pub fn next_eval_index() -> u64 {
 /// to batch-relative indices regardless of what ran before it).
 pub fn reset_indices() {
     NEXT_INDEX.store(0, Ordering::Relaxed);
+}
+
+/// The next index [`fire_write`] will consume.
+pub fn next_write_index() -> u64 {
+    NEXT_WRITE_INDEX.load(Ordering::Relaxed)
+}
+
+/// Resets the durable-write index sequence to zero (test-only: lets a
+/// test pin `enospc` faults to known write positions).
+pub fn reset_write_indices() {
+    NEXT_WRITE_INDEX.store(0, Ordering::Relaxed);
+}
+
+/// Consumes the next durable-write index and fails with a disk-full
+/// error when an `enospc` fault is scheduled there. Durable writers call
+/// this immediately before writing; an `Err` means the caller must skip
+/// the write and count it — persistence is best-effort, so an injected
+/// (or real) full disk degrades durability, never correctness. The
+/// non-firing path is one relaxed atomic load.
+pub fn fire_write(what: &str) -> std::io::Result<()> {
+    if !WRITE_ACTIVE.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    let index = NEXT_WRITE_INDEX.fetch_add(1, Ordering::Relaxed);
+    let fired = {
+        let mut plan = plan_slot().lock().expect("fault plan lock poisoned");
+        match plan.write_faults.iter_mut().find(|(i, fires)| *i == index && *fires > 0) {
+            Some((_, fires)) => {
+                if *fires != u32::MAX {
+                    *fires -= 1;
+                }
+                true
+            }
+            None => false,
+        }
+    };
+    if fired {
+        Err(std::io::Error::other(format!(
+            "injected ENOSPC at write index {index} ({what}): no space left on device"
+        )))
+    } else {
+        Ok(())
+    }
 }
 
 /// Fires any fault scheduled at `index`. Called inside the guarded
@@ -204,18 +270,33 @@ mod tests {
 
     #[test]
     fn spec_grammar_round_trips() {
-        let plan = FaultPlan::parse("panic@5, delay@10:500 ,io@7,flaky@3:2").unwrap();
+        let plan = FaultPlan::parse("panic@5, delay@10:500 ,io@7,flaky@3:2,enospc@1").unwrap();
         assert_eq!(
             plan,
-            FaultPlan::new().panic_at(5).delay_at(10, 500).io_error_at(7).flaky_at(3, 2)
+            FaultPlan::new()
+                .panic_at(5)
+                .delay_at(10, 500)
+                .io_error_at(7)
+                .flaky_at(3, 2)
+                .enospc_at(1)
         );
-        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.len(), 5);
         assert!(FaultPlan::parse("").unwrap().is_empty());
     }
 
     #[test]
     fn spec_rejects_malformed_entries() {
-        for bad in ["panic", "panic@x", "delay@1", "delay@1:abc", "flaky@1", "warp@1", "io@1:2"] {
+        for bad in [
+            "panic",
+            "panic@x",
+            "delay@1",
+            "delay@1:abc",
+            "flaky@1",
+            "warp@1",
+            "io@1:2",
+            "enospc@1:2",
+            "enospc@x",
+        ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted `{bad}`");
         }
     }

@@ -45,8 +45,8 @@ mod supervisor;
 
 pub use error::{EvalError, EvalErrorKind};
 pub use fault::{
-    clear_faults, install_fault_spec, install_faults, next_eval_index, reserve_indices,
-    reset_indices, Fault, FaultPlan,
+    clear_faults, fire_write, install_fault_spec, install_faults, next_eval_index,
+    next_write_index, reserve_indices, reset_indices, reset_write_indices, Fault, FaultPlan,
 };
 pub use journal::{clear_journal, install_journal, journal, Journal, JournalEntry};
 pub use policy::{backoff_delay, policy, set_policy, GuardPolicy};

@@ -353,6 +353,23 @@ mod tests {
     }
 
     #[test]
+    fn enospc_fires_on_the_scheduled_write_only() {
+        let _g = guard();
+        crate::install_faults(crate::FaultPlan::new().enospc_at(1));
+        crate::reset_write_indices();
+        assert!(crate::fire_write("first").is_ok());
+        let error = crate::fire_write("second").expect_err("write index 1 must fail");
+        assert!(error.to_string().contains("ENOSPC"), "{error}");
+        assert!(error.to_string().contains("second"), "{error}");
+        assert!(crate::fire_write("third").is_ok());
+        crate::clear_faults();
+        // Inactive plans consume no indices and fail nothing.
+        let before = crate::next_write_index();
+        assert!(crate::fire_write("idle").is_ok());
+        assert_eq!(crate::next_write_index(), before);
+    }
+
+    #[test]
     fn injected_faults_fire_inside_the_guarded_region() {
         let _g = guard();
         clear_quarantine();

@@ -1,0 +1,316 @@
+//! Minimal, hardened HTTP/1.1 request handling.
+//!
+//! Shared by the OpenMetrics endpoint and the `mc-serve` daemon: both
+//! run one `std::net::TcpListener` and one service thread, so a single
+//! stalled or adversarial client must never wedge the process. Every
+//! read happens under a *total* deadline ([`HttpLimits::read_deadline`]),
+//! not just a per-`read(2)` timeout — a slow-loris client trickling one
+//! byte per second exhausts the deadline instead of resetting it — and
+//! the request head and body are size-capped before a byte of them is
+//! buffered past the limit.
+//!
+//! This is deliberately not a web framework: one request per connection,
+//! no chunked encoding, no keep-alive. `Content-Length` bodies only.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Caps and deadlines for one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Longest accepted request head (request line + headers).
+    pub max_head_bytes: usize,
+    /// Longest accepted request body.
+    pub max_body_bytes: usize,
+    /// Total wall-clock budget for reading the full request.
+    pub read_deadline: Duration,
+    /// Per-write socket timeout for the response.
+    pub write_timeout: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_deadline: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path as sent, query string included.
+    pub path: String,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request was refused.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Head or body over its cap (`413` territory).
+    TooLarge(&'static str),
+    /// The total read deadline expired (slow or stalled client).
+    Timeout,
+    /// Not parseable as an HTTP/1.1 request (`400` territory).
+    Malformed(String),
+    /// Transport failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TooLarge(what) => write!(f, "request {what} over limit"),
+            RequestError::Timeout => write!(f, "request read deadline expired"),
+            RequestError::Malformed(why) => write!(f, "malformed request: {why}"),
+            RequestError::Io(e) => write!(f, "request i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads under the running deadline into `buf`, mapping socket timeouts
+/// and deadline expiry to [`RequestError::Timeout`].
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, RequestError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(RequestError::Timeout);
+    }
+    stream.set_read_timeout(Some(remaining)).map_err(RequestError::Io)?;
+    match stream.read(buf) {
+        Ok(n) => Ok(n),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Err(RequestError::Timeout)
+        }
+        Err(e) => Err(RequestError::Io(e)),
+    }
+}
+
+/// Reads and parses one request under `limits`.
+pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Request, RequestError> {
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    let deadline = Instant::now() + limits.read_deadline;
+    let mut buffered = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = buffered.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buffered.len() > limits.max_head_bytes {
+            return Err(RequestError::TooLarge("head"));
+        }
+        let n = read_some(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed before head".into()));
+        }
+        buffered.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buffered[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/") => (m.to_uppercase(), p.to_owned()),
+        _ => return Err(RequestError::Malformed(format!("bad request line `{request_line}`"))),
+    };
+    let mut headers = Vec::new();
+    for line in lines.take_while(|l| !l.is_empty()) {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let request = Request { method, path, headers, body: Vec::new() };
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => {
+            v.parse().map_err(|_| RequestError::Malformed(format!("bad content-length `{v}`")))?
+        }
+    };
+    // The cap is enforced on the *declared* length, before buffering.
+    if content_length > limits.max_body_bytes {
+        return Err(RequestError::TooLarge("body"));
+    }
+    let mut body = buffered.split_off(head_end);
+    if body.len() > content_length {
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let n = read_some(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-body".into()));
+        }
+        let want = content_length - body.len();
+        body.extend_from_slice(&chunk[..n.min(want)]);
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Canonical reason phrase for the statuses this codebase serves.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes one complete `Connection: close` response.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn tight() -> HttpLimits {
+        HttpLimits {
+            max_head_bytes: 512,
+            max_body_bytes: 256,
+            read_deadline: Duration::from_millis(400),
+            write_timeout: Duration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn a_post_with_body_parses() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /submit?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        let request = read_request(&mut server, &tight()).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/submit?x=1");
+        assert_eq!(request.header("HOST"), Some("h"));
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn a_slow_loris_head_hits_the_total_deadline() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"GET / HT").unwrap(); // …and then nothing
+        let started = Instant::now();
+        match read_request(&mut server, &tight()) {
+            Err(RequestError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(2), "{:?}", started.elapsed());
+    }
+
+    #[test]
+    fn a_stalled_body_hits_the_total_deadline() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial").unwrap();
+        match read_request(&mut server, &tight()) {
+            Err(RequestError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_refused() {
+        let (mut client, mut server) = pair();
+        let junk = vec![b'a'; 2048];
+        client.write_all(b"GET /").unwrap();
+        client.write_all(&junk).unwrap();
+        match read_request(&mut server, &tight()) {
+            Err(RequestError::TooLarge("head")) => {}
+            other => panic!("expected TooLarge(head), got {other:?}"),
+        }
+        // A declared oversize body is refused without buffering it.
+        let (mut client, mut server) = pair();
+        client.write_all(b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n").unwrap();
+        match read_request(&mut server, &tight()) {
+            Err(RequestError::TooLarge("body")) => {}
+            other => panic!("expected TooLarge(body), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_refused() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        assert!(matches!(read_request(&mut server, &tight()), Err(RequestError::Malformed(_))));
+    }
+
+    #[test]
+    fn respond_writes_a_complete_close_delimited_response() {
+        let (mut client, mut server) = pair();
+        respond(
+            &mut server,
+            429,
+            "application/json",
+            &[("Retry-After", "2".to_owned())],
+            b"{\"error\":\"quota\"}",
+        )
+        .unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"quota\"}"), "{text}");
+    }
+}

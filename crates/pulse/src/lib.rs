@@ -23,6 +23,7 @@
 //!
 //! Everything is std-only, same as the rest of the observability stack.
 
+pub mod http;
 pub mod import;
 pub mod json;
 pub mod monitor;
@@ -30,6 +31,7 @@ pub mod openmetrics;
 pub mod registry;
 pub mod trend;
 
+pub use http::{read_request, respond, HttpLimits, Request, RequestError};
 pub use import::import_bench;
 pub use json::Json;
 pub use monitor::{strip_heartbeats, JsonlProgress, TtyProgress};

@@ -13,11 +13,10 @@
 //! external dependencies, no async runtime — a scrape during a sweep costs
 //! one snapshot of the metrics registry.
 
+use crate::http::{read_request, respond, HttpLimits};
 use mc_trace::{HistogramStats, MetricsSnapshot, ProgressSnapshot};
 use std::fmt::Write as _;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
 
 /// Maps a dotted metric name onto the OpenMetrics alphabet.
 pub fn sanitize(name: &str) -> String {
@@ -109,36 +108,35 @@ impl MetricsServer {
 }
 
 fn serve(listener: &TcpListener) {
+    // A scrape is tiny: a stalled, slow-loris, or oversized client is
+    // dropped by the shared limits instead of wedging the service thread.
+    let limits = HttpLimits {
+        max_body_bytes: 4 * 1024,
+        read_deadline: std::time::Duration::from_secs(2),
+        write_timeout: std::time::Duration::from_secs(2),
+        ..HttpLimits::default()
+    };
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
-        // One slow client must not wedge the accept loop forever.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle(stream);
+        let _ = handle(stream, &limits);
     }
 }
 
-fn handle(mut stream: TcpStream) -> std::io::Result<()> {
-    // Read until the end of the request head; the body (if any) is
-    // irrelevant — every request gets the exposition.
-    let mut head = Vec::new();
-    let mut buf = [0u8; 1024];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        head.extend_from_slice(&buf[..n]);
+fn handle(mut stream: TcpStream, limits: &HttpLimits) -> std::io::Result<()> {
+    // The path is irrelevant — every well-formed request gets the
+    // exposition; anything over limit or past deadline is dropped.
+    if read_request(&mut stream, limits).is_err() {
+        return Ok(());
     }
     let progress = mc_trace::progress_enabled().then(mc_trace::progress_snapshot);
     let body = render(&mc_trace::metrics().snapshot(), progress.as_ref());
-    let response = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: application/openmetrics-text; version=1.0.0; \
-         charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+    respond(
+        &mut stream,
+        200,
+        "application/openmetrics-text; version=1.0.0; charset=utf-8",
+        &[],
+        body.as_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -170,6 +168,7 @@ mod tests {
 
     #[test]
     fn server_answers_a_scrape() {
+        use std::io::{Read as _, Write as _};
         let server = MetricsServer::start("127.0.0.1:0").unwrap();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
@@ -178,5 +177,22 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("application/openmetrics-text"), "{response}");
         assert!(response.trim_end().ends_with("# EOF"), "{response}");
+    }
+
+    #[test]
+    fn a_stalled_scraper_cannot_wedge_the_service_thread() {
+        use std::io::{Read as _, Write as _};
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        // A slow-loris client: half a request head, then silence.
+        let mut loris = TcpStream::connect(server.local_addr()).unwrap();
+        loris.write_all(b"GET /metr").unwrap();
+        // A well-behaved scrape right behind it must still be answered
+        // (within the loris's 2 s deadline plus margin).
+        let mut scrape = TcpStream::connect(server.local_addr()).unwrap();
+        scrape.write_all(b"GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        scrape.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        let mut response = String::new();
+        scrape.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
     }
 }

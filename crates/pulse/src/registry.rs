@@ -210,6 +210,21 @@ impl Registry {
     /// content is by construction identical, so the stage is discarded.
     /// Either way one line is appended to the index.
     pub fn register(&self, record: &RunRecord) -> std::io::Result<String> {
+        match self.try_register(record) {
+            Ok(run_id) => Ok(run_id),
+            Err(e) => {
+                // Registration is provenance, not a correctness
+                // dependency: a full disk is counted and surfaced, and
+                // the caller's run is unaffected.
+                if mc_trace::metrics_enabled() {
+                    mc_trace::metrics().inc("pulse.write_failed", 1);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn try_register(&self, record: &RunRecord) -> std::io::Result<String> {
         let run_id = record.run_id();
         let runs = self.runs_dir();
         fs::create_dir_all(&runs)?;
@@ -217,23 +232,13 @@ impl Registry {
         if !final_dir.exists() {
             let stage = runs.join(format!(".stage-{run_id}-{}", std::process::id()));
             fs::create_dir_all(&stage)?;
-            let mut manifest = record.manifest.clone();
-            manifest.set("run_id", run_id.clone());
-            manifest.set("status", record.status.to_string());
-            manifest.set("registered_unix", record.timestamp_unix.to_string());
-            atomic_write(&stage.join("manifest.txt"), manifest.render().as_bytes())?;
-            let mut csv = CsvWriter::new(vec!["document", "key", "value", "spread", "stable"]);
-            for p in &record.points {
-                csv.row(&[
-                    p.document.clone(),
-                    p.key.clone(),
-                    format!("{:?}", p.value),
-                    format!("{:?}", p.spread),
-                    p.stable.to_string(),
-                ]);
+            // Any staging failure (including injected `enospc@I` disk-full
+            // faults) removes the stage so a torn record directory can
+            // never be observed, let alone renamed into place.
+            if let Err(e) = self.write_stage(record, &run_id, &stage) {
+                let _ = fs::remove_dir_all(&stage);
+                return Err(e);
             }
-            atomic_write(&stage.join("points.csv"), csv.finish().as_bytes())?;
-            atomic_write(&stage.join("metrics.txt"), record.metrics_text.as_bytes())?;
             match fs::rename(&stage, &final_dir) {
                 Ok(()) => {}
                 // A concurrent registrar of the same content may win the
@@ -251,7 +256,31 @@ impl Registry {
         Ok(run_id)
     }
 
+    fn write_stage(&self, record: &RunRecord, run_id: &str, stage: &Path) -> std::io::Result<()> {
+        let mut manifest = record.manifest.clone();
+        manifest.set("run_id", run_id.to_owned());
+        manifest.set("status", record.status.to_string());
+        manifest.set("registered_unix", record.timestamp_unix.to_string());
+        mc_guard::fire_write("manifest.txt")?;
+        atomic_write(&stage.join("manifest.txt"), manifest.render().as_bytes())?;
+        let mut csv = CsvWriter::new(vec!["document", "key", "value", "spread", "stable"]);
+        for p in &record.points {
+            csv.row(&[
+                p.document.clone(),
+                p.key.clone(),
+                format!("{:?}", p.value),
+                format!("{:?}", p.spread),
+                p.stable.to_string(),
+            ]);
+        }
+        mc_guard::fire_write("points.csv")?;
+        atomic_write(&stage.join("points.csv"), csv.finish().as_bytes())?;
+        mc_guard::fire_write("metrics.txt")?;
+        atomic_write(&stage.join("metrics.txt"), record.metrics_text.as_bytes())
+    }
+
     fn append_index(&self, record: &RunRecord, run_id: &str) -> std::io::Result<()> {
+        mc_guard::fire_write("index.jsonl")?;
         let label = record
             .manifest
             .get("input")

@@ -24,5 +24,6 @@ pub mod store;
 
 pub use record::{decode, encode, peek_header, Expect, RecordIssue, FORMAT_VERSION, MAGIC};
 pub use store::{
-    gc, ledger_totals, scan, DiskStore, GcReport, LedgerTotals, StoreCounters, StoreScan,
+    gc, ledger_size, ledger_totals, scan, DiskStore, GcReport, LedgerTotals, StoreCounters,
+    StoreScan, LEDGER_COMPACT_BYTES,
 };

@@ -44,6 +44,10 @@ fn write_record(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         .file_name()
         .and_then(|n| n.to_str())
         .ok_or_else(|| std::io::Error::other(format!("not a file path: {}", path.display())))?;
+    // Deterministic disk-full injection (`enospc@I`): a failed record
+    // write must surface to the caller's skip-and-count path before any
+    // bytes land, never as a half-written file.
+    mc_guard::fire_write(name)?;
     let tmp = path.with_file_name(format!(
         ".{name}.{}.{}.tmp",
         std::process::id(),
@@ -85,6 +89,9 @@ pub struct StoreCounters {
     pub stale: u64,
     /// Records written this process.
     pub saved: u64,
+    /// Record writes that failed (full disk, permissions) and were
+    /// skipped — the result stayed unpersisted, the cache uncorrupted.
+    pub write_failed: u64,
 }
 
 impl StoreCounters {
@@ -117,6 +124,7 @@ pub struct DiskStore {
     corrupt: AtomicU64,
     stale: AtomicU64,
     saved: AtomicU64,
+    write_failed: AtomicU64,
 }
 
 impl DiskStore {
@@ -133,6 +141,7 @@ impl DiskStore {
             corrupt: AtomicU64::new(0),
             stale: AtomicU64::new(0),
             saved: AtomicU64::new(0),
+            write_failed: AtomicU64::new(0),
         }
     }
 
@@ -242,7 +251,11 @@ impl DiskStore {
                 self.saved.fetch_add(1, Ordering::Relaxed);
                 self.tick("store.saved");
             }
-            Err(e) => mc_trace::diag!("store: cannot write {}: {e}", path.display()),
+            Err(e) => {
+                self.write_failed.fetch_add(1, Ordering::Relaxed);
+                self.tick("store.write_failed");
+                mc_trace::diag!("store: cannot write {}: {e}", path.display());
+            }
         }
     }
 
@@ -255,12 +268,18 @@ impl DiskStore {
             skipped_corrupt: self.corrupt.load(Ordering::Relaxed),
             stale: self.stale.load(Ordering::Relaxed),
             saved: self.saved.load(Ordering::Relaxed),
+            write_failed: self.write_failed.load(Ordering::Relaxed),
         }
     }
 
     /// Appends this process's tallies as one ledger line (a single
     /// `O_APPEND` write, safe against concurrent processes). A handle
     /// with no activity appends nothing. Call once, at end of run.
+    ///
+    /// The ledger is append-only and would grow without bound across a
+    /// long-lived daemon's uptime, so a flush that leaves the file past
+    /// [`LEDGER_COMPACT_BYTES`] folds it into one rollup line
+    /// ([`compact_ledger`]).
     pub fn flush_ledger(&self) {
         let c = self.counters();
         if c.is_empty() {
@@ -273,17 +292,29 @@ impl DiskStore {
             .with("miss", c.miss)
             .with("skipped_corrupt", c.skipped_corrupt)
             .with("stale", c.stale)
-            .with("saved", c.saved);
+            .with("saved", c.saved)
+            .with("write_failed", c.write_failed);
         let mut line = event.to_json();
         line.push('\n');
-        let append = fs::create_dir_all(&self.root).and_then(|()| {
-            let mut file =
-                fs::OpenOptions::new().create(true).append(true).open(self.root.join(LEDGER))?;
-            file.write_all(line.as_bytes())?;
-            file.sync_all()
-        });
+        let append = mc_guard::fire_write(LEDGER)
+            .and_then(|()| fs::create_dir_all(&self.root))
+            .and_then(|()| {
+                let mut file = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.root.join(LEDGER))?;
+                file.write_all(line.as_bytes())?;
+                file.sync_all()
+            });
         if let Err(e) = append {
+            self.tick("store.write_failed");
             mc_trace::diag!("store: cannot append ledger in {}: {e}", self.root.display());
+            return;
+        }
+        if ledger_size(&self.root) > LEDGER_COMPACT_BYTES {
+            if let Err(e) = compact_ledger(&self.root) {
+                mc_trace::diag!("store: cannot compact ledger in {}: {e}", self.root.display());
+            }
         }
     }
 }
@@ -298,26 +329,94 @@ pub struct LedgerTotals {
 }
 
 /// Sums the hit ledger under `root`, skipping torn or foreign lines.
+/// Rollup lines written by [`compact_ledger`] carry the process count
+/// they folded, so totals survive any number of compactions.
 pub fn ledger_totals(root: &Path) -> LedgerTotals {
-    let mut totals = LedgerTotals::default();
     let Ok(text) = fs::read_to_string(root.join(LEDGER)) else {
-        return totals;
+        return LedgerTotals::default();
     };
+    sum_ledger_text(&text)
+}
+
+fn sum_ledger_text(text: &str) -> LedgerTotals {
+    let mut totals = LedgerTotals::default();
     for line in text.lines() {
         let Ok(event) = mc_trace::TraceEvent::from_json(line) else { continue };
-        if event.name != "store.ledger" {
-            continue;
-        }
         let get = |k: &str| event.field(k).and_then(mc_trace::Value::as_u64).unwrap_or(0);
-        totals.processes += 1;
+        match event.name.as_str() {
+            "store.ledger" => totals.processes += 1,
+            "store.rollup" => totals.processes += get("processes"),
+            _ => continue,
+        }
         totals.counters.hit_mem += get("hit_mem");
         totals.counters.hit_disk += get("hit_disk");
         totals.counters.miss += get("miss");
         totals.counters.skipped_corrupt += get("skipped_corrupt");
         totals.counters.stale += get("stale");
         totals.counters.saved += get("saved");
+        totals.counters.write_failed += get("write_failed");
     }
     totals
+}
+
+/// Ledger size in bytes (0 when absent).
+pub fn ledger_size(root: &Path) -> u64 {
+    fs::metadata(root.join(LEDGER)).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Ledger size past which [`DiskStore::flush_ledger`] compacts. At ~200
+/// bytes per line this is thousands of flushes between compactions.
+pub const LEDGER_COMPACT_BYTES: u64 = 64 * 1024;
+
+/// What one ledger compaction did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Ledger lines folded (including earlier rollups).
+    pub lines_before: u64,
+    /// Ledger bytes before.
+    pub bytes_before: u64,
+    /// Ledger bytes after (one rollup line, or 0 for an empty ledger).
+    pub bytes_after: u64,
+}
+
+/// Folds the ledger into a single `store.rollup` line carrying the
+/// summed counters and the process count, via the atomic temp+rename
+/// discipline. Totals read back identically before and after.
+///
+/// The tallies are advisory: a process appending concurrently with the
+/// rename may land its line on the unlinked file and lose it — an
+/// accepted trade for a bounded file, and why compaction only runs from
+/// ledger owners (end-of-run flushes past the size threshold, daemon
+/// maintenance), never on the read path.
+pub fn compact_ledger(root: &Path) -> std::io::Result<CompactReport> {
+    let text = match fs::read_to_string(root.join(LEDGER)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(CompactReport::default()),
+        Err(e) => return Err(e),
+    };
+    let report = CompactReport {
+        lines_before: text.lines().count() as u64,
+        bytes_before: text.len() as u64,
+        ..CompactReport::default()
+    };
+    if report.lines_before <= 1 {
+        return Ok(CompactReport { bytes_after: report.bytes_before, ..report });
+    }
+    let totals = sum_ledger_text(&text);
+    let c = totals.counters;
+    let event = mc_trace::TraceEvent::new(mc_trace::EventKind::Event, "store.rollup")
+        .with("processes", totals.processes)
+        .with("hit_mem", c.hit_mem)
+        .with("hit_disk", c.hit_disk)
+        .with("miss", c.miss)
+        .with("skipped_corrupt", c.skipped_corrupt)
+        .with("stale", c.stale)
+        .with("saved", c.saved)
+        .with("write_failed", c.write_failed);
+    let mut line = event.to_json();
+    line.push('\n');
+    write_record(&root.join(LEDGER), line.as_bytes())?;
+    Ok(CompactReport { bytes_after: line.len() as u64, ..report })
 }
 
 /// One record file found by a scan.
@@ -535,6 +634,81 @@ mod tests {
         // An idle handle appends nothing.
         DiskStore::open(&root, 1, 2).flush_ledger();
         assert_eq!(ledger_totals(&root).processes, 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_folds_lines_and_preserves_totals() {
+        let root = scratch("compact");
+        for i in 0..5u64 {
+            let handle = DiskStore::open(&root, 1, 2);
+            handle.save("eval", &format!("{i:016x}"), "p");
+            handle.load("eval", &format!("{i:016x}"));
+            handle.flush_ledger();
+        }
+        let before = ledger_totals(&root);
+        assert_eq!(before.processes, 5);
+        let report = compact_ledger(&root).unwrap();
+        assert_eq!(report.lines_before, 5);
+        assert!(report.bytes_after < report.bytes_before, "{report:?}");
+        assert_eq!(ledger_size(&root), report.bytes_after);
+        assert_eq!(ledger_totals(&root), before, "totals survive compaction");
+        // A rollup folds with later lines — and with further rollups.
+        let late = DiskStore::open(&root, 1, 2);
+        late.load("eval", "00000000000000ff"); // miss
+        late.flush_ledger();
+        let with_late = ledger_totals(&root);
+        assert_eq!(with_late.processes, 6);
+        assert_eq!(with_late.counters.miss, before.counters.miss + 1);
+        compact_ledger(&root).unwrap();
+        assert_eq!(ledger_totals(&root), with_late);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compacting_an_empty_or_single_line_ledger_is_a_no_op() {
+        let root = scratch("compact_noop");
+        assert_eq!(compact_ledger(&root).unwrap(), CompactReport::default());
+        let store = DiskStore::open(&root, 1, 2);
+        store.save("eval", "00000000000000aa", "p");
+        store.flush_ledger();
+        let size = ledger_size(&root);
+        let report = compact_ledger(&root).unwrap();
+        assert_eq!((report.lines_before, report.bytes_after), (1, size));
+        assert_eq!(ledger_totals(&root).processes, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn an_oversized_ledger_compacts_on_flush() {
+        let root = scratch("autocompact");
+        fs::create_dir_all(&root).unwrap();
+        // Seed a ledger past the threshold with real (parseable) lines —
+        // written directly, since flushes self-compact at the threshold.
+        {
+            let mut text = String::new();
+            while text.len() as u64 <= LEDGER_COMPACT_BYTES {
+                let event = mc_trace::TraceEvent::new(mc_trace::EventKind::Event, "store.ledger")
+                    .with("pid", 1u64)
+                    .with("miss", 1u64);
+                text.push_str(&event.to_json());
+                text.push('\n');
+            }
+            fs::write(root.join("ledger.jsonl"), text).unwrap();
+        }
+        assert!(ledger_size(&root) > LEDGER_COMPACT_BYTES);
+        let expected = ledger_totals(&root);
+        let store = DiskStore::open(&root, 1, 2);
+        store.load("eval", "00000000000000bb");
+        store.flush_ledger();
+        assert!(
+            ledger_size(&root) < LEDGER_COMPACT_BYTES,
+            "flush past the threshold compacts: {} bytes",
+            ledger_size(&root)
+        );
+        let totals = ledger_totals(&root);
+        assert_eq!(totals.processes, expected.processes + 1);
+        assert_eq!(totals.counters.miss, expected.counters.miss + 1);
         let _ = fs::remove_dir_all(&root);
     }
 
